@@ -1,0 +1,158 @@
+// Package dif_test benchmarks the paper-reproduction experiments: one
+// testing.B benchmark per table/figure in DESIGN.md's experiment index
+// (E1–E9). Each benchmark drives the same code as cmd/experiments and
+// reports the experiment's headline metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the paper's quantitative
+// story end to end.
+package dif_test
+
+import (
+	"testing"
+
+	"dif/internal/experiments"
+)
+
+// BenchmarkE1AlgorithmQuality measures one full E1 round (Exact,
+// Stochastic, Avala, Avala+Swap on an Exact-feasible architecture) and
+// reports the Avala/optimal availability ratio.
+func BenchmarkE1AlgorithmQuality(b *testing.B) {
+	cfg := experiments.E1Config{Sizes: [][2]int{{4, 10}}, Seeds: 1, Trials: 50}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seeds = 1
+		rows, err := experiments.RunE1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].Avala / rows[0].Exact
+	}
+	b.ReportMetric(ratio, "avala/optimal")
+}
+
+// BenchmarkE2AlgorithmScaling measures the full scaling sweep (Exact up
+// to 12 components; Stochastic and Avala up to 20×400).
+func BenchmarkE2AlgorithmScaling(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scaling sweep is minutes long")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3DecApQuality measures the awareness sweep and reports the
+// full-awareness DecAp availability as a fraction of the centralized
+// reference.
+func BenchmarkE3DecApQuality(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		ratio = last.DecAp / last.Centralized
+	}
+	b.ReportMetric(ratio, "decap/centralized")
+}
+
+// BenchmarkE4MonitoringOverhead measures the routing hot path with and
+// without monitors and reports the per-event overhead percentage.
+func BenchmarkE4MonitoringOverhead(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE4Routing(50_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = (rows[1].NsPerEvent - rows[0].NsPerEvent) / rows[0].NsPerEvent * 100
+	}
+	b.ReportMetric(overhead, "%overhead")
+}
+
+// BenchmarkE5RedeploymentCost measures live migration of 8 components
+// through the full admin/deployer protocol and reports ms per move.
+func BenchmarkE5RedeploymentCost(b *testing.B) {
+	var msPerMove float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE5([]int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msPerMove = float64(rows[0].Elapsed.Milliseconds()) / float64(rows[0].Moves)
+	}
+	b.ReportMetric(msPerMove, "ms/move")
+}
+
+// BenchmarkE6LatencyGuard measures the availability-objective analysis
+// with the latency guard and reports the mean latency improvement factor.
+func BenchmarkE6LatencyGuard(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE6(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after float64
+		for _, r := range rows {
+			before += r.LatencyBefore
+			after += r.LatencyAfter
+		}
+		if after > 0 {
+			factor = before / after
+		}
+	}
+	b.ReportMetric(factor, "latency-speedup")
+}
+
+// BenchmarkE7StabilityDetection measures the full ε/noise convergence
+// grid and reports the mean convergence time at ε=0.05, σ=0.01.
+func BenchmarkE7StabilityDetection(b *testing.B) {
+	var intervals float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunE7()
+		for _, r := range rows {
+			if r.Epsilon == 0.05 && r.NoiseSigma == 0.01 {
+				intervals = r.MeanIntervals
+			}
+		}
+	}
+	b.ReportMetric(intervals, "intervals")
+}
+
+// BenchmarkE8AnalyzerPolicy measures a full 12-epoch fluctuation trace
+// through the live centralized instantiation and reports the final
+// availability.
+func BenchmarkE8AnalyzerPolicy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("live multi-epoch trace")
+	}
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = rows[len(rows)-1].Avail
+	}
+	b.ReportMetric(avail, "availability")
+}
+
+// BenchmarkE9Instantiations measures one centralized and one
+// decentralized improvement cycle on identical worlds and reports the
+// decentralized/centralized availability ratio.
+func BenchmarkE9Instantiations(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].AvailAfter > 0 {
+			ratio = rows[1].AvailAfter / rows[0].AvailAfter
+		}
+	}
+	b.ReportMetric(ratio, "dec/cent")
+}

@@ -1,0 +1,90 @@
+// Command agent is a slave-host runtime (the paper's Slave Host,
+// Figure 2): a Prism-MW architecture with an AdminComponent that joins a
+// deployer over TCP, hosts migratable application components, monitors
+// its local subsystem, and participates in redeployment.
+//
+// Usage:
+//
+//	agent -host troop1 -master-host hq -master 127.0.0.1:7000 [-duration 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dif/internal/framework"
+	"dif/internal/model"
+	"dif/internal/prism"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	host := flag.String("host", "", "this agent's host name (must match the architecture)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	masterHost := flag.String("master-host", "master", "the deployer's host name")
+	masterAddr := flag.String("master", "", "the deployer's TCP address")
+	duration := flag.Duration("duration", 30*time.Second, "how long to run")
+	tick := flag.Duration("tick", 100*time.Millisecond, "application workload tick interval")
+	flag.Parse()
+	if *host == "" || *masterAddr == "" {
+		return fmt.Errorf("-host and -master are required")
+	}
+
+	tr, err := prism.NewTCPTransport(model.HostID(*host), *listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	tr.AddPeer(model.HostID(*masterHost), *masterAddr)
+
+	arch := prism.NewArchitecture(model.HostID(*host), nil)
+	arch.Scaffold().Start(4)
+	defer arch.Shutdown()
+	if _, err := arch.AddDistributionConnector(framework.BusName, tr); err != nil {
+		return err
+	}
+	registry := prism.NewFactoryRegistry()
+	registry.Register(framework.TrafficTypeName, func(id string) prism.Migratable {
+		return framework.NewTrafficComponent(id)
+	})
+	admin, err := prism.InstallAdmin(arch, prism.AdminConfig{
+		Deployer: model.HostID(*masterHost),
+		Bus:      framework.BusName,
+		Registry: registry,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Introduce ourselves so the deployer sees this host as a peer.
+	if err := tr.Hello(model.HostID(*masterHost)); err != nil {
+		return fmt.Errorf("join %s: %w", *masterAddr, err)
+	}
+	fmt.Printf("agent %s joined %s (%s); running %v\n", *host, *masterHost, *masterAddr, *duration)
+
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	for {
+		select {
+		case <-ticker.C:
+			for _, id := range arch.ComponentIDs() {
+				if tc, ok := arch.Component(id).(*framework.TrafficComponent); ok {
+					tc.Tick()
+				}
+			}
+		case <-deadline:
+			rep := admin.Report(false)
+			fmt.Printf("agent %s exiting; hosting %v\n", *host, rep.Components)
+			return nil
+		}
+	}
+}

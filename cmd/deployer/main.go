@@ -1,0 +1,204 @@
+// Command deployer is the master-host runtime (the paper's Master Host,
+// Figure 2): it loads an architecture description, waits for the slave
+// agents to join over TCP, instantiates the application's components,
+// distributes them to their hosts per the described deployment, and then
+// runs the monitor→analyze→redeploy loop.
+//
+// Usage:
+//
+//	deployer -arch arch.xml -host host00 -listen 127.0.0.1:7000 \
+//	         [-improve] [-cycles 3] [-interval 5s]
+//
+// Agents for every other host must join (see cmd/agent) before the
+// deployer proceeds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dif/internal/analyzer"
+	"dif/internal/effector"
+	"dif/internal/framework"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+	"dif/internal/prism"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deployer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFile := flag.String("arch", "", "xADL architecture file (with a deployment)")
+	host := flag.String("host", "", "the master's host name (must appear in the architecture)")
+	listen := flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+	improve := flag.Bool("improve", true, "run the analyze/redeploy loop after distribution")
+	cycles := flag.Int("cycles", 2, "monitor/analyze cycles to run")
+	interval := flag.Duration("interval", 3*time.Second, "pause between cycles (lets agents generate traffic)")
+	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "how long to wait for agents")
+	flag.Parse()
+	if *archFile == "" || *host == "" {
+		return fmt.Errorf("-arch and -host are required")
+	}
+
+	f, err := os.Open(*archFile)
+	if err != nil {
+		return err
+	}
+	sys, deployment, err := model.ReadXADL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if deployment == nil {
+		return fmt.Errorf("%s carries no deployment", *archFile)
+	}
+	master := model.HostID(*host)
+	if _, ok := sys.Hosts[master]; !ok {
+		return fmt.Errorf("host %s not in architecture", master)
+	}
+
+	tr, err := prism.NewTCPTransport(master, *listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	arch := prism.NewArchitecture(master, nil)
+	arch.Scaffold().Start(4)
+	defer arch.Shutdown()
+	if _, err := arch.AddDistributionConnector(framework.BusName, tr); err != nil {
+		return err
+	}
+	registry := prism.NewFactoryRegistry()
+	registry.Register(framework.TrafficTypeName, func(id string) prism.Migratable {
+		return framework.NewTrafficComponent(id)
+	})
+	adminCfg := prism.AdminConfig{Deployer: master, Bus: framework.BusName, Registry: registry}
+	if _, err := prism.InstallAdmin(arch, adminCfg); err != nil {
+		return err
+	}
+	dep, err := prism.InstallDeployer(arch, adminCfg)
+	if err != nil {
+		return err
+	}
+
+	// Wait for every slave host to join.
+	slaves := make([]model.HostID, 0, len(sys.Hosts)-1)
+	for _, h := range sys.HostIDs() {
+		if h != master {
+			slaves = append(slaves, h)
+		}
+	}
+	fmt.Printf("deployer %s listening on %s; waiting for %d agents...\n",
+		master, tr.Addr(), len(slaves))
+	if err := waitForPeers(tr, slaves, *joinTimeout); err != nil {
+		return err
+	}
+	fmt.Println("all agents joined")
+
+	// Instantiate every application component locally, then distribute
+	// them to their described hosts through the real migration protocol.
+	for _, comp := range sys.ComponentIDs() {
+		tc := framework.NewTrafficComponent(string(comp))
+		for _, link := range sys.InteractionsOf(comp) {
+			other := link.Components.A
+			if other == comp {
+				other = link.Components.B
+			}
+			tc.AddPartner(string(other), link.Frequency()/10, link.EventSize())
+		}
+		if err := arch.AddComponent(tc); err != nil {
+			return err
+		}
+		if err := arch.Weld(string(comp), framework.BusName); err != nil {
+			return err
+		}
+	}
+	moves := make(map[string]model.HostID, len(deployment))
+	current := make(map[string]model.HostID, len(deployment))
+	for comp, h := range deployment {
+		current[string(comp)] = master
+		moves[string(comp)] = h
+	}
+	res, err := dep.Enact(moves, current, 60*time.Second)
+	if err != nil {
+		return fmt.Errorf("initial distribution: %w", err)
+	}
+	fmt.Printf("distributed %d components to %d hosts\n", res.Moved, len(slaves))
+
+	if !*improve {
+		return nil
+	}
+
+	// Monitor → analyze → redeploy loop.
+	centralModel := sys.Clone()
+	anlz := analyzer.New(nil, analyzer.Policy{})
+	view := deployment.Clone()
+	for cycle := 1; cycle <= *cycles; cycle++ {
+		time.Sleep(*interval)
+		reports, err := dep.RequestReports(slaves, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		applier := monitor.NewApplier(centralModel, nil)
+		written := 0
+		for _, rep := range reports {
+			written += applier.Apply(rep, view)
+		}
+		avail := objective.Availability{}.Quantify(centralModel, view)
+		fmt.Printf("cycle %d: %d reports, %d params refined, availability %.4f\n",
+			cycle, len(reports), written, avail)
+
+		dec, err := anlz.Analyze(context.Background(), centralModel, view, 1.0)
+		if err != nil {
+			return fmt.Errorf("cycle %d analyze: %w", cycle, err)
+		}
+		fmt.Printf("cycle %d: %s -> %.4f (%s)\n",
+			cycle, dec.Algorithm, dec.Result.Score, dec.Reason)
+		if !dec.Accepted {
+			continue
+		}
+		plan, err := effector.ComputePlan(centralModel, view, dec.Result.Deployment)
+		if err != nil {
+			return err
+		}
+		en := &effector.PrismEnactor{Deployer: dep}
+		enRep, err := en.Enact(plan, 60*time.Second)
+		if err != nil {
+			return fmt.Errorf("cycle %d enact: %w", cycle, err)
+		}
+		view = dec.Result.Deployment.Clone()
+		fmt.Printf("cycle %d: redeployed %d components in %v\n", cycle, enRep.Moved, enRep.Elapsed)
+	}
+	fmt.Printf("final deployment: %v\n", view)
+	return nil
+}
+
+func waitForPeers(tr *prism.TCPTransport, want []model.HostID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		have := make(map[model.HostID]bool)
+		for _, p := range tr.Peers() {
+			have[p] = true
+		}
+		missing := 0
+		for _, h := range want {
+			if !have[h] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for agents (have %v)", tr.Peers())
+}

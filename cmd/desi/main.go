@@ -1,0 +1,269 @@
+// Command desi is the deployment exploration environment's command-line
+// front end (the paper's DeSi tool, §4.1): it generates hypothetical
+// deployment architectures, renders the table and graph views, runs
+// deployment-improvement algorithms, and reads/writes xADL-lite
+// architecture documents.
+//
+// Usage:
+//
+//	desi generate    -hosts 8 -comps 24 -seed 1 -o arch.xml
+//	desi show        -f arch.xml [-view table|graph|thumb]
+//	desi run         -f arch.xml -algo avala -objective availability [-apply -o out.xml]
+//	desi eval        -f arch.xml
+//	desi sensitivity -f arch.xml -link hostA,hostB [-param reliability] [-objective availability]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dif/internal/algo"
+	"dif/internal/algo/decap"
+	"dif/internal/desi"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "desi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: desi <generate|show|run|eval|sensitivity> [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "show":
+		return cmdShow(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "eval":
+		return cmdEval(args[1:])
+	case "sensitivity":
+		return cmdSensitivity(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 5, "number of hardware hosts")
+	comps := fs.Int("comps", 15, "number of software components")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output xADL file (default stdout)")
+	density := fs.Float64("link-density", 0.75, "host link density [0,1]")
+	interDensity := fs.Float64("interaction-density", 0.35, "component interaction density [0,1]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := model.DefaultGeneratorConfig(*hosts, *comps)
+	cfg.LinkDensity = *density
+	cfg.InteractionDensity = *interDensity
+	sys, dep, err := model.NewGenerator(cfg, *seed).Generate()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := model.WriteXADL(w, sys, dep); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d hosts, %d components to %s (availability %.4f)\n",
+			*hosts, *comps, *out, objective.Availability{}.Quantify(sys, dep))
+	}
+	return nil
+}
+
+func loadArch(path string) (*desi.Model, *desi.Controller, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sys, dep, err := model.ReadXADL(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dep == nil {
+		return nil, nil, fmt.Errorf("%s carries no deployment", path)
+	}
+	m := desi.NewModel()
+	c := desi.NewController(m)
+	c.Algorithms().Register("decap", func() algo.Algorithm { return &decap.Adapter{} })
+	c.Load(sys, dep)
+	return m, c, nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	file := fs.String("f", "", "xADL architecture file")
+	view := fs.String("view", "table", "view: table, graph, or thumb")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("show: -f is required")
+	}
+	m, _, err := loadArch(*file)
+	if err != nil {
+		return err
+	}
+	switch *view {
+	case "table":
+		fmt.Print(desi.NewTableView(m).Render())
+	case "graph":
+		fmt.Print(desi.NewGraphView(m).Render())
+	case "thumb":
+		fmt.Print(desi.NewGraphView(m).Thumbnail())
+	default:
+		return fmt.Errorf("unknown view %q", *view)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	file := fs.String("f", "", "xADL architecture file")
+	algoName := fs.String("algo", "avala", "algorithm: exact, stochastic, avala, swap, decap")
+	objName := fs.String("objective", "availability", "objective: availability, latency, commCost, security")
+	seed := fs.Int64("seed", 1, "algorithm seed")
+	trials := fs.Int("trials", 0, "trial budget for randomized algorithms")
+	apply := fs.Bool("apply", false, "adopt the result as the deployment")
+	out := fs.String("o", "", "write the (possibly updated) architecture here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("run: -f is required")
+	}
+	m, c, err := loadArch(*file)
+	if err != nil {
+		return err
+	}
+	runRes, err := c.RunAlgorithm(context.Background(), *algoName, *objName,
+		algo.Config{Seed: *seed, Trials: *trials})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s): %.4f -> %.4f in %v (%d moves, est. %.0f ms to effect)\n",
+		*algoName, *objName, runRes.Result.InitialScore, runRes.Result.Score,
+		runRes.Result.Elapsed, runRes.RedeployMoves, runRes.RedeployMS)
+	if *apply {
+		if err := c.ApplyResult(runRes); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sd := m.System()
+		if err := model.WriteXADL(f, sd.System, sd.Deployment); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	file := fs.String("f", "", "xADL architecture file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("eval: -f is required")
+	}
+	m, _, err := loadArch(*file)
+	if err != nil {
+		return err
+	}
+	sd := m.System()
+	for _, q := range []objective.Quantifier{
+		objective.Availability{}, objective.Latency{}, objective.CommCost{}, objective.Security{},
+	} {
+		fmt.Printf("%-14s (%s): %.4f\n", q.Name(), q.Direction(), q.Quantify(sd.System, sd.Deployment))
+	}
+	return nil
+}
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
+	file := fs.String("f", "", "xADL architecture file")
+	linkSpec := fs.String("link", "", "physical link to probe: hostA,hostB")
+	hostSpec := fs.String("host", "", "host to probe")
+	param := fs.String("param", model.ParamReliability, "parameter to sweep")
+	objName := fs.String("objective", "availability", "objective to evaluate")
+	sweep := fs.String("values", "0,0.25,0.5,0.75,1", "comma-separated parameter values")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("sensitivity: -f is required")
+	}
+	if (*linkSpec == "") == (*hostSpec == "") {
+		return fmt.Errorf("sensitivity: exactly one of -link or -host is required")
+	}
+	_, c, err := loadArch(*file)
+	if err != nil {
+		return err
+	}
+	values, err := parseFloats(*sweep)
+	if err != nil {
+		return err
+	}
+	var rep desi.SensitivityReport
+	if *linkSpec != "" {
+		parts := strings.SplitN(*linkSpec, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("sensitivity: -link wants hostA,hostB")
+		}
+		rep, err = c.SensitivityToLink(model.HostID(parts[0]), model.HostID(parts[1]),
+			*param, values, *objName)
+	} else {
+		rep, err = c.SensitivityToHost(model.HostID(*hostSpec), *param, values, *objName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s (baseline %.4f)\n", rep.Target, rep.Objective, rep.Baseline)
+	for _, p := range rep.Points {
+		fmt.Printf("  %8.3f -> %.4f\n", p.Value, p.Score)
+	}
+	fmt.Printf("sensitivity range: %.4f\n", rep.Range())
+	return nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// arch generates a small architecture file and returns its path.
+func arch(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arch.xml")
+	if err := run([]string{"generate", "-hosts", "3", "-comps", "8", "-seed", "3", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIGenerateWritesXADL(t *testing.T) {
+	path := arch(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<architecture>", "<deployment>", "host00", "comp000"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("generated file missing %q", want)
+		}
+	}
+}
+
+func TestCLIShowViews(t *testing.T) {
+	path := arch(t)
+	for _, view := range []string{"table", "graph", "thumb"} {
+		if err := run([]string{"show", "-f", path, "-view", view}); err != nil {
+			t.Fatalf("show -view %s: %v", view, err)
+		}
+	}
+	if err := run([]string{"show", "-f", path, "-view", "nope"}); err == nil {
+		t.Fatal("unknown view accepted")
+	}
+	if err := run([]string{"show"}); err == nil {
+		t.Fatal("show without -f accepted")
+	}
+}
+
+func TestCLIRunAlgorithms(t *testing.T) {
+	path := arch(t)
+	out := filepath.Join(t.TempDir(), "improved.xml")
+	for _, algoName := range []string{"avala", "stochastic", "genetic", "decap"} {
+		if err := run([]string{"run", "-f", path, "-algo", algoName, "-trials", "10"}); err != nil {
+			t.Fatalf("run -algo %s: %v", algoName, err)
+		}
+	}
+	if err := run([]string{"run", "-f", path, "-algo", "avala", "-apply", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("improved architecture not written: %v", err)
+	}
+	if err := run([]string{"run", "-f", path, "-algo", "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCLIEval(t *testing.T) {
+	path := arch(t)
+	if err := run([]string{"eval", "-f", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"eval"}); err == nil {
+		t.Fatal("eval without -f accepted")
+	}
+}
+
+func TestCLISensitivity(t *testing.T) {
+	path := arch(t)
+	if err := run([]string{"sensitivity", "-f", path, "-link", "host00,host01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sensitivity", "-f", path, "-host", "host00", "-param", "memory"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sensitivity", "-f", path}); err == nil {
+		t.Fatal("sensitivity without target accepted")
+	}
+	if err := run([]string{"sensitivity", "-f", path, "-link", "host00,host01", "-host", "host00"}); err == nil {
+		t.Fatal("both -link and -host accepted")
+	}
+	if err := run([]string{"sensitivity", "-f", path, "-link", "justone"}); err == nil {
+		t.Fatal("malformed -link accepted")
+	}
+	if err := run([]string{"sensitivity", "-f", path, "-link", "host00,host01", "-values", "a,b"}); err == nil {
+		t.Fatal("malformed -values accepted")
+	}
+}
+
+func TestCLIUnknownAndEmpty(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"run", "-f", "/nonexistent/arch.xml"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

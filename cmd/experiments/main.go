@@ -1,0 +1,110 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index E1–E9) and prints
+// paper-style rows. Select a subset with -only (comma-separated ids).
+//
+//	experiments            # run everything
+//	experiments -only e1,e3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dif/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "comma-separated experiment ids (e1..e9); empty = all")
+	seeds := flag.Int("seeds", 10, "seeds per configuration where applicable")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	out := os.Stdout
+
+	if want("e1") {
+		experiments.Header(out, "E1 — algorithm quality (Initial vs Exact vs Stochastic vs Avala)")
+		cfg := experiments.DefaultE1()
+		cfg.Seeds = *seeds
+		rows, err := experiments.RunE1(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE1(out, rows)
+	}
+	if want("e2") {
+		experiments.Header(out, "E2 — running-time scaling (O(k^n) vs O(n²) vs O(n³))")
+		rows, err := experiments.RunE2()
+		if err != nil {
+			return err
+		}
+		experiments.PrintE2(out, rows)
+	}
+	if want("e3") {
+		experiments.Header(out, "E3 — DecAp vs awareness")
+		rows, err := experiments.RunE3(*seeds)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE3(out, rows)
+	}
+	if want("e4") {
+		experiments.Header(out, "E4 — monitoring overhead")
+		rows, err := experiments.RunE4(100_000)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE4(out, rows)
+	}
+	if want("e5") {
+		experiments.Header(out, "E5 — redeployment effecting cost")
+		rows, err := experiments.RunE5([]int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE5(out, rows)
+	}
+	if want("e6") {
+		experiments.Header(out, "E6 — latency objective and latency guard")
+		rows, err := experiments.RunE6(*seeds)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE6(out, rows)
+	}
+	if want("e7") {
+		experiments.Header(out, "E7 — ε-stability detection convergence")
+		experiments.PrintE7(out, experiments.RunE7())
+	}
+	if want("e8") {
+		experiments.Header(out, "E8 — analyzer algorithm-selection policy")
+		rows, err := experiments.RunE8()
+		if err != nil {
+			return err
+		}
+		experiments.PrintE8(out, rows)
+	}
+	if want("e9") {
+		experiments.Header(out, "E9 — centralized vs decentralized instantiation")
+		rows, err := experiments.RunE9()
+		if err != nil {
+			return err
+		}
+		experiments.PrintE9(out, rows)
+	}
+	return nil
+}

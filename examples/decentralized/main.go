@@ -1,0 +1,86 @@
+// Decentralized demonstrates the framework's decentralized instantiation
+// (DSN'04 §5.2): no host holds the global model; each host monitors
+// itself, synchronizes its awareness-limited local model with its
+// neighbors, participates in DecAp auctions, and the per-host analyzers
+// accept the outcome by polling. The example also sweeps awareness to
+// show how the quality of the decentralized solution approaches the
+// centralized one as knowledge grows.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dif/internal/algo"
+	"dif/internal/algo/decap"
+	"dif/internal/framework"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := model.DefaultGeneratorConfig(8, 24)
+	cfg.Reliability = model.Range{Min: 0.5, Max: 1.0}
+	cfg.LinkDensity = 0.5
+	sys, initial, err := model.NewGenerator(cfg, 7).Generate()
+	if err != nil {
+		return err
+	}
+	avail := objective.Availability{}
+	fmt.Printf("8 hosts, 24 components; initial availability %.4f\n\n",
+		avail.Quantify(sys, initial))
+
+	// Centralized reference: Avala with the global model.
+	ref, err := (&algo.Avala{}).Run(context.Background(), sys, initial,
+		algo.Config{Objective: avail})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("centralized reference (avala, global knowledge): %.4f\n\n", ref.Score)
+
+	// Awareness sweep: the pure algorithm, no live system.
+	fmt.Println("DecAp availability vs awareness (model-level):")
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		aware := decap.Awareness(decap.NewPartialAwareness(sys, frac, 11))
+		if frac == 1.0 {
+			aware = decap.FullAwareness{}
+		}
+		res, err := decap.New(decap.Config{Awareness: aware}).Run(context.Background(), sys, initial)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  awareness %.2f: availability %.4f  (%s)\n",
+			frac, res.Score, res.Stats)
+	}
+
+	// Live decentralized instantiation: every host runs its own monitor,
+	// model, agent, analyzer, and effector.
+	fmt.Println("\nlive decentralized cycle (link awareness):")
+	world, err := framework.NewWorld(sys, initial, framework.WorldConfig{
+		Seed: 3, Monitors: true, DeployerPerHost: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+	dec := framework.NewDecentralized(world, nil)
+	world.StepN(20)
+	rep, err := dec.Cycle(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  local monitoring wrote %d parameters; %d model-sync messages\n",
+		rep.ParamsWritten, rep.SyncMessages)
+	fmt.Printf("  auction protocol: %s\n", rep.Stats)
+	fmt.Printf("  analyzers' poll passed: %v; %d components migrated\n",
+		rep.VotePassed, rep.Moves)
+	fmt.Printf("  availability %.4f -> %.4f\n", rep.AvailabilityBefore, rep.AvailabilityAfter)
+	return nil
+}

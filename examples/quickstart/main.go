@@ -1,0 +1,104 @@
+// Quickstart: build a deployment architecture model, evaluate its
+// availability, run the Avala algorithm to find an improved deployment,
+// and print the before/after comparison — the framework's minimal
+// end-to-end loop, entirely at the model level.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dif/internal/algo"
+	"dif/internal/effector"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Build the model: three hosts with varying connectivity, five
+	//    components with a chatty core.
+	sys := model.NewSystem()
+	sys.Constraints = model.NewConstraints()
+
+	var hostParams model.Params
+	hostParams.Set(model.ParamMemory, 4096)
+	for _, h := range []model.HostID{"laptop", "server", "pda"} {
+		sys.AddHost(h, hostParams)
+	}
+	var compParams model.Params
+	compParams.Set(model.ParamMemory, 512)
+	for _, c := range []model.ComponentID{"ui", "planner", "store", "sensor", "relay"} {
+		sys.AddComponent(c, compParams)
+	}
+
+	link := func(a, b model.HostID, rel, bw, delay float64) {
+		var p model.Params
+		p.Set(model.ParamReliability, rel)
+		p.Set(model.ParamBandwidth, bw)
+		p.Set(model.ParamDelay, delay)
+		if _, err := sys.AddLink(a, b, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	link("laptop", "server", 0.95, 5000, 5)
+	link("laptop", "pda", 0.40, 200, 40)
+	link("server", "pda", 0.60, 500, 25)
+
+	interact := func(a, b model.ComponentID, freq, size float64) {
+		var p model.Params
+		p.Set(model.ParamFrequency, freq)
+		p.Set(model.ParamEventSize, size)
+		if _, err := sys.AddInteraction(a, b, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	interact("ui", "planner", 8, 2)
+	interact("planner", "store", 6, 16)
+	interact("store", "sensor", 1, 4)
+	interact("sensor", "relay", 9, 1)
+	interact("relay", "ui", 2, 1)
+
+	// The sensor is physically tied to the PDA.
+	sys.Constraints.Pin("sensor", "pda")
+
+	// 2. A deliberately poor initial deployment.
+	initial := model.Deployment{
+		"ui": "laptop", "planner": "pda", "store": "laptop",
+		"sensor": "pda", "relay": "server",
+	}
+	avail := objective.Availability{}
+	latency := objective.Latency{}
+	fmt.Printf("initial deployment: %v\n", initial)
+	fmt.Printf("  availability = %.4f   latency = %.1f ms/s\n",
+		avail.Quantify(sys, initial), latency.Quantify(sys, initial))
+
+	// 3. Run the greedy Avala algorithm to maximize availability.
+	result, err := (&algo.Avala{}).Run(context.Background(), sys, initial,
+		algo.Config{Objective: avail})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("improved deployment: %v\n", result.Deployment)
+	fmt.Printf("  availability = %.4f   latency = %.1f ms/s   (found in %v)\n",
+		result.Score, latency.Quantify(sys, result.Deployment), result.Elapsed)
+
+	// 4. Compute the redeployment plan that would effect it.
+	plan, err := effector.ComputePlan(sys, initial, result.Deployment)
+	if err != nil {
+		return err
+	}
+	est := plan.EstimateCost(sys, "server")
+	fmt.Printf("redeployment plan: %d moves, %.0f KB, est. %.0f ms\n",
+		est.Moves, est.BytesKB, est.TransferMS)
+	for _, mv := range plan.Moves {
+		fmt.Printf("  move %-8s %s -> %s\n", mv.Comp, mv.From, mv.To)
+	}
+	return nil
+}

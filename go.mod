@@ -1,0 +1,3 @@
+module dif
+
+go 1.22

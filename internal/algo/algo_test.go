@@ -1,0 +1,146 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// genSystem generates a reproducible architecture for algorithm tests.
+func genSystem(t testing.TB, hosts, comps int, seed int64) (*model.System, model.Deployment) {
+	t.Helper()
+	s, d, err := model.NewGenerator(model.DefaultGeneratorConfig(hosts, comps), seed).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func availability() objective.Quantifier { return objective.Availability{} }
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	want := []string{"avala", "exact", "genetic", "stochastic", "swap"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		a, err := r.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != n {
+			t.Fatalf("algorithm %q reports name %q", n, a.Name())
+		}
+	}
+	if _, err := r.New("nonexistent"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRegistryRegisterUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Register("custom", func() Algorithm { return &Avala{} })
+	if _, err := r.New("custom"); err != nil {
+		t.Fatal(err)
+	}
+	r.Unregister("custom")
+	if _, err := r.New("custom"); err == nil {
+		t.Fatal("unregistered algorithm still available")
+	}
+}
+
+func TestResultImprovementSigns(t *testing.T) {
+	r := Result{Score: 0.9, InitialScore: 0.5}
+	if got := r.Improvement(objective.Availability{}); got != 0.4 {
+		t.Fatalf("maximize improvement = %v, want 0.4", got)
+	}
+	r = Result{Score: 100, InitialScore: 300}
+	if got := r.Improvement(objective.Latency{}); got != 200 {
+		t.Fatalf("minimize improvement = %v, want 200", got)
+	}
+}
+
+func TestSystemConstraintsAdapter(t *testing.T) {
+	s, d := genSystem(t, 3, 8, 1)
+	var c SystemConstraints
+	if err := c.Check(s, d); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+	if err := c.CheckPartial(s, model.Deployment{}); err != nil {
+		t.Fatalf("empty partial rejected: %v", err)
+	}
+	if got := c.Allowed(s, s.ComponentIDs()[0]); len(got) != 3 {
+		t.Fatalf("Allowed = %v", got)
+	}
+}
+
+// runAll is a helper running an algorithm and requiring success.
+func runAll(t *testing.T, a Algorithm, s *model.System, d model.Deployment, cfg Config) Result {
+	t.Helper()
+	res, err := a.Run(context.Background(), s, d, cfg)
+	if err != nil {
+		t.Fatalf("%s failed: %v", a.Name(), err)
+	}
+	if res.Deployment == nil {
+		t.Fatalf("%s returned nil deployment", a.Name())
+	}
+	if err := s.Constraints.Check(s, res.Deployment); err != nil {
+		t.Fatalf("%s returned invalid deployment: %v", a.Name(), err)
+	}
+	return res
+}
+
+func TestAllAlgorithmsSatisfyConstraints(t *testing.T) {
+	s, _ := genSystem(t, 4, 10, 7)
+	s.Constraints.Pin(s.ComponentIDs()[0], s.HostIDs()[1])
+	s.Constraints.ForbidCollocation(s.ComponentIDs()[1], s.ComponentIDs()[2])
+	cfg := Config{Objective: availability(), Seed: 1, Trials: 30}
+	// Build a constraint-valid starting deployment first (the generator's
+	// initial does not know about the constraints added above; Swap
+	// requires a valid starting point).
+	d := runAll(t, &Stochastic{}, s, nil, cfg).Deployment
+	for _, a := range []Algorithm{&Exact{}, &Stochastic{}, &Avala{}, &Swap{}} {
+		res := runAll(t, a, s, d, cfg)
+		if res.Deployment[s.ComponentIDs()[0]] != s.HostIDs()[1] {
+			t.Fatalf("%s ignored pin constraint", a.Name())
+		}
+		if res.Deployment[s.ComponentIDs()[1]] == res.Deployment[s.ComponentIDs()[2]] {
+			t.Fatalf("%s ignored separation constraint", a.Name())
+		}
+	}
+}
+
+func TestAlgorithmsImproveOrMatchInitial(t *testing.T) {
+	s, d := genSystem(t, 4, 12, 3)
+	cfg := Config{Objective: availability(), Seed: 5, Trials: 50}
+	init := availability().Quantify(s, d)
+	for _, a := range []Algorithm{&Stochastic{}, &Avala{}, &Swap{}} {
+		res := runAll(t, a, s, d, cfg)
+		if a.Name() == "swap" && res.Score < init-1e-12 {
+			t.Fatalf("swap degraded the initial deployment: %v < %v", res.Score, init)
+		}
+		if res.Score < 0 || res.Score > 1 {
+			t.Fatalf("%s availability out of range: %v", a.Name(), res.Score)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s, d := genSystem(t, 5, 14, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, a := range []Algorithm{&Exact{}, &Stochastic{}, &Swap{}} {
+		if _, err := a.Run(ctx, s, d, Config{Objective: availability(), Trials: 1000}); err == nil {
+			t.Fatalf("%s ignored cancelled context", a.Name())
+		}
+	}
+}

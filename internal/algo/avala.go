@@ -1,0 +1,347 @@
+package algo
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"dif/internal/model"
+)
+
+// Avala is the paper's greedy algorithm (DSN'04 §5.1, [12]): it
+// incrementally assigns software components to hardware hosts, at each
+// step selecting the assignment that maximally contributes to the
+// objective function by choosing the "best" host and "best" component.
+//
+// The best host is the one with the highest sum of network reliabilities
+// and bandwidths with the other hosts, and the highest memory capacity.
+// The best component is the one with the highest frequency of interaction
+// with other components — weighted toward components already placed on
+// the host being filled — and the lowest required memory. Once found, the
+// best component is assigned to the best host (honoring location and
+// collocation constraints); the algorithm packs the host until full, then
+// moves to the next best host. Complexity O(n³).
+type Avala struct{}
+
+var _ Algorithm = (*Avala)(nil)
+
+// Name implements Algorithm.
+func (*Avala) Name() string { return "avala" }
+
+// Run implements Algorithm.
+func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
+	start := time.Now()
+	res := Result{
+		Algorithm:    a.Name(),
+		InitialScore: scoreInitial(cfg.Objective, s, initial),
+	}
+	check := cfg.checker()
+
+	d := model.NewDeployment(len(s.Components))
+	used := make(map[model.HostID]float64, len(s.Hosts))
+	unplaced := make(map[model.ComponentID]bool, len(s.Components))
+	for _, c := range s.ComponentIDs() {
+		unplaced[c] = true
+	}
+
+	// Pre-place every component pinned to a single host: their locations
+	// are foregone conclusions, and having them on the board lets the
+	// greedy affinity ranking pull their partners toward them.
+	for _, c := range s.ComponentIDs() {
+		allowed := check.Allowed(s, c)
+		if len(allowed) != 1 {
+			continue
+		}
+		h := allowed[0]
+		need := s.Components[c].Memory()
+		if s.Constraints.CheckMemory && used[h]+need > s.Hosts[h].Memory() {
+			res.Elapsed = time.Since(start)
+			return res, ErrNoValidDeployment
+		}
+		d[c] = h
+		if err := check.CheckPartial(s, d); err != nil {
+			res.Elapsed = time.Since(start)
+			return res, ErrNoValidDeployment
+		}
+		used[h] += need
+		delete(unplaced, c)
+	}
+
+	filled := make([]model.HostID, 0, len(s.Hosts))
+	for len(filled) < len(s.Hosts) {
+		select {
+		case <-ctx.Done():
+			res.Elapsed = time.Since(start)
+			return res, ctx.Err()
+		default:
+		}
+		h := nextBestHost(s, filled)
+		a.packHost(s, check, h, d, used, unplaced, &res)
+		filled = append(filled, h)
+		if len(unplaced) == 0 {
+			break
+		}
+	}
+
+	// Repair pass: any component every ranked host rejected (typically a
+	// tight location constraint) goes to its least-loaded allowed host.
+	if len(unplaced) == 0 || a.repair(s, check, d, used, unplaced) {
+		if err := check.Check(s, d); err == nil {
+			res.Evaluations++
+			res.Deployment = d
+			res.Score = cfg.Objective.Quantify(s, d)
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, ErrNoValidDeployment
+}
+
+// packHost fills host h with the best remaining components until none fit.
+func (*Avala) packHost(s *model.System, check ConstraintChecker, h model.HostID,
+	d model.Deployment, used map[model.HostID]float64,
+	unplaced map[model.ComponentID]bool, res *Result) {
+	capacity := s.Hosts[h].Memory()
+	for {
+		best, affinity := bestComponentFor(s, h, d, unplaced)
+		placedAny := false
+		for _, c := range best {
+			// Once anything is placed, only components that positively
+			// benefit from host h join it; the rest wait for a host
+			// they actually interact well with (or the repair pass).
+			if len(d) > 0 && affinity[c] <= 0 {
+				break
+			}
+			res.Nodes++
+			need := s.Components[c].Memory()
+			if s.Constraints.CheckMemory && used[h]+need > capacity {
+				continue
+			}
+			// Skip components that would contribute more on some other
+			// host that still has room for them: greedily claiming them
+			// for h strands their high-frequency partners across weak
+			// links.
+			if betterHostExists(s, check, c, h, affinity[c], d, used) {
+				continue
+			}
+			d[c] = h
+			if err := check.CheckPartial(s, d); err != nil {
+				delete(d, c)
+				continue
+			}
+			used[h] += need
+			delete(unplaced, c)
+			placedAny = true
+			break // re-rank: placements change the affinity scores
+		}
+		if !placedAny {
+			return
+		}
+	}
+}
+
+// repair places stragglers on the allowed host where they contribute the
+// most (breaking ties toward free memory). Reports whether every
+// component ended up placed.
+func (*Avala) repair(s *model.System, check ConstraintChecker,
+	d model.Deployment, used map[model.HostID]float64,
+	unplaced map[model.ComponentID]bool) bool {
+	comps := make([]model.ComponentID, 0, len(unplaced))
+	for c := range unplaced {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	for _, c := range comps {
+		hosts := check.Allowed(s, c)
+		sort.Slice(hosts, func(i, j int) bool {
+			ai := affinityOf(s, c, hosts[i], d)
+			aj := affinityOf(s, c, hosts[j], d)
+			if ai != aj {
+				return ai > aj
+			}
+			fi := s.Hosts[hosts[i]].Memory() - used[hosts[i]]
+			fj := s.Hosts[hosts[j]].Memory() - used[hosts[j]]
+			if fi != fj {
+				return fi > fj
+			}
+			return hosts[i] < hosts[j]
+		})
+		placed := false
+		for _, h := range hosts {
+			need := s.Components[c].Memory()
+			if s.Constraints.CheckMemory && used[h]+need > s.Hosts[h].Memory() {
+				continue
+			}
+			d[c] = h
+			if err := check.CheckPartial(s, d); err != nil {
+				delete(d, c)
+				continue
+			}
+			used[h] += need
+			delete(unplaced, c)
+			placed = true
+			break
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}
+
+// nextBestHost picks the host to fill next. The first host is the
+// globally best-connected one (the paper's criterion: highest sum of
+// network reliabilities and bandwidths with other hosts, and highest
+// memory). Subsequent hosts are chosen by their reliability and bandwidth
+// toward the hosts already filled — the links that the resulting
+// deployment will actually route its remote interactions over.
+func nextBestHost(s *model.System, filled []model.HostID) model.HostID {
+	isFilled := make(map[model.HostID]bool, len(filled))
+	for _, h := range filled {
+		isFilled[h] = true
+	}
+	if len(filled) == 0 {
+		return rankHosts(s)[0]
+	}
+	maxBW, maxMem := 1.0, 1.0
+	for _, l := range s.Links {
+		if bw := l.Bandwidth(); bw > maxBW {
+			maxBW = bw
+		}
+	}
+	for _, h := range s.Hosts {
+		if m := h.Memory(); m > maxMem {
+			maxMem = m
+		}
+	}
+	var best model.HostID
+	bestScore := 0.0
+	first := true
+	for _, h := range s.HostIDs() {
+		if isFilled[h] {
+			continue
+		}
+		score := s.Hosts[h].Memory() / maxMem
+		for _, f := range filled {
+			if l := s.Link(h, f); l != nil {
+				score += l.Reliability() + l.Bandwidth()/maxBW
+			}
+		}
+		if first || score > bestScore {
+			best, bestScore, first = h, score, false
+		}
+	}
+	return best
+}
+
+// rankHosts orders hosts by descending (Σ reliability + Σ normalized
+// bandwidth + normalized memory), the paper's best-host criterion.
+func rankHosts(s *model.System) []model.HostID {
+	hosts := s.HostIDs()
+	maxBW, maxMem := 1.0, 1.0
+	for _, l := range s.Links {
+		if bw := l.Bandwidth(); bw > maxBW {
+			maxBW = bw
+		}
+	}
+	for _, h := range s.Hosts {
+		if m := h.Memory(); m > maxMem {
+			maxMem = m
+		}
+	}
+	score := make(map[model.HostID]float64, len(hosts))
+	for pair, l := range s.Links {
+		v := l.Reliability() + l.Bandwidth()/maxBW
+		score[pair.A] += v
+		score[pair.B] += v
+	}
+	for _, h := range hosts {
+		score[h] += s.Hosts[h].Memory() / maxMem
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		if score[hosts[i]] != score[hosts[j]] {
+			return score[hosts[i]] > score[hosts[j]]
+		}
+		return hosts[i] < hosts[j]
+	})
+	return hosts
+}
+
+// betterHostExists reports whether some other allowed host with free
+// capacity offers component c a strictly higher affinity than its
+// affinity on h.
+func betterHostExists(s *model.System, check ConstraintChecker, c model.ComponentID,
+	h model.HostID, affinityOnH float64, d model.Deployment, used map[model.HostID]float64) bool {
+	need := s.Components[c].Memory()
+	for _, other := range check.Allowed(s, c) {
+		if other == h {
+			continue
+		}
+		if s.Constraints.CheckMemory && used[other]+need > s.Hosts[other].Memory() {
+			continue
+		}
+		if affinityOf(s, c, other, d) > affinityOnH {
+			return true
+		}
+	}
+	return false
+}
+
+// affinityOf scores placing component c on host h given the partial
+// deployment d: full frequency for partners already on h, link-reliability
+// weighted frequency for partners elsewhere, and (only while nothing at
+// all is placed) full frequency for unplaced partners.
+func affinityOf(s *model.System, c model.ComponentID, h model.HostID, d model.Deployment) float64 {
+	a := 0.0
+	for _, link := range s.InteractionsOf(c) {
+		other := link.Components.A
+		if other == c {
+			other = link.Components.B
+		}
+		f := link.Frequency()
+		if oh, ok := d[other]; ok {
+			if oh == h {
+				a += f
+			} else {
+				a += f * s.Reliability(h, oh)
+			}
+		} else if len(d) == 0 {
+			a += f
+		}
+	}
+	return a
+}
+
+// bestComponentFor ranks the unplaced components for host h by descending
+// affinity and ascending memory. Affinity counts interaction frequency
+// with components already on h at full weight (they would become local)
+// and frequency with components on other hosts at the connecting link's
+// reliability. When nothing is placed yet, the seed component is the one
+// with the highest total interaction frequency (the paper's criterion).
+func bestComponentFor(s *model.System, h model.HostID, d model.Deployment,
+	unplaced map[model.ComponentID]bool) ([]model.ComponentID, map[model.ComponentID]float64) {
+	comps := make([]model.ComponentID, 0, len(unplaced))
+	for c := range unplaced {
+		comps = append(comps, c)
+	}
+	affinity := make(map[model.ComponentID]float64, len(comps))
+	for _, c := range comps {
+		affinity[c] = affinityOf(s, c, h, d)
+	}
+	maxMem := 1.0
+	for _, c := range comps {
+		if m := s.Components[c].Memory(); m > maxMem {
+			maxMem = m
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		si := affinity[comps[i]] - s.Components[comps[i]].Memory()/maxMem
+		sj := affinity[comps[j]] - s.Components[comps[j]].Memory()/maxMem
+		if si != sj {
+			return si > sj
+		}
+		return comps[i] < comps[j]
+	})
+	return comps, affinity
+}

@@ -1,0 +1,74 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+func benchSystem(b *testing.B, hosts, comps int) (*model.System, model.Deployment) {
+	b.Helper()
+	cfg := model.DefaultGeneratorConfig(hosts, comps)
+	avg := cfg.ComponentMemory.Mid()
+	fair := avg * float64(comps) / float64(hosts)
+	cfg.HostMemory = model.Range{Min: fair, Max: fair * 1.5}
+	cfg.MemoryHeadroom = 1.2
+	s, d, err := model.NewGenerator(cfg, 1).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, d
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	s, d := benchSystem(b, 4, 10)
+	cfg := Config{Objective: objective.Availability{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Exact{}).Run(context.Background(), s, d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochastic(b *testing.B) {
+	for _, size := range []struct{ h, c int }{{5, 50}, {10, 100}} {
+		b.Run(fmt.Sprintf("%dx%d", size.h, size.c), func(b *testing.B) {
+			s, d := benchSystem(b, size.h, size.c)
+			cfg := Config{Objective: objective.Availability{}, Seed: 1, Trials: 20}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&Stochastic{}).Run(context.Background(), s, d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAvala(b *testing.B) {
+	for _, size := range []struct{ h, c int }{{5, 50}, {10, 100}} {
+		b.Run(fmt.Sprintf("%dx%d", size.h, size.c), func(b *testing.B) {
+			s, d := benchSystem(b, size.h, size.c)
+			cfg := Config{Objective: objective.Availability{}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&Avala{}).Run(context.Background(), s, d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAvailabilityQuantify(b *testing.B) {
+	s, d := benchSystem(b, 10, 100)
+	q := objective.Availability{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Quantify(s, d)
+	}
+}

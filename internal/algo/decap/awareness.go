@@ -1,0 +1,83 @@
+package decap
+
+import (
+	"math/rand"
+
+	"dif/internal/model"
+)
+
+// Awareness defines the extent of each host's knowledge about the global
+// system (DSN'04 §5.2): which other hosts a given host knows about, and
+// hence can auction to and bid for. Two hosts unaware of each other never
+// exchange model data or components.
+type Awareness interface {
+	// Neighbors returns the hosts h is aware of (excluding h), sorted.
+	Neighbors(s *model.System, h model.HostID) []model.HostID
+}
+
+// LinkAwareness makes each host aware of exactly the hosts it shares a
+// physical link with — the paper's default "directly connected" notion.
+type LinkAwareness struct{}
+
+var _ Awareness = LinkAwareness{}
+
+// Neighbors implements Awareness.
+func (LinkAwareness) Neighbors(s *model.System, h model.HostID) []model.HostID {
+	return s.Neighbors(h)
+}
+
+// FullAwareness gives every host global knowledge: the decentralized
+// protocol then approximates a centralized algorithm (the top of the E3
+// awareness sweep).
+type FullAwareness struct{}
+
+var _ Awareness = FullAwareness{}
+
+// Neighbors implements Awareness.
+func (FullAwareness) Neighbors(s *model.System, h model.HostID) []model.HostID {
+	var out []model.HostID
+	for _, other := range s.HostIDs() {
+		if other != h {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// PartialAwareness keeps, for each host, a deterministic random fraction
+// of its physical-link neighbors. Fraction 1 equals LinkAwareness;
+// fraction 0 leaves every host isolated (no auctions succeed). Awareness
+// is kept symmetric: a knows b iff b knows a.
+type PartialAwareness struct {
+	keep map[model.HostPair]bool
+}
+
+var _ Awareness = (*PartialAwareness)(nil)
+
+// NewPartialAwareness samples each physical link into the awareness graph
+// with probability fraction, using the seed for reproducibility.
+func NewPartialAwareness(s *model.System, fraction float64, seed int64) *PartialAwareness {
+	rng := rand.New(rand.NewSource(seed))
+	keep := make(map[model.HostPair]bool, len(s.Links))
+	for _, pair := range s.LinkKeys() {
+		keep[pair] = rng.Float64() < fraction
+	}
+	return &PartialAwareness{keep: keep}
+}
+
+// Neighbors implements Awareness.
+func (p *PartialAwareness) Neighbors(s *model.System, h model.HostID) []model.HostID {
+	var out []model.HostID
+	for pair, kept := range p.keep {
+		if !kept {
+			continue
+		}
+		switch h {
+		case pair.A:
+			out = append(out, pair.B)
+		case pair.B:
+			out = append(out, pair.A)
+		}
+	}
+	return sortHosts(out)
+}

@@ -1,0 +1,97 @@
+package decap
+
+import (
+	"dif/internal/algo"
+	"dif/internal/model"
+)
+
+// Coordination is DecAp's third variation point (DSN'04 §4.3, Figure 7:
+// the algorithm body, the objective, the constraints, and the
+// CoordinationImplementation): the protocol agents use to agree on where
+// an auctioned component goes. The paper names auctions and distributed
+// voting as examples; this package provides the auction (the published
+// DecAp protocol) and a cheaper first-fit claim protocol as a
+// message-economy baseline.
+type Coordination interface {
+	// Name identifies the protocol ("auction", "firstfit").
+	Name() string
+	// Settle decides where the announced component should live.
+	// It returns the winning host ("" to keep the component where it
+	// is) and updates stats with the messages the round exchanged.
+	Settle(s *model.System, check algo.ConstraintChecker,
+		agents map[model.HostID]*agent, auctioneer *agent,
+		ann announcement, d model.Deployment, minGain float64,
+		stats *Stats) model.HostID
+}
+
+// AuctionCoordination is the published DecAp protocol: the auctioneer
+// announces to every aware neighbor, collects all bids, and awards the
+// component to the strictly best bidder.
+type AuctionCoordination struct{}
+
+var _ Coordination = AuctionCoordination{}
+
+// Name implements Coordination.
+func (AuctionCoordination) Name() string { return "auction" }
+
+// Settle implements Coordination.
+func (AuctionCoordination) Settle(s *model.System, check algo.ConstraintChecker,
+	agents map[model.HostID]*agent, auctioneer *agent,
+	ann announcement, d model.Deployment, minGain float64,
+	stats *Stats) model.HostID {
+	retain := auctioneer.contribution(s, ann, d, auctioneer.host)
+	bestBid := retain
+	var winner model.HostID
+	for _, nb := range auctioneer.neighbors {
+		stats.Announcements++
+		bidder := agents[nb]
+		bid, ok := bidder.bid(s, check, ann, d)
+		if !ok {
+			continue
+		}
+		stats.Bids++
+		if bid > bestBid {
+			bestBid = bid
+			winner = nb
+		}
+	}
+	if winner == "" || bestBid-retain <= minGain {
+		return ""
+	}
+	return winner
+}
+
+// FirstFitCoordination is the message-economy alternative: the
+// auctioneer offers the component to its neighbors one at a time and
+// hands it to the first one whose bid beats the retention value, without
+// waiting for the rest. Fewer messages per settlement; because the
+// protocol iterates in rounds, the end quality stays close to the
+// auction's — the trade-off the coordination variation point exists to
+// explore.
+type FirstFitCoordination struct{}
+
+var _ Coordination = FirstFitCoordination{}
+
+// Name implements Coordination.
+func (FirstFitCoordination) Name() string { return "firstfit" }
+
+// Settle implements Coordination.
+func (FirstFitCoordination) Settle(s *model.System, check algo.ConstraintChecker,
+	agents map[model.HostID]*agent, auctioneer *agent,
+	ann announcement, d model.Deployment, minGain float64,
+	stats *Stats) model.HostID {
+	retain := auctioneer.contribution(s, ann, d, auctioneer.host)
+	for _, nb := range auctioneer.neighbors {
+		stats.Announcements++
+		bidder := agents[nb]
+		bid, ok := bidder.bid(s, check, ann, d)
+		if !ok {
+			continue
+		}
+		stats.Bids++
+		if bid-retain > minGain {
+			return nb
+		}
+	}
+	return ""
+}

@@ -1,0 +1,335 @@
+// Package decap implements DecAp (DSN'04 §5.2, [10]), the decentralized
+// auction-based redeployment algorithm. Unlike the centralized algorithms
+// in package algo, DecAp runs one agent per host; no agent holds the
+// global system model. Each agent knows only the hosts it is "aware" of —
+// by default, those it shares a physical link with — and improves the
+// system's availability by auctioning its local components: aware
+// neighbors bid the availability contribution the component would gain on
+// their host, the auctioneer compares the best bid with its own retention
+// value, and the component migrates to the winner.
+//
+// The protocol runs in synchronized rounds. Within a round a host
+// initiates an auction only when none of its neighbors is already
+// conducting one (the paper's mutual-exclusion rule), so concurrent
+// auctions never contend for the same component or the same knowledge.
+// Complexity is O(k·n³) for k hosts and n components.
+package decap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dif/internal/algo"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// Config parameterizes a DecAp run.
+type Config struct {
+	// Awareness defines which hosts know about each other; nil selects
+	// LinkAwareness (hosts sharing a physical link).
+	Awareness Awareness
+	// MaxRounds bounds the number of auction rounds; zero selects
+	// DefaultMaxRounds.
+	MaxRounds int
+	// MinGain is the minimum availability-contribution improvement a bid
+	// must offer over the retention value before a component migrates.
+	// Guards against migration thrash on ties; zero selects DefaultMinGain.
+	MinGain float64
+	// Constraints is the constraint checker; nil uses the system's own.
+	Constraints algo.ConstraintChecker
+	// Coordination selects the settlement protocol (Figure 7's
+	// CoordinationImplementation variation point); nil selects the
+	// published auction.
+	Coordination Coordination
+}
+
+// Protocol tuning defaults.
+const (
+	DefaultMaxRounds = 10
+	DefaultMinGain   = 1e-9
+)
+
+// Stats counts the protocol's distributed coordination work, used by the
+// instantiation comparison experiments.
+type Stats struct {
+	Rounds        int
+	Auctions      int
+	Announcements int // auction messages sent to neighbors
+	Bids          int // bid messages returned
+	Awards        int // award messages (successful migrations)
+	Migrations    int
+	BytesMoved    float64 // KB of component state shipped
+}
+
+// Result extends the common algorithm result with protocol statistics.
+type Result struct {
+	algo.Result
+	Stats Stats
+}
+
+// DecAp is the decentralized auction algorithm. It also satisfies
+// algo.Algorithm through the Adapter type.
+type DecAp struct {
+	cfg Config
+}
+
+// New returns a DecAp instance with the given configuration.
+func New(cfg Config) *DecAp {
+	return &DecAp{cfg: cfg}
+}
+
+// Name returns the algorithm name.
+func (*DecAp) Name() string { return "decap" }
+
+// errIncompleteInitial is returned when the initial deployment does not
+// place every component: a decentralized protocol can only move existing
+// placements, never invent them.
+var errIncompleteInitial = errors.New("decap requires a complete initial deployment")
+
+// Run executes the auction protocol and returns the improved deployment
+// with protocol statistics. The objective is fixed to availability — the
+// protocol's bids are availability contributions — but the result also
+// reports the score under cfg.Objective when one is supplied.
+func (a *DecAp) Run(ctx context.Context, s *model.System, initial model.Deployment) (Result, error) {
+	start := time.Now()
+	res := Result{Result: algo.Result{Algorithm: a.Name()}}
+	if initial == nil || initial.Validate(s) != nil {
+		return res, errIncompleteInitial
+	}
+	check := a.cfg.Constraints
+	if check == nil {
+		check = algo.SystemConstraints{}
+	}
+	aware := a.cfg.Awareness
+	if aware == nil {
+		aware = LinkAwareness{}
+	}
+	maxRounds := a.cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	minGain := a.cfg.MinGain
+	if minGain <= 0 {
+		minGain = DefaultMinGain
+	}
+	coord := a.cfg.Coordination
+	if coord == nil {
+		coord = AuctionCoordination{}
+	}
+
+	quant := objective.Availability{}
+	res.InitialScore = quant.Quantify(s, initial)
+
+	agents := buildAgents(s, aware)
+	d := initial.Clone()
+
+	for round := 0; round < maxRounds; round++ {
+		select {
+		case <-ctx.Done():
+			res.Deployment = d
+			res.Score = quant.Quantify(s, d)
+			res.Elapsed = time.Since(start)
+			return res, ctx.Err()
+		default:
+		}
+		res.Stats.Rounds = round + 1
+		moved := a.round(s, check, coord, agents, d, &res.Stats, minGain, round)
+		if !moved {
+			break
+		}
+	}
+
+	res.Deployment = d
+	res.Score = quant.Quantify(s, d)
+	res.Evaluations = res.Stats.Bids
+	res.Nodes = res.Stats.Auctions
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// round runs one synchronized auction round and reports whether any
+// component migrated. The paper's mutual-exclusion rule — a host
+// initiates an auction only when none of its neighbors is already
+// conducting one — is trivially satisfied here because the simulation
+// executes the round's auctions sequentially; rotating the starting host
+// between rounds keeps the rule from degenerating into starvation of the
+// lexicographically later hosts.
+func (a *DecAp) round(s *model.System, check algo.ConstraintChecker,
+	coord Coordination, agents map[model.HostID]*agent, d model.Deployment,
+	stats *Stats, minGain float64, roundNum int) bool {
+	hosts := s.HostIDs()
+	moved := false
+	for i := range hosts {
+		h := hosts[(i+roundNum)%len(hosts)]
+		if a.auctionHost(s, check, coord, agents, agents[h], d, stats, minGain) {
+			moved = true
+		}
+	}
+	return moved
+}
+
+// auctionHost offers every component currently on the agent's host to
+// the coordination protocol for settlement.
+func (a *DecAp) auctionHost(s *model.System, check algo.ConstraintChecker,
+	coord Coordination, agents map[model.HostID]*agent, auctioneer *agent,
+	d model.Deployment, stats *Stats, minGain float64) bool {
+	moved := false
+	for _, c := range d.ComponentsOn(auctioneer.host) {
+		stats.Auctions++
+		announce := makeAnnouncement(s, c)
+		winner := coord.Settle(s, check, agents, auctioneer, announce, d, minGain, stats)
+		if winner == "" {
+			continue
+		}
+		// Award: migrate the component to the winner.
+		stats.Awards++
+		stats.Migrations++
+		stats.BytesMoved += s.Components[c].Memory()
+		d[c] = winner
+		moved = true
+	}
+	return moved
+}
+
+// announcement is the auction message describing the component on offer:
+// its identity, size, and interaction profile — everything a bidder needs
+// to value it (the paper: "name, size, and so on").
+type announcement struct {
+	comp model.ComponentID
+	mem  float64
+	// partners lists the component's logical links: partner component and
+	// interaction frequency.
+	partners []partnerLink
+}
+
+type partnerLink struct {
+	other model.ComponentID
+	freq  float64
+}
+
+func makeAnnouncement(s *model.System, c model.ComponentID) announcement {
+	ann := announcement{comp: c, mem: s.Components[c].Memory()}
+	for _, link := range s.InteractionsOf(c) {
+		other := link.Components.A
+		if other == c {
+			other = link.Components.B
+		}
+		ann.partners = append(ann.partners, partnerLink{other: other, freq: link.Frequency()})
+	}
+	return ann
+}
+
+// agent is one host's DecAp participant. Its knowledge is restricted to
+// its awareness neighborhood: itself, its neighbors, and the physical
+// links among them.
+type agent struct {
+	host      model.HostID
+	neighbors []model.HostID // sorted
+	knows     map[model.HostID]bool
+}
+
+func buildAgents(s *model.System, aware Awareness) map[model.HostID]*agent {
+	agents := make(map[model.HostID]*agent, len(s.Hosts))
+	for _, h := range s.HostIDs() {
+		nbs := aware.Neighbors(s, h)
+		knows := make(map[model.HostID]bool, len(nbs)+1)
+		knows[h] = true
+		for _, nb := range nbs {
+			knows[nb] = true
+		}
+		agents[h] = &agent{host: h, neighbors: nbs, knows: knows}
+	}
+	return agents
+}
+
+// contribution values placing the announced component on host target,
+// using only the agent's local knowledge: interactions with components on
+// unknown hosts are worth nothing to it.
+func (ag *agent) contribution(s *model.System, ann announcement, d model.Deployment,
+	target model.HostID) float64 {
+	total := 0.0
+	for _, p := range ann.partners {
+		ph, ok := d[p.other]
+		if !ok || !ag.knows[ph] {
+			continue
+		}
+		total += p.freq * s.Reliability(target, ph)
+	}
+	return total
+}
+
+// bid values hosting the announced component. It returns ok=false when
+// the agent cannot legally host it (memory, location, or collocation
+// constraints).
+func (ag *agent) bid(s *model.System, check algo.ConstraintChecker,
+	ann announcement, d model.Deployment) (float64, bool) {
+	if !canHost(s, check, ann, d, ag.host) {
+		return 0, false
+	}
+	return ag.contribution(s, ann, d, ag.host), true
+}
+
+// canHost simulates the migration and validates the constraints it can
+// affect.
+func canHost(s *model.System, check algo.ConstraintChecker, ann announcement,
+	d model.Deployment, target model.HostID) bool {
+	if target == d[ann.comp] {
+		return true
+	}
+	if s.Constraints.CheckMemory {
+		if d.UsedMemory(s, target)+ann.mem > s.Hosts[target].Memory() {
+			return false
+		}
+	}
+	trial := d.Clone()
+	trial[ann.comp] = target
+	return check.CheckPartial(s, trial) == nil
+}
+
+// Adapter exposes DecAp through the centralized algo.Algorithm interface
+// so DeSi's AlgorithmContainer can hold it alongside the centralized
+// algorithms. The cfg.Objective is used only for result reporting; the
+// protocol itself optimizes availability.
+type Adapter struct {
+	Config Config
+}
+
+var _ algo.Algorithm = (*Adapter)(nil)
+
+// Name implements algo.Algorithm.
+func (*Adapter) Name() string { return "decap" }
+
+// Run implements algo.Algorithm.
+func (ad *Adapter) Run(ctx context.Context, s *model.System, initial model.Deployment,
+	cfg algo.Config) (algo.Result, error) {
+	inner := ad.Config
+	if inner.Constraints == nil {
+		inner.Constraints = cfg.Constraints
+	}
+	res, err := New(inner).Run(ctx, s, initial)
+	if err != nil {
+		return res.Result, err
+	}
+	out := res.Result
+	if cfg.Objective != nil && cfg.Objective.Name() != (objective.Availability{}).Name() {
+		out.Score = cfg.Objective.Quantify(s, out.Deployment)
+		out.InitialScore = cfg.Objective.Quantify(s, initial)
+	}
+	return out, nil
+}
+
+// String summarizes protocol statistics.
+func (st Stats) String() string {
+	return fmt.Sprintf("rounds=%d auctions=%d announcements=%d bids=%d awards=%d migrations=%d bytesMoved=%.1fKB",
+		st.Rounds, st.Auctions, st.Announcements, st.Bids, st.Awards, st.Migrations, st.BytesMoved)
+}
+
+// sortHosts sorts a host slice in place and returns it.
+func sortHosts(hs []model.HostID) []model.HostID {
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}

@@ -1,0 +1,260 @@
+package decap
+
+import (
+	"context"
+	"testing"
+
+	"dif/internal/algo"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+func genSystem(t testing.TB, hosts, comps int, seed int64) (*model.System, model.Deployment) {
+	t.Helper()
+	s, d, err := model.NewGenerator(model.DefaultGeneratorConfig(hosts, comps), seed).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestDecApImprovesAvailability(t *testing.T) {
+	var improved int
+	for seed := int64(0); seed < 6; seed++ {
+		s, d := genSystem(t, 6, 18, seed)
+		res, err := New(Config{}).Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Score < res.InitialScore-1e-9 {
+			t.Fatalf("seed %d: decap degraded availability %v → %v",
+				seed, res.InitialScore, res.Score)
+		}
+		if res.Score > res.InitialScore+1e-9 {
+			improved++
+		}
+		if err := s.Constraints.Check(s, res.Deployment); err != nil {
+			t.Fatalf("seed %d: invalid deployment: %v", seed, err)
+		}
+	}
+	if improved < 4 {
+		t.Fatalf("decap improved only %d of 6 seeds", improved)
+	}
+}
+
+func TestDecApNeverDegrades(t *testing.T) {
+	for seed := int64(10); seed < 20; seed++ {
+		s, d := genSystem(t, 5, 15, seed)
+		res, err := New(Config{}).Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score < res.InitialScore-1e-9 {
+			t.Fatalf("seed %d degraded: %v → %v", seed, res.InitialScore, res.Score)
+		}
+	}
+}
+
+func TestDecApRequiresCompleteInitial(t *testing.T) {
+	s, d := genSystem(t, 3, 6, 1)
+	if _, err := New(Config{}).Run(context.Background(), s, nil); err == nil {
+		t.Fatal("nil initial accepted")
+	}
+	incomplete := d.Clone()
+	delete(incomplete, s.ComponentIDs()[0])
+	if _, err := New(Config{}).Run(context.Background(), s, incomplete); err == nil {
+		t.Fatal("incomplete initial accepted")
+	}
+}
+
+func TestDecApRespectsConstraints(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 3)
+	comps := s.ComponentIDs()
+	pinned := comps[0]
+	s.Constraints.Pin(pinned, d[pinned]) // cannot move
+	s.Constraints.ForbidCollocation(comps[1], comps[2])
+	// Make the initial satisfy the separation constraint.
+	if d[comps[1]] == d[comps[2]] {
+		for _, h := range s.HostIDs() {
+			if h != d[comps[1]] {
+				d[comps[2]] = h
+				break
+			}
+		}
+	}
+	res, err := New(Config{}).Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deployment[pinned] != d[pinned] {
+		t.Fatal("pinned component migrated")
+	}
+	if res.Deployment[comps[1]] == res.Deployment[comps[2]] {
+		t.Fatal("separation constraint violated")
+	}
+}
+
+func TestDecApMemoryConstraint(t *testing.T) {
+	// Two hosts, tight memory: the target host cannot absorb everything.
+	s := model.NewSystem()
+	s.Constraints = model.NewConstraints()
+	var hp model.Params
+	hp.Set(model.ParamMemory, 25)
+	s.AddHost("h1", hp)
+	s.AddHost("h2", hp)
+	var cp model.Params
+	cp.Set(model.ParamMemory, 10)
+	for _, c := range []model.ComponentID{"c1", "c2", "c3", "c4"} {
+		s.AddComponent(c, cp)
+	}
+	var lp model.Params
+	lp.Set(model.ParamReliability, 0.5)
+	lp.Set(model.ParamBandwidth, 100)
+	if _, err := s.AddLink("h1", "h2", lp); err != nil {
+		t.Fatal(err)
+	}
+	var ip model.Params
+	ip.Set(model.ParamFrequency, 5)
+	for _, pair := range [][2]model.ComponentID{{"c1", "c2"}, {"c1", "c3"}, {"c1", "c4"}} {
+		if _, err := s.AddInteraction(pair[0], pair[1], ip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := model.Deployment{"c1": "h1", "c2": "h1", "c3": "h2", "c4": "h2"}
+	res, err := New(Config{}).Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Constraints.Check(s, res.Deployment); err != nil {
+		t.Fatalf("memory constraint violated: %v", err)
+	}
+}
+
+func TestDecApAwarenessMonotonic(t *testing.T) {
+	// More awareness should not hurt availability (statistically): compare
+	// totals over seeds for fractions 0.25 and 1.0.
+	var low, high float64
+	for seed := int64(0); seed < 6; seed++ {
+		s, d := genSystem(t, 8, 24, seed)
+		pa := NewPartialAwareness(s, 0.25, seed)
+		resLow, err := New(Config{Awareness: pa}).Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resHigh, err := New(Config{Awareness: FullAwareness{}}).Run(context.Background(), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		low += resLow.Score
+		high += resHigh.Score
+	}
+	if high < low {
+		t.Fatalf("full awareness total %v below partial awareness total %v", high, low)
+	}
+}
+
+func TestDecApZeroAwarenessIsNoOp(t *testing.T) {
+	s, d := genSystem(t, 4, 8, 2)
+	pa := NewPartialAwareness(s, 0, 1)
+	res, err := New(Config{Awareness: pa}).Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deployment.Equal(d) {
+		t.Fatal("isolated hosts still migrated components")
+	}
+	if res.Stats.Migrations != 0 || res.Stats.Bids != 0 {
+		t.Fatalf("isolated hosts produced protocol traffic: %+v", res.Stats)
+	}
+}
+
+func TestDecApStatsConsistency(t *testing.T) {
+	s, d := genSystem(t, 6, 20, 4)
+	res, err := New(Config{}).Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Auctions <= 0 || st.Rounds <= 0 {
+		t.Fatalf("missing protocol stats: %+v", st)
+	}
+	if st.Bids > st.Announcements {
+		t.Fatalf("more bids (%d) than announcements (%d)", st.Bids, st.Announcements)
+	}
+	if st.Awards != st.Migrations {
+		t.Fatalf("awards %d != migrations %d", st.Awards, st.Migrations)
+	}
+	if st.Migrations > 0 && st.BytesMoved <= 0 {
+		t.Fatal("migrations recorded but no bytes moved")
+	}
+}
+
+func TestDecApTerminates(t *testing.T) {
+	s, d := genSystem(t, 6, 18, 5)
+	res, err := New(Config{MaxRounds: 100}).Run(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinGain hysteresis must stop the protocol well before 100 rounds.
+	if res.Stats.Rounds >= 100 {
+		t.Fatalf("protocol did not converge: %d rounds", res.Stats.Rounds)
+	}
+}
+
+func TestDecApContextCancellation(t *testing.T) {
+	s, d := genSystem(t, 5, 12, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(Config{}).Run(ctx, s, d); err == nil {
+		t.Fatal("cancelled context ignored")
+	}
+}
+
+func TestDecApAdapterImplementsAlgorithm(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 6)
+	var a algo.Algorithm = &Adapter{}
+	res, err := a.Run(context.Background(), s, d, algo.Config{Objective: objective.Availability{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "decap" || res.Deployment == nil {
+		t.Fatalf("adapter result malformed: %+v", res)
+	}
+	// With a different reporting objective the adapter rescores.
+	res2, err := a.Run(context.Background(), s, d, algo.Config{Objective: objective.Latency{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := objective.Latency{}.Quantify(s, res2.Deployment)
+	if diff := res2.Score - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("adapter score %v, want latency %v", res2.Score, want)
+	}
+}
+
+func TestAwarenessImplementations(t *testing.T) {
+	s, _ := genSystem(t, 5, 5, 3)
+	h := s.HostIDs()[0]
+	full := FullAwareness{}.Neighbors(s, h)
+	if len(full) != 4 {
+		t.Fatalf("full awareness = %v", full)
+	}
+	link := LinkAwareness{}.Neighbors(s, h)
+	if len(link) != len(s.Neighbors(h)) {
+		t.Fatalf("link awareness %v != physical neighbors %v", link, s.Neighbors(h))
+	}
+	// Partial awareness is symmetric.
+	pa := NewPartialAwareness(s, 0.5, 9)
+	for _, a := range s.HostIDs() {
+		for _, b := range pa.Neighbors(s, a) {
+			found := false
+			for _, back := range pa.Neighbors(s, b) {
+				if back == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("awareness not symmetric: %s knows %s but not vice versa", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package algo
+
+import (
+	"context"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// Exact tries every possible deployment and selects the one that results
+// in the best objective value while satisfying all constraints (DSN'04
+// §5.1). It guarantees an optimal deployment when any valid deployment
+// exists. Its complexity in the general case is O(k^n) for k hosts and n
+// components; fixing m components to hosts via location constraints
+// reduces it to O(k^(n-m)).
+//
+// Two prunings keep the search practical at the paper's "very small"
+// scales (≈5 hosts, ≈15 components): partial-constraint pruning (memory /
+// location / collocation violations cut subtrees) and, for the
+// availability objective, branch-and-bound with an admissible optimistic
+// bound.
+type Exact struct{}
+
+var _ Algorithm = (*Exact)(nil)
+
+// Name implements Algorithm.
+func (*Exact) Name() string { return "exact" }
+
+// Run implements Algorithm.
+func (e *Exact) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
+	start := time.Now()
+	res := Result{
+		Algorithm:    e.Name(),
+		InitialScore: scoreInitial(cfg.Objective, s, initial),
+	}
+	check := cfg.checker()
+
+	comps := s.ComponentIDs()
+	// Order components by descending memory so capacity violations prune
+	// early, then by ID for determinism.
+	sortByMemoryDesc(s, comps)
+
+	allowed := make([][]model.HostID, len(comps))
+	for i, c := range comps {
+		allowed[i] = check.Allowed(s, c)
+		if len(allowed[i]) == 0 {
+			res.Elapsed = time.Since(start)
+			return res, ErrNoValidDeployment
+		}
+	}
+
+	search := &exactSearch{
+		sys:     s,
+		cfg:     cfg,
+		check:   check,
+		comps:   comps,
+		allowed: allowed,
+		best:    objective.Worst(cfg.Objective),
+	}
+	if supportsIncremental(cfg.Objective) {
+		search.avail = newAvailState(s)
+	}
+	search.partial = model.NewDeployment(len(comps))
+	search.used = make(map[model.HostID]float64, len(s.Hosts))
+
+	err := search.walk(ctx, 0)
+	res.Evaluations = search.evals
+	res.Nodes = search.nodes
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		res.Deployment = search.bestD
+		res.Score = search.best
+		return res, err
+	}
+	if search.bestD == nil {
+		return res, ErrNoValidDeployment
+	}
+	res.Deployment = search.bestD
+	res.Score = search.best
+	return res, nil
+}
+
+type exactSearch struct {
+	sys     *model.System
+	cfg     Config
+	check   ConstraintChecker
+	comps   []model.ComponentID
+	allowed [][]model.HostID
+
+	partial model.Deployment
+	used    map[model.HostID]float64 // memory in use per host
+	avail   *availState              // non-nil for availability fast path
+
+	best  float64
+	bestD model.Deployment
+	evals int
+	nodes int
+}
+
+// walk recursively assigns comps[i:]; it checks ctx every few thousand
+// nodes so cancellation stays cheap.
+func (x *exactSearch) walk(ctx context.Context, i int) error {
+	x.nodes++
+	if x.nodes&0xfff == 1 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	if i == len(x.comps) {
+		x.evals++
+		var score float64
+		if x.avail != nil {
+			score = x.avail.score()
+		} else {
+			score = x.cfg.Objective.Quantify(x.sys, x.partial)
+		}
+		if x.bestD == nil || objective.Better(x.cfg.Objective, score, x.best) {
+			// Full-constraint recheck guards against checkers whose
+			// complete-deployment rules are stricter than the partial ones.
+			if err := x.check.Check(x.sys, x.partial); err == nil {
+				x.best = score
+				x.bestD = x.partial.Clone()
+			}
+		}
+		return nil
+	}
+	c := x.comps[i]
+	need := x.sys.Components[c].Memory()
+	for _, h := range x.allowed[i] {
+		if x.sys.Constraints.CheckMemory && x.used[h]+need > x.sys.Hosts[h].Memory() {
+			continue
+		}
+		x.partial[c] = h
+		if err := x.check.CheckPartial(x.sys, x.partial); err != nil {
+			delete(x.partial, c)
+			continue
+		}
+		x.used[h] += need
+		if x.avail != nil {
+			x.avail.place(c, h)
+			// Branch-and-bound: prune when even a perfect completion
+			// cannot beat the incumbent.
+			if x.bestD != nil && x.avail.optimistic() <= x.best {
+				x.avail.unplace(c)
+				x.used[h] -= need
+				delete(x.partial, c)
+				continue
+			}
+		}
+		if err := x.walk(ctx, i+1); err != nil {
+			return err
+		}
+		if x.avail != nil {
+			x.avail.unplace(c)
+		}
+		x.used[h] -= need
+		delete(x.partial, c)
+	}
+	return nil
+}
+
+// sortByMemoryDesc orders components by descending memory requirement,
+// breaking ties by ID.
+func sortByMemoryDesc(s *model.System, comps []model.ComponentID) {
+	memOf := func(c model.ComponentID) float64 { return s.Components[c].Memory() }
+	sortComponentsBy(comps, func(a, b model.ComponentID) bool {
+		ma, mb := memOf(a), memOf(b)
+		if ma != mb {
+			return ma > mb
+		}
+		return a < b
+	})
+}
+
+func sortComponentsBy(comps []model.ComponentID, less func(a, b model.ComponentID) bool) {
+	// Insertion sort keeps this dependency-free and stable; component
+	// slices here are small relative to the search cost.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && less(comps[j], comps[j-1]); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package algo
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// Genetic is the evolutionary algorithm body the paper names as an
+// example main body alongside the greedy one (DSN'04 §4.3, Figure 7:
+// "the algorithm's approach (e.g., greedy algorithm, genetic algorithm,
+// etc.)"). A population of valid deployments evolves through tournament
+// selection, single-point crossover over the sorted component list, and
+// mutation (random re-placement of a component); constraint-violating
+// offspring are repaired or discarded.
+//
+// Config.Trials bounds the number of generations (default
+// DefaultGenerations); the population size is fixed.
+type Genetic struct {
+	// PopulationSize is the number of deployments per generation
+	// (default 30).
+	PopulationSize int
+	// MutationRate is the per-offspring probability of a mutation
+	// (default 0.3).
+	MutationRate float64
+	// Elite is how many best deployments survive unchanged (default 2).
+	Elite int
+}
+
+var _ Algorithm = (*Genetic)(nil)
+
+// Genetic defaults.
+const (
+	DefaultGenerations    = 60
+	defaultPopulationSize = 30
+	defaultMutationRate   = 0.3
+	defaultElite          = 2
+)
+
+// Name implements Algorithm.
+func (*Genetic) Name() string { return "genetic" }
+
+// Run implements Algorithm.
+func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
+	start := time.Now()
+	res := Result{
+		Algorithm:    g.Name(),
+		InitialScore: scoreInitial(cfg.Objective, s, initial),
+	}
+	check := cfg.checker()
+	rng := cfg.rng()
+
+	popSize := g.PopulationSize
+	if popSize <= 0 {
+		popSize = defaultPopulationSize
+	}
+	mutRate := g.MutationRate
+	if mutRate <= 0 {
+		mutRate = defaultMutationRate
+	}
+	elite := g.Elite
+	if elite <= 0 {
+		elite = defaultElite
+	}
+	if elite > popSize/2 {
+		elite = popSize / 2
+	}
+	generations := cfg.Trials
+	if generations <= 0 {
+		generations = DefaultGenerations
+	}
+
+	comps := s.ComponentIDs()
+	hosts := s.HostIDs()
+
+	// Seed the population: the initial deployment (when valid) plus
+	// randomized fills.
+	type individual struct {
+		d     model.Deployment
+		score float64
+	}
+	population := make([]individual, 0, popSize)
+	addIndividual := func(d model.Deployment) {
+		res.Evaluations++
+		population = append(population, individual{d: d, score: cfg.Objective.Quantify(s, d)})
+	}
+	if initial != nil && check.Check(s, initial) == nil {
+		addIndividual(initial.Clone())
+	}
+	for tries := 0; len(population) < popSize && tries < popSize*10; tries++ {
+		hostOrder := make([]model.HostID, len(hosts))
+		for i, p := range rng.Perm(len(hosts)) {
+			hostOrder[i] = hosts[p]
+		}
+		compOrder := make([]model.ComponentID, len(comps))
+		for i, p := range rng.Perm(len(comps)) {
+			compOrder[i] = comps[p]
+		}
+		if d, ok := fillInOrder(s, check, hostOrder, compOrder); ok && check.Check(s, d) == nil {
+			addIndividual(d)
+		}
+	}
+	if len(population) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, ErrNoValidDeployment
+	}
+
+	better := func(a, b individual) bool { return objective.Better(cfg.Objective, a.score, b.score) }
+	rank := func() {
+		sort.SliceStable(population, func(i, j int) bool { return better(population[i], population[j]) })
+	}
+	rank()
+
+	tournament := func() individual {
+		best := population[rng.Intn(len(population))]
+		for i := 0; i < 2; i++ {
+			if cand := population[rng.Intn(len(population))]; better(cand, best) {
+				best = cand
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < generations; gen++ {
+		select {
+		case <-ctx.Done():
+			res.Deployment = population[0].d
+			res.Score = population[0].score
+			res.Elapsed = time.Since(start)
+			return res, ctx.Err()
+		default:
+		}
+		res.Nodes++
+		next := make([]individual, 0, popSize)
+		next = append(next, population[:elite]...)
+		for len(next) < popSize {
+			parentA := tournament()
+			parentB := tournament()
+			child := crossover(rng, comps, parentA.d, parentB.d)
+			if rng.Float64() < mutRate {
+				mutate(rng, hosts, comps, child)
+			}
+			if check.Check(s, child) != nil {
+				if !repairDeployment(s, check, rng, hosts, comps, child) {
+					continue
+				}
+			}
+			res.Evaluations++
+			next = append(next, individual{d: child, score: cfg.Objective.Quantify(s, child)})
+		}
+		population = next
+		rank()
+	}
+
+	res.Deployment = population[0].d
+	res.Score = population[0].score
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// crossover splices two parents at a random point over the sorted
+// component list.
+func crossover(rng *rand.Rand, comps []model.ComponentID, a, b model.Deployment) model.Deployment {
+	cut := rng.Intn(len(comps) + 1)
+	child := model.NewDeployment(len(comps))
+	for i, c := range comps {
+		if i < cut {
+			child[c] = a[c]
+		} else {
+			child[c] = b[c]
+		}
+	}
+	return child
+}
+
+// mutate re-places one random component on a random host.
+func mutate(rng *rand.Rand, hosts []model.HostID, comps []model.ComponentID, d model.Deployment) {
+	c := comps[rng.Intn(len(comps))]
+	d[c] = hosts[rng.Intn(len(hosts))]
+}
+
+// repairDeployment attempts to fix a constraint-violating child by
+// re-placing components onto random allowed hosts. Reports success.
+func repairDeployment(s *model.System, check ConstraintChecker, rng *rand.Rand,
+	hosts []model.HostID, comps []model.ComponentID, d model.Deployment) bool {
+	for attempt := 0; attempt < 3*len(comps); attempt++ {
+		if check.Check(s, d) == nil {
+			return true
+		}
+		c := comps[rng.Intn(len(comps))]
+		allowed := check.Allowed(s, c)
+		if len(allowed) == 0 {
+			return false
+		}
+		d[c] = allowed[rng.Intn(len(allowed))]
+	}
+	return check.Check(s, d) == nil
+}

@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// availState evaluates availability incrementally while the Exact search
+// places and unplaces components, and provides an admissible optimistic
+// bound for branch-and-bound pruning: unplaced interactions are assumed to
+// achieve perfect reliability.
+type availState struct {
+	sys *model.System
+	d   model.Deployment
+	num float64 // Σ freq·rel over interactions with both endpoints placed
+	den float64 // Σ freq over all interactions
+	// pendingFreq is Σ freq over interactions with ≥1 unplaced endpoint.
+	pendingFreq float64
+	// adj lists each component's interactions for O(deg) delta updates.
+	adj map[model.ComponentID][]*model.LogicalLink
+}
+
+func newAvailState(s *model.System) *availState {
+	st := &availState{
+		sys: s,
+		d:   model.NewDeployment(len(s.Components)),
+		adj: make(map[model.ComponentID][]*model.LogicalLink, len(s.Components)),
+	}
+	for pair, link := range s.Interacts {
+		f := link.Frequency()
+		if f <= 0 {
+			continue
+		}
+		st.den += f
+		st.pendingFreq += f
+		st.adj[pair.A] = append(st.adj[pair.A], link)
+		st.adj[pair.B] = append(st.adj[pair.B], link)
+	}
+	return st
+}
+
+// place assigns c to h, updating the partial score.
+func (st *availState) place(c model.ComponentID, h model.HostID) {
+	st.d[c] = h
+	for _, link := range st.adj[c] {
+		other := link.Components.A
+		if other == c {
+			other = link.Components.B
+		}
+		oh, ok := st.d[other]
+		if !ok {
+			continue
+		}
+		f := link.Frequency()
+		st.num += f * st.sys.Reliability(h, oh)
+		st.pendingFreq -= f
+	}
+}
+
+// unplace reverses a place of c (which must be the most recent assignment
+// of c).
+func (st *availState) unplace(c model.ComponentID) {
+	h := st.d[c]
+	delete(st.d, c)
+	for _, link := range st.adj[c] {
+		other := link.Components.A
+		if other == c {
+			other = link.Components.B
+		}
+		oh, ok := st.d[other]
+		if !ok {
+			continue
+		}
+		f := link.Frequency()
+		st.num -= f * st.sys.Reliability(h, oh)
+		st.pendingFreq += f
+	}
+}
+
+// score returns the availability of the (complete) deployment.
+func (st *availState) score() float64 {
+	if st.den == 0 {
+		return 1
+	}
+	return st.num / st.den
+}
+
+// optimistic returns an upper bound on the availability of any completion
+// of the current partial deployment.
+func (st *availState) optimistic() float64 {
+	if st.den == 0 {
+		return 1
+	}
+	return (st.num + st.pendingFreq) / st.den
+}
+
+// supportsIncremental reports whether the Exact algorithm can use the
+// incremental availability evaluator for this quantifier.
+func supportsIncremental(q objective.Quantifier) bool {
+	_, ok := q.(objective.Availability)
+	return ok
+}

@@ -1,0 +1,128 @@
+package algo
+
+import (
+	"context"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// Stochastic randomly orders all hosts and all components, then, going in
+// order, assigns as many components to a given host as fit while all
+// constraints stay satisfied; once the host is full it proceeds with the
+// next host and the remaining components until every component is
+// deployed (DSN'04 §5.1). The process repeats for a configurable number
+// of trials and the best deployment obtained is selected. Because every
+// trial must evaluate the objective over all interactions, the complexity
+// is O(n²) per trial.
+type Stochastic struct {
+	// DefaultTrials is used when Config.Trials is zero.
+	DefaultTrials int
+}
+
+var _ Algorithm = (*Stochastic)(nil)
+
+// defaultStochasticTrials matches the scale the paper's DeSi environment
+// used for its unbiased baseline.
+const defaultStochasticTrials = 100
+
+// Name implements Algorithm.
+func (*Stochastic) Name() string { return "stochastic" }
+
+// Run implements Algorithm.
+func (a *Stochastic) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
+	start := time.Now()
+	res := Result{
+		Algorithm:    a.Name(),
+		InitialScore: scoreInitial(cfg.Objective, s, initial),
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = a.DefaultTrials
+	}
+	if trials <= 0 {
+		trials = defaultStochasticTrials
+	}
+	rng := cfg.rng()
+	check := cfg.checker()
+
+	hosts := s.HostIDs()
+	comps := s.ComponentIDs()
+	best := objective.Worst(cfg.Objective)
+	var bestD model.Deployment
+
+	for trial := 0; trial < trials; trial++ {
+		select {
+		case <-ctx.Done():
+			res.Deployment = bestD
+			res.Score = best
+			res.Elapsed = time.Since(start)
+			return res, ctx.Err()
+		default:
+		}
+		res.Nodes++
+		hostOrder := make([]model.HostID, len(hosts))
+		for i, p := range rng.Perm(len(hosts)) {
+			hostOrder[i] = hosts[p]
+		}
+		compOrder := make([]model.ComponentID, len(comps))
+		for i, p := range rng.Perm(len(comps)) {
+			compOrder[i] = comps[p]
+		}
+		d, ok := fillInOrder(s, check, hostOrder, compOrder)
+		if !ok {
+			continue
+		}
+		if err := check.Check(s, d); err != nil {
+			continue
+		}
+		res.Evaluations++
+		score := cfg.Objective.Quantify(s, d)
+		if bestD == nil || objective.Better(cfg.Objective, score, best) {
+			best = score
+			bestD = d
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if bestD == nil {
+		return res, ErrNoValidDeployment
+	}
+	res.Deployment = bestD
+	res.Score = best
+	return res, nil
+}
+
+// fillInOrder walks hosts in order, packing components in order onto the
+// current host while the partial constraints hold. A component that does
+// not fit the current host is retried on later hosts (and a component
+// rejected by every host fails the trial).
+func fillInOrder(s *model.System, check ConstraintChecker, hosts []model.HostID, comps []model.ComponentID) (model.Deployment, bool) {
+	d := model.NewDeployment(len(comps))
+	used := make(map[model.HostID]float64, len(hosts))
+	remaining := append([]model.ComponentID(nil), comps...)
+
+	for _, h := range hosts {
+		capacity := s.Hosts[h].Memory()
+		next := remaining[:0]
+		for _, c := range remaining {
+			need := s.Components[c].Memory()
+			if s.Constraints.CheckMemory && used[h]+need > capacity {
+				next = append(next, c)
+				continue
+			}
+			d[c] = h
+			if err := check.CheckPartial(s, d); err != nil {
+				delete(d, c)
+				next = append(next, c)
+				continue
+			}
+			used[h] += need
+		}
+		remaining = next
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	return d, len(remaining) == 0
+}

@@ -1,0 +1,121 @@
+package algo
+
+import (
+	"context"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// Swap is a local-search improver provided as a framework extension (an
+// ablation baseline for the greedy heuristics): starting from the initial
+// deployment it repeatedly applies the best single-component move or
+// two-component exchange until no move improves the objective, or the
+// trial budget (Config.Trials, interpreted as maximum passes) is spent.
+//
+// Unlike the constructive algorithms, Swap requires a valid initial
+// deployment; it is typically chained after Stochastic or Avala.
+type Swap struct{}
+
+var _ Algorithm = (*Swap)(nil)
+
+// defaultSwapPasses bounds the improvement loop when Config.Trials is 0.
+const defaultSwapPasses = 50
+
+// Name implements Algorithm.
+func (*Swap) Name() string { return "swap" }
+
+// Run implements Algorithm.
+func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
+	start := time.Now()
+	res := Result{Algorithm: a.Name()}
+	check := cfg.checker()
+	if initial == nil {
+		return res, ErrNoValidDeployment
+	}
+	if err := check.Check(s, initial); err != nil {
+		res.Elapsed = time.Since(start)
+		return res, ErrNoValidDeployment
+	}
+	res.InitialScore = cfg.Objective.Quantify(s, initial)
+
+	passes := cfg.Trials
+	if passes <= 0 {
+		passes = defaultSwapPasses
+	}
+	d := initial.Clone()
+	best := res.InitialScore
+	comps := s.ComponentIDs()
+	hosts := s.HostIDs()
+
+	for pass := 0; pass < passes; pass++ {
+		select {
+		case <-ctx.Done():
+			res.Deployment = d
+			res.Score = best
+			res.Elapsed = time.Since(start)
+			return res, ctx.Err()
+		default:
+		}
+		improved := false
+
+		// Best single-component relocation.
+		for _, c := range comps {
+			from := d[c]
+			for _, h := range hosts {
+				if h == from {
+					continue
+				}
+				res.Nodes++
+				d[c] = h
+				if err := check.Check(s, d); err != nil {
+					d[c] = from
+					continue
+				}
+				res.Evaluations++
+				score := cfg.Objective.Quantify(s, d)
+				if objective.Better(cfg.Objective, score, best) {
+					best = score
+					from = h
+					improved = true
+				} else {
+					d[c] = from
+				}
+			}
+			d[c] = from
+		}
+
+		// Best pairwise exchange (covers moves blocked by tight memory).
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				ci, cj := comps[i], comps[j]
+				hi, hj := d[ci], d[cj]
+				if hi == hj {
+					continue
+				}
+				res.Nodes++
+				d[ci], d[cj] = hj, hi
+				if err := check.Check(s, d); err != nil {
+					d[ci], d[cj] = hi, hj
+					continue
+				}
+				res.Evaluations++
+				score := cfg.Objective.Quantify(s, d)
+				if objective.Better(cfg.Objective, score, best) {
+					best = score
+					improved = true
+				} else {
+					d[ci], d[cj] = hi, hj
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Deployment = d
+	res.Score = best
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package analyzer
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dif/internal/algo"
+	"dif/internal/model"
+	"dif/internal/objective"
+)
+
+// MultiDecision reports a multi-algorithm analysis round: every
+// algorithm's result plus the winner under the utility.
+type MultiDecision struct {
+	Runs     []algo.Result
+	Winner   algo.Result
+	Utility  float64 // winner's utility score
+	Accepted bool
+	Reason   string
+	When     time.Time
+}
+
+// AnalyzeMulti runs several algorithms against the model and resolves
+// their competing results under a composite utility (DSN'04 §3.1
+// "Analyzer": "in situations where several objective functions need to
+// be satisfied, an analyzer resolves the results from the corresponding
+// algorithms to determine the best deployment architecture"). The winner
+// is accepted when its utility improves on the current deployment's by
+// at least the policy's minimum improvement (scaled to the utility).
+//
+// Each algorithm optimizes its own cfg objective; the utility judges the
+// outcomes. Algorithms that fail are skipped (their error is folded into
+// the reason when nothing succeeds).
+func (a *Analyzer) AnalyzeMulti(ctx context.Context, s *model.System, current model.Deployment,
+	names []string, cfgs []algo.Config, utility objective.Quantifier) (MultiDecision, error) {
+	if len(names) == 0 {
+		return MultiDecision{}, fmt.Errorf("analyzer: no algorithms to run")
+	}
+	if len(cfgs) != len(names) {
+		return MultiDecision{}, fmt.Errorf("analyzer: %d configs for %d algorithms", len(cfgs), len(names))
+	}
+	dec := MultiDecision{When: a.now()}
+	var firstErr error
+	for i, name := range names {
+		alg, err := a.registry.New(name)
+		if err != nil {
+			return dec, err
+		}
+		res, err := alg.Run(ctx, s, current, cfgs[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", name, err)
+			}
+			continue
+		}
+		dec.Runs = append(dec.Runs, res)
+	}
+	winner, ok := ResolveConflicts(s, dec.Runs, utility)
+	if !ok {
+		if firstErr != nil {
+			return dec, fmt.Errorf("analyzer: every algorithm failed: %w", firstErr)
+		}
+		return dec, fmt.Errorf("analyzer: no algorithm produced a deployment")
+	}
+	dec.Winner = winner
+	dec.Utility = utility.Quantify(s, winner.Deployment)
+
+	currentUtility := utility.Quantify(s, current)
+	gain := dec.Utility - currentUtility
+	if utility.Direction() == objective.Minimize {
+		gain = -gain
+	}
+	if gain < a.policy.MinImprovement {
+		dec.Reason = fmt.Sprintf("utility gain %.4f below minimum %.4f", gain, a.policy.MinImprovement)
+	} else {
+		dec.Accepted = true
+		dec.Reason = fmt.Sprintf("accepted %s (utility %.4f → %.4f)",
+			winner.Algorithm, currentUtility, dec.Utility)
+	}
+
+	a.mu.Lock()
+	a.history = append(a.history, Record{
+		When:         dec.When,
+		Availability: objective.Availability{}.Quantify(s, current),
+		Algorithm:    winner.Algorithm,
+		Accepted:     dec.Accepted,
+		Improvement:  gain,
+	})
+	a.mu.Unlock()
+	return dec, nil
+}

@@ -1,0 +1,113 @@
+package analyzer
+
+import (
+	"context"
+	"testing"
+
+	"dif/internal/algo"
+	"dif/internal/objective"
+)
+
+func multiUtility(t *testing.T) objective.Quantifier {
+	t.Helper()
+	u, err := objective.NewComposite(
+		objective.Term{Quantifier: objective.Availability{}, Weight: 1},
+		objective.Term{Quantifier: objective.Latency{}, Weight: 0.2, Scale: 100_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestAnalyzeMultiPicksBestUnderUtility(t *testing.T) {
+	s, d := genSystem(t, 4, 12, 3)
+	a := New(nil, Policy{})
+	names := []string{"avala", "stochastic", "genetic"}
+	cfgs := []algo.Config{
+		{Objective: objective.Availability{}, Seed: 1},
+		{Objective: objective.Availability{}, Seed: 1, Trials: 30},
+		{Objective: objective.Latency{}, Seed: 1, Trials: 20},
+	}
+	u := multiUtility(t)
+	dec, err := a.AnalyzeMulti(context.Background(), s, d, names, cfgs, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Runs) != 3 {
+		t.Fatalf("runs = %d", len(dec.Runs))
+	}
+	// The winner must have the best utility of all runs.
+	for _, r := range dec.Runs {
+		if r.Deployment == nil {
+			continue
+		}
+		if score := u.Quantify(s, r.Deployment); score > dec.Utility+1e-9 {
+			t.Fatalf("winner utility %v below %s's %v", dec.Utility, r.Algorithm, score)
+		}
+	}
+	if !dec.Accepted {
+		t.Fatalf("clear improvement rejected: %s", dec.Reason)
+	}
+	if len(a.History()) != 1 {
+		t.Fatal("history not recorded")
+	}
+}
+
+func TestAnalyzeMultiHysteresis(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 5)
+	a := New(nil, Policy{})
+	u := multiUtility(t)
+	names := []string{"avala"}
+	cfgs := []algo.Config{{Objective: objective.Availability{}, Seed: 1}}
+	dec1, err := a.AnalyzeMulti(context.Background(), s, d, names, cfgs, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec1.Accepted {
+		t.Skipf("no initial improvement on this seed: %s", dec1.Reason)
+	}
+	// Re-analyzing from the winner finds no further gain.
+	dec2, err := a.AnalyzeMulti(context.Background(), s, dec1.Winner.Deployment, names, cfgs, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Accepted {
+		t.Fatalf("zero-gain redeployment accepted: %s", dec2.Reason)
+	}
+}
+
+func TestAnalyzeMultiValidation(t *testing.T) {
+	s, d := genSystem(t, 3, 6, 1)
+	a := New(nil, Policy{})
+	u := multiUtility(t)
+	if _, err := a.AnalyzeMulti(context.Background(), s, d, nil, nil, u); err == nil {
+		t.Fatal("empty algorithm list accepted")
+	}
+	if _, err := a.AnalyzeMulti(context.Background(), s, d,
+		[]string{"avala"}, nil, u); err == nil {
+		t.Fatal("mismatched config list accepted")
+	}
+	if _, err := a.AnalyzeMulti(context.Background(), s, d,
+		[]string{"nope"}, []algo.Config{{Objective: objective.Availability{}}}, u); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAnalyzeMultiAllAlgorithmsFail(t *testing.T) {
+	s, d := genSystem(t, 2, 4, 1)
+	comps := s.ComponentIDs()
+	s.Constraints.RequireCollocation(comps[0], comps[1])
+	s.Constraints.ForbidCollocation(comps[0], comps[1])
+	a := New(nil, Policy{})
+	u := multiUtility(t)
+	_, err := a.AnalyzeMulti(context.Background(), s, d,
+		[]string{"avala", "stochastic"},
+		[]algo.Config{
+			{Objective: objective.Availability{}},
+			{Objective: objective.Availability{}, Trials: 5},
+		}, u)
+	if err == nil {
+		t.Fatal("infeasible problem reported success")
+	}
+}

@@ -1,0 +1,75 @@
+package analyzer
+
+import (
+	"math"
+	"sort"
+
+	"dif/internal/model"
+)
+
+// Proposal is one host's suggested deployment in the decentralized
+// analyzer's coordination round, scored by that host's local knowledge.
+type Proposal struct {
+	Host       model.HostID
+	Deployment model.Deployment
+	Score      float64
+}
+
+// Vote implements the decentralized analyzers' voting protocol (DSN'04
+// §5.2: "the analyzer uses either the voting or the polling protocol to
+// decide on the appropriate course of action"). Every host votes for the
+// highest-scoring proposal it can see; the proposal collecting at least
+// quorum (a fraction of voters, e.g. 0.5) wins. Ties break
+// deterministically toward the lexicographically smallest proposer.
+//
+// It returns the winning proposal and whether the quorum was met.
+func Vote(proposals []Proposal, quorum float64) (Proposal, bool) {
+	if len(proposals) == 0 {
+		return Proposal{}, false
+	}
+	// Deterministic ordering of candidates.
+	sorted := append([]Proposal(nil), proposals...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Host < sorted[j].Host
+	})
+	// With full visibility every voter picks the same best proposal; the
+	// protocol still counts explicit votes so partial-visibility variants
+	// (each host voting among the proposals it received) plug in here.
+	votes := make(map[model.HostID]int, len(sorted))
+	for range proposals {
+		votes[sorted[0].Host]++
+	}
+	winner := sorted[0]
+	needed := quorumCount(quorum, len(proposals))
+	return winner, votes[winner.Host] >= needed
+}
+
+// Poll implements the polling alternative: the coordinator asks each
+// host whether it accepts a candidate deployment; hosts accept when the
+// candidate does not worsen their local score. The candidate passes when
+// at least quorum of the polled hosts accept.
+func Poll(localScores map[model.HostID]float64, candidateScores map[model.HostID]float64, quorum float64) bool {
+	if len(localScores) == 0 {
+		return false
+	}
+	accepts := 0
+	for host, cur := range localScores {
+		if cand, ok := candidateScores[host]; ok && cand >= cur {
+			accepts++
+		}
+	}
+	return accepts >= quorumCount(quorum, len(localScores))
+}
+
+// quorumCount converts a fractional quorum into a vote count (at least 1,
+// rounded up so a 0.9 quorum of 3 voters requires all 3).
+func quorumCount(quorum float64, voters int) int {
+	needed := int(math.Ceil(quorum * float64(voters)))
+	if needed < 1 {
+		needed = 1
+	}
+	return needed
+}

@@ -1,0 +1,258 @@
+package desi
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dif/internal/algo"
+	"dif/internal/effector"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+	"dif/internal/prism"
+)
+
+// MiddlewareAdapter is DeSi's interface to a (possibly third-party)
+// implementation/deployment/execution platform (the paper's
+// MiddlewareAdapter with its Monitor and Effector subcomponents).
+type MiddlewareAdapter interface {
+	// CollectReports pulls monitoring data from the running system.
+	CollectReports(timeout time.Duration) ([]prism.MonitoringReport, error)
+	// Effect enacts a redeployment plan on the running system.
+	Effect(plan effector.Plan, timeout time.Duration) (effector.Report, error)
+}
+
+// Controller is DeSi's Controller subsystem: Generator, Modifier, and
+// AlgorithmContainer manage the Model; the MiddlewareAdapter syncs it
+// with a running system.
+type Controller struct {
+	model      *Model
+	algorithms *algo.Registry
+	objectives map[string]objective.Quantifier
+}
+
+// NewController returns a controller over the model with the built-in
+// algorithm registry and objectives.
+func NewController(m *Model) *Controller {
+	return &Controller{
+		model:      m,
+		algorithms: algo.NewRegistry(),
+		objectives: map[string]objective.Quantifier{
+			"availability": objective.Availability{},
+			"latency":      objective.Latency{},
+			"commCost":     objective.CommCost{},
+			"security":     objective.Security{},
+			"throughput":   objective.Throughput{},
+		},
+	}
+}
+
+// Algorithms exposes the pluggable algorithm container for registration
+// of new algorithms at run time.
+func (c *Controller) Algorithms() *algo.Registry { return c.algorithms }
+
+// RegisterObjective plugs in a new objective under the given name.
+func (c *Controller) RegisterObjective(name string, q objective.Quantifier) {
+	c.objectives[name] = q
+}
+
+// Objective resolves a named objective.
+func (c *Controller) Objective(name string) (objective.Quantifier, error) {
+	q, ok := c.objectives[name]
+	if !ok {
+		return nil, fmt.Errorf("desi: unknown objective %q", name)
+	}
+	return q, nil
+}
+
+// Generate creates a deployment architecture from the configuration (the
+// Generator component) and installs it in the model with a default
+// circular layout.
+func (c *Controller) Generate(cfg model.GeneratorConfig, seed int64) error {
+	sys, dep, err := model.NewGenerator(cfg, seed).Generate()
+	if err != nil {
+		return fmt.Errorf("desi generate: %w", err)
+	}
+	c.model.SetSystem(SystemData{System: sys, Deployment: dep})
+	c.model.SetGraph(defaultLayout(sys))
+	c.model.ClearResults()
+	return nil
+}
+
+// Load installs an existing system and deployment in the model.
+func (c *Controller) Load(sys *model.System, dep model.Deployment) {
+	c.model.SetSystem(SystemData{System: sys, Deployment: dep})
+	c.model.SetGraph(defaultLayout(sys))
+	c.model.ClearResults()
+}
+
+// Modifier returns a model.Modifier bound to the current system (the
+// Modifier component); call Touch after direct mutations so views
+// refresh.
+func (c *Controller) Modifier() (*model.Modifier, error) {
+	sd := c.model.System()
+	if sd.System == nil {
+		return nil, fmt.Errorf("desi: no system loaded")
+	}
+	return model.NewModifier(sd.System), nil
+}
+
+// Touch propagates an in-place system mutation to the views.
+func (c *Controller) Touch() { c.model.TouchSystem() }
+
+// MoveComponent relocates a component in the model's deployment,
+// validating constraints (drag-and-drop in the graph view).
+func (c *Controller) MoveComponent(comp model.ComponentID, to model.HostID) error {
+	sd := c.model.System()
+	if sd.System == nil {
+		return fmt.Errorf("desi: no system loaded")
+	}
+	mod := model.NewModifier(sd.System)
+	if err := mod.Move(sd.Deployment, comp, to); err != nil {
+		return err
+	}
+	c.model.TouchSystem()
+	return nil
+}
+
+// RunAlgorithm executes a registered algorithm against the current
+// model under the named objective (the AlgorithmContainer component),
+// records the outcome in AlgoResultData, and returns it.
+func (c *Controller) RunAlgorithm(ctx context.Context, name, objectiveName string, cfg algo.Config) (AlgoRun, error) {
+	sd := c.model.System()
+	if sd.System == nil {
+		return AlgoRun{}, fmt.Errorf("desi: no system loaded")
+	}
+	q, err := c.Objective(objectiveName)
+	if err != nil {
+		return AlgoRun{}, err
+	}
+	alg, err := c.algorithms.New(name)
+	if err != nil {
+		return AlgoRun{}, err
+	}
+	cfg.Objective = q
+	res, err := alg.Run(ctx, sd.System, sd.Deployment, cfg)
+	if err != nil {
+		return AlgoRun{}, fmt.Errorf("desi: %s: %w", name, err)
+	}
+	run := AlgoRun{Result: res, Objective: objectiveName}
+	if plan, perr := effector.ComputePlan(sd.System, sd.Deployment, res.Deployment); perr == nil {
+		est := plan.EstimateCost(sd.System, "")
+		run.RedeployMoves = est.Moves
+		run.RedeployMS = est.TransferMS
+	}
+	c.model.AddResult(run)
+	return run, nil
+}
+
+// ApplyResult adopts an algorithm result as the model's deployment
+// (exploration-mode enactment through a ModelEnactor).
+func (c *Controller) ApplyResult(run AlgoRun) error {
+	sd := c.model.System()
+	if sd.System == nil {
+		return fmt.Errorf("desi: no system loaded")
+	}
+	plan, err := effector.ComputePlan(sd.System, sd.Deployment, run.Result.Deployment)
+	if err != nil {
+		return fmt.Errorf("desi apply: %w", err)
+	}
+	en := &effector.ModelEnactor{Deployment: sd.Deployment}
+	if _, err := en.Enact(plan, 0); err != nil {
+		return fmt.Errorf("desi apply: %w", err)
+	}
+	c.model.TouchSystem()
+	return nil
+}
+
+// PullFromMiddleware refreshes the model from a running system: the
+// adapter's Monitor subcomponent collects reports and the applier folds
+// them into SystemData (stability-gated when tracker is non-nil).
+func (c *Controller) PullFromMiddleware(adapter MiddlewareAdapter, tracker *monitor.Tracker, timeout time.Duration) (int, error) {
+	sd := c.model.System()
+	if sd.System == nil {
+		return 0, fmt.Errorf("desi: no system loaded")
+	}
+	reports, err := adapter.CollectReports(timeout)
+	if err != nil {
+		return 0, fmt.Errorf("desi pull: %w", err)
+	}
+	applier := monitor.NewApplier(sd.System, tracker)
+	written := 0
+	for _, rep := range reports {
+		written += applier.Apply(rep, sd.Deployment)
+	}
+	c.model.TouchSystem()
+	return written, nil
+}
+
+// PushToMiddleware effects the model's current deployment onto the
+// running system: it diffs the live placement (from fresh reports)
+// against the model's deployment and enacts the difference through the
+// adapter's Effector subcomponent.
+func (c *Controller) PushToMiddleware(adapter MiddlewareAdapter, timeout time.Duration) (effector.Report, error) {
+	sd := c.model.System()
+	if sd.System == nil {
+		return effector.Report{}, fmt.Errorf("desi: no system loaded")
+	}
+	reports, err := adapter.CollectReports(timeout)
+	if err != nil {
+		return effector.Report{}, fmt.Errorf("desi push: %w", err)
+	}
+	live := model.NewDeployment(len(sd.System.Components))
+	for _, rep := range reports {
+		for _, comp := range rep.Components {
+			live[model.ComponentID(comp)] = rep.Host
+		}
+	}
+	plan, err := effector.ComputePlan(sd.System, live, sd.Deployment)
+	if err != nil {
+		return effector.Report{}, fmt.Errorf("desi push: %w", err)
+	}
+	return adapter.Effect(plan, timeout)
+}
+
+// defaultLayout places hosts on a grid for the graph view.
+func defaultLayout(sys *model.System) GraphViewData {
+	g := GraphViewData{HostPos: make(map[model.HostID]Point), Zoom: 1}
+	hosts := sys.HostIDs()
+	cols := 1
+	for cols*cols < len(hosts) {
+		cols++
+	}
+	for i, h := range hosts {
+		g.HostPos[h] = Point{X: (i % cols) * 24, Y: (i / cols) * 8}
+	}
+	return g
+}
+
+// PrismAdapter adapts a live Prism-MW deployment (a DeployerComponent
+// and its slave hosts) to the MiddlewareAdapter interface.
+type PrismAdapter struct {
+	Deployer *prism.DeployerComponent
+	Hosts    []model.HostID
+}
+
+var _ MiddlewareAdapter = (*PrismAdapter)(nil)
+
+// CollectReports implements MiddlewareAdapter.
+func (p *PrismAdapter) CollectReports(timeout time.Duration) ([]prism.MonitoringReport, error) {
+	reports, err := p.Deployer.RequestReports(p.Hosts, timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]prism.MonitoringReport, 0, len(reports))
+	for _, h := range p.Hosts {
+		if rep, ok := reports[h]; ok {
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}
+
+// Effect implements MiddlewareAdapter.
+func (p *PrismAdapter) Effect(plan effector.Plan, timeout time.Duration) (effector.Report, error) {
+	en := &effector.PrismEnactor{Deployer: p.Deployer}
+	return en.Enact(plan, timeout)
+}

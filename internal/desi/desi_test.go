@@ -1,0 +1,323 @@
+package desi
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/algo"
+	"dif/internal/effector"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+	"dif/internal/prism"
+)
+
+func newLoaded(t *testing.T) (*Model, *Controller) {
+	t.Helper()
+	m := NewModel()
+	c := NewController(m)
+	if err := c.Generate(model.DefaultGeneratorConfig(4, 10), 1); err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestGenerateInstallsSystem(t *testing.T) {
+	m, _ := newLoaded(t)
+	sd := m.System()
+	if sd.System == nil || len(sd.System.Hosts) != 4 {
+		t.Fatal("system not installed")
+	}
+	if err := sd.System.Constraints.Check(sd.System, sd.Deployment); err != nil {
+		t.Fatalf("generated deployment invalid: %v", err)
+	}
+	g := m.Graph()
+	if len(g.HostPos) != 4 {
+		t.Fatalf("layout has %d hosts", len(g.HostPos))
+	}
+}
+
+func TestModelNotifications(t *testing.T) {
+	m := NewModel()
+	c := NewController(m)
+	var mu sync.Mutex
+	var changes []ChangeKind
+	m.Subscribe(func(k ChangeKind) {
+		mu.Lock()
+		changes = append(changes, k)
+		mu.Unlock()
+	})
+	if err := c.Generate(model.DefaultGeneratorConfig(3, 6), 2); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var haveSystem, haveGraph, haveResults bool
+	for _, k := range changes {
+		switch k {
+		case ChangeSystem:
+			haveSystem = true
+		case ChangeGraph:
+			haveGraph = true
+		case ChangeResults:
+			haveResults = true
+		}
+	}
+	if !haveSystem || !haveGraph || !haveResults {
+		t.Fatalf("changes = %v", changes)
+	}
+}
+
+func TestRunAlgorithmRecordsResult(t *testing.T) {
+	m, c := newLoaded(t)
+	run, err := c.RunAlgorithm(context.Background(), "avala", "availability", algo.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Deployment == nil || run.Objective != "availability" {
+		t.Fatalf("run = %+v", run)
+	}
+	results := m.Results()
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].RedeployMoves == 0 && !run.Result.Deployment.Equal(m.System().Deployment) {
+		t.Fatal("redeploy cost not estimated for a changed deployment")
+	}
+}
+
+func TestRunAlgorithmErrors(t *testing.T) {
+	m := NewModel()
+	c := NewController(m)
+	if _, err := c.RunAlgorithm(context.Background(), "avala", "availability", algo.Config{}); err == nil {
+		t.Fatal("run without a system accepted")
+	}
+	if err := c.Generate(model.DefaultGeneratorConfig(3, 6), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunAlgorithm(context.Background(), "nope", "availability", algo.Config{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := c.RunAlgorithm(context.Background(), "avala", "nope", algo.Config{}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestApplyResultAdoptsDeployment(t *testing.T) {
+	m, c := newLoaded(t)
+	run, err := c.RunAlgorithm(context.Background(), "avala", "availability", algo.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyResult(run); err != nil {
+		t.Fatal(err)
+	}
+	if !m.System().Deployment.Equal(run.Result.Deployment) {
+		t.Fatal("deployment not adopted")
+	}
+}
+
+func TestMoveComponent(t *testing.T) {
+	m, c := newLoaded(t)
+	sd := m.System()
+	comp := sd.System.ComponentIDs()[0]
+	var target model.HostID
+	for _, h := range sd.System.HostIDs() {
+		if h != sd.Deployment[comp] {
+			target = h
+			break
+		}
+	}
+	if err := c.MoveComponent(comp, target); err != nil {
+		t.Fatal(err)
+	}
+	if m.System().Deployment[comp] != target {
+		t.Fatal("move not applied")
+	}
+	// A move violating constraints is rejected.
+	sd.System.Constraints.Pin(comp, target)
+	var other model.HostID
+	for _, h := range sd.System.HostIDs() {
+		if h != target {
+			other = h
+			break
+		}
+	}
+	if err := c.MoveComponent(comp, other); err == nil {
+		t.Fatal("pinned move accepted")
+	}
+}
+
+func TestBestResult(t *testing.T) {
+	m, c := newLoaded(t)
+	if _, ok := m.BestResult(true); ok {
+		t.Fatal("best of empty results")
+	}
+	if _, err := c.RunAlgorithm(context.Background(), "stochastic", "availability", algo.Config{Seed: 1, Trials: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunAlgorithm(context.Background(), "avala", "availability", algo.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	best, ok := m.BestResult(true)
+	if !ok {
+		t.Fatal("no best result")
+	}
+	for _, r := range m.Results() {
+		if r.Result.Score > best.Result.Score {
+			t.Fatal("BestResult did not return the maximum")
+		}
+	}
+}
+
+func TestRegisterObjectiveAndAlgorithm(t *testing.T) {
+	m, c := newLoaded(t)
+	_ = m
+	c.RegisterObjective("custom", customObjective{})
+	if _, err := c.Objective("custom"); err != nil {
+		t.Fatal(err)
+	}
+	c.Algorithms().Register("myalgo", func() algo.Algorithm { return &algo.Avala{} })
+	if _, err := c.RunAlgorithm(context.Background(), "myalgo", "custom", algo.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type customObjective struct{}
+
+func (customObjective) Name() string                                     { return "custom" }
+func (customObjective) Direction() objective.Direction                   { return objective.Maximize }
+func (customObjective) Quantify(*model.System, model.Deployment) float64 { return 1 }
+
+func TestTableViewRendersEverything(t *testing.T) {
+	m, c := newLoaded(t)
+	sd := m.System()
+	sd.System.Constraints.Pin(sd.System.ComponentIDs()[0], sd.System.HostIDs()[0])
+	sd.System.Constraints.RequireCollocation(sd.System.ComponentIDs()[1], sd.System.ComponentIDs()[2])
+	if _, err := c.RunAlgorithm(context.Background(), "avala", "availability", algo.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out := NewTableView(m).Render()
+	for _, want := range []string{"== Parameters ==", "-- Hosts --", "host00",
+		"comp000", "== Constraints ==", "location:", "collocate:",
+		"== Results ==", "avala"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table view missing %q", want)
+		}
+	}
+}
+
+func TestTableViewEmpty(t *testing.T) {
+	m := NewModel()
+	if got := NewTableView(m).Render(); !strings.Contains(got, "no system") {
+		t.Fatalf("empty render = %q", got)
+	}
+	if got := NewGraphView(m).Render(); !strings.Contains(got, "no system") {
+		t.Fatalf("empty graph render = %q", got)
+	}
+}
+
+func TestGraphViewRender(t *testing.T) {
+	m, _ := newLoaded(t)
+	g := m.Graph()
+	g.Selected = "host00"
+	m.SetGraph(g)
+	out := NewGraphView(m).Render()
+	if !strings.Contains(out, "*[host00]") {
+		t.Errorf("selected host not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, "+- comp") {
+		t.Errorf("components not nested under hosts:\n%s", out)
+	}
+	if !strings.Contains(out, "===") {
+		t.Errorf("links not rendered:\n%s", out)
+	}
+	thumb := NewGraphView(m).Thumbnail()
+	if !strings.Contains(thumb, "host00:") {
+		t.Errorf("thumbnail = %q", thumb)
+	}
+}
+
+// fakeAdapter is an in-memory middleware adapter.
+type fakeAdapter struct {
+	reports []prism.MonitoringReport
+	plans   []effector.Plan
+}
+
+func (f *fakeAdapter) CollectReports(time.Duration) ([]prism.MonitoringReport, error) {
+	return f.reports, nil
+}
+
+func (f *fakeAdapter) Effect(plan effector.Plan, _ time.Duration) (effector.Report, error) {
+	f.plans = append(f.plans, plan)
+	return effector.Report{Moved: len(plan.Moves)}, nil
+}
+
+func TestPullFromMiddleware(t *testing.T) {
+	m, c := newLoaded(t)
+	sd := m.System()
+	pair := sd.System.LinkKeys()[0]
+	adapter := &fakeAdapter{reports: []prism.MonitoringReport{{
+		Host:  pair.A,
+		Links: []prism.ReliabilitySample{{Peer: pair.B, Probes: 10, Delivered: 5, Reliability: 0.5}},
+	}}}
+	n, err := c.PullFromMiddleware(adapter, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("wrote %d params", n)
+	}
+	if sd.System.Reliability(pair.A, pair.B) != 0.5 {
+		t.Fatal("monitored reliability not applied")
+	}
+	// With a stability tracker the first sample is gated.
+	tr := monitor.NewTracker(0.05, 2)
+	if n, err := c.PullFromMiddleware(adapter, tr, time.Second); err != nil || n != 0 {
+		t.Fatalf("gated pull wrote %d (err %v)", n, err)
+	}
+}
+
+func TestPushToMiddleware(t *testing.T) {
+	m, c := newLoaded(t)
+	sd := m.System()
+	// Live system reports every component on its model host except one.
+	liveReports := make(map[model.HostID][]string)
+	for comp, h := range sd.Deployment {
+		liveReports[h] = append(liveReports[h], string(comp))
+	}
+	// Displace one component in the model: push must plan exactly 1 move.
+	comp := sd.System.ComponentIDs()[0]
+	from := sd.Deployment[comp]
+	var to model.HostID
+	for _, h := range sd.System.HostIDs() {
+		if h != from {
+			to = h
+			break
+		}
+	}
+	sd.Deployment[comp] = to
+
+	adapter := &fakeAdapter{}
+	for h, comps := range liveReports {
+		adapter.reports = append(adapter.reports, prism.MonitoringReport{Host: h, Components: comps})
+	}
+	rep, err := c.PushToMiddleware(adapter, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 1 {
+		t.Fatalf("moved = %d, want 1", rep.Moved)
+	}
+	if len(adapter.plans) != 1 || len(adapter.plans[0].Moves) != 1 {
+		t.Fatalf("plans = %+v", adapter.plans)
+	}
+	mv := adapter.plans[0].Moves[0]
+	if mv.Comp != comp || mv.From != from || mv.To != to {
+		t.Fatalf("move = %+v", mv)
+	}
+	_ = m
+}

@@ -1,0 +1,178 @@
+// Package desi implements DeSi (DSN'04 §4.1, [13]), the deployment
+// exploration environment that realizes the framework's User Input,
+// Model, Algorithm, and Analyzer components. Its architecture mirrors the
+// paper's Figure 4: a reactive Model (SystemData, GraphViewData,
+// AlgoResultData), a View subsystem (TableView, GraphView — rendered as
+// text in this implementation), and a Controller (Generator, Modifier,
+// AlgorithmContainer, MiddlewareAdapter).
+package desi
+
+import (
+	"sync"
+
+	"dif/internal/algo"
+	"dif/internal/model"
+)
+
+// ChangeKind identifies which part of the model changed, so views can
+// refresh selectively (the paper's Model→View notification flow).
+type ChangeKind string
+
+// Change kinds.
+const (
+	ChangeSystem  ChangeKind = "system"
+	ChangeGraph   ChangeKind = "graph"
+	ChangeResults ChangeKind = "results"
+)
+
+// SystemData is the key part of the Model: the software system itself in
+// terms of architectural constructs and parameters.
+type SystemData struct {
+	System     *model.System
+	Deployment model.Deployment
+}
+
+// Point positions an element in the graph view.
+type Point struct {
+	X, Y int
+}
+
+// GraphViewData captures the information needed to visualize a system's
+// deployment architecture: layout and graphical properties.
+type GraphViewData struct {
+	HostPos map[model.HostID]Point
+	// Zoom scales the rendered layout (1 = 100%).
+	Zoom float64
+	// Selected optionally highlights one host in the rendering.
+	Selected model.HostID
+}
+
+// AlgoResultData captures the outcomes of deployment estimation
+// algorithms: estimated deployments, achieved availability, running
+// times, and estimated redeployment cost.
+type AlgoResultData struct {
+	Results []AlgoRun
+}
+
+// AlgoRun is one algorithm execution record.
+type AlgoRun struct {
+	Result algo.Result
+	// Objective is the name of the optimized objective.
+	Objective string
+	// RedeployMoves and RedeployMS estimate the cost of effecting the
+	// result from the current deployment.
+	RedeployMoves int
+	RedeployMS    float64
+}
+
+// Model is DeSi's reactive model: views subscribe for change
+// notifications, controllers mutate it through setters.
+type Model struct {
+	mu        sync.RWMutex
+	system    SystemData
+	graph     GraphViewData
+	results   AlgoResultData
+	listeners []func(ChangeKind)
+}
+
+// NewModel returns an empty DeSi model.
+func NewModel() *Model {
+	return &Model{
+		graph: GraphViewData{HostPos: make(map[model.HostID]Point), Zoom: 1},
+	}
+}
+
+// Subscribe registers a view callback invoked after every change.
+func (m *Model) Subscribe(fn func(ChangeKind)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+func (m *Model) notify(kind ChangeKind) {
+	m.mu.RLock()
+	listeners := make([]func(ChangeKind), len(m.listeners))
+	copy(listeners, m.listeners)
+	m.mu.RUnlock()
+	for _, fn := range listeners {
+		fn(kind)
+	}
+}
+
+// SetSystem replaces the system data and notifies views.
+func (m *Model) SetSystem(sd SystemData) {
+	m.mu.Lock()
+	m.system = sd
+	m.mu.Unlock()
+	m.notify(ChangeSystem)
+}
+
+// System returns the current system data. The returned pointers are
+// shared; mutate only through the Controller.
+func (m *Model) System() SystemData {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.system
+}
+
+// TouchSystem notifies views of an in-place system mutation.
+func (m *Model) TouchSystem() { m.notify(ChangeSystem) }
+
+// SetGraph replaces the graph-view data and notifies views.
+func (m *Model) SetGraph(g GraphViewData) {
+	m.mu.Lock()
+	m.graph = g
+	m.mu.Unlock()
+	m.notify(ChangeGraph)
+}
+
+// Graph returns the current graph-view data.
+func (m *Model) Graph() GraphViewData {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.graph
+}
+
+// AddResult appends an algorithm run and notifies views.
+func (m *Model) AddResult(run AlgoRun) {
+	m.mu.Lock()
+	m.results.Results = append(m.results.Results, run)
+	m.mu.Unlock()
+	m.notify(ChangeResults)
+}
+
+// Results returns a copy of the recorded algorithm runs.
+func (m *Model) Results() []AlgoRun {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]AlgoRun(nil), m.results.Results...)
+}
+
+// ClearResults empties the results panel.
+func (m *Model) ClearResults() {
+	m.mu.Lock()
+	m.results = AlgoResultData{}
+	m.mu.Unlock()
+	m.notify(ChangeResults)
+}
+
+// BestResult returns the recorded run with the best score for the given
+// objective direction (higher better when maximize is true).
+func (m *Model) BestResult(maximize bool) (AlgoRun, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var best AlgoRun
+	found := false
+	for _, r := range m.results.Results {
+		if r.Result.Deployment == nil {
+			continue
+		}
+		if !found ||
+			(maximize && r.Result.Score > best.Result.Score) ||
+			(!maximize && r.Result.Score < best.Result.Score) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}

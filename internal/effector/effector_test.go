@@ -1,0 +1,247 @@
+package effector
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dif/internal/model"
+)
+
+// buildSys: h1—h2 linked (bw 100, delay 10, rel 1), h3 isolated from h1
+// but linked to h2.
+func buildSys(t *testing.T) *model.System {
+	t.Helper()
+	s := model.NewSystem()
+	s.Constraints = model.NewConstraints()
+	var hp model.Params
+	hp.Set(model.ParamMemory, 100)
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		s.AddHost(h, hp)
+	}
+	var cp model.Params
+	cp.Set(model.ParamMemory, 10)
+	for _, c := range []model.ComponentID{"c1", "c2", "c3"} {
+		s.AddComponent(c, cp)
+	}
+	link := func(a, b model.HostID, rel float64) {
+		var lp model.Params
+		lp.Set(model.ParamReliability, rel)
+		lp.Set(model.ParamBandwidth, 100)
+		lp.Set(model.ParamDelay, 10)
+		if _, err := s.AddLink(a, b, lp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("h1", "h2", 1)
+	link("h2", "h3", 1)
+	return s
+}
+
+func dep(c1, c2, c3 model.HostID) model.Deployment {
+	return model.Deployment{"c1": c1, "c2": c2, "c3": c3}
+}
+
+func TestComputePlanDiffsOnlyChanges(t *testing.T) {
+	s := buildSys(t)
+	cur := dep("h1", "h1", "h2")
+	tgt := dep("h2", "h1", "h2")
+	plan, err := ComputePlan(s, cur, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %+v", plan.Moves)
+	}
+	m := plan.Moves[0]
+	if m.Comp != "c1" || m.From != "h1" || m.To != "h2" || m.SizeKB != 10 {
+		t.Fatalf("move = %+v", m)
+	}
+}
+
+func TestComputePlanEmptyForIdentical(t *testing.T) {
+	s := buildSys(t)
+	cur := dep("h1", "h2", "h3")
+	plan, err := ComputePlan(s, cur, cur.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestComputePlanDeterministicOrder(t *testing.T) {
+	s := buildSys(t)
+	cur := dep("h1", "h1", "h1")
+	tgt := dep("h2", "h2", "h2")
+	p1, err := ComputePlan(s, cur, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p1.Moves); i++ {
+		if p1.Moves[i-1].Comp >= p1.Moves[i].Comp {
+			t.Fatalf("moves not sorted: %+v", p1.Moves)
+		}
+	}
+}
+
+func TestComputePlanValidatesTarget(t *testing.T) {
+	s := buildSys(t)
+	cur := dep("h1", "h2", "h3")
+	// Memory violation: all three components need 30 > capacity? No —
+	// capacity is 100. Use a location constraint instead.
+	s.Constraints.Pin("c1", "h1")
+	bad := dep("h2", "h2", "h3")
+	if _, err := ComputePlan(s, cur, bad); err == nil {
+		t.Fatal("constraint-violating target accepted")
+	}
+	// Incomplete current deployment is rejected.
+	incomplete := model.Deployment{"c1": "h1"}
+	if _, err := ComputePlan(s, incomplete, cur); err == nil {
+		t.Fatal("incomplete current accepted")
+	}
+}
+
+func TestPlanBytes(t *testing.T) {
+	s := buildSys(t)
+	plan, err := ComputePlan(s, dep("h1", "h1", "h1"), dep("h2", "h2", "h1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BytesKB() != 20 {
+		t.Fatalf("BytesKB = %v, want 20", plan.BytesKB())
+	}
+}
+
+func TestEstimateCostDirectLink(t *testing.T) {
+	s := buildSys(t)
+	plan := Plan{Moves: []Move{{Comp: "c1", From: "h1", To: "h2", SizeKB: 100}}}
+	est := plan.EstimateCost(s, "")
+	// 100KB at 100KB/s = 1000ms + 10ms delay, rel 1 → 1010ms.
+	if est.TransferMS < 1009 || est.TransferMS > 1011 {
+		t.Fatalf("TransferMS = %v, want ≈1010", est.TransferMS)
+	}
+	if est.Mediated != 0 || est.Moves != 1 || est.BytesKB != 100 {
+		t.Fatalf("est = %+v", est)
+	}
+}
+
+func TestEstimateCostLossyLinkRetransmits(t *testing.T) {
+	s := buildSys(t)
+	s.Links[model.MakeHostPair("h1", "h2")].Params.Set(model.ParamReliability, 0.5)
+	plan := Plan{Moves: []Move{{Comp: "c1", From: "h1", To: "h2", SizeKB: 100}}}
+	est := plan.EstimateCost(s, "")
+	// Expected attempts double the cost: ≈2020ms.
+	if est.TransferMS < 2019 || est.TransferMS > 2021 {
+		t.Fatalf("TransferMS = %v, want ≈2020", est.TransferMS)
+	}
+}
+
+func TestEstimateCostMediated(t *testing.T) {
+	s := buildSys(t)
+	plan := Plan{Moves: []Move{{Comp: "c1", From: "h1", To: "h3", SizeKB: 50}}}
+	// h1 and h3 are not directly connected; h2 mediates.
+	est := plan.EstimateCost(s, "h2")
+	if est.Mediated != 1 {
+		t.Fatalf("Mediated = %d", est.Mediated)
+	}
+	// Two hops of (50/100*1000 + 10) = 510 each → 1020ms.
+	if est.TransferMS < 1019 || est.TransferMS > 1021 {
+		t.Fatalf("TransferMS = %v, want ≈1020", est.TransferMS)
+	}
+	// Without a mediator the move is charged the unreachable penalty.
+	est = plan.EstimateCost(s, "")
+	if est.TransferMS != unreachableTransferMS {
+		t.Fatalf("TransferMS = %v, want penalty", est.TransferMS)
+	}
+}
+
+func TestEstimateCostLocalMoveFree(t *testing.T) {
+	s := buildSys(t)
+	plan := Plan{Moves: []Move{{Comp: "c1", From: "h1", To: "h1", SizeKB: 50}}}
+	if est := plan.EstimateCost(s, ""); est.TransferMS != 0 {
+		t.Fatalf("local move cost = %v", est.TransferMS)
+	}
+}
+
+func TestModelEnactor(t *testing.T) {
+	s := buildSys(t)
+	d := dep("h1", "h1", "h2")
+	plan, err := ComputePlan(s, d, dep("h2", "h1", "h3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := &ModelEnactor{Deployment: d}
+	rep, err := en.Enact(plan, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 2 {
+		t.Fatalf("moved = %d", rep.Moved)
+	}
+	if d["c1"] != "h2" || d["c3"] != "h3" {
+		t.Fatalf("deployment after enact = %v", d)
+	}
+}
+
+func TestModelEnactorRejectsStalePlan(t *testing.T) {
+	s := buildSys(t)
+	d := dep("h1", "h1", "h2")
+	plan, err := ComputePlan(s, d, dep("h2", "h1", "h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d["c1"] = "h3" // the world moved on
+	en := &ModelEnactor{Deployment: d}
+	if _, err := en.Enact(plan, time.Second); err == nil {
+		t.Fatal("stale plan accepted")
+	}
+	if d["c1"] != "h3" {
+		t.Fatal("failed enact mutated the deployment")
+	}
+}
+
+// Property: for any pair of valid deployments, enacting the plan computed
+// from current→target reproduces target exactly.
+func TestPlanApplicationReachesTargetProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		cfg := model.DefaultGeneratorConfig(4, 10)
+		s, current, err := model.NewGenerator(cfg, seedA).Generate()
+		if err != nil {
+			return false
+		}
+		// Build a second valid deployment of the same system with a
+		// different packing order.
+		gen2 := model.NewGenerator(cfg, seedA) // same architecture…
+		s2, target, err := gen2.Generate()
+		if err != nil {
+			return false
+		}
+		_ = s2
+		// Shuffle target by moving components between hosts (validated).
+		mod := model.NewModifier(s)
+		hosts := s.HostIDs()
+		comps := s.ComponentIDs()
+		offset := int(((seedB % 7) + 7) % 7) // non-negative regardless of sign
+		for i, c := range comps {
+			h := hosts[(i+offset)%len(hosts)]
+			_ = mod.Move(target, c, h) // best-effort; rejected moves are fine
+		}
+		if s.Constraints.Check(s, target) != nil {
+			return true // couldn't produce a valid target; vacuous case
+		}
+		plan, err := ComputePlan(s, current, target)
+		if err != nil {
+			return false
+		}
+		en := &ModelEnactor{Deployment: current}
+		if _, err := en.Enact(plan, 0); err != nil {
+			return false
+		}
+		return current.Equal(target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

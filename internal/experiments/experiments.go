@@ -1,0 +1,360 @@
+// Package experiments implements the paper-reproduction harness: one
+// generator per experiment in DESIGN.md's index (E1–E9), each returning
+// typed rows and a paper-style text table. cmd/experiments prints them;
+// the repository-root benchmarks measure them.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dif/internal/algo"
+	"dif/internal/algo/decap"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+)
+
+// gen builds the standard experiment architecture. Host memory is scaled
+// to the component population so that a host holds roughly its fair share
+// (×1.0–1.5): with oversized hosts every algorithm trivially collocates
+// everything and the placement problem degenerates.
+func gen(hosts, comps int, seed int64) (*model.System, model.Deployment, error) {
+	return genSlack(hosts, comps, seed, 1.25)
+}
+
+// genSlack builds an architecture whose hosts hold slack× their fair
+// share of component memory. Slack ≈1.25 makes placement competitive
+// (the centralized algorithms' regime); slack ≈2 leaves the room
+// one-component-at-a-time protocols like DecAp need to maneuver.
+func genSlack(hosts, comps int, seed int64, slack float64) (*model.System, model.Deployment, error) {
+	cfg := model.DefaultGeneratorConfig(hosts, comps)
+	avgComp := cfg.ComponentMemory.Mid()
+	fairShare := avgComp * float64(comps) / float64(hosts)
+	cfg.HostMemory = model.Range{Min: fairShare * 0.8 * slack, Max: fairShare * 1.2 * slack}
+	cfg.MemoryHeadroom = 1.15
+	return model.NewGenerator(cfg, seed).Generate()
+}
+
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// ---------------------------------------------------------------------------
+// E1 — algorithm quality at Exact-feasible sizes (§5.1).
+
+// E1Row is one architecture's outcome across the algorithm suite.
+type E1Row struct {
+	Hosts, Comps int
+	Seed         int64
+	Initial      float64
+	Exact        float64
+	Stochastic   float64
+	Avala        float64
+	AvalaSwap    float64 // avala refined by the swap extension
+	ExactTime    time.Duration
+	AvalaTime    time.Duration
+}
+
+// E1Config parameterizes E1.
+type E1Config struct {
+	Sizes  [][2]int // {hosts, comps} pairs
+	Seeds  int
+	Trials int // stochastic restarts
+}
+
+// DefaultE1 returns the published configuration: Exact-feasible sizes.
+func DefaultE1() E1Config {
+	return E1Config{Sizes: [][2]int{{4, 10}, {5, 12}}, Seeds: 10, Trials: 100}
+}
+
+// RunE1 runs the algorithm-quality comparison.
+func RunE1(cfg E1Config) ([]E1Row, error) {
+	ctx := context.Background()
+	var rows []E1Row
+	for _, size := range cfg.Sizes {
+		for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
+			sys, initial, err := gen(size[0], size[1], seed)
+			if err != nil {
+				return nil, err
+			}
+			row := E1Row{Hosts: size[0], Comps: size[1], Seed: seed}
+			row.Initial = objective.Availability{}.Quantify(sys, initial)
+			acfg := algo.Config{Objective: objective.Availability{}, Seed: seed, Trials: cfg.Trials}
+
+			ex, err := (&algo.Exact{}).Run(ctx, sys, initial, acfg)
+			if err != nil {
+				return nil, fmt.Errorf("e1 exact: %w", err)
+			}
+			row.Exact = ex.Score
+			row.ExactTime = ex.Elapsed
+
+			st, err := (&algo.Stochastic{}).Run(ctx, sys, initial, acfg)
+			if err != nil {
+				return nil, fmt.Errorf("e1 stochastic: %w", err)
+			}
+			row.Stochastic = st.Score
+
+			av, err := (&algo.Avala{}).Run(ctx, sys, initial, acfg)
+			if err != nil {
+				return nil, fmt.Errorf("e1 avala: %w", err)
+			}
+			row.Avala = av.Score
+			row.AvalaTime = av.Elapsed
+
+			sw, err := (&algo.Swap{}).Run(ctx, sys, av.Deployment, acfg)
+			if err != nil {
+				return nil, fmt.Errorf("e1 swap: %w", err)
+			}
+			row.AvalaSwap = sw.Score
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintE1 renders E1 as the paper-style summary table (means per size).
+func PrintE1(w io.Writer, rows []E1Row) {
+	fmt.Fprintln(w, "E1 — availability by algorithm (Exact-feasible sizes, mean over seeds)")
+	tw := table(w)
+	fmt.Fprintln(tw, "size\tinitial\texact(optimal)\tstochastic\tavala\tavala+swap\tavala/optimal\texact time\tavala time")
+	type agg struct {
+		n                                 int
+		init, exact, stoch, avala, avSwap float64
+		exactTime, avalaTime              time.Duration
+	}
+	byKey := map[string]*agg{}
+	var order []string
+	for _, r := range rows {
+		key := fmt.Sprintf("%dx%d", r.Hosts, r.Comps)
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.n++
+		a.init += r.Initial
+		a.exact += r.Exact
+		a.stoch += r.Stochastic
+		a.avala += r.Avala
+		a.avSwap += r.AvalaSwap
+		a.exactTime += r.ExactTime
+		a.avalaTime += r.AvalaTime
+	}
+	for _, key := range order {
+		a := byKey[key]
+		n := float64(a.n)
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f%%\t%v\t%v\n",
+			key, a.init/n, a.exact/n, a.stoch/n, a.avala/n, a.avSwap/n,
+			100*a.avala/a.exact,
+			(a.exactTime / time.Duration(a.n)).Round(time.Microsecond),
+			(a.avalaTime / time.Duration(a.n)).Round(time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — running-time scaling (§5.1 complexity claims).
+
+// E2Row is one (algorithm, size) timing measurement.
+type E2Row struct {
+	Algorithm    string
+	Hosts, Comps int
+	Elapsed      time.Duration
+	Nodes        int
+	Score        float64
+}
+
+// RunE2 measures how the three centralized algorithms scale: Exact over
+// component counts at fixed k (exponential), Stochastic and Avala over a
+// grid (polynomial).
+func RunE2() ([]E2Row, error) {
+	ctx := context.Background()
+	var rows []E2Row
+	// Exact: k=4 hosts, n ∈ {8..12}. O(k^n) with pruning.
+	for _, comps := range []int{8, 9, 10, 11, 12} {
+		sys, initial, err := gen(4, comps, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (&algo.Exact{}).Run(ctx, sys, initial,
+			algo.Config{Objective: objective.Availability{}})
+		if err != nil {
+			return nil, fmt.Errorf("e2 exact %d comps: %w", comps, err)
+		}
+		rows = append(rows, E2Row{Algorithm: "exact", Hosts: 4, Comps: comps,
+			Elapsed: res.Elapsed, Nodes: res.Nodes, Score: res.Score})
+	}
+	// Heuristics: growing grid.
+	for _, size := range [][2]int{{5, 50}, {10, 100}, {15, 200}, {20, 400}} {
+		sys, initial, err := gen(size[0], size[1], 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range []algo.Algorithm{&algo.Stochastic{}, &algo.Avala{}} {
+			res, err := a.Run(ctx, sys, initial,
+				algo.Config{Objective: objective.Availability{}, Seed: 1, Trials: 20})
+			if err != nil {
+				return nil, fmt.Errorf("e2 %s %v: %w", a.Name(), size, err)
+			}
+			rows = append(rows, E2Row{Algorithm: a.Name(), Hosts: size[0], Comps: size[1],
+				Elapsed: res.Elapsed, Nodes: res.Nodes, Score: res.Score})
+		}
+	}
+	return rows, nil
+}
+
+// PrintE2 renders the scaling table.
+func PrintE2(w io.Writer, rows []E2Row) {
+	fmt.Fprintln(w, "E2 — algorithm running-time scaling")
+	tw := table(w)
+	fmt.Fprintln(tw, "algorithm\thosts\tcomps\ttime\tsearch nodes\tavailability")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%.4f\n",
+			r.Algorithm, r.Hosts, r.Comps, r.Elapsed.Round(time.Microsecond), r.Nodes, r.Score)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — DecAp availability vs awareness (§5.2).
+
+// E3Row is one awareness level's outcome.
+type E3Row struct {
+	Awareness   float64 // 1.0 = full knowledge
+	DecAp       float64
+	Centralized float64 // avala with global knowledge
+	Initial     float64
+	Stats       decap.Stats
+}
+
+// RunE3 sweeps the awareness fraction on an 8×24 architecture, averaged
+// over seeds.
+func RunE3(seeds int) ([]E3Row, error) {
+	ctx := context.Background()
+	fractions := []float64{0.25, 0.5, 0.75, 1.0}
+	rows := make([]E3Row, len(fractions))
+	for i, f := range fractions {
+		rows[i].Awareness = f
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		sys, initial, err := genSlack(8, 24, seed, 2)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := (&algo.Avala{}).Run(ctx, sys, initial,
+			algo.Config{Objective: objective.Availability{}, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("e3 reference: %w", err)
+		}
+		init := objective.Availability{}.Quantify(sys, initial)
+		for i, f := range fractions {
+			var aware decap.Awareness = decap.NewPartialAwareness(sys, f, seed)
+			if f == 1.0 {
+				aware = decap.FullAwareness{}
+			}
+			res, err := decap.New(decap.Config{Awareness: aware}).Run(ctx, sys, initial)
+			if err != nil {
+				return nil, fmt.Errorf("e3 decap: %w", err)
+			}
+			rows[i].DecAp += res.Score
+			rows[i].Centralized += ref.Score
+			rows[i].Initial += init
+			rows[i].Stats.Auctions += res.Stats.Auctions
+			rows[i].Stats.Bids += res.Stats.Bids
+			rows[i].Stats.Migrations += res.Stats.Migrations
+			rows[i].Stats.BytesMoved += res.Stats.BytesMoved
+		}
+	}
+	for i := range rows {
+		n := float64(seeds)
+		rows[i].DecAp /= n
+		rows[i].Centralized /= n
+		rows[i].Initial /= n
+	}
+	return rows, nil
+}
+
+// PrintE3 renders the awareness sweep.
+func PrintE3(w io.Writer, rows []E3Row) {
+	fmt.Fprintln(w, "E3 — DecAp availability vs awareness (8 hosts × 24 comps, mean over seeds)")
+	tw := table(w)
+	fmt.Fprintln(tw, "awareness\tinitial\tdecap\tcentralized(avala)\tdecap/centralized\tauctions\tbids\tmigrations")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.4f\t%.4f\t%.1f%%\t%d\t%d\t%d\n",
+			r.Awareness, r.Initial, r.DecAp, r.Centralized,
+			100*r.DecAp/r.Centralized, r.Stats.Auctions, r.Stats.Bids, r.Stats.Migrations)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E7 — ε-stability detection convergence vs noise.
+
+// E7Row is one (epsilon, noise) convergence measurement.
+type E7Row struct {
+	Epsilon    float64
+	Windows    int
+	NoiseSigma float64
+	// MeanIntervals is the mean number of monitoring intervals until the
+	// detector reports stability (capped at Cap when it never converges).
+	MeanIntervals float64
+	Converged     int
+	Runs          int
+	Cap           int
+}
+
+// RunE7 measures stability-detection convergence across noise levels.
+func RunE7() []E7Row {
+	var rows []E7Row
+	const runs, maxIntervals = 50, 300
+	for _, eps := range []float64{0.02, 0.05, 0.10} {
+		for _, sigma := range []float64{0.002, 0.01, 0.03, 0.08} {
+			row := E7Row{Epsilon: eps, Windows: 3, NoiseSigma: sigma, Runs: runs, Cap: maxIntervals}
+			total := 0
+			for seed := int64(0); seed < runs; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				det := monitor.NewStabilityDetector(eps, 3)
+				converged := maxIntervals
+				for i := 1; i <= maxIntervals; i++ {
+					v := 0.8 + rng.NormFloat64()*sigma
+					if det.Add(v) {
+						converged = i
+						row.Converged++
+						break
+					}
+				}
+				total += converged
+			}
+			row.MeanIntervals = float64(total) / float64(runs)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PrintE7 renders the stability-convergence table.
+func PrintE7(w io.Writer, rows []E7Row) {
+	fmt.Fprintln(w, "E7 — ε-stability detection: intervals to converge vs noise (W=3)")
+	tw := table(w)
+	fmt.Fprintln(tw, "epsilon\tnoise σ\tmean intervals\tconverged runs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.1f\t%d/%d\n",
+			r.Epsilon, r.NoiseSigma, r.MeanIntervals, r.Converged, r.Runs)
+	}
+	tw.Flush()
+}
+
+// Header prints a section separator.
+func Header(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("=", 78))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 78))
+}

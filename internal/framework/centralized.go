@@ -1,0 +1,149 @@
+package framework
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"dif/internal/analyzer"
+	"dif/internal/effector"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+)
+
+// Centralized is the framework's centralized instantiation (DSN'04
+// Figure 2): the master host maintains the global model, the master
+// monitor gathers every slave monitor's data, the centralized analyzer
+// selects and runs algorithms, and the master effector distributes
+// redeployment commands to the slave effectors.
+type Centralized struct {
+	World    *World
+	Model    *model.System // the centralized model (master's copy)
+	Analyzer *analyzer.Analyzer
+	Tracker  *monitor.Tracker
+
+	// Deployment is the master's view of the current placement.
+	Deployment model.Deployment
+
+	// ReportTimeout and EnactTimeout bound the distributed phases.
+	ReportTimeout time.Duration
+	EnactTimeout  time.Duration
+}
+
+// NewCentralized wires the centralized instantiation over a live world.
+// The master's model starts as a clone of the design-time system (the
+// Centralized User Input); monitoring refines it.
+func NewCentralized(w *World, policy analyzer.Policy) *Centralized {
+	return &Centralized{
+		World:         w,
+		Model:         w.Sys.Clone(),
+		Analyzer:      analyzer.New(nil, policy),
+		Tracker:       monitor.NewTracker(0, 0),
+		Deployment:    w.LiveDeployment(),
+		ReportTimeout: 5 * time.Second,
+		EnactTimeout:  10 * time.Second,
+	}
+}
+
+// CycleReport summarizes one monitor→analyze→redeploy cycle.
+type CycleReport struct {
+	ReportsGathered    int
+	ParamsWritten      int
+	Stability          float64
+	Decision           analyzer.Decision
+	Enacted            bool
+	Moves              int
+	AvailabilityBefore float64
+	AvailabilityAfter  float64
+}
+
+// Monitor runs the monitoring phase only: gather reports from every
+// slave and fold stable data into the centralized model.
+func (c *Centralized) Monitor() (int, int, error) {
+	reports, err := c.World.Deployer.RequestReports(c.World.SlaveHosts(), c.ReportTimeout)
+	if err != nil && len(reports) == 0 {
+		return 0, 0, fmt.Errorf("centralized monitor: %w", err)
+	}
+	// The master's own local report is gathered directly.
+	reports[c.World.Master] = c.World.Admins[c.World.Master].Report(true)
+
+	applier := monitor.NewApplier(c.Model, c.Tracker)
+	written := 0
+	for _, h := range c.Model.HostIDs() {
+		rep, ok := reports[h]
+		if !ok {
+			continue
+		}
+		written += applier.Apply(rep, c.Deployment)
+	}
+	return len(reports), written, nil
+}
+
+// Cycle runs one full monitor→analyze→redeploy round and reports what
+// happened.
+func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
+	var rep CycleReport
+	gathered, written, err := c.Monitor()
+	if err != nil {
+		return rep, err
+	}
+	rep.ReportsGathered = gathered
+	rep.ParamsWritten = written
+	// A nil tracker means monitoring data is applied ungated; treat the
+	// system as fully stable.
+	rep.Stability = 1.0
+	if c.Tracker != nil {
+		rep.Stability = c.Tracker.StableFraction()
+	}
+	// The analyzer's availability profile is the paper's second
+	// stability signal: a flat availability history marks a stable
+	// system even when individual parameters jitter (§5.1, "the analyzer
+	// holds a record of the fluctuations in the system's availability").
+	if hist := c.Analyzer.History(); len(hist) >= 2 {
+		trend := c.Analyzer.AvailabilityTrend(5)
+		historyStability := 1 - math.Min(1, trend/0.05)
+		rep.Stability = math.Max(rep.Stability, historyStability)
+	}
+	rep.AvailabilityBefore = objective.Availability{}.Quantify(c.Model, c.Deployment)
+
+	dec, err := c.Analyzer.Analyze(ctx, c.Model, c.Deployment, rep.Stability)
+	if err != nil {
+		return rep, fmt.Errorf("centralized analyze: %w", err)
+	}
+	rep.Decision = dec
+	if !dec.Accepted {
+		rep.AvailabilityAfter = rep.AvailabilityBefore
+		return rep, nil
+	}
+
+	plan, err := effector.ComputePlan(c.Model, c.Deployment, dec.Result.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("centralized plan: %w", err)
+	}
+	if plan.Empty() {
+		rep.AvailabilityAfter = rep.AvailabilityBefore
+		return rep, nil
+	}
+	en := &effector.PrismEnactor{Deployer: c.World.Deployer}
+	enRep, err := en.Enact(plan, c.EnactTimeout)
+	if err != nil {
+		return rep, fmt.Errorf("centralized enact: %w", err)
+	}
+	rep.Enacted = true
+	rep.Moves = enRep.Moved
+	c.Deployment = dec.Result.Deployment.Clone()
+	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
+	return rep, nil
+}
+
+// Verify cross-checks the master's deployment view against the live
+// system (test support and post-cycle sanity).
+func (c *Centralized) Verify() error {
+	live := c.World.LiveDeployment()
+	if !live.Equal(c.Deployment) {
+		return fmt.Errorf("centralized model out of sync: model %v, live %v", c.Deployment, live)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package framework
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dif/internal/algo/decap"
+	"dif/internal/analyzer"
+	"dif/internal/effector"
+	"dif/internal/model"
+	"dif/internal/monitor"
+	"dif/internal/objective"
+	"dif/internal/prism"
+)
+
+// Decentralized is the framework's decentralized instantiation (DSN'04
+// Figure 3): every host keeps a local model limited by its awareness of
+// other hosts, monitors only itself, runs a DecAp agent, and coordinates
+// acceptance with the other analyzers by voting. Every host carries its
+// own local effector (a deployer component), so redeployment needs no
+// central coordinator.
+type Decentralized struct {
+	World     *World
+	Awareness decap.Awareness
+	// LocalModels is each host's awareness-limited model subset.
+	LocalModels map[model.HostID]*model.System
+	Trackers    map[model.HostID]*monitor.Tracker
+	// Deployment is each host's (shared, converged) placement view; the
+	// in-process simulation keeps one authoritative copy.
+	Deployment model.Deployment
+	// Quorum is the voting threshold for accepting a redeployment.
+	Quorum float64
+	// Protocol selects how the analyzers coordinate acceptance: "poll"
+	// (default — each host accepts unless the candidate worsens its
+	// local score) or "vote" (hosts vote for the best-scoring proposal;
+	// the winner needs the quorum). DSN'04 §5.2: "the analyzer uses
+	// either the voting or the polling protocol".
+	Protocol string
+	// SyncMessages counts model-synchronization messages exchanged.
+	SyncMessages int
+
+	EnactTimeout time.Duration
+}
+
+// NewDecentralized wires the decentralized instantiation over a live
+// world built with DeployerPerHost. Awareness nil selects link awareness.
+func NewDecentralized(w *World, aware decap.Awareness) *Decentralized {
+	if aware == nil {
+		aware = decap.LinkAwareness{}
+	}
+	d := &Decentralized{
+		World:        w,
+		Awareness:    aware,
+		LocalModels:  make(map[model.HostID]*model.System, len(w.Archs)),
+		Trackers:     make(map[model.HostID]*monitor.Tracker, len(w.Archs)),
+		Deployment:   w.LiveDeployment(),
+		Quorum:       0.5,
+		EnactTimeout: 10 * time.Second,
+	}
+	for _, h := range w.Sys.HostIDs() {
+		d.LocalModels[h] = localSubset(w.Sys, h, aware)
+		d.Trackers[h] = monitor.NewTracker(0, 0)
+	}
+	return d
+}
+
+// localSubset extracts the part of the global model a host can see: the
+// hosts it is aware of, the links among them, and every component (the
+// component catalogue is design-time knowledge; runtime parameters are
+// refined by monitoring).
+func localSubset(sys *model.System, h model.HostID, aware decap.Awareness) *model.System {
+	visible := map[model.HostID]bool{h: true}
+	for _, nb := range aware.Neighbors(sys, h) {
+		visible[nb] = true
+	}
+	sub := model.NewSystem()
+	sub.Constraints = sys.Constraints.Clone()
+	for id, host := range sys.Hosts {
+		if visible[id] {
+			sub.AddHost(id, host.Params)
+		}
+	}
+	for id, comp := range sys.Components {
+		sub.AddComponent(id, comp.Params)
+	}
+	for pair, link := range sys.Links {
+		if visible[pair.A] && visible[pair.B] {
+			if _, err := sub.AddLink(pair.A, pair.B, link.Params); err != nil {
+				continue
+			}
+		}
+	}
+	for pair, link := range sys.Interacts {
+		if _, err := sub.AddInteraction(pair.A, pair.B, link.Params); err != nil {
+			continue
+		}
+	}
+	return sub
+}
+
+// MonitorLocal runs each host's local monitoring: every admin reports on
+// its own host and the data is folded into that host's local model.
+func (d *Decentralized) MonitorLocal() int {
+	written := 0
+	for _, h := range d.World.Sys.HostIDs() {
+		rep := d.World.Admins[h].Report(true)
+		applier := monitor.NewApplier(d.LocalModels[h], d.Trackers[h])
+		written += applier.Apply(rep, d.Deployment)
+	}
+	return written
+}
+
+// SyncModels exchanges model data between mutually aware hosts (the
+// Decentralized Model synchronization of Figure 3): each host pushes its
+// locally monitored link parameters to its neighbors. Returns the number
+// of synchronization messages sent.
+func (d *Decentralized) SyncModels() int {
+	msgs := 0
+	for _, h := range d.World.Sys.HostIDs() {
+		local := d.LocalModels[h]
+		for _, nb := range d.Awareness.Neighbors(d.World.Sys, h) {
+			remote, ok := d.LocalModels[nb]
+			if !ok {
+				continue
+			}
+			msgs++
+			// Push h's incident-link knowledge to the neighbor.
+			for pair, link := range local.Links {
+				if pair.A != h && pair.B != h {
+					continue
+				}
+				if rl := remote.Links[pair]; rl != nil {
+					rl.Params = link.Params.Clone()
+				}
+			}
+			// Push h's interaction knowledge.
+			for pair, link := range local.Interacts {
+				if rl := remote.Interacts[pair]; rl != nil {
+					rl.Params = link.Params.Clone()
+				}
+			}
+		}
+	}
+	d.SyncMessages += msgs
+	return msgs
+}
+
+// DecCycleReport summarizes one decentralized improvement round.
+type DecCycleReport struct {
+	ParamsWritten      int
+	SyncMessages       int
+	Stats              decap.Stats
+	VotePassed         bool
+	Enacted            bool
+	Moves              int
+	AvailabilityBefore float64
+	AvailabilityAfter  float64
+}
+
+// Cycle runs one decentralized round: local monitoring, model sync, the
+// DecAp auction, the analyzers' vote, and local enactment of the moves.
+func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
+	var rep DecCycleReport
+	rep.ParamsWritten = d.MonitorLocal()
+	rep.SyncMessages = d.SyncModels()
+	rep.AvailabilityBefore = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+
+	// The auction runs over the global system restricted by awareness —
+	// exactly the knowledge the synchronized local models hold.
+	dec := decap.New(decap.Config{Awareness: d.Awareness})
+	res, err := dec.Run(ctx, d.World.Sys, d.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("decentralized cycle: %w", err)
+	}
+	rep.Stats = res.Stats
+
+	// Each host's analyzer scores the candidate with its local model,
+	// then the analyzers coordinate acceptance with the configured
+	// protocol.
+	proposals := make([]analyzer.Proposal, 0, len(d.LocalModels))
+	localScores := make(map[model.HostID]float64, len(d.LocalModels))
+	candScores := make(map[model.HostID]float64, len(d.LocalModels))
+	for h, local := range d.LocalModels {
+		localScores[h] = objective.Availability{}.Quantify(local, d.Deployment)
+		candScores[h] = objective.Availability{}.Quantify(local, res.Deployment)
+		proposals = append(proposals, analyzer.Proposal{
+			Host: h, Deployment: res.Deployment, Score: candScores[h],
+		})
+	}
+	switch d.Protocol {
+	case "vote":
+		_, rep.VotePassed = analyzer.Vote(proposals, d.Quorum)
+	default: // "poll"
+		rep.VotePassed = analyzer.Poll(localScores, candScores, d.Quorum)
+	}
+	if !rep.VotePassed {
+		rep.AvailabilityAfter = rep.AvailabilityBefore
+		return rep, nil
+	}
+
+	// Local effectors: each receiving host's deployer enacts its own
+	// arrivals.
+	plan, err := effector.ComputePlan(d.World.Sys, d.Deployment, res.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("decentralized plan: %w", err)
+	}
+	byDst := make(map[model.HostID][]effector.Move)
+	for _, mv := range plan.Moves {
+		byDst[mv.To] = append(byDst[mv.To], mv)
+	}
+	for dst, moves := range byDst {
+		dep := d.localDeployer(dst)
+		if dep == nil {
+			return rep, fmt.Errorf("decentralized enact: host %s has no deployer", dst)
+		}
+		en := &effector.PrismEnactor{Deployer: dep}
+		enRep, err := en.Enact(effector.Plan{Moves: moves}, d.EnactTimeout)
+		if err != nil {
+			return rep, fmt.Errorf("decentralized enact on %s: %w", dst, err)
+		}
+		rep.Moves += enRep.Moved
+	}
+	rep.Enacted = rep.Moves > 0
+	d.Deployment = res.Deployment.Clone()
+	rep.AvailabilityAfter = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+	return rep, nil
+}
+
+// localDeployer finds the deployer component on a host.
+func (d *Decentralized) localDeployer(h model.HostID) *prism.DeployerComponent {
+	comp := d.World.Archs[h].Component(prism.DeployerID)
+	dep, ok := comp.(*prism.DeployerComponent)
+	if !ok {
+		return nil
+	}
+	return dep
+}

@@ -1,0 +1,107 @@
+package framework
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Runner drives an instantiation's improvement cycle autonomically on a
+// fixed interval — the analyzer duty the paper calls "scheduling the
+// time to (re)examine the deployment architecture" (§4.3). It owns its
+// goroutine's lifetime: Start launches it, Stop signals it and waits for
+// it to exit.
+type Runner struct {
+	cycle    func(context.Context) error
+	interval time.Duration
+	workload func() // optional per-tick workload driver
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	// OnCycle, when set before Start, observes every cycle's outcome
+	// (nil error included). It runs on the runner's goroutine.
+	OnCycle func(err error)
+
+	cycles int
+	errs   int
+}
+
+// NewRunner wraps a cycle function (e.g. a closure over
+// Centralized.Cycle or Decentralized.Cycle) with an interval scheduler.
+// workload, when non-nil, runs before every cycle — typically the test
+// or example's World.Step driver.
+func NewRunner(cycle func(context.Context) error, interval time.Duration, workload func()) *Runner {
+	return &Runner{cycle: cycle, interval: interval, workload: workload}
+}
+
+// Start launches the improvement loop. Starting a started runner is a
+// no-op.
+func (r *Runner) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return
+	}
+	r.started = true
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+}
+
+func (r *Runner) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-stop
+		cancel()
+	}()
+	for {
+		select {
+		case <-ticker.C:
+			if r.workload != nil {
+				r.workload()
+			}
+			err := r.cycle(ctx)
+			r.mu.Lock()
+			r.cycles++
+			if err != nil {
+				r.errs++
+			}
+			cb := r.OnCycle
+			r.mu.Unlock()
+			if cb != nil {
+				cb(err)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Stop signals the loop and waits for it to exit. Stopping a stopped (or
+// never-started) runner is a no-op.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = false
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Stats returns how many cycles ran and how many returned errors.
+func (r *Runner) Stats() (cycles, errs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cycles, r.errs
+}

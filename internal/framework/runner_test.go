@@ -1,0 +1,145 @@
+package framework
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dif/internal/analyzer"
+)
+
+func TestRunnerDrivesCycles(t *testing.T) {
+	var ticks atomic.Int64
+	r := NewRunner(func(context.Context) error {
+		return nil
+	}, 5*time.Millisecond, func() { ticks.Add(1) })
+	r.Start()
+	defer r.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, _ := r.Stats(); c >= 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.Stop()
+	cycles, errs := r.Stats()
+	if cycles < 3 {
+		t.Fatalf("cycles = %d, want ≥ 3", cycles)
+	}
+	if errs != 0 {
+		t.Fatalf("errs = %d", errs)
+	}
+	if ticks.Load() < int64(cycles) {
+		t.Fatalf("workload ran %d times for %d cycles", ticks.Load(), cycles)
+	}
+	// No further cycles after Stop.
+	after, _ := r.Stats()
+	time.Sleep(20 * time.Millisecond)
+	again, _ := r.Stats()
+	if again != after {
+		t.Fatal("runner still cycling after Stop")
+	}
+}
+
+func TestRunnerCountsErrors(t *testing.T) {
+	calls := 0
+	var seen atomic.Int64
+	r := NewRunner(func(context.Context) error {
+		calls++
+		if calls%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	}, 3*time.Millisecond, nil)
+	r.OnCycle = func(err error) {
+		if err != nil {
+			seen.Add(1)
+		}
+	}
+	r.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, errs := r.Stats(); errs >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.Stop()
+	if _, errs := r.Stats(); errs < 2 {
+		t.Fatalf("errs = %d, want ≥ 2", errs)
+	}
+	if seen.Load() < 2 {
+		t.Fatalf("OnCycle saw %d errors", seen.Load())
+	}
+}
+
+func TestRunnerIdempotentStartStop(t *testing.T) {
+	r := NewRunner(func(context.Context) error { return nil }, time.Millisecond, nil)
+	r.Stop() // never started: no-op
+	r.Start()
+	r.Start() // double start: no-op
+	r.Stop()
+	r.Stop() // double stop: no-op
+}
+
+func TestRunnerCancelsInflightCycleOnStop(t *testing.T) {
+	entered := make(chan struct{})
+	r := NewRunner(func(ctx context.Context) error {
+		close(entered)
+		<-ctx.Done()
+		return ctx.Err()
+	}, time.Millisecond, nil)
+	r.Start()
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cycle never ran")
+	}
+	finished := make(chan struct{})
+	go func() {
+		r.Stop()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung on an in-flight cycle")
+	}
+}
+
+func TestRunnerWithLiveCentralized(t *testing.T) {
+	w, _ := newTestWorld(t, 3, 8, 15, WorldConfig{})
+	cent := NewCentralized(w, analyzer.Policy{})
+	cent.Tracker = nil
+	var hardErrs atomic.Int64
+	r := NewRunner(func(ctx context.Context) error {
+		_, err := cent.Cycle(ctx)
+		return err
+	}, 10*time.Millisecond, func() { w.StepN(5) })
+	// Stop may cancel an in-flight cycle; only non-cancellation errors
+	// count as failures.
+	r.OnCycle = func(err error) {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			hardErrs.Add(1)
+		}
+	}
+	r.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, _ := r.Stats(); c >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	cycles, _ := r.Stats()
+	if cycles < 2 {
+		t.Fatalf("live cycles = %d", cycles)
+	}
+	if hardErrs.Load() != 0 {
+		t.Fatalf("live hard errors = %d", hardErrs.Load())
+	}
+}

@@ -1,0 +1,155 @@
+package framework
+
+import (
+	"encoding/json"
+	"sync"
+
+	"dif/internal/prism"
+)
+
+// TrafficTypeName keys the traffic component in the factory registry.
+const TrafficTypeName = "dif.traffic"
+
+// TrafficComponent is the synthetic application component that drives the
+// framework's live experiments: each Tick it emits events toward its
+// logical-link partners at the modeled frequency (fractional rates
+// accumulate across ticks). It is fully migratable — its partner table
+// and counters travel with it — so redeployment experiments exercise the
+// real serialize/ship/reconstitute path.
+type TrafficComponent struct {
+	prism.BaseComponent
+
+	mu sync.Mutex
+	// partners maps partner component ID → events per tick.
+	partners map[string]float64
+	// sizes maps partner component ID → event size KB.
+	sizes map[string]float64
+	// acc accumulates fractional emission credit per partner.
+	acc map[string]float64
+	// received counts delivered application events.
+	received int
+	// sent counts emitted application events.
+	sent int
+}
+
+var _ prism.Migratable = (*TrafficComponent)(nil)
+
+// NewTrafficComponent returns an idle traffic component.
+func NewTrafficComponent(id string) *TrafficComponent {
+	return &TrafficComponent{
+		BaseComponent: prism.NewBaseComponent(id),
+		partners:      make(map[string]float64),
+		sizes:         make(map[string]float64),
+		acc:           make(map[string]float64),
+	}
+}
+
+// AddPartner declares a logical link toward another component.
+func (tc *TrafficComponent) AddPartner(partner string, ratePerTick, sizeKB float64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.partners[partner] = ratePerTick
+	tc.sizes[partner] = sizeKB
+}
+
+// Handle implements prism.Component: counts received application events.
+func (tc *TrafficComponent) Handle(e prism.Event) {
+	if e.Kind != 0 && e.Kind != prism.KindApplication {
+		return
+	}
+	tc.mu.Lock()
+	tc.received++
+	tc.mu.Unlock()
+}
+
+// Tick emits this tick's events toward every partner and returns how
+// many were emitted.
+func (tc *TrafficComponent) Tick() int {
+	tc.mu.Lock()
+	type emission struct {
+		partner string
+		count   int
+		sizeKB  float64
+	}
+	var emissions []emission
+	for partner, rate := range tc.partners {
+		tc.acc[partner] += rate
+		n := int(tc.acc[partner])
+		if n > 0 {
+			tc.acc[partner] -= float64(n)
+			emissions = append(emissions, emission{partner, n, tc.sizes[partner]})
+			tc.sent += n
+		}
+	}
+	tc.mu.Unlock()
+
+	total := 0
+	for _, em := range emissions {
+		for i := 0; i < em.count; i++ {
+			tc.Emit(prism.Event{
+				Name:   "traffic",
+				Target: em.partner,
+				SizeKB: em.sizeKB,
+			})
+			total++
+		}
+	}
+	return total
+}
+
+// Counters returns (sent, received).
+func (tc *TrafficComponent) Counters() (int, int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.sent, tc.received
+}
+
+// trafficState is the serialized form of a TrafficComponent.
+type trafficState struct {
+	Partners map[string]float64 `json:"partners"`
+	Sizes    map[string]float64 `json:"sizes"`
+	Acc      map[string]float64 `json:"acc"`
+	Received int                `json:"received"`
+	Sent     int                `json:"sent"`
+}
+
+// TypeName implements prism.Migratable.
+func (tc *TrafficComponent) TypeName() string { return TrafficTypeName }
+
+// Snapshot implements prism.Migratable.
+func (tc *TrafficComponent) Snapshot() ([]byte, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return json.Marshal(trafficState{
+		Partners: tc.partners,
+		Sizes:    tc.sizes,
+		Acc:      tc.acc,
+		Received: tc.received,
+		Sent:     tc.sent,
+	})
+}
+
+// Restore implements prism.Migratable.
+func (tc *TrafficComponent) Restore(state []byte) error {
+	var st trafficState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.partners = st.Partners
+	tc.sizes = st.Sizes
+	tc.acc = st.Acc
+	if tc.partners == nil {
+		tc.partners = make(map[string]float64)
+	}
+	if tc.sizes == nil {
+		tc.sizes = make(map[string]float64)
+	}
+	if tc.acc == nil {
+		tc.acc = make(map[string]float64)
+	}
+	tc.received = st.Received
+	tc.sent = st.Sent
+	return nil
+}

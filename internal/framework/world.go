@@ -1,0 +1,204 @@
+// Package framework assembles the deployment improvement framework's two
+// instantiations (DSN'04 §3.2):
+//
+//   - Centralized (Figure 2): a Master Host with the global model, a
+//     centralized analyzer and algorithms, a master monitor gathering
+//     slave reports, and a master effector distributing redeployment
+//     commands to slave effectors.
+//   - Decentralized (Figure 3): every host has a local monitor, local
+//     effector, awareness-limited local model, a DecAp agent, and an
+//     analyzer that coordinates with its remote counterparts by voting.
+//
+// Both run on live Prism-MW architectures over the netsim fabric, with
+// TrafficComponents generating the application workload the monitors
+// observe.
+package framework
+
+import (
+	"fmt"
+
+	"dif/internal/model"
+	"dif/internal/netsim"
+	"dif/internal/prism"
+)
+
+// BusName is the distribution connector every host exposes.
+const BusName = "bus"
+
+// World is a live multi-host Prism-MW system mirroring a model.System:
+// one architecture per host, a bus distribution connector each, an admin
+// per host, and one traffic component per model component, placed
+// according to the initial deployment.
+type World struct {
+	Sys      *model.System
+	Fabric   *netsim.Fabric
+	Archs    map[model.HostID]*prism.Architecture
+	Admins   map[model.HostID]*prism.AdminComponent
+	Registry *prism.FactoryRegistry
+	Master   model.HostID
+	Deployer *prism.DeployerComponent
+}
+
+// WorldConfig parameterizes world construction.
+type WorldConfig struct {
+	// Seed drives the fabric's loss process.
+	Seed int64
+	// Master selects the deployer's host; empty picks the first host.
+	// The decentralized instantiation installs a deployer on every host
+	// instead (see NewDecentralized).
+	Master model.HostID
+	// DeployerPerHost installs a deployer component on every host (the
+	// decentralized instantiation's local effectors).
+	DeployerPerHost bool
+	// Monitors controls whether admin monitors are attached (the
+	// monitoring-overhead experiment turns them off).
+	Monitors bool
+}
+
+// NewWorld builds a live world for the system and places one traffic
+// component per model component according to the deployment.
+func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (*World, error) {
+	if err := deployment.Validate(sys); err != nil {
+		return nil, fmt.Errorf("framework world: %w", err)
+	}
+	master := cfg.Master
+	hosts := sys.HostIDs()
+	if master == "" {
+		master = hosts[0]
+	}
+	fabric, err := netsim.FromModel(sys, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Sys:      sys,
+		Fabric:   fabric,
+		Archs:    make(map[model.HostID]*prism.Architecture, len(hosts)),
+		Admins:   make(map[model.HostID]*prism.AdminComponent, len(hosts)),
+		Registry: prism.NewFactoryRegistry(),
+		Master:   master,
+	}
+	w.Registry.Register(TrafficTypeName, func(id string) prism.Migratable {
+		return NewTrafficComponent(id)
+	})
+
+	adminCfg := prism.AdminConfig{Deployer: master, Bus: BusName, Registry: w.Registry}
+	for _, h := range hosts {
+		arch := prism.NewArchitecture(h, nil)
+		tr, err := prism.NewNetsimTransport(fabric, h)
+		if err != nil {
+			fabric.Close()
+			return nil, err
+		}
+		if _, err := arch.AddDistributionConnector(BusName, tr); err != nil {
+			fabric.Close()
+			return nil, err
+		}
+		admin, err := prism.InstallAdmin(arch, adminCfg)
+		if err != nil {
+			fabric.Close()
+			return nil, err
+		}
+		if !cfg.Monitors {
+			admin.DetachMonitors()
+		}
+		w.Archs[h] = arch
+		w.Admins[h] = admin
+		if cfg.DeployerPerHost || h == master {
+			dep, err := prism.InstallDeployer(arch, adminCfg)
+			if err != nil {
+				fabric.Close()
+				return nil, err
+			}
+			if h == master {
+				w.Deployer = dep
+			}
+		}
+	}
+
+	// Instantiate the application: one traffic component per model
+	// component, with its logical links as partner rates.
+	for _, comp := range sys.ComponentIDs() {
+		tc := NewTrafficComponent(string(comp))
+		for _, link := range sys.InteractionsOf(comp) {
+			other := link.Components.A
+			if other == comp {
+				other = link.Components.B
+			}
+			tc.AddPartner(string(other), link.Frequency(), link.EventSize())
+		}
+		host := deployment[comp]
+		if err := w.Archs[host].AddComponent(tc); err != nil {
+			fabric.Close()
+			return nil, err
+		}
+		if err := w.Archs[host].Weld(string(comp), BusName); err != nil {
+			fabric.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Step drives one workload tick on every traffic component.
+func (w *World) Step() int {
+	total := 0
+	for _, h := range w.Sys.HostIDs() {
+		arch := w.Archs[h]
+		for _, id := range arch.ComponentIDs() {
+			if tc, ok := arch.Component(id).(*TrafficComponent); ok {
+				total += tc.Tick()
+			}
+		}
+	}
+	return total
+}
+
+// StepN drives n workload ticks.
+func (w *World) StepN(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += w.Step()
+	}
+	return total
+}
+
+// LiveDeployment reads the actual component placement off the running
+// architectures.
+func (w *World) LiveDeployment() model.Deployment {
+	d := model.NewDeployment(len(w.Sys.Components))
+	for h, arch := range w.Archs {
+		for _, id := range arch.ComponentIDs() {
+			if id == prism.AdminID || id == prism.DeployerID {
+				continue
+			}
+			d[model.ComponentID(id)] = h
+		}
+	}
+	return d
+}
+
+// Hosts returns all host IDs, sorted.
+func (w *World) Hosts() []model.HostID { return w.Sys.HostIDs() }
+
+// SlaveHosts returns every host except the master.
+func (w *World) SlaveHosts() []model.HostID {
+	var out []model.HostID
+	for _, h := range w.Sys.HostIDs() {
+		if h != w.Master {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Close shuts down the world's admins, scaffolds, and fabric.
+func (w *World) Close() {
+	for _, admin := range w.Admins {
+		admin.Close()
+	}
+	for _, arch := range w.Archs {
+		arch.Shutdown()
+	}
+	w.Fabric.Close()
+}

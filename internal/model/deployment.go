@@ -1,0 +1,140 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Deployment maps every software component to the hardware host it is
+// deployed on. It is the unit of work the framework's algorithms search
+// over and the effector enacts.
+type Deployment map[ComponentID]HostID
+
+// NewDeployment returns an empty deployment with capacity for n components.
+func NewDeployment(n int) Deployment {
+	return make(Deployment, n)
+}
+
+// Clone returns a copy of the deployment.
+func (d Deployment) Clone() Deployment {
+	out := make(Deployment, len(d))
+	for c, h := range d {
+		out[c] = h
+	}
+	return out
+}
+
+// Equal reports whether two deployments place every component identically.
+func (d Deployment) Equal(other Deployment) bool {
+	if len(d) != len(other) {
+		return false
+	}
+	for c, h := range d {
+		if other[c] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// HostOf returns the host a component is deployed on and whether it is
+// deployed at all.
+func (d Deployment) HostOf(c ComponentID) (HostID, bool) {
+	h, ok := d[c]
+	return h, ok
+}
+
+// ComponentsOn returns the components deployed on host h, in sorted order.
+func (d Deployment) ComponentsOn(h HostID) []ComponentID {
+	var out []ComponentID
+	for c, hh := range d {
+		if hh == h {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByHost groups the deployment as host → sorted component list.
+func (d Deployment) ByHost() map[HostID][]ComponentID {
+	out := make(map[HostID][]ComponentID)
+	for c, h := range d {
+		out[h] = append(out[h], c)
+	}
+	for h := range out {
+		cs := out[h]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return out
+}
+
+// UsedMemory returns the total memory required by the components deployed
+// on host h in system s.
+func (d Deployment) UsedMemory(s *System, h HostID) float64 {
+	total := 0.0
+	for c, hh := range d {
+		if hh != h {
+			continue
+		}
+		if comp, ok := s.Components[c]; ok {
+			total += comp.Memory()
+		}
+	}
+	return total
+}
+
+// Diff returns the set of components whose host differs between d (the
+// current deployment) and target, as a map component → destination host.
+// Components absent from target are ignored; components present only in
+// target are included (they must be newly instantiated).
+func (d Deployment) Diff(target Deployment) map[ComponentID]HostID {
+	moves := make(map[ComponentID]HostID)
+	for c, dst := range target {
+		if cur, ok := d[c]; !ok || cur != dst {
+			moves[c] = dst
+		}
+	}
+	return moves
+}
+
+// String renders the deployment as "host1:[c1 c2] host2:[c3]" in sorted
+// host order.
+func (d Deployment) String() string {
+	byHost := d.ByHost()
+	hosts := make([]HostID, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	var sb strings.Builder
+	for i, h := range hosts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%v", h, byHost[h])
+	}
+	return sb.String()
+}
+
+// Validate checks that the deployment is complete and structurally valid
+// for the system: every component of s is mapped to a host that exists.
+// It does not check constraints; use Constraints.Check for that.
+func (d Deployment) Validate(s *System) error {
+	for c := range s.Components {
+		h, ok := d[c]
+		if !ok {
+			return fmt.Errorf("component %s is not deployed", c)
+		}
+		if _, ok := s.Hosts[h]; !ok {
+			return fmt.Errorf("component %s deployed on unknown host %s", c, h)
+		}
+	}
+	for c := range d {
+		if _, ok := s.Components[c]; !ok {
+			return fmt.Errorf("deployment places unknown component %s", c)
+		}
+	}
+	return nil
+}

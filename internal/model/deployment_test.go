@@ -1,0 +1,124 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDeployment() Deployment {
+	return Deployment{
+		"c1": "hostA",
+		"c2": "hostA",
+		"c3": "hostB",
+		"c4": "hostC",
+	}
+}
+
+func TestDeploymentCloneIndependent(t *testing.T) {
+	d := testDeployment()
+	c := d.Clone()
+	c["c1"] = "hostC"
+	if d["c1"] != "hostA" {
+		t.Fatal("clone shares storage with original")
+	}
+	if !d.Equal(testDeployment()) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestDeploymentEqual(t *testing.T) {
+	a := testDeployment()
+	b := testDeployment()
+	if !a.Equal(b) {
+		t.Fatal("identical deployments not Equal")
+	}
+	b["c4"] = "hostA"
+	if a.Equal(b) {
+		t.Fatal("different placements reported Equal")
+	}
+	delete(b, "c4")
+	if a.Equal(b) {
+		t.Fatal("different sizes reported Equal")
+	}
+}
+
+func TestComponentsOnAndByHost(t *testing.T) {
+	d := testDeployment()
+	on := d.ComponentsOn("hostA")
+	if len(on) != 2 || on[0] != "c1" || on[1] != "c2" {
+		t.Fatalf("ComponentsOn(hostA) = %v", on)
+	}
+	if got := d.ComponentsOn("hostZ"); len(got) != 0 {
+		t.Fatalf("ComponentsOn(hostZ) = %v, want empty", got)
+	}
+	byHost := d.ByHost()
+	if len(byHost) != 3 || len(byHost["hostA"]) != 2 {
+		t.Fatalf("ByHost = %v", byHost)
+	}
+}
+
+func TestUsedMemory(t *testing.T) {
+	s := testSystem(t)
+	d := testDeployment()
+	if got := d.UsedMemory(s, "hostA"); got != 20 {
+		t.Fatalf("UsedMemory(hostA) = %v, want 20", got)
+	}
+	if got := d.UsedMemory(s, "hostC"); got != 10 {
+		t.Fatalf("UsedMemory(hostC) = %v, want 10", got)
+	}
+}
+
+func TestDeploymentDiff(t *testing.T) {
+	d := testDeployment()
+	target := d.Clone()
+	target["c1"] = "hostB"
+	target["c9"] = "hostC" // new component
+	moves := d.Diff(target)
+	if len(moves) != 2 {
+		t.Fatalf("Diff = %v, want 2 moves", moves)
+	}
+	if moves["c1"] != "hostB" || moves["c9"] != "hostC" {
+		t.Fatalf("Diff = %v", moves)
+	}
+	if got := d.Diff(d.Clone()); len(got) != 0 {
+		t.Fatalf("self Diff = %v, want empty", got)
+	}
+}
+
+func TestDeploymentString(t *testing.T) {
+	d := testDeployment()
+	str := d.String()
+	if !strings.Contains(str, "hostA:[c1 c2]") {
+		t.Fatalf("String = %q", str)
+	}
+	// Hosts must render in sorted order.
+	if strings.Index(str, "hostA") > strings.Index(str, "hostC") {
+		t.Fatalf("String not sorted: %q", str)
+	}
+}
+
+func TestDeploymentValidate(t *testing.T) {
+	s := testSystem(t)
+	d := testDeployment()
+	if err := d.Validate(s); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+
+	missing := d.Clone()
+	delete(missing, "c3")
+	if err := missing.Validate(s); err == nil {
+		t.Fatal("incomplete deployment accepted")
+	}
+
+	badHost := d.Clone()
+	badHost["c1"] = "nosuch"
+	if err := badHost.Validate(s); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+
+	extra := d.Clone()
+	extra["ghost"] = "hostA"
+	if err := extra.Validate(s); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}

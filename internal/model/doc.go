@@ -1,0 +1,17 @@
+// Package model implements the Model component of the deployment
+// improvement framework (DSN'04, Section 3.1).
+//
+// The model maintains the representation of a distributed system's
+// deployment architecture. It is composed of four kinds of parts — hosts,
+// components, physical links between hosts, and logical links between
+// components — each carrying an arbitrary, extensible set of named
+// parameters. A Deployment maps every component to a host; Constraints
+// restrict the space of valid deployments (memory capacities, location
+// constraints, and collocation constraints).
+//
+// The package also provides DeSi's Generator (random architectures drawn
+// from parameter ranges, with a guaranteed-valid initial deployment), the
+// Modifier (fine-grained tuning of a generated architecture), and an
+// xADL-lite XML codec so design-time properties can be captured in an
+// architecture description document.
+package model

@@ -1,0 +1,145 @@
+package model
+
+import "testing"
+
+func TestModifierSetParams(t *testing.T) {
+	s := testSystem(t)
+	m := NewModifier(s)
+	if err := m.SetHostParam("hostA", ParamMemory, 55); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hosts["hostA"].Memory() != 55 {
+		t.Fatal("host param not set")
+	}
+	if err := m.SetComponentParam("c1", ParamMemory, 7); err != nil {
+		t.Fatal(err)
+	}
+	if s.Components["c1"].Memory() != 7 {
+		t.Fatal("component param not set")
+	}
+	if err := m.SetLinkParam("hostB", "hostA", ParamReliability, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reliability("hostA", "hostB") != 0.1 {
+		t.Fatal("link param not set")
+	}
+	if err := m.SetInteractionParam("c2", "c1", ParamFrequency, 9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Interaction("c1", "c2").Frequency() != 9 {
+		t.Fatal("interaction param not set")
+	}
+}
+
+func TestModifierUnknownTargets(t *testing.T) {
+	s := testSystem(t)
+	m := NewModifier(s)
+	if err := m.SetHostParam("ghost", ParamMemory, 1); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := m.SetComponentParam("ghost", ParamMemory, 1); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if err := m.SetLinkParam("hostA", "hostC", ParamDelay, 1); err == nil {
+		t.Fatal("nonexistent link accepted")
+	}
+	if err := m.SetInteractionParam("c1", "c4", ParamFrequency, 1); err == nil {
+		t.Fatal("nonexistent interaction accepted")
+	}
+}
+
+func TestModifierRemoveLinkAndInteraction(t *testing.T) {
+	s := testSystem(t)
+	m := NewModifier(s)
+	if err := m.RemoveLink("hostA", "hostB"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Link("hostA", "hostB") != nil {
+		t.Fatal("link not removed")
+	}
+	if err := m.RemoveLink("hostA", "hostB"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := m.RemoveInteraction("c1", "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Interaction("c1", "c2") != nil {
+		t.Fatal("interaction not removed")
+	}
+}
+
+func TestModifierRemoveHost(t *testing.T) {
+	s := testSystem(t)
+	m := NewModifier(s)
+	d := testDeployment()
+	// hostC carries c4: refuse while occupied.
+	if err := m.RemoveHost("hostC", d); err == nil {
+		t.Fatal("occupied host removed")
+	}
+	d["c4"] = "hostB"
+	if err := m.RemoveHost("hostC", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Hosts["hostC"]; ok {
+		t.Fatal("host not removed")
+	}
+	if s.Link("hostB", "hostC") != nil {
+		t.Fatal("incident link not removed")
+	}
+	if err := m.RemoveHost("hostC", nil); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestModifierRemoveComponent(t *testing.T) {
+	s := testSystem(t)
+	s.Constraints.Pin("c2", "hostA")
+	s.Constraints.RequireCollocation("c2", "c3")
+	s.Constraints.ForbidCollocation("c2", "c4")
+	m := NewModifier(s)
+	d := testDeployment()
+	if err := m.RemoveComponent("c2", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Components["c2"]; ok {
+		t.Fatal("component not removed")
+	}
+	if s.Interaction("c1", "c2") != nil || s.Interaction("c2", "c3") != nil {
+		t.Fatal("incident interactions not removed")
+	}
+	if _, ok := d["c2"]; ok {
+		t.Fatal("deployment entry not removed")
+	}
+	if _, ok := s.Constraints.Location["c2"]; ok {
+		t.Fatal("location constraint not removed")
+	}
+	if len(s.Constraints.MustCollocate) != 0 || len(s.Constraints.CannotCollocate) != 0 {
+		t.Fatal("collocation constraints not filtered")
+	}
+}
+
+func TestModifierMove(t *testing.T) {
+	s := testSystem(t)
+	m := NewModifier(s)
+	d := testDeployment()
+	if err := m.Move(d, "c1", "hostB"); err != nil {
+		t.Fatal(err)
+	}
+	if d["c1"] != "hostB" {
+		t.Fatal("move not applied")
+	}
+	// A move violating constraints must roll back.
+	s.Constraints.Pin("c1", "hostB")
+	if err := m.Move(d, "c1", "hostC"); err == nil {
+		t.Fatal("constraint-violating move accepted")
+	}
+	if d["c1"] != "hostB" {
+		t.Fatal("failed move not rolled back")
+	}
+	if err := m.Move(d, "ghost", "hostA"); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if err := m.Move(d, "c1", "ghost"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Well-known parameter names. The model is extensible — any string key can
+// be attached to any element — but the framework's built-in objectives and
+// monitors read and write these keys.
+const (
+	// Host parameters.
+	ParamMemory = "memory" // capacity (hosts) or requirement (components), KB
+	ParamCPU    = "cpu"    // processing capacity (hosts) or demand (components)
+
+	// Physical link parameters.
+	ParamReliability = "reliability" // probability a message survives, [0,1]
+	ParamBandwidth   = "bandwidth"   // KB/s
+	ParamDelay       = "delay"       // one-way transmission delay, ms
+
+	// Logical link parameters.
+	ParamFrequency = "frequency" // interactions per second
+	ParamEventSize = "eventSize" // average event size, KB
+
+	// Optional extension parameters used by some objectives.
+	ParamSecurity = "security" // link security level, [0,1]
+	ParamPower    = "power"    // battery budget, host-only
+)
+
+// Params is an extensible set of named numeric parameters attached to a
+// model element. The zero value is ready to use for reads; use Set (or the
+// element constructors) to write.
+type Params map[string]float64
+
+// Get returns the value of the named parameter, or 0 if unset.
+func (p Params) Get(name string) float64 {
+	return p[name]
+}
+
+// GetDefault returns the value of the named parameter, or def if unset.
+func (p Params) GetDefault(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Has reports whether the named parameter is set.
+func (p Params) Has(name string) bool {
+	_, ok := p[name]
+	return ok
+}
+
+// Set assigns the named parameter and returns the (possibly newly
+// allocated) map so callers holding a nil Params can chain assignments.
+func (p *Params) Set(name string, value float64) {
+	if *p == nil {
+		*p = make(Params, 4)
+	}
+	(*p)[name] = value
+}
+
+// Clone returns a deep copy of the parameter set.
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the parameter names in sorted order.
+func (p Params) Names() []string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Equal reports whether two parameter sets hold the same keys and values.
+func (p Params) Equal(q Params) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for k, v := range p {
+		w, ok := q[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDelta returns the largest relative difference between the two
+// parameter sets across the union of their keys. A key present on one side
+// only counts as a relative delta of 1. This is the distance used by the
+// monitor's ε-stability detector.
+func (p Params) MaxDelta(q Params) float64 {
+	max := 0.0
+	seen := make(map[string]bool, len(p)+len(q))
+	check := func(a, b Params) {
+		for k, v := range a {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			w, ok := b[k]
+			if !ok {
+				max = math.Max(max, 1)
+				continue
+			}
+			denom := math.Max(math.Abs(v), math.Abs(w))
+			if denom == 0 {
+				continue
+			}
+			// Divide before subtracting so extreme magnitudes cannot
+			// overflow the numerator.
+			max = math.Max(max, math.Abs(v/denom-w/denom))
+		}
+	}
+	check(p, q)
+	check(q, p)
+	return max
+}
+
+// String renders the parameters as "k1=v1 k2=v2" in sorted key order.
+func (p Params) String() string {
+	var sb strings.Builder
+	for i, name := range p.Names() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%g", name, p[name])
+	}
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsGetSet(t *testing.T) {
+	var p Params
+	if p.Get(ParamMemory) != 0 {
+		t.Fatalf("unset param = %v, want 0", p.Get(ParamMemory))
+	}
+	if p.Has(ParamMemory) {
+		t.Fatal("Has on empty params = true")
+	}
+	p.Set(ParamMemory, 42)
+	if got := p.Get(ParamMemory); got != 42 {
+		t.Fatalf("Get after Set = %v, want 42", got)
+	}
+	if !p.Has(ParamMemory) {
+		t.Fatal("Has after Set = false")
+	}
+	p.Set(ParamMemory, 7)
+	if got := p.Get(ParamMemory); got != 7 {
+		t.Fatalf("Get after overwrite = %v, want 7", got)
+	}
+}
+
+func TestParamsGetDefault(t *testing.T) {
+	var p Params
+	if got := p.GetDefault("x", 3.5); got != 3.5 {
+		t.Fatalf("GetDefault on missing = %v, want 3.5", got)
+	}
+	p.Set("x", 0)
+	if got := p.GetDefault("x", 3.5); got != 0 {
+		t.Fatalf("GetDefault on explicit zero = %v, want 0", got)
+	}
+}
+
+func TestParamsClone(t *testing.T) {
+	var p Params
+	p.Set("a", 1)
+	p.Set("b", 2)
+	q := p.Clone()
+	q.Set("a", 99)
+	if p.Get("a") != 1 {
+		t.Fatal("Clone is not independent of the original")
+	}
+	if q.Get("b") != 2 {
+		t.Fatal("Clone missed key b")
+	}
+	var nilP Params
+	if nilP.Clone() != nil {
+		t.Fatal("Clone of nil params should be nil")
+	}
+}
+
+func TestParamsNamesSorted(t *testing.T) {
+	var p Params
+	p.Set("zeta", 1)
+	p.Set("alpha", 2)
+	p.Set("mid", 3)
+	names := p.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestParamsEqual(t *testing.T) {
+	var a, b Params
+	a.Set("x", 1)
+	b.Set("x", 1)
+	if !a.Equal(b) {
+		t.Fatal("identical params not Equal")
+	}
+	b.Set("y", 0)
+	if a.Equal(b) {
+		t.Fatal("different key sets reported Equal")
+	}
+	var c Params
+	c.Set("x", 2)
+	if a.Equal(c) {
+		t.Fatal("different values reported Equal")
+	}
+}
+
+func TestParamsMaxDelta(t *testing.T) {
+	var a, b Params
+	a.Set("x", 100)
+	b.Set("x", 90)
+	got := a.MaxDelta(b)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MaxDelta = %v, want 0.1", got)
+	}
+	// Missing key counts as delta 1.
+	b.Set("y", 5)
+	if got := a.MaxDelta(b); got != 1 {
+		t.Fatalf("MaxDelta with missing key = %v, want 1", got)
+	}
+	// Identical sets have delta 0.
+	if got := a.MaxDelta(a.Clone()); got != 0 {
+		t.Fatalf("MaxDelta self = %v, want 0", got)
+	}
+	// Both zero values contribute nothing.
+	var z1, z2 Params
+	z1.Set("k", 0)
+	z2.Set("k", 0)
+	if got := z1.MaxDelta(z2); got != 0 {
+		t.Fatalf("MaxDelta zeros = %v, want 0", got)
+	}
+}
+
+func TestParamsMaxDeltaSymmetric(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		var a, b Params
+		a.Set("v", x)
+		b.Set("v", y)
+		return a.MaxDelta(b) == b.MaxDelta(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsMaxDeltaBounded(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		var a, b Params
+		a.Set("v", x)
+		b.Set("v", y)
+		d := a.MaxDelta(b)
+		return d >= 0 && d <= 2 // |x-y|/max(|x|,|y|) ≤ 2 for any signs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	var p Params
+	if p.String() != "" {
+		t.Fatalf("empty params String = %q", p.String())
+	}
+	p.Set("b", 2)
+	p.Set("a", 1.5)
+	if got, want := p.String(), "a=1.5 b=2"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

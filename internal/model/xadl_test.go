@@ -1,0 +1,156 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestXADLRoundTrip(t *testing.T) {
+	s := testSystem(t)
+	s.Constraints.Pin("c1", "hostA")
+	s.Constraints.Restrict("c2", "hostA", "hostB")
+	s.Constraints.RequireCollocation("c1", "c2")
+	s.Constraints.ForbidCollocation("c3", "c4")
+	d := testDeployment()
+
+	var buf bytes.Buffer
+	if err := WriteXADL(&buf, s, d); err != nil {
+		t.Fatal(err)
+	}
+	s2, d2, err := ReadXADL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Equal(d) {
+		t.Fatalf("deployment round trip: got %v, want %v", d2, d)
+	}
+	if len(s2.Hosts) != len(s.Hosts) || len(s2.Components) != len(s.Components) {
+		t.Fatal("element counts differ after round trip")
+	}
+	for pair, l := range s.Links {
+		l2, ok := s2.Links[pair]
+		if !ok || !l.Params.Equal(l2.Params) {
+			t.Fatalf("link %v lost or changed", pair)
+		}
+	}
+	for pair, l := range s.Interacts {
+		l2, ok := s2.Interacts[pair]
+		if !ok || !l.Params.Equal(l2.Params) {
+			t.Fatalf("interaction %v lost or changed", pair)
+		}
+	}
+	if !s2.Constraints.Allows("c1", "hostA") || s2.Constraints.Allows("c1", "hostB") {
+		t.Fatal("location constraints lost")
+	}
+	if len(s2.Constraints.MustCollocate) != 1 || len(s2.Constraints.CannotCollocate) != 1 {
+		t.Fatal("collocation constraints lost")
+	}
+	if !s2.Constraints.CheckMemory {
+		t.Fatal("CheckMemory flag lost")
+	}
+}
+
+func TestXADLWithoutDeployment(t *testing.T) {
+	s := testSystem(t)
+	var buf bytes.Buffer
+	if err := WriteXADL(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := ReadXADL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("expected nil deployment, got %v", d)
+	}
+}
+
+func TestXADLOutputIsStructured(t *testing.T) {
+	s := testSystem(t)
+	var buf bytes.Buffer
+	if err := WriteXADL(&buf, s, testDeployment()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<architecture>", "<hosts>", "<components>",
+		"<physicalLinks>", "<logicalLinks>", "<deployment>", `name="reliability"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xADL output missing %q", want)
+		}
+	}
+}
+
+func TestXADLRoundTripEquivalentChecks(t *testing.T) {
+	// A deployment valid under the original constraints must stay valid
+	// under the round-tripped constraints, and vice versa.
+	s := testSystem(t)
+	s.Constraints.Pin("c4", "hostC")
+	d := testDeployment()
+	var buf bytes.Buffer
+	if err := WriteXADL(&buf, s, d); err != nil {
+		t.Fatal(err)
+	}
+	s2, d2, err := ReadXADL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Constraints.Check(s2, d2); err != nil {
+		t.Fatalf("round-tripped deployment invalid: %v", err)
+	}
+	bad := d2.Clone()
+	bad["c4"] = "hostA"
+	if err := s2.Constraints.Check(s2, bad); err == nil {
+		t.Fatal("round-tripped constraints lost the pin")
+	}
+}
+
+func TestXADLReadErrors(t *testing.T) {
+	if _, _, err := ReadXADL(strings.NewReader("not xml")); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	// A link referencing an undeclared host must fail.
+	doc := `<architecture>
+	  <hosts><host id="h1"></host></hosts>
+	  <components></components>
+	  <physicalLinks><link from="h1" to="h2"></link></physicalLinks>
+	</architecture>`
+	if _, _, err := ReadXADL(strings.NewReader(doc)); err == nil {
+		t.Fatal("dangling link reference accepted")
+	}
+}
+
+func TestXADLRoundTripPreservesStructureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d, err := NewGenerator(DefaultGeneratorConfig(4, 10), seed).Generate()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteXADL(&buf, s, d); err != nil {
+			return false
+		}
+		s2, d2, err := ReadXADL(&buf)
+		if err != nil {
+			return false
+		}
+		if !d2.Equal(d) {
+			return false
+		}
+		if len(s2.Hosts) != len(s.Hosts) || len(s2.Links) != len(s.Links) ||
+			len(s2.Components) != len(s.Components) || len(s2.Interacts) != len(s.Interacts) {
+			return false
+		}
+		for pair, l := range s.Links {
+			l2, ok := s2.Links[pair]
+			if !ok || !l.Params.Equal(l2.Params) {
+				return false
+			}
+		}
+		return s2.Constraints.Check(s2, d2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"dif/internal/model"
+)
+
+// Fluctuator evolves the fabric's link parameters over discrete steps,
+// reproducing the paper's run-time parameter fluctuation ("these
+// parameters are typically not known at system design time and/or may
+// fluctuate at run time", DSN'04 §1). Two processes are provided:
+//
+//   - RandomWalk: reliability performs a clipped Gaussian random walk —
+//     the steady, low-amplitude jitter of a functioning wireless network.
+//   - RegimeChange: with a small probability per step a link jumps to a
+//     new reliability level drawn uniformly from its range — the abrupt
+//     shifts (obstacles, movement, interference) that destabilize the
+//     analyzer's profile.
+//
+// Steps are explicit so experiments stay deterministic.
+type Fluctuator struct {
+	fabric *Fabric
+	rng    *rand.Rand
+
+	// WalkSigma is the standard deviation of each random-walk step.
+	WalkSigma float64
+	// RegimeProb is the per-step probability of a regime change per link.
+	RegimeProb float64
+	// RegimeRange bounds the new reliability drawn on a regime change.
+	RegimeRange model.Range
+	// Floor and Ceil clip reliability.
+	Floor, Ceil float64
+}
+
+// NewFluctuator returns a fluctuator over the fabric with the paper-like
+// defaults: σ=0.02 jitter, 2% regime changes into [0.3, 1.0].
+func NewFluctuator(f *Fabric, seed int64) *Fluctuator {
+	return &Fluctuator{
+		fabric:      f,
+		rng:         rand.New(rand.NewSource(seed)),
+		WalkSigma:   0.02,
+		RegimeProb:  0.02,
+		RegimeRange: model.Range{Min: 0.3, Max: 1.0},
+		Floor:       0.05,
+		Ceil:        1.0,
+	}
+}
+
+// Step evolves every link one tick and returns the number of regime
+// changes that occurred.
+func (fl *Fluctuator) Step() int {
+	fl.fabric.mu.Lock()
+	defer fl.fabric.mu.Unlock()
+	regimes := 0
+	// Deterministic iteration: collect and sort keys.
+	pairs := make([]model.HostPair, 0, len(fl.fabric.links))
+	for pair := range fl.fabric.links {
+		pairs = append(pairs, pair)
+	}
+	sortPairs(pairs)
+	for _, pair := range pairs {
+		entry := fl.fabric.links[pair]
+		if fl.RegimeProb > 0 && fl.rng.Float64() < fl.RegimeProb {
+			entry.state.Reliability = fl.RegimeRange.Draw(fl.rng)
+			regimes++
+		} else if fl.WalkSigma > 0 {
+			entry.state.Reliability += fl.rng.NormFloat64() * fl.WalkSigma
+		}
+		entry.state.Reliability = clip(entry.state.Reliability, fl.Floor, fl.Ceil)
+	}
+	return regimes
+}
+
+// StepN runs n steps and returns the total number of regime changes.
+func (fl *Fluctuator) StepN(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += fl.Step()
+	}
+	return total
+}
+
+func clip(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+func sortPairs(pairs []model.HostPair) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && lessPair(pairs[j], pairs[j-1]); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func lessPair(a, b model.HostPair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}

@@ -1,0 +1,398 @@
+// Package netsim provides the simulated network substrate the paper's
+// evaluation environment ran on. The paper's scenarios (DSN'04 §1, §5)
+// run over fluctuating, unreliable wireless links between PDAs; this
+// package reproduces that environment deterministically at laptop scale:
+// a message fabric with per-link reliability (Bernoulli loss), bandwidth,
+// and transmission delay, plus partitions and parameter-fluctuation
+// processes.
+//
+// The fabric exercises exactly the code paths the framework's monitors
+// and effectors depend on: reliability monitors observe real message
+// loss, effectors ship serialized components across lossy links, and the
+// fluctuators drive the analyzer's stability profile.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+)
+
+// Message is a payload delivered through the fabric.
+type Message struct {
+	From    model.HostID
+	To      model.HostID
+	SizeKB  float64
+	Payload any
+	// Latency is the simulated transfer latency the message experienced.
+	Latency time.Duration
+}
+
+// Handler consumes messages delivered to an endpoint. Handlers run on the
+// endpoint's dispatch goroutine; they must not block indefinitely.
+type Handler func(Message)
+
+// Errors reported by the fabric.
+var (
+	ErrUnknownHost  = errors.New("netsim: unknown host")
+	ErrNoRoute      = errors.New("netsim: hosts not connected")
+	ErrDropped      = errors.New("netsim: message dropped")
+	ErrPartitioned  = errors.New("netsim: link partitioned")
+	ErrFabricClosed = errors.New("netsim: fabric closed")
+)
+
+// LinkState is the live state of one simulated link.
+type LinkState struct {
+	Reliability float64 // delivery probability [0,1]
+	BandwidthKB float64 // KB/s
+	Delay       time.Duration
+	Partitioned bool
+}
+
+// LinkStats counts traffic over one link (both directions).
+type LinkStats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	BytesKB   float64
+}
+
+// Fabric is the simulated network: hosts, links, loss, delay, partitions.
+// All methods are safe for concurrent use.
+type Fabric struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	links  map[model.HostPair]*linkEntry
+	hosts  map[model.HostID]*endpoint
+	closed bool
+
+	// timeScale compresses simulated delays into wall-clock sleeps:
+	// 0 disables sleeping entirely (latency is still reported on the
+	// message), 1.0 sleeps the full simulated delay.
+	timeScale float64
+}
+
+type linkEntry struct {
+	state LinkState
+	stats LinkStats
+}
+
+type endpoint struct {
+	id model.HostID
+
+	mu      sync.Mutex
+	handler Handler
+	buf     []Message
+	signal  chan struct{} // capacity 1: "buffer non-empty" edge
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewFabric returns an empty fabric seeded for reproducible loss.
+func NewFabric(seed int64) *Fabric {
+	return &Fabric{
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[model.HostPair]*linkEntry),
+		hosts: make(map[model.HostID]*endpoint),
+	}
+}
+
+// SetTimeScale sets the wall-clock fraction of simulated delays (0
+// disables sleeping; latency is still computed and reported).
+func (f *Fabric) SetTimeScale(scale float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.timeScale = scale
+}
+
+// AddHost registers a host and starts its dispatch goroutine. The handler
+// may be nil initially and set later with SetHandler.
+func (f *Fabric) AddHost(id model.HostID, h Handler) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFabricClosed
+	}
+	if _, ok := f.hosts[id]; ok {
+		return fmt.Errorf("netsim: host %s already registered", id)
+	}
+	ep := &endpoint{
+		id:      id,
+		handler: h,
+		signal:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	f.hosts[id] = ep
+	go ep.dispatch()
+	return nil
+}
+
+// SetHandler replaces the message handler for a host.
+func (f *Fabric) SetHandler(id model.HostID, h Handler) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.hosts[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, id)
+	}
+	ep.mu.Lock()
+	ep.handler = h
+	ep.mu.Unlock()
+	return nil
+}
+
+// enqueue appends a message to the endpoint's unbounded buffer. Sends
+// never block: simulated hosts may synchronously fan out large message
+// batches from within their own handlers without deadlocking the fabric.
+func (ep *endpoint) enqueue(msg Message) {
+	ep.mu.Lock()
+	ep.buf = append(ep.buf, msg)
+	ep.mu.Unlock()
+	select {
+	case ep.signal <- struct{}{}:
+	default:
+	}
+}
+
+// drainOnce delivers every currently buffered message and reports
+// whether any were delivered.
+func (ep *endpoint) drainOnce() bool {
+	ep.mu.Lock()
+	msgs := ep.buf
+	ep.buf = nil
+	handler := ep.handler
+	ep.mu.Unlock()
+	for _, msg := range msgs {
+		if handler != nil {
+			handler(msg)
+		}
+	}
+	return len(msgs) > 0
+}
+
+func (ep *endpoint) dispatch() {
+	defer close(ep.done)
+	for {
+		select {
+		case <-ep.signal:
+			ep.drainOnce()
+		case <-ep.stop:
+			// Drain anything already queued, then exit.
+			for ep.drainOnce() {
+			}
+			return
+		}
+	}
+}
+
+// Connect creates (or reconfigures) a link between two hosts.
+func (f *Fabric) Connect(a, b model.HostID, state LinkState) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.hosts[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, a)
+	}
+	if _, ok := f.hosts[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, b)
+	}
+	if a == b {
+		return fmt.Errorf("netsim: cannot link %s to itself", a)
+	}
+	pair := model.MakeHostPair(a, b)
+	if entry, ok := f.links[pair]; ok {
+		entry.state = state
+		return nil
+	}
+	f.links[pair] = &linkEntry{state: state}
+	return nil
+}
+
+// Disconnect removes the link between two hosts.
+func (f *Fabric) Disconnect(a, b model.HostID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.links, model.MakeHostPair(a, b))
+}
+
+// SetPartitioned marks the link between two hosts as partitioned (or
+// heals it). A partitioned link drops every message but keeps its
+// parameters.
+func (f *Fabric) SetPartitioned(a, b model.HostID, partitioned bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entry, ok := f.links[model.MakeHostPair(a, b)]
+	if !ok {
+		return ErrNoRoute
+	}
+	entry.state.Partitioned = partitioned
+	return nil
+}
+
+// Link returns the live state of the link between two hosts.
+func (f *Fabric) Link(a, b model.HostID) (LinkState, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entry, ok := f.links[model.MakeHostPair(a, b)]
+	if !ok {
+		return LinkState{}, false
+	}
+	return entry.state, true
+}
+
+// Stats returns the traffic counters for the link between two hosts.
+func (f *Fabric) Stats(a, b model.HostID) (LinkStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entry, ok := f.links[model.MakeHostPair(a, b)]
+	if !ok {
+		return LinkStats{}, false
+	}
+	return entry.stats, true
+}
+
+// ResetStats zeroes all traffic counters.
+func (f *Fabric) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, entry := range f.links {
+		entry.stats = LinkStats{}
+	}
+}
+
+// Send transmits a message. Local sends (from == to) always succeed with
+// zero latency. Remote sends fail with ErrNoRoute when no link exists,
+// ErrPartitioned when the link is partitioned, and ErrDropped when the
+// Bernoulli loss process eats the message. On success the message is
+// enqueued to the destination and its simulated latency reported.
+func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.Duration, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrFabricClosed
+	}
+	dst, ok := f.hosts[to]
+	if !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownHost, to)
+	}
+	if _, ok := f.hosts[from]; !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownHost, from)
+	}
+
+	var latency time.Duration
+	dropped := false
+	if from != to {
+		entry, ok := f.links[model.MakeHostPair(from, to)]
+		if !ok {
+			f.mu.Unlock()
+			return 0, ErrNoRoute
+		}
+		entry.stats.Sent++
+		entry.stats.BytesKB += sizeKB
+		if entry.state.Partitioned {
+			entry.stats.Dropped++
+			f.mu.Unlock()
+			return 0, ErrPartitioned
+		}
+		latency = entry.state.Delay
+		if entry.state.BandwidthKB > 0 {
+			latency += time.Duration(sizeKB / entry.state.BandwidthKB * float64(time.Second))
+		}
+		if f.rng.Float64() >= entry.state.Reliability {
+			// The sender still pays the transfer time before discovering
+			// the loss — retransmissions are not free.
+			entry.stats.Dropped++
+			dropped = true
+		} else {
+			entry.stats.Delivered++
+		}
+	}
+	scale := f.timeScale
+	f.mu.Unlock()
+
+	if scale > 0 && latency > 0 {
+		time.Sleep(time.Duration(float64(latency) * scale))
+	}
+	if dropped {
+		return 0, ErrDropped
+	}
+	select {
+	case <-dst.stop:
+		return 0, ErrFabricClosed
+	default:
+	}
+	dst.enqueue(Message{From: from, To: to, SizeKB: sizeKB, Payload: payload, Latency: latency})
+	return latency, nil
+}
+
+// Hosts returns the registered host IDs, sorted.
+func (f *Fabric) Hosts() []model.HostID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]model.HostID, 0, len(f.hosts))
+	for id := range f.hosts {
+		out = append(out, id)
+	}
+	sortHostIDs(out)
+	return out
+}
+
+// Close stops every endpoint's dispatch goroutine and waits for them to
+// exit. Further sends fail with ErrFabricClosed.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	eps := make([]*endpoint, 0, len(f.hosts))
+	for _, ep := range f.hosts {
+		eps = append(eps, ep)
+	}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		close(ep.stop)
+	}
+	for _, ep := range eps {
+		<-ep.done
+	}
+}
+
+func sortHostIDs(ids []model.HostID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// FromModel builds a fabric mirroring a system model's hosts and physical
+// links: reliability, bandwidth, and delay are copied from the model's
+// link parameters.
+func FromModel(s *model.System, seed int64) (*Fabric, error) {
+	f := NewFabric(seed)
+	for _, h := range s.HostIDs() {
+		if err := f.AddHost(h, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, pair := range s.LinkKeys() {
+		l := s.Links[pair]
+		state := LinkState{
+			Reliability: l.Reliability(),
+			BandwidthKB: l.Bandwidth(),
+			Delay:       time.Duration(l.Delay() * float64(time.Millisecond)),
+		}
+		if err := f.Connect(pair.A, pair.B, state); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

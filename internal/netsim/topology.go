@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dif/internal/model"
+)
+
+// Topology presets: convenience builders for the host graphs the paper's
+// scenarios use — the HQ/commander/troop tree is a star-of-stars, test
+// rigs use chains and meshes. Each builder registers the hosts and
+// connects them with a uniform link state.
+
+// BuildChain links the hosts in a line: h0—h1—h2—…
+func BuildChain(f *Fabric, state LinkState, hosts ...model.HostID) error {
+	if len(hosts) < 2 {
+		return fmt.Errorf("netsim chain: need at least 2 hosts, got %d", len(hosts))
+	}
+	if err := addAll(f, hosts); err != nil {
+		return err
+	}
+	for i := 1; i < len(hosts); i++ {
+		if err := f.Connect(hosts[i-1], hosts[i], state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildStar links every leaf to the hub.
+func BuildStar(f *Fabric, state LinkState, hub model.HostID, leaves ...model.HostID) error {
+	if len(leaves) == 0 {
+		return fmt.Errorf("netsim star: need at least 1 leaf")
+	}
+	if err := addAll(f, append([]model.HostID{hub}, leaves...)); err != nil {
+		return err
+	}
+	for _, leaf := range leaves {
+		if err := f.Connect(hub, leaf, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildMesh links every pair of hosts.
+func BuildMesh(f *Fabric, state LinkState, hosts ...model.HostID) error {
+	if len(hosts) < 2 {
+		return fmt.Errorf("netsim mesh: need at least 2 hosts, got %d", len(hosts))
+	}
+	if err := addAll(f, hosts); err != nil {
+		return err
+	}
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			if err := f.Connect(hosts[i], hosts[j], state); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildTree links hosts into a b-ary tree rooted at hosts[0] (the
+// paper's HQ→commanders→troops shape with b=2 and 7 hosts).
+func BuildTree(f *Fabric, state LinkState, fanout int, hosts ...model.HostID) error {
+	if fanout < 1 {
+		return fmt.Errorf("netsim tree: fanout must be ≥ 1")
+	}
+	if len(hosts) < 1 {
+		return fmt.Errorf("netsim tree: need at least 1 host")
+	}
+	if err := addAll(f, hosts); err != nil {
+		return err
+	}
+	for i := 1; i < len(hosts); i++ {
+		parent := (i - 1) / fanout
+		if err := f.Connect(hosts[parent], hosts[i], state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addAll(f *Fabric, hosts []model.HostID) error {
+	for _, h := range hosts {
+		if err := f.AddHost(h, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

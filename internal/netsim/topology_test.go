@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+
+	"dif/internal/model"
+)
+
+func linkCount(f *Fabric, hosts []model.HostID) int {
+	n := 0
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			if _, ok := f.Link(hosts[i], hosts[j]); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBuildChain(t *testing.T) {
+	f := NewFabric(1)
+	t.Cleanup(f.Close)
+	hosts := []model.HostID{"a", "b", "c", "d"}
+	if err := BuildChain(f, LinkState{Reliability: 1}, hosts...); err != nil {
+		t.Fatal(err)
+	}
+	if got := linkCount(f, hosts); got != 3 {
+		t.Fatalf("chain links = %d, want 3", got)
+	}
+	if _, ok := f.Link("a", "c"); ok {
+		t.Fatal("chain has a shortcut")
+	}
+	if err := BuildChain(NewFabric(2), LinkState{}, "solo"); err == nil {
+		t.Fatal("1-host chain accepted")
+	}
+}
+
+func TestBuildStar(t *testing.T) {
+	f := NewFabric(1)
+	t.Cleanup(f.Close)
+	if err := BuildStar(f, LinkState{Reliability: 1}, "hub", "l1", "l2", "l3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range []model.HostID{"l1", "l2", "l3"} {
+		if _, ok := f.Link("hub", leaf); !ok {
+			t.Fatalf("hub not linked to %s", leaf)
+		}
+	}
+	if _, ok := f.Link("l1", "l2"); ok {
+		t.Fatal("leaves linked to each other")
+	}
+	if err := BuildStar(NewFabric(2), LinkState{}, "hub"); err == nil {
+		t.Fatal("leafless star accepted")
+	}
+}
+
+func TestBuildMesh(t *testing.T) {
+	f := NewFabric(1)
+	t.Cleanup(f.Close)
+	hosts := []model.HostID{"a", "b", "c", "d"}
+	if err := BuildMesh(f, LinkState{Reliability: 1}, hosts...); err != nil {
+		t.Fatal(err)
+	}
+	if got := linkCount(f, hosts); got != 6 {
+		t.Fatalf("mesh links = %d, want 6", got)
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	f := NewFabric(1)
+	t.Cleanup(f.Close)
+	// Binary tree over 7 hosts: hq, 2 commanders, 4 troops.
+	hosts := []model.HostID{"hq", "cmd1", "cmd2", "t1", "t2", "t3", "t4"}
+	if err := BuildTree(f, LinkState{Reliability: 1}, 2, hosts...); err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := [][2]model.HostID{
+		{"hq", "cmd1"}, {"hq", "cmd2"},
+		{"cmd1", "t1"}, {"cmd1", "t2"},
+		{"cmd2", "t3"}, {"cmd2", "t4"},
+	}
+	for _, e := range wantEdges {
+		if _, ok := f.Link(e[0], e[1]); !ok {
+			t.Fatalf("tree missing edge %v", e)
+		}
+	}
+	if got := linkCount(f, hosts); got != 6 {
+		t.Fatalf("tree links = %d, want 6", got)
+	}
+	if err := BuildTree(NewFabric(2), LinkState{}, 0, "a"); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+}

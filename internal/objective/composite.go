@@ -1,0 +1,75 @@
+package objective
+
+import (
+	"fmt"
+	"strings"
+
+	"dif/internal/model"
+)
+
+// Term is one weighted objective inside a Composite.
+type Term struct {
+	Quantifier Quantifier
+	Weight     float64
+	// Scale normalizes the raw score before weighting so objectives with
+	// different units (availability in [0,1], latency in ms) compose
+	// meaningfully. Zero means 1.
+	Scale float64
+}
+
+// Composite combines several objectives into a single maximized utility:
+// each term contributes weight·(score/scale), negated for minimized terms.
+// This is the mechanism the analyzer uses to resolve multiple — possibly
+// conflicting — objectives (DSN'04 §3.1 "Analyzer").
+type Composite struct {
+	Terms []Term
+	name  string
+}
+
+var _ Quantifier = (*Composite)(nil)
+
+// NewComposite builds a composite utility from the given terms.
+func NewComposite(terms ...Term) (*Composite, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("composite objective needs at least one term")
+	}
+	names := make([]string, len(terms))
+	for i, t := range terms {
+		if t.Quantifier == nil {
+			return nil, fmt.Errorf("composite term %d has nil quantifier", i)
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("composite term %q has negative weight %g",
+				t.Quantifier.Name(), t.Weight)
+		}
+		names[i] = fmt.Sprintf("%g*%s", t.Weight, t.Quantifier.Name())
+	}
+	return &Composite{
+		Terms: terms,
+		name:  "utility(" + strings.Join(names, "+") + ")",
+	}, nil
+}
+
+// Name implements Quantifier.
+func (c *Composite) Name() string { return c.name }
+
+// Direction implements Quantifier. Composites are always maximized;
+// minimized terms enter negated.
+func (*Composite) Direction() Direction { return Maximize }
+
+// Quantify implements Quantifier.
+func (c *Composite) Quantify(s *model.System, d model.Deployment) float64 {
+	total := 0.0
+	for _, t := range c.Terms {
+		scale := t.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		v := t.Quantifier.Quantify(s, d) / scale
+		if t.Quantifier.Direction() == Minimize {
+			v = -v
+		}
+		total += t.Weight * v
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+package objective
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dif/internal/model"
+)
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := NewComposite(); err == nil {
+		t.Fatal("empty composite accepted")
+	}
+	if _, err := NewComposite(Term{Quantifier: nil, Weight: 1}); err == nil {
+		t.Fatal("nil quantifier accepted")
+	}
+	if _, err := NewComposite(Term{Quantifier: Availability{}, Weight: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestCompositeCombinesDirections(t *testing.T) {
+	s := buildSystem(t)
+	c, err := NewComposite(
+		Term{Quantifier: Availability{}, Weight: 1},
+		Term{Quantifier: Latency{}, Weight: 1, Scale: 1000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := model.Deployment{"c1": "hostA", "c2": "hostA", "c3": "hostA"}
+	split := model.Deployment{"c1": "hostA", "c2": "hostB", "c3": "hostC"}
+	if c.Direction() != Maximize {
+		t.Fatal("composite must be maximized")
+	}
+	ul := c.Quantify(s, local)
+	us := c.Quantify(s, split)
+	if ul <= us {
+		t.Fatalf("local utility %v not above heavily-split utility %v", ul, us)
+	}
+	// Hand-check: utility(local) = 1·avail − 1·latency/1000.
+	wantLocal := 1.0 - Latency{}.Quantify(s, local)/1000
+	if math.Abs(ul-wantLocal) > 1e-12 {
+		t.Fatalf("utility = %v, want %v", ul, wantLocal)
+	}
+}
+
+func TestCompositeDefaultScale(t *testing.T) {
+	s := buildSystem(t)
+	c, err := NewComposite(Term{Quantifier: Availability{}, Weight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.Deployment{"c1": "hostA", "c2": "hostA", "c3": "hostA"}
+	if got := c.Quantify(s, d); got != 2 {
+		t.Fatalf("weighted availability = %v, want 2", got)
+	}
+}
+
+func TestCompositeName(t *testing.T) {
+	c, err := NewComposite(
+		Term{Quantifier: Availability{}, Weight: 1},
+		Term{Quantifier: Latency{}, Weight: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Name()
+	if !strings.Contains(name, "availability") || !strings.Contains(name, "latency") {
+		t.Fatalf("composite name %q should mention its terms", name)
+	}
+}

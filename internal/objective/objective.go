@@ -1,0 +1,230 @@
+// Package objective implements the framework's objective functions and
+// constraint checkers (DSN'04 §3.1 "Algorithm" and §4.3 "Algorithm"): the
+// pluggable variation points every redeployment algorithm is parameterized
+// by. An objective is either an optimization criterion (maximize
+// availability, minimize latency) expressed as a Quantifier, or a
+// constraint-satisfaction criterion expressed through model.Constraints.
+package objective
+
+import (
+	"fmt"
+	"math"
+
+	"dif/internal/model"
+)
+
+// Direction states whether an objective is maximized or minimized.
+type Direction int
+
+// Objective directions.
+const (
+	Maximize Direction = iota + 1
+	Minimize
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Maximize:
+		return "maximize"
+	case Minimize:
+		return "minimize"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Quantifier scores a deployment of a system. Implementations must be
+// pure: the same (system, deployment) pair always yields the same score,
+// and Quantify must not mutate either argument.
+type Quantifier interface {
+	// Name identifies the objective ("availability", "latency", ...).
+	Name() string
+	// Direction states whether higher or lower scores are better.
+	Direction() Direction
+	// Quantify scores the deployment.
+	Quantify(s *model.System, d model.Deployment) float64
+}
+
+// Better reports whether score a is strictly better than score b under
+// the quantifier's direction.
+func Better(q Quantifier, a, b float64) bool {
+	if q.Direction() == Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// Worst returns the worst possible score for the quantifier's direction
+// (-Inf when maximizing, +Inf when minimizing), useful as an initial
+// "best so far".
+func Worst(q Quantifier) float64 {
+	if q.Direction() == Maximize {
+		return math.Inf(-1)
+	}
+	return math.Inf(1)
+}
+
+// Availability scores a deployment by the expected fraction of
+// inter-component interactions that succeed:
+//
+//	A(D) = Σ freq(ci,cj)·rel(D(ci),D(cj)) / Σ freq(ci,cj)
+//
+// where rel is 1 for collocated components, the physical link's
+// reliability for directly connected hosts, and 0 for disconnected hosts.
+// This is the paper's primary dependability objective.
+type Availability struct{}
+
+var _ Quantifier = Availability{}
+
+// Name implements Quantifier.
+func (Availability) Name() string { return "availability" }
+
+// Direction implements Quantifier.
+func (Availability) Direction() Direction { return Maximize }
+
+// Quantify implements Quantifier.
+func (Availability) Quantify(s *model.System, d model.Deployment) float64 {
+	var num, den float64
+	for pair, link := range s.Interacts {
+		freq := link.Frequency()
+		if freq <= 0 {
+			continue
+		}
+		den += freq
+		ha, aok := d[pair.A]
+		hb, bok := d[pair.B]
+		if !aok || !bok {
+			continue // undeployed endpoints never interact successfully
+		}
+		num += freq * s.Reliability(ha, hb)
+	}
+	if den == 0 {
+		return 1 // a system with no interactions is trivially available
+	}
+	return num / den
+}
+
+// Latency scores a deployment by the total expected communication latency
+// per unit time:
+//
+//	L(D) = Σ freq(i,j)·( size(i,j)/bw(D(ci),D(cj)) + delay(D(ci),D(cj)) )
+//
+// in milliseconds (bandwidth is KB/s, so the transfer term is scaled to
+// ms). Interactions across disconnected hosts are charged PartitionPenalty.
+type Latency struct {
+	// PartitionPenalty is the per-event latency (ms) charged when the
+	// endpoints' hosts are not connected. Zero selects DefaultPartitionPenalty.
+	PartitionPenalty float64
+}
+
+var _ Quantifier = Latency{}
+
+// DefaultPartitionPenalty is the per-event charge (ms) for interactions
+// whose endpoint hosts are disconnected: effectively an RPC timeout.
+const DefaultPartitionPenalty = 10_000
+
+// Name implements Quantifier.
+func (Latency) Name() string { return "latency" }
+
+// Direction implements Quantifier.
+func (Latency) Direction() Direction { return Minimize }
+
+// Quantify implements Quantifier.
+func (l Latency) Quantify(s *model.System, d model.Deployment) float64 {
+	penalty := l.PartitionPenalty
+	if penalty == 0 {
+		penalty = DefaultPartitionPenalty
+	}
+	total := 0.0
+	for pair, link := range s.Interacts {
+		freq := link.Frequency()
+		if freq <= 0 {
+			continue
+		}
+		ha, aok := d[pair.A]
+		hb, bok := d[pair.B]
+		if !aok || !bok {
+			total += freq * penalty
+			continue
+		}
+		bw := s.Bandwidth(ha, hb)
+		if bw <= 0 {
+			total += freq * penalty
+			continue
+		}
+		transferMS := link.EventSize() / bw * 1000
+		total += freq * (transferMS + s.Delay(ha, hb))
+	}
+	return total
+}
+
+// CommCost scores a deployment by the volume of remote communication per
+// unit time (KB/s crossing host boundaries) — the objective minimized by
+// I5 and Coign, provided as a baseline objective.
+type CommCost struct{}
+
+var _ Quantifier = CommCost{}
+
+// Name implements Quantifier.
+func (CommCost) Name() string { return "commCost" }
+
+// Direction implements Quantifier.
+func (CommCost) Direction() Direction { return Minimize }
+
+// Quantify implements Quantifier.
+func (CommCost) Quantify(s *model.System, d model.Deployment) float64 {
+	total := 0.0
+	for pair, link := range s.Interacts {
+		ha, aok := d[pair.A]
+		hb, bok := d[pair.B]
+		if !aok || !bok || ha == hb {
+			continue
+		}
+		total += link.Frequency() * link.EventSize()
+	}
+	return total
+}
+
+// Security scores a deployment by the frequency-weighted security level of
+// the links its interactions traverse (collocated interactions count as
+// fully secure). It reads the extension parameter model.ParamSecurity from
+// physical links, demonstrating the model's arbitrary-parameter
+// extensibility (DSN'04 §1, extension dimension 1).
+type Security struct{}
+
+var _ Quantifier = Security{}
+
+// Name implements Quantifier.
+func (Security) Name() string { return "security" }
+
+// Direction implements Quantifier.
+func (Security) Direction() Direction { return Maximize }
+
+// Quantify implements Quantifier.
+func (Security) Quantify(s *model.System, d model.Deployment) float64 {
+	var num, den float64
+	for pair, link := range s.Interacts {
+		freq := link.Frequency()
+		if freq <= 0 {
+			continue
+		}
+		den += freq
+		ha, aok := d[pair.A]
+		hb, bok := d[pair.B]
+		if !aok || !bok {
+			continue
+		}
+		if ha == hb {
+			num += freq
+			continue
+		}
+		if pl := s.Link(ha, hb); pl != nil {
+			num += freq * pl.Params.Get(model.ParamSecurity)
+		}
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,0 +1,68 @@
+package objective
+
+import (
+	"dif/internal/model"
+)
+
+// Throughput scores a deployment by the fraction of the application's
+// demanded communication volume the network can actually carry (the
+// paper's §6 lists throughput among the characteristics to support
+// beyond availability and latency). Each physical link has a bandwidth
+// budget; the interactions routed over it demand freq·size KB/s. A
+// link's deliverable volume is capped at its bandwidth, so overloaded
+// links proportionally throttle the interactions crossing them:
+//
+//	T(D) = Σ_l min(demand_l, bw_l) + localDemand
+//	       ─────────────────────────────────────
+//	                  Σ totalDemand
+//
+// Collocated interactions always fit (score contribution 1); interactions
+// across disconnected hosts deliver nothing.
+type Throughput struct{}
+
+var _ Quantifier = Throughput{}
+
+// Name implements Quantifier.
+func (Throughput) Name() string { return "throughput" }
+
+// Direction implements Quantifier.
+func (Throughput) Direction() Direction { return Maximize }
+
+// Quantify implements Quantifier.
+func (Throughput) Quantify(s *model.System, d model.Deployment) float64 {
+	var totalDemand, delivered float64
+	linkDemand := make(map[model.HostPair]float64)
+
+	for pair, link := range s.Interacts {
+		volume := link.Frequency() * link.EventSize()
+		if volume <= 0 {
+			continue
+		}
+		totalDemand += volume
+		ha, aok := d[pair.A]
+		hb, bok := d[pair.B]
+		if !aok || !bok {
+			continue // undeployed endpoints deliver nothing
+		}
+		if ha == hb {
+			delivered += volume // local interactions always fit
+			continue
+		}
+		if s.Link(ha, hb) == nil {
+			continue // disconnected: nothing delivered
+		}
+		linkDemand[model.MakeHostPair(ha, hb)] += volume
+	}
+	for pair, demand := range linkDemand {
+		bw := s.Links[pair].Bandwidth()
+		if demand <= bw {
+			delivered += demand
+		} else {
+			delivered += bw
+		}
+	}
+	if totalDemand == 0 {
+		return 1
+	}
+	return delivered / totalDemand
+}

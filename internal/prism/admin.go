@@ -1,0 +1,645 @@
+package prism
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+)
+
+// Control-plane event names used by the admin/deployer protocol.
+const (
+	EvReportRequest = "admin.reportRequest"
+	EvReport        = "admin.report"
+	EvReconfig      = "admin.reconfig"
+	EvFetch         = "admin.fetch"
+	EvTransfer      = "admin.transfer"
+	EvDone          = "admin.done"
+)
+
+// AdminID is the well-known component ID of each host's admin.
+const AdminID = "prism.admin"
+
+// MonitoringReport is an admin's description of its local deployment
+// architecture and monitored data, sent to the deployer (DSN'04 §4.3
+// "Monitor": "the AdminComponent sends the description of its local
+// deployment architecture and the monitored data ... to the
+// DeployerComponent").
+type MonitoringReport struct {
+	Host         model.HostID
+	Components   []string
+	Interactions []InteractionSample
+	Links        []ReliabilitySample
+}
+
+// ReconfigCommand tells an admin its new local configuration: the
+// components it must acquire and where each currently lives. Departures
+// are driven by the fetch requests other admins send. Epoch identifies
+// the redeployment wave for deduplication.
+type ReconfigCommand struct {
+	Epoch    int
+	Arrivals map[string]model.HostID // component → source host
+	// Coordinator is the host whose deployer issued the command and
+	// awaits the done report; empty falls back to the admin's configured
+	// deployer (the centralized master).
+	Coordinator model.HostID
+}
+
+// FetchRequest asks the admin on the component's current host to detach,
+// serialize, and ship it to the requester.
+type FetchRequest struct {
+	Epoch int
+	// Coordinator scopes the epoch: every deployer numbers its own
+	// redeployment waves independently.
+	Coordinator model.HostID
+	Comp        string
+	Requester   model.HostID
+	// Source is the host currently holding the component (known to the
+	// requester from its reconfig command); mediators forward there.
+	Source model.HostID
+	// Mediated marks requests relayed through the deployer because the
+	// requester and source are not directly connected.
+	Mediated bool
+}
+
+// TransferPayload carries a serialized component between hosts.
+type TransferPayload struct {
+	Epoch       int
+	Coordinator model.HostID
+	Comp        string
+	TypeName    string
+	State       []byte
+	SizeKB      float64
+	// FinalDst lets the deployer mediate transfers between unconnected
+	// hosts: when set and different from the receiving host, the receiver
+	// forwards the payload onward.
+	FinalDst model.HostID
+}
+
+// DoneReport tells the deployer a host finished its part of an epoch.
+type DoneReport struct {
+	Epoch    int
+	Host     model.HostID
+	Received int
+	Relayed  int // events buffered during migration and relayed onward
+}
+
+// registerControlPayloads makes the protocol payloads gob-encodable when
+// events cross host boundaries.
+func registerControlPayloads() {
+	registerRelayPayload()
+	gob.Register(MonitoringReport{})
+	gob.Register(ReconfigCommand{})
+	gob.Register(FetchRequest{})
+	gob.Register(TransferPayload{})
+	gob.Register(DoneReport{})
+}
+
+var registerPayloadsOnce sync.Once
+
+// AdminConfig configures an AdminComponent.
+type AdminConfig struct {
+	// Deployer is the host running the DeployerComponent.
+	Deployer model.HostID
+	// Bus is the name of the distribution connector application
+	// components and the admin are welded to; migrated components are
+	// re-welded to it on arrival.
+	Bus string
+	// Registry reconstitutes migrated components.
+	Registry *FactoryRegistry
+	// SendAttempts bounds control-plane retries over lossy links.
+	SendAttempts int
+	// FetchRetryInterval and FetchRetryAttempts drive end-to-end
+	// retransmission of fetch requests whose transfer never arrives
+	// (multi-leg mediated paths can lose a message even after per-hop
+	// retries). Zeros select the defaults.
+	FetchRetryInterval time.Duration
+	FetchRetryAttempts int
+}
+
+// Control-plane reliability defaults.
+const (
+	// DefaultSendAttempts is the per-hop retry budget per message.
+	DefaultSendAttempts = 25
+	// DefaultFetchRetryInterval and DefaultFetchRetryAttempts bound the
+	// requester-side end-to-end retransmission loop.
+	DefaultFetchRetryInterval = 300 * time.Millisecond
+	DefaultFetchRetryAttempts = 15
+)
+
+// AdminComponent is the meta-level ExtensibleComponent with the Admin
+// implementation of IAdmin (DSN'04 §4.2): it holds a reference to its
+// local Architecture, monitors it, and effects run-time changes —
+// detaching, serializing, shipping, reconstituting, and attaching
+// components during redeployment.
+type AdminComponent struct {
+	BaseComponent
+	arch *Architecture
+	cfg  AdminConfig
+
+	mu sync.Mutex
+	// epochSeen dedups reconfig commands; shipped caches serialized
+	// components per epoch so duplicate fetches can be re-answered. All
+	// keys are coordinator-scoped ("coord/epoch[/comp]"): every deployer
+	// numbers its waves independently.
+	epochSeen map[string]bool
+	shipped   map[string]TransferPayload
+	arrived   map[string]bool
+	expect    map[string]*reconfigProgress
+
+	freqMon *EvtFrequencyMonitor
+	relMon  *NetworkReliabilityMonitor
+	sender  *controlSender
+
+	// stop terminates outstanding retry goroutines; wg waits for them.
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// relayed counts events that were held during a migration and
+	// re-routed to the component's new host.
+	relayed int
+}
+
+type reconfigProgress struct {
+	want        int
+	received    int
+	done        bool
+	coordinator model.HostID
+}
+
+// NewAdminComponent builds an admin for the architecture. The admin must
+// then be added to the architecture and welded to cfg.Bus by the caller
+// (or use InstallAdmin).
+func NewAdminComponent(arch *Architecture, cfg AdminConfig) *AdminComponent {
+	registerPayloadsOnce.Do(registerControlPayloads)
+	if cfg.SendAttempts <= 0 {
+		cfg.SendAttempts = DefaultSendAttempts
+	}
+	if cfg.FetchRetryInterval <= 0 {
+		cfg.FetchRetryInterval = DefaultFetchRetryInterval
+	}
+	if cfg.FetchRetryAttempts <= 0 {
+		cfg.FetchRetryAttempts = DefaultFetchRetryAttempts
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewFactoryRegistry()
+	}
+	return &AdminComponent{
+		BaseComponent: NewBaseComponent(AdminID),
+		arch:          arch,
+		cfg:           cfg,
+		sender:        newControlSender(arch, cfg, AdminID),
+		epochSeen:     make(map[string]bool),
+		shipped:       make(map[string]TransferPayload),
+		arrived:       make(map[string]bool),
+		expect:        make(map[string]*reconfigProgress),
+		stop:          make(chan struct{}),
+	}
+}
+
+// InstallAdmin creates an admin, adds it to the architecture, welds it to
+// the bus, and attaches its monitors.
+func InstallAdmin(arch *Architecture, cfg AdminConfig) (*AdminComponent, error) {
+	admin := NewAdminComponent(arch, cfg)
+	if err := arch.AddComponent(admin); err != nil {
+		return nil, err
+	}
+	if err := arch.Weld(AdminID, cfg.Bus); err != nil {
+		return nil, err
+	}
+	admin.AttachMonitors()
+	return admin, nil
+}
+
+// Architecture returns the admin's local architecture (the
+// ExtensibleComponent's reference to Architecture).
+func (a *AdminComponent) Architecture() *Architecture { return a.arch }
+
+// AttachMonitors installs the event-frequency monitor on the bus and the
+// reliability monitor on the bus's distribution connector.
+func (a *AdminComponent) AttachMonitors() {
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.freqMon == nil {
+		a.freqMon = NewEvtFrequencyMonitor()
+		if conn := a.arch.Connector(a.cfg.Bus); conn != nil {
+			conn.AddMonitor(a.freqMon)
+		}
+	}
+	if a.relMon == nil && dc != nil {
+		a.relMon = NewNetworkReliabilityMonitor(dc)
+	}
+}
+
+// DetachMonitors removes the admin's monitors from the bus (used by the
+// monitoring-overhead experiments).
+func (a *AdminComponent) DetachMonitors() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if conn := a.arch.Connector(a.cfg.Bus); conn != nil {
+		conn.RemoveMonitors()
+	}
+	a.freqMon = nil
+	a.relMon = nil
+}
+
+// FrequencyMonitor returns the admin's event-frequency monitor (nil when
+// monitors are detached).
+func (a *AdminComponent) FrequencyMonitor() *EvtFrequencyMonitor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freqMon
+}
+
+// ReliabilityMonitor returns the admin's network-reliability monitor.
+func (a *AdminComponent) ReliabilityMonitor() *NetworkReliabilityMonitor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.relMon
+}
+
+// Report assembles the local monitoring report: deployment description,
+// interaction frequencies (window reset), and link reliabilities.
+func (a *AdminComponent) Report(resetWindow bool) MonitoringReport {
+	rep := MonitoringReport{Host: a.arch.Host()}
+	for _, id := range a.arch.ComponentIDs() {
+		if id == AdminID || id == DeployerID {
+			continue
+		}
+		rep.Components = append(rep.Components, id)
+	}
+	a.mu.Lock()
+	freqMon, relMon := a.freqMon, a.relMon
+	a.mu.Unlock()
+	if freqMon != nil {
+		rep.Interactions = freqMon.Snapshot(resetWindow)
+	}
+	if relMon != nil {
+		rep.Links = relMon.MeasureOnce()
+	}
+	return rep
+}
+
+// sendControl sends a control event to a specific host: directly with
+// retries when the host is a peer, or relayed hop-by-hop otherwise
+// (control traffic crosses the same lossy, multi-hop network as
+// everything else).
+func (a *AdminComponent) sendControl(to model.HostID, e Event) error {
+	return a.sender.send(to, e)
+}
+
+// directlyConnected reports whether this host can reach the other without
+// mediation.
+func (a *AdminComponent) directlyConnected(other model.HostID) bool {
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
+	if dc == nil {
+		return false
+	}
+	for _, p := range dc.Transport().Peers() {
+		if p == other {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle implements Component: the admin's control-plane state machine.
+func (a *AdminComponent) Handle(e Event) {
+	if e.kind() != KindControl {
+		return
+	}
+	switch e.Name {
+	case EvReportRequest:
+		rep := a.Report(true)
+		_ = a.sendControl(deployerHostOf(e, a.cfg), Event{
+			Name: EvReport, Target: DeployerID, Payload: rep, SizeKB: 2,
+		})
+	case EvReconfig:
+		cmd, ok := e.Payload.(ReconfigCommand)
+		if !ok {
+			return
+		}
+		a.handleReconfig(cmd)
+	case EvFetch:
+		req, ok := e.Payload.(FetchRequest)
+		if !ok {
+			return
+		}
+		a.handleFetch(req)
+	case EvTransfer:
+		tp, ok := e.Payload.(TransferPayload)
+		if !ok {
+			return
+		}
+		a.handleTransfer(tp)
+	case EvRelay:
+		env, ok := e.Payload.(RelayPayload)
+		if !ok {
+			return
+		}
+		a.sender.handleRelay(env, e.SrcHost)
+	}
+}
+
+// deployerHostOf lets a report request override the configured deployer
+// (the requester might be a stand-in during tests); defaults to the
+// admin's configured deployer or the event's source host.
+func deployerHostOf(e Event, cfg AdminConfig) model.HostID {
+	if cfg.Deployer != "" {
+		return cfg.Deployer
+	}
+	return e.SrcHost
+}
+
+// handleReconfig starts acquiring this host's arrivals.
+func (a *AdminComponent) handleReconfig(cmd ReconfigCommand) {
+	coord := cmd.Coordinator
+	if coord == "" {
+		coord = a.cfg.Deployer
+	}
+	ck := epochKey(coord, cmd.Epoch)
+	a.mu.Lock()
+	if a.epochSeen[ck] {
+		a.mu.Unlock()
+		return
+	}
+	a.epochSeen[ck] = true
+	a.expect[ck] = &reconfigProgress{want: len(cmd.Arrivals), coordinator: coord}
+	a.mu.Unlock()
+
+	if len(cmd.Arrivals) == 0 {
+		a.maybeDone(coord, cmd.Epoch)
+		return
+	}
+	bus := a.arch.Connector(a.cfg.Bus)
+	for comp := range cmd.Arrivals {
+		// Buffer traffic addressed to the component until it attaches.
+		if bus != nil {
+			bus.Hold(comp)
+		}
+	}
+	a.sendFetches(cmd, nil)
+	// End-to-end retransmission: multi-leg mediated paths can lose a
+	// message even after per-hop retries, so the requester re-fetches
+	// whatever has not arrived until the epoch completes or the budget
+	// runs out.
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.retryFetches(cmd)
+	}()
+}
+
+// Close stops the admin's background retry goroutines and waits for
+// them to exit. The admin stops participating in redeployment afterwards.
+func (a *AdminComponent) Close() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+// sendFetches requests the epoch's arrivals, skipping components already
+// arrived (per the filter).
+func (a *AdminComponent) sendFetches(cmd ReconfigCommand, skip map[string]bool) {
+	for comp, src := range cmd.Arrivals {
+		if skip[comp] {
+			continue
+		}
+		req := FetchRequest{
+			Epoch:       cmd.Epoch,
+			Coordinator: coordinatorOf(cmd, a.cfg),
+			Comp:        comp,
+			Requester:   a.arch.Host(),
+			Source:      src,
+		}
+		dst, target := src, AdminID
+		if !a.directlyConnected(src) && src != a.arch.Host() {
+			// Route via the deployer (the paper's mediation rule).
+			req.Mediated = true
+			dst, target = a.cfg.Deployer, DeployerID
+		}
+		_ = a.sendControl(dst, Event{Name: EvFetch, Target: target, Payload: req, SizeKB: 0.5})
+	}
+}
+
+// retryFetches re-requests missing arrivals until the epoch completes or
+// the retry budget is exhausted.
+func (a *AdminComponent) retryFetches(cmd ReconfigCommand) {
+	timer := time.NewTimer(a.cfg.FetchRetryInterval)
+	defer timer.Stop()
+	for attempt := 0; attempt < a.cfg.FetchRetryAttempts; attempt++ {
+		select {
+		case <-timer.C:
+			timer.Reset(a.cfg.FetchRetryInterval)
+		case <-a.stop:
+			return
+		}
+		ck := epochKey(coordinatorOf(cmd, a.cfg), cmd.Epoch)
+		a.mu.Lock()
+		prog := a.expect[ck]
+		done := prog == nil || prog.done
+		arrivedSkip := make(map[string]bool, len(cmd.Arrivals))
+		for comp := range cmd.Arrivals {
+			if a.arrived[ck+"/"+comp] {
+				arrivedSkip[comp] = true
+			}
+		}
+		a.mu.Unlock()
+		if done {
+			return
+		}
+		a.sendFetches(cmd, arrivedSkip)
+	}
+}
+
+// epochKey scopes per-wave state by its coordinating deployer.
+func epochKey(coordinator model.HostID, epoch int) string {
+	return fmt.Sprintf("%s/%d", coordinator, epoch)
+}
+
+// coordinatorOf resolves a command's coordinator, defaulting to the
+// configured (master) deployer.
+func coordinatorOf(cmd ReconfigCommand, cfg AdminConfig) model.HostID {
+	if cmd.Coordinator != "" {
+		return cmd.Coordinator
+	}
+	return cfg.Deployer
+}
+
+// handleFetch detaches, serializes, and ships the requested component.
+func (a *AdminComponent) handleFetch(req FetchRequest) {
+	key := epochKey(req.Coordinator, req.Epoch) + "/" + req.Comp
+	a.mu.Lock()
+	if tp, ok := a.shipped[key]; ok {
+		// Duplicate request (retry): re-ship the cached payload.
+		a.mu.Unlock()
+		a.ship(tp, req)
+		return
+	}
+	a.mu.Unlock()
+
+	comp := a.arch.Component(req.Comp)
+	if comp == nil {
+		return // not here (stale request)
+	}
+	mig, ok := comp.(Migratable)
+	if !ok {
+		return // unmigratable components never ship
+	}
+
+	// Buffer events addressed to the component on every connector it is
+	// welded to, then detach it from the architecture.
+	welds := a.arch.WeldsOf(req.Comp)
+	for _, w := range welds {
+		if conn := a.arch.Connector(w); conn != nil {
+			conn.Hold(req.Comp)
+		}
+	}
+	if _, err := a.arch.RemoveComponent(req.Comp); err != nil {
+		return
+	}
+	state, err := mig.Snapshot()
+	if err != nil {
+		// Reattach: the component cannot ship.
+		_ = a.arch.AddComponent(mig)
+		for _, w := range welds {
+			_ = a.arch.Weld(req.Comp, w)
+			if conn := a.arch.Connector(w); conn != nil {
+				conn.Release(req.Comp, true)
+			}
+		}
+		return
+	}
+	tp := TransferPayload{
+		Epoch:       req.Epoch,
+		Coordinator: req.Coordinator,
+		Comp:        req.Comp,
+		TypeName:    mig.TypeName(),
+		State:       state,
+		SizeKB:      float64(len(state))/1024 + 1,
+		FinalDst:    req.Requester,
+	}
+	a.mu.Lock()
+	a.shipped[key] = tp
+	a.mu.Unlock()
+	a.ship(tp, req)
+
+	// Relay the traffic buffered during detachment toward the new host.
+	relayHost := req.Requester
+	for _, w := range welds {
+		conn := a.arch.Connector(w)
+		if conn == nil {
+			continue
+		}
+		a.relayHeld(conn, req.Comp, relayHost)
+	}
+}
+
+// ship delivers a transfer payload to the requester, via the deployer
+// when the requester is unreachable.
+func (a *AdminComponent) ship(tp TransferPayload, req FetchRequest) {
+	dst, target := req.Requester, AdminID
+	if !a.directlyConnected(dst) && dst != a.arch.Host() {
+		dst, target = a.cfg.Deployer, DeployerID
+	}
+	// Delivery failures are tolerated here: the requester re-requests
+	// missing transfers end to end.
+	_ = a.sendControl(dst, Event{
+		Name: EvTransfer, Target: target, Payload: tp, SizeKB: tp.SizeKB,
+	})
+}
+
+// relayHeld re-routes events buffered for a departed component to its
+// new host.
+func (a *AdminComponent) relayHeld(conn *Connector, comp string, newHost model.HostID) {
+	conn.mu.Lock()
+	events := conn.held[comp]
+	delete(conn.held, comp)
+	conn.mu.Unlock()
+	for _, held := range events {
+		held.DstHost = newHost
+		held.SrcHost = "" // re-originate so the DC forwards it
+		conn.Route(held)
+		a.mu.Lock()
+		a.relayed++
+		a.mu.Unlock()
+	}
+}
+
+// handleTransfer reconstitutes an arriving component (or forwards a
+// mediated payload onward).
+func (a *AdminComponent) handleTransfer(tp TransferPayload) {
+	if tp.FinalDst != "" && tp.FinalDst != a.arch.Host() {
+		// Mediation: pass it along.
+		_ = a.sendControl(tp.FinalDst, Event{
+			Name: EvTransfer, Target: AdminID, Payload: tp, SizeKB: tp.SizeKB,
+		})
+		return
+	}
+	ck := epochKey(tp.Coordinator, tp.Epoch)
+	key := ck + "/" + tp.Comp
+	a.mu.Lock()
+	if a.arrived[key] {
+		a.mu.Unlock()
+		return // duplicate transfer
+	}
+	a.arrived[key] = true
+	prog := a.expect[ck]
+	a.mu.Unlock()
+
+	comp, err := a.cfg.Registry.New(tp.TypeName, tp.Comp)
+	if err != nil {
+		return
+	}
+	if err := comp.Restore(tp.State); err != nil {
+		return
+	}
+	if err := a.arch.AddComponent(comp); err != nil {
+		return
+	}
+	if err := a.arch.Weld(tp.Comp, a.cfg.Bus); err != nil {
+		return
+	}
+	if bus := a.arch.Connector(a.cfg.Bus); bus != nil {
+		bus.Release(tp.Comp, true)
+	}
+	if prog != nil {
+		a.mu.Lock()
+		prog.received++
+		a.mu.Unlock()
+		a.maybeDone(tp.Coordinator, tp.Epoch)
+	}
+}
+
+// maybeDone reports completion to the coordinating deployer once every
+// expected arrival is in.
+func (a *AdminComponent) maybeDone(coordinator model.HostID, epoch int) {
+	if coordinator == "" {
+		coordinator = a.cfg.Deployer
+	}
+	a.mu.Lock()
+	prog := a.expect[epochKey(coordinator, epoch)]
+	if prog == nil || prog.done || prog.received < prog.want {
+		a.mu.Unlock()
+		return
+	}
+	prog.done = true
+	received := prog.received
+	relayed := a.relayed
+	coord := prog.coordinator
+	if coord == "" {
+		coord = a.cfg.Deployer
+	}
+	a.mu.Unlock()
+	_ = a.sendControl(coord, Event{
+		Name:   EvDone,
+		Target: DeployerID,
+		Payload: DoneReport{
+			Epoch: epoch, Host: a.arch.Host(), Received: received, Relayed: relayed,
+		},
+		SizeKB: 0.5,
+	})
+}

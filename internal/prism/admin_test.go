@@ -1,0 +1,366 @@
+package prism
+
+import (
+	"testing"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/netsim"
+)
+
+// deployWorld is a world with admins on every host and a deployer on the
+// first ("master") host.
+type deployWorld struct {
+	*world
+	admins   map[model.HostID]*AdminComponent
+	deployer *DeployerComponent
+	registry *FactoryRegistry
+	master   model.HostID
+}
+
+func newDeployWorld(t *testing.T, rel float64, hosts ...model.HostID) *deployWorld {
+	t.Helper()
+	w := newWorld(t, rel, hosts...)
+	dw := &deployWorld{
+		world:    w,
+		admins:   make(map[model.HostID]*AdminComponent),
+		registry: NewFactoryRegistry(),
+		master:   hosts[0],
+	}
+	dw.registry.Register("counter", func(id string) Migratable { return newCounter(id) })
+	cfg := AdminConfig{Deployer: dw.master, Bus: "bus", Registry: dw.registry}
+	for _, h := range hosts {
+		admin, err := InstallAdmin(w.archs[h], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw.admins[h] = admin
+	}
+	dep, err := InstallDeployer(w.archs[dw.master], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.deployer = dep
+	return dw
+}
+
+func (dw *deployWorld) addCounter(t *testing.T, host model.HostID, id string, count int) *counterComponent {
+	t.Helper()
+	c := newCounter(id)
+	c.Count = count
+	if err := dw.archs[host].AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.archs[host].Weld(id, "bus"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAdminReport(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	dw.addCounter(t, "s1", "c1", 0)
+	dw.addCounter(t, "s1", "c2", 0)
+	rep := dw.admins["s1"].Report(false)
+	if rep.Host != "s1" {
+		t.Fatalf("report host = %s", rep.Host)
+	}
+	if len(rep.Components) != 2 {
+		t.Fatalf("report components = %v", rep.Components)
+	}
+	for _, c := range rep.Components {
+		if c == AdminID {
+			t.Fatal("admin listed itself as an application component")
+		}
+	}
+	if len(rep.Links) != 1 || rep.Links[0].Peer != "m" {
+		t.Fatalf("report links = %+v", rep.Links)
+	}
+}
+
+func TestRequestReportsGathersAll(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 0)
+	dw.addCounter(t, "s2", "c2", 0)
+	reports, err := dw.deployer.RequestReports([]model.HostID{"s1", "s2"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	if got := reports["s1"].Components; len(got) != 1 || got[0] != "c1" {
+		t.Fatalf("s1 components = %v", got)
+	}
+}
+
+func TestRequestReportsOverLossyLinks(t *testing.T) {
+	// 60% links: control-plane retries must still gather every report.
+	dw := newDeployWorld(t, 0.6, "m", "s1", "s2", "s3")
+	for i, h := range []model.HostID{"s1", "s2", "s3"} {
+		dw.addCounter(t, h, string(model.ComponentName(i)), 0)
+	}
+	reports, err := dw.deployer.RequestReports([]model.HostID{"s1", "s2", "s3"}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports over lossy links", len(reports))
+	}
+}
+
+func TestEnactMigratesComponentWithState(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	c := dw.addCounter(t, "s1", "c1", 7)
+	_ = c
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1"},
+		3*time.Second,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 1 {
+		t.Fatalf("moved = %d", res.Moved)
+	}
+	waitFor(t, func() bool { return dw.archs["s2"].Component("c1") != nil })
+	if dw.archs["s1"].Component("c1") != nil {
+		t.Fatal("component still on source host")
+	}
+	moved, ok := dw.archs["s2"].Component("c1").(*counterComponent)
+	if !ok {
+		t.Fatal("migrated component has wrong type")
+	}
+	if moved.value() != 7 {
+		t.Fatalf("state lost in migration: count = %d, want 7", moved.value())
+	}
+	// The migrated component is welded to the destination bus.
+	welds := dw.archs["s2"].WeldsOf("c1")
+	if len(welds) != 1 || welds[0] != "bus" {
+		t.Fatalf("welds after migration = %v", welds)
+	}
+}
+
+func TestEnactMultipleMoves(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2", "s3")
+	dw.addCounter(t, "s1", "c1", 1)
+	dw.addCounter(t, "s1", "c2", 2)
+	dw.addCounter(t, "s2", "c3", 3)
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2", "c2": "s3", "c3": "s1"},
+		map[string]model.HostID{"c1": "s1", "c2": "s1", "c3": "s2"},
+		3*time.Second,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 3 {
+		t.Fatalf("moved = %d", res.Moved)
+	}
+	waitFor(t, func() bool {
+		return dw.archs["s2"].Component("c1") != nil &&
+			dw.archs["s3"].Component("c2") != nil &&
+			dw.archs["s1"].Component("c3") != nil
+	})
+}
+
+func TestEnactNoopMoves(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	dw.addCounter(t, "s1", "c1", 0)
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s1"}, // already there
+		map[string]model.HostID{"c1": "s1"},
+		time.Second,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 0 {
+		t.Fatalf("no-op move counted: %d", res.Moved)
+	}
+}
+
+func TestEnactUnknownComponent(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	if _, err := dw.deployer.Enact(
+		map[string]model.HostID{"ghost": "s1"},
+		map[string]model.HostID{},
+		time.Second,
+	); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}
+
+func TestEnactOverLossyLinks(t *testing.T) {
+	dw := newDeployWorld(t, 0.55, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 11)
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1"},
+		10*time.Second,
+	)
+	if err != nil {
+		t.Fatalf("lossy enact: %v (res %+v)", err, res)
+	}
+	waitFor(t, func() bool { return dw.archs["s2"].Component("c1") != nil })
+	moved := dw.archs["s2"].Component("c1").(*counterComponent)
+	if moved.value() != 11 {
+		t.Fatalf("state lost over lossy links: %d", moved.value())
+	}
+}
+
+func TestEnactMediatedTransfer(t *testing.T) {
+	// s1 and s2 are NOT directly connected; both reach the master. The
+	// deployer must mediate the fetch and the transfer (DSN'04 §4.3).
+	w := &world{
+		fabric: netsim.NewFabric(7),
+		archs:  make(map[model.HostID]*Architecture),
+		buses:  make(map[model.HostID]*DistributionConnector),
+	}
+	t.Cleanup(w.fabric.Close)
+	hosts := []model.HostID{"m", "s1", "s2"}
+	for _, h := range hosts {
+		if err := w.fabric.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []model.HostID{"s1", "s2"} {
+		if err := w.fabric.Connect("m", s, netsim.LinkState{Reliability: 1, BandwidthKB: 10_000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hosts {
+		arch := NewArchitecture(h, nil)
+		tr, err := NewNetsimTransport(w.fabric, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus, err := arch.AddDistributionConnector("bus", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.archs[h] = arch
+		w.buses[h] = bus
+	}
+	dw := &deployWorld{
+		world:    w,
+		admins:   make(map[model.HostID]*AdminComponent),
+		registry: NewFactoryRegistry(),
+		master:   "m",
+	}
+	dw.registry.Register("counter", func(id string) Migratable { return newCounter(id) })
+	cfg := AdminConfig{Deployer: "m", Bus: "bus", Registry: dw.registry}
+	for _, h := range hosts {
+		admin, err := InstallAdmin(w.archs[h], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw.admins[h] = admin
+	}
+	dep, err := InstallDeployer(w.archs["m"], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.deployer = dep
+	dw.addCounter(t, "s1", "c1", 5)
+
+	// The deployer needs reports to locate components during mediation.
+	if _, err := dw.deployer.RequestReports([]model.HostID{"s1", "s2"}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1"},
+		5*time.Second,
+	)
+	if err != nil {
+		t.Fatalf("mediated enact: %v (res %+v)", err, res)
+	}
+	waitFor(t, func() bool { return dw.archs["s2"].Component("c1") != nil })
+	if got := dw.archs["s2"].Component("c1").(*counterComponent).value(); got != 5 {
+		t.Fatalf("mediated state = %d, want 5", got)
+	}
+	if dw.archs["s1"].Component("c1") != nil {
+		t.Fatal("component still on s1")
+	}
+}
+
+func TestEventBufferingDuringMigration(t *testing.T) {
+	// Events addressed to a component mid-migration must be buffered at
+	// the destination and delivered after it attaches.
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 0)
+	sender := dw.addCounter(t, "s2", "snd", 0)
+	_ = sender
+
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1"},
+		3*time.Second,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	waitFor(t, func() bool { return dw.archs["s2"].Component("c1") != nil })
+	before := dw.archs["s2"].Component("c1").(*counterComponent).value()
+
+	// Post-migration traffic flows to the new location.
+	s2snd := dw.archs["s2"].Component("snd").(*counterComponent)
+	s2snd.Emit(Event{Name: "tick", Target: "c1"})
+	waitFor(t, func() bool {
+		return dw.archs["s2"].Component("c1").(*counterComponent).value() > before
+	})
+}
+
+func TestAdminMonitorsLifecycle(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	admin := dw.admins["s1"]
+	if admin.FrequencyMonitor() == nil || admin.ReliabilityMonitor() == nil {
+		t.Fatal("monitors not installed")
+	}
+	admin.DetachMonitors()
+	if admin.FrequencyMonitor() != nil || admin.ReliabilityMonitor() != nil {
+		t.Fatal("monitors not detached")
+	}
+	admin.AttachMonitors()
+	if admin.FrequencyMonitor() == nil {
+		t.Fatal("monitors not reattached")
+	}
+}
+
+func TestAdminIgnoresApplicationEvents(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	admin := dw.admins["s1"]
+	admin.Handle(Event{Name: EvReconfig, Kind: KindApplication}) // wrong kind
+	admin.Handle(Event{Name: EvReconfig, Kind: KindControl, Payload: "not a command"})
+	admin.Handle(Event{Name: EvFetch, Kind: KindControl, Payload: 42})
+	admin.Handle(Event{Name: EvTransfer, Kind: KindControl, Payload: nil})
+	// No panic and no state change is the assertion.
+}
+
+func TestUnmigratableComponentStaysPut(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	plain := newEcho("stubborn") // echoComponent is not Migratable
+	if err := dw.archs["s1"].AddComponent(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.archs["s1"].Weld("stubborn", "bus"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dw.deployer.Enact(
+		map[string]model.HostID{"stubborn": "s2"},
+		map[string]model.HostID{"stubborn": "s1"},
+		500*time.Millisecond,
+	)
+	if err == nil {
+		t.Fatal("unmigratable component reported moved")
+	}
+	if dw.archs["s1"].Component("stubborn") == nil {
+		t.Fatal("unmigratable component vanished from source")
+	}
+	if dw.archs["s2"].Component("stubborn") != nil {
+		t.Fatal("unmigratable component appeared at destination")
+	}
+}

@@ -1,0 +1,72 @@
+package prism
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBus builds a 10-component architecture on one plain connector.
+func benchBus(b *testing.B, monitored bool) *Connector {
+	b.Helper()
+	arch := NewArchitecture("bench", nil)
+	bus, err := arch.AddConnector("bus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// counterComponent only bumps a counter per event; echo-style
+		// sinks that accumulate slices would skew allocation numbers.
+		c := newCounter(fmt.Sprintf("c%02d", i))
+		if err := arch.AddComponent(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := arch.Weld(c.ID(), "bus"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if monitored {
+		bus.AddMonitor(NewEvtFrequencyMonitor())
+	}
+	return bus
+}
+
+func BenchmarkRouteTargeted(b *testing.B) {
+	bus := benchBus(b, false)
+	e := Event{Name: "x", Sender: "c00", Target: "c01", SizeKB: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Route(e)
+	}
+}
+
+func BenchmarkRouteTargetedMonitored(b *testing.B) {
+	bus := benchBus(b, true)
+	e := Event{Name: "x", Sender: "c00", Target: "c01", SizeKB: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Route(e)
+	}
+}
+
+func BenchmarkRouteBroadcast(b *testing.B) {
+	bus := benchBus(b, false)
+	e := Event{Name: "x", Sender: "c00", SizeKB: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Route(e)
+	}
+}
+
+func BenchmarkEventEncodeDecode(b *testing.B) {
+	e := Event{Name: "x", Sender: "a", Target: "b", SrcHost: "h1", DstHost: "h2", Payload: "data"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeEvent(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeEvent(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

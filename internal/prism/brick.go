@@ -1,0 +1,122 @@
+package prism
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Brick is the common abstraction of Prism-MW's architectural elements
+// (the paper's abstract Brick class, specialized by Component and
+// Connector).
+type Brick interface {
+	// ID returns the brick's unique name within its architecture.
+	ID() string
+}
+
+// Component is an application component: it receives events through
+// Handle and sends events through the emitter its architecture wires in
+// when the component is attached.
+type Component interface {
+	Brick
+	// Handle processes one delivered event. It runs on a scaffold worker;
+	// implementations must be safe for concurrent invocation or perform
+	// their own serialization.
+	Handle(e Event)
+	// Bind gives the component its sending side: emit routes an event
+	// into the connectors the component is welded to. Bind is called by
+	// the architecture on attach (with a working emitter) and on detach
+	// (with nil).
+	Bind(emit func(Event))
+}
+
+// Migratable is implemented by components that can move between hosts:
+// the effector serializes them on the source, ships the bytes, and
+// reconstitutes them on the destination through the component factory
+// registry.
+type Migratable interface {
+	Component
+	// TypeName keys the factory used to reconstitute the component.
+	TypeName() string
+	// Snapshot captures the component's state.
+	Snapshot() ([]byte, error)
+	// Restore re-establishes state captured by Snapshot.
+	Restore(state []byte) error
+}
+
+// BaseComponent provides the emitter plumbing shared by concrete
+// components. Embed by pointer and call Emit to send events.
+type BaseComponent struct {
+	name string
+
+	mu   sync.RWMutex
+	emit func(Event)
+}
+
+// NewBaseComponent returns a BaseComponent with the given ID.
+func NewBaseComponent(name string) BaseComponent {
+	return BaseComponent{name: name}
+}
+
+// ID implements Brick.
+func (b *BaseComponent) ID() string { return b.name }
+
+// Bind implements Component.
+func (b *BaseComponent) Bind(emit func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.emit = emit
+}
+
+// Emit sends an event through the component's connectors, stamping the
+// sender. Events emitted while detached are silently dropped — the
+// component is mid-migration and its traffic is being buffered upstream.
+func (b *BaseComponent) Emit(e Event) {
+	b.mu.RLock()
+	emit := b.emit
+	b.mu.RUnlock()
+	if emit == nil {
+		return
+	}
+	if e.Sender == "" {
+		e.Sender = b.name
+	}
+	emit(e)
+}
+
+// Attached reports whether the component currently has an emitter.
+func (b *BaseComponent) Attached() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.emit != nil
+}
+
+// FactoryRegistry maps component type names to constructors, enabling
+// the effector to reconstitute migrated components on their destination
+// host (the paper's Serializable support).
+type FactoryRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]func(id string) Migratable
+}
+
+// NewFactoryRegistry returns an empty registry.
+func NewFactoryRegistry() *FactoryRegistry {
+	return &FactoryRegistry{factories: make(map[string]func(id string) Migratable)}
+}
+
+// Register adds a component factory under the given type name.
+func (r *FactoryRegistry) Register(typeName string, factory func(id string) Migratable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[typeName] = factory
+}
+
+// New instantiates a component of the given type with the given ID.
+func (r *FactoryRegistry) New(typeName, id string) (Migratable, error) {
+	r.mu.RLock()
+	factory, ok := r.factories[typeName]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("prism: no factory for component type %q", typeName)
+	}
+	return factory(id), nil
+}

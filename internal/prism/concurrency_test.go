@@ -1,0 +1,176 @@
+package prism
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dif/internal/model"
+)
+
+// These tests exercise the middleware under concurrent load: started
+// scaffolds, parallel emitters, and runtime reconfiguration while events
+// are in flight.
+
+func TestScaffoldParallelDispatchers(t *testing.T) {
+	s := NewScaffold()
+	s.Start(8)
+	defer s.Stop()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Dispatch(func() { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	s.Drain()
+	if n.Load() != 16*500 {
+		t.Fatalf("ran %d tasks, want %d", n.Load(), 16*500)
+	}
+}
+
+func TestConnectorConcurrentRouteAndAttach(t *testing.T) {
+	arch := NewArchitecture("h", nil)
+	arch.Scaffold().Start(4)
+	defer arch.Shutdown()
+	bus, err := arch.AddConnector("bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newEcho("sink")
+	if err := arch.AddComponent(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Weld("sink", "bus"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	// Router goroutines.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				bus.Route(Event{Name: "x", Sender: "ext", Target: "sink"})
+			}
+		}()
+	}
+	// Reconfiguration goroutine: attach/detach extra components while
+	// routing is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			id := fmt.Sprintf("tmp%02d", i)
+			c := newEcho(id)
+			if err := arch.AddComponent(c); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := arch.Weld(id, "bus"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := arch.RemoveComponent(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	arch.Scaffold().Drain()
+	if sink.count.Load() != 800 {
+		t.Fatalf("sink received %d, want 800", sink.count.Load())
+	}
+}
+
+func TestArchitectureConcurrentEmitters(t *testing.T) {
+	arch := NewArchitecture("h", nil)
+	arch.Scaffold().Start(4)
+	defer arch.Shutdown()
+	if _, err := arch.AddConnector("bus"); err != nil {
+		t.Fatal(err)
+	}
+	const emitters = 6
+	comps := make([]*echoComponent, emitters)
+	for i := range comps {
+		comps[i] = newEcho(fmt.Sprintf("c%d", i))
+		if err := arch.AddComponent(comps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := arch.Weld(comps[i].ID(), "bus"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range comps {
+		wg.Add(1)
+		go func(c *echoComponent, target string) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Emit(Event{Name: "x", Target: target})
+			}
+		}(comps[i], fmt.Sprintf("c%d", (i+1)%emitters))
+	}
+	wg.Wait()
+	arch.Scaffold().Drain()
+	for i, c := range comps {
+		if got := c.count.Load(); got != 100 {
+			t.Fatalf("c%d received %d, want 100", i, got)
+		}
+	}
+}
+
+func TestMonitorConcurrentObserve(t *testing.T) {
+	m := NewEvtFrequencyMonitor()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				m.Observe(Event{
+					Sender: fmt.Sprintf("s%d", g%2),
+					Target: fmt.Sprintf("t%d", g%3),
+					SizeKB: 1,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range m.Snapshot(false) {
+		total += s.Events
+	}
+	if total != 8*250 {
+		t.Fatalf("monitor counted %d events, want %d", total, 8*250)
+	}
+}
+
+func TestDistributionConnectorConcurrentPings(t *testing.T) {
+	w := newWorld(t, 0.8, "h1", "h2", "h3")
+	bus := w.buses["h1"]
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bus.PingN("h2", 200)
+			bus.PingN("h3", 200)
+		}()
+	}
+	wg.Wait()
+	for _, peer := range []string{"h2", "h3"} {
+		st := bus.PeerStats(model.HostID(peer))
+		if st.Sent != 800 {
+			t.Fatalf("%s sent = %d, want 800", peer, st.Sent)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package prism
+
+import (
+	"sync"
+
+	"dif/internal/model"
+)
+
+// EventMonitor observes events flowing through a brick (Prism-MW's
+// IMonitor): different implementations record frequencies, sizes, or
+// reliability. Monitors run inline on the routing path, so they must be
+// cheap; the paper's overhead budget for them is 0.1%–10%.
+type EventMonitor interface {
+	// Observe is called once per event routed by the monitored brick.
+	Observe(e Event)
+}
+
+// Connector routes events between the components welded to it (Prism-MW's
+// Connector class). Routing is broadcast — every attached component except
+// the sender receives the event — unless the event carries a Target, in
+// which case only the target receives it.
+type Connector struct {
+	name     string
+	scaffold *Scaffold
+	// host is the local host ID; events addressed to a different DstHost
+	// are not delivered locally. Empty means "deliver everything" (plain
+	// single-host connectors).
+	host model.HostID
+
+	mu       sync.RWMutex
+	attached map[string]Component
+	monitors []EventMonitor
+	// held buffers events addressed to components that are mid-migration
+	// (the effector's buffering duty, DSN'04 §3.1 "Effector").
+	held map[string][]Event
+	// forward, when set (by DistributionConnector), ships locally
+	// originated events to remote hosts in addition to local routing.
+	forward func(Event)
+}
+
+// NewConnector returns a connector dispatching through the scaffold.
+func NewConnector(name string, scaffold *Scaffold) *Connector {
+	return &Connector{
+		name:     name,
+		scaffold: scaffold,
+		attached: make(map[string]Component),
+		held:     make(map[string][]Event),
+	}
+}
+
+// ID implements Brick.
+func (c *Connector) ID() string { return c.name }
+
+// AddMonitor attaches an event monitor to the connector.
+func (c *Connector) AddMonitor(m EventMonitor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.monitors = append(c.monitors, m)
+}
+
+// RemoveMonitors detaches every monitor.
+func (c *Connector) RemoveMonitors() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.monitors = nil
+}
+
+// attach welds a component (architecture-internal).
+func (c *Connector) attach(comp Component) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attached[comp.ID()] = comp
+}
+
+// detach unwelds a component (architecture-internal).
+func (c *Connector) detach(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.attached, id)
+}
+
+// AttachedIDs returns the IDs of the welded components, unsorted.
+func (c *Connector) AttachedIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.attached))
+	for id := range c.attached {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Hold starts buffering events addressed to the named component. Used by
+// the effector while the component migrates.
+func (c *Connector) Hold(target string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.held[target]; !ok {
+		c.held[target] = []Event{}
+	}
+}
+
+// Release stops buffering for the target. When deliver is true the held
+// events are routed (the component has re-attached, possibly elsewhere on
+// this connector); otherwise they are dropped (the component left this
+// host). It returns the number of events flushed or dropped.
+func (c *Connector) Release(target string, deliver bool) int {
+	c.mu.Lock()
+	events := c.held[target]
+	delete(c.held, target)
+	c.mu.Unlock()
+	if deliver {
+		for _, e := range events {
+			c.Route(e)
+		}
+	}
+	return len(events)
+}
+
+// Route delivers an event to the connector's audience: the targeted
+// component, or every attached component except the sender. Events for a
+// held target are buffered instead.
+func (c *Connector) Route(e Event) {
+	c.mu.RLock()
+	for _, m := range c.monitors {
+		m.Observe(e)
+	}
+	// Locally originated events also go to the remote audience; events
+	// that already crossed a host boundary (SrcHost set) stay local,
+	// which prevents forwarding loops.
+	if c.forward != nil && e.SrcHost == "" {
+		c.forward(e)
+	}
+	// An event addressed to another host has no local audience.
+	if e.DstHost != "" && c.host != "" && e.DstHost != c.host {
+		c.mu.RUnlock()
+		return
+	}
+	if e.Target != "" {
+		if _, holding := c.held[e.Target]; holding {
+			c.mu.RUnlock()
+			// Re-lock exclusively to append; the window is benign (the
+			// hold can only be released by the effector that created it).
+			c.mu.Lock()
+			if buf, stillHeld := c.held[e.Target]; stillHeld {
+				c.held[e.Target] = append(buf, e)
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Unlock()
+			c.Route(e)
+			return
+		}
+		comp, ok := c.attached[e.Target]
+		c.mu.RUnlock()
+		if ok {
+			c.deliver(comp, e)
+		}
+		return
+	}
+	receivers := make([]Component, 0, len(c.attached))
+	for id, comp := range c.attached {
+		if id != e.Sender {
+			receivers = append(receivers, comp)
+		}
+	}
+	c.mu.RUnlock()
+	for _, comp := range receivers {
+		c.deliver(comp, e)
+	}
+}
+
+func (c *Connector) deliver(comp Component, e Event) {
+	c.scaffold.Dispatch(func() { comp.Handle(e) })
+}

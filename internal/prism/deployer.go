@@ -1,0 +1,280 @@
+package prism
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+)
+
+// DeployerID is the well-known component ID of the deployer.
+const DeployerID = "prism.deployer"
+
+// DeployerComponent is the ExtensibleComponent with the Deployer
+// implementation of IAdmin (DSN'04 §4.2): an Admin that additionally
+// interfaces with DeSi — it gathers monitoring reports from every
+// AdminComponent, distributes redeployment commands, and mediates
+// interactions between hosts that are not directly connected.
+//
+// The deployer host also runs a full AdminComponent for its own local
+// architecture; DeployerComponent handles the system-wide duties.
+type DeployerComponent struct {
+	BaseComponent
+	arch   *Architecture
+	cfg    AdminConfig
+	sender *controlSender
+
+	mu      sync.Mutex
+	reports map[model.HostID]MonitoringReport
+	// reportWait is signalled whenever a report arrives.
+	reportWait chan struct{}
+	// epochs tracks outstanding redeployment waves.
+	epochs    map[int]*epochState
+	nextEpoch int
+}
+
+type epochState struct {
+	pendingHosts map[model.HostID]bool
+	doneCh       chan struct{}
+	relayed      int
+	received     int
+}
+
+// NewDeployerComponent builds a deployer for the master architecture.
+func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponent {
+	registerPayloadsOnce.Do(registerControlPayloads)
+	if cfg.SendAttempts <= 0 {
+		cfg.SendAttempts = DefaultSendAttempts
+	}
+	return &DeployerComponent{
+		BaseComponent: NewBaseComponent(DeployerID),
+		arch:          arch,
+		cfg:           cfg,
+		sender:        newControlSender(arch, cfg, DeployerID),
+		reports:       make(map[model.HostID]MonitoringReport),
+		reportWait:    make(chan struct{}, 1),
+		epochs:        make(map[int]*epochState),
+		nextEpoch:     1,
+	}
+}
+
+// InstallDeployer creates a deployer, adds it to the architecture, and
+// welds it to the bus.
+func InstallDeployer(arch *Architecture, cfg AdminConfig) (*DeployerComponent, error) {
+	dep := NewDeployerComponent(arch, cfg)
+	if err := arch.AddComponent(dep); err != nil {
+		return nil, err
+	}
+	if err := arch.Weld(DeployerID, cfg.Bus); err != nil {
+		return nil, err
+	}
+	return dep, nil
+}
+
+// Handle implements Component.
+func (d *DeployerComponent) Handle(e Event) {
+	if e.kind() != KindControl {
+		return
+	}
+	switch e.Name {
+	case EvReport:
+		rep, ok := e.Payload.(MonitoringReport)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		d.reports[rep.Host] = rep
+		d.mu.Unlock()
+		select {
+		case d.reportWait <- struct{}{}:
+		default:
+		}
+	case EvFetch:
+		// Mediated fetch: forward to the component's source host.
+		req, ok := e.Payload.(FetchRequest)
+		if !ok || !req.Mediated {
+			return
+		}
+		src := req.Source
+		if src == "" {
+			// Legacy requests without a source: locate the component
+			// from the latest monitoring reports.
+			src = d.findHostOf(req.Comp, e.SrcHost)
+		}
+		if src == "" {
+			return
+		}
+		_ = d.sendControl(src, Event{Name: EvFetch, Target: AdminID, Payload: req, SizeKB: 0.5})
+	case EvTransfer:
+		// Mediated transfer: forward toward its final destination. A
+		// transfer destined for the deployer's own host is handed to the
+		// local admin, which owns reconstitution.
+		tp, ok := e.Payload.(TransferPayload)
+		if !ok || tp.FinalDst == "" {
+			return
+		}
+		if tp.FinalDst == d.arch.Host() {
+			_ = d.sendControl(d.arch.Host(), Event{
+				Name: EvTransfer, Target: AdminID, Payload: tp, SizeKB: tp.SizeKB,
+			})
+			return
+		}
+		_ = d.sendControl(tp.FinalDst, Event{
+			Name: EvTransfer, Target: AdminID, Payload: tp, SizeKB: tp.SizeKB,
+		})
+	case EvDone:
+		rep, ok := e.Payload.(DoneReport)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		if st, exists := d.epochs[rep.Epoch]; exists && st.pendingHosts[rep.Host] {
+			delete(st.pendingHosts, rep.Host)
+			st.received += rep.Received
+			st.relayed += rep.Relayed
+			if len(st.pendingHosts) == 0 {
+				close(st.doneCh)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// findHostOf locates a component using the latest monitoring reports,
+// excluding the requesting host.
+func (d *DeployerComponent) findHostOf(comp string, exclude model.HostID) model.HostID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for host, rep := range d.reports {
+		if host == exclude {
+			continue
+		}
+		for _, c := range rep.Components {
+			if c == comp {
+				return host
+			}
+		}
+	}
+	return ""
+}
+
+// sendControl mirrors AdminComponent.sendControl for the deployer.
+func (d *DeployerComponent) sendControl(to model.HostID, e Event) error {
+	return d.sender.send(to, e)
+}
+
+// RequestReports asks every listed host's admin for a monitoring report
+// and waits until all have arrived or the timeout expires. It returns the
+// reports received so far keyed by host.
+func (d *DeployerComponent) RequestReports(hosts []model.HostID, timeout time.Duration) (map[model.HostID]MonitoringReport, error) {
+	d.mu.Lock()
+	d.reports = make(map[model.HostID]MonitoringReport, len(hosts))
+	d.mu.Unlock()
+
+	for _, h := range hosts {
+		if err := d.sendControl(h, Event{Name: EvReportRequest, Target: AdminID, SizeKB: 0.2}); err != nil {
+			return d.snapshotReports(), err
+		}
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if len(d.snapshotReports()) >= len(hosts) {
+			return d.snapshotReports(), nil
+		}
+		select {
+		case <-d.reportWait:
+		case <-deadline.C:
+			got := d.snapshotReports()
+			return got, fmt.Errorf("deployer: %d of %d reports after %v", len(got), len(hosts), timeout)
+		}
+	}
+}
+
+func (d *DeployerComponent) snapshotReports() map[model.HostID]MonitoringReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[model.HostID]MonitoringReport, len(d.reports))
+	for h, r := range d.reports {
+		out[h] = r
+	}
+	return out
+}
+
+// EnactResult summarizes a completed redeployment wave.
+type EnactResult struct {
+	Epoch      int
+	Moved      int
+	Relayed    int
+	Incomplete []model.HostID // hosts that never reported done (timeout)
+}
+
+// Enact distributes a redeployment wave: moves maps each migrating
+// component to its destination host; current describes where every
+// component lives now. It blocks until every receiving host reports done
+// or the timeout expires.
+func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[string]model.HostID, timeout time.Duration) (EnactResult, error) {
+	d.mu.Lock()
+	epoch := d.nextEpoch
+	d.nextEpoch++
+	d.mu.Unlock()
+	res := EnactResult{Epoch: epoch}
+
+	// Group arrivals per destination host.
+	arrivals := make(map[model.HostID]map[string]model.HostID)
+	for comp, dst := range moves {
+		src, ok := current[comp]
+		if !ok {
+			return res, fmt.Errorf("enact: unknown current host for component %s", comp)
+		}
+		if src == dst {
+			continue
+		}
+		if arrivals[dst] == nil {
+			arrivals[dst] = make(map[string]model.HostID)
+		}
+		arrivals[dst][comp] = src
+		res.Moved++
+	}
+	if res.Moved == 0 {
+		return res, nil
+	}
+
+	st := &epochState{
+		pendingHosts: make(map[model.HostID]bool, len(arrivals)),
+		doneCh:       make(chan struct{}),
+	}
+	for dst := range arrivals {
+		st.pendingHosts[dst] = true
+	}
+	d.mu.Lock()
+	d.epochs[epoch] = st
+	d.mu.Unlock()
+
+	for dst, arr := range arrivals {
+		cmd := ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host()}
+		if err := d.sendControl(dst, Event{Name: EvReconfig, Target: AdminID, Payload: cmd, SizeKB: 1}); err != nil {
+			return res, err
+		}
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case <-st.doneCh:
+	case <-deadline.C:
+	}
+	d.mu.Lock()
+	for h := range st.pendingHosts {
+		res.Incomplete = append(res.Incomplete, h)
+	}
+	res.Relayed = st.relayed
+	delete(d.epochs, epoch)
+	d.mu.Unlock()
+	if len(res.Incomplete) > 0 {
+		return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v",
+			epoch, len(res.Incomplete), timeout)
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package prism
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dif/internal/model"
+	"dif/internal/netsim"
+)
+
+// Transport carries encoded events between hosts. Implementations:
+// NetsimTransport (simulated fabric) and TCPTransport (real sockets).
+type Transport interface {
+	// Host returns the local host ID.
+	Host() model.HostID
+	// Peers returns the remote hosts this transport can currently reach,
+	// sorted.
+	Peers() []model.HostID
+	// Send transmits an encoded frame. sizeKB is the modeled payload
+	// size for network accounting (simulated transports charge it
+	// against link bandwidth).
+	Send(to model.HostID, data []byte, sizeKB float64) error
+	// SetReceiver installs the inbound frame callback. Frames received
+	// before a receiver is set are dropped.
+	SetReceiver(recv func(from model.HostID, data []byte))
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// NetsimTransport adapts a netsim.Fabric endpoint to the Transport
+// interface.
+type NetsimTransport struct {
+	fabric *netsim.Fabric
+	host   model.HostID
+
+	mu   sync.RWMutex
+	recv func(from model.HostID, data []byte)
+}
+
+var _ Transport = (*NetsimTransport)(nil)
+
+// NewNetsimTransport binds the given (already registered) fabric host.
+// It replaces the host's fabric handler.
+func NewNetsimTransport(fabric *netsim.Fabric, host model.HostID) (*NetsimTransport, error) {
+	t := &NetsimTransport{fabric: fabric, host: host}
+	if err := fabric.SetHandler(host, t.onMessage); err != nil {
+		return nil, fmt.Errorf("netsim transport: %w", err)
+	}
+	return t, nil
+}
+
+func (t *NetsimTransport) onMessage(m netsim.Message) {
+	data, ok := m.Payload.([]byte)
+	if !ok {
+		return
+	}
+	t.mu.RLock()
+	recv := t.recv
+	t.mu.RUnlock()
+	if recv != nil {
+		recv(m.From, data)
+	}
+}
+
+// Host implements Transport.
+func (t *NetsimTransport) Host() model.HostID { return t.host }
+
+// Peers implements Transport: the hosts linked to this one on the fabric.
+func (t *NetsimTransport) Peers() []model.HostID {
+	var out []model.HostID
+	for _, h := range t.fabric.Hosts() {
+		if h == t.host {
+			continue
+		}
+		if _, ok := t.fabric.Link(t.host, h); ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Send implements Transport.
+func (t *NetsimTransport) Send(to model.HostID, data []byte, sizeKB float64) error {
+	_, err := t.fabric.Send(t.host, to, sizeKB, data)
+	return err
+}
+
+// SetReceiver implements Transport.
+func (t *NetsimTransport) SetReceiver(recv func(from model.HostID, data []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = recv
+}
+
+// Close implements Transport. The fabric itself is shared and stays up.
+func (t *NetsimTransport) Close() error {
+	return t.fabric.SetHandler(t.host, nil)
+}
+
+// PeerStats tracks probe traffic toward one remote distribution
+// connector, feeding the reliability estimate.
+type PeerStats struct {
+	Sent      int
+	Delivered int
+}
+
+// Reliability returns the observed delivery ratio (1 when unprobed).
+func (p PeerStats) Reliability() float64 {
+	if p.Sent == 0 {
+		return 1
+	}
+	return float64(p.Delivered) / float64(p.Sent)
+}
+
+// DistributionConnector extends a Connector across host boundaries
+// (Prism-MW's DistributionConnector): events routed through it are also
+// forwarded to remote peers over the transport, and events arriving from
+// peers are routed into the local architecture. It additionally keeps
+// per-peer probe statistics for NetworkReliabilityMonitor.
+type DistributionConnector struct {
+	*Connector
+	host      model.HostID
+	transport Transport
+
+	mu    sync.Mutex
+	stats map[model.HostID]*PeerStats
+	saf   storeAndForward
+}
+
+// NewDistributionConnector wires a distribution connector to a transport.
+// Prefer Architecture.AddDistributionConnector, which also registers it.
+func NewDistributionConnector(name string, host model.HostID, scaffold *Scaffold, transport Transport) *DistributionConnector {
+	dc := &DistributionConnector{
+		Connector: NewConnector(name, scaffold),
+		host:      host,
+		transport: transport,
+		stats:     make(map[model.HostID]*PeerStats),
+	}
+	dc.Connector.host = host
+	dc.Connector.forward = dc.forwardRemote
+	transport.SetReceiver(dc.onFrame)
+	return dc
+}
+
+// Transport returns the underlying transport.
+func (dc *DistributionConnector) Transport() Transport { return dc.transport }
+
+// forwardRemote ships a locally originated event to its remote audience.
+func (dc *DistributionConnector) forwardRemote(e Event) {
+	e.SrcHost = dc.host
+	data, err := EncodeEvent(e)
+	if err != nil {
+		return // unencodable payloads stay local
+	}
+	queueable := e.kind() == KindApplication
+	if e.DstHost != "" {
+		if e.DstHost != dc.host {
+			dc.sendTracked(e.DstHost, data, e.EffectiveSizeKB(), queueable)
+		}
+		return
+	}
+	for _, peer := range dc.transport.Peers() {
+		dc.sendTracked(peer, data, e.EffectiveSizeKB(), queueable)
+	}
+}
+
+// sendTracked transmits a frame, records the outcome in the peer's probe
+// statistics, and (for queueable application traffic) stores
+// undeliverable frames when store-and-forward is enabled. Control and
+// ping traffic is never queued: probes are only meaningful live, and the
+// control plane has its own retransmission.
+func (dc *DistributionConnector) sendTracked(to model.HostID, data []byte, sizeKB float64, queueable bool) {
+	err := dc.transport.Send(to, data, sizeKB)
+	dc.mu.Lock()
+	st, ok := dc.stats[to]
+	if !ok {
+		st = &PeerStats{}
+		dc.stats[to] = st
+	}
+	st.Sent++
+	if err == nil {
+		st.Delivered++
+	}
+	dc.mu.Unlock()
+	if err != nil && queueable {
+		dc.queuePending(to, data, sizeKB)
+	}
+}
+
+// onFrame routes an inbound remote event into the local architecture.
+func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
+	e, err := DecodeEvent(data)
+	if err != nil {
+		return
+	}
+	e.SrcHost = from
+	dc.Connector.Route(e)
+}
+
+// PingN probes a peer with n reliability-measurement events (the paper's
+// "common pinging technique") and returns the observed delivery ratio
+// for just those probes.
+func (dc *DistributionConnector) PingN(peer model.HostID, n int) float64 {
+	before := dc.PeerStats(peer)
+	e := Event{Name: "prism.ping", Kind: KindPing, SizeKB: 0.1, SrcHost: dc.host, DstHost: peer}
+	data, err := EncodeEvent(e)
+	if err != nil {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		dc.sendTracked(peer, data, e.SizeKB, false)
+	}
+	after := dc.PeerStats(peer)
+	sent := after.Sent - before.Sent
+	if sent == 0 {
+		return 0
+	}
+	return float64(after.Delivered-before.Delivered) / float64(sent)
+}
+
+// PeerStats returns a snapshot of the probe statistics toward a peer.
+func (dc *DistributionConnector) PeerStats(peer model.HostID) PeerStats {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if st, ok := dc.stats[peer]; ok {
+		return *st
+	}
+	return PeerStats{}
+}
+
+// Reliabilities returns the observed delivery ratio per probed peer.
+func (dc *DistributionConnector) Reliabilities() map[model.HostID]float64 {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	out := make(map[model.HostID]float64, len(dc.stats))
+	for peer, st := range dc.stats {
+		out[peer] = st.Reliability()
+	}
+	return out
+}
+
+// ResetPeerStats clears probe statistics (start of a monitoring window).
+func (dc *DistributionConnector) ResetPeerStats() {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	dc.stats = make(map[model.HostID]*PeerStats)
+}
+
+// Peers returns the transport's reachable hosts, sorted.
+func (dc *DistributionConnector) Peers() []model.HostID {
+	peers := dc.transport.Peers()
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}

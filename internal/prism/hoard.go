@@ -1,0 +1,165 @@
+package prism
+
+import (
+	"sync"
+
+	"dif/internal/model"
+)
+
+// Store-and-forward support (DSN'04 §6 names "queuing of remote calls"
+// as a redeployment-complementing strategy; the disconnected-operation
+// work the paper builds on uses the same mechanism). When enabled on a
+// DistributionConnector, application events that fail to reach a peer —
+// the link is partitioned, dropped the message, or does not currently
+// exist — are queued per peer and re-sent when the caller flushes after
+// connectivity returns.
+
+// pendingQueue buffers undeliverable frames for one peer.
+type pendingQueue struct {
+	frames []pendingFrame
+}
+
+type pendingFrame struct {
+	data   []byte
+	sizeKB float64
+}
+
+// storeAndForward is the DistributionConnector extension state.
+type storeAndForward struct {
+	mu         sync.Mutex
+	enabled    bool
+	maxPerPeer int
+	dropped    int
+	queues     map[model.HostID]*pendingQueue
+}
+
+// DefaultStoreAndForwardDepth bounds each peer's queue.
+const DefaultStoreAndForwardDepth = 256
+
+// EnableStoreAndForward turns on queuing of undeliverable application
+// events toward each peer. maxPerPeer bounds each queue (0 selects
+// DefaultStoreAndForwardDepth); when full, the oldest frame is dropped.
+func (dc *DistributionConnector) EnableStoreAndForward(maxPerPeer int) {
+	if maxPerPeer <= 0 {
+		maxPerPeer = DefaultStoreAndForwardDepth
+	}
+	dc.saf.mu.Lock()
+	defer dc.saf.mu.Unlock()
+	dc.saf.enabled = true
+	dc.saf.maxPerPeer = maxPerPeer
+	if dc.saf.queues == nil {
+		dc.saf.queues = make(map[model.HostID]*pendingQueue)
+	}
+}
+
+// DisableStoreAndForward turns queuing off and discards pending frames.
+func (dc *DistributionConnector) DisableStoreAndForward() {
+	dc.saf.mu.Lock()
+	defer dc.saf.mu.Unlock()
+	dc.saf.enabled = false
+	dc.saf.queues = nil
+}
+
+// queuePending stores an undeliverable frame (connector-internal).
+func (dc *DistributionConnector) queuePending(peer model.HostID, data []byte, sizeKB float64) {
+	dc.saf.mu.Lock()
+	defer dc.saf.mu.Unlock()
+	if !dc.saf.enabled {
+		return
+	}
+	q, ok := dc.saf.queues[peer]
+	if !ok {
+		q = &pendingQueue{}
+		dc.saf.queues[peer] = q
+	}
+	if len(q.frames) >= dc.saf.maxPerPeer {
+		// Drop the oldest: fresher state supersedes stale events.
+		q.frames = q.frames[1:]
+		dc.saf.dropped++
+	}
+	q.frames = append(q.frames, pendingFrame{data: data, sizeKB: sizeKB})
+}
+
+// PendingFor returns how many events are queued toward a peer.
+func (dc *DistributionConnector) PendingFor(peer model.HostID) int {
+	dc.saf.mu.Lock()
+	defer dc.saf.mu.Unlock()
+	if q, ok := dc.saf.queues[peer]; ok {
+		return len(q.frames)
+	}
+	return 0
+}
+
+// PendingDropped returns how many queued events were displaced by queue
+// overflow since store-and-forward was enabled.
+func (dc *DistributionConnector) PendingDropped() int {
+	dc.saf.mu.Lock()
+	defer dc.saf.mu.Unlock()
+	return dc.saf.dropped
+}
+
+// FlushPeer re-sends the events queued toward a peer (call when
+// connectivity is restored, e.g. after a successful reliability probe).
+// Frames that still fail are re-queued in order. It returns how many
+// were delivered and how many remain queued.
+func (dc *DistributionConnector) FlushPeer(peer model.HostID) (delivered, remaining int) {
+	dc.saf.mu.Lock()
+	q, ok := dc.saf.queues[peer]
+	if !ok || len(q.frames) == 0 {
+		dc.saf.mu.Unlock()
+		return 0, 0
+	}
+	frames := q.frames
+	q.frames = nil
+	dc.saf.mu.Unlock()
+
+	var failed []pendingFrame
+	for i, f := range frames {
+		if len(failed) > 0 {
+			// Preserve ordering: once one frame fails, stop trying and
+			// re-queue the rest behind it.
+			failed = append(failed, frames[i])
+			continue
+		}
+		if err := dc.transport.Send(peer, f.data, f.sizeKB); err != nil {
+			failed = append(failed, f)
+			continue
+		}
+		delivered++
+	}
+	if len(failed) > 0 {
+		dc.saf.mu.Lock()
+		if dc.saf.enabled {
+			q, ok := dc.saf.queues[peer]
+			if !ok {
+				q = &pendingQueue{}
+				dc.saf.queues[peer] = q
+			}
+			// Failed frames go back to the front; anything queued while
+			// we were flushing stays behind them.
+			q.frames = append(failed, q.frames...)
+			remaining = len(q.frames)
+		}
+		dc.saf.mu.Unlock()
+	}
+	return delivered, remaining
+}
+
+// FlushAll flushes every peer with queued events and returns the total
+// delivered.
+func (dc *DistributionConnector) FlushAll() int {
+	dc.saf.mu.Lock()
+	peers := make([]model.HostID, 0, len(dc.saf.queues))
+	for p, q := range dc.saf.queues {
+		if len(q.frames) > 0 {
+			peers = append(peers, p)
+		}
+	}
+	dc.saf.mu.Unlock()
+	total := 0
+	for _, p := range peers {
+		n, _ := dc.FlushPeer(p)
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package prism
+
+import (
+	"testing"
+	"time"
+
+	"dif/internal/model"
+)
+
+func TestStoreAndForwardQueuesOnPartition(t *testing.T) {
+	w := newWorld(t, 1.0, "h1", "h2")
+	a := w.addEcho(t, "h1", "a")
+	b := w.addEcho(t, "h2", "b")
+	w.buses["h1"].EnableStoreAndForward(0)
+
+	if err := w.fabric.SetPartitioned("h1", "h2", true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Emit(Event{Name: "x", Target: "b"})
+	}
+	time.Sleep(20 * time.Millisecond)
+	if b.count.Load() != 0 {
+		t.Fatal("events crossed a partition")
+	}
+	if got := w.buses["h1"].PendingFor("h2"); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+
+	// Heal and flush: everything arrives.
+	if err := w.fabric.SetPartitioned("h1", "h2", false); err != nil {
+		t.Fatal(err)
+	}
+	delivered, remaining := w.buses["h1"].FlushPeer("h2")
+	if delivered != 5 || remaining != 0 {
+		t.Fatalf("flush = %d delivered, %d remaining", delivered, remaining)
+	}
+	waitFor(t, func() bool { return b.count.Load() == 5 })
+}
+
+func TestStoreAndForwardLossyFlushRequeues(t *testing.T) {
+	w := newWorld(t, 1.0, "h1", "h2")
+	a := w.addEcho(t, "h1", "a")
+	_ = w.addEcho(t, "h2", "b")
+	bus := w.buses["h1"]
+	bus.EnableStoreAndForward(0)
+	if err := w.fabric.SetPartitioned("h1", "h2", true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a.Emit(Event{Name: "x", Target: "b"})
+	}
+	// Flush while still partitioned: nothing delivered, order preserved.
+	delivered, remaining := bus.FlushPeer("h2")
+	if delivered != 0 || remaining != 3 {
+		t.Fatalf("partitioned flush = %d/%d", delivered, remaining)
+	}
+}
+
+func TestStoreAndForwardDepthBound(t *testing.T) {
+	w := newWorld(t, 1.0, "h1", "h2")
+	a := w.addEcho(t, "h1", "a")
+	_ = w.addEcho(t, "h2", "b")
+	bus := w.buses["h1"]
+	bus.EnableStoreAndForward(3)
+	if err := w.fabric.SetPartitioned("h1", "h2", true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.Emit(Event{Name: "x", Target: "b"})
+	}
+	if got := bus.PendingFor("h2"); got != 3 {
+		t.Fatalf("pending = %d, want bound 3", got)
+	}
+	if got := bus.PendingDropped(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+}
+
+func TestStoreAndForwardDisabledByDefault(t *testing.T) {
+	w := newWorld(t, 1.0, "h1", "h2")
+	a := w.addEcho(t, "h1", "a")
+	_ = w.addEcho(t, "h2", "b")
+	if err := w.fabric.SetPartitioned("h1", "h2", true); err != nil {
+		t.Fatal(err)
+	}
+	a.Emit(Event{Name: "x", Target: "b"})
+	if got := w.buses["h1"].PendingFor("h2"); got != 0 {
+		t.Fatalf("pending = %d without store-and-forward", got)
+	}
+}
+
+func TestStoreAndForwardFlushAll(t *testing.T) {
+	w := newWorld(t, 1.0, "h1", "h2", "h3")
+	a := w.addEcho(t, "h1", "a")
+	b := w.addEcho(t, "h2", "b")
+	c := w.addEcho(t, "h3", "c")
+	bus := w.buses["h1"]
+	bus.EnableStoreAndForward(0)
+	for _, peer := range []string{"h2", "h3"} {
+		if err := w.fabric.SetPartitioned("h1", model.HostID(peer), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Emit(Event{Name: "x", Target: "b", DstHost: "h2"})
+	a.Emit(Event{Name: "x", Target: "c", DstHost: "h3"})
+	for _, peer := range []string{"h2", "h3"} {
+		if err := w.fabric.SetPartitioned("h1", model.HostID(peer), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := bus.FlushAll(); total != 2 {
+		t.Fatalf("FlushAll = %d, want 2", total)
+	}
+	waitFor(t, func() bool { return b.count.Load() == 1 && c.count.Load() == 1 })
+	// Disable discards any future queuing.
+	bus.DisableStoreAndForward()
+	if got := bus.PendingFor("h2"); got != 0 {
+		t.Fatalf("pending after disable = %d", got)
+	}
+}

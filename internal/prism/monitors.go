@@ -1,0 +1,171 @@
+package prism
+
+import (
+	"sync"
+	"time"
+
+	"dif/internal/model"
+)
+
+// InteractionSample is one observed logical-link measurement: how often
+// (and how voluminously) two components interacted during a window.
+type InteractionSample struct {
+	Pair      model.ComponentPair
+	Events    int
+	BytesKB   float64
+	Window    time.Duration
+	Frequency float64 // events per second over the window
+	AvgSizeKB float64
+}
+
+// EvtFrequencyMonitor records the frequencies of the events its
+// associated brick routes (Prism-MW's EvtFrequencyMonitor). It aggregates
+// (sender, target) pairs; broadcast events (no target) are attributed to
+// the sender's pair with each receiver at routing time, so the monitor
+// counts them against the sender only — matching the paper's model where
+// a logical link's frequency is a property of the component pair.
+type EvtFrequencyMonitor struct {
+	mu      sync.Mutex
+	started time.Time
+	now     func() time.Time
+	counts  map[model.ComponentPair]*pairCount
+}
+
+type pairCount struct {
+	events  int
+	bytesKB float64
+}
+
+var _ EventMonitor = (*EvtFrequencyMonitor)(nil)
+
+// NewEvtFrequencyMonitor returns a monitor with an empty window.
+func NewEvtFrequencyMonitor() *EvtFrequencyMonitor {
+	m := &EvtFrequencyMonitor{
+		now:    time.Now,
+		counts: make(map[model.ComponentPair]*pairCount),
+	}
+	m.started = m.now()
+	return m
+}
+
+// Observe implements EventMonitor. Only application events with both a
+// sender and a target count toward logical-link frequencies; control and
+// ping traffic is middleware overhead, not application interaction.
+func (m *EvtFrequencyMonitor) Observe(e Event) {
+	if e.kind() != KindApplication || e.Sender == "" || e.Target == "" || e.Sender == e.Target {
+		return
+	}
+	pair := model.MakeComponentPair(model.ComponentID(e.Sender), model.ComponentID(e.Target))
+	m.mu.Lock()
+	pc, ok := m.counts[pair]
+	if !ok {
+		pc = &pairCount{}
+		m.counts[pair] = pc
+	}
+	pc.events++
+	pc.bytesKB += e.EffectiveSizeKB()
+	m.mu.Unlock()
+}
+
+// Snapshot returns the samples for the current window and, when reset is
+// true, starts a new window.
+func (m *EvtFrequencyMonitor) Snapshot(reset bool) []InteractionSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	window := m.now().Sub(m.started)
+	if window <= 0 {
+		window = time.Nanosecond
+	}
+	out := make([]InteractionSample, 0, len(m.counts))
+	for pair, pc := range m.counts {
+		out = append(out, InteractionSample{
+			Pair:      pair,
+			Events:    pc.events,
+			BytesKB:   pc.bytesKB,
+			Window:    window,
+			Frequency: float64(pc.events) / window.Seconds(),
+			AvgSizeKB: pc.bytesKB / float64(pc.events),
+		})
+	}
+	if reset {
+		m.counts = make(map[model.ComponentPair]*pairCount)
+		m.started = m.now()
+	}
+	return out
+}
+
+// SetClock overrides the monitor's time source (tests).
+func (m *EvtFrequencyMonitor) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+	m.started = now()
+}
+
+// ReliabilitySample is one observed physical-link measurement.
+type ReliabilitySample struct {
+	Peer        model.HostID
+	Probes      int
+	Delivered   int
+	Reliability float64
+}
+
+// NetworkReliabilityMonitor records the reliability of connectivity
+// between its associated DistributionConnector and remote distribution
+// connectors using the pinging technique (Prism-MW's
+// NetworkReliabilityMonitor). Probe batches are driven explicitly by
+// MeasureOnce so monitoring intervals stay under the framework's control
+// (short intervals of adjustable duration, DSN'04 §4.3).
+type NetworkReliabilityMonitor struct {
+	dc *DistributionConnector
+	// ProbesPerMeasurement is the ping batch size per peer (default 20).
+	ProbesPerMeasurement int
+
+	mu   sync.Mutex
+	last map[model.HostID]ReliabilitySample
+}
+
+// NewNetworkReliabilityMonitor returns a monitor over the connector.
+func NewNetworkReliabilityMonitor(dc *DistributionConnector) *NetworkReliabilityMonitor {
+	return &NetworkReliabilityMonitor{
+		dc:                   dc,
+		ProbesPerMeasurement: 20,
+		last:                 make(map[model.HostID]ReliabilitySample),
+	}
+}
+
+// MeasureOnce probes every reachable peer once and returns the samples.
+func (m *NetworkReliabilityMonitor) MeasureOnce() []ReliabilitySample {
+	probes := m.ProbesPerMeasurement
+	if probes <= 0 {
+		probes = 20
+	}
+	peers := m.dc.Peers()
+	out := make([]ReliabilitySample, 0, len(peers))
+	for _, peer := range peers {
+		before := m.dc.PeerStats(peer)
+		m.dc.PingN(peer, probes)
+		after := m.dc.PeerStats(peer)
+		sample := ReliabilitySample{
+			Peer:      peer,
+			Probes:    after.Sent - before.Sent,
+			Delivered: after.Delivered - before.Delivered,
+		}
+		if sample.Probes > 0 {
+			sample.Reliability = float64(sample.Delivered) / float64(sample.Probes)
+		}
+		out = append(out, sample)
+		m.mu.Lock()
+		m.last[peer] = sample
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// Last returns the most recent sample for a peer.
+func (m *NetworkReliabilityMonitor) Last(peer model.HostID) (ReliabilitySample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.last[peer]
+	return s, ok
+}

@@ -1,0 +1,480 @@
+package prism
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoComponent counts what it receives and can send on demand.
+type echoComponent struct {
+	BaseComponent
+	mu       sync.Mutex
+	received []Event
+	count    atomic.Int64
+}
+
+func newEcho(id string) *echoComponent {
+	return &echoComponent{BaseComponent: NewBaseComponent(id)}
+}
+
+func (c *echoComponent) Handle(e Event) {
+	c.mu.Lock()
+	c.received = append(c.received, e)
+	c.mu.Unlock()
+	c.count.Add(1)
+}
+
+func (c *echoComponent) events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.received...)
+}
+
+// counterComponent is a migratable component whose state is a counter.
+type counterComponent struct {
+	BaseComponent
+	mu    sync.Mutex
+	Count int
+}
+
+func newCounter(id string) *counterComponent {
+	return &counterComponent{BaseComponent: NewBaseComponent(id)}
+}
+
+func (c *counterComponent) Handle(e Event) {
+	if e.kind() != KindApplication {
+		return // ping probes and control traffic are not state
+	}
+	c.mu.Lock()
+	c.Count++
+	c.mu.Unlock()
+}
+
+func (c *counterComponent) TypeName() string { return "counter" }
+
+func (c *counterComponent) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(struct{ Count int }{c.Count})
+}
+
+func (c *counterComponent) Restore(state []byte) error {
+	var s struct{ Count int }
+	if err := json.Unmarshal(state, &s); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.Count = s.Count
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *counterComponent) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Count
+}
+
+var _ Migratable = (*counterComponent)(nil)
+
+func TestEventEncodeDecode(t *testing.T) {
+	e := Event{
+		Name: "test", Kind: KindControl, Sender: "a", Target: "b",
+		SrcHost: "h1", DstHost: "h2", SizeKB: 3.5, Payload: "payload",
+	}
+	data, err := EncodeEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != e.Name || got.Sender != e.Sender || got.Target != e.Target ||
+		got.SrcHost != e.SrcHost || got.DstHost != e.DstHost || got.Payload != "payload" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := DecodeEvent([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestEventEffectiveSize(t *testing.T) {
+	if got := (Event{}).EffectiveSizeKB(); got != DefaultEventSizeKB {
+		t.Fatalf("default size = %v", got)
+	}
+	if got := (Event{SizeKB: 7}).EffectiveSizeKB(); got != 7 {
+		t.Fatalf("explicit size = %v", got)
+	}
+	if (Event{}).kind() != KindApplication {
+		t.Fatal("zero kind should be application")
+	}
+}
+
+func TestScaffoldSynchronousByDefault(t *testing.T) {
+	s := NewScaffold()
+	ran := false
+	s.Dispatch(func() { ran = true })
+	if !ran {
+		t.Fatal("unstarted scaffold should dispatch synchronously")
+	}
+}
+
+func TestScaffoldAsyncDrain(t *testing.T) {
+	s := NewScaffold()
+	s.Start(4)
+	defer s.Stop()
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		s.Dispatch(func() { n.Add(1) })
+	}
+	s.Drain()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestScaffoldStopDrainsQueue(t *testing.T) {
+	s := NewScaffold()
+	s.Start(1)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		s.Dispatch(func() { n.Add(1) })
+	}
+	s.Stop()
+	if n.Load() != 50 {
+		t.Fatalf("ran %d tasks after Stop, want 50", n.Load())
+	}
+	// After stop the scaffold is synchronous again.
+	ran := false
+	s.Dispatch(func() { ran = true })
+	if !ran {
+		t.Fatal("stopped scaffold should be synchronous")
+	}
+}
+
+func TestScaffoldDoubleStartStop(t *testing.T) {
+	s := NewScaffold()
+	s.Start(2)
+	s.Start(2) // no-op
+	s.Stop()
+	s.Stop() // no-op
+}
+
+func TestConnectorBroadcast(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	a, b, cc := newEcho("a"), newEcho("b"), newEcho("c")
+	for _, comp := range []*echoComponent{a, b, cc} {
+		c.attach(comp)
+	}
+	c.Route(Event{Name: "x", Sender: "a"})
+	if a.count.Load() != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+	if b.count.Load() != 1 || cc.count.Load() != 1 {
+		t.Fatalf("broadcast counts: b=%d c=%d", b.count.Load(), cc.count.Load())
+	}
+}
+
+func TestConnectorTargetedDelivery(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	a, b := newEcho("a"), newEcho("b")
+	c.attach(a)
+	c.attach(b)
+	c.Route(Event{Name: "x", Sender: "a", Target: "b"})
+	if b.count.Load() != 1 || a.count.Load() != 0 {
+		t.Fatalf("targeted delivery: a=%d b=%d", a.count.Load(), b.count.Load())
+	}
+	// Unknown target: dropped silently.
+	c.Route(Event{Name: "x", Sender: "a", Target: "ghost"})
+	if a.count.Load() != 0 || b.count.Load() != 1 {
+		t.Fatal("unknown target leaked")
+	}
+}
+
+func TestConnectorHoldRelease(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	b := newEcho("b")
+	c.attach(b)
+	c.Hold("b")
+	c.Route(Event{Name: "x", Sender: "a", Target: "b"})
+	c.Route(Event{Name: "y", Sender: "a", Target: "b"})
+	if b.count.Load() != 0 {
+		t.Fatal("held events were delivered")
+	}
+	if n := c.Release("b", true); n != 2 {
+		t.Fatalf("released %d events, want 2", n)
+	}
+	if b.count.Load() != 2 {
+		t.Fatalf("after release b=%d, want 2", b.count.Load())
+	}
+	// Release of a non-held target is a no-op.
+	if n := c.Release("b", true); n != 0 {
+		t.Fatalf("double release returned %d", n)
+	}
+}
+
+func TestConnectorHoldDrop(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	b := newEcho("b")
+	c.attach(b)
+	c.Hold("b")
+	c.Route(Event{Name: "x", Target: "b"})
+	if n := c.Release("b", false); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	if b.count.Load() != 0 {
+		t.Fatal("dropped events were delivered")
+	}
+}
+
+func TestConnectorMonitors(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	m := NewEvtFrequencyMonitor()
+	c.AddMonitor(m)
+	c.attach(newEcho("a"))
+	c.attach(newEcho("b"))
+	c.Route(Event{Name: "x", Sender: "a", Target: "b"})
+	samples := m.Snapshot(false)
+	if len(samples) != 1 || samples[0].Events != 1 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	c.RemoveMonitors()
+	c.Route(Event{Name: "x", Sender: "a", Target: "b"})
+	if got := m.Snapshot(false); got[0].Events != 1 {
+		t.Fatal("removed monitor still observing")
+	}
+}
+
+func TestConnectorHostAddressing(t *testing.T) {
+	s := NewScaffold()
+	c := NewConnector("bus", s)
+	c.host = "h1"
+	b := newEcho("b")
+	c.attach(b)
+	c.Route(Event{Name: "x", Target: "b", DstHost: "h2"}) // not for us
+	if b.count.Load() != 0 {
+		t.Fatal("event addressed to another host delivered locally")
+	}
+	c.Route(Event{Name: "x", Target: "b", DstHost: "h1"})
+	if b.count.Load() != 1 {
+		t.Fatal("event addressed to this host not delivered")
+	}
+}
+
+func TestArchitectureWeldAndEmit(t *testing.T) {
+	arch := NewArchitecture("h1", nil)
+	if _, err := arch.AddConnector("bus"); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newEcho("a"), newEcho("b")
+	if err := arch.AddComponent(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.AddComponent(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Attached() {
+		t.Fatal("component attached before weld")
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := arch.Weld(id, "bus"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Emit(Event{Name: "hello"})
+	if b.count.Load() != 1 {
+		t.Fatalf("b received %d", b.count.Load())
+	}
+	evs := b.events()
+	if evs[0].Sender != "a" {
+		t.Fatalf("sender not stamped: %+v", evs[0])
+	}
+}
+
+func TestArchitectureUnweld(t *testing.T) {
+	arch := NewArchitecture("h1", nil)
+	if _, err := arch.AddConnector("bus"); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newEcho("a"), newEcho("b")
+	_ = arch.AddComponent(a)
+	_ = arch.AddComponent(b)
+	_ = arch.Weld("a", "bus")
+	_ = arch.Weld("b", "bus")
+	if err := arch.Unweld("b", "bus"); err != nil {
+		t.Fatal(err)
+	}
+	a.Emit(Event{Name: "hello"})
+	if b.count.Load() != 0 {
+		t.Fatal("unwelded component still receiving")
+	}
+	if a.Attached() != true {
+		t.Fatal("a should stay attached")
+	}
+}
+
+func TestArchitectureRemoveComponent(t *testing.T) {
+	arch := NewArchitecture("h1", nil)
+	if _, err := arch.AddConnector("bus"); err != nil {
+		t.Fatal(err)
+	}
+	a := newEcho("a")
+	_ = arch.AddComponent(a)
+	_ = arch.Weld("a", "bus")
+	comp, err := arch.RemoveComponent("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.ID() != "a" {
+		t.Fatal("wrong component returned")
+	}
+	if a.Attached() {
+		t.Fatal("removed component still bound")
+	}
+	if arch.Component("a") != nil {
+		t.Fatal("component still registered")
+	}
+	if _, err := arch.RemoveComponent("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestArchitectureDuplicatesAndUnknowns(t *testing.T) {
+	arch := NewArchitecture("h1", nil)
+	if _, err := arch.AddConnector("bus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.AddConnector("bus"); err == nil {
+		t.Fatal("duplicate connector accepted")
+	}
+	a := newEcho("a")
+	_ = arch.AddComponent(a)
+	if err := arch.AddComponent(newEcho("a")); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+	if err := arch.Weld("ghost", "bus"); err == nil {
+		t.Fatal("weld of unknown component accepted")
+	}
+	if err := arch.Weld("a", "ghost"); err == nil {
+		t.Fatal("weld to unknown connector accepted")
+	}
+	if err := arch.Unweld("ghost", "bus"); err == nil {
+		t.Fatal("unweld of unknown component accepted")
+	}
+}
+
+func TestArchitectureAccessors(t *testing.T) {
+	arch := NewArchitecture("h1", nil)
+	_, _ = arch.AddConnector("bus2")
+	_, _ = arch.AddConnector("bus1")
+	_ = arch.AddComponent(newEcho("z"))
+	_ = arch.AddComponent(newEcho("a"))
+	_ = arch.Weld("a", "bus1")
+	_ = arch.Weld("a", "bus2")
+	ids := arch.ComponentIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "z" {
+		t.Fatalf("ComponentIDs = %v", ids)
+	}
+	names := arch.ConnectorNames()
+	if len(names) != 2 || names[0] != "bus1" {
+		t.Fatalf("ConnectorNames = %v", names)
+	}
+	welds := arch.WeldsOf("a")
+	if len(welds) != 2 || welds[0] != "bus1" {
+		t.Fatalf("WeldsOf = %v", welds)
+	}
+	if arch.Host() != "h1" {
+		t.Fatal("Host wrong")
+	}
+}
+
+func TestBaseComponentEmitWhileDetached(t *testing.T) {
+	a := newEcho("a")
+	a.Emit(Event{Name: "x"}) // must not panic
+	if a.Attached() {
+		t.Fatal("detached component reports attached")
+	}
+}
+
+func TestFactoryRegistry(t *testing.T) {
+	r := NewFactoryRegistry()
+	r.Register("counter", func(id string) Migratable { return newCounter(id) })
+	c, err := r.New("counter", "c9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() != "c9" || c.TypeName() != "counter" {
+		t.Fatalf("factory produced %v/%v", c.ID(), c.TypeName())
+	}
+	if _, err := r.New("nope", "x"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestMigratableSnapshotRestore(t *testing.T) {
+	c := newCounter("c1")
+	c.Handle(Event{})
+	c.Handle(Event{})
+	state, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newCounter("c1")
+	if err := c2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if c2.value() != 2 {
+		t.Fatalf("restored count = %d, want 2", c2.value())
+	}
+	if err := c2.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}
+
+func TestEvtFrequencyMonitorMath(t *testing.T) {
+	m := NewEvtFrequencyMonitor()
+	base := time.Unix(1000, 0)
+	now := base
+	m.SetClock(func() time.Time { return now })
+	for i := 0; i < 10; i++ {
+		m.Observe(Event{Sender: "a", Target: "b", SizeKB: 2})
+	}
+	m.Observe(Event{Sender: "c", Target: "a", SizeKB: 4})
+	now = base.Add(5 * time.Second)
+	samples := m.Snapshot(true)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	for _, s := range samples {
+		if s.Pair.A == "a" && s.Pair.B == "b" {
+			if s.Events != 10 || s.Frequency != 2.0 || s.AvgSizeKB != 2 {
+				t.Fatalf("a-b sample = %+v", s)
+			}
+		}
+	}
+	// Window reset: new snapshot is empty.
+	if got := m.Snapshot(false); len(got) != 0 {
+		t.Fatalf("window not reset: %+v", got)
+	}
+}
+
+func TestEvtFrequencyMonitorIgnoresNonApplication(t *testing.T) {
+	m := NewEvtFrequencyMonitor()
+	m.Observe(Event{Kind: KindControl, Sender: "a", Target: "b"})
+	m.Observe(Event{Kind: KindPing, Sender: "a", Target: "b"})
+	m.Observe(Event{Sender: "", Target: "b"})
+	m.Observe(Event{Sender: "a", Target: ""})
+	m.Observe(Event{Sender: "a", Target: "a"})
+	if got := m.Snapshot(false); len(got) != 0 {
+		t.Fatalf("non-application traffic counted: %+v", got)
+	}
+}

@@ -1,0 +1,214 @@
+package prism
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"dif/internal/model"
+)
+
+// EvRelay wraps a control event being relayed hop-by-hop toward a host
+// the sender cannot reach directly. Admins forward relay envelopes to
+// their own peers (TTL-limited flood with duplicate suppression), so the
+// control plane works over multi-hop topologies — e.g. the paper's §1
+// scenario, where HQ reaches troop PDAs only through commander PDAs.
+const EvRelay = "admin.relay"
+
+// RelayPayload is the relay envelope.
+type RelayPayload struct {
+	// ID uniquely identifies the relayed message for duplicate
+	// suppression ("origin/seq").
+	ID string
+	// TTL bounds the flood depth.
+	TTL int
+	// Data is the encoded inner control event.
+	Data []byte
+}
+
+// DefaultRelayTTL bounds relay floods; it comfortably covers the
+// topologies the framework targets (a handful of wireless hops).
+const DefaultRelayTTL = 5
+
+func registerRelayPayload() {
+	gob.Register(RelayPayload{})
+}
+
+// relayState tracks duplicate suppression and sequence numbering for one
+// host's control sender.
+type relayState struct {
+	mu   sync.Mutex
+	seq  int
+	seen map[string]bool
+}
+
+func newRelayState() *relayState {
+	return &relayState{seen: make(map[string]bool)}
+}
+
+func (rs *relayState) nextID(origin model.HostID, from string) string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.seq++
+	return fmt.Sprintf("%s/%s/%d", origin, from, rs.seq)
+}
+
+// markSeen records an envelope ID, reporting whether it was new.
+func (rs *relayState) markSeen(id string) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.seen[id] {
+		return false
+	}
+	rs.seen[id] = true
+	return true
+}
+
+// controlSender is the shared control-plane transmission logic of
+// AdminComponent and DeployerComponent: direct delivery with retries when
+// the destination is a peer, TTL-flood relaying otherwise.
+type controlSender struct {
+	arch  *Architecture
+	cfg   AdminConfig
+	from  string // component ID stamped as sender
+	relay *relayState
+}
+
+func newControlSender(arch *Architecture, cfg AdminConfig, from string) *controlSender {
+	registerPayloadsOnce.Do(registerControlPayloads)
+	return &controlSender{arch: arch, cfg: cfg, from: from, relay: newRelayState()}
+}
+
+// send delivers a control event to a host: locally, directly, or via
+// relay flood.
+func (cs *controlSender) send(to model.HostID, e Event) error {
+	e.Kind = KindControl
+	e.Sender = cs.from
+	e.DstHost = to
+	if to == cs.arch.Host() {
+		if conn := cs.arch.Connector(cs.cfg.Bus); conn != nil {
+			conn.Route(e)
+			return nil
+		}
+		return fmt.Errorf("%s %s: no bus connector", cs.from, cs.arch.Host())
+	}
+	dc := cs.arch.DistributionConnector(cs.cfg.Bus)
+	if dc == nil {
+		return fmt.Errorf("%s %s: bus is not a distribution connector", cs.from, cs.arch.Host())
+	}
+	e.SrcHost = cs.arch.Host()
+	data, err := EncodeEvent(e)
+	if err != nil {
+		return err
+	}
+	if cs.isPeer(dc, to) {
+		return cs.sendDirect(dc, to, data, e.EffectiveSizeKB(), e.Name)
+	}
+	return cs.sendRelayed(dc, data, e.EffectiveSizeKB(), e.Name, "")
+}
+
+func (cs *controlSender) isPeer(dc *DistributionConnector, h model.HostID) bool {
+	for _, p := range dc.Transport().Peers() {
+		if p == h {
+			return true
+		}
+	}
+	return false
+}
+
+// sendDirect retries a lossy link until the frame gets through or the
+// attempt budget is spent.
+func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string) error {
+	var lastErr error
+	for i := 0; i < cs.cfg.SendAttempts; i++ {
+		if lastErr = dc.Transport().Send(to, data, sizeKB); lastErr == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s %s → %s: %s undeliverable after %d attempts: %w",
+		cs.from, cs.arch.Host(), to, name, cs.cfg.SendAttempts, lastErr)
+}
+
+// sendRelayed floods a relay envelope to every peer (except the one the
+// message came from, when forwarding).
+func (cs *controlSender) sendRelayed(dc *DistributionConnector, data []byte, sizeKB float64, name string, except model.HostID) error {
+	env := RelayPayload{
+		ID:   cs.relay.nextID(cs.arch.Host(), cs.from),
+		TTL:  DefaultRelayTTL,
+		Data: data,
+	}
+	cs.relay.markSeen(env.ID) // never re-forward our own envelope
+	return cs.floodEnvelope(dc, env, sizeKB, name, except)
+}
+
+func (cs *controlSender) floodEnvelope(dc *DistributionConnector, env RelayPayload, sizeKB float64, name string, except model.HostID) error {
+	peers := dc.Transport().Peers()
+	sentAny := false
+	var lastErr error
+	for _, peer := range peers {
+		if peer == except {
+			continue
+		}
+		wrapped := Event{
+			Name:    EvRelay,
+			Kind:    KindControl,
+			Sender:  cs.from,
+			Target:  AdminID,
+			SrcHost: cs.arch.Host(),
+			DstHost: peer,
+			SizeKB:  sizeKB,
+			Payload: env,
+		}
+		data, err := EncodeEvent(wrapped)
+		if err != nil {
+			return err
+		}
+		if err := cs.sendDirect(dc, peer, data, sizeKB, name+"(relay)"); err != nil {
+			lastErr = err
+			continue
+		}
+		sentAny = true
+	}
+	if !sentAny {
+		if lastErr != nil {
+			return lastErr
+		}
+		return fmt.Errorf("%s %s: no peers to relay %s through", cs.from, cs.arch.Host(), name)
+	}
+	return nil
+}
+
+// handleRelay processes a received relay envelope: deliver locally when
+// the inner event is for this host, otherwise keep flooding while TTL
+// lasts. It reports whether the envelope was consumed (new).
+func (cs *controlSender) handleRelay(env RelayPayload, from model.HostID) bool {
+	if !cs.relay.markSeen(env.ID) {
+		return false
+	}
+	inner, err := DecodeEvent(env.Data)
+	if err != nil {
+		return false
+	}
+	if inner.DstHost == cs.arch.Host() {
+		if conn := cs.arch.Connector(cs.cfg.Bus); conn != nil {
+			conn.Route(inner)
+		}
+		return true
+	}
+	if env.TTL <= 0 {
+		return true
+	}
+	dc := cs.arch.DistributionConnector(cs.cfg.Bus)
+	if dc == nil {
+		return true
+	}
+	// If the final destination is now a direct peer, deliver straight to
+	// it; otherwise keep flooding.
+	if cs.isPeer(dc, inner.DstHost) {
+		_ = cs.sendDirect(dc, inner.DstHost, env.Data, inner.EffectiveSizeKB(), inner.Name+"(relay-final)")
+		return true
+	}
+	env.TTL--
+	_ = cs.floodEnvelope(dc, env, inner.EffectiveSizeKB(), inner.Name, from)
+	return true
+}

@@ -1,0 +1,117 @@
+package prism
+
+import (
+	"sync"
+)
+
+// Scaffold schedules and dispatches events using a pool of worker
+// goroutines in a decoupled manner (Prism-MW's IScaffold). A scaffold
+// that has not been started dispatches synchronously on the caller's
+// goroutine, which keeps single-host unit tests deterministic.
+type Scaffold struct {
+	mu      sync.Mutex
+	queue   chan func()
+	stop    chan struct{}
+	workers sync.WaitGroup
+	started bool
+	pending sync.WaitGroup
+}
+
+// NewScaffold returns an unstarted (synchronous) scaffold.
+func NewScaffold() *Scaffold {
+	return &Scaffold{}
+}
+
+// Start launches the worker pool. Starting an already-started scaffold
+// is a no-op.
+func (s *Scaffold) Start(workers int) {
+	if workers <= 0 {
+		workers = 4
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.queue = make(chan func(), 1024)
+	s.stop = make(chan struct{})
+	s.started = true
+	for i := 0; i < workers; i++ {
+		s.workers.Add(1)
+		go s.work()
+	}
+}
+
+func (s *Scaffold) work() {
+	defer s.workers.Done()
+	for {
+		select {
+		case task := <-s.queue:
+			task()
+			s.pending.Done()
+		case <-s.stop:
+			// Drain the queue before exiting so Stop implies delivery.
+			for {
+				select {
+				case task := <-s.queue:
+					task()
+					s.pending.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Dispatch runs the task on a worker, or synchronously when the scaffold
+// is not started.
+func (s *Scaffold) Dispatch(task func()) {
+	s.mu.Lock()
+	started := s.started
+	queue := s.queue
+	s.mu.Unlock()
+	if !started {
+		task()
+		return
+	}
+	s.pending.Add(1)
+	select {
+	case queue <- task:
+	case <-s.stop:
+		s.pending.Done()
+	}
+}
+
+// Drain blocks until every dispatched task has finished. It must not be
+// called from a worker (a task waiting on Drain would deadlock).
+func (s *Scaffold) Drain() {
+	s.pending.Wait()
+}
+
+// Stop shuts down the worker pool after draining queued tasks. The
+// scaffold reverts to synchronous dispatch.
+func (s *Scaffold) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	stop := s.stop
+	queue := s.queue
+	s.mu.Unlock()
+	close(stop)
+	s.workers.Wait()
+	// Run anything that slipped into the queue while the workers were
+	// exiting, so no dispatched task (or its pending count) is lost.
+	for {
+		select {
+		case task := <-queue:
+			task()
+			s.pending.Done()
+		default:
+			return
+		}
+	}
+}

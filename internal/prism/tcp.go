@@ -1,0 +1,251 @@
+package prism
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"dif/internal/model"
+)
+
+// tcpFrame is the wire format of the TCP transport: a length-delimited
+// gob stream of these frames per connection.
+type tcpFrame struct {
+	From model.HostID
+	Data []byte
+}
+
+// TCPTransport carries frames between processes over real sockets with
+// gob encoding — the deployment story for the framework's distributed
+// instantiations (cmd/deployer and cmd/agent). Connections are dialed
+// lazily and cached; inbound connections are accepted continuously until
+// Close.
+type TCPTransport struct {
+	host model.HostID
+	ln   net.Listener
+
+	mu     sync.Mutex
+	peers  map[model.HostID]string // peer → address
+	conns  map[model.HostID]*tcpConn
+	recv   func(from model.HostID, data []byte)
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport listens on addr (e.g. "127.0.0.1:0") for the given
+// host. Use Addr to discover the bound address.
+func NewTCPTransport(host model.HostID, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport listen: %w", err)
+	}
+	t := &TCPTransport{
+		host:  host,
+		ln:    ln,
+		peers: make(map[model.HostID]string),
+		conns: make(map[model.HostID]*tcpConn),
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the transport's listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Host implements Transport.
+func (t *TCPTransport) Host() model.HostID { return t.host }
+
+// AddPeer registers a remote host's address for dialing.
+func (t *TCPTransport) AddPeer(host model.HostID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[host] = addr
+}
+
+// Peers implements Transport: the union of configured dial targets and
+// hosts with a registered live connection (agents that dialed in).
+func (t *TCPTransport) Peers() []model.HostID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[model.HostID]bool, len(t.peers)+len(t.conns))
+	out := make([]model.HostID, 0, len(t.peers)+len(t.conns))
+	for h := range t.peers {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for h := range t.conns {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	sortHostIDs(out)
+	return out
+}
+
+// Hello dials a peer and introduces this host without sending a payload,
+// registering the connection on both ends.
+func (t *TCPTransport) Hello(to model.HostID) error {
+	_, err := t.connTo(to)
+	return err
+}
+
+// SetReceiver implements Transport.
+func (t *TCPTransport) SetReceiver(recv func(from model.HostID, data []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = recv
+}
+
+// Send implements Transport. sizeKB is ignored — real sockets charge
+// real bytes.
+func (t *TCPTransport) Send(to model.HostID, data []byte, _ float64) error {
+	conn, err := t.connTo(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(tcpFrame{From: t.host, Data: data}); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("tcp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) connTo(to model.HostID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("tcp transport closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcp transport: unknown peer %s", to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp dial %s: %w", to, err)
+	}
+	c := &tcpConn{conn: raw, enc: gob.NewEncoder(raw)}
+	// Introduce ourselves, then read frames coming back on this
+	// connection too (connections are bidirectional).
+	c.mu.Lock()
+	err = c.enc.Encode(tcpFrame{From: t.host, Data: nil})
+	c.mu.Unlock()
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("tcp hello to %s: %w", to, err)
+	}
+	t.mu.Lock()
+	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop(raw)
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(to model.HostID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one connection. The first frame from a
+// given host also registers the connection for replies.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var registered model.HostID
+	for {
+		var frame tcpFrame
+		if err := dec.Decode(&frame); err != nil {
+			return
+		}
+		if registered == "" && frame.From != "" {
+			registered = frame.From
+			t.mu.Lock()
+			if _, ok := t.conns[frame.From]; !ok {
+				t.conns[frame.From] = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+			}
+			t.mu.Unlock()
+		}
+		if frame.Data == nil {
+			continue // hello frame
+		}
+		t.mu.Lock()
+		recv := t.recv
+		t.mu.Unlock()
+		if recv != nil {
+			recv(frame.From, frame.Data)
+		}
+	}
+}
+
+// Close implements Transport: stops accepting, closes every connection,
+// and waits for reader goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[model.HostID]*tcpConn)
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func sortHostIDs(ids []model.HostID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,203 @@
+package prism
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+)
+
+func newTCPPair(t *testing.T) (*TCPTransport, *TCPTransport) {
+	t.Helper()
+	a, err := NewTCPTransport("hostA", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewTCPTransport("hostB", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	a.AddPeer("hostB", b.Addr())
+	b.AddPeer("hostA", a.Addr())
+	return a, b
+}
+
+type frameSink struct {
+	mu     sync.Mutex
+	frames []string
+	froms  []model.HostID
+}
+
+func (s *frameSink) recv(from model.HostID, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, string(data))
+	s.froms = append(s.froms, from)
+}
+
+func (s *frameSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	a, b := newTCPPair(t)
+	var sink frameSink
+	b.SetReceiver(sink.recv)
+	if err := a.Send("hostB", []byte("hello"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() == 1 })
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.frames[0] != "hello" || sink.froms[0] != "hostA" {
+		t.Fatalf("frame = %q from %s", sink.frames[0], sink.froms[0])
+	}
+}
+
+func TestTCPTransportBidirectionalOnOneConnection(t *testing.T) {
+	a, b := newTCPPair(t)
+	var sinkA, sinkB frameSink
+	a.SetReceiver(sinkA.recv)
+	b.SetReceiver(sinkB.recv)
+	if err := a.Send("hostB", []byte("ping"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sinkB.count() == 1 })
+	// The reply must reuse the inbound connection registered by hello.
+	if err := b.Send("hostA", []byte("pong"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sinkA.count() == 1 })
+}
+
+func TestTCPTransportUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send("ghost", []byte("x"), 1); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestTCPTransportManyFrames(t *testing.T) {
+	a, b := newTCPPair(t)
+	var sink frameSink
+	b.SetReceiver(sink.recv)
+	for i := 0; i < 200; i++ {
+		if err := a.Send("hostB", []byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return sink.count() == 200 })
+}
+
+func TestTCPTransportClose(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Send("hostB", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := a.Send("hostB", []byte("y"), 1); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	_ = b
+}
+
+func TestTCPTransportPeersSorted(t *testing.T) {
+	a, _ := newTCPPair(t)
+	a.AddPeer("hostZ", "127.0.0.1:1")
+	a.AddPeer("hostC", "127.0.0.1:2")
+	peers := a.Peers()
+	if len(peers) != 3 || peers[0] != "hostB" || peers[2] != "hostZ" {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestDistributionConnectorOverTCP(t *testing.T) {
+	// Full prism stack over real sockets: two architectures exchange an
+	// application event.
+	ta, tb := newTCPPair(t)
+	archA := NewArchitecture("hostA", nil)
+	archB := NewArchitecture("hostB", nil)
+	if _, err := archA.AddDistributionConnector("bus", ta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archB.AddDistributionConnector("bus", tb); err != nil {
+		t.Fatal(err)
+	}
+	sender := newEcho("sender")
+	receiver := newEcho("receiver")
+	if err := archA.AddComponent(sender); err != nil {
+		t.Fatal(err)
+	}
+	if err := archA.Weld("sender", "bus"); err != nil {
+		t.Fatal(err)
+	}
+	if err := archB.AddComponent(receiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := archB.Weld("receiver", "bus"); err != nil {
+		t.Fatal(err)
+	}
+	sender.Emit(Event{Name: "over-tcp", Target: "receiver", Payload: "data"})
+	waitFor(t, func() bool { return receiver.count.Load() == 1 })
+	ev := receiver.events()[0]
+	if ev.SrcHost != "hostA" || ev.Payload != "data" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestMigrationOverTCP(t *testing.T) {
+	// End-to-end component migration across real processes' worth of
+	// plumbing (same process, real sockets).
+	ta, tb := newTCPPair(t)
+	archM := NewArchitecture("hostA", nil) // master
+	archS := NewArchitecture("hostB", nil)
+	if _, err := archM.AddDistributionConnector("bus", ta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archS.AddDistributionConnector("bus", tb); err != nil {
+		t.Fatal(err)
+	}
+	registry := NewFactoryRegistry()
+	registry.Register("counter", func(id string) Migratable { return newCounter(id) })
+	cfg := AdminConfig{Deployer: "hostA", Bus: "bus", Registry: registry}
+	if _, err := InstallAdmin(archM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InstallAdmin(archS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := InstallDeployer(archM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCounter("c1")
+	c.Count = 99
+	if err := archS.AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := archS.Weld("c1", "bus"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Enact(
+		map[string]model.HostID{"c1": "hostA"},
+		map[string]model.HostID{"c1": "hostB"},
+		5*time.Second,
+	)
+	if err != nil {
+		t.Fatalf("enact over tcp: %v (%+v)", err, res)
+	}
+	waitFor(t, func() bool { return archM.Component("c1") != nil })
+	if got := archM.Component("c1").(*counterComponent).value(); got != 99 {
+		t.Fatalf("state over tcp = %d, want 99", got)
+	}
+}
