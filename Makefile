@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the concurrent hot paths: the parallel search algorithms
+# and the delta evaluators they drive.
+race:
+	$(GO) vet ./... && $(GO) test -race ./internal/algo/... ./internal/objective/...
+
+bench:
+	$(GO) test -run xxx -bench . ./internal/algo/
+
+check: build vet test race

@@ -78,6 +78,12 @@ type Config struct {
 	// Trials bounds randomized algorithms (Stochastic restarts, Swap
 	// passes). Zero selects each algorithm's default.
 	Trials int
+	// Workers bounds the goroutines parallelized algorithms (Stochastic,
+	// Genetic) fan their independent work units across. Zero selects all
+	// cores (runtime.GOMAXPROCS); 1 forces serial execution. Per-unit
+	// RNGs are derived from splitmix64(Seed, unitIndex), so results are
+	// bit-identical for any worker count.
+	Workers int
 }
 
 func (c Config) checker() ConstraintChecker {

@@ -21,6 +21,10 @@ import (
 // best component is assigned to the best host (honoring location and
 // collocation constraints); the algorithm packs the host until full, then
 // moves to the next best host. Complexity O(n³).
+//
+// The allowed-host set of every component is resolved once per run, and
+// affinity scoring walks the system's dense interaction adjacency rather
+// than re-deriving (and re-sorting) each component's interaction list.
 type Avala struct{}
 
 var _ Algorithm = (*Avala)(nil)
@@ -36,23 +40,27 @@ func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployme
 		InitialScore: scoreInitial(cfg.Objective, s, initial),
 	}
 	check := cfg.checker()
+	ds := s.Dense()
 
 	d := model.NewDeployment(len(s.Components))
 	used := make(map[model.HostID]float64, len(s.Hosts))
 	unplaced := make(map[model.ComponentID]bool, len(s.Components))
+	// The allowed-host sets are invariant across the run; resolve each
+	// component's once instead of per candidate comparison.
+	allowed := make(map[model.ComponentID][]model.HostID, len(s.Components))
 	for _, c := range s.ComponentIDs() {
 		unplaced[c] = true
+		allowed[c] = check.Allowed(s, c)
 	}
 
 	// Pre-place every component pinned to a single host: their locations
 	// are foregone conclusions, and having them on the board lets the
 	// greedy affinity ranking pull their partners toward them.
 	for _, c := range s.ComponentIDs() {
-		allowed := check.Allowed(s, c)
-		if len(allowed) != 1 {
+		if len(allowed[c]) != 1 {
 			continue
 		}
-		h := allowed[0]
+		h := allowed[c][0]
 		need := s.Components[c].Memory()
 		if s.Constraints.CheckMemory && used[h]+need > s.Hosts[h].Memory() {
 			res.Elapsed = time.Since(start)
@@ -76,7 +84,7 @@ func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployme
 		default:
 		}
 		h := nextBestHost(s, filled)
-		a.packHost(s, check, h, d, used, unplaced, &res)
+		a.packHost(s, ds, check, allowed, h, d, used, unplaced, &res)
 		filled = append(filled, h)
 		if len(unplaced) == 0 {
 			break
@@ -85,7 +93,7 @@ func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployme
 
 	// Repair pass: any component every ranked host rejected (typically a
 	// tight location constraint) goes to its least-loaded allowed host.
-	if len(unplaced) == 0 || a.repair(s, check, d, used, unplaced) {
+	if len(unplaced) == 0 || a.repair(s, ds, check, allowed, d, used, unplaced) {
 		if err := check.Check(s, d); err == nil {
 			res.Evaluations++
 			res.Deployment = d
@@ -99,12 +107,13 @@ func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployme
 }
 
 // packHost fills host h with the best remaining components until none fit.
-func (*Avala) packHost(s *model.System, check ConstraintChecker, h model.HostID,
+func (*Avala) packHost(s *model.System, ds *model.DenseSystem, check ConstraintChecker,
+	allowed map[model.ComponentID][]model.HostID, h model.HostID,
 	d model.Deployment, used map[model.HostID]float64,
 	unplaced map[model.ComponentID]bool, res *Result) {
 	capacity := s.Hosts[h].Memory()
 	for {
-		best, affinity := bestComponentFor(s, h, d, unplaced)
+		best, affinity := bestComponentFor(s, ds, h, d, unplaced)
 		placedAny := false
 		for _, c := range best {
 			// Once anything is placed, only components that positively
@@ -122,7 +131,7 @@ func (*Avala) packHost(s *model.System, check ConstraintChecker, h model.HostID,
 			// host that still has room for them: greedily claiming them
 			// for h strands their high-frequency partners across weak
 			// links.
-			if betterHostExists(s, check, c, h, affinity[c], d, used) {
+			if betterHostExists(s, ds, allowed[c], c, h, affinity[c], d, used) {
 				continue
 			}
 			d[c] = h
@@ -144,7 +153,8 @@ func (*Avala) packHost(s *model.System, check ConstraintChecker, h model.HostID,
 // repair places stragglers on the allowed host where they contribute the
 // most (breaking ties toward free memory). Reports whether every
 // component ended up placed.
-func (*Avala) repair(s *model.System, check ConstraintChecker,
+func (*Avala) repair(s *model.System, ds *model.DenseSystem, check ConstraintChecker,
+	allowed map[model.ComponentID][]model.HostID,
 	d model.Deployment, used map[model.HostID]float64,
 	unplaced map[model.ComponentID]bool) bool {
 	comps := make([]model.ComponentID, 0, len(unplaced))
@@ -153,10 +163,10 @@ func (*Avala) repair(s *model.System, check ConstraintChecker,
 	}
 	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
 	for _, c := range comps {
-		hosts := check.Allowed(s, c)
+		hosts := append([]model.HostID(nil), allowed[c]...)
 		sort.Slice(hosts, func(i, j int) bool {
-			ai := affinityOf(s, c, hosts[i], d)
-			aj := affinityOf(s, c, hosts[j], d)
+			ai := affinityOf(ds, c, hosts[i], d)
+			aj := affinityOf(ds, c, hosts[j], d)
 			if ai != aj {
 				return ai > aj
 			}
@@ -271,17 +281,18 @@ func rankHosts(s *model.System) []model.HostID {
 // betterHostExists reports whether some other allowed host with free
 // capacity offers component c a strictly higher affinity than its
 // affinity on h.
-func betterHostExists(s *model.System, check ConstraintChecker, c model.ComponentID,
-	h model.HostID, affinityOnH float64, d model.Deployment, used map[model.HostID]float64) bool {
+func betterHostExists(s *model.System, ds *model.DenseSystem, allowedHosts []model.HostID,
+	c model.ComponentID, h model.HostID, affinityOnH float64,
+	d model.Deployment, used map[model.HostID]float64) bool {
 	need := s.Components[c].Memory()
-	for _, other := range check.Allowed(s, c) {
+	for _, other := range allowedHosts {
 		if other == h {
 			continue
 		}
 		if s.Constraints.CheckMemory && used[other]+need > s.Hosts[other].Memory() {
 			continue
 		}
-		if affinityOf(s, c, other, d) > affinityOnH {
+		if affinityOf(ds, c, other, d) > affinityOnH {
 			return true
 		}
 	}
@@ -292,22 +303,28 @@ func betterHostExists(s *model.System, check ConstraintChecker, c model.Componen
 // deployment d: full frequency for partners already on h, link-reliability
 // weighted frequency for partners elsewhere, and (only while nothing at
 // all is placed) full frequency for unplaced partners.
-func affinityOf(s *model.System, c model.ComponentID, h model.HostID, d model.Deployment) float64 {
+func affinityOf(ds *model.DenseSystem, c model.ComponentID, h model.HostID, d model.Deployment) float64 {
+	ci := ds.CompIndex(c)
+	if ci < 0 {
+		return 0
+	}
+	hi := ds.HostIndex(h)
+	nh := ds.NH
+	empty := len(d) == 0
 	a := 0.0
-	for _, link := range s.InteractionsOf(c) {
-		other := link.Components.A
-		if other == c {
-			other = link.Components.B
-		}
-		f := link.Frequency()
-		if oh, ok := d[other]; ok {
-			if oh == h {
-				a += f
-			} else {
-				a += f * s.Reliability(h, oh)
+	for _, arc := range ds.Adj[ci] {
+		oh, ok := d[ds.Comps[arc.Other]]
+		switch {
+		case !ok:
+			if empty {
+				a += arc.Freq
 			}
-		} else if len(d) == 0 {
-			a += f
+		case oh == h:
+			a += arc.Freq
+		default:
+			if oi := ds.HostIndex(oh); oi >= 0 && hi >= 0 {
+				a += arc.Freq * ds.Rel[hi*nh+oi]
+			}
 		}
 	}
 	return a
@@ -319,7 +336,7 @@ func affinityOf(s *model.System, c model.ComponentID, h model.HostID, d model.De
 // and frequency with components on other hosts at the connecting link's
 // reliability. When nothing is placed yet, the seed component is the one
 // with the highest total interaction frequency (the paper's criterion).
-func bestComponentFor(s *model.System, h model.HostID, d model.Deployment,
+func bestComponentFor(s *model.System, ds *model.DenseSystem, h model.HostID, d model.Deployment,
 	unplaced map[model.ComponentID]bool) ([]model.ComponentID, map[model.ComponentID]float64) {
 	comps := make([]model.ComponentID, 0, len(unplaced))
 	for c := range unplaced {
@@ -327,7 +344,7 @@ func bestComponentFor(s *model.System, h model.HostID, d model.Deployment,
 	}
 	affinity := make(map[model.ComponentID]float64, len(comps))
 	for _, c := range comps {
-		affinity[c] = affinityOf(s, c, h, d)
+		affinity[c] = affinityOf(ds, c, h, d)
 	}
 	maxMem := 1.0
 	for _, c := range comps {

@@ -3,6 +3,7 @@ package algo
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dif/internal/model"
@@ -71,4 +72,129 @@ func BenchmarkAvailabilityQuantify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q.Quantify(s, d)
 	}
+}
+
+// swapFullBaseline is the pre-delta Swap inner loop — full constraint
+// Check and full re-Quantify per candidate — kept test-only as the
+// baseline BenchmarkSwapDelta measures the incremental evaluator against.
+func swapFullBaseline(s *model.System, initial model.Deployment, cfg Config, passes int) (model.Deployment, float64) {
+	check := cfg.checker()
+	d := initial.Clone()
+	best := cfg.Objective.Quantify(s, initial)
+	comps := s.ComponentIDs()
+	hosts := s.HostIDs()
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for _, c := range comps {
+			from := d[c]
+			for _, h := range hosts {
+				if h == from {
+					continue
+				}
+				d[c] = h
+				if err := check.Check(s, d); err != nil {
+					d[c] = from
+					continue
+				}
+				score := cfg.Objective.Quantify(s, d)
+				if objective.Better(cfg.Objective, score, best) {
+					best = score
+					from = h
+					improved = true
+				} else {
+					d[c] = from
+				}
+			}
+			d[c] = from
+		}
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				ci, cj := comps[i], comps[j]
+				hi, hj := d[ci], d[cj]
+				if hi == hj {
+					continue
+				}
+				d[ci], d[cj] = hj, hi
+				if err := check.Check(s, d); err != nil {
+					d[ci], d[cj] = hi, hj
+					continue
+				}
+				score := cfg.Objective.Quantify(s, d)
+				if objective.Better(cfg.Objective, score, best) {
+					best = score
+					improved = true
+				} else {
+					d[ci], d[cj] = hi, hj
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return d, best
+}
+
+// BenchmarkSwapDelta compares one bounded Swap improvement run through
+// the incremental delta evaluator ("delta") against the full
+// check-and-requantify loop it replaced ("full") on a 10-host/50-component
+// architecture.
+func BenchmarkSwapDelta(b *testing.B) {
+	s, d := benchSystem(b, 10, 50)
+	cfg := Config{Objective: objective.Availability{}, Trials: 3}
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&Swap{}).Run(context.Background(), s, d, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			swapFullBaseline(s, d, cfg, 3)
+		}
+	})
+}
+
+// BenchmarkStochasticParallel measures the same trial budget executed
+// serially and across all cores; the resulting deployments are
+// bit-identical by construction.
+func BenchmarkStochasticParallel(b *testing.B) {
+	s, d := benchSystem(b, 20, 200)
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	} else {
+		// Single-core machine: measure pool overhead instead of speedup.
+		workerCounts = append(workerCounts, 4)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{Objective: objective.Availability{}, Seed: 1, Trials: 64, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := (&Stochastic{}).Run(context.Background(), s, d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuantifyDense compares the map-walking Quantify with the
+// dense-snapshot scoring path used on the algorithm hot paths.
+func BenchmarkQuantifyDense(b *testing.B) {
+	s, d := benchSystem(b, 10, 100)
+	q := objective.Availability{}
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.Quantify(s, d)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		s.Dense() // build outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			objective.QuantifyFast(q, s, d)
+		}
+	})
 }

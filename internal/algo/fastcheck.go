@@ -1,0 +1,165 @@
+package algo
+
+import (
+	"dif/internal/model"
+)
+
+// moveChecker answers "would this single move / pairwise exchange keep
+// the deployment valid?" in O(partners) instead of re-validating the full
+// deployment. It mirrors model.Constraints exactly — location, memory,
+// CPU, and collocation — and is only sound when the current deployment is
+// already valid, which Swap guarantees. It is used only when the run's
+// checker is the stock SystemConstraints; custom checkers fall back to a
+// full Check per candidate.
+type moveChecker struct {
+	s       *model.System
+	usedMem map[model.HostID]float64
+	usedCPU map[model.HostID]float64
+	// Collocation partners per component, from MustCollocate /
+	// CannotCollocate.
+	mustWith map[model.ComponentID][]model.ComponentID
+	cantWith map[model.ComponentID][]model.ComponentID
+}
+
+func newMoveChecker(s *model.System, d model.Deployment) *moveChecker {
+	mc := &moveChecker{
+		s:        s,
+		usedMem:  make(map[model.HostID]float64, len(s.Hosts)),
+		usedCPU:  make(map[model.HostID]float64, len(s.Hosts)),
+		mustWith: make(map[model.ComponentID][]model.ComponentID),
+		cantWith: make(map[model.ComponentID][]model.ComponentID),
+	}
+	for c, h := range d {
+		if comp, ok := s.Components[c]; ok {
+			mc.usedMem[h] += comp.Memory()
+			mc.usedCPU[h] += comp.Params.Get(model.ParamCPU)
+		}
+	}
+	for _, pair := range s.Constraints.MustCollocate {
+		mc.mustWith[pair.A] = append(mc.mustWith[pair.A], pair.B)
+		mc.mustWith[pair.B] = append(mc.mustWith[pair.B], pair.A)
+	}
+	for _, pair := range s.Constraints.CannotCollocate {
+		mc.cantWith[pair.A] = append(mc.cantWith[pair.A], pair.B)
+		mc.cantWith[pair.B] = append(mc.cantWith[pair.B], pair.A)
+	}
+	return mc
+}
+
+// canMove reports whether moving c from its current host to `to` keeps d
+// valid.
+func (mc *moveChecker) canMove(d model.Deployment, c model.ComponentID, to model.HostID) bool {
+	cs := &mc.s.Constraints
+	if !cs.Allows(c, to) {
+		return false
+	}
+	comp := mc.s.Components[c]
+	if cs.CheckMemory && mc.usedMem[to]+comp.Memory() > mc.s.Hosts[to].Memory() {
+		return false
+	}
+	if cs.CheckCPU && mc.usedCPU[to]+comp.Params.Get(model.ParamCPU) > mc.s.Hosts[to].Params.Get(model.ParamCPU) {
+		return false
+	}
+	for _, p := range mc.mustWith[c] {
+		if d[p] != to {
+			return false
+		}
+	}
+	for _, p := range mc.cantWith[c] {
+		if d[p] == to {
+			return false
+		}
+	}
+	return true
+}
+
+// canSwap reports whether exchanging c1 (on h1) with c2 (on h2, h1 != h2)
+// keeps d valid.
+func (mc *moveChecker) canSwap(d model.Deployment, c1 model.ComponentID, h1 model.HostID, c2 model.ComponentID, h2 model.HostID) bool {
+	cs := &mc.s.Constraints
+	if !cs.Allows(c1, h2) || !cs.Allows(c2, h1) {
+		return false
+	}
+	m1 := mc.s.Components[c1].Memory()
+	m2 := mc.s.Components[c2].Memory()
+	if cs.CheckMemory {
+		if mc.usedMem[h1]-m1+m2 > mc.s.Hosts[h1].Memory() {
+			return false
+		}
+		if mc.usedMem[h2]-m2+m1 > mc.s.Hosts[h2].Memory() {
+			return false
+		}
+	}
+	if cs.CheckCPU {
+		u1 := mc.s.Components[c1].Params.Get(model.ParamCPU)
+		u2 := mc.s.Components[c2].Params.Get(model.ParamCPU)
+		if mc.usedCPU[h1]-u1+u2 > mc.s.Hosts[h1].Params.Get(model.ParamCPU) {
+			return false
+		}
+		if mc.usedCPU[h2]-u2+u1 > mc.s.Hosts[h2].Params.Get(model.ParamCPU) {
+			return false
+		}
+	}
+	// Collocation, with the partner's position remapped when the partner
+	// is the other swapped component.
+	swappedPos := func(p model.ComponentID) model.HostID {
+		switch p {
+		case c1:
+			return h2
+		case c2:
+			return h1
+		default:
+			return d[p]
+		}
+	}
+	for _, p := range mc.mustWith[c1] {
+		if swappedPos(p) != h2 {
+			return false
+		}
+	}
+	for _, p := range mc.cantWith[c1] {
+		if swappedPos(p) == h2 {
+			return false
+		}
+	}
+	for _, p := range mc.mustWith[c2] {
+		if swappedPos(p) != h1 {
+			return false
+		}
+	}
+	for _, p := range mc.cantWith[c2] {
+		if swappedPos(p) == h1 {
+			return false
+		}
+	}
+	return true
+}
+
+// recompute refreshes a host's resource sums from d, so the incremental
+// bookkeeping never drifts from what a full Check would compute.
+func (mc *moveChecker) recompute(d model.Deployment, h model.HostID) {
+	mem, cpu := 0.0, 0.0
+	for c, hh := range d {
+		if hh != h {
+			continue
+		}
+		if comp, ok := mc.s.Components[c]; ok {
+			mem += comp.Memory()
+			cpu += comp.Params.Get(model.ParamCPU)
+		}
+	}
+	mc.usedMem[h] = mem
+	mc.usedCPU[h] = cpu
+}
+
+// applyMove records an accepted move (d already updated).
+func (mc *moveChecker) applyMove(d model.Deployment, from, to model.HostID) {
+	mc.recompute(d, from)
+	mc.recompute(d, to)
+}
+
+// applySwap records an accepted exchange (d already updated).
+func (mc *moveChecker) applySwap(d model.Deployment, h1, h2 model.HostID) {
+	mc.recompute(d, h1)
+	mc.recompute(d, h2)
+}

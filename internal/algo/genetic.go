@@ -2,6 +2,7 @@ package algo
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"time"
@@ -17,6 +18,11 @@ import (
 // selection, single-point crossover over the sorted component list, and
 // mutation (random re-placement of a component); constraint-violating
 // offspring are repaired or discarded.
+//
+// Offspring are produced serially from a single seeded RNG (so the
+// population sequence is reproducible), then scored in parallel across
+// Config.Workers goroutines. Scoring is pure and lands at fixed slice
+// indices, so results are bit-identical for any worker count.
 //
 // Config.Trials bounds the number of generations (default
 // DefaultGenerations); the population size is fixed.
@@ -43,6 +49,11 @@ const (
 
 // Name implements Algorithm.
 func (*Genetic) Name() string { return "genetic" }
+
+type individual struct {
+	d     model.Deployment
+	score float64
+}
 
 // Run implements Algorithm.
 func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deployment, cfg Config) (Result, error) {
@@ -77,21 +88,36 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 	comps := s.ComponentIDs()
 	hosts := s.HostIDs()
 
+	// scoreAll evaluates deployments in parallel; results land at fixed
+	// indices so they are independent of worker scheduling. On
+	// cancellation only the individuals actually scored are returned.
+	scoreAll := func(ds []model.Deployment) ([]individual, error) {
+		out := make([]individual, len(ds))
+		scored := make([]bool, len(ds))
+		err := parallelFor(ctx, cfg.workerCount(), len(ds), func(i int) {
+			out[i] = individual{d: ds[i], score: objective.QuantifyFast(cfg.Objective, s, ds[i])}
+			scored[i] = true
+		})
+		if err != nil {
+			kept := out[:0]
+			for i := range out {
+				if scored[i] {
+					kept = append(kept, out[i])
+				}
+			}
+			out = kept
+		}
+		res.Evaluations += len(out)
+		return out, err
+	}
+
 	// Seed the population: the initial deployment (when valid) plus
 	// randomized fills.
-	type individual struct {
-		d     model.Deployment
-		score float64
-	}
-	population := make([]individual, 0, popSize)
-	addIndividual := func(d model.Deployment) {
-		res.Evaluations++
-		population = append(population, individual{d: d, score: cfg.Objective.Quantify(s, d)})
-	}
+	seeds := make([]model.Deployment, 0, popSize)
 	if initial != nil && check.Check(s, initial) == nil {
-		addIndividual(initial.Clone())
+		seeds = append(seeds, initial.Clone())
 	}
-	for tries := 0; len(population) < popSize && tries < popSize*10; tries++ {
+	for tries := 0; len(seeds) < popSize && tries < popSize*10; tries++ {
 		hostOrder := make([]model.HostID, len(hosts))
 		for i, p := range rng.Perm(len(hosts)) {
 			hostOrder[i] = hosts[p]
@@ -101,11 +127,15 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 			compOrder[i] = comps[p]
 		}
 		if d, ok := fillInOrder(s, check, hostOrder, compOrder); ok && check.Check(s, d) == nil {
-			addIndividual(d)
+			seeds = append(seeds, d)
 		}
 	}
+	population, err := scoreAll(seeds)
 	if len(population) == 0 {
 		res.Elapsed = time.Since(start)
+		if err != nil {
+			return res, errors.Join(err, ErrNoValidDeployment)
+		}
 		return res, ErrNoValidDeployment
 	}
 
@@ -114,6 +144,12 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 		sort.SliceStable(population, func(i, j int) bool { return better(population[i], population[j]) })
 	}
 	rank()
+	if err != nil {
+		res.Deployment = population[0].d
+		res.Score = population[0].score
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
 
 	tournament := func() individual {
 		best := population[rng.Intn(len(population))]
@@ -135,9 +171,10 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 		default:
 		}
 		res.Nodes++
-		next := make([]individual, 0, popSize)
-		next = append(next, population[:elite]...)
-		for len(next) < popSize {
+		// Produce the offspring serially (selection depends only on the
+		// previous, already-scored generation), then score them together.
+		children := make([]model.Deployment, 0, popSize-elite)
+		for len(children) < popSize-elite {
 			parentA := tournament()
 			parentB := tournament()
 			child := crossover(rng, comps, parentA.d, parentB.d)
@@ -149,11 +186,20 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 					continue
 				}
 			}
-			res.Evaluations++
-			next = append(next, individual{d: child, score: cfg.Objective.Quantify(s, child)})
+			children = append(children, child)
 		}
+		offspring, err := scoreAll(children)
+		next := make([]individual, 0, popSize)
+		next = append(next, population[:elite]...)
+		next = append(next, offspring...)
 		population = next
 		rank()
+		if err != nil {
+			res.Deployment = population[0].d
+			res.Score = population[0].score
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
 	}
 
 	res.Deployment = population[0].d

@@ -8,72 +8,62 @@ import (
 // availState evaluates availability incrementally while the Exact search
 // places and unplaces components, and provides an admissible optimistic
 // bound for branch-and-bound pruning: unplaced interactions are assumed to
-// achieve perfect reliability.
+// achieve perfect reliability. It works over the system's dense snapshot,
+// so every update is integer-indexed array arithmetic with no map or
+// string-pair lookups on the hot path.
 type availState struct {
-	sys *model.System
-	d   model.Deployment
-	num float64 // Σ freq·rel over interactions with both endpoints placed
-	den float64 // Σ freq over all interactions
+	ds     *model.DenseSystem
+	assign []int   // component index -> host index, -1 while unplaced
+	num    float64 // Σ freq·rel over interactions with both endpoints placed
+	den    float64 // Σ freq over all interactions
 	// pendingFreq is Σ freq over interactions with ≥1 unplaced endpoint.
 	pendingFreq float64
-	// adj lists each component's interactions for O(deg) delta updates.
-	adj map[model.ComponentID][]*model.LogicalLink
 }
 
 func newAvailState(s *model.System) *availState {
+	ds := s.Dense()
 	st := &availState{
-		sys: s,
-		d:   model.NewDeployment(len(s.Components)),
-		adj: make(map[model.ComponentID][]*model.LogicalLink, len(s.Components)),
+		ds:          ds,
+		assign:      make([]int, len(ds.Comps)),
+		den:         ds.TotalFreq,
+		pendingFreq: ds.TotalFreq,
 	}
-	for pair, link := range s.Interacts {
-		f := link.Frequency()
-		if f <= 0 {
-			continue
-		}
-		st.den += f
-		st.pendingFreq += f
-		st.adj[pair.A] = append(st.adj[pair.A], link)
-		st.adj[pair.B] = append(st.adj[pair.B], link)
+	for i := range st.assign {
+		st.assign[i] = -1
 	}
 	return st
 }
 
 // place assigns c to h, updating the partial score.
 func (st *availState) place(c model.ComponentID, h model.HostID) {
-	st.d[c] = h
-	for _, link := range st.adj[c] {
-		other := link.Components.A
-		if other == c {
-			other = link.Components.B
-		}
-		oh, ok := st.d[other]
-		if !ok {
+	ci := st.ds.CompIndex(c)
+	hi := st.ds.HostIndex(h)
+	st.assign[ci] = hi
+	nh := st.ds.NH
+	for _, arc := range st.ds.Adj[ci] {
+		oi := st.assign[arc.Other]
+		if oi < 0 {
 			continue
 		}
-		f := link.Frequency()
-		st.num += f * st.sys.Reliability(h, oh)
-		st.pendingFreq -= f
+		st.num += arc.Freq * st.ds.Rel[hi*nh+oi]
+		st.pendingFreq -= arc.Freq
 	}
 }
 
 // unplace reverses a place of c (which must be the most recent assignment
 // of c).
 func (st *availState) unplace(c model.ComponentID) {
-	h := st.d[c]
-	delete(st.d, c)
-	for _, link := range st.adj[c] {
-		other := link.Components.A
-		if other == c {
-			other = link.Components.B
-		}
-		oh, ok := st.d[other]
-		if !ok {
+	ci := st.ds.CompIndex(c)
+	hi := st.assign[ci]
+	st.assign[ci] = -1
+	nh := st.ds.NH
+	for _, arc := range st.ds.Adj[ci] {
+		oi := st.assign[arc.Other]
+		if oi < 0 {
 			continue
 		}
-		f := link.Frequency()
-		st.num -= f * st.sys.Reliability(h, oh)
-		st.pendingFreq += f
+		st.num -= arc.Freq * st.ds.Rel[hi*nh+oi]
+		st.pendingFreq += arc.Freq
 	}
 }
 

@@ -2,6 +2,8 @@ package algo
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"time"
 
 	"dif/internal/model"
@@ -16,6 +18,12 @@ import (
 // of trials and the best deployment obtained is selected. Because every
 // trial must evaluate the objective over all interactions, the complexity
 // is O(n²) per trial.
+//
+// Trials are independent, so they fan out across Config.Workers
+// goroutines. Each trial's RNG is derived from splitmix64(Config.Seed,
+// trialIndex) and ties between equal-scoring trials break toward the
+// lowest trial index, so the result is bit-identical for any worker
+// count.
 type Stochastic struct {
 	// DefaultTrials is used when Config.Trials is zero.
 	DefaultTrials int
@@ -44,24 +52,19 @@ func (a *Stochastic) Run(ctx context.Context, s *model.System, initial model.Dep
 	if trials <= 0 {
 		trials = defaultStochasticTrials
 	}
-	rng := cfg.rng()
 	check := cfg.checker()
 
 	hosts := s.HostIDs()
 	comps := s.ComponentIDs()
-	best := objective.Worst(cfg.Objective)
-	var bestD model.Deployment
 
-	for trial := 0; trial < trials; trial++ {
-		select {
-		case <-ctx.Done():
-			res.Deployment = bestD
-			res.Score = best
-			res.Elapsed = time.Since(start)
-			return res, ctx.Err()
-		default:
-		}
-		res.Nodes++
+	var (
+		mu        sync.Mutex
+		best      float64
+		bestD     model.Deployment
+		bestTrial int
+	)
+	err := parallelFor(ctx, cfg.workerCount(), trials, func(trial int) {
+		rng := deriveRNG(cfg.Seed, trial)
 		hostOrder := make([]model.HostID, len(hosts))
 		for i, p := range rng.Perm(len(hosts)) {
 			hostOrder[i] = hosts[p]
@@ -71,26 +74,40 @@ func (a *Stochastic) Run(ctx context.Context, s *model.System, initial model.Dep
 			compOrder[i] = comps[p]
 		}
 		d, ok := fillInOrder(s, check, hostOrder, compOrder)
-		if !ok {
-			continue
+		if ok {
+			ok = check.Check(s, d) == nil
 		}
-		if err := check.Check(s, d); err != nil {
-			continue
+		var score float64
+		if ok {
+			score = objective.QuantifyFast(cfg.Objective, s, d)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		res.Nodes++
+		if !ok {
+			return
 		}
 		res.Evaluations++
-		score := cfg.Objective.Quantify(s, d)
-		if bestD == nil || objective.Better(cfg.Objective, score, best) {
-			best = score
-			bestD = d
+		// Keep the strictly best score; among equal scores the lowest
+		// trial index wins, matching a serial sweep exactly.
+		if bestD == nil || objective.Better(cfg.Objective, score, best) ||
+			(score == best && trial < bestTrial) {
+			best, bestD, bestTrial = score, d, trial
 		}
-	}
+	})
 	res.Elapsed = time.Since(start)
 	if bestD == nil {
+		// No trial produced a valid deployment — either the problem is
+		// infeasible or the context was cancelled before any trial
+		// finished. Never report an infinite score with a nil deployment.
+		if err != nil {
+			return res, errors.Join(err, ErrNoValidDeployment)
+		}
 		return res, ErrNoValidDeployment
 	}
 	res.Deployment = bestD
 	res.Score = best
-	return res, nil
+	return res, err
 }
 
 // fillInOrder walks hosts in order, packing components in order onto the

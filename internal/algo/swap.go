@@ -14,6 +14,12 @@ import (
 // two-component exchange until no move improves the objective, or the
 // trial budget (Config.Trials, interpreted as maximum passes) is spent.
 //
+// Candidates are scored through the objective's incremental delta
+// evaluator (objective.BeginDelta), so trying a move costs O(deg) in the
+// component's interactions rather than a full re-quantification, and —
+// under the stock SystemConstraints — validated through an O(partners)
+// incremental checker rather than a full Check.
+//
 // Unlike the constructive algorithms, Swap requires a valid initial
 // deployment; it is typically chained after Stochastic or Avala.
 type Swap struct{}
@@ -45,9 +51,36 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 		passes = defaultSwapPasses
 	}
 	d := initial.Clone()
-	best := res.InitialScore
+	st := objective.BeginDelta(cfg.Objective, s, d)
+	best := st.Score()
 	comps := s.ComponentIDs()
 	hosts := s.HostIDs()
+
+	// The incremental constraint checker is exact only for the stock
+	// constraint semantics; a custom checker gets the full Check per
+	// candidate.
+	var mc *moveChecker
+	if _, stock := check.(SystemConstraints); stock {
+		mc = newMoveChecker(s, d)
+	}
+	feasibleMove := func(c model.ComponentID, from, to model.HostID) bool {
+		if mc != nil {
+			return mc.canMove(d, c, to)
+		}
+		d[c] = to
+		err := check.Check(s, d)
+		d[c] = from
+		return err == nil
+	}
+	feasibleSwap := func(c1 model.ComponentID, h1 model.HostID, c2 model.ComponentID, h2 model.HostID) bool {
+		if mc != nil {
+			return mc.canSwap(d, c1, h1, c2, h2)
+		}
+		d[c1], d[c2] = h2, h1
+		err := check.Check(s, d)
+		d[c1], d[c2] = h1, h2
+		return err == nil
+	}
 
 	for pass := 0; pass < passes; pass++ {
 		select {
@@ -68,22 +101,24 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					continue
 				}
 				res.Nodes++
-				d[c] = h
-				if err := check.Check(s, d); err != nil {
-					d[c] = from
+				if !feasibleMove(c, from, h) {
 					continue
 				}
 				res.Evaluations++
-				score := cfg.Objective.Quantify(s, d)
+				score := st.Move(c, h)
 				if objective.Better(cfg.Objective, score, best) {
+					st.Commit()
+					d[c] = h
+					if mc != nil {
+						mc.applyMove(d, from, h)
+					}
 					best = score
 					from = h
 					improved = true
 				} else {
-					d[c] = from
+					st.Revert()
 				}
 			}
-			d[c] = from
 		}
 
 		// Best pairwise exchange (covers moves blocked by tight memory).
@@ -95,18 +130,21 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					continue
 				}
 				res.Nodes++
-				d[ci], d[cj] = hj, hi
-				if err := check.Check(s, d); err != nil {
-					d[ci], d[cj] = hi, hj
+				if !feasibleSwap(ci, hi, cj, hj) {
 					continue
 				}
 				res.Evaluations++
-				score := cfg.Objective.Quantify(s, d)
+				score := st.SwapPair(ci, cj)
 				if objective.Better(cfg.Objective, score, best) {
+					st.Commit()
+					d[ci], d[cj] = hj, hi
+					if mc != nil {
+						mc.applySwap(d, hi, hj)
+					}
 					best = score
 					improved = true
 				} else {
-					d[ci], d[cj] = hi, hj
+					st.Revert()
 				}
 			}
 		}

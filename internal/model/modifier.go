@@ -23,6 +23,7 @@ func (m *Modifier) SetHostParam(h HostID, name string, value float64) error {
 		return fmt.Errorf("unknown host %s", h)
 	}
 	host.Params.Set(name, value)
+	m.sys.Touch()
 	return nil
 }
 
@@ -33,6 +34,7 @@ func (m *Modifier) SetComponentParam(c ComponentID, name string, value float64) 
 		return fmt.Errorf("unknown component %s", c)
 	}
 	comp.Params.Set(name, value)
+	m.sys.Touch()
 	return nil
 }
 
@@ -43,6 +45,7 @@ func (m *Modifier) SetLinkParam(a, b HostID, name string, value float64) error {
 		return fmt.Errorf("no physical link between %s and %s", a, b)
 	}
 	l.Params.Set(name, value)
+	m.sys.Touch()
 	return nil
 }
 
@@ -54,6 +57,7 @@ func (m *Modifier) SetInteractionParam(a, b ComponentID, name string, value floa
 		return fmt.Errorf("no logical link between %s and %s", a, b)
 	}
 	l.Params.Set(name, value)
+	m.sys.Touch()
 	return nil
 }
 
@@ -64,6 +68,7 @@ func (m *Modifier) RemoveLink(a, b HostID) error {
 		return fmt.Errorf("no physical link between %s and %s", a, b)
 	}
 	delete(m.sys.Links, pair)
+	m.sys.Touch()
 	return nil
 }
 
@@ -74,6 +79,7 @@ func (m *Modifier) RemoveInteraction(a, b ComponentID) error {
 		return fmt.Errorf("no logical link between %s and %s", a, b)
 	}
 	delete(m.sys.Interacts, pair)
+	m.sys.Touch()
 	return nil
 }
 
@@ -99,6 +105,7 @@ func (m *Modifier) RemoveHost(h HostID, d Deployment) error {
 		delete(set, h)
 		_ = c
 	}
+	m.sys.Touch()
 	return nil
 }
 
@@ -129,6 +136,7 @@ func (m *Modifier) RemoveComponent(c ComponentID, d Deployment) error {
 	if d != nil {
 		delete(d, c)
 	}
+	m.sys.Touch()
 	return nil
 }
 

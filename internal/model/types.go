@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // HostID identifies a hardware host.
@@ -99,6 +100,14 @@ type System struct {
 	Links       map[HostPair]*PhysicalLink
 	Interacts   map[ComponentPair]*LogicalLink
 	Constraints Constraints
+
+	// Cached dense view (see dense.go). epoch counts mutations made
+	// through the System's methods or a Modifier; Dense rebuilds when it
+	// moves past denseEpoch.
+	denseMu    sync.Mutex
+	epoch      uint64
+	dense      *DenseSystem
+	denseEpoch uint64
 }
 
 // NewSystem returns an empty system model.
@@ -116,6 +125,7 @@ func NewSystem() *System {
 func (s *System) AddHost(id HostID, params Params) *Host {
 	h := &Host{ID: id, Params: params.Clone()}
 	s.Hosts[id] = h
+	s.Touch()
 	return h
 }
 
@@ -124,6 +134,7 @@ func (s *System) AddHost(id HostID, params Params) *Host {
 func (s *System) AddComponent(id ComponentID, params Params) *Component {
 	c := &Component{ID: id, Params: params.Clone()}
 	s.Components[id] = c
+	s.Touch()
 	return c
 }
 
@@ -141,6 +152,7 @@ func (s *System) AddLink(a, b HostID, params Params) (*PhysicalLink, error) {
 	pair := MakeHostPair(a, b)
 	l := &PhysicalLink{Hosts: pair, Params: params.Clone()}
 	s.Links[pair] = l
+	s.Touch()
 	return l, nil
 }
 
@@ -158,6 +170,7 @@ func (s *System) AddInteraction(a, b ComponentID, params Params) (*LogicalLink, 
 	pair := MakeComponentPair(a, b)
 	l := &LogicalLink{Components: pair, Params: params.Clone()}
 	s.Interacts[pair] = l
+	s.Touch()
 	return l, nil
 }
 

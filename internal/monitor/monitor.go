@@ -262,5 +262,10 @@ func (ap *Applier) Apply(rep prism.MonitoringReport, d model.Deployment) int {
 		link.Params.Set(model.ParamEventSize, is.AvgSizeKB)
 		written++
 	}
+	if written > 0 {
+		// The writes above bypass the Modifier, so the system's cached
+		// dense scoring matrices must be invalidated by hand.
+		ap.sys.Touch()
+	}
 	return written
 }

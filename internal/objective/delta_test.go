@@ -1,0 +1,168 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dif/internal/model"
+)
+
+func deltaTestSystem(t *testing.T, hosts, comps int, seed int64) (*model.System, model.Deployment) {
+	t.Helper()
+	s, d, err := model.NewGenerator(model.DefaultGeneratorConfig(hosts, comps), seed).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func relClose(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+// TestDeltaMatchesQuantifyRandomOps drives each dense delta evaluator
+// through a long randomized Move/SwapPair/Commit/Revert sequence,
+// cross-checking every staged score and every committed score against a
+// full Quantify of a shadow deployment. The op count crosses the rebase
+// interval so drift control is exercised.
+func TestDeltaMatchesQuantifyRandomOps(t *testing.T) {
+	for _, q := range []DeltaQuantifier{Availability{}, Latency{}} {
+		t.Run(q.Name(), func(t *testing.T) {
+			s, d := deltaTestSystem(t, 6, 24, 7)
+			shadow := d.Clone()
+			st := q.Begin(s, shadow)
+			rng := rand.New(rand.NewSource(42))
+			hosts := s.HostIDs()
+			comps := s.ComponentIDs()
+
+			const ops = 6000
+			for i := 0; i < ops; i++ {
+				staged := shadow.Clone()
+				var got float64
+				if rng.Intn(2) == 0 {
+					c := comps[rng.Intn(len(comps))]
+					h := hosts[rng.Intn(len(hosts))]
+					got = st.Move(c, h)
+					staged[c] = h
+				} else {
+					c1 := comps[rng.Intn(len(comps))]
+					c2 := comps[rng.Intn(len(comps))]
+					for c2 == c1 {
+						c2 = comps[rng.Intn(len(comps))]
+					}
+					got = st.SwapPair(c1, c2)
+					staged[c1], staged[c2] = shadow[c2], shadow[c1]
+				}
+				if want := q.Quantify(s, staged); !relClose(got, want, 1e-12) {
+					t.Fatalf("op %d: staged score %v, Quantify %v", i, got, want)
+				}
+				if rng.Intn(10) < 7 {
+					st.Commit()
+					shadow = staged
+				} else {
+					st.Revert()
+				}
+				if i%97 == 0 {
+					if got, want := st.Score(), q.Quantify(s, shadow); !relClose(got, want, 1e-12) {
+						t.Fatalf("op %d: committed score %v, Quantify %v", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaFallbackExact checks that a quantifier without its own delta
+// evaluator still honors the DeltaState protocol through BeginDelta's
+// full-requantify fallback. Agreement is within ULPs rather than exact:
+// map-based quantifiers sum in Go's randomized map iteration order, so
+// even two back-to-back Quantify calls may differ in the last bit.
+func TestDeltaFallbackExact(t *testing.T) {
+	s, d := deltaTestSystem(t, 5, 16, 11)
+	var q Quantifier = CommCost{}
+	if _, ok := q.(DeltaQuantifier); ok {
+		t.Fatal("CommCost unexpectedly implements DeltaQuantifier; pick another fallback subject")
+	}
+	shadow := d.Clone()
+	st := BeginDelta(q, s, shadow)
+	rng := rand.New(rand.NewSource(5))
+	hosts := s.HostIDs()
+	comps := s.ComponentIDs()
+
+	for i := 0; i < 300; i++ {
+		staged := shadow.Clone()
+		var got float64
+		if rng.Intn(2) == 0 {
+			c := comps[rng.Intn(len(comps))]
+			h := hosts[rng.Intn(len(hosts))]
+			got = st.Move(c, h)
+			staged[c] = h
+		} else {
+			c1 := comps[rng.Intn(len(comps))]
+			c2 := comps[rng.Intn(len(comps))]
+			for c2 == c1 {
+				c2 = comps[rng.Intn(len(comps))]
+			}
+			got = st.SwapPair(c1, c2)
+			staged[c1], staged[c2] = shadow[c2], shadow[c1]
+		}
+		if want := q.Quantify(s, staged); !relClose(got, want, 1e-12) {
+			t.Fatalf("op %d: staged score %v, Quantify %v", i, got, want)
+		}
+		if rng.Intn(2) == 0 {
+			st.Commit()
+			shadow = staged
+		} else {
+			st.Revert()
+		}
+		if got, want := st.Score(), q.Quantify(s, shadow); !relClose(got, want, 1e-12) {
+			t.Fatalf("op %d: committed score %v, Quantify %v", i, got, want)
+		}
+	}
+}
+
+func TestQuantifyFastMatchesQuantify(t *testing.T) {
+	s, d := deltaTestSystem(t, 6, 24, 13)
+	comp, err := NewComposite(
+		Term{Quantifier: Availability{}, Weight: 1},
+		Term{Quantifier: Latency{}, Weight: 0.5, Scale: 1000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Quantifier{Availability{}, Latency{}, CommCost{}, comp} {
+		if got, want := QuantifyFast(q, s, d), q.Quantify(s, d); !relClose(got, want, 1e-12) {
+			t.Errorf("%s: QuantifyFast = %v, Quantify = %v", q.Name(), got, want)
+		}
+	}
+}
+
+// TestDeltaProtocolPanics pins the evaluate-then-resolve contract:
+// staging twice, or resolving with nothing staged, is a programming
+// error.
+func TestDeltaProtocolPanics(t *testing.T) {
+	s, d := deltaTestSystem(t, 4, 8, 17)
+	comps := s.ComponentIDs()
+	hosts := s.HostIDs()
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	st := Availability{}.Begin(s, d)
+	st.Move(comps[0], hosts[0])
+	mustPanic("double stage", func() { st.Move(comps[1], hosts[1]) })
+
+	st2 := Availability{}.Begin(s, d)
+	mustPanic("commit without stage", func() { st2.Commit() })
+	mustPanic("revert without stage", func() { st2.Revert() })
+}

@@ -64,5 +64,11 @@ func (Throughput) Quantify(s *model.System, d model.Deployment) float64 {
 	if totalDemand == 0 {
 		return 1
 	}
-	return delivered / totalDemand
+	// delivered and totalDemand accumulate the same volumes in different
+	// iteration orders, so the ratio can stray past 1 by a few ULP even
+	// though delivered ≤ totalDemand mathematically.
+	if ratio := delivered / totalDemand; ratio < 1 {
+		return ratio
+	}
+	return 1
 }
