@@ -1,22 +1,27 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race test-race bench check
 
 build:
 	$(GO) build ./...
 
-test:
+# The default test path runs vet first so the satellite races and
+# lifecycle bugs stay fixed.
+test: vet
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
 
-# Race-detect the concurrent hot paths: the parallel search algorithms
-# and the delta evaluators they drive.
-race:
-	$(GO) vet ./... && $(GO) test -race ./internal/algo/... ./internal/objective/...
+# Race-detect the concurrent hot paths: the middleware and its
+# transports, the netsim fabric, the parallel search algorithms, and the
+# delta evaluators they drive.
+test-race:
+	$(GO) test -race ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/...
+
+race: test-race
 
 bench:
 	$(GO) test -run xxx -bench . ./internal/algo/
 
-check: build vet test race
+check: build test test-race

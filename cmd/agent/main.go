@@ -33,6 +33,10 @@ func run() error {
 	masterAddr := flag.String("master", "", "the deployer's TCP address")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	tick := flag.Duration("tick", 100*time.Millisecond, "application workload tick interval")
+	faultDrop := flag.Float64("fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
+	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
+	noRetry := flag.Bool("no-retry", false, "disable control-plane retransmission (single-shot sends)")
 	flag.Parse()
 	if *host == "" || *masterAddr == "" {
 		return fmt.Errorf("-host and -master are required")
@@ -42,13 +46,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
+	// The bus sees the (optionally fault-injected) transport; Hello and
+	// Addr still go through the concrete TCP handle.
+	var busTr prism.Transport = tr
+	if *faultDrop > 0 || *faultDup > 0 {
+		busTr = prism.NewFaultTransport(tr, prism.FaultConfig{
+			Seed: *faultSeed, DropRate: *faultDrop, DupRate: *faultDup,
+		})
+	}
+	defer busTr.Close()
 	tr.AddPeer(model.HostID(*masterHost), *masterAddr)
 
 	arch := prism.NewArchitecture(model.HostID(*host), nil)
 	arch.Scaffold().Start(4)
 	defer arch.Shutdown()
-	if _, err := arch.AddDistributionConnector(framework.BusName, tr); err != nil {
+	if _, err := arch.AddDistributionConnector(framework.BusName, busTr); err != nil {
 		return err
 	}
 	registry := prism.NewFactoryRegistry()
@@ -59,6 +71,7 @@ func run() error {
 		Deployer: model.HostID(*masterHost),
 		Bus:      framework.BusName,
 		Registry: registry,
+		Retry:    prism.RetryPolicy{Disabled: *noRetry, Seed: *faultSeed},
 	})
 	if err != nil {
 		return err

@@ -44,6 +44,10 @@ func run() error {
 	cycles := flag.Int("cycles", 2, "monitor/analyze cycles to run")
 	interval := flag.Duration("interval", 3*time.Second, "pause between cycles (lets agents generate traffic)")
 	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "how long to wait for agents")
+	faultDrop := flag.Float64("fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
+	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
+	noRetry := flag.Bool("no-retry", false, "disable control-plane retransmission (single-shot sends)")
 	flag.Parse()
 	if *archFile == "" || *host == "" {
 		return fmt.Errorf("-arch and -host are required")
@@ -70,18 +74,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
+	// The bus sees the (optionally fault-injected) transport; Addr and
+	// Peers still go through the concrete TCP handle.
+	var busTr prism.Transport = tr
+	if *faultDrop > 0 || *faultDup > 0 {
+		busTr = prism.NewFaultTransport(tr, prism.FaultConfig{
+			Seed: *faultSeed, DropRate: *faultDrop, DupRate: *faultDup,
+		})
+	}
+	defer busTr.Close()
 	arch := prism.NewArchitecture(master, nil)
 	arch.Scaffold().Start(4)
 	defer arch.Shutdown()
-	if _, err := arch.AddDistributionConnector(framework.BusName, tr); err != nil {
+	if _, err := arch.AddDistributionConnector(framework.BusName, busTr); err != nil {
 		return err
 	}
 	registry := prism.NewFactoryRegistry()
 	registry.Register(framework.TrafficTypeName, func(id string) prism.Migratable {
 		return framework.NewTrafficComponent(id)
 	})
-	adminCfg := prism.AdminConfig{Deployer: master, Bus: framework.BusName, Registry: registry}
+	adminCfg := prism.AdminConfig{
+		Deployer: master, Bus: framework.BusName, Registry: registry,
+		Retry: prism.RetryPolicy{Disabled: *noRetry, Seed: *faultSeed},
+	}
 	if _, err := prism.InstallAdmin(arch, adminCfg); err != nil {
 		return err
 	}
@@ -132,7 +147,8 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("initial distribution: %w", err)
 	}
-	fmt.Printf("distributed %d components to %d hosts\n", res.Moved, len(slaves))
+	fmt.Printf("distributed %d components to %d hosts (%d confirmed)\n",
+		res.Moved, len(slaves), res.Received)
 
 	if !*improve {
 		return nil
@@ -176,7 +192,12 @@ func run() error {
 			return fmt.Errorf("cycle %d enact: %w", cycle, err)
 		}
 		view = dec.Result.Deployment.Clone()
-		fmt.Printf("cycle %d: redeployed %d components in %v\n", cycle, enRep.Moved, enRep.Elapsed)
+		status := ""
+		if enRep.Degraded {
+			status = " (degraded)"
+		}
+		fmt.Printf("cycle %d: redeployed %d components in %v%s\n",
+			cycle, enRep.Moved, enRep.Elapsed, status)
 	}
 	fmt.Printf("final deployment: %v\n", view)
 	return nil

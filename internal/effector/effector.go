@@ -133,9 +133,15 @@ func hopCost(s *model.System, from, to model.HostID, sizeKB float64) (float64, b
 
 // Report summarizes an executed plan.
 type Report struct {
-	Moved   int
-	Relayed int
-	Elapsed time.Duration
+	Moved int
+	// Received counts components actually reconstituted at their
+	// destinations; a clean wave has Received == Moved.
+	Received int
+	Relayed  int
+	Elapsed  time.Duration
+	// Degraded flags partial outcomes: the wave finished (or was rolled
+	// back) without accounting for every move.
+	Degraded bool
 }
 
 // Enactor executes redeployment plans — the platform-dependent half.
@@ -162,7 +168,7 @@ func (e *ModelEnactor) Enact(plan Plan, _ time.Duration) (Report, error) {
 	for _, m := range plan.Moves {
 		e.Deployment[m.Comp] = m.To
 	}
-	return Report{Moved: len(plan.Moves)}, nil
+	return Report{Moved: len(plan.Moves), Received: len(plan.Moves)}, nil
 }
 
 // PrismEnactor executes plans on a live Prism-MW system through its
@@ -183,8 +189,16 @@ func (e *PrismEnactor) Enact(plan Plan, timeout time.Duration) (Report, error) {
 		current[string(m.Comp)] = m.From
 	}
 	res, err := e.Deployer.Enact(moves, current, timeout)
-	rep := Report{Moved: res.Moved, Relayed: res.Relayed, Elapsed: time.Since(start)}
+	rep := Report{
+		Moved:    res.Moved,
+		Received: res.Received,
+		Relayed:  res.Relayed,
+		Elapsed:  time.Since(start),
+		Degraded: res.Degraded,
+	}
 	if err != nil {
+		// Surface the partial report alongside the error: callers can see
+		// how far the wave got before the rollback.
 		return rep, fmt.Errorf("prism enactor: %w", err)
 	}
 	return rep, nil

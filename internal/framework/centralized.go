@@ -55,6 +55,11 @@ type CycleReport struct {
 	Decision           analyzer.Decision
 	Enacted            bool
 	Moves              int
+	// Received and Degraded surface the enactment's delivery outcome:
+	// how many moves the destinations confirmed, and whether the wave
+	// finished partially (see effector.Report).
+	Received           int
+	Degraded           bool
 	AvailabilityBefore float64
 	AvailabilityAfter  float64
 }
@@ -133,6 +138,8 @@ func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
 	}
 	rep.Enacted = true
 	rep.Moves = enRep.Moved
+	rep.Received = enRep.Received
+	rep.Degraded = enRep.Degraded
 	c.Deployment = dec.Result.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
 	return rep, nil

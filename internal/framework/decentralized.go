@@ -154,6 +154,10 @@ type DecCycleReport struct {
 	VotePassed         bool
 	Enacted            bool
 	Moves              int
+	// Received and Degraded aggregate the per-host enactments' delivery
+	// outcomes (see effector.Report).
+	Received           int
+	Degraded           bool
 	AvailabilityBefore float64
 	AvailabilityAfter  float64
 }
@@ -220,6 +224,8 @@ func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
 			return rep, fmt.Errorf("decentralized enact on %s: %w", dst, err)
 		}
 		rep.Moves += enRep.Moved
+		rep.Received += enRep.Received
+		rep.Degraded = rep.Degraded || enRep.Degraded
 	}
 	rep.Enacted = rep.Moves > 0
 	d.Deployment = res.Deployment.Clone()

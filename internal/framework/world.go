@@ -37,6 +37,10 @@ type World struct {
 	Registry *prism.FactoryRegistry
 	Master   model.HostID
 	Deployer *prism.DeployerComponent
+	// Faults holds each host's fault-injection decorator when
+	// WorldConfig.Fault is set (nil otherwise) — tests and drills use it
+	// to open and heal partitions mid-run.
+	Faults map[model.HostID]*prism.FaultTransport
 }
 
 // WorldConfig parameterizes world construction.
@@ -53,6 +57,13 @@ type WorldConfig struct {
 	// Monitors controls whether admin monitors are attached (the
 	// monitoring-overhead experiment turns them off).
 	Monitors bool
+	// Retry tunes the control plane's retransmission layers; the zero
+	// value opts into the defaults (retries enabled).
+	Retry prism.RetryPolicy
+	// Fault, when non-nil, wraps every host's transport in a
+	// FaultTransport seeded per host — dependability drills on top of the
+	// fabric's own loss model.
+	Fault *prism.FaultConfig
 }
 
 // NewWorld builds a live world for the system and places one traffic
@@ -82,13 +93,26 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 		return NewTrafficComponent(id)
 	})
 
-	adminCfg := prism.AdminConfig{Deployer: master, Bus: BusName, Registry: w.Registry}
-	for _, h := range hosts {
+	adminCfg := prism.AdminConfig{
+		Deployer: master, Bus: BusName, Registry: w.Registry, Retry: cfg.Retry,
+	}
+	if cfg.Fault != nil {
+		w.Faults = make(map[model.HostID]*prism.FaultTransport, len(hosts))
+	}
+	for i, h := range hosts {
 		arch := prism.NewArchitecture(h, nil)
+		var tr prism.Transport
 		tr, err := prism.NewNetsimTransport(fabric, h)
 		if err != nil {
 			fabric.Close()
 			return nil, err
+		}
+		if cfg.Fault != nil {
+			fc := *cfg.Fault
+			fc.Seed += int64(i + 1) // distinct deterministic stream per host
+			ft := prism.NewFaultTransport(tr, fc)
+			w.Faults[h] = ft
+			tr = ft
 		}
 		if _, err := arch.AddDistributionConnector(BusName, tr); err != nil {
 			fabric.Close()

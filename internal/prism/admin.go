@@ -17,6 +17,8 @@ const (
 	EvFetch         = "admin.fetch"
 	EvTransfer      = "admin.transfer"
 	EvDone          = "admin.done"
+	EvOutcome       = "admin.outcome"
+	EvOutcomeAck    = "admin.outcomeAck"
 )
 
 // AdminID is the well-known component ID of each host's admin.
@@ -86,6 +88,23 @@ type DoneReport struct {
 	Relayed  int // events buffered during migration and relayed onward
 }
 
+// WaveOutcome ends a redeployment wave (phase two of the two-phase
+// migration): commit once every destination confirmed reconstitution, or
+// abort so participants roll back — sources reattach their prepared
+// components, destinations evict uncommitted arrivals.
+type WaveOutcome struct {
+	Epoch       int
+	Coordinator model.HostID
+	Commit      bool
+}
+
+// OutcomeAck confirms a participant applied a wave outcome; the
+// coordinator re-broadcasts the outcome until every participant acks.
+type OutcomeAck struct {
+	Epoch int
+	Host  model.HostID
+}
+
 // registerControlPayloads makes the protocol payloads gob-encodable when
 // events cross host boundaries.
 func registerControlPayloads() {
@@ -95,6 +114,8 @@ func registerControlPayloads() {
 	gob.Register(FetchRequest{})
 	gob.Register(TransferPayload{})
 	gob.Register(DoneReport{})
+	gob.Register(WaveOutcome{})
+	gob.Register(OutcomeAck{})
 }
 
 var registerPayloadsOnce sync.Once
@@ -117,6 +138,32 @@ type AdminConfig struct {
 	// retries). Zeros select the defaults.
 	FetchRetryInterval time.Duration
 	FetchRetryAttempts int
+	// Retry tunes every retransmission layer; the zero value enables
+	// retries with default backoff.
+	Retry RetryPolicy
+	// EnactResendInterval paces the deployer's re-dispatch of reconfig
+	// commands to hosts that have not reported done, and the re-broadcast
+	// of unacknowledged wave outcomes. Zero selects the default.
+	EnactResendInterval time.Duration
+	// OutcomeAckTimeout bounds how long the deployer waits for every
+	// participant to acknowledge a wave's commit/abort outcome. Zero
+	// selects the default.
+	OutcomeAckTimeout time.Duration
+}
+
+// RetryPolicy tunes control-plane retransmission. The zero value enables
+// retries with the defaults; Disabled turns every retransmission layer
+// off (single-shot sends, no fetch retries, no reconfig re-dispatch, no
+// outcome re-broadcast) — useful for demonstrating what the robustness
+// layer buys.
+type RetryPolicy struct {
+	Disabled bool
+	// BaseDelay and MaxDelay bound the capped exponential backoff between
+	// per-hop send attempts. Zeros select the defaults.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
 }
 
 // Control-plane reliability defaults.
@@ -127,7 +174,42 @@ const (
 	// requester-side end-to-end retransmission loop.
 	DefaultFetchRetryInterval = 300 * time.Millisecond
 	DefaultFetchRetryAttempts = 15
+	// DefaultRetryBaseDelay and DefaultRetryMaxDelay bound per-hop
+	// backoff; they are deliberately small — control frames are tiny and
+	// the links they model recover quickly.
+	DefaultRetryBaseDelay = time.Millisecond
+	DefaultRetryMaxDelay  = 30 * time.Millisecond
+	// DefaultEnactResendInterval paces deployer-side re-dispatch.
+	DefaultEnactResendInterval = 75 * time.Millisecond
+	// DefaultOutcomeAckTimeout bounds the commit/abort ack collection.
+	DefaultOutcomeAckTimeout = 2 * time.Second
 )
+
+// withDefaults resolves zero-valued knobs shared by admins and deployers.
+func (c AdminConfig) withDefaults() AdminConfig {
+	if c.SendAttempts <= 0 {
+		c.SendAttempts = DefaultSendAttempts
+	}
+	if c.FetchRetryInterval <= 0 {
+		c.FetchRetryInterval = DefaultFetchRetryInterval
+	}
+	if c.FetchRetryAttempts <= 0 {
+		c.FetchRetryAttempts = DefaultFetchRetryAttempts
+	}
+	if c.Retry.BaseDelay <= 0 {
+		c.Retry.BaseDelay = DefaultRetryBaseDelay
+	}
+	if c.Retry.MaxDelay <= 0 {
+		c.Retry.MaxDelay = DefaultRetryMaxDelay
+	}
+	if c.EnactResendInterval <= 0 {
+		c.EnactResendInterval = DefaultEnactResendInterval
+	}
+	if c.OutcomeAckTimeout <= 0 {
+		c.OutcomeAckTimeout = DefaultOutcomeAckTimeout
+	}
+	return c
+}
 
 // AdminComponent is the meta-level ExtensibleComponent with the Admin
 // implementation of IAdmin (DSN'04 §4.2): it holds a reference to its
@@ -148,6 +230,14 @@ type AdminComponent struct {
 	shipped   map[string]TransferPayload
 	arrived   map[string]bool
 	expect    map[string]*reconfigProgress
+	// prepared holds detached-but-uncommitted source-side components
+	// ("coord/epoch/comp"): phase one of the two-phase migration retains
+	// the live instance until the wave's outcome arrives, so an abort can
+	// reattach it instead of stranding it.
+	prepared map[string]*preparedComp
+	// aborted marks rolled-back waves ("coord/epoch") so late reconfig,
+	// fetch, or transfer messages for them are ignored.
+	aborted map[string]bool
 
 	freqMon *EvtFrequencyMonitor
 	relMon  *NetworkReliabilityMonitor
@@ -168,6 +258,28 @@ type reconfigProgress struct {
 	received    int
 	done        bool
 	coordinator model.HostID
+	// arrivals (component → source host) is kept for outcome handling:
+	// commit releases the arrivals' held traffic, abort evicts them and
+	// bounces buffered traffic back to the source.
+	arrivals map[string]model.HostID
+	outcome  waveOutcomeState
+}
+
+type waveOutcomeState int
+
+const (
+	outcomePending waveOutcomeState = iota
+	outcomeCommitted
+	outcomeAborted
+)
+
+// preparedComp is a source-side component detached in phase one and
+// awaiting the wave outcome.
+type preparedComp struct {
+	id        string
+	comp      Migratable
+	welds     []string
+	requester model.HostID
 }
 
 // NewAdminComponent builds an admin for the architecture. The admin must
@@ -175,15 +287,7 @@ type reconfigProgress struct {
 // (or use InstallAdmin).
 func NewAdminComponent(arch *Architecture, cfg AdminConfig) *AdminComponent {
 	registerPayloadsOnce.Do(registerControlPayloads)
-	if cfg.SendAttempts <= 0 {
-		cfg.SendAttempts = DefaultSendAttempts
-	}
-	if cfg.FetchRetryInterval <= 0 {
-		cfg.FetchRetryInterval = DefaultFetchRetryInterval
-	}
-	if cfg.FetchRetryAttempts <= 0 {
-		cfg.FetchRetryAttempts = DefaultFetchRetryAttempts
-	}
+	cfg = cfg.withDefaults()
 	if cfg.Registry == nil {
 		cfg.Registry = NewFactoryRegistry()
 	}
@@ -196,6 +300,8 @@ func NewAdminComponent(arch *Architecture, cfg AdminConfig) *AdminComponent {
 		shipped:       make(map[string]TransferPayload),
 		arrived:       make(map[string]bool),
 		expect:        make(map[string]*reconfigProgress),
+		prepared:      make(map[string]*preparedComp),
+		aborted:       make(map[string]bool),
 		stop:          make(chan struct{}),
 	}
 }
@@ -336,6 +442,12 @@ func (a *AdminComponent) Handle(e Event) {
 			return
 		}
 		a.handleTransfer(tp)
+	case EvOutcome:
+		out, ok := e.Payload.(WaveOutcome)
+		if !ok {
+			return
+		}
+		a.handleOutcome(out)
 	case EvRelay:
 		env, ok := e.Payload.(RelayPayload)
 		if !ok {
@@ -364,11 +476,26 @@ func (a *AdminComponent) handleReconfig(cmd ReconfigCommand) {
 	ck := epochKey(coord, cmd.Epoch)
 	a.mu.Lock()
 	if a.epochSeen[ck] {
+		// Duplicate command — retried dispatch or duplicated frame. If we
+		// already finished, our done report may have been lost: repeat it.
+		prog := a.expect[ck]
+		resendDone := prog != nil && prog.done && prog.outcome == outcomePending
+		var received, relayed int
+		if resendDone {
+			received, relayed = prog.received, a.relayed
+		}
 		a.mu.Unlock()
+		if resendDone {
+			a.sendDone(coord, cmd.Epoch, received, relayed)
+		}
 		return
 	}
 	a.epochSeen[ck] = true
-	a.expect[ck] = &reconfigProgress{want: len(cmd.Arrivals), coordinator: coord}
+	arrivals := make(map[string]model.HostID, len(cmd.Arrivals))
+	for comp, src := range cmd.Arrivals {
+		arrivals[comp] = src
+	}
+	a.expect[ck] = &reconfigProgress{want: len(cmd.Arrivals), coordinator: coord, arrivals: arrivals}
 	a.mu.Unlock()
 
 	if len(cmd.Arrivals) == 0 {
@@ -383,6 +510,9 @@ func (a *AdminComponent) handleReconfig(cmd ReconfigCommand) {
 		}
 	}
 	a.sendFetches(cmd, nil)
+	if a.cfg.Retry.Disabled {
+		return
+	}
 	// End-to-end retransmission: multi-leg mediated paths can lose a
 	// message even after per-hop retries, so the requester re-fetches
 	// whatever has not arrived until the epoch completes or the budget
@@ -440,7 +570,7 @@ func (a *AdminComponent) retryFetches(cmd ReconfigCommand) {
 		ck := epochKey(coordinatorOf(cmd, a.cfg), cmd.Epoch)
 		a.mu.Lock()
 		prog := a.expect[ck]
-		done := prog == nil || prog.done
+		done := prog == nil || prog.done || prog.outcome != outcomePending
 		arrivedSkip := make(map[string]bool, len(cmd.Arrivals))
 		for comp := range cmd.Arrivals {
 			if a.arrived[ck+"/"+comp] {
@@ -469,10 +599,19 @@ func coordinatorOf(cmd ReconfigCommand, cfg AdminConfig) model.HostID {
 	return cfg.Deployer
 }
 
-// handleFetch detaches, serializes, and ships the requested component.
+// handleFetch serializes and ships the requested component, but only
+// *prepares* the departure (phase one of the two-phase migration): the
+// detached instance and its buffered traffic are retained until the
+// wave's outcome arrives — commit discards them and relays the traffic
+// onward, abort reattaches the component as if nothing happened.
 func (a *AdminComponent) handleFetch(req FetchRequest) {
-	key := epochKey(req.Coordinator, req.Epoch) + "/" + req.Comp
+	ck := epochKey(req.Coordinator, req.Epoch)
+	key := ck + "/" + req.Comp
 	a.mu.Lock()
+	if a.aborted[ck] {
+		a.mu.Unlock()
+		return // wave already rolled back: never re-detach
+	}
 	if tp, ok := a.shipped[key]; ok {
 		// Duplicate request (retry): re-ship the cached payload.
 		a.mu.Unlock()
@@ -524,18 +663,11 @@ func (a *AdminComponent) handleFetch(req FetchRequest) {
 	}
 	a.mu.Lock()
 	a.shipped[key] = tp
+	a.prepared[key] = &preparedComp{
+		id: req.Comp, comp: mig, welds: welds, requester: req.Requester,
+	}
 	a.mu.Unlock()
 	a.ship(tp, req)
-
-	// Relay the traffic buffered during detachment toward the new host.
-	relayHost := req.Requester
-	for _, w := range welds {
-		conn := a.arch.Connector(w)
-		if conn == nil {
-			continue
-		}
-		a.relayHeld(conn, req.Comp, relayHost)
-	}
 }
 
 // ship delivers a transfer payload to the requester, via the deployer
@@ -582,6 +714,10 @@ func (a *AdminComponent) handleTransfer(tp TransferPayload) {
 	ck := epochKey(tp.Coordinator, tp.Epoch)
 	key := ck + "/" + tp.Comp
 	a.mu.Lock()
+	if a.aborted[ck] {
+		a.mu.Unlock()
+		return // wave already rolled back: refuse late arrivals
+	}
 	if a.arrived[key] {
 		a.mu.Unlock()
 		return // duplicate transfer
@@ -603,9 +739,9 @@ func (a *AdminComponent) handleTransfer(tp TransferPayload) {
 	if err := a.arch.Weld(tp.Comp, a.cfg.Bus); err != nil {
 		return
 	}
-	if bus := a.arch.Connector(a.cfg.Bus); bus != nil {
-		bus.Release(tp.Comp, true)
-	}
+	// The arrival stays held (its buffered traffic undelivered) until the
+	// wave commits: an aborted wave must be able to evict it without the
+	// component ever having observed an event here.
 	if prog != nil {
 		a.mu.Lock()
 		prog.received++
@@ -634,6 +770,11 @@ func (a *AdminComponent) maybeDone(coordinator model.HostID, epoch int) {
 		coord = a.cfg.Deployer
 	}
 	a.mu.Unlock()
+	a.sendDone(coord, epoch, received, relayed)
+}
+
+// sendDone reports this host's completion of an epoch to its coordinator.
+func (a *AdminComponent) sendDone(coord model.HostID, epoch, received, relayed int) {
 	_ = a.sendControl(coord, Event{
 		Name:   EvDone,
 		Target: DeployerID,
@@ -642,4 +783,129 @@ func (a *AdminComponent) maybeDone(coordinator model.HostID, epoch int) {
 		},
 		SizeKB: 0.5,
 	})
+}
+
+// handleOutcome applies a wave's commit/abort decision (phase two of the
+// two-phase migration) and acknowledges it. Application is idempotent —
+// outcomes are re-broadcast until acked, and faulty links can duplicate
+// frames — and the ack is always sent, since a lost ack means the
+// coordinator will ask again.
+func (a *AdminComponent) handleOutcome(out WaveOutcome) {
+	coord := out.Coordinator
+	if coord == "" {
+		coord = a.cfg.Deployer
+	}
+	ck := epochKey(coord, out.Epoch)
+	if out.Commit {
+		a.commitWave(ck)
+	} else {
+		a.abortWave(ck)
+	}
+	_ = a.sendControl(coord, Event{
+		Name:    EvOutcomeAck,
+		Target:  DeployerID,
+		Payload: OutcomeAck{Epoch: out.Epoch, Host: a.arch.Host()},
+		SizeKB:  0.2,
+	})
+}
+
+// commitWave finalizes a wave locally: sources discard their prepared
+// instances and relay traffic buffered during detachment to each
+// component's new host; destinations release the arrivals' held traffic.
+func (a *AdminComponent) commitWave(ck string) {
+	prefix := ck + "/"
+	a.mu.Lock()
+	var preps []*preparedComp
+	for key, p := range a.prepared {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			preps = append(preps, p)
+			delete(a.prepared, key)
+		}
+	}
+	for key := range a.shipped {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			delete(a.shipped, key)
+		}
+	}
+	prog := a.expect[ck]
+	var arrivals map[string]model.HostID
+	if prog != nil && prog.outcome == outcomePending {
+		prog.outcome = outcomeCommitted
+		arrivals = prog.arrivals
+	}
+	a.mu.Unlock()
+
+	for _, p := range preps {
+		for _, w := range p.welds {
+			if conn := a.arch.Connector(w); conn != nil {
+				a.relayHeld(conn, p.id, p.requester)
+			}
+		}
+	}
+	bus := a.arch.Connector(a.cfg.Bus)
+	for comp := range arrivals {
+		if bus != nil {
+			bus.Release(comp, true)
+		}
+	}
+}
+
+// abortWave rolls a wave back locally: sources reattach their prepared
+// components and release the buffered traffic to them; destinations evict
+// uncommitted arrivals and bounce buffered traffic back to the (still
+// authoritative) source host.
+func (a *AdminComponent) abortWave(ck string) {
+	prefix := ck + "/"
+	a.mu.Lock()
+	if a.aborted[ck] {
+		a.mu.Unlock()
+		return // already rolled back; the caller still re-acks
+	}
+	a.aborted[ck] = true
+	// A late reconfig for an aborted wave must not restart it.
+	a.epochSeen[ck] = true
+	var preps []*preparedComp
+	for key, p := range a.prepared {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			preps = append(preps, p)
+			delete(a.prepared, key)
+		}
+	}
+	for key := range a.shipped {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			delete(a.shipped, key)
+		}
+	}
+	prog := a.expect[ck]
+	var arrivals map[string]model.HostID
+	arrived := make(map[string]bool)
+	if prog != nil && prog.outcome == outcomePending {
+		prog.outcome = outcomeAborted
+		arrivals = prog.arrivals
+		for comp := range arrivals {
+			arrived[comp] = a.arrived[prefix+comp]
+		}
+	}
+	a.mu.Unlock()
+
+	for _, p := range preps {
+		if err := a.arch.AddComponent(p.comp); err != nil {
+			continue
+		}
+		for _, w := range p.welds {
+			_ = a.arch.Weld(p.id, w)
+			if conn := a.arch.Connector(w); conn != nil {
+				conn.Release(p.id, true)
+			}
+		}
+	}
+	bus := a.arch.Connector(a.cfg.Bus)
+	for comp, src := range arrivals {
+		if arrived[comp] {
+			_, _ = a.arch.RemoveComponent(comp)
+		}
+		if bus != nil {
+			a.relayHeld(bus, comp, src)
+		}
+	}
 }

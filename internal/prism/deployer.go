@@ -39,14 +39,19 @@ type epochState struct {
 	doneCh       chan struct{}
 	relayed      int
 	received     int
+	// participants are every host the wave touches (sources and
+	// destinations) — the audience of the commit/abort broadcast.
+	participants map[model.HostID]bool
+	// ackPending tracks outstanding outcome acknowledgements during phase
+	// two; ackCh is signalled as they arrive.
+	ackPending map[model.HostID]bool
+	ackCh      chan struct{}
 }
 
 // NewDeployerComponent builds a deployer for the master architecture.
 func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponent {
 	registerPayloadsOnce.Do(registerControlPayloads)
-	if cfg.SendAttempts <= 0 {
-		cfg.SendAttempts = DefaultSendAttempts
-	}
+	cfg = cfg.withDefaults()
 	return &DeployerComponent{
 		BaseComponent: NewBaseComponent(DeployerID),
 		arch:          arch,
@@ -138,6 +143,20 @@ func (d *DeployerComponent) Handle(e Event) {
 			}
 		}
 		d.mu.Unlock()
+	case EvOutcomeAck:
+		ack, ok := e.Payload.(OutcomeAck)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		if st, exists := d.epochs[ack.Epoch]; exists && st.ackPending != nil && st.ackPending[ack.Host] {
+			delete(st.ackPending, ack.Host)
+			select {
+			case st.ackCh <- struct{}{}:
+			default:
+			}
+		}
+		d.mu.Unlock()
 	}
 }
 
@@ -204,16 +223,36 @@ func (d *DeployerComponent) snapshotReports() map[model.HostID]MonitoringReport 
 
 // EnactResult summarizes a completed redeployment wave.
 type EnactResult struct {
-	Epoch      int
-	Moved      int
+	Epoch int
+	Moved int
+	// Received sums the destination admins' reconstitution counts; a
+	// fully successful wave has Received == Moved.
+	Received   int
 	Relayed    int
 	Incomplete []model.HostID // hosts that never reported done (timeout)
+	// Committed reports whether phase two committed the wave; false means
+	// it was rolled back (or the rollback broadcast was at least
+	// attempted).
+	Committed bool
+	// Degraded flags waves whose done reports do not account for every
+	// move, or that left hosts incomplete — partial outcomes worth
+	// surfacing even when Enact returns no error.
+	Degraded bool
 }
 
 // Enact distributes a redeployment wave: moves maps each migrating
 // component to its destination host; current describes where every
-// component lives now. It blocks until every receiving host reports done
-// or the timeout expires.
+// component lives now.
+//
+// The wave runs as a two-phase migration. Phase one: each destination is
+// told its arrivals (EvReconfig, re-dispatched to unresponsive hosts
+// every EnactResendInterval unless retries are disabled), fetches them,
+// and reports done; sources only *prepare* departures. Phase two: once
+// every destination reported done — or the deadline expired — the
+// outcome (commit or abort) is broadcast to every participating host and
+// re-sent until acknowledged, so a failed transfer never strands a
+// component: aborted sources reattach their prepared instances and
+// aborted destinations evict uncommitted arrivals.
 func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[string]model.HostID, timeout time.Duration) (EnactResult, error) {
 	d.mu.Lock()
 	epoch := d.nextEpoch
@@ -238,43 +277,172 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		res.Moved++
 	}
 	if res.Moved == 0 {
+		res.Committed = true
 		return res, nil
 	}
 
 	st := &epochState{
 		pendingHosts: make(map[model.HostID]bool, len(arrivals)),
 		doneCh:       make(chan struct{}),
+		participants: make(map[model.HostID]bool),
 	}
-	for dst := range arrivals {
+	cmds := make(map[model.HostID]Event, len(arrivals))
+	dsts := make([]model.HostID, 0, len(arrivals))
+	for dst, arr := range arrivals {
 		st.pendingHosts[dst] = true
+		st.participants[dst] = true
+		for _, src := range arr {
+			st.participants[src] = true
+		}
+		cmds[dst] = Event{
+			Name: EvReconfig, Target: AdminID, SizeKB: 1,
+			Payload: ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host()},
+		}
+		dsts = append(dsts, dst)
 	}
+	sortHostIDs(dsts)
 	d.mu.Lock()
 	d.epochs[epoch] = st
 	d.mu.Unlock()
 
-	for dst, arr := range arrivals {
-		cmd := ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host()}
-		if err := d.sendControl(dst, Event{Name: EvReconfig, Target: AdminID, Payload: cmd, SizeKB: 1}); err != nil {
-			return res, err
+	retry := !d.cfg.Retry.Disabled
+	var dispatchErr error
+	for _, dst := range dsts {
+		if err := d.sendControl(dst, cmds[dst]); err != nil {
+			dispatchErr = err
+			if !retry {
+				break
+			}
+			// With retries enabled the host stays pending; the resend
+			// loop below keeps trying within the deadline.
 		}
+	}
+	if dispatchErr != nil && !retry {
+		// Without retries the wave cannot complete. Tear the epoch state
+		// down (no leaked doneCh waiters) and name every host that will
+		// not finish — including ones already dispatched — then attempt a
+		// single-shot rollback so reachable participants clean up.
+		d.broadcastOutcome(epoch, st, false)
+		d.mu.Lock()
+		for h := range st.pendingHosts {
+			res.Incomplete = append(res.Incomplete, h)
+		}
+		delete(d.epochs, epoch)
+		d.mu.Unlock()
+		sortHostIDs(res.Incomplete)
+		res.Degraded = true
+		return res, fmt.Errorf("enact epoch %d: dispatch failed: %w", epoch, dispatchErr)
 	}
 
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
-	select {
-	case <-st.doneCh:
-	case <-deadline.C:
+	completed := false
+	if retry {
+		resend := time.NewTicker(d.cfg.EnactResendInterval)
+		defer resend.Stop()
+	wait:
+		for {
+			select {
+			case <-st.doneCh:
+				completed = true
+				break wait
+			case <-deadline.C:
+				break wait
+			case <-resend.C:
+				// Re-issue the command to every host still pending: the
+				// receiving admin dedups by epoch and re-reports done if
+				// its earlier report was lost.
+				d.mu.Lock()
+				pend := make([]model.HostID, 0, len(st.pendingHosts))
+				for h := range st.pendingHosts {
+					pend = append(pend, h)
+				}
+				d.mu.Unlock()
+				sortHostIDs(pend)
+				for _, h := range pend {
+					_ = d.sendControl(h, cmds[h])
+				}
+			}
+		}
+	} else {
+		select {
+		case <-st.doneCh:
+			completed = true
+		case <-deadline.C:
+		}
 	}
+
+	d.broadcastOutcome(epoch, st, completed)
+
 	d.mu.Lock()
 	for h := range st.pendingHosts {
 		res.Incomplete = append(res.Incomplete, h)
 	}
 	res.Relayed = st.relayed
+	res.Received = st.received
 	delete(d.epochs, epoch)
 	d.mu.Unlock()
-	if len(res.Incomplete) > 0 {
-		return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v",
+	sortHostIDs(res.Incomplete)
+	res.Committed = completed
+	res.Degraded = res.Received != res.Moved || len(res.Incomplete) > 0
+	if !completed {
+		return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v (wave rolled back)",
 			epoch, len(res.Incomplete), timeout)
 	}
 	return res, nil
+}
+
+// broadcastOutcome drives phase two: it tells every participant to commit
+// or roll back and — unless retries are disabled — re-sends the outcome
+// until each host acknowledges or the ack budget expires. It returns the
+// number of participants that acknowledged.
+func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit bool) int {
+	e := Event{
+		Name: EvOutcome, Target: AdminID, SizeKB: 0.3,
+		Payload: WaveOutcome{Epoch: epoch, Coordinator: d.arch.Host(), Commit: commit},
+	}
+	parts := make([]model.HostID, 0, len(st.participants))
+	d.mu.Lock()
+	st.ackPending = make(map[model.HostID]bool, len(st.participants))
+	st.ackCh = make(chan struct{}, 1)
+	for h := range st.participants {
+		parts = append(parts, h)
+		st.ackPending[h] = true
+	}
+	d.mu.Unlock()
+	sortHostIDs(parts)
+	for _, h := range parts {
+		_ = d.sendControl(h, e)
+	}
+	if d.cfg.Retry.Disabled {
+		d.mu.Lock()
+		n := len(parts) - len(st.ackPending)
+		d.mu.Unlock()
+		return n
+	}
+	budget := time.NewTimer(d.cfg.OutcomeAckTimeout)
+	defer budget.Stop()
+	resend := time.NewTicker(d.cfg.EnactResendInterval)
+	defer resend.Stop()
+	for {
+		d.mu.Lock()
+		remaining := make([]model.HostID, 0, len(st.ackPending))
+		for h := range st.ackPending {
+			remaining = append(remaining, h)
+		}
+		d.mu.Unlock()
+		if len(remaining) == 0 {
+			return len(parts)
+		}
+		sortHostIDs(remaining)
+		select {
+		case <-st.ackCh:
+		case <-resend.C:
+			for _, h := range remaining {
+				_ = d.sendControl(h, e)
+			}
+		case <-budget.C:
+			return len(parts) - len(remaining)
+		}
+	}
 }

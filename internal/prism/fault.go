@@ -1,0 +1,183 @@
+package prism
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+)
+
+// FaultTransport decorates any Transport (simulated or TCP) with seeded,
+// configurable fault injection — silent frame drops, delivery delay,
+// duplicate delivery, and per-peer partitions — so the middleware's
+// dependability claims are testable against the exact failure modes the
+// paper's target environment exhibits (DSN'04 §3.1: unreliable wireless
+// links, hosts that become temporarily unreachable).
+//
+// Drops are silent: Send reports success and the frame evaporates, like
+// wireless loss the sender cannot observe. Per-hop retry loops never see
+// an error, so the end-to-end retransmission layers (fetch retries,
+// reconfig re-dispatch, outcome re-broadcast) have to earn their keep.
+// Partitions, by contrast, are observable: Send fails fast, like an
+// unreachable peer, and inbound frames from the partitioned peer are
+// discarded too.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[model.HostID]bool
+	stats       FaultStats
+	closed      bool
+
+	// wg tracks in-flight delayed deliveries so Close can drain them.
+	wg sync.WaitGroup
+}
+
+// FaultConfig tunes the injected fault mix. All rates are probabilities
+// in [0, 1]; the zero value injects nothing.
+type FaultConfig struct {
+	// Seed drives the fault process deterministically.
+	Seed int64
+	// DropRate silently discards outbound frames.
+	DropRate float64
+	// DupRate delivers outbound frames twice.
+	DupRate float64
+	// DelayRate holds outbound frames back for Delay before delivering
+	// them asynchronously (reordering them past later sends).
+	DelayRate float64
+	Delay     time.Duration
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Sent       int // Send calls that were not blocked by a partition
+	Dropped    int
+	Duplicated int
+	Delayed    int
+	Blocked    int // frames suppressed by a partition (either direction)
+}
+
+// ErrPeerPartitioned is returned by Send while an injected partition
+// separates this transport from the destination peer.
+var ErrPeerPartitioned = errors.New("prism: peer partitioned (injected)")
+
+var _ Transport = (*FaultTransport)(nil)
+
+// NewFaultTransport wraps inner with fault injection.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		inner:       inner,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		partitioned: make(map[model.HostID]bool),
+	}
+}
+
+// Host implements Transport.
+func (f *FaultTransport) Host() model.HostID { return f.inner.Host() }
+
+// Peers implements Transport. Partitioned peers stay listed: a partition
+// models an unreachable host, not a topology change, so senders keep
+// trying the direct path and ride out the outage via retries.
+func (f *FaultTransport) Peers() []model.HostID { return f.inner.Peers() }
+
+// SetReceiver implements Transport, interposing the inbound half of any
+// active partition.
+func (f *FaultTransport) SetReceiver(recv func(from model.HostID, data []byte)) {
+	f.inner.SetReceiver(func(from model.HostID, data []byte) {
+		f.mu.Lock()
+		blocked := f.partitioned[from]
+		if blocked {
+			f.stats.Blocked++
+		}
+		f.mu.Unlock()
+		if blocked || recv == nil {
+			return
+		}
+		recv(from, data)
+	})
+}
+
+// Send implements Transport, applying the configured fault mix.
+func (f *FaultTransport) Send(to model.HostID, data []byte, sizeKB float64) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("prism: fault transport closed")
+	}
+	if f.partitioned[to] {
+		f.stats.Blocked++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrPeerPartitioned, to)
+	}
+	f.stats.Sent++
+	drop := f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate
+	dup := f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate
+	delay := f.cfg.DelayRate > 0 && f.cfg.Delay > 0 && f.rng.Float64() < f.cfg.DelayRate
+	switch {
+	case drop:
+		f.stats.Dropped++
+	case delay:
+		f.stats.Delayed++
+		f.wg.Add(1)
+	case dup:
+		f.stats.Duplicated++
+	}
+	f.mu.Unlock()
+
+	if drop {
+		return nil // silent loss: the sender believes it succeeded
+	}
+	if delay {
+		d := f.cfg.Delay
+		go func() {
+			defer f.wg.Done()
+			time.Sleep(d)
+			_ = f.inner.Send(to, data, sizeKB)
+		}()
+		return nil
+	}
+	err := f.inner.Send(to, data, sizeKB)
+	if err == nil && dup {
+		_ = f.inner.Send(to, data, sizeKB)
+	}
+	return err
+}
+
+// Partition opens (on=true) or heals (on=false) an injected partition
+// between this host and peer, in both directions.
+func (f *FaultTransport) Partition(peer model.HostID, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if on {
+		f.partitioned[peer] = true
+	} else {
+		delete(f.partitioned, peer)
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultTransport) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close implements Transport: drains delayed deliveries, then closes the
+// wrapped transport.
+func (f *FaultTransport) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.wg.Wait()
+	return f.inner.Close()
+}

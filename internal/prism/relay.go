@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dif/internal/model"
 )
@@ -72,11 +74,13 @@ type controlSender struct {
 	cfg   AdminConfig
 	from  string // component ID stamped as sender
 	relay *relayState
+	// seq numbers backoff sleeps for deterministic jitter.
+	seq atomic.Uint64
 }
 
 func newControlSender(arch *Architecture, cfg AdminConfig, from string) *controlSender {
 	registerPayloadsOnce.Do(registerControlPayloads)
-	return &controlSender{arch: arch, cfg: cfg, from: from, relay: newRelayState()}
+	return &controlSender{arch: arch, cfg: cfg.withDefaults(), from: from, relay: newRelayState()}
 }
 
 // send delivers a control event to a host: locally, directly, or via
@@ -117,16 +121,53 @@ func (cs *controlSender) isPeer(dc *DistributionConnector, h model.HostID) bool 
 }
 
 // sendDirect retries a lossy link until the frame gets through or the
-// attempt budget is spent.
+// attempt budget is spent, with capped exponential backoff and
+// deterministic jitter between attempts so simultaneous senders desync.
 func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string) error {
+	attempts := cs.cfg.SendAttempts
+	if cs.cfg.Retry.Disabled {
+		attempts = 1
+	}
 	var lastErr error
-	for i := 0; i < cs.cfg.SendAttempts; i++ {
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(cs.backoff(i - 1))
+		}
 		if lastErr = dc.Transport().Send(to, data, sizeKB); lastErr == nil {
 			return nil
 		}
 	}
 	return fmt.Errorf("%s %s → %s: %s undeliverable after %d attempts: %w",
-		cs.from, cs.arch.Host(), to, name, cs.cfg.SendAttempts, lastErr)
+		cs.from, cs.arch.Host(), to, name, attempts, lastErr)
+}
+
+// backoff returns the delay before retry attempt+1: an exponential ramp
+// from BaseDelay capped at MaxDelay, jittered into [delay/2, delay] by a
+// splitmix64 hash of the policy seed and a per-sender sleep counter —
+// deterministic for a fixed seed, yet different across senders.
+func (cs *controlSender) backoff(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := cs.cfg.Retry.BaseDelay << uint(attempt)
+	if d <= 0 || d > cs.cfg.Retry.MaxDelay {
+		d = cs.cfg.Retry.MaxDelay
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	j := splitmix64(uint64(cs.cfg.Retry.Seed)*0x9e3779b97f4a7c15 + cs.seq.Add(1))
+	return half + time.Duration(j%uint64(half)+1)
+}
+
+// splitmix64 is the standard 64-bit finalizer used for cheap seeded
+// hashing (same construction as the parallel-search seed derivation).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // sendRelayed floods a relay envelope to every peer (except the one the

@@ -27,9 +27,12 @@ type TCPTransport struct {
 	host model.HostID
 	ln   net.Listener
 
-	mu     sync.Mutex
-	peers  map[model.HostID]string // peer → address
-	conns  map[model.HostID]*tcpConn
+	mu    sync.Mutex
+	peers map[model.HostID]string // peer → address
+	conns map[model.HostID]*tcpConn
+	// socks tracks every live socket — registered or not — so Close can
+	// unblock readLoops parked on connections that never sent a frame.
+	socks  map[net.Conn]struct{}
 	recv   func(from model.HostID, data []byte)
 	closed bool
 	wg     sync.WaitGroup
@@ -39,6 +42,9 @@ type tcpConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	mu   sync.Mutex
+	// dialed distinguishes our outbound dials from accepted inbound
+	// connections when resolving simultaneous-dial duels.
+	dialed bool
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -55,6 +61,7 @@ func NewTCPTransport(host model.HostID, addr string) (*TCPTransport, error) {
 		ln:    ln,
 		peers: make(map[model.HostID]string),
 		conns: make(map[model.HostID]*tcpConn),
+		socks: make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
 	go t.accept()
@@ -146,7 +153,7 @@ func (t *TCPTransport) connTo(to model.HostID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp dial %s: %w", to, err)
 	}
-	c := &tcpConn{conn: raw, enc: gob.NewEncoder(raw)}
+	c := &tcpConn{conn: raw, enc: gob.NewEncoder(raw), dialed: true}
 	// Introduce ourselves, then read frames coming back on this
 	// connection too (connections are bidirectional).
 	c.mu.Lock()
@@ -157,14 +164,33 @@ func (t *TCPTransport) connTo(to model.HostID) (*tcpConn, error) {
 		return nil, fmt.Errorf("tcp hello to %s: %w", to, err)
 	}
 	t.mu.Lock()
-	if existing, ok := t.conns[to]; ok {
+	if t.closed {
 		t.mu.Unlock()
 		raw.Close()
-		return existing, nil
+		return nil, errors.New("tcp transport closed")
+	}
+	var loser net.Conn
+	if existing, ok := t.conns[to]; ok {
+		if existing.dialed || t.host > to {
+			// Another local dial already won, or the duel rule says the
+			// peer (lower host) keeps its dial: yield to the registered
+			// connection.
+			t.mu.Unlock()
+			raw.Close()
+			return existing, nil
+		}
+		// Crossed simultaneous dials and we are the lower host: our dial
+		// is canonical on both sides. Retire the inbound connection — its
+		// readLoop exits on the closed socket and unregisters it.
+		loser = existing.conn
 	}
 	t.conns[to] = c
+	t.socks[raw] = struct{}{}
+	t.wg.Add(1) // under mu so Close's Wait cannot start mid-Add
 	t.mu.Unlock()
-	t.wg.Add(1)
+	if loser != nil {
+		loser.Close()
+	}
 	go t.readLoop(raw)
 	return c, nil
 }
@@ -185,16 +211,38 @@ func (t *TCPTransport) accept() {
 		if err != nil {
 			return // listener closed
 		}
-		t.wg.Add(1)
+		t.mu.Lock()
+		if t.closed {
+			// Raced past Close: drop the socket instead of leaking a
+			// readLoop no one will ever wait for.
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.socks[conn] = struct{}{}
+		t.wg.Add(1) // under mu so Close's Wait cannot start mid-Add
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
 // readLoop decodes frames from one connection. The first frame from a
-// given host also registers the connection for replies.
+// given host also registers the connection for replies; on exit the
+// connection is unregistered so later sends redial instead of writing to
+// a dead encoder.
 func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	defer func() {
+		t.mu.Lock()
+		delete(t.socks, conn)
+		for h, c := range t.conns {
+			if c.conn == conn {
+				delete(t.conns, h)
+			}
+		}
+		t.mu.Unlock()
+		conn.Close()
+	}()
 	dec := gob.NewDecoder(conn)
 	var registered model.HostID
 	for {
@@ -205,10 +253,24 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if registered == "" && frame.From != "" {
 			registered = frame.From
 			t.mu.Lock()
-			if _, ok := t.conns[frame.From]; !ok {
+			existing, ok := t.conns[frame.From]
+			switch {
+			case !ok:
 				t.conns[frame.From] = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+				t.mu.Unlock()
+			case existing.conn != conn && existing.dialed && frame.From < t.host:
+				// Crossed simultaneous dials: the lower host's dial is
+				// canonical, and this inbound connection is it. Retire our
+				// own dial; its readLoop unregisters it on the closed
+				// socket. (A peer replying on our own dialed socket lands
+				// here with existing.conn == conn — that is not a duel and
+				// the registration must stand.)
+				t.conns[frame.From] = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+				t.mu.Unlock()
+				existing.conn.Close()
+			default:
+				t.mu.Unlock()
 			}
-			t.mu.Unlock()
 		}
 		if frame.Data == nil {
 			continue // hello frame
@@ -222,8 +284,8 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-// Close implements Transport: stops accepting, closes every connection,
-// and waits for reader goroutines to exit.
+// Close implements Transport: stops accepting, closes every live socket
+// (registered or not), and waits for reader goroutines to exit.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -231,16 +293,16 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*tcpConn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	socks := make([]net.Conn, 0, len(t.socks))
+	for c := range t.socks {
+		socks = append(socks, c)
 	}
 	t.conns = make(map[model.HostID]*tcpConn)
 	t.mu.Unlock()
 
 	t.ln.Close()
-	for _, c := range conns {
-		c.conn.Close()
+	for _, c := range socks {
+		c.Close()
 	}
 	t.wg.Wait()
 	return nil

@@ -1,6 +1,7 @@
 package prism
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +43,12 @@ func (s *frameSink) count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.frames)
+}
+
+func (s *frameSink) all() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.frames...)
 }
 
 func TestTCPTransportRoundTrip(t *testing.T) {
@@ -199,5 +206,188 @@ func TestMigrationOverTCP(t *testing.T) {
 	waitFor(t, func() bool { return archM.Component("c1") != nil })
 	if got := archM.Component("c1").(*counterComponent).value(); got != 99 {
 		t.Fatalf("state over tcp = %d, want 99", got)
+	}
+}
+
+// --- Lifecycle tests (run these under -race) ---
+
+func TestTCPTransportConcurrentSendHelloClose(t *testing.T) {
+	a, b := newTCPPair(t)
+	sink := &frameSink{}
+	b.SetReceiver(sink.recv)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Errors are expected once Close lands mid-loop; the point
+				// is that nothing races, panics, or deadlocks.
+				_ = a.Send("hostB", []byte("x"), 1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = b.Hello("hostA")
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+		_ = a.Close()
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Send/Hello/Close deadlocked")
+	}
+	if err := a.Send("hostB", []byte("x"), 1); err == nil {
+		t.Fatal("send after Close succeeded")
+	}
+}
+
+func TestTCPTransportCrossedDials(t *testing.T) {
+	a, b := newTCPPair(t)
+	sinkA, sinkB := &frameSink{}, &frameSink{}
+	a.SetReceiver(sinkA.recv)
+	b.SetReceiver(sinkB.recv)
+
+	// Dial each other simultaneously to provoke the duel.
+	var wg sync.WaitGroup
+	for _, tr := range []*TCPTransport{a, b} {
+		wg.Add(1)
+		go func(tr *TCPTransport) {
+			defer wg.Done()
+			peer := model.HostID("hostB")
+			if tr.Host() == "hostB" {
+				peer = "hostA"
+			}
+			_ = tr.Hello(peer)
+		}(tr)
+	}
+	wg.Wait()
+
+	// Whatever the duel resolved to, traffic must flow both ways on live
+	// encoders — a registered-but-dead conn would error or lose frames.
+	for i := 0; i < 10; i++ {
+		if err := a.Send("hostB", []byte("ab"), 1); err != nil {
+			t.Fatalf("a→b after crossed dials: %v", err)
+		}
+		if err := b.Send("hostA", []byte("ba"), 1); err != nil {
+			t.Fatalf("b→a after crossed dials: %v", err)
+		}
+	}
+	waitFor(t, func() bool { return len(sinkB.all()) == 10 && len(sinkA.all()) == 10 })
+
+	// The duel must converge to a single registered conn per peer and no
+	// leaked unregistered sockets beyond it.
+	waitFor(t, func() bool {
+		for _, tr := range []*TCPTransport{a, b} {
+			tr.mu.Lock()
+			conns, socks := len(tr.conns), len(tr.socks)
+			tr.mu.Unlock()
+			if conns != 1 || socks > 2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestTCPTransportReplyDoesNotKillDialedConn(t *testing.T) {
+	// The agent→deployer shape: the higher-named host dials the lower one,
+	// and the lower host replies over the inbound connection. The reply's
+	// first frame arrives on the dialer's own socket with From < host —
+	// which must NOT be mistaken for a crossed-dial duel (that bug closed
+	// the live socket on every reply, severing the deployer's only path
+	// back to its agents).
+	a, b := newTCPPair(t) // hostA < hostB
+	sinkA, sinkB := &frameSink{}, &frameSink{}
+	a.SetReceiver(sinkA.recv)
+	b.SetReceiver(sinkB.recv)
+
+	if err := b.Send("hostA", []byte("join"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sinkA.count() == 1 })
+	b.mu.Lock()
+	before := b.conns["hostA"]
+	b.mu.Unlock()
+	if before == nil {
+		t.Fatal("dialed conn not registered")
+	}
+
+	if err := a.Send("hostB", []byte("reply"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sinkB.count() == 1 })
+	time.Sleep(50 * time.Millisecond) // let any misfired close propagate
+
+	b.mu.Lock()
+	after := b.conns["hostA"]
+	b.mu.Unlock()
+	if after == nil || after.conn != before.conn {
+		t.Fatal("reply on the dialed socket churned the registered conn")
+	}
+	// a's inbound registration must also have survived, so a can keep
+	// initiating traffic without b redialing.
+	for i := 0; i < 5; i++ {
+		if err := a.Send("hostB", []byte("more"), 1); err != nil {
+			t.Fatalf("a→b after reply: %v", err)
+		}
+	}
+	waitFor(t, func() bool { return sinkB.count() == 6 })
+}
+
+func TestTCPTransportReceiverRegisteredAfterFrames(t *testing.T) {
+	a, b := newTCPPair(t)
+	// Frames sent before the receiver exists are dropped by design; the
+	// transport must stay healthy and deliver everything sent afterward.
+	if err := a.Send("hostB", []byte("early"), 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	sink := &frameSink{}
+	b.SetReceiver(sink.recv)
+	for i := 0; i < 5; i++ {
+		if err := a.Send("hostB", []byte("late"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(sink.all()) == 5 })
+	for _, f := range sink.all() {
+		if f != "late" {
+			t.Fatalf("received pre-receiver frame %q", f)
+		}
+	}
+}
+
+func TestTCPTransportCloseWithIdleInboundConn(t *testing.T) {
+	a, err := NewTCPTransport("hostA", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A raw client that connects but never sends a frame: its readLoop
+	// blocks in Decode with nothing registered. Close must still reap it.
+	raw, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	time.Sleep(20 * time.Millisecond) // let accept() hand it to a readLoop
+
+	done := make(chan struct{})
+	go func() { _ = a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on an idle inbound connection")
 	}
 }
