@@ -14,10 +14,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-detect the concurrent hot paths: the middleware and its
-# transports, the netsim fabric, the parallel search algorithms, and the
-# delta evaluators they drive.
+# transports, the netsim fabric, the parallel search algorithms, the
+# delta evaluators they drive, and the framework's crash-recovery drills.
 test-race:
-	$(GO) test -race ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/...
+	$(GO) test -race ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/...
 
 race: test-race
 

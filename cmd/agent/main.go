@@ -6,6 +6,12 @@
 // Usage:
 //
 //	agent -host troop1 -master-host hq -master 127.0.0.1:7000 [-duration 30s]
+//
+// With -heartbeat the agent periodically announces liveness to the
+// deployer. The -churn-* flags run a crash/rejoin drill: the agent
+// kills its own process state after -churn-crash-after, stays dark for
+// -churn-downtime, then rejoins with a bumped incarnation — repeating
+// for -churn-cycles lifetimes.
 package main
 
 import (
@@ -26,6 +32,19 @@ func main() {
 	}
 }
 
+type agentConfig struct {
+	host       model.HostID
+	listen     string
+	masterHost model.HostID
+	masterAddr string
+	tick       time.Duration
+	heartbeat  time.Duration
+	faultDrop  float64
+	faultDup   float64
+	faultSeed  int64
+	noRetry    bool
+}
+
 func run() error {
 	host := flag.String("host", "", "this agent's host name (must match the architecture)")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
@@ -33,6 +52,11 @@ func run() error {
 	masterAddr := flag.String("master", "", "the deployer's TCP address")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	tick := flag.Duration("tick", 100*time.Millisecond, "application workload tick interval")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness heartbeat interval to the deployer (0 disables)")
+	incarnation := flag.Uint64("incarnation", 0, "starting incarnation number for this host")
+	churnCrashAfter := flag.Duration("churn-crash-after", 0, "self-crash after this long (0 disables the churn drill)")
+	churnDowntime := flag.Duration("churn-downtime", 2*time.Second, "dark time between churn lifetimes")
+	churnCycles := flag.Int("churn-cycles", 1, "crash/rejoin cycles to run before the final lifetime")
 	faultDrop := flag.Float64("fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
 	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
@@ -42,22 +66,58 @@ func run() error {
 		return fmt.Errorf("-host and -master are required")
 	}
 
-	tr, err := prism.NewTCPTransport(model.HostID(*host), *listen)
+	cfg := agentConfig{
+		host:       model.HostID(*host),
+		listen:     *listen,
+		masterHost: model.HostID(*masterHost),
+		masterAddr: *masterAddr,
+		tick:       *tick,
+		heartbeat:  *heartbeat,
+		faultDrop:  *faultDrop,
+		faultDup:   *faultDup,
+		faultSeed:  *faultSeed,
+		noRetry:    *noRetry,
+	}
+
+	if *churnCrashAfter <= 0 {
+		return lifetime(cfg, *incarnation, *duration)
+	}
+
+	// Churn drill: each lifetime ends in a simulated crash (abrupt
+	// teardown, no farewell), then the host resurrects with the next
+	// incarnation so the deployer's detector can tell rejoin from replay.
+	inc := *incarnation
+	for cycle := 0; cycle < *churnCycles; cycle++ {
+		if err := lifetime(cfg, inc, *churnCrashAfter); err != nil {
+			return fmt.Errorf("lifetime %d (incarnation %d): %w", cycle, inc, err)
+		}
+		fmt.Printf("agent %s crashed (incarnation %d); dark for %v\n", cfg.host, inc, *churnDowntime)
+		time.Sleep(*churnDowntime)
+		inc++
+	}
+	return lifetime(cfg, inc, *duration)
+}
+
+// lifetime runs one full up-phase of the agent: join, host components,
+// tick traffic, heartbeat, and tear everything down when the deadline
+// passes.
+func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error {
+	tr, err := prism.NewTCPTransport(cfg.host, cfg.listen)
 	if err != nil {
 		return err
 	}
 	// The bus sees the (optionally fault-injected) transport; Hello and
 	// Addr still go through the concrete TCP handle.
 	var busTr prism.Transport = tr
-	if *faultDrop > 0 || *faultDup > 0 {
+	if cfg.faultDrop > 0 || cfg.faultDup > 0 {
 		busTr = prism.NewFaultTransport(tr, prism.FaultConfig{
-			Seed: *faultSeed, DropRate: *faultDrop, DupRate: *faultDup,
+			Seed: cfg.faultSeed, DropRate: cfg.faultDrop, DupRate: cfg.faultDup,
 		})
 	}
 	defer busTr.Close()
-	tr.AddPeer(model.HostID(*masterHost), *masterAddr)
+	tr.AddPeer(cfg.masterHost, cfg.masterAddr)
 
-	arch := prism.NewArchitecture(model.HostID(*host), nil)
+	arch := prism.NewArchitecture(cfg.host, nil)
 	arch.Scaffold().Start(4)
 	defer arch.Shutdown()
 	if _, err := arch.AddDistributionConnector(framework.BusName, busTr); err != nil {
@@ -68,24 +128,30 @@ func run() error {
 		return framework.NewTrafficComponent(id)
 	})
 	admin, err := prism.InstallAdmin(arch, prism.AdminConfig{
-		Deployer: model.HostID(*masterHost),
-		Bus:      framework.BusName,
-		Registry: registry,
-		Retry:    prism.RetryPolicy{Disabled: *noRetry, Seed: *faultSeed},
+		Deployer:    cfg.masterHost,
+		Bus:         framework.BusName,
+		Registry:    registry,
+		Retry:       prism.RetryPolicy{Disabled: cfg.noRetry, Seed: cfg.faultSeed},
+		Incarnation: incarnation,
 	})
 	if err != nil {
 		return err
 	}
+	defer admin.Close()
 
 	// Introduce ourselves so the deployer sees this host as a peer.
-	if err := tr.Hello(model.HostID(*masterHost)); err != nil {
-		return fmt.Errorf("join %s: %w", *masterAddr, err)
+	if err := tr.Hello(cfg.masterHost); err != nil {
+		return fmt.Errorf("join %s: %w", cfg.masterAddr, err)
 	}
-	fmt.Printf("agent %s joined %s (%s); running %v\n", *host, *masterHost, *masterAddr, *duration)
+	fmt.Printf("agent %s joined %s (%s) incarnation %d; running %v\n",
+		cfg.host, cfg.masterHost, cfg.masterAddr, incarnation, duration)
+	if cfg.heartbeat > 0 {
+		admin.StartHeartbeats(cfg.heartbeat)
+	}
 
-	ticker := time.NewTicker(*tick)
+	ticker := time.NewTicker(cfg.tick)
 	defer ticker.Stop()
-	deadline := time.After(*duration)
+	deadline := time.After(duration)
 	for {
 		select {
 		case <-ticker.C:
@@ -96,7 +162,7 @@ func run() error {
 			}
 		case <-deadline:
 			rep := admin.Report(false)
-			fmt.Printf("agent %s exiting; hosting %v\n", *host, rep.Components)
+			fmt.Printf("agent %s exiting; hosting %v\n", cfg.host, rep.Components)
 			return nil
 		}
 	}

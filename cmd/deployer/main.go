@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"dif/internal/analyzer"
@@ -48,6 +50,10 @@ func run() error {
 	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
 	noRetry := flag.Bool("no-retry", false, "disable control-plane retransmission (single-shot sends)")
+	heartbeat := flag.Duration("heartbeat", 0, "enable liveness tracking of agent heartbeats (0 disables)")
+	detector := flag.String("detector", "lease", "failure detection policy: lease or phi")
+	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "lease policy: silence before a host is suspected")
+	deadAfter := flag.Duration("dead-after", 5*time.Second, "lease policy: silence before a host is declared dead")
 	flag.Parse()
 	if *archFile == "" || *host == "" {
 		return fmt.Errorf("-arch and -host are required")
@@ -105,6 +111,41 @@ func run() error {
 		return err
 	}
 
+	// Liveness: agent heartbeats feed a failure detector; HostDead
+	// transitions abort in-flight waves and trigger survivor replanning
+	// in the cycle loop below.
+	var fd *prism.FailureDetector
+	if *heartbeat > 0 {
+		var policy prism.SuspicionPolicy
+		switch *detector {
+		case "lease":
+			policy = prism.NewLeasePolicy(*suspectAfter, *deadAfter)
+		case "phi":
+			policy = prism.NewPhiAccrualPolicy(0, 0)
+		default:
+			return fmt.Errorf("unknown -detector %q (want lease or phi)", *detector)
+		}
+		fd = prism.NewFailureDetector(policy)
+		dep.AttachDetector(fd)
+	}
+	// Deaths are latched, not polled: a host that crashes and resurrects
+	// between cycles still lost its component instances, so the cycle
+	// loop must recover every death even when the detector has already
+	// moved the host back to up.
+	var deadMu sync.Mutex
+	pendingDead := make(map[model.HostID]bool)
+	if fd != nil {
+		fd.Subscribe(func(tr prism.Transition) {
+			fmt.Printf("liveness: %s %s -> %s (incarnation %d)\n",
+				tr.Host, tr.From, tr.To, tr.Incarnation)
+			if tr.To == prism.HostDead {
+				deadMu.Lock()
+				pendingDead[tr.Host] = true
+				deadMu.Unlock()
+			}
+		})
+	}
+
 	// Wait for every slave host to join.
 	slaves := make([]model.HostID, 0, len(sys.Hosts)-1)
 	for _, h := range sys.HostIDs() {
@@ -118,6 +159,29 @@ func run() error {
 		return err
 	}
 	fmt.Println("all agents joined")
+	if fd != nil {
+		for _, h := range slaves {
+			fd.Watch(h, time.Now())
+		}
+		// Detection must not be coupled to the monitoring cadence: a host
+		// that crashes and resurrects between cycles still has to pass
+		// through dead (and rejoin on a higher incarnation), and a host
+		// that dies mid-wave has to abort the wave promptly.
+		stopEval := make(chan struct{})
+		defer close(stopEval)
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fd.Evaluate()
+				case <-stopEval:
+					return
+				}
+			}
+		}()
+	}
 
 	// Instantiate every application component locally, then distribute
 	// them to their described hosts through the real migration protocol.
@@ -158,11 +222,91 @@ func run() error {
 	centralModel := sys.Clone()
 	anlz := analyzer.New(nil, analyzer.Policy{})
 	view := deployment.Clone()
+	en := &effector.PrismEnactor{Deployer: dep}
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		time.Sleep(*interval)
-		reports, err := dep.RequestReports(slaves, 30*time.Second)
+
+		// Out-of-band recovery: a host the detector declared dead is
+		// excluded from the model, its components are re-homed to the
+		// master's origin copies, and the survivors are replanned
+		// immediately — no hysteresis.
+		if fd != nil {
+			deadMu.Lock()
+			deaths := make([]model.HostID, 0, len(pendingDead))
+			for h := range pendingDead {
+				deaths = append(deaths, h)
+				delete(pendingDead, h)
+			}
+			deadMu.Unlock()
+			sort.Slice(deaths, func(i, j int) bool { return deaths[i] < deaths[j] })
+			for _, h := range deaths {
+				centralModel.SetHostDown(h, true)
+				// The dead host's instances died with it: re-create origin
+				// copies on the master so the recovery wave has something
+				// real to migrate.
+				for _, comp := range view.ComponentsOn(h) {
+					if arch.Component(string(comp)) == nil {
+						tc := framework.NewTrafficComponent(string(comp))
+						for _, link := range sys.InteractionsOf(comp) {
+							other := link.Components.A
+							if other == comp {
+								other = link.Components.B
+							}
+							tc.AddPartner(string(other), link.Frequency()/10, link.EventSize())
+						}
+						if err := arch.AddComponent(tc); err != nil {
+							return err
+						}
+						if err := arch.Weld(string(comp), framework.BusName); err != nil {
+							return err
+						}
+					}
+					view[comp] = master
+				}
+				dec, err := anlz.Recover(context.Background(), centralModel, view)
+				if err != nil {
+					return fmt.Errorf("recovery after %s died: %w", h, err)
+				}
+				plan, err := effector.ComputePlan(centralModel, view, dec.Result.Deployment)
+				if err != nil {
+					return fmt.Errorf("recovery plan after %s died: %w", h, err)
+				}
+				if !plan.Empty() {
+					if _, err := en.Enact(plan, 60*time.Second); err != nil {
+						return fmt.Errorf("recovery enact after %s died: %w", h, err)
+					}
+				}
+				view = dec.Result.Deployment.Clone()
+				fmt.Printf("recovered from %s: %s -> %.4f\n", h, dec.Algorithm, dec.Result.Score)
+			}
+			// A recovered host that heartbeats again (on a bumped
+			// incarnation) rejoins the model and the next planning round.
+			for _, h := range slaves {
+				if centralModel.HostDown(h) && fd.State(h) == prism.HostUp {
+					centralModel.SetHostDown(h, false)
+					fmt.Printf("host %s rejoined (incarnation %d)\n", h, fd.Incarnation(h))
+				}
+			}
+		}
+		live := make([]model.HostID, 0, len(slaves))
+		for _, h := range slaves {
+			if !centralModel.HostDown(h) {
+				live = append(live, h)
+			}
+		}
+		reportTimeout := 30 * time.Second
+		if fd != nil && 10**heartbeat < reportTimeout {
+			reportTimeout = 10 * *heartbeat
+		}
+		reports, err := dep.RequestReports(live, reportTimeout)
 		if err != nil {
-			return fmt.Errorf("cycle %d: %w", cycle, err)
+			// With liveness tracking on, a host dying during the report
+			// wait is expected churn, not a fatal monitoring failure: use
+			// whatever arrived and let the detector drive recovery.
+			if fd == nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			fmt.Printf("cycle %d: partial monitoring (%v)\n", cycle, err)
 		}
 		applier := monitor.NewApplier(centralModel, nil)
 		written := 0
@@ -186,7 +330,6 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		en := &effector.PrismEnactor{Deployer: dep}
 		enRep, err := en.Enact(plan, 60*time.Second)
 		if err != nil {
 			return fmt.Errorf("cycle %d enact: %w", cycle, err)

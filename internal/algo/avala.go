@@ -84,6 +84,9 @@ func (a *Avala) Run(ctx context.Context, s *model.System, initial model.Deployme
 		default:
 		}
 		h := nextBestHost(s, filled)
+		if h == "" {
+			break // every live host filled; stragglers go to repair
+		}
 		a.packHost(s, ds, check, allowed, h, d, used, unplaced, &res)
 		filled = append(filled, h)
 		if len(unplaced) == 0 {
@@ -212,7 +215,10 @@ func nextBestHost(s *model.System, filled []model.HostID) model.HostID {
 		isFilled[h] = true
 	}
 	if len(filled) == 0 {
-		return rankHosts(s)[0]
+		if ranked := rankHosts(s); len(ranked) > 0 {
+			return ranked[0]
+		}
+		return ""
 	}
 	maxBW, maxMem := 1.0, 1.0
 	for _, l := range s.Links {
@@ -228,7 +234,7 @@ func nextBestHost(s *model.System, filled []model.HostID) model.HostID {
 	var best model.HostID
 	bestScore := 0.0
 	first := true
-	for _, h := range s.HostIDs() {
+	for _, h := range s.UpHostIDs() {
 		if isFilled[h] {
 			continue
 		}
@@ -248,7 +254,7 @@ func nextBestHost(s *model.System, filled []model.HostID) model.HostID {
 // rankHosts orders hosts by descending (Σ reliability + Σ normalized
 // bandwidth + normalized memory), the paper's best-host criterion.
 func rankHosts(s *model.System) []model.HostID {
-	hosts := s.HostIDs()
+	hosts := s.UpHostIDs()
 	maxBW, maxMem := 1.0, 1.0
 	for _, l := range s.Links {
 		if bw := l.Bandwidth(); bw > maxBW {

@@ -45,6 +45,11 @@ type Config struct {
 	// CoordinationImplementation variation point); nil selects the
 	// published auction.
 	Coordination Coordination
+	// Exclude removes hosts from the protocol entirely: they neither
+	// auction nor bid, and no component migrates onto them. Hosts marked
+	// Down in the system model are always excluded, whether listed here
+	// or not — a dead host cannot participate in an auction.
+	Exclude map[model.HostID]bool
 }
 
 // Protocol tuning defaults.
@@ -124,7 +129,8 @@ func (a *DecAp) Run(ctx context.Context, s *model.System, initial model.Deployme
 	quant := objective.Availability{}
 	res.InitialScore = quant.Quantify(s, initial)
 
-	agents := buildAgents(s, aware)
+	excluded := a.excludedHosts(s)
+	agents := buildAgents(s, aware, excluded)
 	d := initial.Clone()
 
 	for round := 0; round < maxRounds; round++ {
@@ -165,11 +171,32 @@ func (a *DecAp) round(s *model.System, check algo.ConstraintChecker,
 	moved := false
 	for i := range hosts {
 		h := hosts[(i+roundNum)%len(hosts)]
-		if a.auctionHost(s, check, coord, agents, agents[h], d, stats, minGain) {
+		ag, ok := agents[h]
+		if !ok {
+			continue // excluded or dead: no auction from this host
+		}
+		if a.auctionHost(s, check, coord, agents, ag, d, stats, minGain) {
 			moved = true
 		}
 	}
 	return moved
+}
+
+// excludedHosts unions the configured exclusions with the hosts the
+// system model marks Down.
+func (a *DecAp) excludedHosts(s *model.System) map[model.HostID]bool {
+	out := make(map[model.HostID]bool, len(a.cfg.Exclude))
+	for h, ok := range a.cfg.Exclude {
+		if ok {
+			out[h] = true
+		}
+	}
+	for id, h := range s.Hosts {
+		if h.Down {
+			out[id] = true
+		}
+	}
+	return out
 }
 
 // auctionHost offers every component currently on the agent's host to
@@ -232,10 +259,19 @@ type agent struct {
 	knows     map[model.HostID]bool
 }
 
-func buildAgents(s *model.System, aware Awareness) map[model.HostID]*agent {
+func buildAgents(s *model.System, aware Awareness, excluded map[model.HostID]bool) map[model.HostID]*agent {
 	agents := make(map[model.HostID]*agent, len(s.Hosts))
 	for _, h := range s.HostIDs() {
-		nbs := aware.Neighbors(s, h)
+		if excluded[h] {
+			continue
+		}
+		raw := aware.Neighbors(s, h)
+		nbs := make([]model.HostID, 0, len(raw))
+		for _, nb := range raw {
+			if !excluded[nb] {
+				nbs = append(nbs, nb)
+			}
+		}
 		knows := make(map[model.HostID]bool, len(nbs)+1)
 		knows[h] = true
 		for _, nb := range nbs {

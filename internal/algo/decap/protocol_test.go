@@ -92,7 +92,7 @@ func TestAnnouncementCarriesInteractionProfile(t *testing.T) {
 func TestAgentContributionUsesLocalKnowledgeOnly(t *testing.T) {
 	s, d := buildTwoClusterSystem(t)
 	s.AddHost("h3", nil) // isolated host an agent cannot see
-	agents := buildAgents(s, LinkAwareness{})
+	agents := buildAgents(s, LinkAwareness{}, nil)
 	ag := agents["h1"]
 	ann := makeAnnouncement(s, "a1")
 	// a2 on h2 (known): contributes 10·rel(h1,h2)=5. Move a2 to the
@@ -111,7 +111,7 @@ func TestAgentContributionUsesLocalKnowledgeOnly(t *testing.T) {
 func TestBidRefusesOverCapacity(t *testing.T) {
 	s, d := buildTwoClusterSystem(t)
 	s.Hosts["h2"].Params.Set(model.ParamMemory, 20) // full with its 2 comps
-	agents := buildAgents(s, LinkAwareness{})
+	agents := buildAgents(s, LinkAwareness{}, nil)
 	ann := makeAnnouncement(s, "a1") // 10 KB
 	if _, ok := agents["h2"].bid(s, algo.SystemConstraints{}, ann, d); ok {
 		t.Fatal("full host placed a bid")
@@ -121,7 +121,7 @@ func TestBidRefusesOverCapacity(t *testing.T) {
 func TestBidRefusesConstraintViolations(t *testing.T) {
 	s, d := buildTwoClusterSystem(t)
 	s.Constraints.Pin("a1", "h1")
-	agents := buildAgents(s, LinkAwareness{})
+	agents := buildAgents(s, LinkAwareness{}, nil)
 	ann := makeAnnouncement(s, "a1")
 	if _, ok := agents["h2"].bid(s, algo.SystemConstraints{}, ann, d); ok {
 		t.Fatal("bid violating a location constraint accepted")

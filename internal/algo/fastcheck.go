@@ -53,6 +53,9 @@ func (mc *moveChecker) canMove(d model.Deployment, c model.ComponentID, to model
 	if !cs.Allows(c, to) {
 		return false
 	}
+	if mc.s.Hosts[to].Down {
+		return false
+	}
 	comp := mc.s.Components[c]
 	if cs.CheckMemory && mc.usedMem[to]+comp.Memory() > mc.s.Hosts[to].Memory() {
 		return false
@@ -78,6 +81,9 @@ func (mc *moveChecker) canMove(d model.Deployment, c model.ComponentID, to model
 func (mc *moveChecker) canSwap(d model.Deployment, c1 model.ComponentID, h1 model.HostID, c2 model.ComponentID, h2 model.HostID) bool {
 	cs := &mc.s.Constraints
 	if !cs.Allows(c1, h2) || !cs.Allows(c2, h1) {
+		return false
+	}
+	if mc.s.Hosts[h1].Down || mc.s.Hosts[h2].Down {
 		return false
 	}
 	m1 := mc.s.Components[c1].Memory()

@@ -86,7 +86,7 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 	}
 
 	comps := s.ComponentIDs()
-	hosts := s.HostIDs()
+	hosts := s.UpHostIDs()
 
 	// scoreAll evaluates deployments in parallel; results land at fixed
 	// indices so they are independent of worker scheduling. On

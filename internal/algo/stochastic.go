@@ -54,7 +54,7 @@ func (a *Stochastic) Run(ctx context.Context, s *model.System, initial model.Dep
 	}
 	check := cfg.checker()
 
-	hosts := s.HostIDs()
+	hosts := s.UpHostIDs()
 	comps := s.ComponentIDs()
 
 	var (

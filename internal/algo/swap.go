@@ -54,7 +54,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 	st := objective.BeginDelta(cfg.Objective, s, d)
 	best := st.Score()
 	comps := s.ComponentIDs()
-	hosts := s.HostIDs()
+	hosts := s.UpHostIDs()
 
 	// The incremental constraint checker is exact only for the stock
 	// constraint semantics; a custom checker gets the full Check per

@@ -186,6 +186,50 @@ func (a *Analyzer) Analyze(ctx context.Context, s *model.System, current model.D
 	return dec, nil
 }
 
+// Recover runs an out-of-band recovery round after a host death. Unlike
+// Analyze it bypasses the churn hysteresis and the latency guard: when
+// components have been lost with their host, any valid deployment on the
+// survivors beats waiting for the next periodic round, so the best
+// solution found is accepted unconditionally (it can only fail if no
+// valid deployment exists on the surviving hosts). The round is recorded
+// in the execution profile under the "+recovery" suffix.
+func (a *Analyzer) Recover(ctx context.Context, s *model.System, current model.Deployment) (Decision, error) {
+	// Recovery always runs the stable-regime algorithm at the full trial
+	// budget: the system just lost a host, and the quality of the replan
+	// determines availability until the host rejoins.
+	name := a.SelectAlgorithm(s, 1.0)
+	alg, err := a.registry.New(name)
+	if err != nil {
+		return Decision{}, err
+	}
+	cfg := algo.Config{
+		Objective: objective.Availability{},
+		Seed:      int64(len(a.snapshotHistory())) + 1,
+		Trials:    a.policy.StableTrials,
+	}
+	dec := Decision{Algorithm: name + "+recovery", Stability: 1.0, When: a.now()}
+	res, err := alg.Run(ctx, s, current, cfg)
+	if err != nil {
+		return dec, fmt.Errorf("analyzer: recovery %s: %w", name, err)
+	}
+	dec.Result = res
+	dec.LatencyBefore = objective.Latency{}.Quantify(s, current)
+	dec.LatencyAfter = objective.Latency{}.Quantify(s, res.Deployment)
+	dec.Accepted, dec.Reason = true, "recovery: accepted unconditionally"
+
+	a.mu.Lock()
+	a.history = append(a.history, Record{
+		When:         dec.When,
+		Availability: res.InitialScore,
+		Stability:    1.0,
+		Algorithm:    dec.Algorithm,
+		Accepted:     true,
+		Improvement:  res.Score - res.InitialScore,
+	})
+	a.mu.Unlock()
+	return dec, nil
+}
+
 // accept applies the improvement hysteresis and the latency guard.
 func (a *Analyzer) accept(res algo.Result, latBefore, latAfter float64) (bool, string) {
 	gain := res.Score - res.InitialScore

@@ -65,9 +65,16 @@ type CycleReport struct {
 }
 
 // Monitor runs the monitoring phase only: gather reports from every
-// slave and fold stable data into the centralized model.
+// live slave and fold stable data into the centralized model. Crashed
+// slaves are skipped outright rather than waited on.
 func (c *Centralized) Monitor() (int, int, error) {
-	reports, err := c.World.Deployer.RequestReports(c.World.SlaveHosts(), c.ReportTimeout)
+	var slaves []model.HostID
+	for _, h := range c.World.SlaveHosts() {
+		if !c.World.HostDown(h) {
+			slaves = append(slaves, h)
+		}
+	}
+	reports, err := c.World.Deployer.RequestReports(slaves, c.ReportTimeout)
 	if err != nil && len(reports) == 0 {
 		return 0, 0, fmt.Errorf("centralized monitor: %w", err)
 	}
@@ -143,6 +150,71 @@ func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
 	c.Deployment = dec.Result.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
 	return rep, nil
+}
+
+// Recover runs the out-of-band recovery cycle after a host death (the
+// host itself must already have been fail-stopped via World.CrashHost).
+// The dead host is marked Down in the model so every constraint path
+// excludes it; the components lost with it are restored from origin
+// copies onto the master; then the analyzer replans onto the survivors,
+// bypassing the churn hysteresis, and the resulting moves are enacted.
+func (c *Centralized) Recover(ctx context.Context, dead model.HostID) (CycleReport, error) {
+	var rep CycleReport
+	c.Model.SetHostDown(dead, true)
+
+	// Restore lost components from origin copies onto the master. They
+	// were lost with the dead host; the master's factory registry can
+	// re-instantiate them, and the replan below immediately spreads them
+	// over the survivors.
+	for _, comp := range c.Deployment.ComponentsOn(dead) {
+		if err := c.World.PlaceComponent(comp, c.World.Master); err != nil {
+			return rep, fmt.Errorf("centralized recover: restore %s: %w", comp, err)
+		}
+		c.Deployment[comp] = c.World.Master
+	}
+	rep.AvailabilityBefore = objective.Availability{}.Quantify(c.Model, c.Deployment)
+
+	dec, err := c.Analyzer.Recover(ctx, c.Model, c.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("centralized recover: %w", err)
+	}
+	rep.Decision = dec
+
+	plan, err := effector.ComputePlan(c.Model, c.Deployment, dec.Result.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("centralized recover plan: %w", err)
+	}
+	if !plan.Empty() {
+		en := &effector.PrismEnactor{Deployer: c.World.Deployer}
+		enRep, err := en.Enact(plan, c.EnactTimeout)
+		if err != nil {
+			return rep, fmt.Errorf("centralized recover enact: %w", err)
+		}
+		rep.Enacted = true
+		rep.Moves = enRep.Moved
+		rep.Received = enRep.Received
+		rep.Degraded = enRep.Degraded
+	}
+	c.Deployment = dec.Result.Deployment.Clone()
+	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
+	return rep, nil
+}
+
+// Rejoin folds a restarted host back in: the world-level restart (fresh
+// architecture, bumped incarnation) must already have happened via
+// World.RestartHost; Rejoin clears the Down mark in the master's model so
+// the next estimation round may place components on the host again, and
+// clears the deployer's detector state so the host's heartbeats resurrect
+// it rather than being discarded as a dead host's echo.
+func (c *Centralized) Rejoin(h model.HostID) error {
+	if c.World.HostDown(h) {
+		return fmt.Errorf("centralized rejoin: host %s is still down", h)
+	}
+	c.Model.SetHostDown(h, false)
+	if fd := c.World.Deployer.Detector(); fd != nil {
+		fd.Observe(h, c.World.Incarnation(h))
+	}
+	return nil
 }
 
 // Verify cross-checks the master's deployment view against the live

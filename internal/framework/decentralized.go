@@ -40,8 +40,30 @@ type Decentralized struct {
 	// SyncMessages counts model-synchronization messages exchanged.
 	SyncMessages int
 
+	// Coordinator is the host elected to lead the current round (the
+	// auction's mutual-exclusion anchor and the recovery path's
+	// restoration site). Elected by probing, not configuration: a
+	// partitioned or dead coordinator deterministically times out of its
+	// round and the survivors elect the next candidate.
+	Coordinator model.HostID
+	// RoundTimeouts counts coordinator rounds that timed out because the
+	// coordinator was unreachable.
+	RoundTimeouts int
+	// ProbeBudget is how many ping probes decide a candidate's
+	// reachability; the "round timeout" is this probe budget draining,
+	// not a wall-clock timer, so election is deterministic. Zero selects
+	// DefaultProbeBudget.
+	ProbeBudget int
+	// Excluded marks hosts the survivors have written out of the
+	// protocol: crashed hosts and hosts no probe can reach. Excluded
+	// hosts neither auction, bid, vote, nor receive components.
+	Excluded map[model.HostID]bool
+
 	EnactTimeout time.Duration
 }
+
+// DefaultProbeBudget is the probe count per reachability check.
+const DefaultProbeBudget = 3
 
 // NewDecentralized wires the decentralized instantiation over a live
 // world built with DeployerPerHost. Awareness nil selects link awareness.
@@ -56,6 +78,7 @@ func NewDecentralized(w *World, aware decap.Awareness) *Decentralized {
 		Trackers:     make(map[model.HostID]*monitor.Tracker, len(w.Archs)),
 		Deployment:   w.LiveDeployment(),
 		Quorum:       0.5,
+		Excluded:     make(map[model.HostID]bool),
 		EnactTimeout: 10 * time.Second,
 	}
 	for _, h := range w.Sys.HostIDs() {
@@ -99,16 +122,89 @@ func localSubset(sys *model.System, h model.HostID, aware decap.Awareness) *mode
 	return sub
 }
 
-// MonitorLocal runs each host's local monitoring: every admin reports on
-// its own host and the data is folded into that host's local model.
+// MonitorLocal runs each live host's local monitoring: every surviving
+// admin reports on its own host and the data is folded into that host's
+// local model.
 func (d *Decentralized) MonitorLocal() int {
 	written := 0
 	for _, h := range d.World.Sys.HostIDs() {
+		if d.World.HostDown(h) || d.Excluded[h] {
+			continue
+		}
 		rep := d.World.Admins[h].Report(true)
 		applier := monitor.NewApplier(d.LocalModels[h], d.Trackers[h])
 		written += applier.Apply(rep, d.Deployment)
 	}
 	return written
+}
+
+// participating reports whether a host takes part in the protocol: alive
+// and not written out by the survivors.
+func (d *Decentralized) participating(h model.HostID) bool {
+	return !d.World.HostDown(h) && !d.Excluded[h]
+}
+
+// ElectCoordinator picks the round's coordinator by probing. Candidates
+// are the participating hosts in sorted order, rotated by the number of
+// past round timeouts; a candidate no surviving peer can reach drains its
+// probe budget (a deterministic round timeout, counted in RoundTimeouts),
+// is excluded, and the next candidate stands. This is how the protocol
+// survives a dead or partitioned auctioneer: its round times out and the
+// survivors re-elect instead of hanging.
+func (d *Decentralized) ElectCoordinator() (model.HostID, error) {
+	var hosts []model.HostID
+	for _, h := range d.World.Sys.HostIDs() {
+		if d.participating(h) {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return "", fmt.Errorf("decentralized election: no participating hosts")
+	}
+	probes := d.ProbeBudget
+	if probes <= 0 {
+		probes = DefaultProbeBudget
+	}
+	start := d.RoundTimeouts % len(hosts)
+	for i := 0; i < len(hosts); i++ {
+		cand := hosts[(start+i)%len(hosts)]
+		if d.Excluded[cand] {
+			continue // excluded by an earlier iteration this round
+		}
+		// The candidate is reachable if ANY surviving peer's probes get
+		// through — single lossy links must not masquerade as a dead
+		// coordinator; a genuinely partitioned or crashed one is dark to
+		// every survivor.
+		reachable := false
+		probed := false
+		for _, h := range hosts {
+			if h == cand || d.Excluded[h] {
+				continue
+			}
+			bus := d.World.Archs[h].DistributionConnector(BusName)
+			if bus == nil {
+				continue
+			}
+			probed = true
+			if bus.PingN(cand, probes) > 0 {
+				reachable = true
+				break
+			}
+		}
+		if reachable || !probed {
+			// !probed: single participating host coordinates itself.
+			d.Coordinator = cand
+			return cand, nil
+		}
+		// Probe budget drained with no delivery: the candidate's round
+		// times out and the survivors write it out of the protocol.
+		d.RoundTimeouts++
+		if d.Excluded == nil {
+			d.Excluded = make(map[model.HostID]bool)
+		}
+		d.Excluded[cand] = true
+	}
+	return "", fmt.Errorf("decentralized election: no reachable coordinator")
 }
 
 // SyncModels exchanges model data between mutually aware hosts (the
@@ -170,22 +266,34 @@ func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
 	rep.SyncMessages = d.SyncModels()
 	rep.AvailabilityBefore = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
 
+	// Every round starts with a coordinator election: a dead or
+	// partitioned would-be auctioneer deterministically times out here
+	// (probe budget, not wall clock) and is excluded before the auction.
+	if _, err := d.ElectCoordinator(); err != nil {
+		return rep, fmt.Errorf("decentralized cycle: %w", err)
+	}
+
 	// The auction runs over the global system restricted by awareness —
-	// exactly the knowledge the synchronized local models hold.
-	dec := decap.New(decap.Config{Awareness: d.Awareness})
+	// exactly the knowledge the synchronized local models hold — minus
+	// the hosts the survivors have written out.
+	dec := decap.New(decap.Config{Awareness: d.Awareness, Exclude: d.Excluded})
 	res, err := dec.Run(ctx, d.World.Sys, d.Deployment)
 	if err != nil {
 		return rep, fmt.Errorf("decentralized cycle: %w", err)
 	}
 	rep.Stats = res.Stats
 
-	// Each host's analyzer scores the candidate with its local model,
-	// then the analyzers coordinate acceptance with the configured
-	// protocol.
+	// Each surviving host's analyzer scores the candidate with its local
+	// model, then the analyzers coordinate acceptance with the configured
+	// protocol. Dead and excluded hosts get no vote: the quorum is over
+	// the survivors.
 	proposals := make([]analyzer.Proposal, 0, len(d.LocalModels))
 	localScores := make(map[model.HostID]float64, len(d.LocalModels))
 	candScores := make(map[model.HostID]float64, len(d.LocalModels))
 	for h, local := range d.LocalModels {
+		if !d.participating(h) {
+			continue
+		}
 		localScores[h] = objective.Availability{}.Quantify(local, d.Deployment)
 		candScores[h] = objective.Availability{}.Quantify(local, res.Deployment)
 		proposals = append(proposals, analyzer.Proposal{
@@ -231,6 +339,93 @@ func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
 	d.Deployment = res.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
 	return rep, nil
+}
+
+// Recover replans after a host death (the host must already be
+// fail-stopped via World.CrashHost). The survivors elect a coordinator,
+// the dead host's components are restored from origin copies onto the
+// coordinator, every surviving local model marks the host Down, and one
+// auction round spreads the restored components over the survivors —
+// without the acceptance vote: recovery is not optional.
+func (d *Decentralized) Recover(ctx context.Context, dead model.HostID) (DecCycleReport, error) {
+	var rep DecCycleReport
+	d.World.Sys.SetHostDown(dead, true)
+	if d.Excluded == nil {
+		d.Excluded = make(map[model.HostID]bool)
+	}
+	d.Excluded[dead] = true
+	for h, local := range d.LocalModels {
+		if h == dead {
+			continue
+		}
+		local.SetHostDown(dead, true)
+	}
+
+	coord, err := d.ElectCoordinator()
+	if err != nil {
+		return rep, fmt.Errorf("decentralized recover: %w", err)
+	}
+	for _, comp := range d.Deployment.ComponentsOn(dead) {
+		if err := d.World.PlaceComponent(comp, coord); err != nil {
+			return rep, fmt.Errorf("decentralized recover: restore %s: %w", comp, err)
+		}
+		d.Deployment[comp] = coord
+	}
+	rep.AvailabilityBefore = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+
+	dec := decap.New(decap.Config{Awareness: d.Awareness, Exclude: d.Excluded})
+	res, err := dec.Run(ctx, d.World.Sys, d.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("decentralized recover: %w", err)
+	}
+	rep.Stats = res.Stats
+	rep.VotePassed = true // recovery bypasses the acceptance protocols
+
+	plan, err := effector.ComputePlan(d.World.Sys, d.Deployment, res.Deployment)
+	if err != nil {
+		return rep, fmt.Errorf("decentralized recover plan: %w", err)
+	}
+	byDst := make(map[model.HostID][]effector.Move)
+	for _, mv := range plan.Moves {
+		byDst[mv.To] = append(byDst[mv.To], mv)
+	}
+	for dst, moves := range byDst {
+		dep := d.localDeployer(dst)
+		if dep == nil {
+			return rep, fmt.Errorf("decentralized recover: host %s has no deployer", dst)
+		}
+		en := &effector.PrismEnactor{Deployer: dep}
+		enRep, err := en.Enact(effector.Plan{Moves: moves}, d.EnactTimeout)
+		if err != nil {
+			return rep, fmt.Errorf("decentralized recover enact on %s: %w", dst, err)
+		}
+		rep.Moves += enRep.Moved
+		rep.Received += enRep.Received
+		rep.Degraded = rep.Degraded || enRep.Degraded
+	}
+	rep.Enacted = rep.Moves > 0
+	d.Deployment = res.Deployment.Clone()
+	rep.AvailabilityAfter = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+	return rep, nil
+}
+
+// Rejoin folds a restarted host back into the protocol: the world-level
+// restart (fresh architecture, bumped incarnation) must already have
+// happened via World.RestartHost. The host's exclusion is lifted, its
+// Down mark cleared everywhere, and its local model and tracker rebuilt
+// from scratch — a restarted host's pre-crash knowledge died with it.
+func (d *Decentralized) Rejoin(h model.HostID) error {
+	if d.World.HostDown(h) {
+		return fmt.Errorf("decentralized rejoin: host %s is still down", h)
+	}
+	d.World.Sys.SetHostDown(h, false)
+	delete(d.Excluded, h)
+	for _, local := range d.LocalModels {
+		local.SetHostDown(h, false)
+	}
+	d.LocalModels[h] = localSubset(d.World.Sys, h, d.Awareness)
+	d.Trackers[h] = monitor.NewTracker(0, 0)
+	return nil
 }
 
 // localDeployer finds the deployer component on a host.

@@ -41,6 +41,15 @@ type World struct {
 	// WorldConfig.Fault is set (nil otherwise) — tests and drills use it
 	// to open and heal partitions mid-run.
 	Faults map[model.HostID]*prism.FaultTransport
+
+	// cfg and adminCfg are retained so RestartHost can rebuild a crashed
+	// host's stack exactly as NewWorld did.
+	cfg      WorldConfig
+	adminCfg prism.AdminConfig
+	// down marks hosts currently crashed; incarnations counts each host's
+	// restarts (the admin's epoch number on rejoin).
+	down         map[model.HostID]bool
+	incarnations map[model.HostID]uint64
 }
 
 // WorldConfig parameterizes world construction.
@@ -82,12 +91,15 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 		return nil, err
 	}
 	w := &World{
-		Sys:      sys,
-		Fabric:   fabric,
-		Archs:    make(map[model.HostID]*prism.Architecture, len(hosts)),
-		Admins:   make(map[model.HostID]*prism.AdminComponent, len(hosts)),
-		Registry: prism.NewFactoryRegistry(),
-		Master:   master,
+		Sys:          sys,
+		Fabric:       fabric,
+		Archs:        make(map[model.HostID]*prism.Architecture, len(hosts)),
+		Admins:       make(map[model.HostID]*prism.AdminComponent, len(hosts)),
+		Registry:     prism.NewFactoryRegistry(),
+		Master:       master,
+		cfg:          cfg,
+		down:         make(map[model.HostID]bool, len(hosts)),
+		incarnations: make(map[model.HostID]uint64, len(hosts)),
 	}
 	w.Registry.Register(TrafficTypeName, func(id string) prism.Migratable {
 		return NewTrafficComponent(id)
@@ -96,6 +108,7 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 	adminCfg := prism.AdminConfig{
 		Deployer: master, Bus: BusName, Registry: w.Registry, Retry: cfg.Retry,
 	}
+	w.adminCfg = adminCfg
 	if cfg.Fault != nil {
 		w.Faults = make(map[model.HostID]*prism.FaultTransport, len(hosts))
 	}
@@ -168,6 +181,9 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 func (w *World) Step() int {
 	total := 0
 	for _, h := range w.Sys.HostIDs() {
+		if w.down[h] {
+			continue
+		}
 		arch := w.Archs[h]
 		for _, id := range arch.ComponentIDs() {
 			if tc, ok := arch.Component(id).(*TrafficComponent); ok {
@@ -188,10 +204,14 @@ func (w *World) StepN(n int) int {
 }
 
 // LiveDeployment reads the actual component placement off the running
-// architectures.
+// architectures. Crashed hosts contribute nothing: their components died
+// with them.
 func (w *World) LiveDeployment() model.Deployment {
 	d := model.NewDeployment(len(w.Sys.Components))
 	for h, arch := range w.Archs {
+		if w.down[h] {
+			continue
+		}
 		for _, id := range arch.ComponentIDs() {
 			if id == prism.AdminID || id == prism.DeployerID {
 				continue
@@ -200,6 +220,140 @@ func (w *World) LiveDeployment() model.Deployment {
 		}
 	}
 	return d
+}
+
+// HostDown reports whether a host is currently crashed.
+func (w *World) HostDown(h model.HostID) bool { return w.down[h] }
+
+// Incarnation returns how many times a host has been restarted.
+func (w *World) Incarnation(h model.HostID) uint64 { return w.incarnations[h] }
+
+// UpHosts returns the hosts that are currently alive, sorted.
+func (w *World) UpHosts() []model.HostID {
+	var out []model.HostID
+	for _, h := range w.Sys.HostIDs() {
+		if !w.down[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// CrashHost fail-stops a host: its fabric endpoint goes dark, its
+// control-plane goroutines stop, and every application component on it is
+// lost. The lost component IDs are returned (sorted) so the recovery path
+// knows what to restore from origin copies. Crashing a host twice is a
+// no-op.
+func (w *World) CrashHost(h model.HostID) []model.ComponentID {
+	arch, ok := w.Archs[h]
+	if !ok || w.down[h] {
+		return nil
+	}
+	w.Fabric.Crash(h)
+	var lost []model.ComponentID
+	for _, id := range arch.ComponentIDs() {
+		if id == prism.AdminID || id == prism.DeployerID {
+			continue
+		}
+		lost = append(lost, model.ComponentID(id))
+	}
+	if dep, ok := arch.Component(prism.DeployerID).(*prism.DeployerComponent); ok {
+		dep.Close()
+	}
+	w.Admins[h].Close()
+	arch.Shutdown()
+	w.down[h] = true
+	return lost
+}
+
+// RestartHost resurrects a crashed host with a fresh (empty) architecture
+// and a bumped incarnation number, exactly as NewWorld built it: new
+// transport bound to the recovered fabric endpoint, new admin, and — when
+// the world runs a deployer per host — a new local deployer. The restarted
+// host carries no application components; it rejoins the control plane and
+// waits to be folded back in by the next estimation round.
+func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
+	if !w.down[h] {
+		return nil, fmt.Errorf("framework world: host %s is not down", h)
+	}
+	w.Fabric.Recover(h)
+	w.incarnations[h]++
+
+	arch := prism.NewArchitecture(h, nil)
+	var tr prism.Transport
+	tr, err := prism.NewNetsimTransport(w.Fabric, h)
+	if err != nil {
+		return nil, err
+	}
+	if w.cfg.Fault != nil {
+		// Same deterministic per-host stream NewWorld used.
+		idx := 0
+		for i, id := range w.Sys.HostIDs() {
+			if id == h {
+				idx = i
+				break
+			}
+		}
+		fc := *w.cfg.Fault
+		fc.Seed += int64(idx + 1)
+		ft := prism.NewFaultTransport(tr, fc)
+		w.Faults[h] = ft
+		tr = ft
+	}
+	if _, err := arch.AddDistributionConnector(BusName, tr); err != nil {
+		return nil, err
+	}
+	adminCfg := w.adminCfg
+	adminCfg.Incarnation = w.incarnations[h]
+	admin, err := prism.InstallAdmin(arch, adminCfg)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Monitors {
+		admin.DetachMonitors()
+	}
+	if w.cfg.DeployerPerHost || h == w.Master {
+		dep, err := prism.InstallDeployer(arch, adminCfg)
+		if err != nil {
+			return nil, err
+		}
+		if h == w.Master {
+			w.Deployer = dep
+		}
+	}
+	w.Archs[h] = arch
+	w.Admins[h] = admin
+	delete(w.down, h)
+	return admin, nil
+}
+
+// PlaceComponent instantiates a fresh traffic component for a model
+// component on the given live host, wiring its partner rates from the
+// model's logical links — the "origin copy" restoration the recovery path
+// uses for components lost with a crashed host.
+func (w *World) PlaceComponent(comp model.ComponentID, host model.HostID) error {
+	if w.down[host] {
+		return fmt.Errorf("framework world: cannot place %s on crashed host %s", comp, host)
+	}
+	arch, ok := w.Archs[host]
+	if !ok {
+		return fmt.Errorf("framework world: unknown host %s", host)
+	}
+	if arch.Component(string(comp)) != nil {
+		return nil // already present
+	}
+	tc := NewTrafficComponent(string(comp))
+	for _, link := range w.Sys.InteractionsOf(comp) {
+		other := link.Components.A
+		if other == comp {
+			other = link.Components.B
+		}
+		tc.AddPartner(string(other), link.Frequency(), link.EventSize())
+	}
+	if err := arch.AddComponent(tc); err != nil {
+		return err
+	}
+	return arch.Weld(string(comp), BusName)
 }
 
 // Hosts returns all host IDs, sorted.
@@ -216,8 +370,15 @@ func (w *World) SlaveHosts() []model.HostID {
 	return out
 }
 
-// Close shuts down the world's admins, scaffolds, and fabric.
+// Close shuts down the world: deployers first — closing a deployer aborts
+// any in-flight wave, so shutdown never deadlocks on doneCh waiters even
+// when a redeployment is mid-wave — then admins, scaffolds, and fabric.
 func (w *World) Close() {
+	for _, arch := range w.Archs {
+		if dep, ok := arch.Component(prism.DeployerID).(*prism.DeployerComponent); ok {
+			dep.Close()
+		}
+	}
 	for _, admin := range w.Admins {
 		admin.Close()
 	}

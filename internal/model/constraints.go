@@ -108,12 +108,12 @@ func (cs *Constraints) ForbidCollocation(a, b ComponentID) {
 func (cs Constraints) AllowedHosts(s *System, c ComponentID) []HostID {
 	set, constrained := cs.Location[c]
 	if !constrained {
-		return s.HostIDs()
+		return s.UpHostIDs()
 	}
 	out := make([]HostID, 0, len(set))
 	for h, ok := range set {
 		if ok {
-			if _, exists := s.Hosts[h]; exists {
+			if host, exists := s.Hosts[h]; exists && !host.Down {
 				out = append(out, h)
 			}
 		}
@@ -133,7 +133,7 @@ func (cs Constraints) Allows(c ComponentID, h HostID) bool {
 
 // ViolationError describes a constraint violated by a deployment.
 type ViolationError struct {
-	Kind      string // "memory", "location", "collocate", "separate", "incomplete"
+	Kind      string // "memory", "location", "collocate", "separate", "incomplete", "down"
 	Component ComponentID
 	Other     ComponentID // second component for collocation violations
 	Host      HostID
@@ -153,6 +153,8 @@ func (e *ViolationError) Error() string {
 		return fmt.Sprintf("collocation constraint violated: %s and %s must share a host", e.Component, e.Other)
 	case "separate":
 		return fmt.Sprintf("collocation constraint violated: %s and %s must not share a host", e.Component, e.Other)
+	case "down":
+		return fmt.Sprintf("liveness constraint violated: %s may not be placed on dead host %s", e.Component, e.Host)
 	default:
 		return fmt.Sprintf("constraint violated (%s): %s", e.Kind, e.Detail)
 	}
@@ -165,11 +167,15 @@ func (cs Constraints) Check(s *System, d Deployment) error {
 	if err := d.Validate(s); err != nil {
 		return &ViolationError{Kind: "incomplete", Detail: err.Error()}
 	}
-	// Location constraints, in sorted component order for determinism.
+	// Location and liveness constraints, in sorted component order for
+	// determinism.
 	for _, c := range s.ComponentIDs() {
 		h := d[c]
 		if !cs.Allows(c, h) {
 			return &ViolationError{Kind: "location", Component: c, Host: h}
+		}
+		if host, ok := s.Hosts[h]; ok && host.Down {
+			return &ViolationError{Kind: "down", Component: c, Host: h}
 		}
 	}
 	// Memory capacity per host.
@@ -224,6 +230,9 @@ func (cs Constraints) CheckPartial(s *System, d Deployment) error {
 	for c, h := range d {
 		if !cs.Allows(c, h) {
 			return &ViolationError{Kind: "location", Component: c, Host: h}
+		}
+		if host, ok := s.Hosts[h]; ok && host.Down {
+			return &ViolationError{Kind: "down", Component: c, Host: h}
 		}
 	}
 	if cs.CheckMemory {

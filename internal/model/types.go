@@ -16,6 +16,10 @@ type ComponentID string
 type Host struct {
 	ID     HostID
 	Params Params
+	// Down marks a host the liveness layer has declared dead: constraint
+	// checking rejects placements on it and the estimation algorithms
+	// exclude it until it rejoins.
+	Down bool
 }
 
 // Memory returns the host's available memory capacity.
@@ -231,6 +235,36 @@ func (s *System) Delay(a, b HostID) float64 {
 // integrals stay well-defined.
 const LocalBandwidth = 1 << 20
 
+// SetHostDown marks a host dead (or resurrects it) and reports whether
+// the state changed. Changes invalidate the dense cache.
+func (s *System) SetHostDown(id HostID, down bool) bool {
+	h, ok := s.Hosts[id]
+	if !ok || h.Down == down {
+		return false
+	}
+	h.Down = down
+	s.Touch()
+	return true
+}
+
+// HostDown reports whether a host is currently marked dead.
+func (s *System) HostDown(id HostID) bool {
+	h, ok := s.Hosts[id]
+	return ok && h.Down
+}
+
+// UpHostIDs returns the IDs of hosts not marked down, in sorted order.
+func (s *System) UpHostIDs() []HostID {
+	ids := make([]HostID, 0, len(s.Hosts))
+	for id, h := range s.Hosts {
+		if !h.Down {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // HostIDs returns all host IDs in sorted order (deterministic iteration).
 func (s *System) HostIDs() []HostID {
 	ids := make([]HostID, 0, len(s.Hosts))
@@ -318,7 +352,7 @@ func (s *System) InteractionsOf(c ComponentID) []*LogicalLink {
 func (s *System) Clone() *System {
 	out := NewSystem()
 	for id, h := range s.Hosts {
-		out.Hosts[id] = &Host{ID: h.ID, Params: h.Params.Clone()}
+		out.Hosts[id] = &Host{ID: h.ID, Params: h.Params.Clone(), Down: h.Down}
 	}
 	for id, c := range s.Components {
 		out.Components[id] = &Component{ID: c.ID, Params: c.Params.Clone()}

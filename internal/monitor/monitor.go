@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dif/internal/model"
 	"dif/internal/prism"
@@ -107,6 +108,13 @@ type Tracker struct {
 	epsilon   float64
 	windows   int
 	detectors map[string]*StabilityDetector
+	// Staleness: when maxAge > 0, a parameter whose last sample is older
+	// than maxAge stops counting as stable (and drops out of the stable
+	// fraction) — readings from a crashed or partitioned host must not
+	// keep vouching for the links and interactions it can no longer see.
+	maxAge time.Duration
+	now    func() time.Time
+	lastAt map[string]time.Time
 }
 
 // NewTracker returns a tracker with the given stability parameters (zero
@@ -116,7 +124,34 @@ func NewTracker(epsilon float64, windows int) *Tracker {
 		epsilon:   epsilon,
 		windows:   windows,
 		detectors: make(map[string]*StabilityDetector),
+		now:       time.Now,
+		lastAt:    make(map[string]time.Time),
 	}
+}
+
+// SetMaxSampleAge bounds how long a sample keeps a parameter eligible for
+// stability; zero (the default) disables aging.
+func (t *Tracker) SetMaxSampleAge(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.maxAge = d
+}
+
+// SetClock overrides the tracker's time source (tests).
+func (t *Tracker) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// stale reports whether the key's last sample has aged out. Caller holds
+// t.mu.
+func (t *Tracker) stale(key string, now time.Time) bool {
+	if t.maxAge <= 0 {
+		return false
+	}
+	at, ok := t.lastAt[key]
+	return !ok || now.Sub(at) > t.maxAge
 }
 
 // Observe feeds a sample for the named parameter and returns whether that
@@ -129,59 +164,93 @@ func (t *Tracker) Observe(key string, v float64) bool {
 		d = NewStabilityDetector(t.epsilon, t.windows)
 		t.detectors[key] = d
 	}
+	t.lastAt[key] = t.now()
 	return d.Add(v)
 }
 
-// Stable reports whether the named parameter is currently stable.
+// Stable reports whether the named parameter is currently stable. A
+// parameter whose last sample has aged out is never stable.
 func (t *Tracker) Stable(key string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d, ok := t.detectors[key]
-	return ok && d.Stable()
+	return ok && d.Stable() && !t.stale(key, t.now())
 }
 
-// Value returns the latest sample for the named parameter.
+// Value returns the latest sample for the named parameter; aged-out
+// samples report not-present.
 func (t *Tracker) Value(key string) (float64, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d, ok := t.detectors[key]
-	if !ok || d.Samples() == 0 {
+	if !ok || d.Samples() == 0 || t.stale(key, t.now()) {
 		return 0, false
 	}
 	return d.Value(), true
 }
 
-// AllStable reports whether every observed parameter is stable (and at
-// least one has been observed).
+// AllStable reports whether every live (non-stale) parameter is stable
+// (and at least one live parameter has been observed).
 func (t *Tracker) AllStable() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.detectors) == 0 {
-		return false
-	}
-	for _, d := range t.detectors {
+	now := t.now()
+	live := 0
+	for key, d := range t.detectors {
+		if t.stale(key, now) {
+			continue
+		}
+		live++
 		if !d.Stable() {
 			return false
 		}
 	}
-	return true
+	return live > 0
 }
 
-// StableFraction returns the fraction of observed parameters that are
-// stable — the analyzer's system-stability signal.
+// StableFraction returns the fraction of live (non-stale) parameters that
+// are stable — the analyzer's system-stability signal. Aged-out
+// parameters are excluded from the denominator: a dead host's silence
+// should neither stabilize nor destabilize the survivors' profile.
 func (t *Tracker) StableFraction() float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.detectors) == 0 {
-		return 0
-	}
-	stable := 0
-	for _, d := range t.detectors {
+	now := t.now()
+	live, stable := 0, 0
+	for key, d := range t.detectors {
+		if t.stale(key, now) {
+			continue
+		}
+		live++
 		if d.Stable() {
 			stable++
 		}
 	}
-	return float64(stable) / float64(len(t.detectors))
+	if live == 0 {
+		return 0
+	}
+	return float64(stable) / float64(live)
+}
+
+// PruneStale removes every aged-out parameter outright and returns the
+// removed keys (sorted order not guaranteed). A no-op when aging is
+// disabled.
+func (t *Tracker) PruneStale() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.maxAge <= 0 {
+		return nil
+	}
+	now := t.now()
+	var removed []string
+	for key := range t.detectors {
+		if t.stale(key, now) {
+			delete(t.detectors, key)
+			delete(t.lastAt, key)
+			removed = append(removed, key)
+		}
+	}
+	return removed
 }
 
 // Reset clears every detector.
@@ -189,6 +258,7 @@ func (t *Tracker) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.detectors = make(map[string]*StabilityDetector)
+	t.lastAt = make(map[string]time.Time)
 }
 
 // Keys for tracker entries.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dif/internal/model"
 	"dif/internal/prism"
@@ -311,5 +312,71 @@ func TestApplierSkipsUnprobedLinks(t *testing.T) {
 	}
 	if s.Reliability("h1", "h2") != 0.9 {
 		t.Fatal("unprobed sample overwrote reliability")
+	}
+}
+
+func TestTrackerStalenessAgesOutSilentHosts(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	tr := NewTracker(0.05, 2)
+	tr.SetClock(func() time.Time { return now })
+	tr.SetMaxSampleAge(2 * time.Second)
+
+	// Two parameters go stable; "dead" then falls silent while "live"
+	// keeps reporting.
+	for i := 0; i < 5; i++ {
+		tr.Observe("live", 1.0)
+		tr.Observe("dead", 1.0)
+	}
+	if !tr.Stable("live") || !tr.Stable("dead") {
+		t.Fatal("both keys should be stable before the silence")
+	}
+	if f := tr.StableFraction(); f != 1.0 {
+		t.Fatalf("StableFraction = %v, want 1", f)
+	}
+
+	now = now.Add(3 * time.Second)
+	tr.Observe("live", 1.0)
+
+	if tr.Stable("dead") {
+		t.Fatal("aged-out key still counts as stable")
+	}
+	if _, ok := tr.Value("dead"); ok {
+		t.Fatal("aged-out key still has a value")
+	}
+	if v, ok := tr.Value("live"); !ok || v != 1.0 {
+		t.Fatalf("live key lost its value: %v/%v", v, ok)
+	}
+	// The stale key drops out of the denominator: the survivors' profile
+	// stays fully stable.
+	if !tr.AllStable() {
+		t.Fatal("AllStable should ignore aged-out keys")
+	}
+	if f := tr.StableFraction(); f != 1.0 {
+		t.Fatalf("StableFraction = %v, want 1 over the live keys", f)
+	}
+
+	removed := tr.PruneStale()
+	if len(removed) != 1 || removed[0] != "dead" {
+		t.Fatalf("PruneStale removed %v, want [dead]", removed)
+	}
+	// A pruned key starts from scratch when its host rejoins.
+	if tr.Observe("dead", 1.0) {
+		t.Fatal("pruned key came back pre-stabilized")
+	}
+}
+
+func TestTrackerNoAgingByDefault(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	tr := NewTracker(0.05, 2)
+	tr.SetClock(func() time.Time { return now })
+	for i := 0; i < 5; i++ {
+		tr.Observe("k", 1.0)
+	}
+	now = now.Add(1000 * time.Hour)
+	if !tr.Stable("k") {
+		t.Fatal("aging disabled but key went stale")
+	}
+	if tr.PruneStale() != nil {
+		t.Fatal("PruneStale removed keys with aging disabled")
 	}
 }

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"dif/internal/model"
+)
+
+// ChurnEvent is one host state change produced by a churn step.
+type ChurnEvent struct {
+	Step int
+	Host model.HostID
+	// Crashed is true for a kill, false for a resurrection.
+	Crashed bool
+}
+
+// ChurnConfig parameterizes a Churn process.
+type ChurnConfig struct {
+	// KillProb is the per-step probability an up host crashes.
+	KillProb float64
+	// RecoverProb is the per-step probability a down host resurrects.
+	RecoverProb float64
+	// MaxDown caps simultaneously-crashed hosts; zero means no cap
+	// beyond "at least one host stays up".
+	MaxDown int
+	// Protected hosts (e.g. the master) are never crashed.
+	Protected map[model.HostID]bool
+}
+
+// Churn is a seeded crash/recover process over a fabric's hosts — the
+// host-level analogue of the link Fluctuator, and composable with it and
+// with FaultTransport decorators: churn decides which hosts are alive,
+// fluctuation decides how well the links between the survivors behave.
+// Iteration is in sorted host order, so a given seed always produces the
+// same kill/resurrect schedule.
+type Churn struct {
+	f    *Fabric
+	rng  *rand.Rand
+	cfg  ChurnConfig
+	step int
+}
+
+// NewChurn returns a churn process over the fabric, seeded for
+// reproducible schedules.
+func NewChurn(f *Fabric, seed int64, cfg ChurnConfig) *Churn {
+	return &Churn{f: f, rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Step advances the process once: each up host may crash, each down host
+// may resurrect, under the cap and protection rules. It returns the
+// events applied this step, in sorted host order.
+func (c *Churn) Step() []ChurnEvent {
+	c.step++
+	var events []ChurnEvent
+	hosts := c.f.Hosts()
+	down := make(map[model.HostID]bool)
+	for _, h := range c.f.DownHosts() {
+		down[h] = true
+	}
+	maxDown := c.cfg.MaxDown
+	if maxDown <= 0 || maxDown >= len(hosts) {
+		maxDown = len(hosts) - 1 // at least one host stays up
+	}
+	for _, h := range hosts {
+		if down[h] {
+			if c.rng.Float64() < c.cfg.RecoverProb {
+				if c.f.Recover(h) {
+					delete(down, h)
+					events = append(events, ChurnEvent{Step: c.step, Host: h, Crashed: false})
+				}
+			}
+			continue
+		}
+		if c.cfg.Protected[h] || len(down) >= maxDown {
+			continue
+		}
+		if c.rng.Float64() < c.cfg.KillProb {
+			if c.f.Crash(h) {
+				down[h] = true
+				events = append(events, ChurnEvent{Step: c.step, Host: h, Crashed: true})
+			}
+		}
+	}
+	return events
+}
+
+// StepN advances the process n times and returns all applied events.
+func (c *Churn) StepN(n int) []ChurnEvent {
+	var events []ChurnEvent
+	for i := 0; i < n; i++ {
+		events = append(events, c.Step()...)
+	}
+	return events
+}
+
+// Steps returns how many steps the process has taken.
+func (c *Churn) Steps() int { return c.step }

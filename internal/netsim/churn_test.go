@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dif/internal/model"
+)
+
+func churnFabric(t *testing.T, hosts ...model.HostID) *Fabric {
+	t.Helper()
+	f := NewFabric(1)
+	t.Cleanup(f.Close)
+	for _, h := range hosts {
+		if err := f.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range hosts {
+		for _, b := range hosts[i+1:] {
+			if err := f.Connect(a, b, LinkState{Reliability: 1, BandwidthKB: 1000}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+func TestCrashedHostDropsTraffic(t *testing.T) {
+	f := churnFabric(t, "h1", "h2")
+	if _, err := f.Send("h1", "h2", 1, []byte("x")); err != nil {
+		t.Fatalf("pre-crash send: %v", err)
+	}
+	if !f.Crash("h2") {
+		t.Fatal("Crash returned false")
+	}
+	if f.Crash("h2") {
+		t.Fatal("double crash reported a state change")
+	}
+	if _, err := f.Send("h1", "h2", 1, []byte("x")); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send to crashed host: err = %v, want ErrHostDown", err)
+	}
+	if _, err := f.Send("h2", "h1", 1, []byte("x")); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send from crashed host: err = %v, want ErrHostDown", err)
+	}
+	if got := f.DownHosts(); len(got) != 1 || got[0] != "h2" {
+		t.Fatalf("DownHosts = %v", got)
+	}
+	if !f.Recover("h2") {
+		t.Fatal("Recover returned false")
+	}
+	if _, err := f.Send("h1", "h2", 1, []byte("x")); err != nil {
+		t.Fatalf("post-recovery send: %v", err)
+	}
+}
+
+func TestChurnDeterministicSchedule(t *testing.T) {
+	run := func() []ChurnEvent {
+		f := churnFabric(t, "h1", "h2", "h3", "h4")
+		c := NewChurn(f, 99, ChurnConfig{KillProb: 0.3, RecoverProb: 0.5})
+		return c.StepN(50)
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no churn events in 50 steps at 30% kill probability")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+}
+
+func TestChurnRespectsProtectionAndCap(t *testing.T) {
+	f := churnFabric(t, "h1", "h2", "h3")
+	c := NewChurn(f, 7, ChurnConfig{
+		KillProb:  1.0, // every unprotected host wants to die every step
+		MaxDown:   1,
+		Protected: map[model.HostID]bool{"h1": true},
+	})
+	events := c.StepN(20)
+	for _, ev := range events {
+		if ev.Crashed && ev.Host == "h1" {
+			t.Fatalf("protected host crashed: %+v", ev)
+		}
+	}
+	if down := f.DownHosts(); len(down) > 1 {
+		t.Fatalf("cap violated: %v down", down)
+	}
+}
+
+func TestChurnAlwaysLeavesOneHostUp(t *testing.T) {
+	f := churnFabric(t, "h1", "h2")
+	c := NewChurn(f, 3, ChurnConfig{KillProb: 1.0}) // no explicit cap
+	c.StepN(10)
+	if down := f.DownHosts(); len(down) >= 2 {
+		t.Fatalf("every host crashed: %v", down)
+	}
+}

@@ -42,6 +42,7 @@ var (
 	ErrNoRoute      = errors.New("netsim: hosts not connected")
 	ErrDropped      = errors.New("netsim: message dropped")
 	ErrPartitioned  = errors.New("netsim: link partitioned")
+	ErrHostDown     = errors.New("netsim: host down")
 	ErrFabricClosed = errors.New("netsim: fabric closed")
 )
 
@@ -68,6 +69,7 @@ type Fabric struct {
 	rng    *rand.Rand
 	links  map[model.HostPair]*linkEntry
 	hosts  map[model.HostID]*endpoint
+	down   map[model.HostID]bool
 	closed bool
 
 	// timeScale compresses simulated delays into wall-clock sleeps:
@@ -98,6 +100,7 @@ func NewFabric(seed int64) *Fabric {
 		rng:   rand.New(rand.NewSource(seed)),
 		links: make(map[model.HostPair]*linkEntry),
 		hosts: make(map[model.HostID]*endpoint),
+		down:  make(map[model.HostID]bool),
 	}
 }
 
@@ -188,6 +191,58 @@ func (ep *endpoint) dispatch() {
 			return
 		}
 	}
+}
+
+// Crash takes a host down: every send to or from it fails with
+// ErrHostDown and anything queued for delivery is discarded (a crashed
+// host's memory is gone). The host stays registered so Recover can bring
+// it back. Crashing an unknown host or an already-down host is a no-op
+// that reports false.
+func (f *Fabric) Crash(h model.HostID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.hosts[h]
+	if !ok || f.down[h] {
+		return false
+	}
+	f.down[h] = true
+	ep.mu.Lock()
+	ep.buf = nil
+	ep.mu.Unlock()
+	return true
+}
+
+// Recover brings a crashed host back up. The endpoint's handler is
+// whatever was last installed; a restarted runtime replaces it via
+// SetHandler (NewNetsimTransport does so). Reports whether the host was
+// down.
+func (f *Fabric) Recover(h model.HostID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.down[h] {
+		return false
+	}
+	delete(f.down, h)
+	return true
+}
+
+// Down reports whether a host is currently crashed.
+func (f *Fabric) Down(h model.HostID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[h]
+}
+
+// DownHosts returns the crashed hosts, sorted.
+func (f *Fabric) DownHosts() []model.HostID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]model.HostID, 0, len(f.down))
+	for h := range f.down {
+		out = append(out, h)
+	}
+	sortHostIDs(out)
+	return out
 }
 
 // Connect creates (or reconfigures) a link between two hosts.
@@ -283,6 +338,14 @@ func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.
 	if _, ok := f.hosts[from]; !ok {
 		f.mu.Unlock()
 		return 0, fmt.Errorf("%w: %s", ErrUnknownHost, from)
+	}
+	if f.down[from] || f.down[to] {
+		if entry, ok := f.links[model.MakeHostPair(from, to)]; ok && from != to {
+			entry.stats.Sent++
+			entry.stats.Dropped++
+		}
+		f.mu.Unlock()
+		return 0, ErrHostDown
 	}
 
 	var latency time.Duration

@@ -116,6 +116,7 @@ func registerControlPayloads() {
 	gob.Register(DoneReport{})
 	gob.Register(WaveOutcome{})
 	gob.Register(OutcomeAck{})
+	gob.Register(Heartbeat{})
 }
 
 var registerPayloadsOnce sync.Once
@@ -149,6 +150,11 @@ type AdminConfig struct {
 	// participant to acknowledge a wave's commit/abort outcome. Zero
 	// selects the default.
 	OutcomeAckTimeout time.Duration
+	// Incarnation is this host's lifetime number, carried on every
+	// heartbeat. A restarted host rejoins with a strictly greater
+	// incarnation so the deployer's failure detector can distinguish a
+	// resurrection from a replayed frame of the dead lifetime.
+	Incarnation uint64
 }
 
 // RetryPolicy tunes control-plane retransmission. The zero value enables
@@ -251,6 +257,9 @@ type AdminComponent struct {
 	// relayed counts events that were held during a migration and
 	// re-routed to the component's new host.
 	relayed int
+	// incarnation and hbSeq stamp outgoing heartbeats.
+	incarnation uint64
+	hbSeq       uint64
 }
 
 type reconfigProgress struct {
@@ -323,6 +332,67 @@ func InstallAdmin(arch *Architecture, cfg AdminConfig) (*AdminComponent, error) 
 // Architecture returns the admin's local architecture (the
 // ExtensibleComponent's reference to Architecture).
 func (a *AdminComponent) Architecture() *Architecture { return a.arch }
+
+// Incarnation returns the admin's current lifetime number.
+func (a *AdminComponent) Incarnation() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.incarnation == 0 {
+		return a.cfg.Incarnation
+	}
+	return a.incarnation
+}
+
+// SetIncarnation overrides the admin's lifetime number (a restarted host
+// rejoins with a strictly greater incarnation).
+func (a *AdminComponent) SetIncarnation(inc uint64) {
+	a.mu.Lock()
+	a.incarnation = inc
+	a.mu.Unlock()
+}
+
+// SendHeartbeat emits one liveness beacon to the deployer, carrying this
+// host's incarnation and component manifest. It is safe to drive
+// manually (deterministic drills) or from StartHeartbeats.
+func (a *AdminComponent) SendHeartbeat() error {
+	hb := Heartbeat{Host: a.arch.Host(), Incarnation: a.Incarnation()}
+	a.mu.Lock()
+	a.hbSeq++
+	hb.Seq = a.hbSeq
+	a.mu.Unlock()
+	for _, id := range a.arch.ComponentIDs() {
+		if id == AdminID || id == DeployerID {
+			continue
+		}
+		hb.Components = append(hb.Components, id)
+	}
+	return a.sendControl(a.cfg.Deployer, Event{
+		Name: EvHeartbeat, Target: DeployerID, Payload: hb, SizeKB: 0.2,
+	})
+}
+
+// StartHeartbeats launches a background pump emitting heartbeats at the
+// given interval until the admin is closed. Live binaries use this;
+// deterministic tests call SendHeartbeat directly instead.
+func (a *AdminComponent) StartHeartbeats(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = a.SendHeartbeat()
+			case <-a.stop:
+				return
+			}
+		}
+	}()
+}
 
 // AttachMonitors installs the event-frequency monitor on the bus and the
 // reliability monitor on the bus's distribution connector.

@@ -32,6 +32,14 @@ type DeployerComponent struct {
 	// epochs tracks outstanding redeployment waves.
 	epochs    map[int]*epochState
 	nextEpoch int
+	// detector, when attached, feeds heartbeats into liveness tracking
+	// and lets a participant's death abort in-flight waves.
+	detector *FailureDetector
+
+	// stop aborts in-flight waves on Close so shutdown never deadlocks on
+	// doneCh waiters.
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 type epochState struct {
@@ -46,6 +54,12 @@ type epochState struct {
 	// two; ackCh is signalled as they arrive.
 	ackPending map[model.HostID]bool
 	ackCh      chan struct{}
+	// abortCh is closed when a participant dies mid-wave: the death is an
+	// abort vote, not something to retry forever. deadAborted guards the
+	// close and names the casualty.
+	abortCh     chan struct{}
+	deadAborted bool
+	deadHost    model.HostID
 }
 
 // NewDeployerComponent builds a deployer for the master architecture.
@@ -61,7 +75,71 @@ func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponen
 		reportWait:    make(chan struct{}, 1),
 		epochs:        make(map[int]*epochState),
 		nextEpoch:     1,
+		stop:          make(chan struct{}),
 	}
+}
+
+// Close aborts every in-flight wave and report collection. A wave that
+// was mid-flight returns as rolled back; shutdown never blocks on doneCh
+// waiters (the World.Close ordering fix).
+func (d *DeployerComponent) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+}
+
+// AttachDetector wires a failure detector into the deployer: incoming
+// heartbeats feed it, and HostDead transitions abort any wave the dead
+// host participates in.
+func (d *DeployerComponent) AttachDetector(fd *FailureDetector) {
+	d.mu.Lock()
+	d.detector = fd
+	d.mu.Unlock()
+	fd.Subscribe(func(tr Transition) {
+		if tr.To == HostDead {
+			d.NoteHostDead(tr.Host)
+		}
+	})
+}
+
+// Detector returns the attached failure detector (nil when none).
+func (d *DeployerComponent) Detector() *FailureDetector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detector
+}
+
+// hostDead reports whether the attached detector currently declares the
+// host dead.
+func (d *DeployerComponent) hostDead(h model.HostID) bool {
+	d.mu.Lock()
+	fd := d.detector
+	d.mu.Unlock()
+	return fd != nil && fd.State(h) == HostDead
+}
+
+// NoteHostDead records a participant's death: every in-flight wave the
+// host touches is aborted (its death is an abort vote), and its pending
+// outcome acknowledgements are waived so phase two never spins on a
+// corpse.
+func (d *DeployerComponent) NoteHostDead(h model.HostID) {
+	d.mu.Lock()
+	for _, st := range d.epochs {
+		if !st.participants[h] {
+			continue
+		}
+		if !st.deadAborted && st.abortCh != nil {
+			st.deadAborted = true
+			st.deadHost = h
+			close(st.abortCh)
+		}
+		if st.ackPending != nil && st.ackPending[h] {
+			delete(st.ackPending, h)
+			select {
+			case st.ackCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	d.mu.Unlock()
 }
 
 // InstallDeployer creates a deployer, adds it to the architecture, and
@@ -143,6 +221,18 @@ func (d *DeployerComponent) Handle(e Event) {
 			}
 		}
 		d.mu.Unlock()
+	case EvHeartbeat:
+		hb, ok := e.Payload.(Heartbeat)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		fd := d.detector
+		d.mu.Unlock()
+		if fd != nil {
+			fd.SetManifest(hb.Host, hb.Components)
+			fd.Observe(hb.Host, hb.Incarnation)
+		}
 	case EvOutcomeAck:
 		ack, ok := e.Payload.(OutcomeAck)
 		if !ok {
@@ -204,6 +294,9 @@ func (d *DeployerComponent) RequestReports(hosts []model.HostID, timeout time.Du
 		}
 		select {
 		case <-d.reportWait:
+		case <-d.stop:
+			got := d.snapshotReports()
+			return got, fmt.Errorf("deployer: closed with %d of %d reports", len(got), len(hosts))
 		case <-deadline.C:
 			got := d.snapshotReports()
 			return got, fmt.Errorf("deployer: %d of %d reports after %v", len(got), len(hosts), timeout)
@@ -285,6 +378,7 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		pendingHosts: make(map[model.HostID]bool, len(arrivals)),
 		doneCh:       make(chan struct{}),
 		participants: make(map[model.HostID]bool),
+		abortCh:      make(chan struct{}),
 	}
 	cmds := make(map[model.HostID]Event, len(arrivals))
 	dsts := make([]model.HostID, 0, len(arrivals))
@@ -303,7 +397,18 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	sortHostIDs(dsts)
 	d.mu.Lock()
 	d.epochs[epoch] = st
+	parts := make([]model.HostID, 0, len(st.participants))
+	for p := range st.participants {
+		parts = append(parts, p)
+	}
 	d.mu.Unlock()
+	// A wave that already includes a known-dead participant aborts up
+	// front instead of retrying into a corpse until the deadline.
+	for _, p := range parts {
+		if d.hostDead(p) {
+			d.NoteHostDead(p)
+		}
+	}
 
 	retry := !d.cfg.Retry.Disabled
 	var dispatchErr error
@@ -337,6 +442,7 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	completed := false
+	closed := false
 	if retry {
 		resend := time.NewTicker(d.cfg.EnactResendInterval)
 		defer resend.Stop()
@@ -345,6 +451,11 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 			select {
 			case <-st.doneCh:
 				completed = true
+				break wait
+			case <-st.abortCh:
+				break wait
+			case <-d.stop:
+				closed = true
 				break wait
 			case <-deadline.C:
 				break wait
@@ -368,11 +479,20 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		select {
 		case <-st.doneCh:
 			completed = true
+		case <-st.abortCh:
+		case <-d.stop:
+			closed = true
 		case <-deadline.C:
 		}
 	}
 
-	d.broadcastOutcome(epoch, st, completed)
+	if closed {
+		// Shutting down: best-effort single-shot rollback so reachable
+		// participants clean up, but never wait on acks.
+		d.broadcastOutcomeOnce(epoch, st, false)
+	} else {
+		d.broadcastOutcome(epoch, st, completed)
+	}
 
 	d.mu.Lock()
 	for h := range st.pendingHosts {
@@ -380,14 +500,23 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	}
 	res.Relayed = st.relayed
 	res.Received = st.received
+	deadAborted, deadHost := st.deadAborted, st.deadHost
 	delete(d.epochs, epoch)
 	d.mu.Unlock()
 	sortHostIDs(res.Incomplete)
 	res.Committed = completed
 	res.Degraded = res.Received != res.Moved || len(res.Incomplete) > 0
 	if !completed {
-		return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v (wave rolled back)",
-			epoch, len(res.Incomplete), timeout)
+		switch {
+		case closed:
+			return res, fmt.Errorf("enact epoch %d: deployer closed mid-wave (wave rolled back)", epoch)
+		case deadAborted:
+			return res, fmt.Errorf("enact epoch %d: participant %s died mid-wave (wave rolled back)",
+				epoch, deadHost)
+		default:
+			return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v (wave rolled back)",
+				epoch, len(res.Incomplete), timeout)
+		}
 	}
 	return res, nil
 }
@@ -411,6 +540,19 @@ func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit b
 	}
 	d.mu.Unlock()
 	sortHostIDs(parts)
+	// Dead participants never ack: waive them so phase two converges on
+	// the survivors alone.
+	live := parts[:0:0]
+	for _, h := range parts {
+		if d.hostDead(h) {
+			d.mu.Lock()
+			delete(st.ackPending, h)
+			d.mu.Unlock()
+			continue
+		}
+		live = append(live, h)
+	}
+	parts = live
 	for _, h := range parts {
 		_ = d.sendControl(h, e)
 	}
@@ -439,10 +581,40 @@ func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit b
 		case <-st.ackCh:
 		case <-resend.C:
 			for _, h := range remaining {
+				if d.hostDead(h) {
+					d.mu.Lock()
+					delete(st.ackPending, h)
+					d.mu.Unlock()
+					continue
+				}
 				_ = d.sendControl(h, e)
 			}
+		case <-d.stop:
+			return len(parts) - len(remaining)
 		case <-budget.C:
 			return len(parts) - len(remaining)
 		}
+	}
+}
+
+// broadcastOutcomeOnce sends the outcome to every participant exactly
+// once without waiting for acknowledgements (shutdown path).
+func (d *DeployerComponent) broadcastOutcomeOnce(epoch int, st *epochState, commit bool) {
+	e := Event{
+		Name: EvOutcome, Target: AdminID, SizeKB: 0.3,
+		Payload: WaveOutcome{Epoch: epoch, Coordinator: d.arch.Host(), Commit: commit},
+	}
+	parts := make([]model.HostID, 0, len(st.participants))
+	d.mu.Lock()
+	for h := range st.participants {
+		parts = append(parts, h)
+	}
+	d.mu.Unlock()
+	sortHostIDs(parts)
+	for _, h := range parts {
+		if d.hostDead(h) {
+			continue
+		}
+		_ = d.sendControl(h, e)
 	}
 }

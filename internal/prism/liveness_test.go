@@ -1,0 +1,278 @@
+package prism
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+func TestLeasePolicyTransitions(t *testing.T) {
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+
+	fd.ObserveAt("h1", 0, clk.Now())
+	if st := fd.State("h1"); st != HostUp {
+		t.Fatalf("after heartbeat state = %v, want up", st)
+	}
+	if trans := fd.EvaluateAt(clk.Advance(1 * time.Second)); len(trans) != 0 {
+		t.Fatalf("1s silence produced transitions: %v", trans)
+	}
+	trans := fd.EvaluateAt(clk.Advance(1500 * time.Millisecond)) // 2.5s silent
+	if len(trans) != 1 || trans[0].From != HostUp || trans[0].To != HostSuspect {
+		t.Fatalf("2.5s silence transitions = %v, want up→suspect", trans)
+	}
+	// A heartbeat clears the suspicion.
+	trans = fd.ObserveAt("h1", 0, clk.Now())
+	if len(trans) != 1 || trans[0].From != HostSuspect || trans[0].To != HostUp {
+		t.Fatalf("recovery transitions = %v, want suspect→up", trans)
+	}
+	// Long silence goes straight to dead.
+	trans = fd.EvaluateAt(clk.Advance(10 * time.Second))
+	if len(trans) != 1 || trans[0].To != HostDead {
+		t.Fatalf("10s silence transitions = %v, want →dead", trans)
+	}
+	if dead := fd.DeadHosts(); len(dead) != 1 || dead[0] != "h1" {
+		t.Fatalf("DeadHosts = %v", dead)
+	}
+	// Dead hosts stay dead under further evaluation.
+	if trans := fd.EvaluateAt(clk.Advance(time.Second)); len(trans) != 0 {
+		t.Fatalf("dead host re-transitioned: %v", trans)
+	}
+}
+
+func TestIncarnationGatedRejoin(t *testing.T) {
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+
+	fd.ObserveAt("h1", 3, clk.Now())
+	fd.EvaluateAt(clk.Advance(10 * time.Second))
+	if st := fd.State("h1"); st != HostDead {
+		t.Fatalf("state = %v, want dead", st)
+	}
+	// A replayed frame from the dead incarnation must not resurrect.
+	if trans := fd.ObserveAt("h1", 3, clk.Now()); len(trans) != 0 {
+		t.Fatalf("stale heartbeat resurrected the host: %v", trans)
+	}
+	if st := fd.State("h1"); st != HostDead {
+		t.Fatalf("state after stale heartbeat = %v, want dead", st)
+	}
+	// A strictly greater incarnation rejoins.
+	trans := fd.ObserveAt("h1", 4, clk.Now())
+	if len(trans) != 1 || trans[0].From != HostDead || trans[0].To != HostUp || trans[0].Incarnation != 4 {
+		t.Fatalf("rejoin transitions = %v, want dead→up inc=4", trans)
+	}
+	if inc := fd.Incarnation("h1"); inc != 4 {
+		t.Fatalf("incarnation = %d, want 4", inc)
+	}
+}
+
+func TestWatchNoticesNeverHeartbeatingHost(t *testing.T) {
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+	fd.Watch("mute", clk.Now())
+	trans := fd.EvaluateAt(clk.Advance(10 * time.Second))
+	if len(trans) != 1 || trans[0].Host != "mute" || trans[0].To != HostDead {
+		t.Fatalf("watched-but-silent host transitions = %v, want →dead", trans)
+	}
+}
+
+func TestPhiAccrualAdaptsAndAccrues(t *testing.T) {
+	clk := newFakeClock()
+	p := NewPhiAccrualPolicy(0, 0)
+	fd := NewFailureDetector(p)
+	fd.SetClock(clk.Now)
+
+	// Metronomic 1s heartbeats.
+	for i := 0; i < 20; i++ {
+		fd.ObserveAt("h1", 0, clk.Now())
+		clk.Advance(time.Second)
+	}
+	// The clock now sits 1s after the last heartbeat: φ should be modest.
+	low := p.Phi("h1", clk.Now())
+	if low >= DefaultSuspectPhi {
+		t.Fatalf("φ right after an on-time interval = %v, want < %v", low, DefaultSuspectPhi)
+	}
+	// Long silence accrues past the death threshold.
+	high := p.Phi("h1", clk.Advance(8*time.Second))
+	if high <= DefaultDeadPhi {
+		t.Fatalf("φ after long silence = %v, want > %v", high, DefaultDeadPhi)
+	}
+	if high <= low {
+		t.Fatalf("φ did not accrue: %v → %v", low, high)
+	}
+	trans := fd.EvaluateAt(clk.Now())
+	if len(trans) != 1 || trans[0].To != HostDead {
+		t.Fatalf("transitions = %v, want →dead", trans)
+	}
+
+	// A jittery host earns wider tolerance: with 2s–4s inter-arrivals, a
+	// 5s gap should suspect later than it would for the metronomic host.
+	clk2 := newFakeClock()
+	p2 := NewPhiAccrualPolicy(0, 0)
+	gaps := []time.Duration{2 * time.Second, 4 * time.Second, 3 * time.Second, 2 * time.Second, 4 * time.Second, 3 * time.Second}
+	for _, g := range gaps {
+		p2.Observe("h2", clk2.Now())
+		clk2.Advance(g)
+	}
+	jitterPhi := p2.Phi("h2", clk2.Now().Add(2*time.Second))
+	steadyPhi := p.Phi("h1", clk.Now())
+	if jitterPhi >= steadyPhi {
+		t.Fatalf("jittery host φ %v not more tolerant than steady host φ %v", jitterPhi, steadyPhi)
+	}
+}
+
+func TestHeartbeatOverNetsimFeedsDetector(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	dw.addCounter(t, "s1", "c1", 7)
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+	dw.deployer.AttachDetector(fd)
+
+	if err := dw.admins["s1"].SendHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fd.State("s1") == HostUp })
+	if man := fd.Manifest("s1"); len(man) != 1 || man[0] != "c1" {
+		t.Fatalf("manifest = %v, want [c1]", man)
+	}
+
+	// Silence (by the injected clock — no real waiting) kills the host
+	// and the transition reaches subscribers.
+	var gotMu sync.Mutex
+	var got []Transition
+	fd.Subscribe(func(tr Transition) {
+		gotMu.Lock()
+		got = append(got, tr)
+		gotMu.Unlock()
+	})
+	fd.EvaluateAt(clk.Advance(10 * time.Second))
+	gotMu.Lock()
+	defer gotMu.Unlock()
+	if len(got) != 1 || got[0].Host != "s1" || got[0].To != HostDead {
+		t.Fatalf("published transitions = %v, want s1→dead", got)
+	}
+}
+
+func TestEnactAbortsWhenParticipantDies(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 3)
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+	dw.deployer.AttachDetector(fd)
+
+	// s2 heartbeats once, then crashes: its fabric endpoint goes dark so
+	// the wave's EvReconfig can never be honored.
+	fd.ObserveAt("s2", 0, clk.Now())
+	dw.fabric.Crash("s2")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := dw.deployer.Enact(
+			map[string]model.HostID{"c1": "s2"},
+			map[string]model.HostID{"c1": "s1"},
+			30*time.Second)
+		done <- err
+	}()
+
+	// Let the wave get in flight, then declare s2 dead via the injected
+	// clock. The death must abort the wave immediately — not after the
+	// 30s deadline.
+	time.Sleep(50 * time.Millisecond)
+	fd.EvaluateAt(clk.Advance(10 * time.Second))
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "died mid-wave") {
+			t.Fatalf("err = %v, want mid-wave death abort", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wave did not abort on participant death")
+	}
+	// The component never left its source.
+	if dw.archs["s1"].Component("c1") == nil {
+		t.Fatal("c1 lost from source after aborted wave")
+	}
+}
+
+func TestEnactAbortsUpFrontOnKnownDeadParticipant(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 3)
+	clk := newFakeClock()
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+	dw.deployer.AttachDetector(fd)
+
+	fd.ObserveAt("s2", 0, clk.Now())
+	dw.fabric.Crash("s2")
+	fd.EvaluateAt(clk.Advance(10 * time.Second)) // dead before the wave starts
+
+	start := time.Now()
+	_, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1"},
+		30*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "died mid-wave") {
+		t.Fatalf("err = %v, want dead-participant abort", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("known-dead participant still consumed the deadline")
+	}
+}
+
+func TestDeployerCloseAbortsInFlightWave(t *testing.T) {
+	dw := newDeployWorld(t, 1.0, "m", "s1", "s2")
+	dw.addCounter(t, "s1", "c1", 3)
+	// s2 is dark, so the wave can only end by deadline — or by Close.
+	dw.fabric.Crash("s2")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := dw.deployer.Enact(
+			map[string]model.HostID{"c1": "s2"},
+			map[string]model.HostID{"c1": "s1"},
+			30*time.Second)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	dw.deployer.Close()
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "closed mid-wave") {
+			t.Fatalf("err = %v, want closed-mid-wave abort", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not abort the in-flight wave (shutdown deadlock)")
+	}
+}
