@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race test-race bench check
+.PHONY: build test vet fmt race test-race bench check metrics-drill
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,48 @@ test: vet
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # Race-detect the concurrent hot paths: the middleware and its
 # transports, the netsim fabric, the parallel search algorithms, the
-# delta evaluators they drive, and the framework's crash-recovery drills.
+# delta evaluators they drive, the telemetry registry and tracer, and
+# the framework's crash-recovery drills.
 test-race:
-	$(GO) test -race ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/...
+	$(GO) test -race ./internal/obs/... ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/...
 
 race: test-race
 
 bench:
 	$(GO) test -run xxx -bench . ./internal/algo/
 
-check: build test test-race
+# metrics-drill: the real three-process TCP deployment with the
+# observability endpoint on — generate an architecture, run the deployer
+# with -metrics-addr and -trace-out plus two agents, scrape /metrics,
+# and assert the master committed at least one redeployment wave.
+METRICS_ADDR ?= 127.0.0.1:9790
+metrics-drill:
+	@set -e; \
+	dir=$$(mktemp -d); dep=; a1=; a2=; \
+	trap 'kill $$dep $$a1 $$a2 2>/dev/null; rm -rf $$dir' EXIT; \
+	$(GO) build -o $$dir ./cmd/desi ./cmd/deployer ./cmd/agent; \
+	$$dir/desi generate -hosts 3 -comps 8 -seed 5 -o $$dir/arch.xml >/dev/null; \
+	$$dir/deployer -arch $$dir/arch.xml -host host00 -listen 127.0.0.1:7701 \
+	  -metrics-addr $(METRICS_ADDR) -trace-out $$dir/trace.jsonl \
+	  -cycles 1 -interval 1s >$$dir/deployer.log 2>&1 & dep=$$!; \
+	sleep 1; \
+	$$dir/agent -host host01 -master-host host00 -master 127.0.0.1:7701 >$$dir/a1.log 2>&1 & a1=$$!; \
+	$$dir/agent -host host02 -master-host host00 -master 127.0.0.1:7701 >$$dir/a2.log 2>&1 & a2=$$!; \
+	ok=0; i=0; while [ $$i -lt 120 ]; do \
+	  if curl -fsS http://$(METRICS_ADDR)/metrics 2>/dev/null \
+	     | grep '^prism_wave_committed_total' | grep -qv ' 0$$'; then ok=1; break; fi; \
+	  if ! kill -0 $$dep 2>/dev/null; then break; fi; \
+	  sleep 0.5; i=$$((i+1)); \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+	  echo 'metrics-drill: no committed wave on /metrics'; \
+	  cat $$dir/deployer.log $$dir/a1.log $$dir/a2.log; exit 1; fi; \
+	curl -fsS http://$(METRICS_ADDR)/metrics | grep -E '^(prism_wave|prism_transport)' ; \
+	echo 'metrics-drill: committed waves visible on /metrics'
+
+check: build fmt test test-race

@@ -20,8 +20,10 @@ import (
 	"os"
 	"time"
 
+	"dif/internal/cliflags"
 	"dif/internal/framework"
 	"dif/internal/model"
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -38,11 +40,9 @@ type agentConfig struct {
 	masterHost model.HostID
 	masterAddr string
 	tick       time.Duration
-	heartbeat  time.Duration
-	faultDrop  float64
-	faultDup   float64
-	faultSeed  int64
-	noRetry    bool
+	common     *cliflags.Common
+	reg        *obs.Registry
+	tracer     *obs.Tracer
 }
 
 func run() error {
@@ -52,19 +52,20 @@ func run() error {
 	masterAddr := flag.String("master", "", "the deployer's TCP address")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	tick := flag.Duration("tick", 100*time.Millisecond, "application workload tick interval")
-	heartbeat := flag.Duration("heartbeat", 0, "liveness heartbeat interval to the deployer (0 disables)")
 	incarnation := flag.Uint64("incarnation", 0, "starting incarnation number for this host")
 	churnCrashAfter := flag.Duration("churn-crash-after", 0, "self-crash after this long (0 disables the churn drill)")
 	churnDowntime := flag.Duration("churn-downtime", 2*time.Second, "dark time between churn lifetimes")
 	churnCycles := flag.Int("churn-cycles", 1, "crash/rejoin cycles to run before the final lifetime")
-	faultDrop := flag.Float64("fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
-	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
-	noRetry := flag.Bool("no-retry", false, "disable control-plane retransmission (single-shot sends)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *host == "" || *masterAddr == "" {
 		return fmt.Errorf("-host and -master are required")
 	}
+	reg, tracer, obsShutdown, err := common.Observability()
+	if err != nil {
+		return err
+	}
+	defer obsShutdown()
 
 	cfg := agentConfig{
 		host:       model.HostID(*host),
@@ -72,11 +73,9 @@ func run() error {
 		masterHost: model.HostID(*masterHost),
 		masterAddr: *masterAddr,
 		tick:       *tick,
-		heartbeat:  *heartbeat,
-		faultDrop:  *faultDrop,
-		faultDup:   *faultDup,
-		faultSeed:  *faultSeed,
-		noRetry:    *noRetry,
+		common:     common,
+		reg:        reg,
+		tracer:     tracer,
 	}
 
 	if *churnCrashAfter <= 0 {
@@ -109,15 +108,14 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 	// The bus sees the (optionally fault-injected) transport; Hello and
 	// Addr still go through the concrete TCP handle.
 	var busTr prism.Transport = tr
-	if cfg.faultDrop > 0 || cfg.faultDup > 0 {
-		busTr = prism.NewFaultTransport(tr, prism.FaultConfig{
-			Seed: cfg.faultSeed, DropRate: cfg.faultDrop, DupRate: cfg.faultDup,
-		})
+	if cfg.common.Faulty() {
+		busTr = prism.NewFaultTransport(tr, cfg.common.FaultConfig(cfg.reg))
 	}
 	defer busTr.Close()
 	tr.AddPeer(cfg.masterHost, cfg.masterAddr)
 
 	arch := prism.NewArchitecture(cfg.host, nil)
+	arch.SetObservability(cfg.reg, cfg.tracer)
 	arch.Scaffold().Start(4)
 	defer arch.Shutdown()
 	if _, err := arch.AddDistributionConnector(framework.BusName, busTr); err != nil {
@@ -131,7 +129,7 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 		Deployer:    cfg.masterHost,
 		Bus:         framework.BusName,
 		Registry:    registry,
-		Retry:       prism.RetryPolicy{Disabled: cfg.noRetry, Seed: cfg.faultSeed},
+		Retry:       cfg.common.Retry(),
 		Incarnation: incarnation,
 	})
 	if err != nil {
@@ -145,8 +143,8 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 	}
 	fmt.Printf("agent %s joined %s (%s) incarnation %d; running %v\n",
 		cfg.host, cfg.masterHost, cfg.masterAddr, incarnation, duration)
-	if cfg.heartbeat > 0 {
-		admin.StartHeartbeats(cfg.heartbeat)
+	if cfg.common.Heartbeat > 0 {
+		admin.StartHeartbeats(cfg.common.Heartbeat)
 	}
 
 	ticker := time.NewTicker(cfg.tick)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dif/internal/analyzer"
+	"dif/internal/cliflags"
 	"dif/internal/effector"
 	"dif/internal/framework"
 	"dif/internal/model"
@@ -46,18 +47,19 @@ func run() error {
 	cycles := flag.Int("cycles", 2, "monitor/analyze cycles to run")
 	interval := flag.Duration("interval", 3*time.Second, "pause between cycles (lets agents generate traffic)")
 	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "how long to wait for agents")
-	faultDrop := flag.Float64("fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
-	faultDup := flag.Float64("fault-dup", 0, "injected duplicate-delivery rate [0,1)")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault process")
-	noRetry := flag.Bool("no-retry", false, "disable control-plane retransmission (single-shot sends)")
-	heartbeat := flag.Duration("heartbeat", 0, "enable liveness tracking of agent heartbeats (0 disables)")
 	detector := flag.String("detector", "lease", "failure detection policy: lease or phi")
 	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "lease policy: silence before a host is suspected")
 	deadAfter := flag.Duration("dead-after", 5*time.Second, "lease policy: silence before a host is declared dead")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *archFile == "" || *host == "" {
 		return fmt.Errorf("-arch and -host are required")
 	}
+	reg, tracer, obsShutdown, err := common.Observability()
+	if err != nil {
+		return err
+	}
+	defer obsShutdown()
 
 	f, err := os.Open(*archFile)
 	if err != nil {
@@ -83,13 +85,12 @@ func run() error {
 	// The bus sees the (optionally fault-injected) transport; Addr and
 	// Peers still go through the concrete TCP handle.
 	var busTr prism.Transport = tr
-	if *faultDrop > 0 || *faultDup > 0 {
-		busTr = prism.NewFaultTransport(tr, prism.FaultConfig{
-			Seed: *faultSeed, DropRate: *faultDrop, DupRate: *faultDup,
-		})
+	if common.Faulty() {
+		busTr = prism.NewFaultTransport(tr, common.FaultConfig(reg))
 	}
 	defer busTr.Close()
 	arch := prism.NewArchitecture(master, nil)
+	arch.SetObservability(reg, tracer)
 	arch.Scaffold().Start(4)
 	defer arch.Shutdown()
 	if _, err := arch.AddDistributionConnector(framework.BusName, busTr); err != nil {
@@ -101,7 +102,7 @@ func run() error {
 	})
 	adminCfg := prism.AdminConfig{
 		Deployer: master, Bus: framework.BusName, Registry: registry,
-		Retry: prism.RetryPolicy{Disabled: *noRetry, Seed: *faultSeed},
+		Retry: common.Retry(),
 	}
 	if _, err := prism.InstallAdmin(arch, adminCfg); err != nil {
 		return err
@@ -115,7 +116,7 @@ func run() error {
 	// transitions abort in-flight waves and trigger survivor replanning
 	// in the cycle loop below.
 	var fd *prism.FailureDetector
-	if *heartbeat > 0 {
+	if common.Heartbeat > 0 {
 		var policy prism.SuspicionPolicy
 		switch *detector {
 		case "lease":
@@ -170,7 +171,7 @@ func run() error {
 		stopEval := make(chan struct{})
 		defer close(stopEval)
 		go func() {
-			t := time.NewTicker(*heartbeat)
+			t := time.NewTicker(common.Heartbeat)
 			defer t.Stop()
 			for {
 				select {
@@ -221,6 +222,7 @@ func run() error {
 	// Monitor → analyze → redeploy loop.
 	centralModel := sys.Clone()
 	anlz := analyzer.New(nil, analyzer.Policy{})
+	anlz.Instrument(reg)
 	view := deployment.Clone()
 	en := &effector.PrismEnactor{Deployer: dep}
 	for cycle := 1; cycle <= *cycles; cycle++ {
@@ -295,8 +297,8 @@ func run() error {
 			}
 		}
 		reportTimeout := 30 * time.Second
-		if fd != nil && 10**heartbeat < reportTimeout {
-			reportTimeout = 10 * *heartbeat
+		if fd != nil && 10*common.Heartbeat < reportTimeout {
+			reportTimeout = 10 * common.Heartbeat
 		}
 		reports, err := dep.RequestReports(live, reportTimeout)
 		if err != nil {

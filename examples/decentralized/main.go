@@ -78,7 +78,7 @@ func run() error {
 	}
 	fmt.Printf("  local monitoring wrote %d parameters; %d model-sync messages\n",
 		rep.ParamsWritten, rep.SyncMessages)
-	fmt.Printf("  auction protocol: %s\n", rep.Stats)
+	fmt.Printf("  auction protocol: %s\n", rep.Auction)
 	fmt.Printf("  analyzers' poll passed: %v; %d components migrated\n",
 		rep.VotePassed, rep.Moves)
 	fmt.Printf("  availability %.4f -> %.4f\n", rep.AvailabilityBefore, rep.AvailabilityAfter)

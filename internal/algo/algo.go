@@ -26,6 +26,7 @@ import (
 
 	"dif/internal/model"
 	"dif/internal/objective"
+	"dif/internal/obs"
 )
 
 // ErrNoValidDeployment is returned when an algorithm cannot find any
@@ -84,6 +85,42 @@ type Config struct {
 	// RNGs are derived from splitmix64(Seed, unitIndex), so results are
 	// bit-identical for any worker count.
 	Workers int
+	// Obs receives the run's search counters (algo_*_total{algo=...});
+	// nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// algoMetrics bundles the counters an instrumented algorithm run feeds.
+// All handles no-op when Config.Obs is nil.
+type algoMetrics struct {
+	iterations *obs.Counter
+	accepted   *obs.Counter
+	rejected   *obs.Counter
+	deltaEvals *obs.Counter
+	fullEvals  *obs.Counter
+}
+
+func (c Config) metrics(algorithm string) algoMetrics {
+	n := func(base string) *obs.Counter {
+		return c.Obs.Counter(obs.Name(base, "algo", algorithm))
+	}
+	return algoMetrics{
+		iterations: n("algo_iterations_total"),
+		accepted:   n("algo_candidates_accepted_total"),
+		rejected:   n("algo_candidates_rejected_total"),
+		deltaEvals: n("algo_delta_evals_total"),
+		fullEvals:  n("algo_full_evals_total"),
+	}
+}
+
+// eval returns the counter tracking scored candidates: incremental
+// delta re-quantifications when the objective supports them, full
+// re-quantifications otherwise.
+func (m algoMetrics) eval(q objective.Quantifier) *obs.Counter {
+	if _, ok := q.(objective.DeltaQuantifier); ok {
+		return m.deltaEvals
+	}
+	return m.fullEvals
 }
 
 func (c Config) checker() ConstraintChecker {

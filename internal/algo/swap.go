@@ -50,6 +50,8 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 	if passes <= 0 {
 		passes = defaultSwapPasses
 	}
+	met := cfg.metrics(a.Name())
+	evals := met.eval(cfg.Objective)
 	d := initial.Clone()
 	st := objective.BeginDelta(cfg.Objective, s, d)
 	best := st.Score()
@@ -83,6 +85,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 	}
 
 	for pass := 0; pass < passes; pass++ {
+		met.iterations.Inc()
 		select {
 		case <-ctx.Done():
 			res.Deployment = d
@@ -105,6 +108,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					continue
 				}
 				res.Evaluations++
+				evals.Inc()
 				score := st.Move(c, h)
 				if objective.Better(cfg.Objective, score, best) {
 					st.Commit()
@@ -115,8 +119,10 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					best = score
 					from = h
 					improved = true
+					met.accepted.Inc()
 				} else {
 					st.Revert()
+					met.rejected.Inc()
 				}
 			}
 		}
@@ -134,6 +140,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					continue
 				}
 				res.Evaluations++
+				evals.Inc()
 				score := st.SwapPair(ci, cj)
 				if objective.Better(cfg.Objective, score, best) {
 					st.Commit()
@@ -143,8 +150,10 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 					}
 					best = score
 					improved = true
+					met.accepted.Inc()
 				} else {
 					st.Revert()
+					met.rejected.Inc()
 				}
 			}
 		}

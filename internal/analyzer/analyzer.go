@@ -24,6 +24,7 @@ import (
 	"dif/internal/algo"
 	"dif/internal/model"
 	"dif/internal/objective"
+	"dif/internal/obs"
 )
 
 // Policy holds the analyzer's decision thresholds.
@@ -89,6 +90,7 @@ type Analyzer struct {
 	registry *algo.Registry
 	policy   Policy
 	now      func() time.Time
+	obs      *obs.Registry
 
 	mu      sync.Mutex
 	history []Record
@@ -131,6 +133,10 @@ func (a *Analyzer) Policy() Policy { return a.policy }
 // SetClock overrides the analyzer's time source (tests).
 func (a *Analyzer) SetClock(now func() time.Time) { a.now = now }
 
+// Instrument routes the algorithms' iteration/evaluation counters to reg
+// (nil disables instrumentation). Call before Start/Analyze.
+func (a *Analyzer) Instrument(reg *obs.Registry) { a.obs = reg }
+
 // SelectAlgorithm applies the §5.1 policy: Exact for very small systems
 // that are stable, Avala for stable systems, Stochastic for unstable
 // ones.
@@ -162,9 +168,13 @@ func (a *Analyzer) Analyze(ctx context.Context, s *model.System, current model.D
 		Objective: objective.Availability{},
 		Seed:      int64(len(a.snapshotHistory())) + 1,
 		Trials:    trials,
+		Obs:       a.obs,
 	}
 	dec := Decision{Algorithm: name, Stability: stability, When: a.now()}
-	res, err := alg.Run(ctx, s, current, cfg)
+	var res algo.Result
+	obs.Profile(ctx, "plan", func(ctx context.Context) {
+		res, err = alg.Run(ctx, s, current, cfg)
+	})
 	if err != nil {
 		return dec, fmt.Errorf("analyzer: %s: %w", name, err)
 	}
@@ -206,9 +216,13 @@ func (a *Analyzer) Recover(ctx context.Context, s *model.System, current model.D
 		Objective: objective.Availability{},
 		Seed:      int64(len(a.snapshotHistory())) + 1,
 		Trials:    a.policy.StableTrials,
+		Obs:       a.obs,
 	}
 	dec := Decision{Algorithm: name + "+recovery", Stability: 1.0, When: a.now()}
-	res, err := alg.Run(ctx, s, current, cfg)
+	var res algo.Result
+	obs.Profile(ctx, "replan", func(ctx context.Context) {
+		res, err = alg.Run(ctx, s, current, cfg)
+	})
 	if err != nil {
 		return dec, fmt.Errorf("analyzer: recovery %s: %w", name, err)
 	}

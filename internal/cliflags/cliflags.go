@@ -1,0 +1,94 @@
+// Package cliflags defines the command-line surface the deployer and
+// agent binaries share, so the fault-injection, retry, liveness, and
+// observability knobs stay name- and default-compatible across both
+// halves of a drill: a flag you pass the master means the same thing on
+// every slave.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dif/internal/obs"
+	"dif/internal/prism"
+)
+
+// Common holds the parsed values of the shared flags.
+type Common struct {
+	FaultDrop   float64
+	FaultDup    float64
+	FaultSeed   int64
+	NoRetry     bool
+	Heartbeat   time.Duration
+	MetricsAddr string
+	TraceOut    string
+}
+
+// Register installs the shared flags on fs and returns the struct the
+// parsed values land in.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Float64Var(&c.FaultDrop, "fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
+	fs.Float64Var(&c.FaultDup, "fault-dup", 0, "injected duplicate-delivery rate [0,1)")
+	fs.Int64Var(&c.FaultSeed, "fault-seed", 1, "seed for the injected fault process")
+	fs.BoolVar(&c.NoRetry, "no-retry", false, "disable control-plane retransmission (single-shot sends)")
+	fs.DurationVar(&c.Heartbeat, "heartbeat", 0, "liveness heartbeat interval (0 disables)")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty disables)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write recorded span trees as JSONL to this file on exit (empty disables)")
+	return c
+}
+
+// Faulty reports whether any transport fault injection was requested.
+func (c *Common) Faulty() bool { return c.FaultDrop > 0 || c.FaultDup > 0 }
+
+// FaultConfig builds the fault decorator's configuration, registering
+// its counters in reg (nil reg keeps the decorator's private registry).
+func (c *Common) FaultConfig(reg *obs.Registry) prism.FaultConfig {
+	return prism.FaultConfig{
+		Seed: c.FaultSeed, DropRate: c.FaultDrop, DupRate: c.FaultDup, Obs: reg,
+	}
+}
+
+// Retry builds the control-plane retry policy.
+func (c *Common) Retry() prism.RetryPolicy {
+	return prism.RetryPolicy{Disabled: c.NoRetry, Seed: c.FaultSeed}
+}
+
+// Observability wires the process's metric registry and span tracer per
+// the shared flags: with -metrics-addr an HTTP endpoint serves metrics,
+// traces, and pprof (and profiling labels turn on); the returned
+// shutdown closes the endpoint and, with -trace-out, dumps every
+// recorded span tree as JSONL. Call shutdown on every exit path.
+func (c *Common) Observability() (*obs.Registry, *obs.Tracer, func(), error) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	var stop func() error
+	if c.MetricsAddr != "" {
+		addr, shutdown, err := obs.Serve(c.MetricsAddr, reg, tracer)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", addr)
+		stop = shutdown
+	}
+	shutdown := func() {
+		if stop != nil {
+			_ = stop()
+		}
+		if c.TraceOut == "" {
+			return
+		}
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			return
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+		}
+		f.Close()
+	}
+	return reg, tracer, shutdown, nil
+}

@@ -1,0 +1,95 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSharedFlagParity parses representative command lines the way both
+// binaries do and checks the shared surface lands identically: same
+// names, same defaults, same parsed values whichever binary gets them.
+func TestSharedFlagParity(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want Common
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: Common{FaultSeed: 1},
+		},
+		{
+			name: "fault drill",
+			args: []string{"-fault-drop", "0.2", "-fault-dup", "0.05", "-fault-seed", "42"},
+			want: Common{FaultDrop: 0.2, FaultDup: 0.05, FaultSeed: 42},
+		},
+		{
+			name: "liveness and no retry",
+			args: []string{"-heartbeat", "250ms", "-no-retry"},
+			want: Common{FaultSeed: 1, Heartbeat: 250 * time.Millisecond, NoRetry: true},
+		},
+		{
+			name: "observability",
+			args: []string{"-metrics-addr", "127.0.0.1:9090", "-trace-out", "trace.jsonl"},
+			want: Common{FaultSeed: 1, MetricsAddr: "127.0.0.1:9090", TraceOut: "trace.jsonl"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Both binaries register the shared set the same way; parsing
+			// the same argv must produce the same Common in each.
+			for _, binary := range []string{"deployer", "agent"} {
+				fs := flag.NewFlagSet(binary, flag.ContinueOnError)
+				got := Register(fs)
+				if err := fs.Parse(tc.args); err != nil {
+					t.Fatalf("%s: parse: %v", binary, err)
+				}
+				if *got != tc.want {
+					t.Fatalf("%s: parsed %+v, want %+v", binary, *got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultConfigAndRetry(t *testing.T) {
+	c := Common{FaultDrop: 0.1, FaultDup: 0.02, FaultSeed: 7, NoRetry: true}
+	if !c.Faulty() {
+		t.Fatal("Faulty() = false with drop and dup rates set")
+	}
+	fc := c.FaultConfig(nil)
+	if fc.Seed != 7 || fc.DropRate != 0.1 || fc.DupRate != 0.02 {
+		t.Fatalf("FaultConfig = %+v", fc)
+	}
+	rp := c.Retry()
+	if !rp.Disabled || rp.Seed != 7 {
+		t.Fatalf("Retry = %+v", rp)
+	}
+	var zero Common
+	if zero.Faulty() {
+		t.Fatal("Faulty() = true on zero value")
+	}
+}
+
+func TestObservabilityShutdownWritesTrace(t *testing.T) {
+	out := t.TempDir() + "/trace.jsonl"
+	c := Common{TraceOut: out}
+	_, tracer, shutdown, err := c.Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := tracer.Start("cycle")
+	sp.SetAttr("mode", "test")
+	sp.End()
+	shutdown()
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace-out file is empty")
+	}
+}

@@ -8,11 +8,13 @@
 package effector
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -188,7 +190,11 @@ func (e *PrismEnactor) Enact(plan Plan, timeout time.Duration) (Report, error) {
 		moves[string(m.Comp)] = m.To
 		current[string(m.Comp)] = m.From
 	}
-	res, err := e.Deployer.Enact(moves, current, timeout)
+	var res prism.EnactResult
+	var err error
+	obs.Profile(nil, "enact", func(context.Context) {
+		res, err = e.Deployer.Enact(moves, current, timeout)
+	})
 	rep := Report{
 		Moved:    res.Moved,
 		Received: res.Received,

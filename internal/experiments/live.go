@@ -502,8 +502,8 @@ func RunE9() ([]E9Row, error) {
 		AvailBefore:   repD.AvailabilityBefore,
 		AvailAfter:    repD.AvailabilityAfter,
 		Moves:         repD.Moves,
-		CoordMsgs:     repD.SyncMessages + repD.Stats.Announcements + repD.Stats.Bids,
-		BytesMoved:    repD.Stats.BytesMoved,
+		CoordMsgs:     repD.SyncMessages + repD.Auction.Announcements + repD.Auction.Bids,
+		BytesMoved:    repD.Auction.BytesMoved,
 	})
 	return rows, nil
 }

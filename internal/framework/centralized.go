@@ -36,32 +36,17 @@ type Centralized struct {
 // The master's model starts as a clone of the design-time system (the
 // Centralized User Input); monitoring refines it.
 func NewCentralized(w *World, policy analyzer.Policy) *Centralized {
+	an := analyzer.New(nil, policy)
+	an.Instrument(w.Obs())
 	return &Centralized{
 		World:         w,
 		Model:         w.Sys.Clone(),
-		Analyzer:      analyzer.New(nil, policy),
+		Analyzer:      an,
 		Tracker:       monitor.NewTracker(0, 0),
 		Deployment:    w.LiveDeployment(),
 		ReportTimeout: 5 * time.Second,
 		EnactTimeout:  10 * time.Second,
 	}
-}
-
-// CycleReport summarizes one monitor→analyze→redeploy cycle.
-type CycleReport struct {
-	ReportsGathered    int
-	ParamsWritten      int
-	Stability          float64
-	Decision           analyzer.Decision
-	Enacted            bool
-	Moves              int
-	// Received and Degraded surface the enactment's delivery outcome:
-	// how many moves the destinations confirmed, and whether the wave
-	// finished partially (see effector.Report).
-	Received           int
-	Degraded           bool
-	AvailabilityBefore float64
-	AvailabilityAfter  float64
 }
 
 // Monitor runs the monitoring phase only: gather reports from every
@@ -95,14 +80,23 @@ func (c *Centralized) Monitor() (int, int, error) {
 
 // Cycle runs one full monitor→analyze→redeploy round and reports what
 // happened.
-func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
-	var rep CycleReport
+func (c *Centralized) Cycle(ctx context.Context) (Report, error) {
+	rep := Report{Mode: ModeCentralized}
+	cyc := c.World.Tracer().Start("cycle")
+	cyc.SetAttr("mode", string(ModeCentralized))
+
+	mon := cyc.Child("monitor")
 	gathered, written, err := c.Monitor()
 	if err != nil {
+		mon.SetAttr("outcome", "error")
+		mon.End()
+		rep.finish(cyc, c.World.Obs(), err)
 		return rep, err
 	}
 	rep.ReportsGathered = gathered
 	rep.ParamsWritten = written
+	mon.SetAttr("reports", gathered).SetAttr("written", written)
+	mon.End()
 	// A nil tracker means monitoring data is applied ungated; treat the
 	// system as fully stable.
 	rep.Stability = 1.0
@@ -120,35 +114,60 @@ func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
 	}
 	rep.AvailabilityBefore = objective.Availability{}.Quantify(c.Model, c.Deployment)
 
+	pl := cyc.Child("plan")
 	dec, err := c.Analyzer.Analyze(ctx, c.Model, c.Deployment, rep.Stability)
 	if err != nil {
-		return rep, fmt.Errorf("centralized analyze: %w", err)
+		pl.SetAttr("outcome", "error")
+		pl.End()
+		err = fmt.Errorf("centralized analyze: %w", err)
+		rep.finish(cyc, c.World.Obs(), err)
+		return rep, err
 	}
 	rep.Decision = dec
 	if !dec.Accepted {
+		pl.SetAttr("outcome", "rejected").SetAttr("reason", dec.Reason)
+		pl.End()
 		rep.AvailabilityAfter = rep.AvailabilityBefore
+		rep.finish(cyc, c.World.Obs(), nil)
 		return rep, nil
 	}
+	pl.SetAttr("outcome", "accepted").SetAttr("algorithm", dec.Result.Algorithm)
+	pl.End()
 
+	en := cyc.Child("enact")
 	plan, err := effector.ComputePlan(c.Model, c.Deployment, dec.Result.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("centralized plan: %w", err)
+		en.SetAttr("outcome", "error")
+		en.End()
+		err = fmt.Errorf("centralized plan: %w", err)
+		rep.finish(cyc, c.World.Obs(), err)
+		return rep, err
 	}
 	if plan.Empty() {
+		en.SetAttr("outcome", "empty")
+		en.End()
 		rep.AvailabilityAfter = rep.AvailabilityBefore
+		rep.finish(cyc, c.World.Obs(), nil)
 		return rep, nil
 	}
-	en := &effector.PrismEnactor{Deployer: c.World.Deployer}
-	enRep, err := en.Enact(plan, c.EnactTimeout)
+	enactor := &effector.PrismEnactor{Deployer: c.World.Deployer}
+	enRep, err := enactor.Enact(plan, c.EnactTimeout)
 	if err != nil {
-		return rep, fmt.Errorf("centralized enact: %w", err)
+		en.SetAttr("outcome", "error")
+		en.End()
+		err = fmt.Errorf("centralized enact: %w", err)
+		rep.finish(cyc, c.World.Obs(), err)
+		return rep, err
 	}
 	rep.Enacted = true
 	rep.Moves = enRep.Moved
 	rep.Received = enRep.Received
 	rep.Degraded = enRep.Degraded
+	en.SetAttr("outcome", "done").SetAttr("moves", enRep.Moved)
+	en.End()
 	c.Deployment = dec.Result.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
+	rep.finish(cyc, c.World.Obs(), nil)
 	return rep, nil
 }
 
@@ -158,45 +177,77 @@ func (c *Centralized) Cycle(ctx context.Context) (CycleReport, error) {
 // excludes it; the components lost with it are restored from origin
 // copies onto the master; then the analyzer replans onto the survivors,
 // bypassing the churn hysteresis, and the resulting moves are enacted.
-func (c *Centralized) Recover(ctx context.Context, dead model.HostID) (CycleReport, error) {
-	var rep CycleReport
+func (c *Centralized) Recover(ctx context.Context, dead model.HostID) (Report, error) {
+	rep := Report{Mode: ModeCentralized}
+	rec := c.World.Tracer().Start("recover")
+	rec.SetAttr("mode", string(ModeCentralized)).SetAttr("dead", string(dead))
+	c.World.Obs().Counter("framework_recoveries_total").Inc()
 	c.Model.SetHostDown(dead, true)
 
 	// Restore lost components from origin copies onto the master. They
 	// were lost with the dead host; the master's factory registry can
 	// re-instantiate them, and the replan below immediately spreads them
 	// over the survivors.
-	for _, comp := range c.Deployment.ComponentsOn(dead) {
+	restore := rec.Child("restore")
+	lost := c.Deployment.ComponentsOn(dead)
+	for _, comp := range lost {
 		if err := c.World.PlaceComponent(comp, c.World.Master); err != nil {
-			return rep, fmt.Errorf("centralized recover: restore %s: %w", comp, err)
+			restore.SetAttr("outcome", "error")
+			restore.End()
+			err = fmt.Errorf("centralized recover: restore %s: %w", comp, err)
+			rep.finish(rec, c.World.Obs(), err)
+			return rep, err
 		}
 		c.Deployment[comp] = c.World.Master
 	}
+	restore.SetAttr("restored", len(lost))
+	restore.End()
 	rep.AvailabilityBefore = objective.Availability{}.Quantify(c.Model, c.Deployment)
 
+	pl := rec.Child("plan")
 	dec, err := c.Analyzer.Recover(ctx, c.Model, c.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("centralized recover: %w", err)
+		pl.SetAttr("outcome", "error")
+		pl.End()
+		err = fmt.Errorf("centralized recover: %w", err)
+		rep.finish(rec, c.World.Obs(), err)
+		return rep, err
 	}
 	rep.Decision = dec
+	pl.SetAttr("outcome", "accepted").SetAttr("algorithm", dec.Result.Algorithm)
+	pl.End()
 
+	en := rec.Child("enact")
 	plan, err := effector.ComputePlan(c.Model, c.Deployment, dec.Result.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("centralized recover plan: %w", err)
+		en.SetAttr("outcome", "error")
+		en.End()
+		err = fmt.Errorf("centralized recover plan: %w", err)
+		rep.finish(rec, c.World.Obs(), err)
+		return rep, err
 	}
 	if !plan.Empty() {
-		en := &effector.PrismEnactor{Deployer: c.World.Deployer}
-		enRep, err := en.Enact(plan, c.EnactTimeout)
+		enactor := &effector.PrismEnactor{Deployer: c.World.Deployer}
+		enRep, err := enactor.Enact(plan, c.EnactTimeout)
 		if err != nil {
-			return rep, fmt.Errorf("centralized recover enact: %w", err)
+			en.SetAttr("outcome", "error")
+			en.End()
+			err = fmt.Errorf("centralized recover enact: %w", err)
+			rep.finish(rec, c.World.Obs(), err)
+			return rep, err
 		}
 		rep.Enacted = true
 		rep.Moves = enRep.Moved
 		rep.Received = enRep.Received
 		rep.Degraded = enRep.Degraded
+		en.SetAttr("outcome", "done").SetAttr("moves", enRep.Moved)
+	} else {
+		en.SetAttr("outcome", "empty")
 	}
+	en.End()
 	c.Deployment = dec.Result.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(c.Model, c.Deployment)
+	rep.finish(rec, c.World.Obs(), nil)
 	return rep, nil
 }
 
@@ -214,6 +265,7 @@ func (c *Centralized) Rejoin(h model.HostID) error {
 	if fd := c.World.Deployer.Detector(); fd != nil {
 		fd.Observe(h, c.World.Incarnation(h))
 	}
+	c.World.Obs().Counter("framework_rejoins_total").Inc()
 	return nil
 }
 

@@ -3,6 +3,7 @@ package framework
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"dif/internal/algo/decap"
@@ -242,46 +243,60 @@ func (d *Decentralized) SyncModels() int {
 	return msgs
 }
 
-// DecCycleReport summarizes one decentralized improvement round.
-type DecCycleReport struct {
-	ParamsWritten      int
-	SyncMessages       int
-	Stats              decap.Stats
-	VotePassed         bool
-	Enacted            bool
-	Moves              int
-	// Received and Degraded aggregate the per-host enactments' delivery
-	// outcomes (see effector.Report).
-	Received           int
-	Degraded           bool
-	AvailabilityBefore float64
-	AvailabilityAfter  float64
+// sortedDests returns a destination→moves grouping's keys in sorted
+// order so per-host enactment (and its span tree) is deterministic.
+func sortedDests(byDst map[model.HostID][]effector.Move) []model.HostID {
+	dsts := make([]model.HostID, 0, len(byDst))
+	for dst := range byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	return dsts
 }
 
 // Cycle runs one decentralized round: local monitoring, model sync, the
 // DecAp auction, the analyzers' vote, and local enactment of the moves.
-func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
-	var rep DecCycleReport
+func (d *Decentralized) Cycle(ctx context.Context) (Report, error) {
+	rep := Report{Mode: ModeDecentralized}
+	cyc := d.World.Tracer().Start("cycle")
+	cyc.SetAttr("mode", string(ModeDecentralized))
+
+	mon := cyc.Child("monitor")
 	rep.ParamsWritten = d.MonitorLocal()
 	rep.SyncMessages = d.SyncModels()
+	mon.SetAttr("written", rep.ParamsWritten).SetAttr("syncs", rep.SyncMessages)
+	mon.End()
 	rep.AvailabilityBefore = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
 
 	// Every round starts with a coordinator election: a dead or
 	// partitioned would-be auctioneer deterministically times out here
 	// (probe budget, not wall clock) and is excluded before the auction.
-	if _, err := d.ElectCoordinator(); err != nil {
-		return rep, fmt.Errorf("decentralized cycle: %w", err)
+	elect := cyc.Child("elect")
+	coord, err := d.ElectCoordinator()
+	if err != nil {
+		elect.SetAttr("outcome", "error")
+		elect.End()
+		err = fmt.Errorf("decentralized cycle: %w", err)
+		rep.finish(cyc, d.World.Obs(), err)
+		return rep, err
 	}
+	elect.SetAttr("coordinator", string(coord)).SetAttr("timeouts", d.RoundTimeouts)
+	elect.End()
 
 	// The auction runs over the global system restricted by awareness —
 	// exactly the knowledge the synchronized local models hold — minus
 	// the hosts the survivors have written out.
+	plSp := cyc.Child("plan")
 	dec := decap.New(decap.Config{Awareness: d.Awareness, Exclude: d.Excluded})
 	res, err := dec.Run(ctx, d.World.Sys, d.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("decentralized cycle: %w", err)
+		plSp.SetAttr("outcome", "error")
+		plSp.End()
+		err = fmt.Errorf("decentralized cycle: %w", err)
+		rep.finish(cyc, d.World.Obs(), err)
+		return rep, err
 	}
-	rep.Stats = res.Stats
+	rep.Auction = res.Stats
 
 	// Each surviving host's analyzer scores the candidate with its local
 	// model, then the analyzers coordinate acceptance with the configured
@@ -307,37 +322,59 @@ func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
 		rep.VotePassed = analyzer.Poll(localScores, candScores, d.Quorum)
 	}
 	if !rep.VotePassed {
+		plSp.SetAttr("outcome", "rejected").SetAttr("auctions", res.Stats.Auctions)
+		plSp.End()
 		rep.AvailabilityAfter = rep.AvailabilityBefore
+		rep.finish(cyc, d.World.Obs(), nil)
 		return rep, nil
 	}
+	plSp.SetAttr("outcome", "accepted").SetAttr("auctions", res.Stats.Auctions)
+	plSp.End()
 
 	// Local effectors: each receiving host's deployer enacts its own
-	// arrivals.
+	// arrivals (in sorted destination order for deterministic traces).
+	enSp := cyc.Child("enact")
 	plan, err := effector.ComputePlan(d.World.Sys, d.Deployment, res.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("decentralized plan: %w", err)
+		enSp.SetAttr("outcome", "error")
+		enSp.End()
+		err = fmt.Errorf("decentralized plan: %w", err)
+		rep.finish(cyc, d.World.Obs(), err)
+		return rep, err
 	}
 	byDst := make(map[model.HostID][]effector.Move)
 	for _, mv := range plan.Moves {
 		byDst[mv.To] = append(byDst[mv.To], mv)
 	}
-	for dst, moves := range byDst {
+	for _, dst := range sortedDests(byDst) {
+		moves := byDst[dst]
 		dep := d.localDeployer(dst)
 		if dep == nil {
-			return rep, fmt.Errorf("decentralized enact: host %s has no deployer", dst)
+			enSp.SetAttr("outcome", "error")
+			enSp.End()
+			err = fmt.Errorf("decentralized enact: host %s has no deployer", dst)
+			rep.finish(cyc, d.World.Obs(), err)
+			return rep, err
 		}
 		en := &effector.PrismEnactor{Deployer: dep}
 		enRep, err := en.Enact(effector.Plan{Moves: moves}, d.EnactTimeout)
 		if err != nil {
-			return rep, fmt.Errorf("decentralized enact on %s: %w", dst, err)
+			enSp.SetAttr("outcome", "error")
+			enSp.End()
+			err = fmt.Errorf("decentralized enact on %s: %w", dst, err)
+			rep.finish(cyc, d.World.Obs(), err)
+			return rep, err
 		}
 		rep.Moves += enRep.Moved
 		rep.Received += enRep.Received
 		rep.Degraded = rep.Degraded || enRep.Degraded
 	}
 	rep.Enacted = rep.Moves > 0
+	enSp.SetAttr("outcome", "done").SetAttr("moves", rep.Moves)
+	enSp.End()
 	d.Deployment = res.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+	rep.finish(cyc, d.World.Obs(), nil)
 	return rep, nil
 }
 
@@ -347,8 +384,11 @@ func (d *Decentralized) Cycle(ctx context.Context) (DecCycleReport, error) {
 // coordinator, every surviving local model marks the host Down, and one
 // auction round spreads the restored components over the survivors —
 // without the acceptance vote: recovery is not optional.
-func (d *Decentralized) Recover(ctx context.Context, dead model.HostID) (DecCycleReport, error) {
-	var rep DecCycleReport
+func (d *Decentralized) Recover(ctx context.Context, dead model.HostID) (Report, error) {
+	rep := Report{Mode: ModeDecentralized, VotePassed: true} // recovery bypasses the acceptance protocols
+	rec := d.World.Tracer().Start("recover")
+	rec.SetAttr("mode", string(ModeDecentralized)).SetAttr("dead", string(dead))
+	d.World.Obs().Counter("framework_recoveries_total").Inc()
 	d.World.Sys.SetHostDown(dead, true)
 	if d.Excluded == nil {
 		d.Excluded = make(map[model.HostID]bool)
@@ -361,51 +401,90 @@ func (d *Decentralized) Recover(ctx context.Context, dead model.HostID) (DecCycl
 		local.SetHostDown(dead, true)
 	}
 
+	elect := rec.Child("elect")
 	coord, err := d.ElectCoordinator()
 	if err != nil {
-		return rep, fmt.Errorf("decentralized recover: %w", err)
+		elect.SetAttr("outcome", "error")
+		elect.End()
+		err = fmt.Errorf("decentralized recover: %w", err)
+		rep.finish(rec, d.World.Obs(), err)
+		return rep, err
 	}
-	for _, comp := range d.Deployment.ComponentsOn(dead) {
+	elect.SetAttr("coordinator", string(coord)).SetAttr("timeouts", d.RoundTimeouts)
+	elect.End()
+
+	restore := rec.Child("restore")
+	lost := d.Deployment.ComponentsOn(dead)
+	for _, comp := range lost {
 		if err := d.World.PlaceComponent(comp, coord); err != nil {
-			return rep, fmt.Errorf("decentralized recover: restore %s: %w", comp, err)
+			restore.SetAttr("outcome", "error")
+			restore.End()
+			err = fmt.Errorf("decentralized recover: restore %s: %w", comp, err)
+			rep.finish(rec, d.World.Obs(), err)
+			return rep, err
 		}
 		d.Deployment[comp] = coord
 	}
+	restore.SetAttr("restored", len(lost))
+	restore.End()
 	rep.AvailabilityBefore = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
 
+	plSp := rec.Child("plan")
 	dec := decap.New(decap.Config{Awareness: d.Awareness, Exclude: d.Excluded})
 	res, err := dec.Run(ctx, d.World.Sys, d.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("decentralized recover: %w", err)
+		plSp.SetAttr("outcome", "error")
+		plSp.End()
+		err = fmt.Errorf("decentralized recover: %w", err)
+		rep.finish(rec, d.World.Obs(), err)
+		return rep, err
 	}
-	rep.Stats = res.Stats
-	rep.VotePassed = true // recovery bypasses the acceptance protocols
+	rep.Auction = res.Stats
+	plSp.SetAttr("outcome", "accepted").SetAttr("auctions", res.Stats.Auctions)
+	plSp.End()
 
+	enSp := rec.Child("enact")
 	plan, err := effector.ComputePlan(d.World.Sys, d.Deployment, res.Deployment)
 	if err != nil {
-		return rep, fmt.Errorf("decentralized recover plan: %w", err)
+		enSp.SetAttr("outcome", "error")
+		enSp.End()
+		err = fmt.Errorf("decentralized recover plan: %w", err)
+		rep.finish(rec, d.World.Obs(), err)
+		return rep, err
 	}
 	byDst := make(map[model.HostID][]effector.Move)
 	for _, mv := range plan.Moves {
 		byDst[mv.To] = append(byDst[mv.To], mv)
 	}
-	for dst, moves := range byDst {
+	for _, dst := range sortedDests(byDst) {
+		moves := byDst[dst]
 		dep := d.localDeployer(dst)
 		if dep == nil {
-			return rep, fmt.Errorf("decentralized recover: host %s has no deployer", dst)
+			enSp.SetAttr("outcome", "error")
+			enSp.End()
+			err = fmt.Errorf("decentralized recover: host %s has no deployer", dst)
+			rep.finish(rec, d.World.Obs(), err)
+			return rep, err
 		}
 		en := &effector.PrismEnactor{Deployer: dep}
 		enRep, err := en.Enact(effector.Plan{Moves: moves}, d.EnactTimeout)
 		if err != nil {
-			return rep, fmt.Errorf("decentralized recover enact on %s: %w", dst, err)
+			enSp.SetAttr("outcome", "error")
+			enSp.End()
+			err = fmt.Errorf("decentralized recover enact on %s: %w", dst, err)
+			rep.finish(rec, d.World.Obs(), err)
+			return rep, err
 		}
 		rep.Moves += enRep.Moved
 		rep.Received += enRep.Received
 		rep.Degraded = rep.Degraded || enRep.Degraded
 	}
 	rep.Enacted = rep.Moves > 0
+	enSp.SetAttr("outcome", "done").SetAttr("moves", rep.Moves)
+	enSp.End()
 	d.Deployment = res.Deployment.Clone()
 	rep.AvailabilityAfter = objective.Availability{}.Quantify(d.World.Sys, d.Deployment)
+	rep.finish(rec, d.World.Obs(), nil)
 	return rep, nil
 }
 
@@ -425,6 +504,7 @@ func (d *Decentralized) Rejoin(h model.HostID) error {
 	}
 	d.LocalModels[h] = localSubset(d.World.Sys, h, d.Awareness)
 	d.Trackers[h] = monitor.NewTracker(0, 0)
+	d.World.Obs().Counter("framework_rejoins_total").Inc()
 	return nil
 }
 

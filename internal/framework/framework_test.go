@@ -204,7 +204,7 @@ func TestDecentralizedCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Stats.Auctions == 0 {
+	if rep.Auction.Auctions == 0 {
 		t.Fatal("no auctions ran")
 	}
 	if rep.AvailabilityAfter < rep.AvailabilityBefore-1e-9 {

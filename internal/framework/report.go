@@ -1,0 +1,79 @@
+package framework
+
+import (
+	"dif/internal/algo/decap"
+	"dif/internal/analyzer"
+	"dif/internal/obs"
+)
+
+// Mode identifies which instantiation produced a Report.
+type Mode string
+
+// The two instantiations of DSN'04 §3.2.
+const (
+	ModeCentralized   Mode = "centralized"
+	ModeDecentralized Mode = "decentralized"
+)
+
+// Report is the single reporting surface of both instantiations: one
+// monitor→analyze→redeploy round (Cycle) or one out-of-band recovery
+// round (Recover), whether centralized or decentralized. It replaces
+// the former CycleReport/DecCycleReport pair; Mode says which
+// instantiation filled it, and the instantiation-specific fields
+// (Decision vs Auction/VotePassed, ReportsGathered vs SyncMessages)
+// are zero for the other mode.
+type Report struct {
+	Mode Mode
+
+	// Monitoring phase.
+	ReportsGathered int     // centralized: slave reports gathered (incl. master's own)
+	ParamsWritten   int     // model parameters written through the stability gate
+	SyncMessages    int     // decentralized: model-sync messages this round
+	Stability       float64 // centralized: the analyzer's stability signal
+
+	// Analysis phase.
+	Decision   analyzer.Decision // centralized: the analyzer's verdict
+	Auction    decap.Stats       // decentralized: the DecAp auction's statistics
+	VotePassed bool              // decentralized: the acceptance protocol's outcome
+
+	// Enactment phase.
+	Enacted bool
+	Moves   int
+	// Received and Degraded surface the enactment's delivery outcome:
+	// how many moves the destinations confirmed, and whether any wave
+	// finished partially (see effector.Report).
+	Received           int
+	Degraded           bool
+	AvailabilityBefore float64
+	AvailabilityAfter  float64
+
+	// Observability: the cycle's per-phase span summaries and a metrics
+	// snapshot taken as the cycle ended. Both are empty when the world
+	// has no tracer/registry wired.
+	Phases  []obs.SpanSummary
+	Metrics obs.Snapshot
+}
+
+// Accepted reports whether the round decided to redeploy, across modes:
+// the analyzer's verdict (centralized) or the acceptance protocol's
+// (decentralized).
+func (r Report) Accepted() bool {
+	if r.Mode == ModeDecentralized {
+		return r.VotePassed
+	}
+	return r.Decision.Accepted
+}
+
+// finish closes a cycle's root span and folds the observability views
+// into the report: phase summaries from the span tree, metrics from the
+// registry. Safe with a nil span or registry.
+func (r *Report) finish(sp *obs.Span, reg *obs.Registry, err error) {
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+	}
+	sp.End()
+	if sp != nil {
+		r.Phases = obs.Summarize(sp.Record())
+	}
+	r.Metrics = reg.Snapshot()
+}

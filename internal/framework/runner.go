@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"dif/internal/obs"
 )
 
 // Runner drives an instantiation's improvement cycle autonomically on a
@@ -12,7 +14,7 @@ import (
 // goroutine's lifetime: Start launches it, Stop signals it and waits for
 // it to exit.
 type Runner struct {
-	cycle    func(context.Context) error
+	cycle    func(context.Context) (Report, error)
 	interval time.Duration
 	workload func() // optional per-tick workload driver
 
@@ -21,20 +23,33 @@ type Runner struct {
 	stop    chan struct{}
 	done    chan struct{}
 
-	// OnCycle, when set before Start, observes every cycle's outcome
-	// (nil error included). It runs on the runner's goroutine.
-	OnCycle func(err error)
+	// OnCycle, when set before Start, observes every cycle's report and
+	// outcome (nil error included). It runs on the runner's goroutine.
+	OnCycle func(rep Report, err error)
+
+	// Nil-safe metric handles, wired by Instrument.
+	cyclesTotal *obs.Counter
+	errsTotal   *obs.Counter
 
 	cycles int
 	errs   int
 }
 
-// NewRunner wraps a cycle function (e.g. a closure over
-// Centralized.Cycle or Decentralized.Cycle) with an interval scheduler.
-// workload, when non-nil, runs before every cycle — typically the test
-// or example's World.Step driver.
-func NewRunner(cycle func(context.Context) error, interval time.Duration, workload func()) *Runner {
+// NewRunner wraps a cycle function (e.g. Centralized.Cycle or
+// Decentralized.Cycle — both already have the right signature) with an
+// interval scheduler. workload, when non-nil, runs before every cycle —
+// typically the test or example's World.Step driver.
+func NewRunner(cycle func(context.Context) (Report, error), interval time.Duration, workload func()) *Runner {
 	return &Runner{cycle: cycle, interval: interval, workload: workload}
+}
+
+// Instrument registers the runner's cycle and error counters in reg (nil
+// disables instrumentation).
+func (r *Runner) Instrument(reg *obs.Registry) {
+	r.mu.Lock()
+	r.cyclesTotal = reg.Counter("framework_cycles_total")
+	r.errsTotal = reg.Counter("framework_cycle_errors_total")
+	r.mu.Unlock()
 }
 
 // Start launches the improvement loop. Starting a started runner is a
@@ -67,16 +82,18 @@ func (r *Runner) loop(stop, done chan struct{}) {
 			if r.workload != nil {
 				r.workload()
 			}
-			err := r.cycle(ctx)
+			rep, err := r.cycle(ctx)
 			r.mu.Lock()
 			r.cycles++
+			r.cyclesTotal.Inc()
 			if err != nil {
 				r.errs++
+				r.errsTotal.Inc()
 			}
 			cb := r.OnCycle
 			r.mu.Unlock()
 			if cb != nil {
-				cb(err)
+				cb(rep, err)
 			}
 		case <-stop:
 			return
@@ -100,6 +117,9 @@ func (r *Runner) Stop() {
 }
 
 // Stats returns how many cycles ran and how many returned errors.
+//
+// Deprecated: read framework_cycles_total / framework_cycle_errors_total
+// from the registry wired via Instrument instead.
 func (r *Runner) Stats() (cycles, errs int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

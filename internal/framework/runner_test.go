@@ -12,8 +12,8 @@ import (
 
 func TestRunnerDrivesCycles(t *testing.T) {
 	var ticks atomic.Int64
-	r := NewRunner(func(context.Context) error {
-		return nil
+	r := NewRunner(func(context.Context) (Report, error) {
+		return Report{}, nil
 	}, 5*time.Millisecond, func() { ticks.Add(1) })
 	r.Start()
 	defer r.Stop()
@@ -47,14 +47,14 @@ func TestRunnerDrivesCycles(t *testing.T) {
 func TestRunnerCountsErrors(t *testing.T) {
 	calls := 0
 	var seen atomic.Int64
-	r := NewRunner(func(context.Context) error {
+	r := NewRunner(func(context.Context) (Report, error) {
 		calls++
 		if calls%2 == 0 {
-			return errors.New("boom")
+			return Report{}, errors.New("boom")
 		}
-		return nil
+		return Report{}, nil
 	}, 3*time.Millisecond, nil)
-	r.OnCycle = func(err error) {
+	r.OnCycle = func(_ Report, err error) {
 		if err != nil {
 			seen.Add(1)
 		}
@@ -77,7 +77,7 @@ func TestRunnerCountsErrors(t *testing.T) {
 }
 
 func TestRunnerIdempotentStartStop(t *testing.T) {
-	r := NewRunner(func(context.Context) error { return nil }, time.Millisecond, nil)
+	r := NewRunner(func(context.Context) (Report, error) { return Report{}, nil }, time.Millisecond, nil)
 	r.Stop() // never started: no-op
 	r.Start()
 	r.Start() // double start: no-op
@@ -87,10 +87,10 @@ func TestRunnerIdempotentStartStop(t *testing.T) {
 
 func TestRunnerCancelsInflightCycleOnStop(t *testing.T) {
 	entered := make(chan struct{})
-	r := NewRunner(func(ctx context.Context) error {
+	r := NewRunner(func(ctx context.Context) (Report, error) {
 		close(entered)
 		<-ctx.Done()
-		return ctx.Err()
+		return Report{}, ctx.Err()
 	}, time.Millisecond, nil)
 	r.Start()
 	select {
@@ -115,13 +115,10 @@ func TestRunnerWithLiveCentralized(t *testing.T) {
 	cent := NewCentralized(w, analyzer.Policy{})
 	cent.Tracker = nil
 	var hardErrs atomic.Int64
-	r := NewRunner(func(ctx context.Context) error {
-		_, err := cent.Cycle(ctx)
-		return err
-	}, 10*time.Millisecond, func() { w.StepN(5) })
+	r := NewRunner(cent.Cycle, 10*time.Millisecond, func() { w.StepN(5) })
 	// Stop may cancel an in-flight cycle; only non-cancellation errors
 	// count as failures.
-	r.OnCycle = func(err error) {
+	r.OnCycle = func(_ Report, err error) {
 		if err != nil && !errors.Is(err, context.Canceled) {
 			hardErrs.Add(1)
 		}

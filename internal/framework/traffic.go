@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -97,7 +98,29 @@ func (tc *TrafficComponent) Tick() int {
 	return total
 }
 
+// Instrument registers the component's sent/received counters as gauge
+// functions in reg (gauges, not counters: the values migrate with the
+// component and may therefore restart mid-series on a new host). Nil reg
+// disables instrumentation; re-registering after a migration replaces
+// the previous binding.
+func (tc *TrafficComponent) Instrument(reg *obs.Registry) {
+	id := tc.ID()
+	reg.GaugeFunc(obs.Name("traffic_sent_events", "component", id), func() float64 {
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		return float64(tc.sent)
+	})
+	reg.GaugeFunc(obs.Name("traffic_received_events", "component", id), func() float64 {
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		return float64(tc.received)
+	})
+}
+
 // Counters returns (sent, received).
+//
+// Deprecated: read the traffic_sent_events / traffic_received_events
+// gauges from the registry wired via Instrument instead.
 func (tc *TrafficComponent) Counters() (int, int) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()

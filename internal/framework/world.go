@@ -19,6 +19,7 @@ import (
 
 	"dif/internal/model"
 	"dif/internal/netsim"
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -73,6 +74,16 @@ type WorldConfig struct {
 	// FaultTransport seeded per host — dependability drills on top of the
 	// fabric's own loss model.
 	Fault *prism.FaultConfig
+	// Obs and Trace wire the world's observability: every architecture,
+	// fault transport, and the fabric register their metrics in Obs, and
+	// deployers record wave span trees in Trace. Both are optional; nil
+	// disables instrumentation at zero cost.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+	// Tune, when non-nil, adjusts the admin/deployer configuration before
+	// hosts are built — drills use it to pin timers (e.g. the enact resend
+	// interval) for deterministic traces.
+	Tune func(*prism.AdminConfig)
 }
 
 // NewWorld builds a live world for the system and places one traffic
@@ -108,12 +119,17 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 	adminCfg := prism.AdminConfig{
 		Deployer: master, Bus: BusName, Registry: w.Registry, Retry: cfg.Retry,
 	}
+	if cfg.Tune != nil {
+		cfg.Tune(&adminCfg)
+	}
 	w.adminCfg = adminCfg
+	fabric.Instrument(cfg.Obs)
 	if cfg.Fault != nil {
 		w.Faults = make(map[model.HostID]*prism.FaultTransport, len(hosts))
 	}
 	for i, h := range hosts {
 		arch := prism.NewArchitecture(h, nil)
+		arch.SetObservability(cfg.Obs, cfg.Trace)
 		var tr prism.Transport
 		tr, err := prism.NewNetsimTransport(fabric, h)
 		if err != nil {
@@ -123,6 +139,7 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 		if cfg.Fault != nil {
 			fc := *cfg.Fault
 			fc.Seed += int64(i + 1) // distinct deterministic stream per host
+			fc.Obs = cfg.Obs
 			ft := prism.NewFaultTransport(tr, fc)
 			w.Faults[h] = ft
 			tr = ft
@@ -164,6 +181,7 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 			}
 			tc.AddPartner(string(other), link.Frequency(), link.EventSize())
 		}
+		tc.Instrument(cfg.Obs)
 		host := deployment[comp]
 		if err := w.Archs[host].AddComponent(tc); err != nil {
 			fabric.Close()
@@ -221,6 +239,13 @@ func (w *World) LiveDeployment() model.Deployment {
 	}
 	return d
 }
+
+// Obs returns the world's metric registry (nil when none was wired; all
+// obs handles are nil-safe).
+func (w *World) Obs() *obs.Registry { return w.cfg.Obs }
+
+// Tracer returns the world's span tracer (nil when none was wired).
+func (w *World) Tracer() *obs.Tracer { return w.cfg.Trace }
 
 // HostDown reports whether a host is currently crashed.
 func (w *World) HostDown(h model.HostID) bool { return w.down[h] }
@@ -280,6 +305,7 @@ func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
 	w.incarnations[h]++
 
 	arch := prism.NewArchitecture(h, nil)
+	arch.SetObservability(w.cfg.Obs, w.cfg.Trace)
 	var tr prism.Transport
 	tr, err := prism.NewNetsimTransport(w.Fabric, h)
 	if err != nil {
@@ -296,6 +322,7 @@ func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
 		}
 		fc := *w.cfg.Fault
 		fc.Seed += int64(idx + 1)
+		fc.Obs = w.cfg.Obs
 		ft := prism.NewFaultTransport(tr, fc)
 		w.Faults[h] = ft
 		tr = ft
@@ -350,6 +377,7 @@ func (w *World) PlaceComponent(comp model.ComponentID, host model.HostID) error 
 		}
 		tc.AddPartner(string(other), link.Frequency(), link.EventSize())
 	}
+	tc.Instrument(w.cfg.Obs)
 	if err := arch.AddComponent(tc); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -115,6 +116,11 @@ type Tracker struct {
 	maxAge time.Duration
 	now    func() time.Time
 	lastAt map[string]time.Time
+
+	// Nil-safe metric handles, wired by Instrument.
+	samplesTotal *obs.Counter
+	prunesTotal  *obs.Counter
+	stableFrac   *obs.Gauge
 }
 
 // NewTracker returns a tracker with the given stability parameters (zero
@@ -144,6 +150,16 @@ func (t *Tracker) SetClock(now func() time.Time) {
 	t.now = now
 }
 
+// Instrument registers the tracker's sample and staleness counters plus
+// a stable-fraction gauge in reg (nil disables instrumentation).
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	t.mu.Lock()
+	t.samplesTotal = reg.Counter("monitor_samples_total")
+	t.prunesTotal = reg.Counter("monitor_stale_prunes_total")
+	t.stableFrac = reg.Gauge("monitor_stable_fraction")
+	t.mu.Unlock()
+}
+
 // stale reports whether the key's last sample has aged out. Caller holds
 // t.mu.
 func (t *Tracker) stale(key string, now time.Time) bool {
@@ -165,6 +181,7 @@ func (t *Tracker) Observe(key string, v float64) bool {
 		t.detectors[key] = d
 	}
 	t.lastAt[key] = t.now()
+	t.samplesTotal.Inc()
 	return d.Add(v)
 }
 
@@ -227,9 +244,12 @@ func (t *Tracker) StableFraction() float64 {
 		}
 	}
 	if live == 0 {
+		t.stableFrac.Set(0)
 		return 0
 	}
-	return float64(stable) / float64(live)
+	frac := float64(stable) / float64(live)
+	t.stableFrac.Set(frac)
+	return frac
 }
 
 // PruneStale removes every aged-out parameter outright and returns the
@@ -250,6 +270,7 @@ func (t *Tracker) PruneStale() []string {
 			removed = append(removed, key)
 		}
 	}
+	t.prunesTotal.Add(float64(len(removed)))
 	return removed
 }
 

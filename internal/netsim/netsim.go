@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // Message is a payload delivered through the fabric.
@@ -76,6 +77,12 @@ type Fabric struct {
 	// 0 disables sleeping entirely (latency is still reported on the
 	// message), 1.0 sleeps the full simulated delay.
 	timeScale float64
+
+	// Nil-safe fabric-wide metric handles, wired by Instrument.
+	sentTotal      *obs.Counter
+	deliveredTotal *obs.Counter
+	droppedTotal   *obs.Counter
+	bytesKBTotal   *obs.Counter
 }
 
 type linkEntry struct {
@@ -102,6 +109,17 @@ func NewFabric(seed int64) *Fabric {
 		hosts: make(map[model.HostID]*endpoint),
 		down:  make(map[model.HostID]bool),
 	}
+}
+
+// Instrument registers fabric-wide traffic counters in reg (the
+// per-link LinkStats stay authoritative for link-level queries).
+func (f *Fabric) Instrument(reg *obs.Registry) {
+	f.mu.Lock()
+	f.sentTotal = reg.Counter("netsim_sent_total")
+	f.deliveredTotal = reg.Counter("netsim_delivered_total")
+	f.droppedTotal = reg.Counter("netsim_dropped_total")
+	f.bytesKBTotal = reg.Counter("netsim_bytes_kb_total")
+	f.mu.Unlock()
 }
 
 // SetTimeScale sets the wall-clock fraction of simulated delays (0
@@ -343,6 +361,8 @@ func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.
 		if entry, ok := f.links[model.MakeHostPair(from, to)]; ok && from != to {
 			entry.stats.Sent++
 			entry.stats.Dropped++
+			f.sentTotal.Inc()
+			f.droppedTotal.Inc()
 		}
 		f.mu.Unlock()
 		return 0, ErrHostDown
@@ -358,8 +378,11 @@ func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.
 		}
 		entry.stats.Sent++
 		entry.stats.BytesKB += sizeKB
+		f.sentTotal.Inc()
+		f.bytesKBTotal.Add(sizeKB)
 		if entry.state.Partitioned {
 			entry.stats.Dropped++
+			f.droppedTotal.Inc()
 			f.mu.Unlock()
 			return 0, ErrPartitioned
 		}
@@ -371,9 +394,11 @@ func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.
 			// The sender still pays the transfer time before discovering
 			// the loss — retransmissions are not free.
 			entry.stats.Dropped++
+			f.droppedTotal.Inc()
 			dropped = true
 		} else {
 			entry.stats.Delivered++
+			f.deliveredTotal.Inc()
 		}
 	}
 	scale := f.timeScale

@@ -1,0 +1,26 @@
+// Package obs is the framework's unified observability layer: a
+// dependency-free, allocation-light telemetry substrate shared by every
+// other package. The paper's framework rests on *active monitoring*
+// feeding *analysis* (DSN'04 §3.1); obs applies the same principle to
+// the runtime itself — the deployment engine exposes its own behaviour
+// (migration waves, retries, liveness transitions, planner iterations)
+// as first-class monitored data instead of ad-hoc per-layer getters.
+//
+// Three instruments:
+//
+//   - Registry: named counters, gauges, and fixed-bucket histograms.
+//     All updates are atomic and safe under the race detector; the whole
+//     registry snapshots as a sorted []Sample and renders as
+//     expvar/Prometheus-style text (see WriteText / Handler).
+//   - Tracer / Span: hierarchical wave tracing. Spans take start and end
+//     times from the tracer's injected clock, so traces produced by
+//     seeded drills are deterministic — byte-identical across runs.
+//   - Profile: optional pprof label regions around hot phases, a no-op
+//     until EnableProfiling is called (cmd binaries enable it together
+//     with their -metrics-addr pprof endpoint).
+//
+// Instrument handles are nil-safe: methods on a nil *Registry return nil
+// handles, and methods on nil handles (Counter, Gauge, Histogram, Span)
+// do nothing. Instrumented code therefore never branches on whether
+// observability is wired.
+package obs

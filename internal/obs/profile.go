@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// profilingEnabled gates Profile globally. Off by default so library
+// code pays nothing; cmd binaries flip it on alongside -metrics-addr,
+// whose pprof endpoint makes the labels visible.
+var profilingEnabled atomic.Bool
+
+// EnableProfiling turns pprof label regions on or off process-wide.
+func EnableProfiling(on bool) { profilingEnabled.Store(on) }
+
+// ProfilingEnabled reports whether Profile regions are active.
+func ProfilingEnabled() bool { return profilingEnabled.Load() }
+
+// Profile runs fn under a pprof label region named by phase, so CPU
+// profiles scraped from -metrics-addr attribute samples to framework
+// phases (plan, enact, requantify). When profiling is disabled the
+// label machinery is skipped entirely.
+func Profile(ctx context.Context, phase string, fn func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !profilingEnabled.Load() {
+		fn(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("obs_phase", phase), fn)
+}

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (retries, drops, waves).
+// The float64 value is stored as atomic bits and updated by CAS, so
+// fractional quantities (KB shipped) and plain event counts share one
+// type. All methods are safe on a nil receiver.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Store overwrites the counter's value — for reconstituting migrated
+// state (a component's counters travel with it), not for live updates.
+func (c *Counter) Store(v float64) {
+	if c == nil {
+		return
+	}
+	c.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current count. Zero on a nil receiver.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down (queue depth, stability
+// fraction, live hosts). All methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value. Zero on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution (wave durations, span
+// latencies). Buckets are cumulative-upper-bound style: observation v
+// lands in the first bucket with v <= bound; larger observations land in
+// the implicit +Inf bucket. All methods are safe on a nil receiver.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    Counter
+	count  atomic.Uint64
+}
+
+// DefaultDurationBucketsMS suits control-plane phase durations.
+var DefaultDurationBucketsMS = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sample sum.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Sample is one snapshotted metric value.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is a sorted, point-in-time view of a registry.
+type Snapshot []Sample
+
+// Value returns the sample with the given name (0, false when absent).
+func (s Snapshot) Value(name string) (float64, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i].Value, true
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot as expvar/Prometheus-style
+// "name value" lines, one per sample, in sorted order.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, sm := range s {
+		if _, err := fmt.Fprintf(w, "%s %s\n", sm.Name, formatValue(sm.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the snapshot as WriteText would.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Registry is a set of named instruments. Get-or-create lookups are
+// mutex-guarded (construction is rare); the returned handles update
+// atomically with no further locking. A nil *Registry hands out nil
+// handles, so instrumentation sites need no nil checks.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	funcs  map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		funcs:  make(map[string]func() float64),
+	}
+}
+
+// Name composes a metric name with label pairs in deterministic order:
+// Name("x_total", "host", "h1") => `x_total{host="h1"}`.
+func Name(base string, labelPairs ...string) string {
+	if len(labelPairs) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labelPairs[i])
+		b.WriteString(`="`)
+		b.WriteString(labelPairs[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given ascending bucket upper bounds. Bounds are fixed at first
+// creation; later callers get the existing instrument regardless of the
+// bounds they pass. Nil bounds select DefaultDurationBucketsMS.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultDurationBucketsMS
+		}
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds))}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback sampled at snapshot time — the bridge
+// that turns an existing stats-holder (Runner cycle counts, traffic
+// component counters) into registry metrics without duplicating state.
+// Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns every instrument's current value, sorted by name.
+// Histograms expand to name_bucket{le="..."}, name_count, and name_sum
+// series.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type histEntry struct {
+		name string
+		h    *Histogram
+	}
+	out := make(Snapshot, 0, len(r.counts)+len(r.gauges)+len(r.funcs)+4*len(r.hists))
+	for name, c := range r.counts {
+		out = append(out, Sample{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: g.Value()})
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, histEntry{name, h})
+	}
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	r.mu.Unlock()
+
+	// Callbacks run outside the registry lock: they may take their
+	// owners' locks, which may in turn create instruments.
+	for name, fn := range funcs {
+		out = append(out, Sample{Name: name, Value: fn()})
+	}
+	for _, he := range hists {
+		cum := uint64(0)
+		for i, b := range he.h.bounds {
+			cum += he.h.counts[i].Load()
+			out = append(out, Sample{
+				Name:  histBucketName(he.name, strconv.FormatFloat(b, 'g', -1, 64)),
+				Value: float64(cum),
+			})
+		}
+		cum += he.h.inf.Load()
+		out = append(out, Sample{Name: histBucketName(he.name, "+Inf"), Value: float64(cum)})
+		out = append(out, Sample{Name: histSuffixName(he.name, "_count"), Value: float64(he.h.Count())})
+		out = append(out, Sample{Name: histSuffixName(he.name, "_sum"), Value: he.h.Sum()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func histBucketName(base, le string) string {
+	// The bucket label nests inside any existing label set:
+	// x{host="h1"} -> x_bucket{host="h1",le="5"}.
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		return base[:i] + "_bucket" + base[i:len(base)-1] + `,le="` + le + `"}`
+	}
+	return base + `_bucket{le="` + le + `"}`
+}
+
+// histSuffixName appends _count/_sum before any label set, keeping the
+// exposition format valid: x{host="h1"} -> x_count{host="h1"}.
+func histSuffixName(base, suffix string) string {
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		return base[:i] + suffix + base[i:]
+	}
+	return base + suffix
+}
+
+// WriteText renders a full snapshot as text (the /metrics wire format).
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// Filter returns the subset of the snapshot whose names start with
+// prefix — e.g. Filter("prism_fault_") isolates the fault-injection
+// family for deterministic byte-comparison in drills.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	var out Snapshot
+	for _, sm := range s {
+		if strings.HasPrefix(sm.Name, prefix) {
+			out = append(out, sm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers every instrument type from many
+// goroutines; run with -race to validate the atomic update paths.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hammer_total")
+			g := reg.Gauge("hammer_gauge")
+			h := reg.Histogram("hammer_ms", []float64{1, 10, 100})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				c.Add(0.5)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 200))
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Value("hammer_total"); v != workers*iters*1.5 {
+		t.Fatalf("counter = %v, want %v", v, workers*iters*1.5)
+	}
+	if v, _ := snap.Value("hammer_gauge"); v != 0 {
+		t.Fatalf("gauge = %v, want 0", v)
+	}
+	if v, _ := snap.Value("hammer_ms_count"); v != workers*iters {
+		t.Fatalf("histogram count = %v, want %v", v, workers*iters)
+	}
+	if v, ok := snap.Value(`hammer_ms_bucket{le="+Inf"}`); !ok || v != workers*iters {
+		t.Fatalf("+Inf bucket = %v (ok=%v), want %v", v, ok, workers*iters)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ms", []float64{5, 50})
+	for _, v := range []float64{1, 5, 6, 49, 50, 51, 1000} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		`lat_ms_bucket{le="5"}`:    2,
+		`lat_ms_bucket{le="50"}`:   5,
+		`lat_ms_bucket{le="+Inf"}`: 7,
+		"lat_ms_count":             7,
+		"lat_ms_sum":               1162,
+	} {
+		if v, ok := snap.Value(name); !ok || v != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, v, ok, want)
+		}
+	}
+}
+
+func TestNameAndLabels(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Fatalf("Name no labels = %q", got)
+	}
+	got := Name("x_total", "host", "h1", "dir", "tx")
+	if want := `x_total{host="h1",dir="tx"}`; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	// Bucket label nests inside an existing label set.
+	reg := NewRegistry()
+	reg.Histogram(Name("y_ms", "host", "h2"), []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	if v, ok := snap.Value(`y_ms_bucket{host="h2",le="1"}`); !ok || v != 1 {
+		t.Fatalf("labelled bucket = %v (ok=%v), want 1", v, ok)
+	}
+}
+
+func TestGaugeFuncAndText(t *testing.T) {
+	reg := NewRegistry()
+	n := 0
+	reg.GaugeFunc("cycles_total", func() float64 { n++; return float64(n) })
+	reg.Counter("b_total").Add(2)
+	reg.Counter("a_total").Inc()
+
+	text := reg.Snapshot().String()
+	want := "a_total 1\nb_total 2\ncycles_total 1\n"
+	if text != want {
+		t.Fatalf("text = %q, want %q", text, want)
+	}
+	if v, _ := reg.Snapshot().Value("cycles_total"); v != 2 {
+		t.Fatalf("GaugeFunc resample = %v, want 2", v)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should stay zero")
+	}
+	g := reg.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should stay zero")
+	}
+	h := reg.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should stay zero")
+	}
+	reg.GaugeFunc("f", func() float64 { return 1 })
+	if snap := reg.Snapshot(); snap != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+
+	var tr *Tracer
+	sp := tr.Start("wave")
+	sp.SetAttr("k", "v")
+	child := sp.Child("prepare")
+	child.End()
+	sp.End()
+	if sp.Duration() != 0 || tr.Render() != "" || tr.Snapshot() != nil {
+		t.Fatal("nil tracer chain should no-op")
+	}
+	tr.SetClock(nil)
+	tr.Reset()
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("prism_fault_dropped_total").Add(4)
+	reg.Counter("framework_cycles_total").Inc()
+	got := reg.Snapshot().Filter("prism_fault_")
+	if len(got) != 1 || got[0].Name != "prism_fault_dropped_total" || got[0].Value != 4 {
+		t.Fatalf("filter = %+v", got)
+	}
+}
+
+func TestCounterStoreAndNegative(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("restored_total")
+	c.Store(41.5)
+	c.Add(-10) // ignored: counters only go up
+	c.Add(0.5)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %v, want 42", c.Value())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{42: "42", 0: "0", 1.5: "1.5", -3: "-3"} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if s := formatValue(0.1 + 0.2); !strings.HasPrefix(s, "0.3") {
+		t.Errorf("formatValue(0.3...) = %q", s)
+	}
+}

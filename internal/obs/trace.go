@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans — one tree per traced operation
+// (a migration wave, an improvement cycle, an election round). Span
+// start and end times come from the tracer's clock; tests and seeded
+// drills inject a manual clock, making whole trace trees deterministic
+// and byte-comparable across runs.
+//
+// A nil *Tracer hands out nil *Spans, and every Span method no-ops on a
+// nil receiver, so traced code needs no wiring checks.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	roots []*Span
+}
+
+// NewTracer returns a tracer on the wall clock.
+func NewTracer() *Tracer {
+	return &Tracer{now: time.Now}
+}
+
+// SetClock injects the tracer's time source (drills and tests).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// clock returns the current time source.
+func (t *Tracer) clock() func() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
+}
+
+// Start opens a root span. Spans must be ended by the caller; un-ended
+// spans report their start time as their end.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, name: name, start: t.clock()()}
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Reset discards every recorded span (start of a drill window).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.roots = nil
+	t.mu.Unlock()
+}
+
+// Span is one timed region in a trace tree.
+type Span struct {
+	tracer *Tracer
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Child opens a sub-span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{tracer: s.tracer, name: name, start: s.tracer.clock()()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// SetAttr annotates the span. Values are stringified immediately so
+// snapshots never alias caller state.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return s
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span at the tracer clock's current time. Ending twice
+// keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	at := s.tracer.clock()()
+	s.mu.Lock()
+	if !s.ended {
+		s.end = at
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns end-start (zero until ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SpanRecord is one exported span: a deep, immutable copy.
+type SpanRecord struct {
+	Name     string       `json:"name"`
+	Start    time.Time    `json:"start"`
+	End      time.Time    `json:"end"`
+	Attrs    []Attr       `json:"attrs,omitempty"`
+	Children []SpanRecord `json:"children,omitempty"`
+}
+
+// Duration returns the recorded span's elapsed time.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Attr returns the value of the named attribute ("" when absent; the
+// last write wins when a key was set twice).
+func (r SpanRecord) Attr(key string) string {
+	for i := len(r.Attrs) - 1; i >= 0; i-- {
+		if r.Attrs[i].Key == key {
+			return r.Attrs[i].Value
+		}
+	}
+	return ""
+}
+
+// Record exports the span and its subtree as an immutable record (zero
+// value on a nil receiver).
+func (s *Span) Record() SpanRecord {
+	if s == nil {
+		return SpanRecord{}
+	}
+	return s.record()
+}
+
+func (s *Span) record() SpanRecord {
+	s.mu.Lock()
+	rec := SpanRecord{Name: s.name, Start: s.start, End: s.end}
+	if !s.ended {
+		rec.End = s.start
+	}
+	rec.Attrs = append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		rec.Children = append(rec.Children, c.record())
+	}
+	return rec
+}
+
+// Snapshot exports every root span (in start order, creation-ordered for
+// equal timestamps) as immutable records.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(roots))
+	for _, sp := range roots {
+		out = append(out, sp.record())
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// WriteJSONL writes one JSON object per root span tree — the -trace-out
+// dump format.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanSummary condenses one span for embedding in reports.
+type SpanSummary struct {
+	Name     string
+	Duration time.Duration
+	Outcome  string // the span's "outcome" attribute, when set
+}
+
+// Summarize condenses a span's direct children (a cycle's phases).
+func Summarize(rec SpanRecord) []SpanSummary {
+	out := make([]SpanSummary, 0, len(rec.Children))
+	for _, c := range rec.Children {
+		out = append(out, SpanSummary{Name: c.Name, Duration: c.Duration(), Outcome: c.Attr("outcome")})
+	}
+	return out
+}
+
+// Render returns the trace forest as an indented structural view — span
+// names and attributes, no timestamps — for logs and for byte-identical
+// comparison of seeded drills whose timings are wall-clock noisy:
+//
+//	wave [epoch=1 outcome=abort]
+//	  prepare [outcome=abort]
+//	  outcome [decision=abort]
+func (t *Tracer) Render() string {
+	var b strings.Builder
+	for _, rec := range t.Snapshot() {
+		renderSpan(&b, rec, 0)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, rec SpanRecord, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(rec.Name)
+	if len(rec.Attrs) > 0 {
+		b.WriteString(" [")
+		for i, a := range rec.Attrs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			b.WriteString(a.Value)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('\n')
+	for _, c := range rec.Children {
+		renderSpan(b, c, depth+1)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is the injected time source used by drills: time advances
+// only when the test says so, making span timestamps deterministic.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestAbortedWaveSpanTree builds the span tree of an aborted two-phase
+// wave on an injected clock and asserts the rendering, durations, and
+// JSONL dump are fully deterministic.
+func TestAbortedWaveSpanTree(t *testing.T) {
+	run := func() (string, []SpanRecord) {
+		clk := newManualClock()
+		tr := NewTracer()
+		tr.SetClock(clk.Now)
+
+		wave := tr.Start("wave").SetAttr("epoch", 7)
+		prep := wave.Child("prepare").SetAttr("moves", 3)
+		clk.Advance(40 * time.Millisecond)
+		prep.SetAttr("outcome", "abort").SetAttr("reason", "host_dead")
+		prep.End()
+		out := wave.Child("outcome").SetAttr("decision", "abort")
+		clk.Advance(10 * time.Millisecond)
+		out.End()
+		wave.SetAttr("outcome", "abort")
+		wave.End()
+		return tr.Render(), tr.Snapshot()
+	}
+
+	render1, recs1 := run()
+	render2, recs2 := run()
+	if render1 != render2 {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", render1, render2)
+	}
+
+	want := "wave [epoch=7 outcome=abort]\n" +
+		"  prepare [moves=3 outcome=abort reason=host_dead]\n" +
+		"  outcome [decision=abort]\n"
+	if render1 != want {
+		t.Fatalf("render = %q, want %q", render1, want)
+	}
+
+	if len(recs1) != 1 {
+		t.Fatalf("roots = %d, want 1", len(recs1))
+	}
+	wave := recs1[0]
+	if wave.Duration() != 50*time.Millisecond {
+		t.Fatalf("wave duration = %v, want 50ms", wave.Duration())
+	}
+	if len(wave.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(wave.Children))
+	}
+	if d := wave.Children[0].Duration(); d != 40*time.Millisecond {
+		t.Fatalf("prepare duration = %v, want 40ms", d)
+	}
+	if got := wave.Children[0].Attr("reason"); got != "host_dead" {
+		t.Fatalf("prepare reason = %q", got)
+	}
+	if !wave.Start.Equal(recs2[0].Start) || !wave.End.Equal(recs2[0].End) {
+		t.Fatal("injected-clock timestamps differ across runs")
+	}
+
+	var b1, b2 strings.Builder
+	tr1 := NewTracer()
+	tr1.SetClock(newManualClock().Now)
+	sp := tr1.Start("wave")
+	sp.End()
+	if err := tr1.WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTracer()
+	tr2.SetClock(newManualClock().Now)
+	sp2 := tr2.Start("wave")
+	sp2.End()
+	if err := tr2.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() || !strings.Contains(b1.String(), `"name":"wave"`) {
+		t.Fatalf("jsonl dumps differ or malformed: %q vs %q", b1.String(), b2.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clk := newManualClock()
+	tr := NewTracer()
+	tr.SetClock(clk.Now)
+	cycle := tr.Start("cycle")
+	mon := cycle.Child("monitor")
+	clk.Advance(5 * time.Millisecond)
+	mon.End()
+	plan := cycle.Child("plan").SetAttr("outcome", "accepted")
+	clk.Advance(20 * time.Millisecond)
+	plan.End()
+	cycle.End()
+
+	sums := Summarize(tr.Snapshot()[0])
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if sums[0].Name != "monitor" || sums[0].Duration != 5*time.Millisecond {
+		t.Fatalf("monitor summary = %+v", sums[0])
+	}
+	if sums[1].Name != "plan" || sums[1].Outcome != "accepted" || sums[1].Duration != 20*time.Millisecond {
+		t.Fatalf("plan summary = %+v", sums[1])
+	}
+}
+
+// TestTracerConcurrent exercises concurrent span creation under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := root.Child("child")
+				c.SetAttr("w", w)
+				c.End()
+				if i%50 == 0 {
+					_ = tr.Render()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Snapshot()[0].Children); got != 8*200 {
+		t.Fatalf("children = %d, want %d", got, 8*200)
+	}
+}
+
+func TestUnendedSpanReportsZero(t *testing.T) {
+	clk := newManualClock()
+	tr := NewTracer()
+	tr.SetClock(clk.Now)
+	sp := tr.Start("open")
+	clk.Advance(time.Hour)
+	if sp.Duration() != 0 {
+		t.Fatal("un-ended span should report zero duration")
+	}
+	rec := tr.Snapshot()[0]
+	if !rec.End.Equal(rec.Start) {
+		t.Fatal("un-ended record should report start as end")
+	}
+	sp.End()
+	first := sp.Duration()
+	clk.Advance(time.Hour)
+	sp.End() // second End keeps first end time
+	if sp.Duration() != first {
+		t.Fatal("double End should keep first end time")
+	}
+}

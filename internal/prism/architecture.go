@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // Architecture records the configuration of a host's components and
@@ -23,6 +24,11 @@ type Architecture struct {
 	dists      map[string]*DistributionConnector
 	// welds maps component ID → set of connector names it is welded to.
 	welds map[string]map[string]bool
+
+	// obsReg and tracer are the host's observability instruments; nil
+	// until SetObservability wires them (every consumer is nil-safe).
+	obsReg *obs.Registry
+	tracer *obs.Tracer
 }
 
 // NewArchitecture returns an empty architecture for the given host.
@@ -45,6 +51,38 @@ func (a *Architecture) Host() model.HostID { return a.host }
 
 // Scaffold returns the architecture's event dispatcher.
 func (a *Architecture) Scaffold() *Scaffold { return a.scaffold }
+
+// SetObservability wires a metrics registry and tracer into the
+// architecture. Existing and future distribution connectors pick up the
+// registry; control senders and the deployer read both lazily. Either
+// argument may be nil (instrumentation no-ops).
+func (a *Architecture) SetObservability(reg *obs.Registry, tracer *obs.Tracer) {
+	a.mu.Lock()
+	a.obsReg = reg
+	a.tracer = tracer
+	dists := make([]*DistributionConnector, 0, len(a.dists))
+	for _, dc := range a.dists {
+		dists = append(dists, dc)
+	}
+	a.mu.Unlock()
+	for _, dc := range dists {
+		dc.instrument(reg, a.host)
+	}
+}
+
+// Obs returns the architecture's metrics registry (nil when unwired).
+func (a *Architecture) Obs() *obs.Registry {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.obsReg
+}
+
+// Tracer returns the architecture's tracer (nil when unwired).
+func (a *Architecture) Tracer() *obs.Tracer {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.tracer
+}
 
 // AddConnector creates and registers a plain connector.
 func (a *Architecture) AddConnector(name string) (*Connector, error) {
@@ -70,6 +108,9 @@ func (a *Architecture) AddDistributionConnector(name string, transport Transport
 	dc := NewDistributionConnector(name, a.host, a.scaffold, transport)
 	a.connectors[name] = dc.Connector
 	a.dists[name] = dc
+	if a.obsReg != nil {
+		dc.instrument(a.obsReg, a.host)
+	}
 	return dc, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // DeployerID is the well-known component ID of the deployer.
@@ -94,6 +95,8 @@ func (d *DeployerComponent) AttachDetector(fd *FailureDetector) {
 	d.detector = fd
 	d.mu.Unlock()
 	fd.Subscribe(func(tr Transition) {
+		d.arch.Obs().Counter(obs.Name("prism_detector_transitions_total",
+			"host", string(d.arch.Host()), "to", tr.To.String())).Inc()
 		if tr.To == HostDead {
 			d.NoteHostDead(tr.Host)
 		}
@@ -374,6 +377,11 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		return res, nil
 	}
 
+	waveStart := time.Now()
+	wave := d.arch.Tracer().Start("wave")
+	wave.SetAttr("epoch", epoch).SetAttr("moves", res.Moved)
+	prep := wave.Child("prepare")
+
 	st := &epochState{
 		pendingHosts: make(map[model.HostID]bool, len(arrivals)),
 		doneCh:       make(chan struct{}),
@@ -427,7 +435,14 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		// down (no leaked doneCh waiters) and name every host that will
 		// not finish — including ones already dispatched — then attempt a
 		// single-shot rollback so reachable participants clean up.
+		prep.SetAttr("outcome", "dispatch_failed")
+		prep.End()
+		outSp := wave.Child("outcome").SetAttr("decision", "rollback")
 		d.broadcastOutcome(epoch, st, false)
+		outSp.End()
+		wave.SetAttr("outcome", "abort")
+		wave.End()
+		d.waveMetrics(false, res.Moved, waveStart)
 		d.mu.Lock()
 		for h := range st.pendingHosts {
 			res.Incomplete = append(res.Incomplete, h)
@@ -486,6 +501,26 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		}
 	}
 
+	d.mu.Lock()
+	deadBy := st.deadHost
+	wasDeadAbort := st.deadAborted
+	d.mu.Unlock()
+	switch {
+	case completed:
+		prep.SetAttr("outcome", "done")
+	case closed:
+		prep.SetAttr("outcome", "closed")
+	case wasDeadAbort:
+		prep.SetAttr("outcome", "dead_abort").SetAttr("dead", deadBy)
+	default:
+		prep.SetAttr("outcome", "timeout")
+	}
+	prep.End()
+	decision := "rollback"
+	if completed {
+		decision = "commit"
+	}
+	outSp := wave.Child("outcome").SetAttr("decision", decision)
 	if closed {
 		// Shutting down: best-effort single-shot rollback so reachable
 		// participants clean up, but never wait on acks.
@@ -493,6 +528,7 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	} else {
 		d.broadcastOutcome(epoch, st, completed)
 	}
+	outSp.End()
 
 	d.mu.Lock()
 	for h := range st.pendingHosts {
@@ -506,6 +542,13 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	sortHostIDs(res.Incomplete)
 	res.Committed = completed
 	res.Degraded = res.Received != res.Moved || len(res.Incomplete) > 0
+	if completed {
+		wave.SetAttr("outcome", "commit")
+	} else {
+		wave.SetAttr("outcome", "abort")
+	}
+	wave.End()
+	d.waveMetrics(completed, res.Moved, waveStart)
 	if !completed {
 		switch {
 		case closed:
@@ -519,6 +562,21 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		}
 	}
 	return res, nil
+}
+
+// waveMetrics records a finished wave's outcome, moved-component count,
+// and wall-clock duration in the architecture's registry.
+func (d *DeployerComponent) waveMetrics(committed bool, moved int, start time.Time) {
+	reg := d.arch.Obs()
+	host := string(d.arch.Host())
+	outcome := "aborted"
+	if committed {
+		outcome = "committed"
+	}
+	reg.Counter(obs.Name("prism_wave_"+outcome+"_total", "host", host)).Inc()
+	reg.Counter(obs.Name("prism_wave_moves_total", "host", host)).Add(float64(moved))
+	reg.Histogram(obs.Name("prism_wave_duration_ms", "host", host), nil).
+		Observe(float64(time.Since(start).Milliseconds()))
 }
 
 // broadcastOutcome drives phase two: it tells every participant to commit

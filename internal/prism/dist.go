@@ -7,6 +7,7 @@ import (
 
 	"dif/internal/model"
 	"dif/internal/netsim"
+	"dif/internal/obs"
 )
 
 // Transport carries encoded events between hosts. Implementations:
@@ -126,6 +127,16 @@ type DistributionConnector struct {
 	mu    sync.Mutex
 	stats map[model.HostID]*PeerStats
 	saf   storeAndForward
+
+	// instr holds the transport-level metric handles; nil handles (before
+	// instrument is called) no-op.
+	instr struct {
+		framesSent *obs.Counter
+		bytesSent  *obs.Counter
+		framesRecv *obs.Counter
+		bytesRecv  *obs.Counter
+		sendErrs   *obs.Counter
+	}
 }
 
 // NewDistributionConnector wires a distribution connector to a transport.
@@ -145,6 +156,19 @@ func NewDistributionConnector(name string, host model.HostID, scaffold *Scaffold
 
 // Transport returns the underlying transport.
 func (dc *DistributionConnector) Transport() Transport { return dc.transport }
+
+// instrument registers the connector's frame and byte counters, labelled
+// by host, in reg (called via Architecture.SetObservability).
+func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID) {
+	h := string(host)
+	dc.mu.Lock()
+	dc.instr.framesSent = reg.Counter(obs.Name("prism_transport_frames_sent_total", "host", h))
+	dc.instr.bytesSent = reg.Counter(obs.Name("prism_transport_bytes_sent_total", "host", h))
+	dc.instr.framesRecv = reg.Counter(obs.Name("prism_transport_frames_recv_total", "host", h))
+	dc.instr.bytesRecv = reg.Counter(obs.Name("prism_transport_bytes_recv_total", "host", h))
+	dc.instr.sendErrs = reg.Counter(obs.Name("prism_transport_send_errors_total", "host", h))
+	dc.mu.Unlock()
+}
 
 // forwardRemote ships a locally originated event to its remote audience.
 func (dc *DistributionConnector) forwardRemote(e Event) {
@@ -182,6 +206,11 @@ func (dc *DistributionConnector) sendTracked(to model.HostID, data []byte, sizeK
 	if err == nil {
 		st.Delivered++
 	}
+	dc.instr.framesSent.Inc()
+	dc.instr.bytesSent.Add(float64(len(data)))
+	if err != nil {
+		dc.instr.sendErrs.Inc()
+	}
 	dc.mu.Unlock()
 	if err != nil && queueable {
 		dc.queuePending(to, data, sizeKB)
@@ -190,6 +219,10 @@ func (dc *DistributionConnector) sendTracked(to model.HostID, data []byte, sizeK
 
 // onFrame routes an inbound remote event into the local architecture.
 func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
+	dc.mu.Lock()
+	dc.instr.framesRecv.Inc()
+	dc.instr.bytesRecv.Add(float64(len(data)))
+	dc.mu.Unlock()
 	e, err := DecodeEvent(data)
 	if err != nil {
 		return

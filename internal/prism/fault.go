@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // FaultTransport decorates any Transport (simulated or TCP) with seeded,
@@ -31,8 +32,11 @@ type FaultTransport struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	partitioned map[model.HostID]bool
-	stats       FaultStats
 	closed      bool
+
+	// The fault counters live in an obs.Registry (cfg.Obs, or a private
+	// registry when none was supplied so Stats keeps working).
+	sent, dropped, duplicated, delayed, blocked *obs.Counter
 
 	// wg tracks in-flight delayed deliveries so Close can drain them.
 	wg sync.WaitGroup
@@ -51,9 +55,16 @@ type FaultConfig struct {
 	// them asynchronously (reordering them past later sends).
 	DelayRate float64
 	Delay     time.Duration
+	// Obs receives the transport's fault counters, labelled by host
+	// (prism_fault_*_total{host=...}). When nil a private registry backs
+	// the deprecated Stats accessor.
+	Obs *obs.Registry
 }
 
 // FaultStats counts injected faults.
+//
+// Deprecated: read the prism_fault_*_total counters from the registry
+// passed via FaultConfig.Obs instead. Retained for one release.
 type FaultStats struct {
 	Sent       int // Send calls that were not blocked by a partition
 	Dropped    int
@@ -70,12 +81,34 @@ var _ Transport = (*FaultTransport)(nil)
 
 // NewFaultTransport wraps inner with fault injection.
 func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	host := string(inner.Host())
 	return &FaultTransport{
 		inner:       inner,
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		partitioned: make(map[model.HostID]bool),
+		sent:        reg.Counter(obs.Name("prism_fault_sent_total", "host", host)),
+		dropped:     reg.Counter(obs.Name("prism_fault_dropped_total", "host", host)),
+		duplicated:  reg.Counter(obs.Name("prism_fault_duplicated_total", "host", host)),
+		delayed:     reg.Counter(obs.Name("prism_fault_delayed_total", "host", host)),
+		blocked:     reg.Counter(obs.Name("prism_fault_blocked_total", "host", host)),
 	}
+}
+
+// SetFaultConfig swaps the fault mix mid-run (drills heal or worsen the
+// network between phases) and reseeds the fault process from cfg.Seed.
+// The counters and their registry are untouched: cfg.Obs is ignored
+// here.
+func (f *FaultTransport) SetFaultConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	cfg.Obs = f.cfg.Obs
+	f.cfg = cfg
+	f.rng = rand.New(rand.NewSource(cfg.Seed))
+	f.mu.Unlock()
 }
 
 // Host implements Transport.
@@ -93,7 +126,7 @@ func (f *FaultTransport) SetReceiver(recv func(from model.HostID, data []byte)) 
 		f.mu.Lock()
 		blocked := f.partitioned[from]
 		if blocked {
-			f.stats.Blocked++
+			f.blocked.Inc()
 		}
 		f.mu.Unlock()
 		if blocked || recv == nil {
@@ -111,22 +144,22 @@ func (f *FaultTransport) Send(to model.HostID, data []byte, sizeKB float64) erro
 		return errors.New("prism: fault transport closed")
 	}
 	if f.partitioned[to] {
-		f.stats.Blocked++
+		f.blocked.Inc()
 		f.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrPeerPartitioned, to)
 	}
-	f.stats.Sent++
+	f.sent.Inc()
 	drop := f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate
 	dup := f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate
 	delay := f.cfg.DelayRate > 0 && f.cfg.Delay > 0 && f.rng.Float64() < f.cfg.DelayRate
 	switch {
 	case drop:
-		f.stats.Dropped++
+		f.dropped.Inc()
 	case delay:
-		f.stats.Delayed++
+		f.delayed.Inc()
 		f.wg.Add(1)
 	case dup:
-		f.stats.Duplicated++
+		f.duplicated.Inc()
 	}
 	f.mu.Unlock()
 
@@ -162,10 +195,18 @@ func (f *FaultTransport) Partition(peer model.HostID, on bool) {
 }
 
 // Stats returns a snapshot of the injected-fault counters.
+//
+// Deprecated: the counters now live in the registry supplied via
+// FaultConfig.Obs (prism_fault_*_total{host=...}); this wrapper reads
+// them back for callers not yet migrated.
 func (f *FaultTransport) Stats() FaultStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return FaultStats{
+		Sent:       int(f.sent.Value()),
+		Dropped:    int(f.dropped.Value()),
+		Duplicated: int(f.duplicated.Value()),
+		Delayed:    int(f.delayed.Value()),
+		Blocked:    int(f.blocked.Value()),
+	}
 }
 
 // Close implements Transport: drains delayed deliveries, then closes the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // EvRelay wraps a control event being relayed hop-by-hop toward a host
@@ -131,14 +132,24 @@ func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			cs.metric("prism_control_retries_total").Inc()
 			time.Sleep(cs.backoff(i - 1))
 		}
 		if lastErr = dc.Transport().Send(to, data, sizeKB); lastErr == nil {
 			return nil
 		}
 	}
+	cs.metric("prism_control_send_failures_total").Inc()
 	return fmt.Errorf("%s %s → %s: %s undeliverable after %d attempts: %w",
 		cs.from, cs.arch.Host(), to, name, attempts, lastErr)
+}
+
+// metric resolves a host-labelled counter from the architecture's
+// registry. The lookup is lazy (the registry may be wired after this
+// sender was built) and nil-safe; it only runs on the retry/failure slow
+// path.
+func (cs *controlSender) metric(base string) *obs.Counter {
+	return cs.arch.Obs().Counter(obs.Name(base, "host", string(cs.arch.Host())))
 }
 
 // backoff returns the delay before retry attempt+1: an exponential ramp
