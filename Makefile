@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race test-race bench check metrics-drill
+.PHONY: build test vet fmt race test-race bench check metrics-drill soak fuzz
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,24 @@ fmt:
 # delta evaluators they drive, the telemetry registry and tracer, and
 # the framework's crash-recovery drills.
 test-race:
-	$(GO) test -race ./internal/obs/... ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/...
+	$(GO) test -race ./internal/obs/... ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/... ./internal/chaos/...
 
 race: test-race
+
+# soak: the seeded chaos drill at full width — SOAK_SEEDS seeds, each
+# composing crashes, 20% drop, 10% dup, partitions, and mid-wave
+# migrations under the race detector, with every seed run twice and the
+# invariant reports compared byte-for-byte.
+SOAK_SEEDS ?= 10
+soak:
+	$(GO) test -race -count=1 -timeout 20m -run TestChaosSoak -v ./internal/chaos/ -args -chaos.seeds=$(SOAK_SEEDS)
+
+# fuzz: short live fuzzing of the gob frame decoding paths (the seed
+# corpora already run as plain unit tests inside `make test`).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/prism/ -run '^$$' -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/prism/ -run '^$$' -fuzz FuzzTCPReadLoop -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -run xxx -bench . ./internal/algo/

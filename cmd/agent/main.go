@@ -136,6 +136,12 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 		return err
 	}
 	defer admin.Close()
+	// Application-traffic continuity: enable (or explicitly disable) the
+	// delivery-guarantee layer and pace its retransmission clock.
+	arch.DistributionConnector(framework.BusName).SetDeliveryConfig(cfg.common.Delivery())
+	if cfg.common.AppRetransmit > 0 {
+		admin.StartDeliveryTicks(cfg.common.AppRetransmit)
+	}
 
 	// Introduce ourselves so the deployer sees this host as a peer.
 	if err := tr.Hello(cfg.masterHost); err != nil {

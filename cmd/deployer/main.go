@@ -104,12 +104,20 @@ func run() error {
 		Deployer: master, Bus: framework.BusName, Registry: registry,
 		Retry: common.Retry(),
 	}
-	if _, err := prism.InstallAdmin(arch, adminCfg); err != nil {
+	admin, err := prism.InstallAdmin(arch, adminCfg)
+	if err != nil {
 		return err
 	}
+	defer admin.Close()
 	dep, err := prism.InstallDeployer(arch, adminCfg)
 	if err != nil {
 		return err
+	}
+	// Application-traffic continuity: enable (or explicitly disable) the
+	// delivery-guarantee layer and pace its retransmission clock.
+	arch.DistributionConnector(framework.BusName).SetDeliveryConfig(common.Delivery())
+	if common.AppRetransmit > 0 {
+		admin.StartDeliveryTicks(common.AppRetransmit)
 	}
 
 	// Liveness: agent heartbeats feed a failure detector; HostDead

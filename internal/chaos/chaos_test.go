@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// chaosSeeds sets how many seeds the soak sweeps. `make soak` passes
+// -args -chaos.seeds=10; the default keeps plain `go test ./...` fast.
+var chaosSeeds = flag.Int("chaos.seeds", 2, "number of chaos soak seeds")
+
+// TestChaosSoak is the acceptance soak: for each seed, run the full
+// scenario twice and require (a) every invariant to hold — zero lost
+// events, zero duplicate deliveries, no orphaned or twice-active probe,
+// monotonic epochs — and (b) the two reports to be byte-identical.
+func TestChaosSoak(t *testing.T) {
+	for i := 0; i < *chaosSeeds; i++ {
+		seed := int64(1000 + 17*i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first, err := Run(Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Report != second.Report {
+				t.Fatalf("report not deterministic for seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+					seed, first.Report, second.Report)
+			}
+			t.Logf("\n%s", first.Report)
+		})
+	}
+}
+
+// TestGenerateScenarioDeterministic pins the generator itself: same
+// seed, same op list; different seed, different list.
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	a := GenerateScenario(Config{Seed: 42})
+	b := GenerateScenario(Config{Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different op lists")
+	}
+	c := GenerateScenario(Config{Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical op lists")
+	}
+	if len(a) < 20 {
+		t.Fatalf("scenario too short: %d ops", len(a))
+	}
+}
+
+// TestGenerateScenarioPreconditions replays each generated op list
+// against a pure state machine and asserts the generator never emits an
+// illegal transition (crashing the master, migrating across a
+// partition, restarting a live host, ...).
+func TestGenerateScenarioPreconditions(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := Config{Seed: seed}.withDefaults()
+		st := newScenarioState(cfg)
+		for i, op := range GenerateScenario(cfg) {
+			fail := func(msg string) {
+				t.Fatalf("seed %d op %d (%s): %s", seed, i, op.describe(), msg)
+			}
+			switch op.Kind {
+			case OpTraffic:
+				if !st.up[op.A] {
+					fail("traffic from a down host")
+				}
+				if op.N < 1 {
+					fail("empty burst")
+				}
+			case OpMigrate, OpAbortMigrate:
+				if len(st.parts) > 0 {
+					fail("migration during a partition")
+				}
+				if st.placement[op.Comp] != op.A {
+					fail("stale source in op")
+				}
+				if !st.up[op.A] || !st.up[op.B] || op.A == op.B {
+					fail("illegal endpoints")
+				}
+				if op.Kind == OpAbortMigrate {
+					if op.B == st.master {
+						fail("abort wave would kill the coordinator")
+					}
+					st.crash(op.B)
+				} else {
+					st.placement[op.Comp] = op.B
+				}
+			case OpCrash:
+				if op.A == st.master {
+					fail("crashed the master")
+				}
+				if !st.up[op.A] {
+					fail("crashed a down host")
+				}
+				if st.partitioned(op.A) {
+					fail("crashed a partitioned host")
+				}
+				st.crash(op.A)
+			case OpRestart:
+				if st.up[op.A] {
+					fail("restarted a live host")
+				}
+				st.up[op.A] = true
+			case OpPartition:
+				if !st.up[op.A] || !st.up[op.B] {
+					fail("partitioned a down host")
+				}
+				if st.parts[orderedPair(op.A, op.B)] {
+					fail("double partition")
+				}
+				st.parts[orderedPair(op.A, op.B)] = true
+			case OpHeal:
+				if !st.parts[orderedPair(op.A, op.B)] {
+					fail("healed a link that was not partitioned")
+				}
+				delete(st.parts, orderedPair(op.A, op.B))
+			}
+		}
+		if len(st.sortedParts()) != 0 {
+			t.Fatalf("seed %d: scenario ended with open partitions", seed)
+		}
+	}
+}
+
+// TestLedgerSemantics pins the delivery contract the soak judges by.
+func TestLedgerSemantics(t *testing.T) {
+	l := NewLedger()
+	l.NoteSent("e1", "p1", "h2")
+	l.NoteSent("e2", "p1", "h2")
+	l.NoteSent("e3", "p2", "h3")
+
+	if got := l.MissingCount(); got != 3 {
+		t.Fatalf("missing = %d, want 3", got)
+	}
+	l.NoteDelivered("e1", "p1")
+	if got := l.MissingCount(); got != 2 {
+		t.Fatalf("missing after one delivery = %d, want 2", got)
+	}
+	// Same-epoch redelivery is a duplicate.
+	l.NoteDelivered("e1", "p1")
+	if dups := l.Duplicates(); len(dups) != 1 || dups[0] != "e1" {
+		t.Fatalf("duplicates = %v, want [e1]", dups)
+	}
+
+	// A crash of the target's host forgives exactly one redelivery.
+	l2 := NewLedger()
+	l2.NoteSent("x1", "p1", "h2")
+	l2.NoteDelivered("x1", "p1")
+	l2.BumpCrashEpoch("p1")
+	l2.NoteDelivered("x1", "p1") // forgiven: new crash epoch
+	if dups := l2.Duplicates(); len(dups) != 0 {
+		t.Fatalf("post-crash redelivery flagged: %v", dups)
+	}
+	l2.NoteDelivered("x1", "p1") // same epoch again: duplicate
+	if dups := l2.Duplicates(); len(dups) != 1 {
+		t.Fatalf("duplicates = %v, want one entry", dups)
+	}
+
+	// Voiding: undelivered events from a crashed origin stop counting as
+	// missing, but already-delivered ones are untouched.
+	l3 := NewLedger()
+	l3.NoteSent("v1", "p1", "h2")
+	l3.NoteSent("v2", "p1", "h3")
+	l3.VoidOrigin("h2")
+	if missing := l3.Missing(); len(missing) != 1 || missing[0] != "v2" {
+		t.Fatalf("missing after void = %v, want [v2]", missing)
+	}
+	// A voided event may still arrive once without penalty.
+	l3.NoteDelivered("v1", "p1")
+	if dups := l3.Duplicates(); len(dups) != 0 {
+		t.Fatalf("voided delivery flagged: %v", dups)
+	}
+
+	// Deliveries that were never sent are violations.
+	l3.NoteDelivered("ghost", "p1")
+	if dups := l3.Duplicates(); len(dups) != 1 || dups[0] != "ghost" {
+		t.Fatalf("stray delivery not flagged: %v", dups)
+	}
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+
+	"dif/internal/model"
+)
+
+// Ledger reconciles injected application events against port deliveries.
+// It encodes the soak's delivery contract:
+//
+//   - An event is "missing" while it has no delivery; the scenario may
+//     not end with missing events, except those voided because their
+//     origin host crashed (the origin's retransmission state died with
+//     it, so 0-or-1 deliveries are both legal for them).
+//   - A second delivery of the same event at the same target is a
+//     duplicate — unless the target's host crashed in between. A crash
+//     destroys the receiver-side dedup window, so the middleware is
+//     allowed (and expected) to redeliver unacknowledged events to the
+//     restored instance: each crash opens a new "crash epoch" for the
+//     target, and only a repeat delivery within one epoch counts as a
+//     duplicate.
+type Ledger struct {
+	mu     sync.Mutex
+	events map[string]*eventRecord
+	epochs map[string]int // target component -> crash epoch
+	dups   []string       // event IDs delivered twice within one epoch
+	stray  []string       // delivered IDs that were never sent
+}
+
+type eventRecord struct {
+	target     string
+	origin     model.HostID
+	voided     bool
+	deliveries int
+	lastEpoch  int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		events: make(map[string]*eventRecord),
+		epochs: make(map[string]int),
+	}
+}
+
+// NoteSent registers an injected event before it is routed.
+func (l *Ledger) NoteSent(id, target string, origin model.HostID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events[id] = &eventRecord{target: target, origin: origin}
+}
+
+// NoteDelivered records a port delivery (called from probe Handle).
+func (l *Ledger) NoteDelivered(id, target string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.events[id]
+	if !ok {
+		l.stray = append(l.stray, id)
+		return
+	}
+	epoch := l.epochs[target]
+	if rec.deliveries > 0 && rec.lastEpoch == epoch {
+		l.dups = append(l.dups, id)
+		return
+	}
+	rec.deliveries++
+	rec.lastEpoch = epoch
+}
+
+// BumpCrashEpoch opens a new crash epoch for a target whose host died:
+// one redelivery to the restored instance is forgiven.
+func (l *Ledger) BumpCrashEpoch(target string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epochs[target]++
+}
+
+// VoidOrigin voids every still-undelivered event injected at a host that
+// just crashed: its retransmission state is gone, so those events may
+// legally end the scenario with zero or one deliveries.
+func (l *Ledger) VoidOrigin(h model.HostID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range l.events {
+		if rec.origin == h && rec.deliveries == 0 {
+			rec.voided = true
+		}
+	}
+}
+
+// Missing returns the IDs of non-voided events with no delivery, sorted.
+func (l *Ledger) Missing() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for id, rec := range l.events {
+		if !rec.voided && rec.deliveries == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MissingCount returns the number of non-voided undelivered events.
+func (l *Ledger) MissingCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, rec := range l.events {
+		if !rec.voided && rec.deliveries == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Duplicates returns the IDs delivered more than once within a single
+// crash epoch, sorted. Any entry is an exactly-once violation.
+func (l *Ledger) Duplicates() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]string(nil), l.dups...)
+	out = append(out, l.stray...)
+	sort.Strings(out)
+	return out
+}
+
+// Sent returns the number of registered events.
+func (l *Ledger) Sent() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}

@@ -1,0 +1,71 @@
+// Package chaos soaks the middleware's application-traffic continuity
+// guarantees under seeded compositions of message loss, duplication,
+// delay, network partitions, host crashes, churn, and mid-wave
+// migration. A scenario is generated deterministically from a seed,
+// executed against a live framework.World over the netsim fabric with a
+// FaultTransport on every host, and judged against four invariants:
+//
+//   - no lost application events (everything sent by a surviving origin
+//     is eventually delivered),
+//   - no duplicate deliveries at a component port (exactly-once, modulo
+//     one forgiven redelivery per receiver-host crash, whose dedup state
+//     dies with the host),
+//   - no orphaned or twice-active component after the dust settles,
+//   - monotonically increasing redeployment epochs.
+//
+// The scenario report contains only order-insensitive, outcome-level
+// content, so two runs of the same seed produce byte-identical reports —
+// the soak test's determinism check.
+package chaos
+
+import (
+	"encoding/gob"
+
+	"dif/internal/prism"
+)
+
+// ProbeTypeName keys the probe component factory in the world's
+// registry, so migrated probes are reconstituted on their destination.
+const ProbeTypeName = "chaos.probe"
+
+// probeEventName tags the application events the harness injects.
+const probeEventName = "chaos.probe.event"
+
+// ProbePayload is the application payload of an injected event: a
+// globally unique ID the ledger reconciles sends against deliveries.
+type ProbePayload struct{ ID string }
+
+func init() { gob.Register(ProbePayload{}) }
+
+// Probe is the scenario's application component: it records every event
+// delivered at its port in the shared ledger. It carries no state of its
+// own, so Snapshot/Restore are trivial — which is exactly the point: a
+// probe reconstituted after migration or a crash must still see each
+// event exactly once, with the continuity burden on the middleware.
+type Probe struct {
+	prism.BaseComponent
+	ledger *Ledger
+}
+
+var _ prism.Migratable = (*Probe)(nil)
+
+// NewProbe returns a probe reporting deliveries to the given ledger.
+func NewProbe(id string, l *Ledger) *Probe {
+	return &Probe{BaseComponent: prism.NewBaseComponent(id), ledger: l}
+}
+
+// TypeName implements prism.Migratable.
+func (p *Probe) TypeName() string { return ProbeTypeName }
+
+// Snapshot implements prism.Migratable (probes are stateless).
+func (p *Probe) Snapshot() ([]byte, error) { return []byte("probe"), nil }
+
+// Restore implements prism.Migratable.
+func (p *Probe) Restore([]byte) error { return nil }
+
+// Handle implements prism.Component: record the delivery.
+func (p *Probe) Handle(e prism.Event) {
+	if pl, ok := e.Payload.(ProbePayload); ok {
+		p.ledger.NoteDelivered(pl.ID, p.ID())
+	}
+}

@@ -1,0 +1,398 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dif/internal/framework"
+	"dif/internal/model"
+	"dif/internal/prism"
+)
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Report is the deterministic scenario report: same seed, same bytes.
+	Report string
+	// Ops is the executed op list (already embedded in Report).
+	Ops []Op
+}
+
+// Run executes one seeded chaos scenario end to end and checks every
+// invariant. It returns an error — with diagnostics — the moment the
+// world violates the delivery contract; a nil error means the scenario
+// settled with zero lost events, zero duplicate deliveries, a consistent
+// single placement for every probe, and monotonic wave epochs.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ops := GenerateScenario(cfg)
+
+	sys := model.NewSystem()
+	hosts := hostIDs(cfg.Hosts)
+	for _, h := range hosts {
+		sys.AddHost(h, model.Params{model.ParamMemory: 64})
+	}
+	for i, a := range hosts {
+		for _, b := range hosts[i+1:] {
+			// The fabric itself is perfect; all chaos is injected above it
+			// by the per-host FaultTransports and explicit partitions.
+			if _, err := sys.AddLink(a, b, model.Params{
+				model.ParamReliability: 1,
+				model.ParamBandwidth:   1 << 20,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ledger := NewLedger()
+	w, err := framework.NewWorld(sys, model.Deployment{}, framework.WorldConfig{
+		Seed:   cfg.Seed,
+		Master: hosts[0],
+		Fault: &prism.FaultConfig{
+			Seed:      cfg.Seed,
+			DropRate:  cfg.DropRate,
+			DupRate:   cfg.DupRate,
+			DelayRate: cfg.DelayRate,
+			Delay:     cfg.Delay,
+		},
+		// Retransmission never gives up mid-soak: abandonment would turn a
+		// transient outage into a silently lost event, which is exactly
+		// what the invariants must catch.
+		Delivery: &prism.DeliveryConfig{MaxAttempts: 1 << 30},
+		Tune: func(ac *prism.AdminConfig) {
+			ac.FetchRetryInterval = 15 * time.Millisecond
+			ac.EnactResendInterval = 15 * time.Millisecond
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	w.Registry.Register(ProbeTypeName, func(id string) prism.Migratable {
+		return NewProbe(id, ledger)
+	})
+
+	r := &runner{
+		cfg:       cfg,
+		w:         w,
+		ledger:    ledger,
+		master:    hosts[0],
+		hosts:     hosts,
+		probes:    probeIDs(cfg.Probes),
+		placement: initialPlacement(hosts, probeIDs(cfg.Probes)),
+		restarts:  make(map[model.HostID]int),
+	}
+	for _, p := range r.probes {
+		if err := r.addProbe(p, r.placement[p]); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, op := range ops {
+		if err := r.exec(op); err != nil {
+			return nil, fmt.Errorf("seed %d op %d (%s): %w", cfg.Seed, i, op.describe(), err)
+		}
+	}
+	if err := r.settle(); err != nil {
+		return nil, fmt.Errorf("seed %d: %w", cfg.Seed, err)
+	}
+	if err := r.checkInvariants(); err != nil {
+		return nil, fmt.Errorf("seed %d: %w", cfg.Seed, err)
+	}
+	return &Result{Report: r.report(ops), Ops: ops}, nil
+}
+
+// runner executes a generated scenario against a live world. All world
+// mutations happen on the caller's goroutine (waves run concurrently but
+// only touch deployer internals), so the soak is race-detector clean.
+type runner struct {
+	cfg    Config
+	w      *framework.World
+	ledger *Ledger
+
+	master model.HostID
+	hosts  []model.HostID
+	probes []string
+	// placement mirrors where each probe should live; invariant checks
+	// compare it against the architectures' actual contents.
+	placement map[string]model.HostID
+	restarts  map[model.HostID]int
+
+	eventSeq  int
+	waveLines []string
+	epochs    []int
+}
+
+func (r *runner) addProbe(id string, host model.HostID) error {
+	arch := r.w.Archs[host]
+	if err := arch.AddComponent(NewProbe(id, r.ledger)); err != nil {
+		return err
+	}
+	return arch.Weld(id, framework.BusName)
+}
+
+// inject routes n ledger-registered events at the target component from
+// the origin host's bus connector.
+func (r *runner) inject(origin model.HostID, target string, n int) {
+	dc := r.w.BusConnector(origin)
+	if dc == nil {
+		// The generator only picks live origins; keep the event-ID stream
+		// stable anyway so reports stay deterministic.
+		r.eventSeq += n
+		return
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d-e%05d", r.cfg.Seed, r.eventSeq)
+		r.eventSeq++
+		r.ledger.NoteSent(id, target, origin)
+		dc.Route(prism.Event{
+			Name:    probeEventName,
+			Sender:  "chaos",
+			Target:  target,
+			SizeKB:  0.2,
+			Payload: ProbePayload{ID: id},
+		})
+	}
+}
+
+// tick drives the delivery-guarantee clock a few steps.
+func (r *runner) tick(n int) {
+	for i := 0; i < n; i++ {
+		r.w.DeliveryTicks()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *runner) exec(op Op) error {
+	switch op.Kind {
+	case OpTraffic:
+		r.inject(op.A, op.Comp, op.N)
+		r.tick(2)
+	case OpMigrate:
+		return r.migrate(op, false)
+	case OpAbortMigrate:
+		return r.migrate(op, true)
+	case OpCrash:
+		return r.crash(op.A)
+	case OpRestart:
+		if _, err := r.w.RestartHost(op.A); err != nil {
+			return err
+		}
+		r.restarts[op.A]++
+	case OpPartition:
+		return r.w.Fabric.SetPartitioned(op.A, op.B, true)
+	case OpHeal:
+		return r.w.Fabric.SetPartitioned(op.A, op.B, false)
+	}
+	return nil
+}
+
+// crash fail-stops a host, voids its in-flight sends, and restores its
+// probes from origin copies on the master — bumping each one's crash
+// epoch so the forgiven post-crash redelivery is not counted a duplicate.
+func (r *runner) crash(h model.HostID) error {
+	lost := r.w.CrashHost(h)
+	r.ledger.VoidOrigin(h)
+	var expected []string
+	for _, p := range r.probes {
+		if r.placement[p] == h {
+			expected = append(expected, p)
+		}
+	}
+	got := make([]string, len(lost))
+	for i, c := range lost {
+		got[i] = string(c)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(expected, ",") {
+		return fmt.Errorf("crash %s lost %v, mirror predicted %v", h, got, expected)
+	}
+	for _, p := range expected {
+		r.ledger.BumpCrashEpoch(p)
+		if err := r.addProbe(p, r.master); err != nil {
+			return err
+		}
+		r.placement[p] = r.master
+	}
+	return nil
+}
+
+// migrate runs one two-phase wave, injecting traffic at the moving
+// component while the wave is in flight. In abort mode the destination
+// is crashed first and declared dead to the coordinator, which must roll
+// the wave back without losing any of that traffic.
+func (r *runner) migrate(op Op, abort bool) error {
+	if abort {
+		if err := r.crash(op.B); err != nil {
+			return err
+		}
+	}
+	current := make(map[string]model.HostID, len(r.placement))
+	for p, h := range r.placement {
+		current[p] = h
+	}
+	type waveRes struct {
+		res prism.EnactResult
+		err error
+	}
+	ch := make(chan waveRes, 1)
+	dep := r.w.Deployer
+	go func() {
+		res, err := dep.Enact(map[string]model.HostID{op.Comp: op.B}, current, r.cfg.WaveTimeout)
+		ch <- waveRes{res, err}
+	}()
+	// Mid-wave traffic at the moving component: it must surface at the
+	// survivor exactly once whether the wave commits or rolls back.
+	r.inject(r.master, op.Comp, 2)
+
+	var wr waveRes
+	for done := false; !done; {
+		if abort {
+			dep.NoteHostDead(op.B)
+		}
+		r.w.DeliveryTicks()
+		select {
+		case wr = <-ch:
+			done = true
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	outcome := "committed"
+	if abort {
+		if wr.err == nil || !strings.Contains(wr.err.Error(), "rolled back") {
+			return fmt.Errorf("wave against dead %s: err = %v, want rollback", op.B, wr.err)
+		}
+		outcome = "aborted"
+	} else {
+		if wr.err != nil {
+			return fmt.Errorf("wave %s -> %s: %w", op.Comp, op.B, wr.err)
+		}
+		r.placement[op.Comp] = op.B
+	}
+	r.epochs = append(r.epochs, wr.res.Epoch)
+	r.waveLines = append(r.waveLines, fmt.Sprintf(
+		"wave epoch=%d comp=%s src=%s dst=%s outcome=%s",
+		wr.res.Epoch, op.Comp, op.A, op.B, outcome))
+	return nil
+}
+
+// pendingTotal sums unacknowledged application events across live hosts.
+func (r *runner) pendingTotal() int {
+	n := 0
+	for _, h := range r.hosts {
+		if dc := r.w.BusConnector(h); dc != nil {
+			n += dc.PendingAppEvents()
+		}
+	}
+	return n
+}
+
+// settle drives delivery ticks until every non-voided event has been
+// delivered and every surviving sender's pending table has drained, then
+// lets the fabric go quiet.
+func (r *runner) settle() error {
+	deadline := time.Now().Add(r.cfg.SettleTimeout)
+	for {
+		r.w.DeliveryTicks()
+		if r.ledger.MissingCount() == 0 && r.pendingTotal() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("settle timeout: %d events missing %v, %d pending",
+				r.ledger.MissingCount(), r.ledger.Missing(), r.pendingTotal())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 100 && !r.w.Fabric.Idle(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// scanPlacement reads the actual probe placement off the live
+// architectures: every probe must be active exactly once, where the
+// mirror says it is.
+func (r *runner) scanPlacement() (map[string][]model.HostID, error) {
+	found := make(map[string][]model.HostID, len(r.probes))
+	for _, h := range r.hosts {
+		if r.w.HostDown(h) {
+			continue
+		}
+		for _, id := range r.w.Archs[h].ComponentIDs() {
+			if id == prism.AdminID || id == prism.DeployerID {
+				continue
+			}
+			found[id] = append(found[id], h)
+		}
+	}
+	return found, nil
+}
+
+func (r *runner) checkInvariants() error {
+	if missing := r.ledger.Missing(); len(missing) > 0 {
+		return fmt.Errorf("lost events: %v", missing)
+	}
+	if dups := r.ledger.Duplicates(); len(dups) > 0 {
+		return fmt.Errorf("duplicate deliveries: %v", dups)
+	}
+	found, err := r.scanPlacement()
+	if err != nil {
+		return err
+	}
+	for _, p := range r.probes {
+		at := found[p]
+		switch {
+		case len(at) == 0:
+			return fmt.Errorf("probe %s orphaned (mirror: %s)", p, r.placement[p])
+		case len(at) > 1:
+			return fmt.Errorf("probe %s active on %v", p, at)
+		case at[0] != r.placement[p]:
+			return fmt.Errorf("probe %s on %s, mirror says %s", p, at[0], r.placement[p])
+		}
+	}
+	for i := 1; i < len(r.epochs); i++ {
+		if r.epochs[i] <= r.epochs[i-1] {
+			return fmt.Errorf("wave epochs not monotonic: %v", r.epochs)
+		}
+	}
+	for _, h := range r.hosts {
+		if got, want := r.w.Incarnation(h), uint64(r.restarts[h]); got != want {
+			return fmt.Errorf("host %s incarnation %d, want %d", h, got, want)
+		}
+	}
+	return nil
+}
+
+// report renders the deterministic scenario record: the op list, wave
+// outcomes, invariant tallies, final placement, and incarnations — and
+// nothing timing-sensitive (no delivery counts, no retransmit totals).
+func (r *runner) report(ops []Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d hosts=%d probes=%d ops=%d\n",
+		r.cfg.Seed, r.cfg.Hosts, r.cfg.Probes, len(ops))
+	for i, op := range ops {
+		fmt.Fprintf(&b, "op %02d %s\n", i, op.describe())
+	}
+	for _, line := range r.waveLines {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "events sent=%d\n", r.ledger.Sent())
+	fmt.Fprintf(&b, "invariants lost=%d duplicates=%d\n",
+		len(r.ledger.Missing()), len(r.ledger.Duplicates()))
+	b.WriteString("placement")
+	for _, p := range r.probes {
+		fmt.Fprintf(&b, " %s=%s", p, r.placement[p])
+	}
+	b.WriteByte('\n')
+	b.WriteString("incarnations")
+	for _, h := range r.hosts {
+		fmt.Fprintf(&b, " %s=%d", h, r.w.Incarnation(h))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,356 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dif/internal/model"
+)
+
+// Config parameterizes a chaos scenario. The zero value of any field
+// selects the default in brackets.
+type Config struct {
+	// Seed drives everything deterministic: the generated op list, the
+	// fabric, and every host's fault stream.
+	Seed int64
+	// Hosts [4] and Probes [5] size the world (Hosts must stay in 1..9 so
+	// lexicographic host order matches numeric order).
+	Hosts  int
+	Probes int
+	// Ops [20] is the generated scenario length (epilogue heals extra).
+	Ops int
+	// DropRate [0.2], DupRate [0.1], DelayRate [0.1], and Delay [2ms]
+	// tune each host's FaultTransport.
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+	Delay     time.Duration
+	// WaveTimeout [30s] bounds each redeployment wave; SettleTimeout
+	// [60s] bounds the end-of-scenario delivery drain.
+	WaveTimeout   time.Duration
+	SettleTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.Probes == 0 {
+		c.Probes = 5
+	}
+	if c.Ops == 0 {
+		c.Ops = 24
+	}
+	if c.DropRate == 0 {
+		c.DropRate = 0.2
+	}
+	if c.DupRate == 0 {
+		c.DupRate = 0.1
+	}
+	if c.DelayRate == 0 {
+		c.DelayRate = 0.1
+	}
+	if c.Delay == 0 {
+		c.Delay = 2 * time.Millisecond
+	}
+	if c.WaveTimeout == 0 {
+		c.WaveTimeout = 30 * time.Second
+	}
+	if c.SettleTimeout == 0 {
+		c.SettleTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// OpKind enumerates scenario operations.
+type OpKind int
+
+const (
+	// OpTraffic injects N application events from host A at component Comp.
+	OpTraffic OpKind = iota
+	// OpMigrate moves Comp from host A to host B through a full
+	// two-phase wave, with extra traffic injected mid-wave.
+	OpMigrate
+	// OpAbortMigrate crashes destination B first, then starts the same
+	// wave — which must roll back, with all in-flight traffic surviving.
+	OpAbortMigrate
+	// OpCrash fail-stops host A; its probes are restored on the master.
+	OpCrash
+	// OpRestart resurrects crashed host A with a bumped incarnation.
+	OpRestart
+	// OpPartition severs the A—B link; OpHeal restores it.
+	OpPartition
+	OpHeal
+)
+
+// String names the op kind for scenario reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpTraffic:
+		return "traffic"
+	case OpMigrate:
+		return "migrate"
+	case OpAbortMigrate:
+		return "abort-migrate"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("opkind(%d)", int(k))
+}
+
+// Op is one scenario step. Field use per kind: OpTraffic{Comp, A, N};
+// OpMigrate/OpAbortMigrate{Comp, A=src, B=dst}; OpCrash/OpRestart{A};
+// OpPartition/OpHeal{A, B}.
+type Op struct {
+	Kind OpKind
+	Comp string
+	A, B model.HostID
+	N    int
+}
+
+func (o Op) describe() string {
+	switch o.Kind {
+	case OpTraffic:
+		return fmt.Sprintf("traffic origin=%s target=%s n=%d", o.A, o.Comp, o.N)
+	case OpMigrate, OpAbortMigrate:
+		return fmt.Sprintf("%s comp=%s src=%s dst=%s", o.Kind, o.Comp, o.A, o.B)
+	case OpCrash, OpRestart:
+		return fmt.Sprintf("%s host=%s", o.Kind, o.A)
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("%s a=%s b=%s", o.Kind, o.A, o.B)
+	}
+	return o.Kind.String()
+}
+
+func hostIDs(n int) []model.HostID {
+	out := make([]model.HostID, n)
+	for i := range out {
+		out[i] = model.HostID(fmt.Sprintf("h%d", i+1))
+	}
+	return out
+}
+
+func probeIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return out
+}
+
+// initialPlacement spreads probes round-robin over hosts. The generator
+// and the runner both start from it, so the generator's simulated world
+// state tracks the live one exactly.
+func initialPlacement(hosts []model.HostID, probes []string) map[string]model.HostID {
+	p := make(map[string]model.HostID, len(probes))
+	for i, id := range probes {
+		p[id] = hosts[i%len(hosts)]
+	}
+	return p
+}
+
+type hostPair struct{ a, b model.HostID }
+
+func orderedPair(a, b model.HostID) hostPair {
+	if b < a {
+		a, b = b, a
+	}
+	return hostPair{a, b}
+}
+
+// scenarioState is the generator's pure simulation of the world: which
+// hosts are up, where each probe lives, and which links are partitioned.
+// Ops are only generated when their preconditions hold, so replaying the
+// list against the live world cannot hit an illegal transition —
+// assuming wave outcomes are deterministic, which the runner asserts.
+type scenarioState struct {
+	master    model.HostID
+	hosts     []model.HostID
+	probes    []string
+	up        map[model.HostID]bool
+	placement map[string]model.HostID
+	parts     map[hostPair]bool
+}
+
+func newScenarioState(cfg Config) *scenarioState {
+	hosts := hostIDs(cfg.Hosts)
+	probes := probeIDs(cfg.Probes)
+	st := &scenarioState{
+		master:    hosts[0],
+		hosts:     hosts,
+		probes:    probes,
+		up:        make(map[model.HostID]bool, len(hosts)),
+		placement: initialPlacement(hosts, probes),
+		parts:     make(map[hostPair]bool),
+	}
+	for _, h := range hosts {
+		st.up[h] = true
+	}
+	return st
+}
+
+func (st *scenarioState) upHosts(exclude func(model.HostID) bool) []model.HostID {
+	var out []model.HostID
+	for _, h := range st.hosts {
+		if st.up[h] && (exclude == nil || !exclude(h)) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (st *scenarioState) downHosts() []model.HostID {
+	var out []model.HostID
+	for _, h := range st.hosts {
+		if !st.up[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (st *scenarioState) partitioned(h model.HostID) bool {
+	for pr := range st.parts {
+		if pr.a == h || pr.b == h {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *scenarioState) sortedParts() []hostPair {
+	var out []hostPair
+	for _, a := range st.hosts {
+		for _, b := range st.hosts {
+			if a < b && st.parts[hostPair{a, b}] {
+				out = append(out, hostPair{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// crash simulates a fail-stop: the host goes down and its probes are
+// restored from origin copies on the master (the runner does the same).
+func (st *scenarioState) crash(h model.HostID) {
+	st.up[h] = false
+	for _, p := range st.probes {
+		if st.placement[p] == h {
+			st.placement[p] = st.master
+		}
+	}
+}
+
+// GenerateScenario derives a deterministic op list from the seed. Op
+// frequencies roughly: 45% traffic, 17% migration (a quarter of those
+// abort-flavored), 10% partition, 8% heal, 10% crash, 10% restart —
+// with every ineligible draw degrading to a traffic burst so the list
+// length is stable. A heal epilogue closes any partition still open so
+// the settle phase can drain all in-flight traffic.
+func GenerateScenario(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := newScenarioState(cfg)
+
+	traffic := func() Op {
+		up := st.upHosts(nil)
+		return Op{
+			Kind: OpTraffic,
+			A:    up[rng.Intn(len(up))],
+			Comp: st.probes[rng.Intn(len(st.probes))],
+			N:    1 + rng.Intn(3),
+		}
+	}
+
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		op := traffic()
+		switch r := rng.Intn(100); {
+		case r < 45:
+			// keep the traffic op
+		case r < 62: // migration (waves need a partition-free control plane)
+			if len(st.parts) > 0 {
+				break
+			}
+			comp := st.probes[rng.Intn(len(st.probes))]
+			src := st.placement[comp]
+			dsts := st.upHosts(func(h model.HostID) bool { return h == src })
+			if len(dsts) == 0 {
+				break
+			}
+			dst := dsts[rng.Intn(len(dsts))]
+			if rng.Intn(3) == 0 {
+				// Abort flavor: the destination dies under the wave. The
+				// master must survive as coordinator, so re-pick.
+				adsts := st.upHosts(func(h model.HostID) bool {
+					return h == src || h == st.master
+				})
+				if len(adsts) > 0 {
+					dst = adsts[rng.Intn(len(adsts))]
+					op = Op{Kind: OpAbortMigrate, Comp: comp, A: src, B: dst}
+					st.crash(dst)
+					break
+				}
+			}
+			op = Op{Kind: OpMigrate, Comp: comp, A: src, B: dst}
+			st.placement[comp] = dst
+		case r < 72: // partition
+			if len(st.parts) >= 2 {
+				break
+			}
+			up := st.upHosts(nil)
+			var pairs []hostPair
+			for i, a := range up {
+				for _, b := range up[i+1:] {
+					if !st.parts[hostPair{a, b}] {
+						pairs = append(pairs, hostPair{a, b})
+					}
+				}
+			}
+			if len(pairs) == 0 {
+				break
+			}
+			pr := pairs[rng.Intn(len(pairs))]
+			st.parts[pr] = true
+			op = Op{Kind: OpPartition, A: pr.a, B: pr.b}
+		case r < 80: // heal
+			parts := st.sortedParts()
+			if len(parts) == 0 {
+				break
+			}
+			pr := parts[rng.Intn(len(parts))]
+			delete(st.parts, pr)
+			op = Op{Kind: OpHeal, A: pr.a, B: pr.b}
+		case r < 90: // crash (never the master, never a partitioned host)
+			cands := st.upHosts(func(h model.HostID) bool {
+				return h == st.master || st.partitioned(h)
+			})
+			if len(cands) == 0 {
+				break
+			}
+			h := cands[rng.Intn(len(cands))]
+			st.crash(h)
+			op = Op{Kind: OpCrash, A: h}
+		default: // restart
+			down := st.downHosts()
+			if len(down) == 0 {
+				break
+			}
+			h := down[rng.Intn(len(down))]
+			st.up[h] = true
+			op = Op{Kind: OpRestart, A: h}
+		}
+		ops = append(ops, op)
+	}
+	for _, pr := range st.sortedParts() {
+		ops = append(ops, Op{Kind: OpHeal, A: pr.a, B: pr.b})
+	}
+	return ops
+}

@@ -17,13 +17,14 @@ import (
 
 // Common holds the parsed values of the shared flags.
 type Common struct {
-	FaultDrop   float64
-	FaultDup    float64
-	FaultSeed   int64
-	NoRetry     bool
-	Heartbeat   time.Duration
-	MetricsAddr string
-	TraceOut    string
+	FaultDrop     float64
+	FaultDup      float64
+	FaultSeed     int64
+	NoRetry       bool
+	Heartbeat     time.Duration
+	AppRetransmit time.Duration
+	MetricsAddr   string
+	TraceOut      string
 }
 
 // Register installs the shared flags on fs and returns the struct the
@@ -35,6 +36,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.Int64Var(&c.FaultSeed, "fault-seed", 1, "seed for the injected fault process")
 	fs.BoolVar(&c.NoRetry, "no-retry", false, "disable control-plane retransmission (single-shot sends)")
 	fs.DurationVar(&c.Heartbeat, "heartbeat", 0, "liveness heartbeat interval (0 disables)")
+	fs.DurationVar(&c.AppRetransmit, "app-retransmit", 250*time.Millisecond, "application-event retransmission interval (0 disables the delivery-guarantee layer)")
 	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty disables)")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write recorded span trees as JSONL to this file on exit (empty disables)")
 	return c
@@ -54,6 +56,14 @@ func (c *Common) FaultConfig(reg *obs.Registry) prism.FaultConfig {
 // Retry builds the control-plane retry policy.
 func (c *Common) Retry() prism.RetryPolicy {
 	return prism.RetryPolicy{Disabled: c.NoRetry, Seed: c.FaultSeed}
+}
+
+// Delivery builds the application-event delivery-guarantee
+// configuration: -app-retransmit 0 turns the layer off entirely
+// (fire-and-forget application traffic), any positive interval keeps it
+// on with defaults and paces AdminComponent.StartDeliveryTicks.
+func (c *Common) Delivery() prism.DeliveryConfig {
+	return prism.DeliveryConfig{Disabled: c.AppRetransmit <= 0}
 }
 
 // Observability wires the process's metric registry and span tracer per

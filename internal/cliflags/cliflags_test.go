@@ -19,22 +19,35 @@ func TestSharedFlagParity(t *testing.T) {
 		{
 			name: "defaults",
 			args: nil,
-			want: Common{FaultSeed: 1},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond},
 		},
 		{
 			name: "fault drill",
 			args: []string{"-fault-drop", "0.2", "-fault-dup", "0.05", "-fault-seed", "42"},
-			want: Common{FaultDrop: 0.2, FaultDup: 0.05, FaultSeed: 42},
+			want: Common{FaultDrop: 0.2, FaultDup: 0.05, FaultSeed: 42,
+				AppRetransmit: 250 * time.Millisecond},
 		},
 		{
 			name: "liveness and no retry",
 			args: []string{"-heartbeat", "250ms", "-no-retry"},
-			want: Common{FaultSeed: 1, Heartbeat: 250 * time.Millisecond, NoRetry: true},
+			want: Common{FaultSeed: 1, Heartbeat: 250 * time.Millisecond, NoRetry: true,
+				AppRetransmit: 250 * time.Millisecond},
 		},
 		{
 			name: "observability",
 			args: []string{"-metrics-addr", "127.0.0.1:9090", "-trace-out", "trace.jsonl"},
-			want: Common{FaultSeed: 1, MetricsAddr: "127.0.0.1:9090", TraceOut: "trace.jsonl"},
+			want: Common{FaultSeed: 1, MetricsAddr: "127.0.0.1:9090", TraceOut: "trace.jsonl",
+				AppRetransmit: 250 * time.Millisecond},
+		},
+		{
+			name: "delivery layer retuned",
+			args: []string{"-app-retransmit", "50ms"},
+			want: Common{FaultSeed: 1, AppRetransmit: 50 * time.Millisecond},
+		},
+		{
+			name: "delivery layer off",
+			args: []string{"-app-retransmit", "0s"},
+			want: Common{FaultSeed: 1},
 		},
 	}
 	for _, tc := range cases {
@@ -71,6 +84,17 @@ func TestFaultConfigAndRetry(t *testing.T) {
 	var zero Common
 	if zero.Faulty() {
 		t.Fatal("Faulty() = true on zero value")
+	}
+}
+
+func TestDeliveryConfig(t *testing.T) {
+	on := Common{AppRetransmit: 250 * time.Millisecond}
+	if on.Delivery().Disabled {
+		t.Fatal("Delivery().Disabled with a positive retransmit interval")
+	}
+	var off Common
+	if !off.Delivery().Disabled {
+		t.Fatal("Delivery() enabled with -app-retransmit 0")
 	}
 }
 

@@ -84,6 +84,9 @@ type WorldConfig struct {
 	// hosts are built — drills use it to pin timers (e.g. the enact resend
 	// interval) for deterministic traces.
 	Tune func(*prism.AdminConfig)
+	// Delivery, when non-nil, tunes (or disables) the application-event
+	// delivery-guarantee layer on every host's bus connector.
+	Delivery *prism.DeliveryConfig
 }
 
 // NewWorld builds a live world for the system and places one traffic
@@ -147,6 +150,11 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 		if _, err := arch.AddDistributionConnector(BusName, tr); err != nil {
 			fabric.Close()
 			return nil, err
+		}
+		if cfg.Delivery != nil {
+			if dc := arch.DistributionConnector(BusName); dc != nil {
+				dc.SetDeliveryConfig(*cfg.Delivery)
+			}
 		}
 		admin, err := prism.InstallAdmin(arch, adminCfg)
 		if err != nil {
@@ -217,6 +225,33 @@ func (w *World) StepN(n int) int {
 	total := 0
 	for i := 0; i < n; i++ {
 		total += w.Step()
+	}
+	return total
+}
+
+// BusConnector returns a live host's bus distribution connector (nil for
+// crashed or unknown hosts).
+func (w *World) BusConnector(h model.HostID) *prism.DistributionConnector {
+	if w.down[h] {
+		return nil
+	}
+	arch, ok := w.Archs[h]
+	if !ok {
+		return nil
+	}
+	return arch.DistributionConnector(BusName)
+}
+
+// DeliveryTicks drives one delivery-guarantee retransmission tick on
+// every live host's bus connector, in sorted host order for determinism,
+// and returns the total number of events retransmitted. Harnesses call
+// this instead of running wall-clock delivery pumps.
+func (w *World) DeliveryTicks() int {
+	total := 0
+	for _, h := range w.Sys.HostIDs() {
+		if dc := w.BusConnector(h); dc != nil {
+			total += dc.DeliveryTick()
+		}
 	}
 	return total
 }
@@ -329,6 +364,11 @@ func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
 	}
 	if _, err := arch.AddDistributionConnector(BusName, tr); err != nil {
 		return nil, err
+	}
+	if w.cfg.Delivery != nil {
+		if dc := arch.DistributionConnector(BusName); dc != nil {
+			dc.SetDeliveryConfig(*w.cfg.Delivery)
+		}
 	}
 	adminCfg := w.adminCfg
 	adminCfg.Incarnation = w.incarnations[h]

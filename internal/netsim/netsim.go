@@ -96,9 +96,12 @@ type endpoint struct {
 	mu      sync.Mutex
 	handler Handler
 	buf     []Message
-	signal  chan struct{} // capacity 1: "buffer non-empty" edge
-	stop    chan struct{}
-	done    chan struct{}
+	// busy is true while the dispatch goroutine is inside a handler —
+	// the buffer may be empty yet the endpoint is not quiescent.
+	busy   bool
+	signal chan struct{} // capacity 1: "buffer non-empty" edge
+	stop   chan struct{}
+	done   chan struct{}
 }
 
 // NewFabric returns an empty fabric seeded for reproducible loss.
@@ -187,11 +190,19 @@ func (ep *endpoint) drainOnce() bool {
 	msgs := ep.buf
 	ep.buf = nil
 	handler := ep.handler
+	if len(msgs) > 0 {
+		ep.busy = true
+	}
 	ep.mu.Unlock()
 	for _, msg := range msgs {
 		if handler != nil {
 			handler(msg)
 		}
+	}
+	if len(msgs) > 0 {
+		ep.mu.Lock()
+		ep.busy = false
+		ep.mu.Unlock()
 	}
 	return len(msgs) > 0
 }
@@ -209,6 +220,29 @@ func (ep *endpoint) dispatch() {
 			return
 		}
 	}
+}
+
+// Idle reports whether the fabric is quiescent: every endpoint's buffer
+// is empty and no handler is mid-delivery. A true result is only a
+// point-in-time observation — handlers may send again immediately — so
+// callers poll it inside settle loops rather than treating it as a
+// barrier.
+func (f *Fabric) Idle() bool {
+	f.mu.Lock()
+	eps := make([]*endpoint, 0, len(f.hosts))
+	for _, ep := range f.hosts {
+		eps = append(eps, ep)
+	}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		quiet := len(ep.buf) == 0 && !ep.busy
+		ep.mu.Unlock()
+		if !quiet {
+			return false
+		}
+	}
+	return true
 }
 
 // Crash takes a host down: every send to or from it fails with

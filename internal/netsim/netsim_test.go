@@ -339,3 +339,38 @@ func TestConcurrentSends(t *testing.T) {
 		t.Fatal("not all messages delivered")
 	}
 }
+
+func TestIdleTracksQuiescence(t *testing.T) {
+	f := newTestFabric(t, 1.0)
+	if !f.Idle() {
+		t.Fatal("fresh fabric should be idle")
+	}
+	// Park the receiving handler so the endpoint is observably busy.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	if err := f.SetHandler("h2", func(m Message) {
+		entered <- struct{}{}
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Send("h1", "h2", 1, "work"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(time.Second):
+		t.Fatal("handler never entered")
+	}
+	if f.Idle() {
+		t.Fatal("fabric idle while a handler is mid-delivery")
+	}
+	close(release)
+	deadline := time.Now().Add(time.Second)
+	for !f.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("fabric never went idle after the handler returned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // Control-plane event names used by the admin/deployer protocol.
@@ -78,6 +79,18 @@ type TransferPayload struct {
 	// hosts: when set and different from the receiving host, the receiver
 	// forwards the payload onward.
 	FinalDst model.HostID
+	// Source is the host that prepared the component (and captured Held
+	// and Dedup below).
+	Source model.HostID
+	// Held carries the stamped application events buffered for the
+	// component at the source up to the moment it shipped, so buffered
+	// traffic commits or aborts with the wave instead of evaporating
+	// with a crashed source. Each entry is one EncodeEvent frame.
+	Held [][]byte
+	// Dedup carries the component's receiver-side dedup windows, so
+	// exactly-once delivery survives the move: retransmissions of events
+	// the old host already delivered are swallowed at the new one.
+	Dedup []DedupStream
 }
 
 // DoneReport tells the deployer a host finished its part of an epoch.
@@ -326,7 +339,38 @@ func InstallAdmin(arch *Architecture, cfg AdminConfig) (*AdminComponent, error) 
 		return nil, err
 	}
 	admin.AttachMonitors()
+	if dc := arch.DistributionConnector(cfg.Bus); dc != nil {
+		dc.SetIncarnation(cfg.Incarnation)
+	}
 	return admin, nil
+}
+
+// StartDeliveryTicks launches a background pump driving the bus
+// connector's delivery-guarantee retransmission at the given interval
+// until the admin is closed. Live binaries use this; deterministic
+// tests call DistributionConnector.DeliveryTick directly instead.
+func (a *AdminComponent) StartDeliveryTicks(interval time.Duration) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
+	if dc == nil {
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				dc.DeliveryTick()
+			case <-a.stop:
+				return
+			}
+		}
+	}()
 }
 
 // Architecture returns the admin's local architecture (the
@@ -344,11 +388,16 @@ func (a *AdminComponent) Incarnation() uint64 {
 }
 
 // SetIncarnation overrides the admin's lifetime number (a restarted host
-// rejoins with a strictly greater incarnation).
+// rejoins with a strictly greater incarnation). The bus distribution
+// connector inherits it so the delivery layer's fresh sequence streams
+// are not deduplicated against the previous lifetime's.
 func (a *AdminComponent) SetIncarnation(inc uint64) {
 	a.mu.Lock()
 	a.incarnation = inc
 	a.mu.Unlock()
+	if dc := a.arch.DistributionConnector(a.cfg.Bus); dc != nil {
+		dc.SetIncarnation(inc)
+	}
 }
 
 // SendHeartbeat emits one liveness beacon to the deployer, carrying this
@@ -730,6 +779,27 @@ func (a *AdminComponent) handleFetch(req FetchRequest) {
 		State:       state,
 		SizeKB:      float64(len(state))/1024 + 1,
 		FinalDst:    req.Requester,
+		Source:      a.arch.Host(),
+	}
+	// Crash-safe handoff: stamped traffic buffered here travels inside
+	// the payload, so it commits or aborts with the wave even if this
+	// host dies before relaying. Receiver-side dedup filters the overlap
+	// with the commit-time relay of the same buffer. Unstamped events
+	// stay out: they have no identity to dedup by and ride the relay
+	// path alone, as before.
+	if bus := a.arch.Connector(a.cfg.Bus); bus != nil {
+		for _, held := range bus.HeldSnapshot(req.Comp) {
+			if held.Seq == 0 {
+				continue
+			}
+			if raw, err := EncodeEvent(held); err == nil {
+				tp.Held = append(tp.Held, raw)
+				tp.SizeKB += held.EffectiveSizeKB()
+			}
+		}
+	}
+	if dc := a.arch.DistributionConnector(a.cfg.Bus); dc != nil {
+		tp.Dedup = dc.snapshotDedup(req.Comp)
 	}
 	a.mu.Lock()
 	a.shipped[key] = tp
@@ -755,20 +825,50 @@ func (a *AdminComponent) ship(tp TransferPayload, req FetchRequest) {
 }
 
 // relayHeld re-routes events buffered for a departed component to its
-// new host.
-func (a *AdminComponent) relayHeld(conn *Connector, comp string, newHost model.HostID) {
+// new host, preserving each event's delivery identity so the receiver
+// can dedup the relay against the origin's own retransmissions. A
+// stamped event whose hop budget is spent detours via the wave
+// coordinator — whose relocation table knows the authoritative location
+// and bounces it back to the origin — instead of chasing a component
+// that moves faster than its traffic. The relayed counter is updated
+// once per batch, not once per event.
+func (a *AdminComponent) relayHeld(conn *Connector, comp string, newHost, coordinator model.HostID) {
 	conn.mu.Lock()
 	events := conn.held[comp]
 	delete(conn.held, comp)
+	conn.heldGauge.Add(-float64(len(events)))
 	conn.mu.Unlock()
-	for _, held := range events {
-		held.DstHost = newHost
-		held.SrcHost = "" // re-originate so the DC forwards it
-		conn.Route(held)
-		a.mu.Lock()
-		a.relayed++
-		a.mu.Unlock()
+	if len(events) == 0 {
+		return
 	}
+	maxHops := a.maxAppHops()
+	for _, held := range events {
+		held.SrcHost = "" // re-originate so the DC forwards it
+		held.Hops++
+		held.DstHost = newHost
+		if held.Seq != 0 && held.Hops > maxHops &&
+			coordinator != "" && coordinator != a.arch.Host() && coordinator != newHost {
+			held.DstHost = coordinator
+		}
+		conn.Route(held)
+	}
+	a.mu.Lock()
+	a.relayed += len(events)
+	a.mu.Unlock()
+	a.arch.Obs().Counter(obs.Name("prism_app_relayed_total", "host", string(a.arch.Host()))).
+		Add(float64(len(events)))
+}
+
+// maxAppHops resolves the relay hop budget from the bus connector's
+// delivery configuration.
+func (a *AdminComponent) maxAppHops() int {
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
+	if dc == nil {
+		return DefaultMaxAppHops
+	}
+	dc.delivery.mu.Lock()
+	defer dc.delivery.mu.Unlock()
+	return dc.delivery.cfg.MaxHops
 }
 
 // handleTransfer reconstitutes an arriving component (or forwards a
@@ -808,6 +908,30 @@ func (a *AdminComponent) handleTransfer(tp TransferPayload) {
 	}
 	if err := a.arch.Weld(tp.Comp, a.cfg.Bus); err != nil {
 		return
+	}
+	// Install the migrated dedup windows before any traffic can reach
+	// the component here, then append the source's buffered events to
+	// the local hold: they deliver on commit (dedup filtering the
+	// overlap with the source's own relay) or bounce back on abort.
+	if dc := a.arch.DistributionConnector(a.cfg.Bus); dc != nil && len(tp.Dedup) > 0 {
+		dc.installDedup(tp.Comp, tp.Dedup)
+	}
+	if bus := a.arch.Connector(a.cfg.Bus); bus != nil {
+		for _, raw := range tp.Held {
+			e, err := DecodeEvent(raw)
+			if err != nil {
+				continue
+			}
+			e.DstHost = ""
+			if e.SrcHost == "" {
+				// Keep "already crossed a host boundary" true so local
+				// routing does not re-broadcast the copy.
+				e.SrcHost = tp.Source
+			}
+			if !bus.InjectHeld(tp.Comp, e) {
+				bus.Route(e)
+			}
+		}
 	}
 	// The arrival stays held (its buffered traffic undelivered) until the
 	// wave commits: an aborted wave must be able to evict it without the
@@ -867,9 +991,9 @@ func (a *AdminComponent) handleOutcome(out WaveOutcome) {
 	}
 	ck := epochKey(coord, out.Epoch)
 	if out.Commit {
-		a.commitWave(ck)
+		a.commitWave(ck, coord)
 	} else {
-		a.abortWave(ck)
+		a.abortWave(ck, coord)
 	}
 	_ = a.sendControl(coord, Event{
 		Name:    EvOutcomeAck,
@@ -880,9 +1004,11 @@ func (a *AdminComponent) handleOutcome(out WaveOutcome) {
 }
 
 // commitWave finalizes a wave locally: sources discard their prepared
-// instances and relay traffic buffered during detachment to each
-// component's new host; destinations release the arrivals' held traffic.
-func (a *AdminComponent) commitWave(ck string) {
+// instances, record each departure in the relocation table, hand the
+// migrated dedup state over, and relay traffic buffered during
+// detachment to each component's new host; destinations release the
+// arrivals' held traffic.
+func (a *AdminComponent) commitWave(ck string, coordinator model.HostID) {
 	prefix := ck + "/"
 	a.mu.Lock()
 	var preps []*preparedComp
@@ -905,15 +1031,26 @@ func (a *AdminComponent) commitWave(ck string) {
 	}
 	a.mu.Unlock()
 
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
 	for _, p := range preps {
+		if dc != nil {
+			// The component left: its dedup state travelled with it, and
+			// stale routes arriving here now bounce with the new location.
+			dc.dropDedup(p.id)
+			dc.RecordRelocation(p.id, p.requester)
+		}
 		for _, w := range p.welds {
 			if conn := a.arch.Connector(w); conn != nil {
-				a.relayHeld(conn, p.id, p.requester)
+				a.relayHeld(conn, p.id, p.requester, coordinator)
 			}
 		}
 	}
 	bus := a.arch.Connector(a.cfg.Bus)
 	for comp := range arrivals {
+		if dc != nil {
+			// It lives here now; stop bouncing and stop hinting elsewhere.
+			dc.RecordRelocation(comp, a.arch.Host())
+		}
 		if bus != nil {
 			bus.Release(comp, true)
 		}
@@ -922,9 +1059,9 @@ func (a *AdminComponent) commitWave(ck string) {
 
 // abortWave rolls a wave back locally: sources reattach their prepared
 // components and release the buffered traffic to them; destinations evict
-// uncommitted arrivals and bounce buffered traffic back to the (still
-// authoritative) source host.
-func (a *AdminComponent) abortWave(ck string) {
+// uncommitted arrivals (and their imported dedup state) and bounce
+// buffered traffic back to the (still authoritative) source host.
+func (a *AdminComponent) abortWave(ck string, coordinator model.HostID) {
 	prefix := ck + "/"
 	a.mu.Lock()
 	if a.aborted[ck] {
@@ -970,12 +1107,18 @@ func (a *AdminComponent) abortWave(ck string) {
 		}
 	}
 	bus := a.arch.Connector(a.cfg.Bus)
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
 	for comp, src := range arrivals {
 		if arrived[comp] {
 			_, _ = a.arch.RemoveComponent(comp)
+			if dc != nil {
+				// The imported dedup windows belong to the instance that
+				// never committed here; the source keeps the originals.
+				dc.dropDedup(comp)
+			}
 		}
 		if bus != nil {
-			a.relayHeld(bus, comp, src)
+			a.relayHeld(bus, comp, src, coordinator)
 		}
 	}
 }

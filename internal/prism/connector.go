@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // EventMonitor observes events flowing through a brick (Prism-MW's
@@ -31,11 +32,27 @@ type Connector struct {
 	attached map[string]Component
 	monitors []EventMonitor
 	// held buffers events addressed to components that are mid-migration
-	// (the effector's buffering duty, DSN'04 §3.1 "Effector").
-	held map[string][]Event
+	// (the effector's buffering duty, DSN'04 §3.1 "Effector"). Each
+	// buffer is bounded by maxHeld; the oldest event spills first.
+	held    map[string][]Event
+	maxHeld int
 	// forward, when set (by DistributionConnector), ships locally
 	// originated events to remote hosts in addition to local routing.
 	forward func(Event)
+	// stamp, when set (by DistributionConnector), assigns a delivery
+	// identity to locally originated targeted application events before
+	// they are forwarded, buffered, or delivered.
+	stamp func(*Event)
+	// onDeliver, when set, gates port delivery; returning false swallows
+	// the event (the delivery layer's exactly-once dedup).
+	onDeliver func(Event) bool
+	// onUndeliverable, when set, observes targeted events that found no
+	// attached or held audience here (the delivery layer's bounce hook).
+	onUndeliverable func(Event)
+
+	// Application-plane buffer metrics (nil-safe before instrumentation).
+	heldGauge *obs.Gauge
+	spilledC  *obs.Counter
 }
 
 // NewConnector returns a connector dispatching through the scaffold.
@@ -45,6 +62,7 @@ func NewConnector(name string, scaffold *Scaffold) *Connector {
 		scaffold: scaffold,
 		attached: make(map[string]Component),
 		held:     make(map[string][]Event),
+		maxHeld:  DefaultMaxHeldPerTarget,
 	}
 }
 
@@ -108,6 +126,7 @@ func (c *Connector) Release(target string, deliver bool) int {
 	c.mu.Lock()
 	events := c.held[target]
 	delete(c.held, target)
+	c.heldGauge.Add(-float64(len(events)))
 	c.mu.Unlock()
 	if deliver {
 		for _, e := range events {
@@ -117,10 +136,78 @@ func (c *Connector) Release(target string, deliver bool) int {
 	return len(events)
 }
 
+// HeldSnapshot copies the events currently buffered for target without
+// releasing the hold (the effector ships this copy inside the two-phase
+// TransferPayload so buffered traffic commits or aborts with the wave).
+func (c *Connector) HeldSnapshot(target string) []Event {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	buf := c.held[target]
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]Event, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// InjectHeld appends an event to an existing hold buffer (a migrated
+// component's buffered traffic arriving with its TransferPayload). It
+// reports false — without buffering — when the target is not held.
+func (c *Connector) InjectHeld(target string, e Event) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, holding := c.held[target]
+	if !holding {
+		return false
+	}
+	c.held[target] = c.appendHeldLocked(buf, e)
+	return true
+}
+
+// SetMaxHeld bounds each per-target held buffer (0 restores the
+// default).
+func (c *Connector) SetMaxHeld(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxHeldPerTarget
+	}
+	c.maxHeld = n
+}
+
+// appendHeldLocked appends under c.mu, spilling the oldest event when
+// the buffer is at its bound. Spilled stamped events are recovered by
+// their origin's retransmission; unstamped ones are the documented cost
+// of backpressure.
+func (c *Connector) appendHeldLocked(buf []Event, e Event) []Event {
+	if c.maxHeld > 0 && len(buf) >= c.maxHeld {
+		copy(buf, buf[1:])
+		buf[len(buf)-1] = e
+		c.spilledC.Inc()
+		return buf
+	}
+	c.heldGauge.Add(1)
+	return append(buf, e)
+}
+
+// attachedTo reports whether the target component is welded locally.
+func (c *Connector) attachedTo(target string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.attached[target]
+	return ok
+}
+
 // Route delivers an event to the connector's audience: the targeted
 // component, or every attached component except the sender. Events for a
 // held target are buffered instead.
 func (c *Connector) Route(e Event) {
+	// Assign a delivery identity before the event is forwarded, buffered,
+	// or delivered, so every copy of it shares one (origin, inc, seq).
+	if c.stamp != nil {
+		c.stamp(&e)
+	}
 	c.mu.RLock()
 	for _, m := range c.monitors {
 		m.Observe(e)
@@ -143,7 +230,7 @@ func (c *Connector) Route(e Event) {
 			// hold can only be released by the effector that created it).
 			c.mu.Lock()
 			if buf, stillHeld := c.held[e.Target]; stillHeld {
-				c.held[e.Target] = append(buf, e)
+				c.held[e.Target] = c.appendHeldLocked(buf, e)
 				c.mu.Unlock()
 				return
 			}
@@ -155,6 +242,8 @@ func (c *Connector) Route(e Event) {
 		c.mu.RUnlock()
 		if ok {
 			c.deliver(comp, e)
+		} else if c.onUndeliverable != nil {
+			c.onUndeliverable(e)
 		}
 		return
 	}
@@ -171,5 +260,8 @@ func (c *Connector) Route(e Event) {
 }
 
 func (c *Connector) deliver(comp Component, e Event) {
+	if c.onDeliver != nil && !c.onDeliver(e) {
+		return
+	}
 	c.scaffold.Dispatch(func() { comp.Handle(e) })
 }

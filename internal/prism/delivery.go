@@ -1,0 +1,582 @@
+package prism
+
+import (
+	"encoding/gob"
+	"sort"
+	"sync"
+
+	"dif/internal/model"
+	"dif/internal/obs"
+)
+
+// Delivery-guarantee protocol frames (KindControl, intercepted by the
+// distribution connector before local routing).
+const (
+	// EvAppAck acknowledges exactly-once delivery of a stamped
+	// application event at a component port.
+	EvAppAck = "prism.app.ack"
+	// EvAppBounce tells a sender that the target component is no longer
+	// here and where the relocation table says it went.
+	EvAppBounce = "prism.app.bounce"
+)
+
+// AppAck is the payload of an EvAppAck frame.
+type AppAck struct {
+	// Host is the acknowledging host.
+	Host model.HostID
+	// Target, Seq, and Inc identify the acknowledged event within the
+	// origin's stream.
+	Target string
+	Seq    uint64
+	Inc    uint64
+}
+
+// AppBounce is the payload of an EvAppBounce frame: "not here — try
+// Location".
+type AppBounce struct {
+	// Host is the bouncing host.
+	Host model.HostID
+	// Target and Seq identify the bounced event.
+	Target string
+	Seq    uint64
+	// Location is the authoritative next hop from the bouncer's
+	// relocation table.
+	Location model.HostID
+}
+
+func init() {
+	gob.Register(AppAck{})
+	gob.Register(AppBounce{})
+}
+
+// Delivery-guarantee defaults.
+const (
+	// DefaultDeliveryAttempts bounds retransmission of an unacked
+	// application event before it is abandoned.
+	DefaultDeliveryAttempts = 100
+	// DefaultMaxHeldPerTarget bounds a connector's held buffer for one
+	// migrating component; the oldest event spills first.
+	DefaultMaxHeldPerTarget = 256
+	// DefaultMaxAppHops bounds host-to-host relays of a buffered event;
+	// past it the relay detours via the wave coordinator instead of
+	// chasing the component around the network.
+	DefaultMaxAppHops = 4
+	// DefaultRelocTTL is how many delivery ticks a relocation-table
+	// entry answers bounces for before it expires.
+	DefaultRelocTTL = 512
+	// deliveryBroadcastEvery makes every Nth retransmission ignore the
+	// location hint and broadcast, so a stale hint (e.g. learned before
+	// a crash) cannot starve an event forever.
+	deliveryBroadcastEvery = 4
+	// ackSizeKB is the modeled size of ack and bounce frames.
+	ackSizeKB = 0.05
+)
+
+// DeliveryConfig tunes the application-event delivery-guarantee layer of
+// a DistributionConnector. The zero value means "enabled with defaults".
+type DeliveryConfig struct {
+	// Disabled turns the layer off: no stamping, no dedup, no
+	// retransmission — the pre-guarantee fire-and-forget behavior.
+	Disabled bool
+	// MaxAttempts bounds retransmissions per event (0 = default).
+	MaxAttempts int
+	// MaxHops bounds buffered-event relays (0 = default).
+	MaxHops int
+	// RelocTTL is the relocation-table entry lifetime in delivery ticks
+	// (0 = default).
+	RelocTTL int
+}
+
+func (c DeliveryConfig) withDefaults() DeliveryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = DefaultDeliveryAttempts
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = DefaultMaxAppHops
+	}
+	if c.RelocTTL == 0 {
+		c.RelocTTL = DefaultRelocTTL
+	}
+	return c
+}
+
+// DedupStream is the serializable receiver-side dedup state of one
+// (origin, incarnation) stream toward one target component. It rides in
+// TransferPayload so exactly-once survives migration.
+type DedupStream struct {
+	Origin model.HostID
+	Inc    uint64
+	// Floor is the highest sequence below which everything was seen.
+	Floor uint64
+	// Seen holds the out-of-order residue above Floor.
+	Seen []uint64
+}
+
+type streamKey struct {
+	origin model.HostID
+	inc    uint64
+	target string
+}
+
+// dedupWindow tracks which sequence numbers of one stream were already
+// delivered: a contiguous floor plus an out-of-order residue set.
+type dedupWindow struct {
+	floor uint64
+	seen  map[uint64]bool
+}
+
+// observe records seq and reports whether it is new.
+func (w *dedupWindow) observe(seq uint64) bool {
+	if seq <= w.floor || w.seen[seq] {
+		return false
+	}
+	w.seen[seq] = true
+	for w.seen[w.floor+1] {
+		delete(w.seen, w.floor+1)
+		w.floor++
+	}
+	return true
+}
+
+type pendingKey struct {
+	target string
+	seq    uint64
+}
+
+type pendingSend struct {
+	e        Event
+	attempts int
+}
+
+type relocEntry struct {
+	host model.HostID
+	ttl  int
+}
+
+// appDelivery is the sender- and receiver-side state of the
+// delivery-guarantee layer: per-target outbound sequence counters, the
+// unacked-send table, per-stream dedup windows, learned location hints,
+// and the TTL'd relocation table.
+type appDelivery struct {
+	mu   sync.Mutex
+	cfg  DeliveryConfig
+	host model.HostID
+	inc  uint64
+
+	nextSeq map[string]uint64
+	pending map[pendingKey]*pendingSend
+	streams map[streamKey]*dedupWindow
+	hints   map[string]model.HostID
+	reloc   map[string]relocEntry
+
+	// Metric handles; nil before instrument wires them (nil-safe).
+	acked     *obs.Counter
+	deduped   *obs.Counter
+	bounced   *obs.Counter
+	retrans   *obs.Counter
+	abandoned *obs.Counter
+	pendingG  *obs.Gauge
+}
+
+func newAppDelivery(host model.HostID) *appDelivery {
+	return &appDelivery{
+		cfg:     DeliveryConfig{}.withDefaults(),
+		host:    host,
+		nextSeq: make(map[string]uint64),
+		pending: make(map[pendingKey]*pendingSend),
+		streams: make(map[streamKey]*dedupWindow),
+		hints:   make(map[string]model.HostID),
+		reloc:   make(map[string]relocEntry),
+	}
+}
+
+// SetDeliveryConfig replaces the delivery-guarantee tuning. Disabling
+// drops all pending retransmissions.
+func (dc *DistributionConnector) SetDeliveryConfig(cfg DeliveryConfig) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cfg = cfg.withDefaults()
+	if d.cfg.Disabled {
+		d.pending = make(map[pendingKey]*pendingSend)
+		d.pendingG.Set(0)
+	}
+}
+
+// SetIncarnation stamps subsequent outbound application events with the
+// host's incarnation, so a restarted host's fresh sequence streams are
+// not deduplicated against its previous lifetime's.
+func (dc *DistributionConnector) SetIncarnation(inc uint64) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inc = inc
+}
+
+// RecordRelocation notes that a component now lives on host, so stale
+// routes arriving here are bounced with the authoritative location.
+// Wave sources record their outgoing moves; the coordinating deployer
+// records every move of a committed wave.
+func (dc *DistributionConnector) RecordRelocation(comp string, host model.HostID) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.Disabled {
+		return
+	}
+	if host == d.host {
+		// It moved to us; we deliver rather than bounce.
+		delete(d.reloc, comp)
+		delete(d.hints, comp)
+		return
+	}
+	d.reloc[comp] = relocEntry{host: host, ttl: d.cfg.RelocTTL}
+	d.hints[comp] = host
+}
+
+// PendingAppEvents reports the number of stamped application events
+// awaiting acknowledgement.
+func (dc *DistributionConnector) PendingAppEvents() int {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// stamp assigns a sequence identity to a locally originated targeted
+// application event and registers it for retransmission until acked.
+// Installed as the connector's stamp hook; runs on the routing path.
+func (dc *DistributionConnector) stamp(e *Event) {
+	if e.kind() != KindApplication || e.Target == "" || e.Seq != 0 || e.SrcHost != "" {
+		return
+	}
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.Disabled {
+		return
+	}
+	d.nextSeq[e.Target]++
+	e.Seq = d.nextSeq[e.Target]
+	e.SeqOrigin = d.host
+	e.SeqInc = d.inc
+	d.pending[pendingKey{e.Target, e.Seq}] = &pendingSend{e: *e}
+	d.pendingG.Set(float64(len(d.pending)))
+}
+
+// locationHint returns the learned location for a target component ("" =
+// unknown, broadcast).
+func (dc *DistributionConnector) locationHint(target string) model.HostID {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hints[target]
+}
+
+// onDeliver is the connector's port-delivery gate: duplicate stamped
+// events are swallowed (and re-acked, since the origin evidently missed
+// the first ack); fresh ones are acked and delivered. Exactly-once at
+// the component port.
+func (dc *DistributionConnector) onDeliver(e Event) bool {
+	if e.kind() != KindApplication || e.Seq == 0 || e.Target == "" {
+		return true
+	}
+	d := dc.delivery
+	d.mu.Lock()
+	if d.cfg.Disabled {
+		d.mu.Unlock()
+		return true
+	}
+	key := streamKey{e.SeqOrigin, e.SeqInc, e.Target}
+	w := d.streams[key]
+	if w == nil {
+		w = &dedupWindow{seen: make(map[uint64]bool)}
+		d.streams[key] = w
+	}
+	fresh := w.observe(e.Seq)
+	if !fresh {
+		d.deduped.Inc()
+	}
+	d.mu.Unlock()
+	dc.ackDelivered(e)
+	return fresh
+}
+
+// ackDelivered acknowledges a stamped event back to its origin — or, if
+// we are the origin, settles the pending entry directly.
+func (dc *DistributionConnector) ackDelivered(e Event) {
+	d := dc.delivery
+	if e.SeqOrigin == d.host {
+		d.mu.Lock()
+		if _, ok := d.pending[pendingKey{e.Target, e.Seq}]; ok {
+			delete(d.pending, pendingKey{e.Target, e.Seq})
+			d.acked.Inc()
+			d.pendingG.Set(float64(len(d.pending)))
+		}
+		d.mu.Unlock()
+		return
+	}
+	ack := Event{
+		Name:    EvAppAck,
+		Kind:    KindControl,
+		DstHost: e.SeqOrigin,
+		SizeKB:  ackSizeKB,
+		Payload: AppAck{Host: d.host, Target: e.Target, Seq: e.Seq, Inc: e.SeqInc},
+	}
+	ack.SrcHost = d.host
+	if data, err := EncodeEvent(ack); err == nil {
+		dc.sendTracked(e.SeqOrigin, data, ackSizeKB, false)
+	}
+}
+
+// handleAppAck settles the acknowledged pending entry (stale or
+// duplicate acks are ignored).
+func (dc *DistributionConnector) handleAppAck(a AppAck) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.pending[pendingKey{a.Target, a.Seq}]; !ok {
+		return
+	}
+	delete(d.pending, pendingKey{a.Target, a.Seq})
+	d.acked.Inc()
+	d.pendingG.Set(float64(len(d.pending)))
+	if a.Host != "" {
+		// The acker evidently hosts the target; remember for retransmits.
+		d.hints[a.Target] = a.Host
+	}
+}
+
+// handleAppBounce re-addresses the bounced event to the authoritative
+// location and retransmits immediately.
+func (dc *DistributionConnector) handleAppBounce(b AppBounce) {
+	d := dc.delivery
+	d.mu.Lock()
+	if d.cfg.Disabled || b.Location == "" {
+		d.mu.Unlock()
+		return
+	}
+	if b.Location == d.host {
+		// It is (or is about to be) local; local routing will deliver.
+		delete(d.hints, b.Target)
+		d.mu.Unlock()
+		return
+	}
+	d.hints[b.Target] = b.Location
+	p, ok := d.pending[pendingKey{b.Target, b.Seq}]
+	var e Event
+	if ok {
+		e = p.e
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.SrcHost = dc.host
+	if data, err := EncodeEvent(e); err == nil {
+		dc.sendTracked(b.Location, data, e.EffectiveSizeKB(), false)
+	}
+}
+
+// onUndeliverable is the connector's dead-letter hook: a targeted event
+// reached a host that neither hosts nor holds the target. If the
+// relocation table knows where the component went, bounce the event back
+// to its origin with the authoritative location; otherwise stay silent
+// and let the origin's bounded retransmission find it.
+func (dc *DistributionConnector) onUndeliverable(e Event) {
+	if e.kind() != KindApplication || e.Seq == 0 || e.Target == "" {
+		return
+	}
+	if e.SeqOrigin == "" || e.SeqOrigin == dc.host {
+		return
+	}
+	d := dc.delivery
+	d.mu.Lock()
+	if d.cfg.Disabled {
+		d.mu.Unlock()
+		return
+	}
+	r, ok := d.reloc[e.Target]
+	if ok {
+		d.bounced.Inc()
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	bounce := Event{
+		Name:    EvAppBounce,
+		Kind:    KindControl,
+		DstHost: e.SeqOrigin,
+		SrcHost: dc.host,
+		SizeKB:  ackSizeKB,
+		Payload: AppBounce{Host: dc.host, Target: e.Target, Seq: e.Seq, Location: r.host},
+	}
+	if data, err := EncodeEvent(bounce); err == nil {
+		dc.sendTracked(e.SeqOrigin, data, ackSizeKB, false)
+	}
+}
+
+// DeliveryTick ages the relocation table and retransmits every unacked
+// application event once (bounded by MaxAttempts). It is the layer's
+// only clock: tests drive it directly for determinism, live processes
+// run it from the admin's delivery pump. Returns the number of events
+// retransmitted.
+func (dc *DistributionConnector) DeliveryTick() int {
+	d := dc.delivery
+	d.mu.Lock()
+	if d.cfg.Disabled {
+		d.mu.Unlock()
+		return 0
+	}
+	for comp, r := range d.reloc {
+		r.ttl--
+		if r.ttl <= 0 {
+			delete(d.reloc, comp)
+		} else {
+			d.reloc[comp] = r
+		}
+	}
+	keys := make([]pendingKey, 0, len(d.pending))
+	for k := range d.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].target != keys[j].target {
+			return keys[i].target < keys[j].target
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	type sendItem struct {
+		e  Event
+		to model.HostID // "" = broadcast
+	}
+	items := make([]sendItem, 0, len(keys))
+	for _, k := range keys {
+		p := d.pending[k]
+		p.attempts++
+		if p.attempts > d.cfg.MaxAttempts {
+			delete(d.pending, k)
+			d.abandoned.Inc()
+			continue
+		}
+		to := d.hints[k.target]
+		if to != "" && p.attempts%deliveryBroadcastEvery == 0 {
+			// Periodically ignore the hint: it may be stale (learned
+			// before a crash) and would otherwise starve the event.
+			to = ""
+		}
+		items = append(items, sendItem{e: p.e, to: to})
+	}
+	d.pendingG.Set(float64(len(d.pending)))
+	d.mu.Unlock()
+	for _, it := range items {
+		if dc.Connector.attachedTo(it.e.Target) {
+			// The target migrated to (or was restored on) this host after
+			// the event was stamped; remote retransmission would orbit the
+			// network forever. Deliver the copy locally instead — dedup
+			// suppresses it if an earlier copy already landed, and the
+			// self-ack settles the pending entry.
+			e := it.e
+			e.SrcHost = dc.host // already crossed its boundary: no re-forward
+			e.DstHost = ""
+			d.retrans.Inc()
+			dc.Connector.Route(e)
+			continue
+		}
+		it.e.SrcHost = dc.host
+		data, err := EncodeEvent(it.e)
+		if err != nil {
+			continue
+		}
+		d.retrans.Inc()
+		if it.to != "" {
+			dc.sendTracked(it.to, data, it.e.EffectiveSizeKB(), false)
+			continue
+		}
+		for _, peer := range dc.transport.Peers() {
+			dc.sendTracked(peer, data, it.e.EffectiveSizeKB(), false)
+		}
+	}
+	return len(items)
+}
+
+// snapshotDedup copies the dedup streams addressed to one target (the
+// migrating component) for inclusion in its TransferPayload.
+func (dc *DistributionConnector) snapshotDedup(target string) []DedupStream {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []DedupStream
+	for k, w := range d.streams {
+		if k.target != target {
+			continue
+		}
+		s := DedupStream{Origin: k.origin, Inc: k.inc, Floor: w.floor}
+		for seq := range w.seen {
+			s.Seen = append(s.Seen, seq)
+		}
+		sort.Slice(s.Seen, func(i, j int) bool { return s.Seen[i] < s.Seen[j] })
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Inc < out[j].Inc
+	})
+	return out
+}
+
+// installDedup merges migrated dedup streams for an arriving component,
+// keeping the stricter of local and imported knowledge.
+func (dc *DistributionConnector) installDedup(target string, streams []DedupStream) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range streams {
+		key := streamKey{s.Origin, s.Inc, target}
+		w := d.streams[key]
+		if w == nil {
+			w = &dedupWindow{seen: make(map[uint64]bool)}
+			d.streams[key] = w
+		}
+		if s.Floor > w.floor {
+			w.floor = s.Floor
+		}
+		for _, seq := range s.Seen {
+			if seq > w.floor {
+				w.seen[seq] = true
+			}
+		}
+		for w.seen[w.floor+1] {
+			delete(w.seen, w.floor+1)
+			w.floor++
+		}
+	}
+}
+
+// dropDedup discards the dedup streams for a target that left this host
+// (its state migrated with it).
+func (dc *DistributionConnector) dropDedup(target string) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.streams {
+		if k.target == target {
+			delete(d.streams, k)
+		}
+	}
+}
+
+// instrumentDelivery registers the application-plane metric handles.
+func (d *appDelivery) instrument(reg *obs.Registry, host string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.acked = reg.Counter(obs.Name("prism_app_acked_total", "host", host))
+	d.deduped = reg.Counter(obs.Name("prism_app_deduped_total", "host", host))
+	d.bounced = reg.Counter(obs.Name("prism_app_bounced_total", "host", host))
+	d.retrans = reg.Counter(obs.Name("prism_app_retransmits_total", "host", host))
+	d.abandoned = reg.Counter(obs.Name("prism_app_abandoned_total", "host", host))
+	d.pendingG = reg.Gauge(obs.Name("prism_app_pending", "host", host))
+}

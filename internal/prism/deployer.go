@@ -549,6 +549,16 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	}
 	wave.End()
 	d.waveMetrics(completed, res.Moved, waveStart)
+	if completed {
+		// The coordinator is the authoritative relocation authority:
+		// hop-exhausted relays detour here and are bounced back to their
+		// origin with each component's committed location.
+		if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+			for comp, dst := range moves {
+				dc.RecordRelocation(comp, dst)
+			}
+		}
+	}
 	if !completed {
 		switch {
 		case closed:

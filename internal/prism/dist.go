@@ -128,6 +128,10 @@ type DistributionConnector struct {
 	stats map[model.HostID]*PeerStats
 	saf   storeAndForward
 
+	// delivery is the application-event delivery-guarantee layer
+	// (sequence stamping, acks, retransmission, relocation bounces).
+	delivery *appDelivery
+
 	// instr holds the transport-level metric handles; nil handles (before
 	// instrument is called) no-op.
 	instr struct {
@@ -150,6 +154,10 @@ func NewDistributionConnector(name string, host model.HostID, scaffold *Scaffold
 	}
 	dc.Connector.host = host
 	dc.Connector.forward = dc.forwardRemote
+	dc.delivery = newAppDelivery(host)
+	dc.Connector.stamp = dc.stamp
+	dc.Connector.onDeliver = dc.onDeliver
+	dc.Connector.onUndeliverable = dc.onUndeliverable
 	transport.SetReceiver(dc.onFrame)
 	return dc
 }
@@ -168,6 +176,11 @@ func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID
 	dc.instr.bytesRecv = reg.Counter(obs.Name("prism_transport_bytes_recv_total", "host", h))
 	dc.instr.sendErrs = reg.Counter(obs.Name("prism_transport_send_errors_total", "host", h))
 	dc.mu.Unlock()
+	dc.delivery.instrument(reg, h)
+	dc.Connector.mu.Lock()
+	dc.Connector.heldGauge = reg.Gauge(obs.Name("prism_app_held", "host", h))
+	dc.Connector.spilledC = reg.Counter(obs.Name("prism_app_spilled_total", "host", h))
+	dc.Connector.mu.Unlock()
 }
 
 // forwardRemote ships a locally originated event to its remote audience.
@@ -183,6 +196,14 @@ func (dc *DistributionConnector) forwardRemote(e Event) {
 			dc.sendTracked(e.DstHost, data, e.EffectiveSizeKB(), queueable)
 		}
 		return
+	}
+	// A stamped event whose target location is known unicasts there; the
+	// bounded retransmitter falls back to broadcast if the hint is stale.
+	if e.Seq != 0 && e.Target != "" && e.kind() == KindApplication {
+		if hint := dc.locationHint(e.Target); hint != "" && hint != dc.host {
+			dc.sendTracked(hint, data, e.EffectiveSizeKB(), queueable)
+			return
+		}
 	}
 	for _, peer := range dc.transport.Peers() {
 		dc.sendTracked(peer, data, e.EffectiveSizeKB(), queueable)
@@ -228,6 +249,22 @@ func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
 		return
 	}
 	e.SrcHost = from
+	// Delivery-guarantee protocol frames are consumed here; they never
+	// reach the local audience.
+	if e.Kind == KindControl {
+		switch e.Name {
+		case EvAppAck:
+			if a, ok := e.Payload.(AppAck); ok {
+				dc.handleAppAck(a)
+			}
+			return
+		case EvAppBounce:
+			if b, ok := e.Payload.(AppBounce); ok {
+				dc.handleAppBounce(b)
+			}
+			return
+		}
+	}
 	dc.Connector.Route(e)
 }
 
