@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race test-race bench check metrics-drill soak fuzz
+.PHONY: build test vet fmt race test-race bench bench-traffic check metrics-drill soak fuzz
 
 build:
 	$(GO) build ./...
@@ -33,15 +33,28 @@ SOAK_SEEDS ?= 10
 soak:
 	$(GO) test -race -count=1 -timeout 20m -run TestChaosSoak -v ./internal/chaos/ -args -chaos.seeds=$(SOAK_SEEDS)
 
-# fuzz: short live fuzzing of the gob frame decoding paths (the seed
-# corpora already run as plain unit tests inside `make test`).
+# fuzz: short live fuzzing of the frame decoding paths — gob and the
+# binary codec (the seed corpora already run as plain unit tests inside
+# `make test`).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/prism/ -run '^$$' -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/prism/ -run '^$$' -fuzz FuzzBinaryDecodeEvent -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/prism/ -run '^$$' -fuzz FuzzTCPReadLoop -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -run xxx -bench . ./internal/algo/
+	$(GO) test -run xxx -bench . ./internal/prism/
+
+# bench-traffic: the sustained TCP-loopback throughput benchmark plus
+# the gob-vs-binary codec micro-benchmarks, written machine-readable to
+# BENCH_traffic.json (events/sec, ns/op, allocs/op, p99). Set
+# BENCH_TRAFFIC_SMOKE=1 for a quick CI-sized run.
+BENCH_TRAFFIC_OUT ?= BENCH_traffic.json
+BENCH_TRAFFIC_SMOKE ?=
+bench-traffic:
+	BENCH_TRAFFIC_OUT=$(BENCH_TRAFFIC_OUT) BENCH_TRAFFIC_SMOKE=$(BENCH_TRAFFIC_SMOKE) \
+	  $(GO) test -run TestWriteTrafficBench -count=1 -v ./internal/prism/
 
 # metrics-drill: the real three-process TCP deployment with the
 # observability endpoint on — generate an architecture, run the deployer

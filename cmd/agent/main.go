@@ -105,6 +105,10 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 	if err != nil {
 		return err
 	}
+	// Frame coalescing must be configured before any peer connects: each
+	// connection snapshots the batching knobs when it is created.
+	tr.SetBatching(cfg.common.BatchBytes, cfg.common.BatchFlush)
+	tr.Instrument(cfg.reg)
 	// The bus sees the (optionally fault-injected) transport; Hello and
 	// Addr still go through the concrete TCP handle.
 	var busTr prism.Transport = tr

@@ -70,6 +70,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer w.Close()
+	// Bandwidth-accurate queueing with no cap: coalesced frames contend
+	// for link bandwidth like they would on the wire, but nothing is
+	// tail-dropped, so reports stay byte-identical per seed.
+	w.Fabric.SetBandwidthAccurate(true, 0)
 	w.Registry.Register(ProbeTypeName, func(id string) prism.Migratable {
 		return NewProbe(id, ledger)
 	})
@@ -157,10 +161,12 @@ func (r *runner) inject(origin model.HostID, target string, n int) {
 	}
 }
 
-// tick drives the delivery-guarantee clock a few steps.
+// tick drives the delivery-guarantee clock a few steps; each step also
+// advances bandwidth-accurate virtual time on the fabric.
 func (r *runner) tick(n int) {
 	for i := 0; i < n; i++ {
 		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		time.Sleep(time.Millisecond)
 	}
 }
@@ -253,6 +259,7 @@ func (r *runner) migrate(op Op, abort bool) error {
 			dep.NoteHostDead(op.B)
 		}
 		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		select {
 		case wr = <-ch:
 			done = true
@@ -298,6 +305,7 @@ func (r *runner) settle() error {
 	deadline := time.Now().Add(r.cfg.SettleTimeout)
 	for {
 		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		if r.ledger.MissingCount() == 0 && r.pendingTotal() == 0 {
 			break
 		}

@@ -25,6 +25,8 @@ type Common struct {
 	AppRetransmit time.Duration
 	MetricsAddr   string
 	TraceOut      string
+	BatchBytes    int
+	BatchFlush    time.Duration
 }
 
 // Register installs the shared flags on fs and returns the struct the
@@ -39,6 +41,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.DurationVar(&c.AppRetransmit, "app-retransmit", 250*time.Millisecond, "application-event retransmission interval (0 disables the delivery-guarantee layer)")
 	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty disables)")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write recorded span trees as JSONL to this file on exit (empty disables)")
+	fs.IntVar(&c.BatchBytes, "batch-bytes", 0, "TCP frame-coalescing write-buffer size in bytes (0 disables coalescing)")
+	fs.DurationVar(&c.BatchFlush, "batch-flush", prism.DefaultBatchFlush, "max time a coalesced frame may wait before the idle flush")
 	return c
 }
 

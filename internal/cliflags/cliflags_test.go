@@ -5,6 +5,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"dif/internal/prism"
 )
 
 // TestSharedFlagParity parses representative command lines the way both
@@ -19,35 +21,43 @@ func TestSharedFlagParity(t *testing.T) {
 		{
 			name: "defaults",
 			args: nil,
-			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
+				BatchFlush: prism.DefaultBatchFlush},
 		},
 		{
 			name: "fault drill",
 			args: []string{"-fault-drop", "0.2", "-fault-dup", "0.05", "-fault-seed", "42"},
 			want: Common{FaultDrop: 0.2, FaultDup: 0.05, FaultSeed: 42,
-				AppRetransmit: 250 * time.Millisecond},
+				AppRetransmit: 250 * time.Millisecond, BatchFlush: prism.DefaultBatchFlush},
 		},
 		{
 			name: "liveness and no retry",
 			args: []string{"-heartbeat", "250ms", "-no-retry"},
 			want: Common{FaultSeed: 1, Heartbeat: 250 * time.Millisecond, NoRetry: true,
-				AppRetransmit: 250 * time.Millisecond},
+				AppRetransmit: 250 * time.Millisecond, BatchFlush: prism.DefaultBatchFlush},
 		},
 		{
 			name: "observability",
 			args: []string{"-metrics-addr", "127.0.0.1:9090", "-trace-out", "trace.jsonl"},
 			want: Common{FaultSeed: 1, MetricsAddr: "127.0.0.1:9090", TraceOut: "trace.jsonl",
-				AppRetransmit: 250 * time.Millisecond},
+				AppRetransmit: 250 * time.Millisecond, BatchFlush: prism.DefaultBatchFlush},
 		},
 		{
 			name: "delivery layer retuned",
 			args: []string{"-app-retransmit", "50ms"},
-			want: Common{FaultSeed: 1, AppRetransmit: 50 * time.Millisecond},
+			want: Common{FaultSeed: 1, AppRetransmit: 50 * time.Millisecond,
+				BatchFlush: prism.DefaultBatchFlush},
 		},
 		{
 			name: "delivery layer off",
 			args: []string{"-app-retransmit", "0s"},
-			want: Common{FaultSeed: 1},
+			want: Common{FaultSeed: 1, BatchFlush: prism.DefaultBatchFlush},
+		},
+		{
+			name: "frame coalescing on",
+			args: []string{"-batch-bytes", "65536", "-batch-flush", "5ms"},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
+				BatchBytes: 65536, BatchFlush: 5 * time.Millisecond},
 		},
 	}
 	for _, tc := range cases {

@@ -78,16 +78,34 @@ type Fabric struct {
 	// message), 1.0 sleeps the full simulated delay.
 	timeScale float64
 
+	// bwAccurate enables queueing-accurate bandwidth modeling: each link
+	// keeps a backlog of in-flight kilobytes, a send's latency includes
+	// the time to drain the backlog ahead of it, and DrainBandwidth
+	// advances virtual time. Without it (the default) each send is
+	// charged only its own transmission time, as if every message had
+	// the link to itself.
+	bwAccurate bool
+	// queueCapKB bounds each link's backlog when bwAccurate is on;
+	// sends that would exceed it are tail-dropped deterministically.
+	// 0 = unbounded (no drops — determinism-sensitive callers like the
+	// chaos soak rely on this).
+	queueCapKB float64
+
 	// Nil-safe fabric-wide metric handles, wired by Instrument.
 	sentTotal      *obs.Counter
 	deliveredTotal *obs.Counter
 	droppedTotal   *obs.Counter
 	bytesKBTotal   *obs.Counter
+	queueDropTotal *obs.Counter
 }
 
 type linkEntry struct {
 	state LinkState
 	stats LinkStats
+	// backlogKB is the link's queued-but-untransmitted kilobytes under
+	// bandwidth-accurate mode (both directions share the medium, as on
+	// the paper's wireless links).
+	backlogKB float64
 }
 
 type endpoint struct {
@@ -122,7 +140,58 @@ func (f *Fabric) Instrument(reg *obs.Registry) {
 	f.deliveredTotal = reg.Counter("netsim_delivered_total")
 	f.droppedTotal = reg.Counter("netsim_dropped_total")
 	f.bytesKBTotal = reg.Counter("netsim_bytes_kb_total")
+	f.queueDropTotal = reg.Counter("netsim_queue_drops_total")
 	f.mu.Unlock()
+}
+
+// SetBandwidthAccurate toggles queueing-accurate bandwidth modeling:
+// sends queue behind the link's existing backlog (latency includes the
+// wait) and DrainBandwidth advances virtual time. capKB, when positive,
+// bounds each link's backlog — an overflowing send is tail-dropped
+// deterministically (no randomness involved); 0 keeps queues unbounded.
+func (f *Fabric) SetBandwidthAccurate(on bool, capKB float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bwAccurate = on
+	f.queueCapKB = capKB
+	if !on {
+		for _, entry := range f.links {
+			entry.backlogKB = 0
+		}
+	}
+}
+
+// DrainBandwidth advances bandwidth-accurate virtual time by dt: every
+// link transmits dt's worth of its backlog. Deterministic — drive it
+// from the same clock that drives delivery ticks (the chaos runner does)
+// or from a test loop; wall time never drains queues by itself.
+func (f *Fabric) DrainBandwidth(dt time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.bwAccurate {
+		return
+	}
+	secs := dt.Seconds()
+	for _, entry := range f.links {
+		if entry.state.BandwidthKB <= 0 || entry.backlogKB == 0 {
+			continue
+		}
+		entry.backlogKB -= entry.state.BandwidthKB * secs
+		if entry.backlogKB < 0 {
+			entry.backlogKB = 0
+		}
+	}
+}
+
+// BacklogKB reports a link's queued kilobytes under bandwidth-accurate
+// mode (0 when the mode is off or no link exists).
+func (f *Fabric) BacklogKB(a, b model.HostID) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if entry, ok := f.links[model.MakeHostPair(a, b)]; ok {
+		return entry.backlogKB
+	}
+	return 0
 }
 
 // SetTimeScale sets the wall-clock fraction of simulated delays (0
@@ -420,8 +489,24 @@ func (f *Fabric) Send(from, to model.HostID, sizeKB float64, payload any) (time.
 			f.mu.Unlock()
 			return 0, ErrPartitioned
 		}
+		if f.bwAccurate && entry.state.BandwidthKB > 0 &&
+			f.queueCapKB > 0 && entry.backlogKB+sizeKB > f.queueCapKB {
+			// Queue overflow: tail-drop before the loss process so the
+			// drop is deterministic (no randomness consumed).
+			entry.stats.Dropped++
+			f.droppedTotal.Inc()
+			f.queueDropTotal.Inc()
+			f.mu.Unlock()
+			return 0, ErrDropped
+		}
 		latency = entry.state.Delay
 		if entry.state.BandwidthKB > 0 {
+			if f.bwAccurate {
+				// Queueing delay: this message waits behind the link's
+				// current backlog before its own transmission time.
+				latency += time.Duration(entry.backlogKB / entry.state.BandwidthKB * float64(time.Second))
+				entry.backlogKB += sizeKB
+			}
 			latency += time.Duration(sizeKB / entry.state.BandwidthKB * float64(time.Second))
 		}
 		if f.rng.Float64() >= entry.state.Reliability {

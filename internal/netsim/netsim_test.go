@@ -374,3 +374,82 @@ func TestIdleTracksQuiescence(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestBandwidthAccurateQueueing(t *testing.T) {
+	f := newTestFabric(t, 1.0) // h1-h2: 1000 KB/s, 1ms propagation
+	f.SetBandwidthAccurate(true, 0)
+
+	// First send: no backlog — latency is delay + own transmission time.
+	lat1, err := f.Send("h1", "h2", 100, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := time.Millisecond + 100*time.Second/1000
+	if lat1 != want1 {
+		t.Fatalf("first send latency = %v, want %v", lat1, want1)
+	}
+	if got := f.BacklogKB("h1", "h2"); got != 100 {
+		t.Fatalf("backlog = %v KB, want 100", got)
+	}
+
+	// Second send queues behind the first: +100ms waiting for the
+	// backlog to drain.
+	lat2, err := f.Send("h1", "h2", 100, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 != want1+100*time.Millisecond {
+		t.Fatalf("queued send latency = %v, want %v", lat2, want1+100*time.Millisecond)
+	}
+
+	// Drain half the backlog of 200 KB, then all of it.
+	f.DrainBandwidth(100 * time.Millisecond)
+	if got := f.BacklogKB("h1", "h2"); got != 100 {
+		t.Fatalf("backlog after 100ms drain = %v KB, want 100", got)
+	}
+	f.DrainBandwidth(time.Second)
+	if got := f.BacklogKB("h1", "h2"); got != 0 {
+		t.Fatalf("backlog after full drain = %v KB, want 0", got)
+	}
+}
+
+func TestBandwidthAccurateTailDrop(t *testing.T) {
+	f := newTestFabric(t, 1.0)
+	f.SetBandwidthAccurate(true, 150) // cap: 150 KB per link
+
+	if _, err := f.Send("h1", "h2", 100, "fits"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Send("h1", "h2", 100, "overflow"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("overflowing send err = %v, want ErrDropped", err)
+	}
+	st, _ := f.Stats("h1", "h2")
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	// Draining makes room again.
+	f.DrainBandwidth(time.Second)
+	if _, err := f.Send("h1", "h2", 100, "fits again"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthAccurateOffIsLegacy(t *testing.T) {
+	f := newTestFabric(t, 1.0)
+	f.SetBandwidthAccurate(true, 0)
+	if _, err := f.Send("h1", "h2", 500, "x"); err != nil {
+		t.Fatal(err)
+	}
+	f.SetBandwidthAccurate(false, 0) // must clear backlogs
+	if got := f.BacklogKB("h1", "h2"); got != 0 {
+		t.Fatalf("backlog survived mode off: %v KB", got)
+	}
+	lat, err := f.Send("h1", "h2", 100, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 100*time.Second/1000
+	if lat != want {
+		t.Fatalf("legacy latency = %v, want %v", lat, want)
+	}
+}

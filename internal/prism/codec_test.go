@@ -1,0 +1,241 @@
+package prism
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// codecCases enumerates every Event field combination the binary codec
+// claims: empty/zero values, unstamped vs stamped, hops, every
+// EventKind, and each binary-encodable payload.
+func codecCases() map[string]Event {
+	return map[string]Event{
+		"zero":        {},
+		"name only":   {Name: "app.tick"},
+		"application": {Name: "app.req", Kind: KindApplication, Sender: "c1", Target: "c2"},
+		"control":     {Name: "ctl.cmd", Kind: KindControl, SrcHost: "h1", DstHost: "h2"},
+		"ping":        {Name: "prism.ping", Kind: KindPing, SizeKB: 0.1, SrcHost: "h1", DstHost: "h2"},
+		"sized":       {Name: "app.blob", Target: "sink", SizeKB: 128.5},
+		"stamped": {
+			Name: "app.req", Sender: "c1", Target: "c2", SrcHost: "h1",
+			SizeKB: 0.2, Seq: 42, SeqOrigin: "h1", SeqInc: 3,
+		},
+		"stamped zero-inc": {Name: "app.req", Target: "c2", Seq: 1, SeqOrigin: "h9"},
+		"hops":             {Name: "app.relay", Target: "c3", Seq: 7, SeqOrigin: "h2", Hops: 3},
+		"max hops":         {Name: "app.relay", Target: "c3", Hops: 1 << 30},
+		"unicode":          {Name: "ev√©nt", Sender: "københavn", Target: "京都"},
+		"ack payload": {
+			Name: EvAppAck, Kind: KindControl, SrcHost: "h2", DstHost: "h1", SizeKB: ackSizeKB,
+			Payload: AppAck{Host: "h2", Target: "c1", Seq: 9, Inc: 1},
+		},
+		"bounce payload": {
+			Name: EvAppBounce, Kind: KindControl, DstHost: "h1", SrcHost: "h3", SizeKB: ackSizeKB,
+			Payload: AppBounce{Host: "h3", Target: "c1", Seq: 12, Location: "h4"},
+		},
+		"ack batch empty": {
+			Name: EvAppAckBatch, Kind: KindControl, DstHost: "h1", SrcHost: "h2",
+			Payload: AppAckBatch{Host: "h2"},
+		},
+		"ack batch ranges": {
+			Name: EvAppAckBatch, Kind: KindControl, DstHost: "h1", SrcHost: "h2", SizeKB: ackSizeKB,
+			Payload: AppAckBatch{Host: "h2", Ranges: []AckRange{
+				{Target: "c1", Inc: 0, Floor: 100},
+				{Target: "c2", Inc: 2, Floor: 7, Seen: []uint64{9, 12, 40000}},
+			}},
+		},
+	}
+}
+
+// TestBinaryGobParity round-trips every field combination through both
+// codecs and asserts they agree with each other and with the input.
+func TestBinaryGobParity(t *testing.T) {
+	for name, e := range codecCases() {
+		t.Run(name, func(t *testing.T) {
+			if !BinaryEncodable(e) {
+				t.Fatalf("case must be binary-encodable")
+			}
+			bin, err := AppendEvent(nil, e)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			if bin[0] != binTag {
+				t.Fatalf("binary frame tag = %#x, want %#x", bin[0], binTag)
+			}
+			gobBytes, err := encodeEventGob(e)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			fromBin, err := decodeBinaryEvent(bin)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			fromGob, err := decodeEventGob(gobBytes)
+			if err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(fromBin, fromGob) {
+				t.Errorf("codecs disagree:\n binary %+v\n gob    %+v", fromBin, fromGob)
+			}
+			if !reflect.DeepEqual(fromBin, e) {
+				t.Errorf("binary round-trip:\n got  %+v\n want %+v", fromBin, e)
+			}
+		})
+	}
+}
+
+// TestBinaryReencodeRegression pins that decode→re-encode reproduces the
+// exact same bytes: the layout has no encoder freedom, so any drift is a
+// wire-format break.
+func TestBinaryReencodeRegression(t *testing.T) {
+	for name, e := range codecCases() {
+		t.Run(name, func(t *testing.T) {
+			first, err := AppendEvent(nil, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := decodeBinaryEvent(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := AppendEvent(nil, decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("re-encode drifted:\n first  %x\n second %x", first, second)
+			}
+		})
+	}
+}
+
+// TestEncodeEventSelectsCodec verifies codec dispatch: hot-path events
+// get the binary tag, arbitrary payloads fall back to gob, and both
+// decode through the same DecodeEvent entry point.
+func TestEncodeEventSelectsCodec(t *testing.T) {
+	hot := Event{Name: "app.req", Target: "c1", Seq: 3, SeqOrigin: "h1"}
+	data, err := EncodeEvent(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != binTag {
+		t.Fatalf("hot-path frame not binary (first byte %#x)", data[0])
+	}
+	got, err := DecodeEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, hot) {
+		t.Errorf("binary dispatch round-trip: got %+v want %+v", got, hot)
+	}
+
+	cold := Event{Name: "app.req", Target: "c1", Payload: "needs gob"}
+	data, err = EncodeEvent(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] == binTag {
+		t.Fatal("gob fallback frame starts with the binary tag")
+	}
+	got, err = DecodeEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cold) {
+		t.Errorf("gob dispatch round-trip: got %+v want %+v", got, cold)
+	}
+}
+
+// TestBinaryDecodeRejectsCorruption spot-checks the strict-decode
+// contract on hand-built malformed frames.
+func TestBinaryDecodeRejectsCorruption(t *testing.T) {
+	valid, err := AppendEvent(nil, codecCases()["ack batch ranges"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty tag only":  {binTag},
+		"truncated half":  valid[:len(valid)/2],
+		"truncated tail":  valid[:len(valid)-1],
+		"trailing bytes":  append(append([]byte(nil), valid...), 0x00),
+		"bad payloadkind": {binTag, 0x07, 0x01, 0, 0, 0, 0, 0},
+		"huge hops": append([]byte{binTag, flagHasHops, 0x01, 0, 0, 0, 0, 0},
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := decodeBinaryEvent(data); err == nil {
+			t.Errorf("%s: decode accepted malformed frame %x", name, data)
+		}
+	}
+}
+
+// TestBinaryDecodeAllocs pins the zero-alloc decode claim for stamped
+// payload-free events once the intern cache is warm.
+func TestBinaryDecodeAllocs(t *testing.T) {
+	e := Event{
+		Name: "app.req", Sender: "c1", Target: "c2", SrcHost: "h1",
+		SizeKB: 0.2, Seq: 42, SeqOrigin: "h1", SeqInc: 3,
+	}
+	data, err := AppendEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBinaryEvent(data); err != nil { // warm interning
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := decodeBinaryEvent(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm decode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestInternStringBounds exercises the cache's overflow and length
+// gates: oversized and overflow strings still intern correctly (by
+// value), just without reuse.
+func TestInternStringBounds(t *testing.T) {
+	long := bytes.Repeat([]byte("x"), internMaxLen+1)
+	if got := internString(long); got != string(long) {
+		t.Errorf("oversized intern = %q", got)
+	}
+	if got := internString(nil); got != "" {
+		t.Errorf("empty intern = %q", got)
+	}
+	if got := internString([]byte("host-7")); got != "host-7" {
+		t.Errorf("intern = %q", got)
+	}
+}
+
+// FuzzBinaryDecodeEvent throws corrupt, truncated, and adversarial
+// binary frames at the strict decoder: it must return an error or an
+// event, never panic, and every successfully decoded event must
+// re-encode cleanly.
+func FuzzBinaryDecodeEvent(f *testing.F) {
+	for _, e := range codecCases() {
+		data, err := AppendEvent(nil, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{binTag})
+	f.Add([]byte{binTag, 0xff})
+	f.Add([]byte{binTag, flagHasSeq | flagHasHops, 0x02})
+	f.Add(bytes.Repeat([]byte{binTag}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeBinaryEvent(append([]byte{binTag}, data...))
+		if err != nil {
+			return
+		}
+		if !BinaryEncodable(e) {
+			t.Fatalf("decoder produced non-binary-encodable event %+v", e)
+		}
+		if _, err := AppendEvent(nil, e); err != nil {
+			t.Fatalf("decoded event does not re-encode: %v", err)
+		}
+	})
+}

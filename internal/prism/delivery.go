@@ -12,9 +12,14 @@ import (
 // Delivery-guarantee protocol frames (KindControl, intercepted by the
 // distribution connector before local routing).
 const (
-	// EvAppAck acknowledges exactly-once delivery of a stamped
-	// application event at a component port.
+	// EvAppAck acknowledges exactly-once delivery of a single stamped
+	// application event at a component port. Still decoded for frames
+	// from pre-batching peers; this host emits EvAppAckBatch instead.
 	EvAppAck = "prism.app.ack"
+	// EvAppAckBatch carries cumulative ack ranges — one frame settles
+	// every event the receiver has delivered from this origin since the
+	// last flush, replacing N EvAppAck frames with one.
+	EvAppAckBatch = "prism.app.ackb"
 	// EvAppBounce tells a sender that the target component is no longer
 	// here and where the relocation table says it went.
 	EvAppBounce = "prism.app.bounce"
@@ -29,6 +34,27 @@ type AppAck struct {
 	Target string
 	Seq    uint64
 	Inc    uint64
+}
+
+// AckRange is one stream's cumulative delivery state inside an
+// EvAppAckBatch frame: everything at or below Floor was delivered, plus
+// the out-of-order residue in Seen (ascending). Ranges are windows, not
+// deltas, so re-sending one is idempotent — a duplicated or reordered
+// batch frame can never un-acknowledge anything.
+type AckRange struct {
+	Target string
+	Inc    uint64
+	Floor  uint64
+	Seen   []uint64
+}
+
+// AppAckBatch is the payload of an EvAppAckBatch frame: every stream
+// from one origin that delivered events since the receiver's last flush.
+type AppAckBatch struct {
+	// Host is the acknowledging host (hint: it evidently holds the
+	// targets named in Ranges).
+	Host   model.HostID
+	Ranges []AckRange
 }
 
 // AppBounce is the payload of an EvAppBounce frame: "not here — try
@@ -46,6 +72,7 @@ type AppBounce struct {
 
 func init() {
 	gob.Register(AppAck{})
+	gob.Register(AppAckBatch{})
 	gob.Register(AppBounce{})
 }
 
@@ -64,10 +91,22 @@ const (
 	// DefaultRelocTTL is how many delivery ticks a relocation-table
 	// entry answers bounces for before it expires.
 	DefaultRelocTTL = 512
+	// DefaultAckFlush is how many port deliveries a receiver
+	// accumulates before flushing ack ranges inline; the delivery tick
+	// flushes whatever is dirty regardless, bounding ack latency.
+	DefaultAckFlush = 64
 	// deliveryBroadcastEvery makes every Nth retransmission ignore the
 	// location hint and broadcast, so a stale hint (e.g. learned before
 	// a crash) cannot starve an event forever.
 	deliveryBroadcastEvery = 4
+	// retransmitGraceTicks delays the first retransmission of a fresh
+	// event: acks are batched and flush at the latest on the receiver's
+	// next tick, so retransmitting before that tick would duplicate
+	// virtually every event on a healthy link.
+	retransmitGraceTicks = 2
+	// relocSweepEvery paces the amortized expiry sweep of the
+	// relocation table (entries are also checked lazily on lookup).
+	relocSweepEvery = 64
 	// ackSizeKB is the modeled size of ack and bounce frames.
 	ackSizeKB = 0.05
 )
@@ -85,6 +124,9 @@ type DeliveryConfig struct {
 	// RelocTTL is the relocation-table entry lifetime in delivery ticks
 	// (0 = default).
 	RelocTTL int
+	// AckFlush is the inline ack-range flush threshold in delivered
+	// events (0 = default; 1 flushes a batch frame per delivery).
+	AckFlush int
 }
 
 func (c DeliveryConfig) withDefaults() DeliveryConfig {
@@ -96,6 +138,9 @@ func (c DeliveryConfig) withDefaults() DeliveryConfig {
 	}
 	if c.RelocTTL == 0 {
 		c.RelocTTL = DefaultRelocTTL
+	}
+	if c.AckFlush == 0 {
+		c.AckFlush = DefaultAckFlush
 	}
 	return c
 }
@@ -149,56 +194,106 @@ type pendingSend struct {
 }
 
 type relocEntry struct {
-	host model.HostID
-	ttl  int
+	host    model.HostID
+	expires int64 // delivery tick past which the entry stops answering
 }
 
 // appDelivery is the sender- and receiver-side state of the
 // delivery-guarantee layer: per-target outbound sequence counters, the
-// unacked-send table, per-stream dedup windows, learned location hints,
-// and the TTL'd relocation table.
+// unacked-send table with its retransmit wheel, per-stream dedup
+// windows with their dirty-ack accumulator, learned location hints, and
+// the TTL'd relocation table.
 type appDelivery struct {
 	mu   sync.Mutex
 	cfg  DeliveryConfig
 	host model.HostID
 	inc  uint64
 
+	// tick is the delivery clock; the wheel buckets pending entries by
+	// the tick their next retransmission is due, so a tick touches only
+	// due entries instead of sorting the whole table.
+	tick  int64
+	wheel map[int64][]pendingKey
+
 	nextSeq map[string]uint64
-	pending map[pendingKey]*pendingSend
+	// pending is the unacked-send table, target-major so one ack range
+	// settles a stream without scanning unrelated targets. pendingN
+	// mirrors the total entry count.
+	pending  map[string]map[uint64]*pendingSend
+	pendingN int
+
 	streams map[streamKey]*dedupWindow
-	hints   map[string]model.HostID
-	reloc   map[string]relocEntry
+	// ackDirty marks streams that delivered events since the last ack
+	// flush; ackDirtyN counts the deliveries that marked them.
+	ackDirty  map[streamKey]struct{}
+	ackDirtyN int
+
+	hints map[string]model.HostID
+	reloc map[string]relocEntry
 
 	// Metric handles; nil before instrument wires them (nil-safe).
-	acked     *obs.Counter
-	deduped   *obs.Counter
-	bounced   *obs.Counter
-	retrans   *obs.Counter
-	abandoned *obs.Counter
-	pendingG  *obs.Gauge
+	acked      *obs.Counter
+	deduped    *obs.Counter
+	bounced    *obs.Counter
+	retrans    *obs.Counter
+	abandoned  *obs.Counter
+	pendingG   *obs.Gauge
+	ackFrames  *obs.Counter
+	ackBatched *obs.Counter
 }
 
 func newAppDelivery(host model.HostID) *appDelivery {
 	return &appDelivery{
-		cfg:     DeliveryConfig{}.withDefaults(),
-		host:    host,
-		nextSeq: make(map[string]uint64),
-		pending: make(map[pendingKey]*pendingSend),
-		streams: make(map[streamKey]*dedupWindow),
-		hints:   make(map[string]model.HostID),
-		reloc:   make(map[string]relocEntry),
+		cfg:      DeliveryConfig{}.withDefaults(),
+		host:     host,
+		wheel:    make(map[int64][]pendingKey),
+		nextSeq:  make(map[string]uint64),
+		pending:  make(map[string]map[uint64]*pendingSend),
+		streams:  make(map[streamKey]*dedupWindow),
+		ackDirty: make(map[streamKey]struct{}),
+		hints:    make(map[string]model.HostID),
+		reloc:    make(map[string]relocEntry),
 	}
 }
 
+// removeLocked removes one pending entry without attributing a cause.
+// Caller holds d.mu; the pending gauge is deliberately not updated
+// here — batch handlers and the tick set it once per batch.
+func (d *appDelivery) removeLocked(target string, seq uint64) bool {
+	m := d.pending[target]
+	if _, ok := m[seq]; !ok {
+		return false
+	}
+	delete(m, seq)
+	if len(m) == 0 {
+		delete(d.pending, target)
+	}
+	d.pendingN--
+	return true
+}
+
+// settleLocked removes one acknowledged pending entry. Caller holds d.mu.
+func (d *appDelivery) settleLocked(target string, seq uint64) bool {
+	if !d.removeLocked(target, seq) {
+		return false
+	}
+	d.acked.Inc()
+	return true
+}
+
 // SetDeliveryConfig replaces the delivery-guarantee tuning. Disabling
-// drops all pending retransmissions.
+// drops all pending retransmissions and unflushed acks.
 func (dc *DistributionConnector) SetDeliveryConfig(cfg DeliveryConfig) {
 	d := dc.delivery
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.cfg = cfg.withDefaults()
 	if d.cfg.Disabled {
-		d.pending = make(map[pendingKey]*pendingSend)
+		d.pending = make(map[string]map[uint64]*pendingSend)
+		d.pendingN = 0
+		d.wheel = make(map[int64][]pendingKey)
+		d.ackDirty = make(map[streamKey]struct{})
+		d.ackDirtyN = 0
 		d.pendingG.Set(0)
 	}
 }
@@ -230,7 +325,7 @@ func (dc *DistributionConnector) RecordRelocation(comp string, host model.HostID
 		delete(d.hints, comp)
 		return
 	}
-	d.reloc[comp] = relocEntry{host: host, ttl: d.cfg.RelocTTL}
+	d.reloc[comp] = relocEntry{host: host, expires: d.tick + int64(d.cfg.RelocTTL)}
 	d.hints[comp] = host
 }
 
@@ -240,12 +335,13 @@ func (dc *DistributionConnector) PendingAppEvents() int {
 	d := dc.delivery
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.pending)
+	return d.pendingN
 }
 
 // stamp assigns a sequence identity to a locally originated targeted
-// application event and registers it for retransmission until acked.
-// Installed as the connector's stamp hook; runs on the routing path.
+// application event and registers it on the retransmit wheel until
+// acked. Installed as the connector's stamp hook; runs on the routing
+// path, so it takes one lock, touches two maps, and sets no gauges.
 func (dc *DistributionConnector) stamp(e *Event) {
 	if e.kind() != KindApplication || e.Target == "" || e.Seq != 0 || e.SrcHost != "" {
 		return
@@ -260,8 +356,15 @@ func (dc *DistributionConnector) stamp(e *Event) {
 	e.Seq = d.nextSeq[e.Target]
 	e.SeqOrigin = d.host
 	e.SeqInc = d.inc
-	d.pending[pendingKey{e.Target, e.Seq}] = &pendingSend{e: *e}
-	d.pendingG.Set(float64(len(d.pending)))
+	m := d.pending[e.Target]
+	if m == nil {
+		m = make(map[uint64]*pendingSend)
+		d.pending[e.Target] = m
+	}
+	m[e.Seq] = &pendingSend{e: *e}
+	d.pendingN++
+	due := d.tick + retransmitGraceTicks
+	d.wheel[due] = append(d.wheel[due], pendingKey{e.Target, e.Seq})
 }
 
 // locationHint returns the learned location for a target component ("" =
@@ -275,8 +378,11 @@ func (dc *DistributionConnector) locationHint(target string) model.HostID {
 
 // onDeliver is the connector's port-delivery gate: duplicate stamped
 // events are swallowed (and re-acked, since the origin evidently missed
-// the first ack); fresh ones are acked and delivered. Exactly-once at
-// the component port.
+// the first ack); fresh ones are delivered. Exactly-once at the
+// component port. Acks are not sent per event: the delivering stream is
+// marked dirty and its cumulative range flushes on the next tick or —
+// under load — as soon as AckFlush deliveries accumulate, so a burst of
+// N events costs one ack frame instead of N.
 func (dc *DistributionConnector) onDeliver(e Event) bool {
 	if e.kind() != KindApplication || e.Seq == 0 || e.Target == "" {
 		return true
@@ -297,54 +403,145 @@ func (dc *DistributionConnector) onDeliver(e Event) bool {
 	if !fresh {
 		d.deduped.Inc()
 	}
+	if e.SeqOrigin == d.host {
+		// We are the origin: settle the pending entry directly.
+		d.settleLocked(e.Target, e.Seq)
+		d.mu.Unlock()
+		return fresh
+	}
+	d.ackDirty[key] = struct{}{}
+	d.ackDirtyN++
+	var batches []ackBatch
+	if d.ackDirtyN >= d.cfg.AckFlush {
+		batches = d.buildAckBatchesLocked()
+	}
 	d.mu.Unlock()
-	dc.ackDelivered(e)
+	dc.sendAckBatches(batches)
 	return fresh
 }
 
-// ackDelivered acknowledges a stamped event back to its origin — or, if
-// we are the origin, settles the pending entry directly.
-func (dc *DistributionConnector) ackDelivered(e Event) {
-	d := dc.delivery
-	if e.SeqOrigin == d.host {
-		d.mu.Lock()
-		if _, ok := d.pending[pendingKey{e.Target, e.Seq}]; ok {
-			delete(d.pending, pendingKey{e.Target, e.Seq})
-			d.acked.Inc()
-			d.pendingG.Set(float64(len(d.pending)))
+// ackBatch is one flushed EvAppAckBatch frame, addressed to an origin.
+type ackBatch struct {
+	origin model.HostID
+	batch  AppAckBatch
+}
+
+// buildAckBatchesLocked drains the dirty-stream set into one cumulative
+// ack-range frame per origin, in deterministic order. Caller holds d.mu.
+func (d *appDelivery) buildAckBatchesLocked() []ackBatch {
+	if len(d.ackDirty) == 0 {
+		d.ackDirtyN = 0
+		return nil
+	}
+	keys := make([]streamKey, 0, len(d.ackDirty))
+	for k := range d.ackDirty {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.origin != b.origin {
+			return a.origin < b.origin
 		}
-		d.mu.Unlock()
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.inc < b.inc
+	})
+	var out []ackBatch
+	for _, k := range keys {
+		w := d.streams[k]
+		if w == nil {
+			continue // stream migrated away since it was marked
+		}
+		r := AckRange{Target: k.target, Inc: k.inc, Floor: w.floor}
+		if len(w.seen) > 0 {
+			r.Seen = make([]uint64, 0, len(w.seen))
+			for seq := range w.seen {
+				r.Seen = append(r.Seen, seq)
+			}
+			sort.Slice(r.Seen, func(i, j int) bool { return r.Seen[i] < r.Seen[j] })
+		}
+		if len(out) == 0 || out[len(out)-1].origin != k.origin {
+			out = append(out, ackBatch{origin: k.origin, batch: AppAckBatch{Host: d.host}})
+		}
+		last := &out[len(out)-1]
+		last.batch.Ranges = append(last.batch.Ranges, r)
+	}
+	d.ackDirty = make(map[streamKey]struct{})
+	d.ackDirtyN = 0
+	return out
+}
+
+// sendAckBatches ships flushed ack-range frames to their origins.
+func (dc *DistributionConnector) sendAckBatches(batches []ackBatch) {
+	if len(batches) == 0 {
 		return
 	}
-	ack := Event{
-		Name:    EvAppAck,
-		Kind:    KindControl,
-		DstHost: e.SeqOrigin,
-		SizeKB:  ackSizeKB,
-		Payload: AppAck{Host: d.host, Target: e.Target, Seq: e.Seq, Inc: e.SeqInc},
-	}
-	ack.SrcHost = d.host
-	if data, err := EncodeEvent(ack); err == nil {
-		dc.sendTracked(e.SeqOrigin, data, ackSizeKB, false)
+	d := dc.delivery
+	for _, b := range batches {
+		e := Event{
+			Name:    EvAppAckBatch,
+			Kind:    KindControl,
+			SrcHost: d.host,
+			DstHost: b.origin,
+			SizeKB:  ackSizeKB,
+			Payload: b.batch,
+		}
+		data, pooled, err := dc.encodeFrame(e)
+		if err == nil {
+			dc.sendTracked(b.origin, data, ackSizeKB, false)
+			d.ackFrames.Inc()
+			d.ackBatched.Add(float64(len(b.batch.Ranges)))
+		}
+		if pooled != nil {
+			putEncBuf(pooled)
+		}
 	}
 }
 
-// handleAppAck settles the acknowledged pending entry (stale or
-// duplicate acks are ignored).
+// handleAppAck settles one acknowledged pending entry (a frame from a
+// pre-batching peer; stale or duplicate acks are ignored).
 func (dc *DistributionConnector) handleAppAck(a AppAck) {
 	d := dc.delivery
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.pending[pendingKey{a.Target, a.Seq}]; !ok {
+	if !d.settleLocked(a.Target, a.Seq) {
 		return
 	}
-	delete(d.pending, pendingKey{a.Target, a.Seq})
-	d.acked.Inc()
-	d.pendingG.Set(float64(len(d.pending)))
+	d.pendingG.Set(float64(d.pendingN))
 	if a.Host != "" {
 		// The acker evidently hosts the target; remember for retransmits.
 		d.hints[a.Target] = a.Host
 	}
+}
+
+// handleAppAckBatch settles every pending entry covered by the batch's
+// cumulative ranges: for each range, entries of the same incarnation at
+// or below the floor, plus the explicit residues. The pending gauge
+// updates once per batch, not once per settled event.
+func (dc *DistributionConnector) handleAppAckBatch(b AppAckBatch) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range b.Ranges {
+		m := d.pending[r.Target]
+		if len(m) > 0 {
+			for seq, p := range m {
+				if p.e.SeqInc == r.Inc && seq <= r.Floor {
+					d.settleLocked(r.Target, seq)
+				}
+			}
+			for _, seq := range r.Seen {
+				if p, ok := m[seq]; ok && p.e.SeqInc == r.Inc {
+					d.settleLocked(r.Target, seq)
+				}
+			}
+		}
+		if b.Host != "" {
+			d.hints[r.Target] = b.Host
+		}
+	}
+	d.pendingG.Set(float64(d.pendingN))
 }
 
 // handleAppBounce re-addresses the bounced event to the authoritative
@@ -363,7 +560,7 @@ func (dc *DistributionConnector) handleAppBounce(b AppBounce) {
 		return
 	}
 	d.hints[b.Target] = b.Location
-	p, ok := d.pending[pendingKey{b.Target, b.Seq}]
+	p, ok := d.pending[b.Target][b.Seq]
 	var e Event
 	if ok {
 		e = p.e
@@ -397,6 +594,10 @@ func (dc *DistributionConnector) onUndeliverable(e Event) {
 		return
 	}
 	r, ok := d.reloc[e.Target]
+	if ok && r.expires <= d.tick {
+		delete(d.reloc, e.Target)
+		ok = false
+	}
 	if ok {
 		d.bounced.Inc()
 	}
@@ -417,10 +618,13 @@ func (dc *DistributionConnector) onUndeliverable(e Event) {
 	}
 }
 
-// DeliveryTick ages the relocation table and retransmits every unacked
-// application event once (bounded by MaxAttempts). It is the layer's
-// only clock: tests drive it directly for determinism, live processes
-// run it from the admin's delivery pump. Returns the number of events
+// DeliveryTick advances the delivery clock one step: due entries on the
+// retransmit wheel go out again (bounded by MaxAttempts), dirty ack
+// ranges flush, and the relocation table ages. It is the layer's only
+// clock: tests drive it directly for determinism, live processes run it
+// from the admin's delivery pump. A tick touches only the entries whose
+// retransmission is due — not the whole pending table — so its cost
+// scales with loss, not load. Returns the number of events
 // retransmitted.
 func (dc *DistributionConnector) DeliveryTick() int {
 	d := dc.delivery
@@ -429,37 +633,41 @@ func (dc *DistributionConnector) DeliveryTick() int {
 		d.mu.Unlock()
 		return 0
 	}
-	for comp, r := range d.reloc {
-		r.ttl--
-		if r.ttl <= 0 {
-			delete(d.reloc, comp)
-		} else {
-			d.reloc[comp] = r
+	d.tick++
+	if d.tick%relocSweepEvery == 0 {
+		for comp, r := range d.reloc {
+			if r.expires <= d.tick {
+				delete(d.reloc, comp)
+			}
 		}
 	}
-	keys := make([]pendingKey, 0, len(d.pending))
-	for k := range d.pending {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].target != keys[j].target {
-			return keys[i].target < keys[j].target
+	due := d.wheel[d.tick]
+	delete(d.wheel, d.tick)
+	// Canonical send order for determinism: only the due bucket is
+	// sorted, never the full table.
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].target != due[j].target {
+			return due[i].target < due[j].target
 		}
-		return keys[i].seq < keys[j].seq
+		return due[i].seq < due[j].seq
 	})
 	type sendItem struct {
 		e  Event
 		to model.HostID // "" = broadcast
 	}
-	items := make([]sendItem, 0, len(keys))
-	for _, k := range keys {
-		p := d.pending[k]
+	items := make([]sendItem, 0, len(due))
+	for _, k := range due {
+		p := d.pending[k.target][k.seq]
+		if p == nil {
+			continue // acked since it was scheduled
+		}
 		p.attempts++
 		if p.attempts > d.cfg.MaxAttempts {
-			delete(d.pending, k)
+			d.removeLocked(k.target, k.seq)
 			d.abandoned.Inc()
 			continue
 		}
+		d.wheel[d.tick+1] = append(d.wheel[d.tick+1], k)
 		to := d.hints[k.target]
 		if to != "" && p.attempts%deliveryBroadcastEvery == 0 {
 			// Periodically ignore the hint: it may be stale (learned
@@ -468,8 +676,10 @@ func (dc *DistributionConnector) DeliveryTick() int {
 		}
 		items = append(items, sendItem{e: p.e, to: to})
 	}
-	d.pendingG.Set(float64(len(d.pending)))
+	batches := d.buildAckBatchesLocked()
+	d.pendingG.Set(float64(d.pendingN))
 	d.mu.Unlock()
+	dc.sendAckBatches(batches)
 	for _, it := range items {
 		if dc.Connector.attachedTo(it.e.Target) {
 			// The target migrated to (or was restored on) this host after
@@ -485,17 +695,20 @@ func (dc *DistributionConnector) DeliveryTick() int {
 			continue
 		}
 		it.e.SrcHost = dc.host
-		data, err := EncodeEvent(it.e)
+		data, pooled, err := dc.encodeFrame(it.e)
 		if err != nil {
 			continue
 		}
 		d.retrans.Inc()
 		if it.to != "" {
 			dc.sendTracked(it.to, data, it.e.EffectiveSizeKB(), false)
-			continue
+		} else {
+			for _, peer := range dc.transport.Peers() {
+				dc.sendTracked(peer, data, it.e.EffectiveSizeKB(), false)
+			}
 		}
-		for _, peer := range dc.transport.Peers() {
-			dc.sendTracked(peer, data, it.e.EffectiveSizeKB(), false)
+		if pooled != nil {
+			putEncBuf(pooled)
 		}
 	}
 	return len(items)
@@ -556,8 +769,8 @@ func (dc *DistributionConnector) installDedup(target string, streams []DedupStre
 	}
 }
 
-// dropDedup discards the dedup streams for a target that left this host
-// (its state migrated with it).
+// dropDedup discards the dedup streams — and their unflushed ack
+// marks — for a target that left this host (its state migrated with it).
 func (dc *DistributionConnector) dropDedup(target string) {
 	d := dc.delivery
 	d.mu.Lock()
@@ -565,6 +778,7 @@ func (dc *DistributionConnector) dropDedup(target string) {
 	for k := range d.streams {
 		if k.target == target {
 			delete(d.streams, k)
+			delete(d.ackDirty, k)
 		}
 	}
 }
@@ -579,4 +793,6 @@ func (d *appDelivery) instrument(reg *obs.Registry, host string) {
 	d.retrans = reg.Counter(obs.Name("prism_app_retransmits_total", "host", host))
 	d.abandoned = reg.Counter(obs.Name("prism_app_abandoned_total", "host", host))
 	d.pendingG = reg.Gauge(obs.Name("prism_app_pending", "host", host))
+	d.ackFrames = reg.Counter(obs.Name("prism_batch_ack_frames_total", "host", host))
+	d.ackBatched = reg.Counter(obs.Name("prism_batch_acks_total", "host", host))
 }

@@ -132,6 +132,11 @@ type DistributionConnector struct {
 	// (sequence stamping, acks, retransmission, relocation bounces).
 	delivery *appDelivery
 
+	// poolSafe is true when the transport declared (via BufferRetainer)
+	// that Send does not retain the data slice, so encode scratch
+	// buffers can be recycled the moment Send returns.
+	poolSafe bool
+
 	// instr holds the transport-level metric handles; nil handles (before
 	// instrument is called) no-op.
 	instr struct {
@@ -140,6 +145,10 @@ type DistributionConnector struct {
 		framesRecv *obs.Counter
 		bytesRecv  *obs.Counter
 		sendErrs   *obs.Counter
+		encBin     *obs.Counter
+		encGob     *obs.Counter
+		decBin     *obs.Counter
+		decGob     *obs.Counter
 	}
 }
 
@@ -151,6 +160,9 @@ func NewDistributionConnector(name string, host model.HostID, scaffold *Scaffold
 		host:      host,
 		transport: transport,
 		stats:     make(map[model.HostID]*PeerStats),
+	}
+	if br, ok := transport.(BufferRetainer); ok {
+		dc.poolSafe = !br.RetainsSendBuffers()
 	}
 	dc.Connector.host = host
 	dc.Connector.forward = dc.forwardRemote
@@ -175,6 +187,10 @@ func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID
 	dc.instr.framesRecv = reg.Counter(obs.Name("prism_transport_frames_recv_total", "host", h))
 	dc.instr.bytesRecv = reg.Counter(obs.Name("prism_transport_bytes_recv_total", "host", h))
 	dc.instr.sendErrs = reg.Counter(obs.Name("prism_transport_send_errors_total", "host", h))
+	dc.instr.encBin = reg.Counter(obs.Name("prism_codec_encode_total", "codec", "binary", "host", h))
+	dc.instr.encGob = reg.Counter(obs.Name("prism_codec_encode_total", "codec", "gob", "host", h))
+	dc.instr.decBin = reg.Counter(obs.Name("prism_codec_decode_total", "codec", "binary", "host", h))
+	dc.instr.decGob = reg.Counter(obs.Name("prism_codec_decode_total", "codec", "gob", "host", h))
 	dc.mu.Unlock()
 	dc.delivery.instrument(reg, h)
 	dc.Connector.mu.Lock()
@@ -183,12 +199,39 @@ func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID
 	dc.Connector.mu.Unlock()
 }
 
+// encodeFrame encodes an outbound event. Binary-encodable events on a
+// non-retaining transport encode into a pooled scratch buffer — the
+// caller must putEncBuf(pooled) after its last Send returns. pooled is
+// nil when the frame owns its allocation.
+func (dc *DistributionConnector) encodeFrame(e Event) (data []byte, pooled *[]byte, err error) {
+	if BinaryEncodable(e) {
+		dc.instr.encBin.Inc()
+		if dc.poolSafe {
+			pooled = getEncBuf()
+			*pooled, err = AppendEvent(*pooled, e)
+			if err != nil {
+				putEncBuf(pooled)
+				return nil, nil, err
+			}
+			return *pooled, pooled, nil
+		}
+		data, err = AppendEvent(make([]byte, 0, binarySizeHint(e)), e)
+		return data, nil, err
+	}
+	dc.instr.encGob.Inc()
+	data, err = encodeEventGob(e)
+	return data, nil, err
+}
+
 // forwardRemote ships a locally originated event to its remote audience.
 func (dc *DistributionConnector) forwardRemote(e Event) {
 	e.SrcHost = dc.host
-	data, err := EncodeEvent(e)
+	data, pooled, err := dc.encodeFrame(e)
 	if err != nil {
 		return // unencodable payloads stay local
+	}
+	if pooled != nil {
+		defer putEncBuf(pooled)
 	}
 	queueable := e.kind() == KindApplication
 	if e.DstHost != "" {
@@ -248,6 +291,11 @@ func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
 	if err != nil {
 		return
 	}
+	if data[0] == binTag {
+		dc.instr.decBin.Inc()
+	} else {
+		dc.instr.decGob.Inc()
+	}
 	e.SrcHost = from
 	// Delivery-guarantee protocol frames are consumed here; they never
 	// reach the local audience.
@@ -256,6 +304,11 @@ func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
 		case EvAppAck:
 			if a, ok := e.Payload.(AppAck); ok {
 				dc.handleAppAck(a)
+			}
+			return
+		case EvAppAckBatch:
+			if b, ok := e.Payload.(AppAckBatch); ok {
+				dc.handleAppAckBatch(b)
 			}
 			return
 		case EvAppBounce:

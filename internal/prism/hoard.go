@@ -77,7 +77,9 @@ func (dc *DistributionConnector) queuePending(peer model.HostID, data []byte, si
 		q.frames = q.frames[1:]
 		dc.saf.dropped++
 	}
-	q.frames = append(q.frames, pendingFrame{data: data, sizeKB: sizeKB})
+	// Own a copy: callers may hand us a pooled encode buffer that is
+	// recycled as soon as the failed Send returns.
+	q.frames = append(q.frames, pendingFrame{data: append([]byte(nil), data...), sizeKB: sizeKB})
 }
 
 // PendingFor returns how many events are queued toward a peer.

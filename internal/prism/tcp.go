@@ -1,14 +1,17 @@
 package prism
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"dif/internal/model"
+	"dif/internal/obs"
 )
 
 // tcpFrame is the wire format of the TCP transport: a length-delimited
@@ -36,6 +39,18 @@ type TCPTransport struct {
 	recv   func(from model.HostID, data []byte)
 	closed bool
 	wg     sync.WaitGroup
+
+	// Frame coalescing: when batchBytes > 0, each connection's gob
+	// stream runs through a bufio.Writer of that size, so back-to-back
+	// frames pack into one syscall; a per-connection idle timer flushes
+	// after batchFlush so a lone frame is never stranded. 0 disables
+	// coalescing (every frame is its own write, the pre-batching
+	// behavior). Applies to connections established after SetBatching.
+	batchBytes int
+	batchFlush time.Duration
+
+	flushesC *obs.Counter
+	framesC  *obs.Counter
 }
 
 type tcpConn struct {
@@ -45,6 +60,27 @@ type tcpConn struct {
 	// dialed distinguishes our outbound dials from accepted inbound
 	// connections when resolving simultaneous-dial duels.
 	dialed bool
+
+	// bw buffers the gob stream when coalescing is on (nil otherwise);
+	// timerSet tracks whether an idle flush is already scheduled;
+	// flushAfter is the idle-flush deadline captured at creation.
+	bw         *bufio.Writer
+	timerSet   bool
+	flushAfter time.Duration
+}
+
+// flushLocked drains buffered frames to the socket. Caller holds c.mu.
+// A flush error closes the socket; the connection's readLoop notices
+// and unregisters it, so the next Send redials.
+func (c *tcpConn) flushLocked() error {
+	if c.bw == nil || c.bw.Buffered() == 0 {
+		return nil
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.conn.Close()
+		return err
+	}
+	return nil
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -73,6 +109,93 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
 // Host implements Transport.
 func (t *TCPTransport) Host() model.HostID { return t.host }
+
+// RetainsSendBuffers implements BufferRetainer: Send copies data into
+// the connection's gob stream before returning, so callers may recycle
+// their encode buffers immediately.
+func (t *TCPTransport) RetainsSendBuffers() bool { return false }
+
+// SetBatching configures frame coalescing for connections established
+// from now on: frames pack into a bytes-sized write buffer flushed when
+// full or after flush of send idleness. bytes 0 disables coalescing.
+// Call it right after NewTCPTransport, before peers connect.
+func (t *TCPTransport) SetBatching(bytes int, flush time.Duration) {
+	if flush <= 0 {
+		flush = DefaultBatchFlush
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.batchBytes = bytes
+	t.batchFlush = flush
+}
+
+// DefaultBatchFlush bounds how long a coalesced frame may sit in the
+// write buffer before the idle timer pushes it out.
+const DefaultBatchFlush = 2 * time.Millisecond
+
+// Instrument registers the transport's coalescing metrics
+// (prism_batch_flushes_total, prism_batch_frames_total) in reg.
+func (t *TCPTransport) Instrument(reg *obs.Registry) {
+	h := string(t.host)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushesC = reg.Counter(obs.Name("prism_batch_flushes_total", "host", h))
+	t.framesC = reg.Counter(obs.Name("prism_batch_frames_total", "host", h))
+}
+
+// batching snapshots the coalescing configuration.
+func (t *TCPTransport) batching() (int, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.batchBytes, t.batchFlush
+}
+
+// newConn wraps a socket in a tcpConn, inserting the coalescing buffer
+// when batchBytes > 0.
+func newConn(raw net.Conn, dialed bool, batchBytes int, batchFlush time.Duration) *tcpConn {
+	c := &tcpConn{conn: raw, dialed: dialed, flushAfter: batchFlush}
+	if batchBytes > 0 {
+		c.bw = bufio.NewWriterSize(raw, batchBytes)
+		c.enc = gob.NewEncoder(c.bw)
+	} else {
+		c.enc = gob.NewEncoder(raw)
+	}
+	return c
+}
+
+// sendFrame encodes one frame on the connection, honoring coalescing:
+// with batching off the encoder writes straight to the socket; with it
+// on, the frame lands in the write buffer and an idle flush is armed so
+// it cannot sit longer than batchFlush.
+func (t *TCPTransport) sendFrame(c *tcpConn, frame tcpFrame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(frame); err != nil {
+		return err
+	}
+	if c.bw == nil {
+		return nil
+	}
+	t.framesC.Inc()
+	if c.bw.Buffered() == 0 {
+		// The buffer filled mid-encode and drained to the socket; nothing
+		// is stranded, no timer needed.
+		return nil
+	}
+	if !c.timerSet {
+		c.timerSet = true
+		time.AfterFunc(c.flushAfter, func() {
+			c.mu.Lock()
+			c.timerSet = false
+			err := c.flushLocked()
+			c.mu.Unlock()
+			if err == nil {
+				t.flushesC.Inc()
+			}
+		})
+	}
+	return nil
+}
 
 // AddPeer registers a remote host's address for dialing.
 func (t *TCPTransport) AddPeer(host model.HostID, addr string) {
@@ -125,9 +248,7 @@ func (t *TCPTransport) Send(to model.HostID, data []byte, _ float64) error {
 	if err != nil {
 		return err
 	}
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(tcpFrame{From: t.host, Data: data}); err != nil {
+	if err := t.sendFrame(conn, tcpFrame{From: t.host, Data: data}); err != nil {
 		t.dropConn(to, conn)
 		return fmt.Errorf("tcp send to %s: %w", to, err)
 	}
@@ -153,11 +274,17 @@ func (t *TCPTransport) connTo(to model.HostID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp dial %s: %w", to, err)
 	}
-	c := &tcpConn{conn: raw, enc: gob.NewEncoder(raw), dialed: true}
+	bytes, flush := t.batching()
+	c := newConn(raw, true, bytes, flush)
 	// Introduce ourselves, then read frames coming back on this
-	// connection too (connections are bidirectional).
+	// connection too (connections are bidirectional). The hello flushes
+	// immediately — the peer must learn who we are before any idle
+	// timer would fire.
 	c.mu.Lock()
 	err = c.enc.Encode(tcpFrame{From: t.host, Data: nil})
+	if err == nil {
+		err = c.flushLocked()
+	}
 	c.mu.Unlock()
 	if err != nil {
 		raw.Close()
@@ -256,7 +383,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			existing, ok := t.conns[frame.From]
 			switch {
 			case !ok:
-				t.conns[frame.From] = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+				t.conns[frame.From] = newConn(conn, false, t.batchBytes, t.batchFlush)
 				t.mu.Unlock()
 			case existing.conn != conn && existing.dialed && frame.From < t.host:
 				// Crossed simultaneous dials: the lower host's dial is
@@ -265,7 +392,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 				// socket. (A peer replying on our own dialed socket lands
 				// here with existing.conn == conn — that is not a duel and
 				// the registration must stand.)
-				t.conns[frame.From] = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+				t.conns[frame.From] = newConn(conn, false, t.batchBytes, t.batchFlush)
 				t.mu.Unlock()
 				existing.conn.Close()
 			default:
@@ -297,8 +424,20 @@ func (t *TCPTransport) Close() error {
 	for c := range t.socks {
 		socks = append(socks, c)
 	}
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
 	t.conns = make(map[model.HostID]*tcpConn)
 	t.mu.Unlock()
+
+	// Push out coalesced frames still sitting in write buffers before
+	// the sockets close under them.
+	for _, c := range conns {
+		c.mu.Lock()
+		c.flushLocked()
+		c.mu.Unlock()
+	}
 
 	t.ln.Close()
 	for _, c := range socks {

@@ -56,6 +56,28 @@ func FuzzTCPReadLoop(f *testing.F) {
 	f.Add([]byte{0x04, 0xff, 0x81, 0x03})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
+	// Binary-codec frames ride inside the same gob tcpFrame stream; mix
+	// them with gob event frames, truncate them, and splice raw binary
+	// bytes (no tcpFrame envelope) straight onto the socket.
+	binEvent, err := EncodeEvent(Event{
+		Name: "app.req", Target: "c1", Seq: 3, SeqOrigin: "peer", SeqInc: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	gobEvent, err := EncodeEvent(Event{Name: "app.req", Target: "c1", Payload: "gob"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	binFrame := frameBytes(f, tcpFrame{From: "peer", Data: binEvent})
+	gobFrame := frameBytes(f, tcpFrame{From: "peer", Data: gobEvent})
+	f.Add(binFrame)
+	f.Add(append(append([]byte(nil), binFrame...), gobFrame...))
+	f.Add(append(append([]byte(nil), gobFrame...), binFrame...))
+	f.Add(binFrame[:len(binFrame)-2])
+	f.Add(append([]byte(nil), binEvent...)) // binary event without envelope
+	f.Add(frameBytes(f, tcpFrame{From: "peer", Data: binEvent[:len(binEvent)/2]}))
+
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tr, err := NewTCPTransport("fz", "127.0.0.1:0")
 		if err != nil {
