@@ -17,11 +17,12 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Race-detect the concurrent hot paths: the middleware and its
-# transports, the netsim fabric, the parallel search algorithms, the
-# delta evaluators they drive, the telemetry registry and tracer, and
-# the framework's crash-recovery drills.
+# transports, the durable checkpoint store, the netsim fabric, the
+# parallel search algorithms, the delta evaluators they drive, the
+# telemetry registry and tracer, and the framework's crash-recovery
+# drills.
 test-race:
-	$(GO) test -race ./internal/obs/... ./internal/prism/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/... ./internal/chaos/...
+	$(GO) test -race ./internal/obs/... ./internal/prism/... ./internal/store/... ./internal/netsim/... ./internal/algo/... ./internal/objective/... ./internal/framework/... ./internal/chaos/...
 
 race: test-race
 

@@ -51,6 +51,7 @@ func run() error {
 	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "lease policy: silence before a host is suspected")
 	deadAfter := flag.Duration("dead-after", 5*time.Second, "lease policy: silence before a host is declared dead")
 	common := cliflags.Register(flag.CommandLine)
+	durable := cliflags.RegisterDurable(flag.CommandLine)
 	flag.Parse()
 	if *archFile == "" || *host == "" {
 		return fmt.Errorf("-arch and -host are required")
@@ -116,6 +117,24 @@ func run() error {
 	dep, err := prism.InstallDeployer(arch, adminCfg)
 	if err != nil {
 		return err
+	}
+	// Durable deployer state: with -state-dir the deployer checkpoints
+	// every two-phase transition to a write-ahead log. On a restart it
+	// replays the log, resumes (or cleanly aborts) in-flight waves, and
+	// rejoins the cycle loop without replanning. A second deployer on the
+	// same directory is rejected by the log's process lock.
+	var ds *prism.DeployerStore
+	resuming := false
+	if durable.StateDir != "" {
+		ds, err = prism.OpenDeployerStore(durable.StateDir)
+		if err != nil {
+			return fmt.Errorf("state dir %s: %w", durable.StateDir, err)
+		}
+		defer ds.Close()
+		resuming = ds.HasState()
+		if err := dep.AttachStore(ds); err != nil {
+			return err
+		}
 	}
 	// Application-traffic continuity: enable (or explicitly disable) the
 	// delivery-guarantee layer and pace its retransmission clock.
@@ -196,9 +215,7 @@ func run() error {
 		}()
 	}
 
-	// Instantiate every application component locally, then distribute
-	// them to their described hosts through the real migration protocol.
-	for _, comp := range sys.ComponentIDs() {
+	addTraffic := func(comp model.ComponentID) error {
 		tc := framework.NewTrafficComponent(string(comp))
 		for _, link := range sys.InteractionsOf(comp) {
 			other := link.Components.A
@@ -210,22 +227,67 @@ func run() error {
 		if err := arch.AddComponent(tc); err != nil {
 			return err
 		}
-		if err := arch.Weld(string(comp), framework.BusName); err != nil {
-			return err
+		return arch.Weld(string(comp), framework.BusName)
+	}
+
+	view := deployment.Clone()
+	if resuming {
+		// Restart-without-replan: in-flight waves are resumed (decided
+		// epochs re-broadcast their persisted outcome) or cleanly aborted
+		// (undecided ones), never re-planned. The deployment view is the
+		// described deployment overridden by the committed relocations from
+		// the log — the slaves' components are exactly where the dead
+		// lifetime left them, so no initial distribution runs.
+		resumed, err := dep.Resume()
+		if err != nil {
+			return fmt.Errorf("resume from %s: %w", durable.StateDir, err)
 		}
+		for _, rw := range resumed {
+			outcome := "aborted"
+			if rw.Committed {
+				outcome = "committed"
+			}
+			how := "undecided -> clean abort"
+			if rw.Resumed {
+				how = "decided -> broadcast resumed"
+			}
+			fmt.Printf("resumed wave epoch=%d: %s (%s)\n", rw.Epoch, how, outcome)
+		}
+		for comp, h := range dep.RelocationView() {
+			view[model.ComponentID(comp)] = h
+		}
+		// Master-resident components died with the old process; recreate
+		// origin copies so the improve loop has live instances to move.
+		for _, comp := range sys.ComponentIDs() {
+			if view[comp] == master && arch.Component(string(comp)) == nil {
+				if err := addTraffic(comp); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("restarted from %s: %d waves resolved, next epoch %d\n",
+			durable.StateDir, len(resumed), ds.NextEpoch())
+	} else {
+		// Instantiate every application component locally, then distribute
+		// them to their described hosts through the real migration protocol.
+		for _, comp := range sys.ComponentIDs() {
+			if err := addTraffic(comp); err != nil {
+				return err
+			}
+		}
+		moves := make(map[string]model.HostID, len(deployment))
+		current := make(map[string]model.HostID, len(deployment))
+		for comp, h := range deployment {
+			current[string(comp)] = master
+			moves[string(comp)] = h
+		}
+		res, err := dep.Enact(moves, current, 60*time.Second)
+		if err != nil {
+			return fmt.Errorf("initial distribution: %w", err)
+		}
+		fmt.Printf("distributed %d components to %d hosts (%d confirmed)\n",
+			res.Moved, len(slaves), res.Received)
 	}
-	moves := make(map[string]model.HostID, len(deployment))
-	current := make(map[string]model.HostID, len(deployment))
-	for comp, h := range deployment {
-		current[string(comp)] = master
-		moves[string(comp)] = h
-	}
-	res, err := dep.Enact(moves, current, 60*time.Second)
-	if err != nil {
-		return fmt.Errorf("initial distribution: %w", err)
-	}
-	fmt.Printf("distributed %d components to %d hosts (%d confirmed)\n",
-		res.Moved, len(slaves), res.Received)
 
 	if !*improve {
 		return nil
@@ -235,7 +297,6 @@ func run() error {
 	centralModel := sys.Clone()
 	anlz := analyzer.New(nil, analyzer.Policy{})
 	anlz.Instrument(reg)
-	view := deployment.Clone()
 	en := &effector.PrismEnactor{Deployer: dep}
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		time.Sleep(*interval)

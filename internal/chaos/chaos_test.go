@@ -120,6 +120,26 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					fail("healed a link that was not partitioned")
 				}
 				delete(st.parts, orderedPair(op.A, op.B))
+			case OpDeployerCrash:
+				if len(st.parts) > 0 {
+					fail("deployer-crash wave during a partition")
+				}
+				if st.placement[op.Comp] != op.A {
+					fail("stale source in op")
+				}
+				if !st.up[op.A] || !st.up[op.B] || op.A == op.B {
+					fail("illegal endpoints")
+				}
+				if op.Phase < 0 || op.Phase > 2 {
+					fail("phase out of range")
+				}
+				// Only a decided-phase crash resumes to a commit; earlier
+				// phases abort on restart and leave placement unchanged.
+				if op.Phase == 2 {
+					st.placement[op.Comp] = op.B
+				}
+			case OpDeployerRestart:
+				// Always legal: the deployer process can bounce any time.
 			}
 		}
 		if len(st.sortedParts()) != 0 {

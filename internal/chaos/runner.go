@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -78,6 +79,23 @@ func Run(cfg Config) (*Result, error) {
 		return NewProbe(id, ledger)
 	})
 
+	// Every scenario runs the deployer on a durable checkpoint log: normal
+	// waves exercise the checkpoint write path, and the deployer-crash and
+	// deployer-restart ops kill and resurrect the coordinator from it.
+	stateDir, err := os.MkdirTemp("", "chaos-deployer-state-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stateDir)
+	store, err := prism.OpenDeployerStore(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Deployer.AttachStore(store); err != nil {
+		store.Close()
+		return nil, err
+	}
+
 	r := &runner{
 		cfg:       cfg,
 		w:         w,
@@ -87,7 +105,10 @@ func Run(cfg Config) (*Result, error) {
 		probes:    probeIDs(cfg.Probes),
 		placement: initialPlacement(hosts, probeIDs(cfg.Probes)),
 		restarts:  make(map[model.HostID]int),
+		stateDir:  stateDir,
+		store:     store,
 	}
+	defer func() { r.store.Close() }()
 	for _, p := range r.probes {
 		if err := r.addProbe(p, r.placement[p]); err != nil {
 			return nil, err
@@ -123,6 +144,11 @@ type runner struct {
 	// compare it against the architectures' actual contents.
 	placement map[string]model.HostID
 	restarts  map[model.HostID]int
+
+	// stateDir/store are the deployer's durable checkpoint log; store is
+	// swapped for a fresh handle on every deployer restart.
+	stateDir string
+	store    *prism.DeployerStore
 
 	eventSeq  int
 	waveLines []string
@@ -191,6 +217,10 @@ func (r *runner) exec(op Op) error {
 		return r.w.Fabric.SetPartitioned(op.A, op.B, true)
 	case OpHeal:
 		return r.w.Fabric.SetPartitioned(op.A, op.B, false)
+	case OpDeployerCrash:
+		return r.deployerWaveCrash(op)
+	case OpDeployerRestart:
+		return r.deployerRestart()
 	}
 	return nil
 }
@@ -285,6 +315,154 @@ func (r *runner) migrate(op Op, abort bool) error {
 		"wave epoch=%d comp=%s src=%s dst=%s outcome=%s",
 		wr.res.Epoch, op.Comp, op.A, op.B, outcome))
 	return nil
+}
+
+// crashKinds maps OpDeployerCrash.Phase to the durable record whose
+// fsync the deployer dies after.
+var crashKinds = [3]byte{prism.RecEpochOpen, prism.RecEpochPrepared, prism.RecEpochDecided}
+
+// deployerWaveCrash runs one wave with the deployer armed to die right
+// after the op's phase checkpoint lands durably, then restarts it from
+// the log and asserts the phase-determined resolution: a decided crash
+// resumes its persisted commit; an open or prepared crash cleanly aborts.
+// Mid-wave traffic at the moving component must survive either way.
+func (r *runner) deployerWaveCrash(op Op) error {
+	dep := r.w.Deployer
+	r.store.CrashAfter(crashKinds[op.Phase], func() { dep.Close() })
+
+	current := make(map[string]model.HostID, len(r.placement))
+	for p, h := range r.placement {
+		current[p] = h
+	}
+	type waveRes struct {
+		res prism.EnactResult
+		err error
+	}
+	ch := make(chan waveRes, 1)
+	go func() {
+		res, err := dep.Enact(map[string]model.HostID{op.Comp: op.B}, current, r.cfg.WaveTimeout)
+		ch <- waveRes{res, err}
+	}()
+	r.inject(r.master, op.Comp, 2)
+
+	var wr waveRes
+	for done := false; !done; {
+		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
+		select {
+		case wr = <-ch:
+			done = true
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The dying lifetime's result is phase-determined, so reports stay
+	// byte-identical per seed.
+	switch op.Phase {
+	case 0:
+		if wr.err == nil || !strings.Contains(wr.err.Error(), "closed mid-wave") {
+			return fmt.Errorf("open-phase crash: err = %v, want closed mid-wave", wr.err)
+		}
+	case 1:
+		if wr.err == nil || !strings.Contains(wr.err.Error(), "deferred to restart") {
+			return fmt.Errorf("prepared-phase crash: err = %v, want outcome deferred", wr.err)
+		}
+	case 2:
+		if wr.err != nil || !wr.res.Committed {
+			return fmt.Errorf("decided-phase crash: err = %v committed = %v, want clean commit",
+				wr.err, wr.res.Committed)
+		}
+	}
+
+	resumed, err := r.reopenDeployer()
+	if err != nil {
+		return err
+	}
+	// Earlier epochs whose outcome broadcast never fully drained may be
+	// re-announced too (harmless: the decision is already durable); the
+	// crashed epoch itself must be resolved exactly as the log dictates.
+	var got *prism.ResumedWave
+	for i := range resumed {
+		if resumed[i].Epoch == wr.res.Epoch {
+			got = &resumed[i]
+		}
+	}
+	if got == nil {
+		return fmt.Errorf("crashed epoch %d not resolved on restart (resumed: %+v)", wr.res.Epoch, resumed)
+	}
+	wantCommit := op.Phase == 2
+	if got.Resumed != wantCommit || got.Committed != wantCommit {
+		return fmt.Errorf("crashed epoch %d resolved %+v, want resumed=committed=%v", wr.res.Epoch, *got, wantCommit)
+	}
+
+	outcome := "crash@" + deployerCrashPhases[op.Phase] + "->abort"
+	if wantCommit {
+		outcome = "crash@decided->resume-commit"
+		r.placement[op.Comp] = op.B
+	}
+	r.epochs = append(r.epochs, wr.res.Epoch)
+	r.waveLines = append(r.waveLines, fmt.Sprintf(
+		"wave epoch=%d comp=%s src=%s dst=%s outcome=%s",
+		wr.res.Epoch, op.Comp, op.A, op.B, outcome))
+	return nil
+}
+
+// deployerRestart bounces the deployer between waves. Nothing undecided
+// can be in the log here, so the restart must not abort anything — at
+// most it re-announces a decided outcome whose acks never drained.
+func (r *runner) deployerRestart() error {
+	resumed, err := r.reopenDeployer()
+	if err != nil {
+		return err
+	}
+	for _, rw := range resumed {
+		if !rw.Resumed {
+			return fmt.Errorf("quiet deployer restart aborted undecided epoch %d", rw.Epoch)
+		}
+	}
+	return nil
+}
+
+// reopenDeployer is the deployer process restart: release the checkpoint
+// log, swap a fresh deployer component onto the master, replay the log,
+// and resume in-flight waves while the tick loop keeps delivery and the
+// fabric moving under the resume broadcast.
+func (r *runner) reopenDeployer() ([]prism.ResumedWave, error) {
+	if err := r.store.Close(); err != nil {
+		return nil, err
+	}
+	dep, err := r.w.RestartDeployer()
+	if err != nil {
+		return nil, err
+	}
+	store, err := prism.OpenDeployerStore(r.stateDir)
+	if err != nil {
+		return nil, err
+	}
+	r.store = store
+	if err := dep.AttachStore(store); err != nil {
+		return nil, err
+	}
+	type resumeRes struct {
+		waves []prism.ResumedWave
+		err   error
+	}
+	ch := make(chan resumeRes, 1)
+	go func() {
+		waves, err := dep.Resume()
+		ch <- resumeRes{waves, err}
+	}()
+	for {
+		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
+		select {
+		case rr := <-ch:
+			return rr.waves, rr.err
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
 }
 
 // pendingTotal sums unacknowledged application events across live hosts.

@@ -82,7 +82,21 @@ const (
 	// OpPartition severs the A—B link; OpHeal restores it.
 	OpPartition
 	OpHeal
+	// OpDeployerCrash runs a migration wave (Comp from A to B) with the
+	// deployer armed to die — kill -9 style — right after the checkpoint
+	// named by Phase lands durably: 0 = epoch opened, 1 = all prepared,
+	// 2 = outcome decided. The runner restarts the deployer from its log
+	// and asserts the wave resumes (phase 2 commits) or cleanly aborts
+	// (phases 0–1) without replanning.
+	OpDeployerCrash
+	// OpDeployerRestart bounces the deployer process between waves: close,
+	// restart, replay the log, resume. Nothing undecided may surface.
+	OpDeployerRestart
 )
+
+// deployerCrashPhases names OpDeployerCrash.Phase values in op
+// descriptions and wave lines.
+var deployerCrashPhases = [3]string{"open", "prepared", "decided"}
 
 // String names the op kind for scenario reports.
 func (k OpKind) String() string {
@@ -101,18 +115,26 @@ func (k OpKind) String() string {
 		return "partition"
 	case OpHeal:
 		return "heal"
+	case OpDeployerCrash:
+		return "deployer-crash"
+	case OpDeployerRestart:
+		return "deployer-restart"
 	}
 	return fmt.Sprintf("opkind(%d)", int(k))
 }
 
 // Op is one scenario step. Field use per kind: OpTraffic{Comp, A, N};
 // OpMigrate/OpAbortMigrate{Comp, A=src, B=dst}; OpCrash/OpRestart{A};
-// OpPartition/OpHeal{A, B}.
+// OpPartition/OpHeal{A, B}; OpDeployerCrash{Comp, A=src, B=dst, Phase};
+// OpDeployerRestart{}.
 type Op struct {
 	Kind OpKind
 	Comp string
 	A, B model.HostID
 	N    int
+	// Phase picks the two-phase transition an OpDeployerCrash dies at
+	// (see the kind's doc comment).
+	Phase int
 }
 
 func (o Op) describe() string {
@@ -125,6 +147,9 @@ func (o Op) describe() string {
 		return fmt.Sprintf("%s host=%s", o.Kind, o.A)
 	case OpPartition, OpHeal:
 		return fmt.Sprintf("%s a=%s b=%s", o.Kind, o.A, o.B)
+	case OpDeployerCrash:
+		return fmt.Sprintf("deployer-crash comp=%s src=%s dst=%s phase=%s",
+			o.Comp, o.A, o.B, deployerCrashPhases[o.Phase])
 	}
 	return o.Kind.String()
 }
@@ -249,11 +274,12 @@ func (st *scenarioState) crash(h model.HostID) {
 }
 
 // GenerateScenario derives a deterministic op list from the seed. Op
-// frequencies roughly: 45% traffic, 17% migration (a quarter of those
-// abort-flavored), 10% partition, 8% heal, 10% crash, 10% restart —
-// with every ineligible draw degrading to a traffic burst so the list
-// length is stable. A heal epilogue closes any partition still open so
-// the settle phase can drain all in-flight traffic.
+// frequencies roughly: 45% traffic, 17% migration (a third of those
+// abort-flavored, a third deployer-crash-flavored), 10% partition, 8%
+// heal, 10% crash, 5% host restart, 5% deployer restart — with every
+// ineligible draw degrading to a traffic burst so the list length is
+// stable. A heal epilogue closes any partition still open so the settle
+// phase can drain all in-flight traffic.
 func GenerateScenario(cfg Config) []Op {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -286,7 +312,8 @@ func GenerateScenario(cfg Config) []Op {
 				break
 			}
 			dst := dsts[rng.Intn(len(dsts))]
-			if rng.Intn(3) == 0 {
+			flavor := rng.Intn(6)
+			if flavor < 2 {
 				// Abort flavor: the destination dies under the wave. The
 				// master must survive as coordinator, so re-pick.
 				adsts := st.upHosts(func(h model.HostID) bool {
@@ -298,6 +325,19 @@ func GenerateScenario(cfg Config) []Op {
 					st.crash(dst)
 					break
 				}
+				// No eligible abort destination: degrade to a plain wave.
+			} else if flavor < 4 {
+				// Deployer-crash flavor: the wave runs with the deployer
+				// armed to die at one of the two-phase checkpoints. Only a
+				// decided crash (phase 2) ends with the move committed — the
+				// restart resumes its persisted commit; open/prepared
+				// crashes abort on restart, leaving placement unchanged.
+				phase := rng.Intn(3)
+				op = Op{Kind: OpDeployerCrash, Comp: comp, A: src, B: dst, Phase: phase}
+				if phase == 2 {
+					st.placement[comp] = dst
+				}
+				break
 			}
 			op = Op{Kind: OpMigrate, Comp: comp, A: src, B: dst}
 			st.placement[comp] = dst
@@ -338,7 +378,13 @@ func GenerateScenario(cfg Config) []Op {
 			h := cands[rng.Intn(len(cands))]
 			st.crash(h)
 			op = Op{Kind: OpCrash, A: h}
-		default: // restart
+		default: // restart (host, or the deployer process itself)
+			if r >= 95 {
+				// Deployer bounce between waves: always legal, and proves a
+				// quiet restart never aborts, replans, or renumbers anything.
+				op = Op{Kind: OpDeployerRestart}
+				break
+			}
 			down := st.downHosts()
 			if len(down) == 0 {
 				break

@@ -46,6 +46,22 @@ func Register(fs *flag.FlagSet) *Common {
 	return c
 }
 
+// Durable holds the parsed values of the deployer-only durability flags.
+// Agents deliberately have no -state-dir: slave-side state is soft by
+// design — a restarted agent's components are reconstructed by the
+// coordinator's recovery waves, so persisting them would only risk
+// resurrecting stale instances.
+type Durable struct {
+	StateDir string
+}
+
+// RegisterDurable installs the deployer's durability flags on fs.
+func RegisterDurable(fs *flag.FlagSet) *Durable {
+	d := &Durable{}
+	fs.StringVar(&d.StateDir, "state-dir", "", "directory for the deployer's crash-safe wave checkpoint log (empty disables; on restart the deployer resumes or aborts in-flight waves from it instead of replanning)")
+	return d
+}
+
 // Faulty reports whether any transport fault injection was requested.
 func (c *Common) Faulty() bool { return c.FaultDrop > 0 || c.FaultDup > 0 }
 

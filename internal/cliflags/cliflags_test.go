@@ -78,6 +78,42 @@ func TestSharedFlagParity(t *testing.T) {
 	}
 }
 
+// TestRegisterDurable pins the deployer-only durability surface: the
+// flag parses, defaults to disabled, and is NOT part of the shared set
+// (agents keep soft state only — recovery waves rebuild them).
+func TestRegisterDurable(t *testing.T) {
+	fs := flag.NewFlagSet("deployer", flag.ContinueOnError)
+	Register(fs)
+	got := RegisterDurable(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.StateDir != "" {
+		t.Fatalf("default state-dir = %q, want empty (disabled)", got.StateDir)
+	}
+	fs2 := flag.NewFlagSet("deployer", flag.ContinueOnError)
+	Register(fs2)
+	got = RegisterDurable(fs2)
+	if err := fs2.Parse([]string{"-state-dir", "/var/lib/dif"}); err != nil {
+		t.Fatal(err)
+	}
+	if got.StateDir != "/var/lib/dif" {
+		t.Fatalf("state-dir = %q", got.StateDir)
+	}
+	// The shared Register set must not grow a state-dir: an agent given
+	// the deployer's durability flag should reject it.
+	agent := flag.NewFlagSet("agent", flag.ContinueOnError)
+	agent.SetOutput(discard{})
+	Register(agent)
+	if err := agent.Parse([]string{"-state-dir", "x"}); err == nil {
+		t.Fatal("agent flag set accepted -state-dir")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
 func TestFaultConfigAndRetry(t *testing.T) {
 	c := Common{FaultDrop: 0.1, FaultDup: 0.02, FaultSeed: 7, NoRetry: true}
 	if !c.Faulty() {

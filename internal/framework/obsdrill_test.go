@@ -51,6 +51,9 @@ func runTracedChurnDrill(t *testing.T, seed int64) (render, faults string, dropp
 		Tune: func(ac *prism.AdminConfig) {
 			ac.EnactResendInterval = time.Hour
 			ac.FetchRetryInterval = time.Hour
+			// Wave durations and monitor aging read this clock, so the
+			// prism_wave_* histograms below are seed-determined too.
+			ac.Clock = clk.Now
 		},
 	})
 	if err != nil {
@@ -178,7 +181,12 @@ func runTracedChurnDrill(t *testing.T, seed int64) (render, faults string, dropp
 	if dropped != float64(statsDropped) {
 		t.Fatalf("registry dropped %v != deprecated stats dropped %d", dropped, statsDropped)
 	}
-	return tracer.Render(), reg.Snapshot().Filter("prism_fault_").String(), dropped
+	// The comparison covers the fault counters AND the wave metrics:
+	// prism_wave_duration_ms is measured on the injected clock, so it must
+	// be byte-identical across same-seed runs, not merely close.
+	snap := reg.Snapshot()
+	metrics := snap.Filter("prism_fault_").String() + snap.Filter("prism_wave_").String()
+	return tracer.Render(), metrics, dropped
 }
 
 // TestTracedChurnDrillDeterministic is the observability acceptance drill:

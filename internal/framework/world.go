@@ -394,6 +394,33 @@ func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
 	return admin, nil
 }
 
+// RestartDeployer simulates a deployer-process crash and restart on the
+// (live) master host without disturbing the host itself: the old deployer
+// component is closed and removed from the master's architecture and a
+// fresh one installed in its place. The host's incarnation is NOT bumped —
+// a deployer restart is a process event, not a host failure, and the
+// failure detector's view of the master must not churn. Callers that run
+// with a durable store re-attach it (AttachStore) and Resume() on the
+// returned deployer.
+func (w *World) RestartDeployer() (*prism.DeployerComponent, error) {
+	if w.down[w.Master] {
+		return nil, fmt.Errorf("framework world: master %s is down", w.Master)
+	}
+	arch := w.Archs[w.Master]
+	if dep, ok := arch.Component(prism.DeployerID).(*prism.DeployerComponent); ok {
+		dep.Close()
+		if _, err := arch.RemoveComponent(prism.DeployerID); err != nil {
+			return nil, err
+		}
+	}
+	dep, err := prism.InstallDeployer(arch, w.adminCfg)
+	if err != nil {
+		return nil, err
+	}
+	w.Deployer = dep
+	return dep, nil
+}
+
 // PlaceComponent instantiates a fresh traffic component for a model
 // component on the given live host, wiring its partner rates from the
 // model's logical links — the "origin copy" restoration the recovery path

@@ -28,47 +28,65 @@ func (Throughput) Name() string { return "throughput" }
 // Direction implements Quantifier.
 func (Throughput) Direction() Direction { return Maximize }
 
-// Quantify implements Quantifier.
+// deliveryUnit is one summand of the throughput ratio: a demanded volume
+// and the portion of it the network carries, with delivered ≤ demand.
+type deliveryUnit struct {
+	demand    float64
+	delivered float64
+}
+
+// Quantify implements Quantifier. Both sums run over the same ordered
+// unit sequence (sorted interactions, then sorted overloaded links) with
+// delivered ≤ demand pointwise, so every rounded partial delivered-sum
+// is bounded by the matching demand-sum and the ratio is ≤ 1 exactly —
+// and identical across runs regardless of map iteration order.
 func (Throughput) Quantify(s *model.System, d model.Deployment) float64 {
-	var totalDemand, delivered float64
+	var units []deliveryUnit
 	linkDemand := make(map[model.HostPair]float64)
 
-	for pair, link := range s.Interacts {
+	for _, pair := range s.InteractionKeys() {
+		link := s.Interacts[pair]
 		volume := link.Frequency() * link.EventSize()
 		if volume <= 0 {
 			continue
 		}
-		totalDemand += volume
 		ha, aok := d[pair.A]
 		hb, bok := d[pair.B]
-		if !aok || !bok {
-			continue // undeployed endpoints deliver nothing
+		switch {
+		case !aok || !bok:
+			// Undeployed endpoints deliver nothing.
+			units = append(units, deliveryUnit{demand: volume})
+		case ha == hb:
+			// Local interactions always fit.
+			units = append(units, deliveryUnit{demand: volume, delivered: volume})
+		case s.Link(ha, hb) == nil:
+			// Disconnected: nothing delivered.
+			units = append(units, deliveryUnit{demand: volume})
+		default:
+			// Remote demand is capped per link, so it becomes one unit per
+			// link below rather than one per interaction.
+			linkDemand[model.MakeHostPair(ha, hb)] += volume
 		}
-		if ha == hb {
-			delivered += volume // local interactions always fit
+	}
+	for _, pair := range s.LinkKeys() {
+		demand, ok := linkDemand[pair]
+		if !ok {
 			continue
 		}
-		if s.Link(ha, hb) == nil {
-			continue // disconnected: nothing delivered
+		delivered := demand
+		if bw := s.Links[pair].Bandwidth(); demand > bw {
+			delivered = bw
 		}
-		linkDemand[model.MakeHostPair(ha, hb)] += volume
+		units = append(units, deliveryUnit{demand: demand, delivered: delivered})
 	}
-	for pair, demand := range linkDemand {
-		bw := s.Links[pair].Bandwidth()
-		if demand <= bw {
-			delivered += demand
-		} else {
-			delivered += bw
-		}
+
+	var totalDemand, delivered float64
+	for _, u := range units {
+		totalDemand += u.demand
+		delivered += u.delivered
 	}
 	if totalDemand == 0 {
 		return 1
 	}
-	// delivered and totalDemand accumulate the same volumes in different
-	// iteration orders, so the ratio can stray past 1 by a few ULP even
-	// though delivered ≤ totalDemand mathematically.
-	if ratio := delivered / totalDemand; ratio < 1 {
-		return ratio
-	}
-	return 1
+	return delivered / totalDemand
 }

@@ -168,6 +168,12 @@ type AdminConfig struct {
 	// incarnation so the deployer's failure detector can distinguish a
 	// resurrection from a replayed frame of the dead lifetime.
 	Incarnation uint64
+	// Clock supplies every wall-clock read in the admin/deployer layer
+	// that feeds metrics or staleness decisions (wave durations, monitor
+	// aging). Nil selects time.Now; deterministic drills inject their
+	// stepped clock here (via WorldConfig.Tune) so traced runs are
+	// byte-identical across same-seed repetitions.
+	Clock func() time.Time
 }
 
 // RetryPolicy tunes control-plane retransmission. The zero value enables
@@ -226,6 +232,9 @@ func (c AdminConfig) withDefaults() AdminConfig {
 	}
 	if c.OutcomeAckTimeout <= 0 {
 		c.OutcomeAckTimeout = DefaultOutcomeAckTimeout
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -451,6 +460,9 @@ func (a *AdminComponent) AttachMonitors() {
 	defer a.mu.Unlock()
 	if a.freqMon == nil {
 		a.freqMon = NewEvtFrequencyMonitor()
+		// Monitor staleness ages on the same injected clock as the rest of
+		// the layer, so drill reports do not drift with real time.
+		a.freqMon.SetClock(a.cfg.Clock)
 		if conn := a.arch.Connector(a.cfg.Bus); conn != nil {
 			conn.AddMonitor(a.freqMon)
 		}

@@ -783,6 +783,100 @@ func (dc *DistributionConnector) dropDedup(target string) {
 	}
 }
 
+// DedupSnapshot is every receiver-side dedup window from one origin in
+// the serializable AckRange floor+residue form. The deployer persists
+// these in its durable checkpoint so exactly-once state survives a
+// coordinator restart, reusing the exact shape ack batches already ship.
+type DedupSnapshot struct {
+	Origin model.HostID
+	Ranges []AckRange
+}
+
+// SnapshotAllDedup exports every receiver-side dedup window grouped by
+// origin, in deterministic order.
+func (dc *DistributionConnector) SnapshotAllDedup() []DedupSnapshot {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]streamKey, 0, len(d.streams))
+	for k := range d.streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.inc < b.inc
+	})
+	var out []DedupSnapshot
+	for _, k := range keys {
+		w := d.streams[k]
+		r := AckRange{Target: k.target, Inc: k.inc, Floor: w.floor}
+		for seq := range w.seen {
+			r.Seen = append(r.Seen, seq)
+		}
+		sort.Slice(r.Seen, func(i, j int) bool { return r.Seen[i] < r.Seen[j] })
+		if len(out) == 0 || out[len(out)-1].Origin != k.origin {
+			out = append(out, DedupSnapshot{Origin: k.origin})
+		}
+		last := &out[len(out)-1]
+		last.Ranges = append(last.Ranges, r)
+	}
+	return out
+}
+
+// RestoreDedup merges exported dedup windows back into the connector,
+// keeping the stricter of local and restored knowledge per stream — the
+// same stricter-wins rule migration uses, so replaying a checkpoint can
+// never un-deliver an event.
+func (dc *DistributionConnector) RestoreDedup(snaps []DedupSnapshot) {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, snap := range snaps {
+		for _, r := range snap.Ranges {
+			key := streamKey{snap.Origin, r.Inc, r.Target}
+			w := d.streams[key]
+			if w == nil {
+				w = &dedupWindow{seen: make(map[uint64]bool)}
+				d.streams[key] = w
+			}
+			if r.Floor > w.floor {
+				w.floor = r.Floor
+			}
+			for _, seq := range r.Seen {
+				if seq > w.floor {
+					w.seen[seq] = true
+				}
+			}
+			for w.seen[w.floor+1] {
+				delete(w.seen, w.floor+1)
+				w.floor++
+			}
+		}
+	}
+}
+
+// RelocationSnapshot returns the unexpired relocation table (component →
+// authoritative host) — the coordinator's committed-move memory.
+func (dc *DistributionConnector) RelocationSnapshot() map[string]model.HostID {
+	d := dc.delivery
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]model.HostID, len(d.reloc))
+	for comp, r := range d.reloc {
+		if r.expires <= d.tick {
+			continue
+		}
+		out[comp] = r.host
+	}
+	return out
+}
+
 // instrumentDelivery registers the application-plane metric handles.
 func (d *appDelivery) instrument(reg *obs.Registry, host string) {
 	d.mu.Lock()

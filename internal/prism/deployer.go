@@ -36,6 +36,13 @@ type DeployerComponent struct {
 	// detector, when attached, feeds heartbeats into liveness tracking
 	// and lets a participant's death abort in-flight waves.
 	detector *FailureDetector
+	// store, when attached, durably checkpoints every two-phase
+	// transition so a restarted deployer resumes or cleanly aborts
+	// in-flight waves instead of replanning (see durable.go).
+	store *DeployerStore
+	// restoredIncs holds a checkpointed incarnation map recovered before
+	// any detector was attached; AttachDetector primes it in.
+	restoredIncs map[model.HostID]uint64
 
 	// stop aborts in-flight waves on Close so shutdown never deadlocks on
 	// doneCh waiters.
@@ -93,7 +100,12 @@ func (d *DeployerComponent) Close() {
 func (d *DeployerComponent) AttachDetector(fd *FailureDetector) {
 	d.mu.Lock()
 	d.detector = fd
+	incs := d.restoredIncs
+	d.restoredIncs = nil
 	d.mu.Unlock()
+	for h, inc := range incs {
+		fd.PrimeIncarnation(h, inc)
+	}
 	fd.Subscribe(func(tr Transition) {
 		d.arch.Obs().Counter(obs.Name("prism_detector_transitions_total",
 			"host", string(d.arch.Host()), "to", tr.To.String())).Inc()
@@ -377,7 +389,10 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		return res, nil
 	}
 
-	waveStart := time.Now()
+	// Wave duration reads the injected clock (AdminConfig.Clock), not
+	// time.Now directly: under traced drills this was the one
+	// nondeterministic metric in otherwise byte-identical runs.
+	waveStart := d.cfg.Clock()
 	wave := d.arch.Tracer().Start("wave")
 	wave.SetAttr("epoch", epoch).SetAttr("moves", res.Moved)
 	prep := wave.Child("prepare")
@@ -410,6 +425,21 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		parts = append(parts, p)
 	}
 	d.mu.Unlock()
+	// Epoch-open checkpoint: the wave's identity is durable before the
+	// first command goes out, so a crash from here on restarts into an
+	// epoch the recovery path knows how to abort or resume.
+	if err := d.ckptOpened(epoch, moves, parts); err != nil {
+		prep.SetAttr("outcome", "checkpoint_failed")
+		prep.End()
+		wave.SetAttr("outcome", "abort")
+		wave.End()
+		d.mu.Lock()
+		delete(d.epochs, epoch)
+		d.mu.Unlock()
+		d.waveMetrics(false, res.Moved, waveStart)
+		res.Degraded = true
+		return res, fmt.Errorf("enact epoch %d: open checkpoint failed (wave not started): %w", epoch, err)
+	}
 	// A wave that already includes a known-dead participant aborts up
 	// front instead of retrying into a corpse until the deadline.
 	for _, p := range parts {
@@ -438,7 +468,12 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		prep.SetAttr("outcome", "dispatch_failed")
 		prep.End()
 		outSp := wave.Child("outcome").SetAttr("decision", "rollback")
-		d.broadcastOutcome(epoch, st, false)
+		// Durable rule: even this single-shot rollback is persisted before
+		// any participant hears it; if the checkpoint fails, the restart
+		// path aborts the (still undecided) epoch instead.
+		if err := d.ckptDecision(epoch, false); err == nil {
+			d.broadcastOutcome(epoch, st, false)
+		}
 		outSp.End()
 		wave.SetAttr("outcome", "abort")
 		wave.End()
@@ -520,13 +555,47 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	if completed {
 		decision = "commit"
 	}
+	// Decision checkpoint (durable rule): the outcome is persisted before
+	// any participant hears it, so a restarted deployer can only ever
+	// re-announce the same decision. A checkpoint failure IS a crash at
+	// this transition — no outcome goes out, the error defers the epoch
+	// to the restart path, which aborts it (still undecided in the log).
+	if !closed {
+		if err := d.ckptDecision(epoch, completed); err != nil {
+			outSp := wave.Child("outcome").SetAttr("decision", "deferred")
+			outSp.End()
+			wave.SetAttr("outcome", "crash")
+			wave.End()
+			d.mu.Lock()
+			for h := range st.pendingHosts {
+				res.Incomplete = append(res.Incomplete, h)
+			}
+			res.Relayed = st.relayed
+			res.Received = st.received
+			delete(d.epochs, epoch)
+			d.mu.Unlock()
+			sortHostIDs(res.Incomplete)
+			res.Degraded = true
+			d.waveMetrics(false, res.Moved, waveStart)
+			return res, fmt.Errorf("enact epoch %d: decision checkpoint failed (%v); outcome deferred to restart", epoch, err)
+		}
+	}
 	outSp := wave.Child("outcome").SetAttr("decision", decision)
 	if closed {
 		// Shutting down: best-effort single-shot rollback so reachable
-		// participants clean up, but never wait on acks.
+		// participants clean up, but never wait on acks. Unpersisted by
+		// design — the epoch stays undecided in the log, and the restart
+		// path can only abort an undecided epoch, never contradict this.
 		d.broadcastOutcomeOnce(epoch, st, false)
 	} else {
 		d.broadcastOutcome(epoch, st, completed)
+		d.mu.Lock()
+		drained := len(st.ackPending) == 0
+		d.mu.Unlock()
+		if drained {
+			// Fully-acked checkpoint: nothing left for a restart to do.
+			d.ckptClosed(epoch)
+		}
 	}
 	outSp.End()
 
@@ -559,6 +628,11 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 			}
 		}
 	}
+	if !closed {
+		// Soft-state snapshot (relocation table, dedup windows,
+		// incarnations) rides behind every wave, best-effort.
+		d.ckptSnapshot()
+	}
 	if !completed {
 		switch {
 		case closed:
@@ -586,7 +660,7 @@ func (d *DeployerComponent) waveMetrics(committed bool, moved int, start time.Ti
 	reg.Counter(obs.Name("prism_wave_"+outcome+"_total", "host", host)).Inc()
 	reg.Counter(obs.Name("prism_wave_moves_total", "host", host)).Add(float64(moved))
 	reg.Histogram(obs.Name("prism_wave_duration_ms", "host", host), nil).
-		Observe(float64(time.Since(start).Milliseconds()))
+		Observe(float64(d.cfg.Clock().Sub(start).Milliseconds()))
 }
 
 // broadcastOutcome drives phase two: it tells every participant to commit

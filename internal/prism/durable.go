@@ -1,0 +1,503 @@
+package prism
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dif/internal/model"
+	"dif/internal/store"
+)
+
+// Durable record kinds in the deployer's write-ahead checkpoint log.
+// Exported so chaos drills can target a crash at a named two-phase
+// transition.
+const (
+	// RecEpochOpen marks a wave admitted to phase one: epoch number,
+	// moves, and participant set are durable before the first reconfig
+	// command is dispatched.
+	RecEpochOpen byte = 1
+	// RecEpochPrepared marks every destination's done report in: the
+	// wave may commit.
+	RecEpochPrepared byte = 2
+	// RecEpochDecided persists the commit/abort decision. The outcome is
+	// never broadcast before this record is durable, so a restart can
+	// only ever re-announce the same decision.
+	RecEpochDecided byte = 3
+	// RecEpochClosed marks the outcome fully acknowledged; the epoch
+	// needs nothing from a restart.
+	RecEpochClosed byte = 4
+	// RecSnapshot is the last-wins snapshot of the relocation table,
+	// dedup windows, and incarnation map.
+	RecSnapshot byte = 5
+)
+
+// compactAfter is how many closed epochs may accumulate in the log
+// before it is rewritten down to live state.
+const compactAfter = 64
+
+type epochOpenRec struct {
+	Epoch        int                     `json:"epoch"`
+	Moves        map[string]model.HostID `json:"moves"`
+	Participants []model.HostID          `json:"participants"`
+}
+
+type epochMarkRec struct {
+	Epoch int `json:"epoch"`
+}
+
+type epochDecidedRec struct {
+	Epoch  int  `json:"epoch"`
+	Commit bool `json:"commit"`
+}
+
+type snapshotRec struct {
+	// NextEpoch preserves epoch monotonicity across compactions that
+	// drop every numbered record.
+	NextEpoch    int                     `json:"nextEpoch,omitempty"`
+	Reloc        map[string]model.HostID `json:"reloc,omitempty"`
+	Dedup        []DedupSnapshot         `json:"dedup,omitempty"`
+	Incarnations map[model.HostID]uint64 `json:"incarnations,omitempty"`
+}
+
+// DurableWave is one epoch's reconstructed two-phase progress.
+type DurableWave struct {
+	Epoch        int
+	Moves        map[string]model.HostID
+	Participants []model.HostID
+	Prepared     bool
+	Decided      bool
+	Commit       bool
+}
+
+// DeployerStore is the deployer's durable checkpoint: a typed facade
+// over the write-ahead log in internal/store, plus an in-memory mirror
+// of the live state that replay rebuilds and compaction re-serializes.
+type DeployerStore struct {
+	mu   sync.Mutex
+	log  *store.Log
+	dead bool
+
+	nextEpoch int
+	waves     map[int]*DurableWave
+	snap      snapshotRec
+	closedN   int
+
+	// crashKind/onCrash are the kill -9 stand-in: after the next record
+	// of crashKind lands durably, the store dies and onCrash runs.
+	crashKind byte
+	onCrash   func()
+}
+
+// OpenDeployerStore opens (or creates) the checkpoint log in dir,
+// acquires its process lock, and replays it. A second live opener gets
+// store.ErrLocked; corruption is a hard error.
+func OpenDeployerStore(dir string) (*DeployerStore, error) {
+	log, recs, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeployerStore{log: log, nextEpoch: 1, waves: make(map[int]*DurableWave)}
+	for _, r := range recs {
+		if err := ds.applyLocked(r); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// applyLocked folds one record into the in-memory mirror. Decode is
+// strict: a record that does not parse or references an unknown epoch
+// mid-protocol is corruption.
+func (ds *DeployerStore) applyLocked(r store.Record) error {
+	bump := func(epoch int) {
+		if epoch >= ds.nextEpoch {
+			ds.nextEpoch = epoch + 1
+		}
+	}
+	switch r.Kind {
+	case RecEpochOpen:
+		var rec epochOpenRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad epoch-open record: %w", err)
+		}
+		ds.waves[rec.Epoch] = &DurableWave{
+			Epoch: rec.Epoch, Moves: rec.Moves, Participants: rec.Participants,
+		}
+		bump(rec.Epoch)
+	case RecEpochPrepared:
+		var rec epochMarkRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad epoch-prepared record: %w", err)
+		}
+		if wv := ds.waves[rec.Epoch]; wv != nil {
+			wv.Prepared = true
+		}
+		bump(rec.Epoch)
+	case RecEpochDecided:
+		var rec epochDecidedRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad epoch-decided record: %w", err)
+		}
+		if wv := ds.waves[rec.Epoch]; wv != nil {
+			wv.Decided = true
+			wv.Commit = rec.Commit
+		}
+		bump(rec.Epoch)
+	case RecEpochClosed:
+		var rec epochMarkRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad epoch-closed record: %w", err)
+		}
+		delete(ds.waves, rec.Epoch)
+		ds.closedN++
+		bump(rec.Epoch)
+	case RecSnapshot:
+		var rec snapshotRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad snapshot record: %w", err)
+		}
+		ds.snap = rec
+		if rec.NextEpoch > ds.nextEpoch {
+			ds.nextEpoch = rec.NextEpoch
+		}
+	default:
+		return fmt.Errorf("deployer store: unknown record kind %d", r.Kind)
+	}
+	return nil
+}
+
+// append marshals and durably writes one record, keeps the mirror
+// current, fires an armed crash hook, and compacts when enough closed
+// epochs have piled up.
+func (ds *DeployerStore) append(kind byte, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	if ds.dead {
+		ds.mu.Unlock()
+		return store.ErrClosed
+	}
+	if err := ds.log.Append(kind, data); err != nil {
+		ds.mu.Unlock()
+		return err
+	}
+	if err := ds.applyLocked(store.Record{Kind: kind, Data: data}); err != nil {
+		ds.mu.Unlock()
+		return err
+	}
+	var hook func()
+	if ds.crashKind != 0 && kind == ds.crashKind {
+		// The record IS durable — the crash happens strictly after the
+		// checkpoint, which is the transition the drills target.
+		ds.dead = true
+		ds.crashKind = 0
+		hook = ds.onCrash
+		ds.onCrash = nil
+		ds.log.MarkDead()
+	}
+	if hook == nil && ds.closedN >= compactAfter {
+		_ = ds.compactLocked()
+	}
+	ds.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return nil
+}
+
+// compactLocked rewrites the log down to live state: one snapshot record
+// (carrying the epoch high-water mark) plus the record chain of every
+// still-open wave. Caller holds ds.mu.
+func (ds *DeployerStore) compactLocked() error {
+	snap := ds.snap
+	snap.NextEpoch = ds.nextEpoch
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	recs := []store.Record{{Kind: RecSnapshot, Data: data}}
+	epochs := make([]int, 0, len(ds.waves))
+	for e := range ds.waves {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	for _, e := range epochs {
+		wv := ds.waves[e]
+		open, err := json.Marshal(epochOpenRec{Epoch: wv.Epoch, Moves: wv.Moves, Participants: wv.Participants})
+		if err != nil {
+			return err
+		}
+		recs = append(recs, store.Record{Kind: RecEpochOpen, Data: open})
+		if wv.Prepared {
+			mark, _ := json.Marshal(epochMarkRec{Epoch: wv.Epoch})
+			recs = append(recs, store.Record{Kind: RecEpochPrepared, Data: mark})
+		}
+		if wv.Decided {
+			dec, _ := json.Marshal(epochDecidedRec{Epoch: wv.Epoch, Commit: wv.Commit})
+			recs = append(recs, store.Record{Kind: RecEpochDecided, Data: dec})
+		}
+	}
+	if err := ds.log.Compact(recs); err != nil {
+		return err
+	}
+	ds.closedN = 0
+	ds.snap = snap
+	return nil
+}
+
+func (ds *DeployerStore) epochOpened(epoch int, moves map[string]model.HostID, participants []model.HostID) error {
+	sorted := append([]model.HostID(nil), participants...)
+	sortHostIDs(sorted)
+	return ds.append(RecEpochOpen, epochOpenRec{Epoch: epoch, Moves: moves, Participants: sorted})
+}
+
+func (ds *DeployerStore) epochPrepared(epoch int) error {
+	return ds.append(RecEpochPrepared, epochMarkRec{Epoch: epoch})
+}
+
+func (ds *DeployerStore) epochDecided(epoch int, commit bool) error {
+	return ds.append(RecEpochDecided, epochDecidedRec{Epoch: epoch, Commit: commit})
+}
+
+func (ds *DeployerStore) epochClosed(epoch int) error {
+	return ds.append(RecEpochClosed, epochMarkRec{Epoch: epoch})
+}
+
+func (ds *DeployerStore) saveSnapshot(snap snapshotRec) error {
+	ds.mu.Lock()
+	snap.NextEpoch = ds.nextEpoch
+	ds.mu.Unlock()
+	return ds.append(RecSnapshot, snap)
+}
+
+// HasState reports whether the log held any records when opened — the
+// restart-without-replan gate: a deployer with prior state resumes from
+// it instead of re-deriving an initial distribution.
+func (ds *DeployerStore) HasState() bool { return ds.log.Replayed() > 0 }
+
+// NextEpoch returns the epoch high-water mark (first unused number).
+func (ds *DeployerStore) NextEpoch() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.nextEpoch
+}
+
+// OpenWaves returns every epoch not yet closed, ascending.
+func (ds *DeployerStore) OpenWaves() []DurableWave {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make([]DurableWave, 0, len(ds.waves))
+	for _, wv := range ds.waves {
+		out = append(out, *wv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+func (ds *DeployerStore) snapshot() snapshotRec {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.snap
+}
+
+// CrashAfter arms the kill -9 stand-in used by torture tests and chaos
+// drills: immediately after the next record of the given kind lands
+// durably, the store marks itself dead — every later write fails with
+// store.ErrClosed — and fn runs (typically closing the deployer). The
+// checkpoint itself survives; only everything after it is lost, exactly
+// like a crash between the fsync and the next instruction.
+func (ds *DeployerStore) CrashAfter(kind byte, fn func()) {
+	ds.mu.Lock()
+	ds.crashKind = kind
+	ds.onCrash = fn
+	ds.mu.Unlock()
+}
+
+// Close releases the log and its process lock.
+func (ds *DeployerStore) Close() error {
+	ds.mu.Lock()
+	ds.dead = true
+	log := ds.log
+	ds.mu.Unlock()
+	return log.Close()
+}
+
+// AttachStore binds a durable checkpoint store to the deployer and
+// restores its soft state: the epoch high-water mark, the relocation
+// table, the dedup windows (stricter-wins merge into the bus connector),
+// and the incarnation map (primed into the detector now or when one is
+// attached). In-flight waves are NOT resolved here — call Resume once
+// the control plane is ready to carry the outcome broadcast.
+func (d *DeployerComponent) AttachStore(ds *DeployerStore) error {
+	d.mu.Lock()
+	d.store = ds
+	if ne := ds.NextEpoch(); ne > d.nextEpoch {
+		d.nextEpoch = ne
+	}
+	fd := d.detector
+	d.mu.Unlock()
+	snap := ds.snapshot()
+	if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+		for comp, host := range snap.Reloc {
+			dc.RecordRelocation(comp, host)
+		}
+		dc.RestoreDedup(snap.Dedup)
+	}
+	if fd != nil {
+		for h, inc := range snap.Incarnations {
+			fd.PrimeIncarnation(h, inc)
+		}
+	} else if len(snap.Incarnations) > 0 {
+		d.mu.Lock()
+		d.restoredIncs = snap.Incarnations
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// ResumedWave reports how Resume resolved one in-flight epoch.
+type ResumedWave struct {
+	Epoch int
+	// Committed is the outcome that was broadcast.
+	Committed bool
+	// Resumed is true when the decision was already durable before the
+	// crash (the broadcast picked up where it stopped); false when the
+	// epoch was undecided and therefore cleanly aborted.
+	Resumed bool
+}
+
+// Resume resolves every in-flight epoch found in the attached store —
+// the restart-without-replan path. A decided epoch re-broadcasts its
+// persisted outcome (participant admins apply outcomes idempotently and
+// always re-ack, so this is safe no matter how far the dead lifetime's
+// broadcast got); an undecided epoch durably records an abort and
+// broadcasts that. No epoch is ever re-planned or re-dispatched. Waves
+// whose outcome is fully acknowledged are closed in the log; stragglers
+// stay open for the next restart.
+func (d *DeployerComponent) Resume() ([]ResumedWave, error) {
+	d.mu.Lock()
+	ds := d.store
+	d.mu.Unlock()
+	if ds == nil {
+		return nil, nil
+	}
+	var out []ResumedWave
+	for _, wv := range ds.OpenWaves() {
+		rw := ResumedWave{Epoch: wv.Epoch, Resumed: wv.Decided, Committed: wv.Decided && wv.Commit}
+		if !wv.Decided {
+			// The durable rule holds here too: the abort is persisted
+			// before any participant hears it.
+			if err := ds.epochDecided(wv.Epoch, false); err != nil {
+				return out, fmt.Errorf("resume epoch %d: abort checkpoint: %w", wv.Epoch, err)
+			}
+		}
+		st := &epochState{participants: make(map[model.HostID]bool, len(wv.Participants))}
+		for _, h := range wv.Participants {
+			st.participants[h] = true
+		}
+		d.mu.Lock()
+		d.epochs[wv.Epoch] = st
+		d.mu.Unlock()
+		decision := "rollback"
+		if rw.Committed {
+			decision = "commit"
+		}
+		sp := d.arch.Tracer().Start("wave_resume")
+		sp.SetAttr("epoch", wv.Epoch).SetAttr("decision", decision).SetAttr("resumed", rw.Resumed)
+		d.broadcastOutcome(wv.Epoch, st, rw.Committed)
+		sp.End()
+		if rw.Committed {
+			if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+				for comp, dst := range wv.Moves {
+					dc.RecordRelocation(comp, dst)
+				}
+			}
+		}
+		d.mu.Lock()
+		drained := len(st.ackPending) == 0
+		delete(d.epochs, wv.Epoch)
+		d.mu.Unlock()
+		if drained {
+			_ = ds.epochClosed(wv.Epoch)
+		}
+		out = append(out, rw)
+	}
+	d.ckptSnapshot()
+	return out, nil
+}
+
+// RelocationView returns the coordinator's committed relocation table
+// (component → host), used to rebuild the deployment view after a
+// restart instead of replanning.
+func (d *DeployerComponent) RelocationView() map[string]model.HostID {
+	if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+		return dc.RelocationSnapshot()
+	}
+	return nil
+}
+
+// ckptOpened persists a wave's admission (no-op without a store).
+func (d *DeployerComponent) ckptOpened(epoch int, moves map[string]model.HostID, participants []model.HostID) error {
+	d.mu.Lock()
+	ds := d.store
+	d.mu.Unlock()
+	if ds == nil {
+		return nil
+	}
+	return ds.epochOpened(epoch, moves, participants)
+}
+
+// ckptDecision persists the all-prepared transition (commit waves only)
+// and then the decision itself. Enact treats a failure here as a crash:
+// the outcome must not be broadcast unless it is durable first.
+func (d *DeployerComponent) ckptDecision(epoch int, commit bool) error {
+	d.mu.Lock()
+	ds := d.store
+	d.mu.Unlock()
+	if ds == nil {
+		return nil
+	}
+	if commit {
+		if err := ds.epochPrepared(epoch); err != nil {
+			return err
+		}
+	}
+	return ds.epochDecided(epoch, commit)
+}
+
+// ckptClosed marks an epoch's outcome fully acknowledged (best-effort:
+// a failure only means a redundant re-broadcast after the next restart).
+func (d *DeployerComponent) ckptClosed(epoch int) {
+	d.mu.Lock()
+	ds := d.store
+	d.mu.Unlock()
+	if ds != nil {
+		_ = ds.epochClosed(epoch)
+	}
+}
+
+// ckptSnapshot persists the relocation table, dedup windows, and
+// incarnation map (best-effort, last-wins).
+func (d *DeployerComponent) ckptSnapshot() {
+	d.mu.Lock()
+	ds := d.store
+	fd := d.detector
+	d.mu.Unlock()
+	if ds == nil {
+		return
+	}
+	var snap snapshotRec
+	if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+		snap.Reloc = dc.RelocationSnapshot()
+		snap.Dedup = dc.SnapshotAllDedup()
+	}
+	if fd != nil {
+		snap.Incarnations = fd.Incarnations()
+	}
+	_ = ds.saveSnapshot(snap)
+}

@@ -456,6 +456,30 @@ func (fd *FailureDetector) Incarnation(host model.HostID) uint64 {
 	return fd.incs[host]
 }
 
+// Incarnations returns a copy of the full incarnation map — the
+// deployer's durable checkpoint of which lifetimes it has seen.
+func (fd *FailureDetector) Incarnations() map[model.HostID]uint64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	out := make(map[model.HostID]uint64, len(fd.incs))
+	for h, inc := range fd.incs {
+		out[h] = inc
+	}
+	return out
+}
+
+// PrimeIncarnation seeds the incarnation floor for a host without any
+// state transition: a restarted deployer restores its checkpointed map
+// here, so replayed frames from lifetimes that died before the crash
+// stay ignored.
+func (fd *FailureDetector) PrimeIncarnation(host model.HostID, inc uint64) {
+	fd.mu.Lock()
+	if inc > fd.incs[host] {
+		fd.incs[host] = inc
+	}
+	fd.mu.Unlock()
+}
+
 // DeadHosts returns every host currently declared dead, sorted.
 func (fd *FailureDetector) DeadHosts() []model.HostID {
 	fd.mu.Lock()

@@ -94,8 +94,13 @@ func (m *EvtFrequencyMonitor) Snapshot(reset bool) []InteractionSample {
 	return out
 }
 
-// SetClock overrides the monitor's time source (tests).
+// SetClock overrides the monitor's time source and restarts the window.
+// AttachMonitors plumbs AdminConfig.Clock through here so staleness
+// aging follows the injected drill clock; nil is ignored.
 func (m *EvtFrequencyMonitor) SetClock(now func() time.Time) {
+	if now == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.now = now

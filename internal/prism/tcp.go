@@ -67,6 +67,10 @@ type tcpConn struct {
 	bw         *bufio.Writer
 	timerSet   bool
 	flushAfter time.Duration
+	// closed (under mu) marks a connection released by Close, dropConn,
+	// or its readLoop's exit. A one-shot idle-flush timer that fires
+	// after that point must not touch the buffer or socket again.
+	closed bool
 }
 
 // flushLocked drains buffered frames to the socket. Caller holds c.mu.
@@ -170,6 +174,9 @@ func newConn(raw net.Conn, dialed bool, batchBytes int, batchFlush time.Duration
 func (t *TCPTransport) sendFrame(c *tcpConn, frame tcpFrame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("connection closed")
+	}
 	if err := c.enc.Encode(frame); err != nil {
 		return err
 	}
@@ -187,6 +194,13 @@ func (t *TCPTransport) sendFrame(c *tcpConn, frame tcpFrame) error {
 		time.AfterFunc(c.flushAfter, func() {
 			c.mu.Lock()
 			c.timerSet = false
+			if c.closed {
+				// Close/dropConn already flushed (or abandoned) this
+				// connection and may have released the socket; a late
+				// flush here would race with its reuse elsewhere.
+				c.mu.Unlock()
+				return
+			}
 			err := c.flushLocked()
 			c.mu.Unlock()
 			if err == nil {
@@ -328,6 +342,9 @@ func (t *TCPTransport) dropConn(to model.HostID, c *tcpConn) {
 		delete(t.conns, to)
 	}
 	t.mu.Unlock()
+	c.mu.Lock()
+	c.closed = true // disarm any pending idle-flush timer
+	c.mu.Unlock()
 	c.conn.Close()
 }
 
@@ -362,12 +379,19 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer func() {
 		t.mu.Lock()
 		delete(t.socks, conn)
+		var dead []*tcpConn
 		for h, c := range t.conns {
 			if c.conn == conn {
 				delete(t.conns, h)
+				dead = append(dead, c)
 			}
 		}
 		t.mu.Unlock()
+		for _, c := range dead {
+			c.mu.Lock()
+			c.closed = true // disarm any pending idle-flush timer
+			c.mu.Unlock()
+		}
 		conn.Close()
 	}()
 	dec := gob.NewDecoder(conn)
@@ -432,10 +456,13 @@ func (t *TCPTransport) Close() error {
 	t.mu.Unlock()
 
 	// Push out coalesced frames still sitting in write buffers before
-	// the sockets close under them.
+	// the sockets close under them, and mark each connection closed so a
+	// one-shot idle-flush timer armed earlier cannot fire into the
+	// released socket afterwards.
 	for _, c := range conns {
 		c.mu.Lock()
 		c.flushLocked()
+		c.closed = true
 		c.mu.Unlock()
 	}
 

@@ -369,6 +369,48 @@ func TestTCPTransportReceiverRegisteredAfterFrames(t *testing.T) {
 	}
 }
 
+func TestTCPTransportCloseIdleFlushRace(t *testing.T) {
+	// With coalescing on, every Send that strands bytes in the write
+	// buffer arms a one-shot idle-flush timer. Close flushes and releases
+	// the sockets itself; a timer firing after that point must observe
+	// the closed flag and back off instead of flushing into a dead
+	// socket. Run under -race: the bug is a flush racing with Close's own
+	// flush/teardown of the same bufio.Writer.
+	for round := 0; round < 20; round++ {
+		a, b := newTCPPair(t)
+		a.SetBatching(64<<10, 50*time.Microsecond)
+		b.SetBatching(64<<10, 50*time.Microsecond)
+		sink := &frameSink{}
+		b.SetReceiver(sink.recv)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					// Errors are fine once Close lands; the invariant under
+					// test is no data race and no deadlock.
+					_ = a.Send("hostB", []byte("burst"), 1)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Close()
+		}()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Send/Close with idle-flush timers deadlocked")
+		}
+		b.Close()
+	}
+}
+
 func TestTCPTransportCloseWithIdleInboundConn(t *testing.T) {
 	a, err := NewTCPTransport("hostA", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// acquireLock on platforms without flock falls back to an exclusive
+// create; a leftover lock file from a crashed owner must be removed by
+// the operator.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, ErrLocked
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	path := f.Name()
+	f.Close()
+	_ = os.Remove(path)
+}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openOrDie(t *testing.T, dir string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := openOrDie(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Kind: 1, Data: []byte("epoch open")},
+		{Kind: 2, Data: nil},
+		{Kind: 3, Data: []byte{0, 1, 2, 255}},
+	}
+	for _, r := range want {
+		if err := l.Append(r.Kind, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, recs = openOrDie(t, dir)
+	defer l.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Kind != want[i].Kind || !bytes.Equal(r.Data, want[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestTornTailRecovered models kill -9 mid-append: the file ends in a
+// partial record. Reopen must recover every complete record, drop the
+// torn tail, and leave the log appendable on a clean boundary.
+func TestTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	full := encodeRecord(7, []byte("survives"))
+	torn := encodeRecord(8, []byte("torn away"))
+	for cut := 1; cut < len(torn); cut++ {
+		path := filepath.Join(dir, logName)
+		if err := os.WriteFile(path, append(append([]byte{}, full...), torn[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].Kind != 7 || string(recs[0].Data) != "survives" {
+			t.Fatalf("cut %d: replayed %+v", cut, recs)
+		}
+		// The torn bytes are gone and the next append lands cleanly.
+		if err := l.Append(9, []byte("after crash")); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		l, recs = openOrDie(t, dir)
+		if len(recs) != 2 || recs[1].Kind != 9 {
+			t.Fatalf("cut %d: post-recovery replay %+v", cut, recs)
+		}
+		l.Close()
+		os.Remove(path)
+	}
+}
+
+// TestCorruptMidLogIsHardError flips one payload byte in the first of
+// two records: the log must refuse to open rather than skip state.
+func TestCorruptMidLogIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openOrDie(t, dir)
+	if err := l.Append(1, []byte("first record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, []byte("second record")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen] ^= 0xff // first payload byte of record one
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("open of corrupt log: err = %v, want CorruptError", err)
+	}
+	if ce.Offset != 0 {
+		t.Fatalf("corrupt offset = %d, want 0", ce.Offset)
+	}
+}
+
+func TestUnknownVersionIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	rec := encodeRecord(1, []byte("x"))
+	rec[0] = 99 // bogus version; CRC check is after the version check
+	if err := os.WriteFile(filepath.Join(dir, logName), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CorruptError", err)
+	}
+}
+
+// TestDoubleOpenRejected pins the process lock: while one handle is
+// live, a second Open of the same directory fails with ErrLocked, and
+// closing the first admits the second.
+func TestDoubleOpenRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openOrDie(t, dir)
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open err = %v, want ErrLocked", err)
+	}
+	l.Close()
+	l2, _ := openOrDie(t, dir)
+	l2.Close()
+}
+
+func TestCompactReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openOrDie(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := l.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := []Record{{Kind: 5, Data: []byte("snapshot")}}
+	if err := l.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appended() != 0 {
+		t.Fatalf("Appended after compact = %d", l.Appended())
+	}
+	// The log stays appendable on the new file.
+	if err := l.Append(6, []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, recs := openOrDie(t, dir)
+	defer l.Close()
+	if len(recs) != 2 || recs[0].Kind != 5 || recs[1].Kind != 6 {
+		t.Fatalf("post-compact replay = %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, logName+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("compaction temp file left behind")
+	}
+}
+
+func TestMarkDeadFailsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openOrDie(t, dir)
+	defer l.Close()
+	if err := l.Append(1, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	l.MarkDead()
+	if err := l.Append(2, []byte("dead")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after MarkDead err = %v, want ErrClosed", err)
+	}
+	if err := l.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after MarkDead err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEmptyPayloadAndLargeRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openOrDie(t, dir)
+	big := bytes.Repeat([]byte{0xab}, 1<<16)
+	if err := l.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, big); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, recs := openOrDie(t, dir)
+	defer l.Close()
+	if len(recs) != 2 || len(recs[0].Data) != 0 || !bytes.Equal(recs[1].Data, big) {
+		t.Fatalf("replay mismatch: %d records", len(recs))
+	}
+}
