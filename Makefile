@@ -27,9 +27,11 @@ test-race:
 race: test-race
 
 # soak: the seeded chaos drill at full width — SOAK_SEEDS seeds, each
-# composing crashes, 20% drop, 10% dup, partitions, and mid-wave
-# migrations under the race detector, with every seed run twice and the
-# invariant reports compared byte-for-byte.
+# composing crashes, 20% drop, 10% dup, partitions, mid-wave
+# migrations, and deployer-leadership churn (leader-kill takeovers and
+# lease-pause fencing of a revived old leader) under the race detector,
+# with every seed run twice and the invariant reports compared
+# byte-for-byte.
 SOAK_SEEDS ?= 10
 soak:
 	$(GO) test -race -count=1 -timeout 20m -run TestChaosSoak -v ./internal/chaos/ -args -chaos.seeds=$(SOAK_SEEDS)

@@ -39,6 +39,7 @@ type agentConfig struct {
 	listen     string
 	masterHost model.HostID
 	masterAddr string
+	deployers  map[string]string
 	tick       time.Duration
 	common     *cliflags.Common
 	reg        *obs.Registry
@@ -50,6 +51,7 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	masterHost := flag.String("master-host", "master", "the deployer's host name")
 	masterAddr := flag.String("master", "", "the deployer's TCP address")
+	deployers := flag.String("deployers", "", "additional deployers to connect to (comma-separated host=addr) — standbys that must reach this agent to campaign for leadership")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	tick := flag.Duration("tick", 100*time.Millisecond, "application workload tick interval")
 	incarnation := flag.Uint64("incarnation", 0, "starting incarnation number for this host")
@@ -60,6 +62,15 @@ func run() error {
 	flag.Parse()
 	if *host == "" || *masterAddr == "" {
 		return fmt.Errorf("-host and -master are required")
+	}
+	deployerAddrs, err := cliflags.ParsePeerAddrs(*deployers)
+	if err != nil {
+		return err
+	}
+	for h, addr := range deployerAddrs {
+		if addr == "" {
+			return fmt.Errorf("-deployers entry %s needs a dial address (host=addr)", h)
+		}
 	}
 	reg, tracer, obsShutdown, err := common.Observability()
 	if err != nil {
@@ -72,6 +83,7 @@ func run() error {
 		listen:     *listen,
 		masterHost: model.HostID(*masterHost),
 		masterAddr: *masterAddr,
+		deployers:  deployerAddrs,
 		tick:       *tick,
 		common:     common,
 		reg:        reg,
@@ -150,6 +162,32 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 	// Introduce ourselves so the deployer sees this host as a peer.
 	if err := tr.Hello(cfg.masterHost); err != nil {
 		return fmt.Errorf("join %s: %w", cfg.masterAddr, err)
+	}
+	// Standby deployers are joined too, but best-effort in the
+	// background: a standby must reach this agent to request a lease,
+	// yet its absence must not keep the agent from its primary.
+	stopDial := make(chan struct{})
+	defer close(stopDial)
+	for h, addr := range cfg.deployers {
+		dh := model.HostID(h)
+		if dh == cfg.masterHost || dh == cfg.host {
+			continue
+		}
+		tr.AddPeer(dh, addr)
+		go func(peer model.HostID) {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				if tr.Hello(peer) == nil {
+					return
+				}
+				select {
+				case <-t.C:
+				case <-stopDial:
+					return
+				}
+			}
+		}(dh)
 	}
 	fmt.Printf("agent %s joined %s (%s) incarnation %d; running %v\n",
 		cfg.host, cfg.masterHost, cfg.masterAddr, incarnation, duration)

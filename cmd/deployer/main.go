@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,13 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, prism.ErrNotLeader) {
+			// Fencing did its job: every control path refuses a stale
+			// term. The losing process exits distinctly so supervisors
+			// can relaunch it as a shadow instead of flapping.
+			fmt.Fprintln(os.Stderr, "deployer: deposed — a peer deployer leads at a newer term; restart this process with -standby to shadow it")
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "deployer:", err)
 		os.Exit(1)
 	}
@@ -52,9 +60,20 @@ func run() error {
 	deadAfter := flag.Duration("dead-after", 5*time.Second, "lease policy: silence before a host is declared dead")
 	common := cliflags.Register(flag.CommandLine)
 	durable := cliflags.RegisterDurable(flag.CommandLine)
+	ha := cliflags.RegisterHA(flag.CommandLine)
 	flag.Parse()
 	if *archFile == "" || *host == "" {
 		return fmt.Errorf("-arch and -host are required")
+	}
+	if ha.Standby && ha.Peers == "" {
+		return fmt.Errorf("-standby needs -peers (a standby must know whose checkpoint stream to ingest)")
+	}
+	if ha.Peers != "" && durable.StateDir == "" {
+		return fmt.Errorf("-peers needs -state-dir (each deployer in a cohort applies the replicated checkpoint stream to its own local log)")
+	}
+	peerAddrs, err := ha.PeerAddrs()
+	if err != nil {
+		return err
 	}
 	reg, tracer, obsShutdown, err := common.Observability()
 	if err != nil {
@@ -78,6 +97,21 @@ func run() error {
 	if _, ok := sys.Hosts[master]; !ok {
 		return fmt.Errorf("host %s not in architecture", master)
 	}
+	peers := make([]model.HostID, 0, len(peerAddrs))
+	for p := range peerAddrs {
+		ph := model.HostID(p)
+		if ph == master {
+			continue // tolerate a shared -peers list naming ourselves
+		}
+		if _, ok := sys.Hosts[ph]; !ok {
+			return fmt.Errorf("-peers host %s not in architecture", ph)
+		}
+		peers = append(peers, ph)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	if ha.Peers != "" && len(peers) == 0 {
+		return fmt.Errorf("-peers names no deployer other than %s", master)
+	}
 
 	tr, err := prism.NewTCPTransport(master, *listen)
 	if err != nil {
@@ -94,6 +128,17 @@ func run() error {
 		busTr = prism.NewFaultTransport(tr, common.FaultConfig(reg))
 	}
 	defer busTr.Close()
+	// Dial the peer deployers that published an address; bare -peers
+	// entries dial us. Connections are bidirectional once either side's
+	// Hello lands, and boot order is free, so keep knocking until one does.
+	stopDial := make(chan struct{})
+	defer close(stopDial)
+	for _, p := range peers {
+		if addr := peerAddrs[string(p)]; addr != "" {
+			tr.AddPeer(p, addr)
+			go helloLoop(tr, p, stopDial)
+		}
+	}
 	arch := prism.NewArchitecture(master, nil)
 	arch.SetObservability(reg, tracer)
 	arch.Scaffold().Start(4)
@@ -133,6 +178,27 @@ func run() error {
 		defer ds.Close()
 		resuming = ds.HasState()
 		if err := dep.AttachStore(ds); err != nil {
+			return err
+		}
+	}
+	// Deployer high availability: with -peers this process is one of a
+	// deployer cohort. Exactly one leads at a time, elected by an
+	// agent-quorum lease whose monotonic fencing term is stamped on every
+	// control frame; the leader streams its checkpoint log to the peers,
+	// and a standby that wins a later term resumes the replicated waves
+	// under their original epoch numbers instead of replanning.
+	var lead *prism.Leadership
+	leaseTTL := ha.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = prism.DefaultLeaseTTL
+	}
+	if len(peers) > 0 {
+		lead, err = dep.AttachLeadership(prism.LeaderConfig{
+			Agents:   sys.HostIDs(),
+			Peers:    peers,
+			LeaseTTL: leaseTTL,
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -191,9 +257,65 @@ func run() error {
 		return err
 	}
 	fmt.Println("all agents joined")
+
+	// Leadership settles before anything else runs. A solo deployer leads
+	// implicitly; with -peers the active campaigns now, and a -standby
+	// blocks here — ingesting the leader's checkpoint stream — until its
+	// leader watch fires and it wins a later fencing term.
+	tookOver := false
+	var failoverWaves []prism.ResumedWave
+	if lead != nil {
+		if ha.Standby {
+			if common.Heartbeat > 0 {
+				// A standby is a slave from the leader's viewpoint:
+				// announce liveness so the active deployer does not
+				// re-home this host's components while it shadows.
+				admin.StartHeartbeats(common.Heartbeat)
+			}
+			fmt.Printf("standby %s: shadowing the leader's checkpoint stream (lease TTL %v)\n",
+				master, leaseTTL)
+			failoverWaves, err = standBy(lead, leaseTTL)
+			if err != nil {
+				return err
+			}
+			tookOver, resuming = true, true
+			fmt.Printf("standby %s took over at term %d\n", master, lead.Term())
+		} else {
+			won, err := lead.Campaign()
+			if err != nil {
+				return err
+			}
+			if !won {
+				return fmt.Errorf("lost the leadership campaign at term %d: %w", lead.Term(), prism.ErrNotLeader)
+			}
+			fmt.Printf("leading at term %d (lease TTL %v, %d peer deployers)\n",
+				lead.Term(), leaseTTL, len(peers))
+		}
+		// Keep the lease renewed and the peers' logs (and leader watches)
+		// fed while we lead; a deposed deployer's ticks are no-ops.
+		stopLease := make(chan struct{})
+		defer close(stopLease)
+		go func() {
+			t := time.NewTicker(leaseTick(leaseTTL))
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if lead.IsLeader() {
+						lead.Renew()
+						lead.ReplicationTick()
+					}
+				case <-stopLease:
+					return
+				}
+			}
+		}()
+	}
+
 	if fd != nil {
+		now := time.Now()
 		for _, h := range slaves {
-			fd.Watch(h, time.Now())
+			fd.Watch(h, now)
 		}
 		// Detection must not be coupled to the monitoring cadence: a host
 		// that crashes and resurrects between cycles still has to pass
@@ -237,10 +359,15 @@ func run() error {
 		// (undecided ones), never re-planned. The deployment view is the
 		// described deployment overridden by the committed relocations from
 		// the log — the slaves' components are exactly where the dead
-		// lifetime left them, so no initial distribution runs.
-		resumed, err := dep.Resume()
-		if err != nil {
-			return fmt.Errorf("resume from %s: %w", durable.StateDir, err)
+		// lifetime left them, so no initial distribution runs. A standby
+		// that took over already resumed inside Failover, from the log the
+		// replication stream built.
+		resumed := failoverWaves
+		if !tookOver {
+			resumed, err = dep.Resume()
+			if err != nil {
+				return fmt.Errorf("resume from %s: %w", durable.StateDir, err)
+			}
 		}
 		for _, rw := range resumed {
 			outcome := "aborted"
@@ -265,8 +392,12 @@ func run() error {
 				}
 			}
 		}
-		fmt.Printf("restarted from %s: %d waves resolved, next epoch %d\n",
-			durable.StateDir, len(resumed), ds.NextEpoch())
+		src := fmt.Sprintf("restarted from %s", durable.StateDir)
+		if tookOver {
+			src = fmt.Sprintf("took over at term %d", lead.Term())
+		}
+		fmt.Printf("%s: %d waves resolved, next epoch %d\n",
+			src, len(resumed), ds.NextEpoch())
 	} else {
 		// Instantiate every application component locally, then distribute
 		// them to their described hosts through the real migration protocol.
@@ -348,7 +479,13 @@ func run() error {
 				}
 				if !plan.Empty() {
 					if _, err := en.Enact(plan, 60*time.Second); err != nil {
-						return fmt.Errorf("recovery enact after %s died: %w", h, err)
+						if errors.Is(err, prism.ErrNotLeader) {
+							return fmt.Errorf("recovery enact after %s died: %w", h, err)
+						}
+						// Another host died under the recovery wave; its
+						// death latches too and the next cycle recovers both.
+						fmt.Printf("recovery after %s rolled back (%v); retrying next cycle\n", h, err)
+						continue
 					}
 				}
 				view = dec.Result.Deployment.Clone()
@@ -407,7 +544,15 @@ func run() error {
 		}
 		enRep, err := en.Enact(plan, 60*time.Second)
 		if err != nil {
-			return fmt.Errorf("cycle %d enact: %w", cycle, err)
+			// A participant dying mid-wave rolls the wave back cleanly;
+			// with liveness tracking on that is expected churn — the death
+			// latches and the next cycle replans around it. Losing the
+			// leadership lease, by contrast, is terminal here.
+			if fd == nil || errors.Is(err, prism.ErrNotLeader) {
+				return fmt.Errorf("cycle %d enact: %w", cycle, err)
+			}
+			fmt.Printf("cycle %d: wave rolled back (%v); replanning next cycle\n", cycle, err)
+			continue
 		}
 		view = dec.Result.Deployment.Clone()
 		status := ""
@@ -419,6 +564,67 @@ func run() error {
 	}
 	fmt.Printf("final deployment: %v\n", view)
 	return nil
+}
+
+// leaseTick paces lease renewal, replication keepalives, and the
+// standby watch: several rounds per TTL so one lost frame cannot lapse
+// a healthy leader's lease.
+func leaseTick(ttl time.Duration) time.Duration {
+	if tick := ttl / 3; tick > 0 {
+		return tick
+	}
+	return 100 * time.Millisecond
+}
+
+// helloLoop knocks on a peer deployer until the connection lands (boot
+// order between peers is free); once either side's Hello succeeds the
+// link carries frames both ways.
+func helloLoop(tr *prism.TCPTransport, peer model.HostID, stop <-chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		if tr.Hello(peer) == nil {
+			return
+		}
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// standBy blocks until this deployer wins a leadership term: it watches
+// the leader's replication keepalives, campaigns once the leader has
+// been silent past the watch thresholds, and goes back to shadowing
+// when another standby wins the race (or the old leader resurfaces at a
+// higher term). Failover resumes the replicated waves — decided epochs
+// driven to their persisted outcome, undecided ones aborted, none
+// replanned or renumbered.
+func standBy(lead *prism.Leadership, ttl time.Duration) ([]prism.ResumedWave, error) {
+	t := time.NewTicker(leaseTick(ttl))
+	defer t.Stop()
+	for range t.C {
+		if !lead.LeaderSuspect(time.Now()) {
+			continue
+		}
+		fmt.Printf("leader %s silent past the watch threshold: campaigning\n", lead.Leader())
+		waves, won, err := lead.Failover()
+		if errors.Is(err, prism.ErrNoQuorum) {
+			// Not enough live agents to elect anyone right now — the old
+			// lease is equally unrenewable, so nobody leads. Keep
+			// shadowing and retry when the watch next fires.
+			fmt.Printf("campaign at term %d failed (%v); still shadowing\n", lead.Term(), err)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if won {
+			return waves, nil
+		}
+	}
+	return nil, nil
 }
 
 func waitForPeers(tr *prism.TCPTransport, want []model.HostID, timeout time.Duration) error {

@@ -84,16 +84,16 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					fail("illegal endpoints")
 				}
 				if op.Kind == OpAbortMigrate {
-					if op.B == st.master {
-						fail("abort wave would kill the coordinator")
+					if st.deployerHost(op.B) {
+						fail("abort wave would kill a deployer host")
 					}
 					st.crash(op.B)
 				} else {
 					st.placement[op.Comp] = op.B
 				}
 			case OpCrash:
-				if op.A == st.master {
-					fail("crashed the master")
+				if st.deployerHost(op.A) {
+					fail("crashed a deployer host")
 				}
 				if !st.up[op.A] {
 					fail("crashed a down host")
@@ -124,6 +124,9 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 				if len(st.parts) > 0 {
 					fail("deployer-crash wave during a partition")
 				}
+				if !st.quorumUp() {
+					fail("deployer-crash without an agent quorum to re-campaign")
+				}
 				if st.placement[op.Comp] != op.A {
 					fail("stale source in op")
 				}
@@ -139,7 +142,17 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					st.placement[op.Comp] = op.B
 				}
 			case OpDeployerRestart:
-				// Always legal: the deployer process can bounce any time.
+				if !st.quorumUp() {
+					fail("deployer restart without an agent quorum to re-campaign")
+				}
+			case OpLeaderKill, OpLeasePause:
+				if !st.quorumUp() {
+					fail("leadership change without an agent quorum")
+				}
+				if op.A != st.leader || op.B != st.otherDeployer() {
+					fail("leadership op endpoints drift from the mirror's leader")
+				}
+				st.leader = op.B
 			}
 		}
 		if len(st.sortedParts()) != 0 {

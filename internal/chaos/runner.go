@@ -79,36 +79,65 @@ func Run(cfg Config) (*Result, error) {
 		return NewProbe(id, ledger)
 	})
 
-	// Every scenario runs the deployer on a durable checkpoint log: normal
-	// waves exercise the checkpoint write path, and the deployer-crash and
-	// deployer-restart ops kill and resurrect the coordinator from it.
+	// Every scenario runs a highly available deployer tier: h1 and h2
+	// both carry a deployer on its own durable checkpoint log, the leader
+	// streams every checkpoint to the standby, and the leadership ops
+	// (leader-kill, lease-pause) move the lease between them. Normal
+	// waves exercise the checkpoint write path; the deployer-crash and
+	// deployer-restart ops kill and resurrect the current leader from it.
 	stateDir, err := os.MkdirTemp("", "chaos-deployer-state-*")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(stateDir)
-	store, err := prism.OpenDeployerStore(stateDir)
-	if err != nil {
-		return nil, err
+	dirs := map[model.HostID]string{
+		hosts[0]: stateDir + "/h1",
+		hosts[1]: stateDir + "/h2",
 	}
-	if err := w.Deployer.AttachStore(store); err != nil {
-		store.Close()
-		return nil, err
+	for _, d := range dirs {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
 	}
-
 	r := &runner{
 		cfg:       cfg,
 		w:         w,
 		ledger:    ledger,
 		master:    hosts[0],
+		leader:    hosts[0],
 		hosts:     hosts,
 		probes:    probeIDs(cfg.Probes),
 		placement: initialPlacement(hosts, probeIDs(cfg.Probes)),
 		restarts:  make(map[model.HostID]int),
-		stateDir:  stateDir,
-		store:     store,
+		dirs:      dirs,
 	}
-	defer func() { r.store.Close() }()
+	ha, err := w.EnableHA(framework.HAConfig{
+		Standbys:  []model.HostID{hosts[1]},
+		StateDirs: dirs,
+		Lease: prism.LeaderConfig{
+			Agents:              hosts,
+			LeaseTTL:            chaosLeaseTTL,
+			CampaignTimeout:     chaosCampaignTimeout,
+			RebroadcastInterval: 15 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.ha = ha
+	defer ha.Close()
+	if err := r.drive(func() error {
+		won, err := ha.Leads[hosts[0]].Campaign()
+		if err != nil {
+			return err
+		}
+		if !won {
+			return fmt.Errorf("initial campaign on %s lost", hosts[0])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for _, p := range r.probes {
 		if err := r.addProbe(p, r.placement[p]); err != nil {
 			return nil, err
@@ -138,6 +167,9 @@ type runner struct {
 	ledger *Ledger
 
 	master model.HostID
+	// leader is the deployer host currently holding the lease; the
+	// generator's mirror tracks it in lockstep.
+	leader model.HostID
 	hosts  []model.HostID
 	probes []string
 	// placement mirrors where each probe should live; invariant checks
@@ -145,14 +177,94 @@ type runner struct {
 	placement map[string]model.HostID
 	restarts  map[model.HostID]int
 
-	// stateDir/store are the deployer's durable checkpoint log; store is
-	// swapped for a fresh handle on every deployer restart.
-	stateDir string
-	store    *prism.DeployerStore
+	// ha is the two-deployer control plane; dirs holds each deployer
+	// host's checkpoint directory (handles in ha are swapped on every
+	// deployer process restart).
+	ha   *framework.HACluster
+	dirs map[model.HostID]string
 
 	eventSeq  int
 	waveLines []string
 	epochs    []int
+}
+
+// Leadership tuning for the soak: a short TTL keeps usurp-style
+// campaigns fast (nothing in the soak renews a lease), while the
+// generous campaign timeout absorbs retry storms under 20% drop.
+const (
+	chaosLeaseTTL        = 200 * time.Millisecond
+	chaosCampaignTimeout = 30 * time.Second
+)
+
+// leaseFor rebuilds the leadership config for a deployer being
+// re-attached on h after a process restart (EnableHA computes the same
+// shape for the initial pair).
+func (r *runner) leaseFor(h model.HostID) prism.LeaderConfig {
+	lc := prism.LeaderConfig{
+		Agents:              r.hosts,
+		LeaseTTL:            chaosLeaseTTL,
+		CampaignTimeout:     chaosCampaignTimeout,
+		RebroadcastInterval: 15 * time.Millisecond,
+	}
+	for _, p := range []model.HostID{r.hosts[0], r.hosts[1]} {
+		if p != h {
+			lc.Peers = append(lc.Peers, p)
+		}
+	}
+	return lc
+}
+
+// otherDeployer is the deployer host not currently leading.
+func (r *runner) otherDeployer() model.HostID {
+	if r.leader == r.hosts[0] {
+		return r.hosts[1]
+	}
+	return r.hosts[0]
+}
+
+// drive runs fn on its own goroutine while keeping delivery ticks and
+// bandwidth-accurate virtual time moving — control-plane operations
+// (campaigns, resumes) need the fabric serviced to make progress.
+func (r *runner) drive(fn func() error) error {
+	ch := make(chan error, 1)
+	go func() { ch <- fn() }()
+	for {
+		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
+		select {
+		case err := <-ch:
+			return err
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// driveUntil services the world (and an optional per-iteration pump,
+// e.g. a replication tick) until cond holds or the settle timeout runs
+// out.
+func (r *runner) driveUntil(desc string, pump func(), cond func() bool) error {
+	deadline := time.Now().Add(r.cfg.SettleTimeout)
+	for !cond() {
+		if pump != nil {
+			pump()
+		}
+		r.w.DeliveryTicks()
+		r.w.Fabric.DrainBandwidth(time.Millisecond)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: not reached within %v", desc, r.cfg.SettleTimeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// syncStandby pumps the leader's replication until peer has
+// acknowledged its entire log.
+func (r *runner) syncStandby(leader, peer model.HostID) error {
+	le := r.ha.Leads[leader]
+	return r.driveUntil(fmt.Sprintf("standby %s replication sync", peer),
+		le.ReplicationTick, func() bool { return le.Synced(peer) })
 }
 
 func (r *runner) addProbe(id string, host model.HostID) error {
@@ -221,6 +333,10 @@ func (r *runner) exec(op Op) error {
 		return r.deployerWaveCrash(op)
 	case OpDeployerRestart:
 		return r.deployerRestart()
+	case OpLeaderKill:
+		return r.leaderKill(op)
+	case OpLeasePause:
+		return r.leasePause(op)
 	}
 	return nil
 }
@@ -274,7 +390,7 @@ func (r *runner) migrate(op Op, abort bool) error {
 		err error
 	}
 	ch := make(chan waveRes, 1)
-	dep := r.w.Deployer
+	dep := r.ha.Deps[r.leader]
 	go func() {
 		res, err := dep.Enact(map[string]model.HostID{op.Comp: op.B}, current, r.cfg.WaveTimeout)
 		ch <- waveRes{res, err}
@@ -327,8 +443,8 @@ var crashKinds = [3]byte{prism.RecEpochOpen, prism.RecEpochPrepared, prism.RecEp
 // resumes its persisted commit; an open or prepared crash cleanly aborts.
 // Mid-wave traffic at the moving component must survive either way.
 func (r *runner) deployerWaveCrash(op Op) error {
-	dep := r.w.Deployer
-	r.store.CrashAfter(crashKinds[op.Phase], func() { dep.Close() })
+	dep := r.ha.Deps[r.leader]
+	r.ha.Stores[r.leader].CrashAfter(crashKinds[op.Phase], func() { dep.Close() })
 
 	current := make(map[string]model.HostID, len(r.placement))
 	for p, h := range r.placement {
@@ -424,45 +540,178 @@ func (r *runner) deployerRestart() error {
 	return nil
 }
 
-// reopenDeployer is the deployer process restart: release the checkpoint
-// log, swap a fresh deployer component onto the master, replay the log,
-// and resume in-flight waves while the tick loop keeps delivery and the
-// fabric moving under the resume broadcast.
+// reopenDeployer is the deployer process restart on the current leader
+// host: release the checkpoint log, swap a fresh deployer component in,
+// re-attach the log and the leadership, re-campaign (the agents' grant
+// rule hands the incumbent holder its own lease back at the next term
+// without waiting out the TTL), and resume in-flight waves while the
+// tick loop keeps delivery and the fabric moving under the broadcasts.
 func (r *runner) reopenDeployer() ([]prism.ResumedWave, error) {
-	if err := r.store.Close(); err != nil {
+	h := r.leader
+	if err := r.ha.Stores[h].Close(); err != nil {
 		return nil, err
 	}
-	dep, err := r.w.RestartDeployer()
+	dep, err := r.w.RestartDeployerOn(h)
 	if err != nil {
 		return nil, err
 	}
-	store, err := prism.OpenDeployerStore(r.stateDir)
+	store, err := prism.OpenDeployerStore(r.dirs[h])
 	if err != nil {
 		return nil, err
 	}
-	r.store = store
 	if err := dep.AttachStore(store); err != nil {
 		return nil, err
 	}
-	type resumeRes struct {
-		waves []prism.ResumedWave
-		err   error
+	le, err := dep.AttachLeadership(r.leaseFor(h))
+	if err != nil {
+		return nil, err
 	}
-	ch := make(chan resumeRes, 1)
-	go func() {
-		waves, err := dep.Resume()
-		ch <- resumeRes{waves, err}
-	}()
-	for {
-		r.w.DeliveryTicks()
-		r.w.Fabric.DrainBandwidth(time.Millisecond)
-		select {
-		case rr := <-ch:
-			return rr.waves, rr.err
-		default:
-			time.Sleep(time.Millisecond)
+	r.ha.Deps[h], r.ha.Stores[h], r.ha.Leads[h] = dep, store, le
+	var waves []prism.ResumedWave
+	err = r.drive(func() error {
+		won, err := le.Campaign()
+		if err != nil {
+			return err
+		}
+		if !won {
+			return fmt.Errorf("restarted deployer on %s lost its re-campaign", h)
+		}
+		waves, err = dep.Resume()
+		return err
+	})
+	return waves, err
+}
+
+// leaderKill fail-stops the leader deployer's process. The warm standby
+// fails over — campaigns at the next term and resumes from its own
+// replicated log — and the old leader is revived as the new standby and
+// resynced. Placement-neutral: nothing is in flight between ops, so the
+// resumed waves may only re-announce already-decided outcomes.
+func (r *runner) leaderKill(op Op) error {
+	old, next := r.leader, r.otherDeployer()
+	if op.A != old || op.B != next {
+		return fmt.Errorf("leadership mirror drift: op says %s->%s, live leader is %s", op.A, op.B, old)
+	}
+	// Quiesce: the standby holds every checkpoint before the leader dies.
+	if err := r.syncStandby(old, next); err != nil {
+		return err
+	}
+	r.ha.Deps[old].Close()
+	if err := r.ha.Stores[old].Close(); err != nil {
+		return err
+	}
+	var waves []prism.ResumedWave
+	if err := r.drive(func() error {
+		var won bool
+		var err error
+		waves, won, err = r.ha.Leads[next].Failover()
+		if err != nil {
+			return err
+		}
+		if !won {
+			return fmt.Errorf("standby %s lost the failover campaign", next)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, rw := range waves {
+		if !rw.Resumed {
+			return fmt.Errorf("failover to %s aborted undecided epoch %d", next, rw.Epoch)
 		}
 	}
+	r.leader = next
+	// Revive the killed leader as the new warm standby and resync it.
+	dep, err := r.w.RestartDeployerOn(old)
+	if err != nil {
+		return err
+	}
+	store, err := prism.OpenDeployerStore(r.dirs[old])
+	if err != nil {
+		return err
+	}
+	if err := dep.AttachStore(store); err != nil {
+		return err
+	}
+	le, err := dep.AttachLeadership(r.leaseFor(old))
+	if err != nil {
+		return err
+	}
+	r.ha.Deps[old], r.ha.Stores[old], r.ha.Leads[old] = dep, store, le
+	if err := r.syncStandby(next, old); err != nil {
+		return err
+	}
+	r.waveLines = append(r.waveLines, fmt.Sprintf(
+		"leadership kill old=%s new=%s term=%d", old, next, r.ha.Leads[next].Term()))
+	return nil
+}
+
+// leasePause simulates a long stall on the leader: the standby usurps
+// the lease at the next term while the old process stays alive and
+// still believes it leads. The usurper's replication stream carries the
+// new term to the old leader, which stands down; its deposed deployer
+// must refuse to coordinate, and it resyncs as the new standby.
+func (r *runner) leasePause(op Op) error {
+	old, next := r.leader, r.otherDeployer()
+	if op.A != old || op.B != next {
+		return fmt.Errorf("leadership mirror drift: op says %s->%s, live leader is %s", op.A, op.B, old)
+	}
+	if err := r.syncStandby(old, next); err != nil {
+		return err
+	}
+	var waves []prism.ResumedWave
+	if err := r.drive(func() error {
+		var won bool
+		var err error
+		waves, won, err = r.ha.Leads[next].Failover()
+		if err != nil {
+			return err
+		}
+		if !won {
+			return fmt.Errorf("standby %s failed to usurp the lease", next)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, rw := range waves {
+		if !rw.Resumed {
+			return fmt.Errorf("usurper %s aborted undecided epoch %d", next, rw.Epoch)
+		}
+	}
+	r.leader = next
+	newLead := r.ha.Leads[next]
+	term := newLead.Term()
+	// Sweep every live agent's fence to the usurper's term (a campaign
+	// stops at quorum, so a minority may not have heard), then wait for
+	// the stalled leader to learn it was deposed from the replication
+	// stream — from here on its control frames bounce off the fence.
+	if err := r.driveUntil("agent fences at usurper term", newLead.Renew, func() bool {
+		for _, h := range r.hosts {
+			if r.w.HostDown(h) {
+				continue
+			}
+			if r.w.Admins[h].FenceTerm() != term {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := r.driveUntil("stalled leader deposed", newLead.ReplicationTick,
+		func() bool { return !r.ha.Leads[old].IsLeader() }); err != nil {
+		return err
+	}
+	if _, err := r.ha.Deps[old].Enact(nil, nil, time.Second); err != prism.ErrNotLeader {
+		return fmt.Errorf("deposed leader %s Enact err = %v, want ErrNotLeader", old, err)
+	}
+	if err := r.syncStandby(next, old); err != nil {
+		return err
+	}
+	r.waveLines = append(r.waveLines, fmt.Sprintf(
+		"leadership pause old=%s new=%s term=%d", old, next, term))
+	return nil
 }
 
 // pendingTotal sums unacknowledged application events across live hosts.
@@ -548,6 +797,20 @@ func (r *runner) checkInvariants() error {
 	for _, h := range r.hosts {
 		if got, want := r.w.Incarnation(h), uint64(r.restarts[h]); got != want {
 			return fmt.Errorf("host %s incarnation %d, want %d", h, got, want)
+		}
+	}
+	// No split brain, ever: merged across every live agent's grant log, a
+	// fencing term was granted to at most one candidate.
+	leases := make(map[uint64]model.HostID)
+	for _, h := range r.hosts {
+		if r.w.HostDown(h) {
+			continue
+		}
+		for term, cand := range r.w.Admins[h].LeaseGrants() {
+			if prev, ok := leases[term]; ok && prev != cand {
+				return fmt.Errorf("split brain: term %d granted to both %s and %s", term, prev, cand)
+			}
+			leases[term] = cand
 		}
 	}
 	return nil

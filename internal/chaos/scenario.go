@@ -14,8 +14,9 @@ type Config struct {
 	// Seed drives everything deterministic: the generated op list, the
 	// fabric, and every host's fault stream.
 	Seed int64
-	// Hosts [4] and Probes [5] size the world (Hosts must stay in 1..9 so
-	// lexicographic host order matches numeric order).
+	// Hosts [4] and Probes [5] size the world (Hosts must stay in 2..9 so
+	// lexicographic host order matches numeric order and both deployer
+	// hosts — h1 and h2 — exist).
 	Hosts  int
 	Probes int
 	// Ops [20] is the generated scenario length (epilogue heals extra).
@@ -33,7 +34,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Hosts == 0 {
+	if c.Hosts < 2 {
 		c.Hosts = 4
 	}
 	if c.Probes == 0 {
@@ -92,6 +93,17 @@ const (
 	// OpDeployerRestart bounces the deployer process between waves: close,
 	// restart, replay the log, resume. Nothing undecided may surface.
 	OpDeployerRestart
+	// OpLeaderKill fail-stops the current leader deployer's PROCESS (its
+	// host stays up): the warm standby on B campaigns at the next fencing
+	// term, wins the agent quorum, and resumes from its replicated log;
+	// the old leader is then revived as the new standby and resynced.
+	OpLeaderKill
+	// OpLeasePause simulates a long stall (GC pause) on the leader A: the
+	// standby B usurps the lease at the next term while A's process stays
+	// alive and still believes it leads. A discovers the new term from
+	// the usurper's replication stream, stands down, and must refuse to
+	// coordinate; it then resyncs as B's standby.
+	OpLeasePause
 )
 
 // deployerCrashPhases names OpDeployerCrash.Phase values in op
@@ -119,6 +131,10 @@ func (k OpKind) String() string {
 		return "deployer-crash"
 	case OpDeployerRestart:
 		return "deployer-restart"
+	case OpLeaderKill:
+		return "leader-kill"
+	case OpLeasePause:
+		return "lease-pause"
 	}
 	return fmt.Sprintf("opkind(%d)", int(k))
 }
@@ -126,7 +142,7 @@ func (k OpKind) String() string {
 // Op is one scenario step. Field use per kind: OpTraffic{Comp, A, N};
 // OpMigrate/OpAbortMigrate{Comp, A=src, B=dst}; OpCrash/OpRestart{A};
 // OpPartition/OpHeal{A, B}; OpDeployerCrash{Comp, A=src, B=dst, Phase};
-// OpDeployerRestart{}.
+// OpDeployerRestart{}; OpLeaderKill/OpLeasePause{A=old leader, B=new}.
 type Op struct {
 	Kind OpKind
 	Comp string
@@ -150,6 +166,8 @@ func (o Op) describe() string {
 	case OpDeployerCrash:
 		return fmt.Sprintf("deployer-crash comp=%s src=%s dst=%s phase=%s",
 			o.Comp, o.A, o.B, deployerCrashPhases[o.Phase])
+	case OpLeaderKill, OpLeasePause:
+		return fmt.Sprintf("%s old=%s new=%s", o.Kind, o.A, o.B)
 	}
 	return o.Kind.String()
 }
@@ -197,6 +215,8 @@ func orderedPair(a, b model.HostID) hostPair {
 // assuming wave outcomes are deterministic, which the runner asserts.
 type scenarioState struct {
 	master    model.HostID
+	standby   model.HostID // second deployer host (warm standby at start)
+	leader    model.HostID // which of the two deployer hosts currently leads
 	hosts     []model.HostID
 	probes    []string
 	up        map[model.HostID]bool
@@ -209,6 +229,8 @@ func newScenarioState(cfg Config) *scenarioState {
 	probes := probeIDs(cfg.Probes)
 	st := &scenarioState{
 		master:    hosts[0],
+		standby:   hosts[1],
+		leader:    hosts[0],
 		hosts:     hosts,
 		probes:    probes,
 		up:        make(map[model.HostID]bool, len(hosts)),
@@ -219,6 +241,28 @@ func newScenarioState(cfg Config) *scenarioState {
 		st.up[h] = true
 	}
 	return st
+}
+
+// deployerHost reports whether h carries one of the two HA deployers.
+// Both must stay alive for the whole scenario: one is always the
+// leader, the other the warm standby the leadership ops fail over to.
+func (st *scenarioState) deployerHost(h model.HostID) bool {
+	return h == st.master || h == st.standby
+}
+
+// otherDeployer is the deployer host that is NOT currently leading.
+func (st *scenarioState) otherDeployer() model.HostID {
+	if st.leader == st.master {
+		return st.standby
+	}
+	return st.master
+}
+
+// quorumUp reports whether a strict majority of agents is reachable
+// with no partitions open — the precondition for every op that runs a
+// leadership campaign (leader-kill, lease-pause, deployer restarts).
+func (st *scenarioState) quorumUp() bool {
+	return len(st.parts) == 0 && len(st.upHosts(nil)) >= len(st.hosts)/2+1
 }
 
 func (st *scenarioState) upHosts(exclude func(model.HostID) bool) []model.HostID {
@@ -276,10 +320,11 @@ func (st *scenarioState) crash(h model.HostID) {
 // GenerateScenario derives a deterministic op list from the seed. Op
 // frequencies roughly: 45% traffic, 17% migration (a third of those
 // abort-flavored, a third deployer-crash-flavored), 10% partition, 8%
-// heal, 10% crash, 5% host restart, 5% deployer restart — with every
-// ineligible draw degrading to a traffic burst so the list length is
-// stable. A heal epilogue closes any partition still open so the settle
-// phase can drain all in-flight traffic.
+// heal, 10% crash, 4% host restart, 2% deployer restart, 2% leader
+// kill, 2% lease pause — with every ineligible draw degrading to a
+// traffic burst so the list length is stable. A heal epilogue closes
+// any partition still open so the settle phase can drain all in-flight
+// traffic.
 func GenerateScenario(cfg Config) []Op {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -314,10 +359,11 @@ func GenerateScenario(cfg Config) []Op {
 			dst := dsts[rng.Intn(len(dsts))]
 			flavor := rng.Intn(6)
 			if flavor < 2 {
-				// Abort flavor: the destination dies under the wave. The
-				// master must survive as coordinator, so re-pick.
+				// Abort flavor: the destination dies under the wave. Both
+				// deployer hosts must survive — one is the coordinator, the
+				// other the warm standby — so re-pick.
 				adsts := st.upHosts(func(h model.HostID) bool {
-					return h == src || h == st.master
+					return h == src || st.deployerHost(h)
 				})
 				if len(adsts) > 0 {
 					dst = adsts[rng.Intn(len(adsts))]
@@ -326,12 +372,13 @@ func GenerateScenario(cfg Config) []Op {
 					break
 				}
 				// No eligible abort destination: degrade to a plain wave.
-			} else if flavor < 4 {
+			} else if flavor < 4 && st.quorumUp() {
 				// Deployer-crash flavor: the wave runs with the deployer
 				// armed to die at one of the two-phase checkpoints. Only a
 				// decided crash (phase 2) ends with the move committed — the
 				// restart resumes its persisted commit; open/prepared
 				// crashes abort on restart, leaving placement unchanged.
+				// The restarted process re-campaigns, hence the quorum gate.
 				phase := rng.Intn(3)
 				op = Op{Kind: OpDeployerCrash, Comp: comp, A: src, B: dst, Phase: phase}
 				if phase == 2 {
@@ -368,9 +415,9 @@ func GenerateScenario(cfg Config) []Op {
 			pr := parts[rng.Intn(len(parts))]
 			delete(st.parts, pr)
 			op = Op{Kind: OpHeal, A: pr.a, B: pr.b}
-		case r < 90: // crash (never the master, never a partitioned host)
+		case r < 90: // crash (never a deployer host, never a partitioned host)
 			cands := st.upHosts(func(h model.HostID) bool {
-				return h == st.master || st.partitioned(h)
+				return st.deployerHost(h) || st.partitioned(h)
 			})
 			if len(cands) == 0 {
 				break
@@ -378,20 +425,39 @@ func GenerateScenario(cfg Config) []Op {
 			h := cands[rng.Intn(len(cands))]
 			st.crash(h)
 			op = Op{Kind: OpCrash, A: h}
-		default: // restart (host, or the deployer process itself)
-			if r >= 95 {
-				// Deployer bounce between waves: always legal, and proves a
-				// quiet restart never aborts, replans, or renumbers anything.
+		default: // restart family and leadership chaos
+			switch {
+			case r >= 98: // lease pause: the standby usurps a live leader
+				if !st.quorumUp() {
+					break
+				}
+				next := st.otherDeployer()
+				op = Op{Kind: OpLeasePause, A: st.leader, B: next}
+				st.leader = next
+			case r >= 96: // leader kill: fail-stop the leader process
+				if !st.quorumUp() {
+					break
+				}
+				next := st.otherDeployer()
+				op = Op{Kind: OpLeaderKill, A: st.leader, B: next}
+				st.leader = next
+			case r >= 94:
+				// Deployer bounce between waves: proves a quiet restart never
+				// aborts, replans, or renumbers anything. The restarted
+				// process re-campaigns, hence the quorum gate.
+				if !st.quorumUp() {
+					break
+				}
 				op = Op{Kind: OpDeployerRestart}
-				break
+			default:
+				down := st.downHosts()
+				if len(down) == 0 {
+					break
+				}
+				h := down[rng.Intn(len(down))]
+				st.up[h] = true
+				op = Op{Kind: OpRestart, A: h}
 			}
-			down := st.downHosts()
-			if len(down) == 0 {
-				break
-			}
-			h := down[rng.Intn(len(down))]
-			st.up[h] = true
-			op = Op{Kind: OpRestart, A: h}
 		}
 		ops = append(ops, op)
 	}

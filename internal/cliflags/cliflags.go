@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dif/internal/obs"
@@ -60,6 +61,80 @@ func RegisterDurable(fs *flag.FlagSet) *Durable {
 	d := &Durable{}
 	fs.StringVar(&d.StateDir, "state-dir", "", "directory for the deployer's crash-safe wave checkpoint log (empty disables; on restart the deployer resumes or aborts in-flight waves from it instead of replanning)")
 	return d
+}
+
+// HA holds the parsed values of the deployer-only high-availability
+// flags. Like -state-dir, these are deliberately absent from the shared
+// set: agents vote on leases and fence stale terms, but only deployer
+// processes campaign, replicate, or stand by.
+type HA struct {
+	// Standby starts this deployer as a warm standby: it ingests the
+	// leader's replication stream and campaigns only when its leader
+	// watch fires (or an operator asks), instead of leading at boot.
+	Standby bool
+	// Peers lists the other deployer hosts — the replication targets and
+	// failover candidates. Each comma-separated entry is either a bare
+	// host ID (the peer must dial us) or host=addr (we also dial it).
+	Peers string
+	// LeaseTTL bounds how long an agent-granted leadership lease fences
+	// out other candidates between renewals.
+	LeaseTTL time.Duration
+}
+
+// RegisterHA installs the deployer's high-availability flags on fs.
+func RegisterHA(fs *flag.FlagSet) *HA {
+	h := &HA{}
+	fs.BoolVar(&h.Standby, "standby", false, "start as a warm standby deployer: ingest the leader's replicated checkpoint stream and take over (same epochs, next fencing term) only when the leader's lease lapses")
+	fs.StringVar(&h.Peers, "peers", "", "comma-separated peer deployers to replicate checkpoints to and fail over between, each host or host=addr (empty runs the classic solo deployer)")
+	fs.DurationVar(&h.LeaseTTL, "lease-ttl", prism.DefaultLeaseTTL, "leadership lease time-to-live; a standby may campaign once the leader has been silent this long")
+	return h
+}
+
+// PeerList splits -peers into host IDs (any =addr suffix stripped),
+// dropping empty segments.
+func (h *HA) PeerList() []string {
+	if h.Peers == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(h.Peers, ",") {
+		p, _, _ = strings.Cut(p, "=")
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PeerAddrs maps each -peers host ID to its dial address ("" for bare
+// entries — those peers are expected to dial us instead).
+func (h *HA) PeerAddrs() (map[string]string, error) {
+	return ParsePeerAddrs(h.Peers)
+}
+
+// ParsePeerAddrs parses a comma-separated "host" or "host=addr" list —
+// the format the deployer's -peers and the agent's -deployers share —
+// into host ID → dial address ("" for bare entries).
+func ParsePeerAddrs(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		if strings.TrimSpace(entry) == "" {
+			continue
+		}
+		host, addr, _ := strings.Cut(entry, "=")
+		host, addr = strings.TrimSpace(host), strings.TrimSpace(addr)
+		if host == "" {
+			return nil, fmt.Errorf("peer entry %q has no host ID", entry)
+		}
+		if _, dup := out[host]; dup {
+			return nil, fmt.Errorf("peer list names host %s twice", host)
+		}
+		out[host] = addr
+	}
+	return out, nil
 }
 
 // Faulty reports whether any transport fault injection was requested.

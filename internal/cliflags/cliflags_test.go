@@ -110,6 +110,77 @@ func TestRegisterDurable(t *testing.T) {
 	}
 }
 
+// TestRegisterHA pins the deployer-only high-availability surface:
+// defaults select the classic solo deployer, the flags parse, -peers
+// splits cleanly, and none of it leaks into the shared set (an agent
+// given a deployer HA flag must reject it — agents vote and fence, but
+// never campaign or replicate).
+func TestRegisterHA(t *testing.T) {
+	fs := flag.NewFlagSet("deployer", flag.ContinueOnError)
+	Register(fs)
+	got := RegisterHA(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Standby || got.Peers != "" || got.LeaseTTL != prism.DefaultLeaseTTL {
+		t.Fatalf("HA defaults = %+v, want solo deployer with default TTL", *got)
+	}
+	if got.PeerList() != nil {
+		t.Fatalf("PeerList() on empty -peers = %v, want nil", got.PeerList())
+	}
+
+	fs2 := flag.NewFlagSet("deployer", flag.ContinueOnError)
+	Register(fs2)
+	got = RegisterHA(fs2)
+	if err := fs2.Parse([]string{"-standby", "-peers", "h1, h3,", "-lease-ttl", "750ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Standby || got.LeaseTTL != 750*time.Millisecond {
+		t.Fatalf("HA = %+v", *got)
+	}
+	if pl := got.PeerList(); len(pl) != 2 || pl[0] != "h1" || pl[1] != "h3" {
+		t.Fatalf("PeerList() = %v, want [h1 h3]", pl)
+	}
+	if pa, err := got.PeerAddrs(); err != nil || pa["h1"] != "" || pa["h3"] != "" {
+		t.Fatalf("PeerAddrs() on bare entries = %v, %v", pa, err)
+	}
+
+	// host=addr entries carry a dial address; bare ones map to "".
+	fs3 := flag.NewFlagSet("deployer", flag.ContinueOnError)
+	Register(fs3)
+	got = RegisterHA(fs3)
+	if err := fs3.Parse([]string{"-peers", "h1=10.0.0.1:7001, h3"}); err != nil {
+		t.Fatal(err)
+	}
+	if pl := got.PeerList(); len(pl) != 2 || pl[0] != "h1" || pl[1] != "h3" {
+		t.Fatalf("PeerList() with addrs = %v, want [h1 h3]", pl)
+	}
+	pa, err := got.PeerAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa["h1"] != "10.0.0.1:7001" || pa["h3"] != "" || len(pa) != 2 {
+		t.Fatalf("PeerAddrs() = %v", pa)
+	}
+	got.Peers = "h1=a,h1=b"
+	if _, err := got.PeerAddrs(); err == nil {
+		t.Fatal("PeerAddrs() accepted a duplicate host")
+	}
+	got.Peers = "=addr"
+	if _, err := got.PeerAddrs(); err == nil {
+		t.Fatal("PeerAddrs() accepted an entry with no host ID")
+	}
+
+	for _, arg := range []string{"-standby", "-peers", "-lease-ttl"} {
+		agent := flag.NewFlagSet("agent", flag.ContinueOnError)
+		agent.SetOutput(discard{})
+		Register(agent)
+		if err := agent.Parse([]string{arg, "x"}); err == nil {
+			t.Fatalf("agent flag set accepted %s", arg)
+		}
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -112,11 +112,16 @@ func runTracedChurnDrill(t *testing.T, seed int64) (render, faults string, dropp
 		waveErr <- err
 	}()
 
-	// The wave is in flight once the master's fault transport has carried
-	// at least one frame toward the dark endpoint.
-	masterSent := obs.Name("prism_fault_sent_total", "host", string(w.Master))
+	// Wait for the master's reconfig dispatch into the dark endpoint to
+	// finish its retry chain. Sends to the crashed victim fail, so the
+	// chain ends at the first silently-dropped frame (perceived success)
+	// — seed-determined. Declaring the victim dead any earlier would let
+	// the retry-cancellation path truncate the attempt schedule at a
+	// wall-clock-dependent point, and the send/drop counts below would
+	// stop being a pure function of the fault seed.
+	masterDropped := obs.Name("prism_fault_dropped_total", "host", string(w.Master))
 	waitUntil(t, func() bool {
-		v, _ := reg.Snapshot().Value(masterSent)
+		v, _ := reg.Snapshot().Value(masterDropped)
 		return v >= 1
 	})
 

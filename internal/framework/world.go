@@ -403,22 +403,7 @@ func (w *World) RestartHost(h model.HostID) (*prism.AdminComponent, error) {
 // with a durable store re-attach it (AttachStore) and Resume() on the
 // returned deployer.
 func (w *World) RestartDeployer() (*prism.DeployerComponent, error) {
-	if w.down[w.Master] {
-		return nil, fmt.Errorf("framework world: master %s is down", w.Master)
-	}
-	arch := w.Archs[w.Master]
-	if dep, ok := arch.Component(prism.DeployerID).(*prism.DeployerComponent); ok {
-		dep.Close()
-		if _, err := arch.RemoveComponent(prism.DeployerID); err != nil {
-			return nil, err
-		}
-	}
-	dep, err := prism.InstallDeployer(arch, w.adminCfg)
-	if err != nil {
-		return nil, err
-	}
-	w.Deployer = dep
-	return dep, nil
+	return w.RestartDeployerOn(w.Master)
 }
 
 // PlaceComponent instantiates a fresh traffic component for a model

@@ -48,6 +48,10 @@ type ReconfigCommand struct {
 	// awaits the done report; empty falls back to the admin's configured
 	// deployer (the centralized master).
 	Coordinator model.HostID
+	// Term is the issuing leader's fencing term. Zero is the legacy
+	// unfenced value (solo deployer); admins reject any non-zero term
+	// below their fence.
+	Term uint64
 }
 
 // FetchRequest asks the admin on the component's current host to detach,
@@ -106,9 +110,19 @@ type DoneReport struct {
 // abort so participants roll back — sources reattach their prepared
 // components, destinations evict uncommitted arrivals.
 type WaveOutcome struct {
-	Epoch       int
+	Epoch int
+	// Coordinator is the wave's ORIGINAL coordinator — the identity the
+	// participants keyed their two-phase state by — even when a promoted
+	// standby re-announces the outcome after a failover.
 	Coordinator model.HostID
 	Commit      bool
+	// Term is the announcing leader's fencing term (zero = legacy
+	// unfenced).
+	Term uint64
+	// ReplyTo, when set, is the live deployer that should receive the
+	// acknowledgement and any hop-exhausted traffic bounces; empty falls
+	// back to Coordinator (the solo-deployer case).
+	ReplyTo model.HostID
 }
 
 // OutcomeAck confirms a participant applied a wave outcome; the
@@ -122,6 +136,7 @@ type OutcomeAck struct {
 // events cross host boundaries.
 func registerControlPayloads() {
 	registerRelayPayload()
+	registerLeaderPayloadsOnce.Do(registerLeaderPayloads)
 	gob.Register(MonitoringReport{})
 	gob.Register(ReconfigCommand{})
 	gob.Register(FetchRequest{})
@@ -282,6 +297,17 @@ type AdminComponent struct {
 	// incarnation and hbSeq stamp outgoing heartbeats.
 	incarnation uint64
 	hbSeq       uint64
+
+	// Leadership lease state (this admin is one voting agent):
+	// fenceTerm is the highest term acknowledged — control frames
+	// carrying a lower non-zero term are rejected; leaseHolder/
+	// leaseExpiry track the current grant; grantLog records which
+	// candidate each term was granted to (the soak invariant's witness:
+	// at most one accepted leader per term).
+	fenceTerm   uint64
+	leaseHolder model.HostID
+	leaseExpiry time.Time
+	grantLog    map[uint64]model.HostID
 }
 
 type reconfigProgress struct {
@@ -322,7 +348,7 @@ func NewAdminComponent(arch *Architecture, cfg AdminConfig) *AdminComponent {
 	if cfg.Registry == nil {
 		cfg.Registry = NewFactoryRegistry()
 	}
-	return &AdminComponent{
+	a := &AdminComponent{
 		BaseComponent: NewBaseComponent(AdminID),
 		arch:          arch,
 		cfg:           cfg,
@@ -333,8 +359,29 @@ func NewAdminComponent(arch *Architecture, cfg AdminConfig) *AdminComponent {
 		expect:        make(map[string]*reconfigProgress),
 		prepared:      make(map[string]*preparedComp),
 		aborted:       make(map[string]bool),
+		grantLog:      make(map[uint64]model.HostID),
 		stop:          make(chan struct{}),
 	}
+	// A closing admin's in-flight control retries die promptly. So does a
+	// heartbeat stuck retrying toward a host that is no longer the lease
+	// holder: after a failover the pump must announce liveness to the new
+	// leader before the old frame's backoff schedule runs out, or the new
+	// leader's detector declares this (live) host falsely dead.
+	a.sender.setCancel(func(e Event) bool {
+		select {
+		case <-a.stop:
+			return true
+		default:
+		}
+		if e.Name == EvHeartbeat {
+			a.mu.Lock()
+			holder := a.leaseHolder
+			a.mu.Unlock()
+			return holder != "" && e.DstHost != holder
+		}
+		return false
+	})
+	return a
 }
 
 // InstallAdmin creates an admin, adds it to the architecture, welds it to
@@ -424,7 +471,15 @@ func (a *AdminComponent) SendHeartbeat() error {
 		}
 		hb.Components = append(hb.Components, id)
 	}
-	return a.sendControl(a.cfg.Deployer, Event{
+	// Beacons follow the lease: once a standby wins, this agent's
+	// heartbeats feed the new leader's failure detector, not the corpse's.
+	a.mu.Lock()
+	dep := a.leaseHolder
+	a.mu.Unlock()
+	if dep == "" {
+		dep = a.cfg.Deployer
+	}
+	return a.sendControl(dep, Event{
 		Name: EvHeartbeat, Target: DeployerID, Payload: hb, SizeKB: 0.2,
 	})
 }
@@ -579,6 +634,12 @@ func (a *AdminComponent) Handle(e Event) {
 			return
 		}
 		a.handleOutcome(out)
+	case EvLeaseRequest:
+		req, ok := e.Payload.(LeaseRequest)
+		if !ok {
+			return
+		}
+		a.handleLeaseRequest(req)
 	case EvRelay:
 		env, ok := e.Payload.(RelayPayload)
 		if !ok {
@@ -598,11 +659,110 @@ func deployerHostOf(e Event, cfg AdminConfig) model.HostID {
 	return e.SrcHost
 }
 
+// handleLeaseRequest is this agent's vote in a leadership election.
+// The grant rule: a strictly higher term wins if the current lease has
+// expired (or the candidate already holds it, so a restarted leader
+// reclaims without waiting); an equal term is renewed only for the
+// holder; anything lower is rejected with the current fence term. A
+// term is granted to at most one candidate, ever — the quorum
+// intersection argument that makes split brain impossible.
+func (a *AdminComponent) handleLeaseRequest(req LeaseRequest) {
+	if req.Candidate == "" || req.Term == 0 {
+		return
+	}
+	now := a.cfg.Clock()
+	a.mu.Lock()
+	grant := false
+	switch {
+	case req.Term < a.fenceTerm:
+		// Stale candidate.
+	case req.Term == a.fenceTerm:
+		grant = a.fenceTerm != 0 && req.Candidate == a.leaseHolder
+	default:
+		grant = a.leaseHolder == "" || req.Candidate == a.leaseHolder || !now.Before(a.leaseExpiry)
+	}
+	reply := LeaseGrant{Host: a.arch.Host(), Term: a.fenceTerm, Granted: false}
+	if grant {
+		a.fenceTerm = req.Term
+		a.leaseHolder = req.Candidate
+		a.leaseExpiry = now.Add(req.TTL)
+		if _, ok := a.grantLog[req.Term]; !ok {
+			a.grantLog[req.Term] = req.Candidate
+		}
+		reply = LeaseGrant{Host: a.arch.Host(), Term: req.Term, Granted: true}
+	}
+	a.mu.Unlock()
+	host := string(a.arch.Host())
+	if !grant {
+		a.arch.Obs().Counter(obs.Name("prism_lease_rejections_total", "host", host)).Inc()
+	} else if req.Renewal {
+		a.arch.Obs().Counter(obs.Name("prism_lease_renewals_total", "host", host)).Inc()
+	}
+	_ = a.sendControl(req.Candidate, Event{
+		Name: EvLeaseGrant, Target: DeployerID, Payload: reply, SizeKB: 0.2,
+	})
+}
+
+// LeaseGrants returns this agent's term → granted-candidate record
+// (chaos drills assert that, merged across agents, no term ever maps
+// to two candidates).
+func (a *AdminComponent) LeaseGrants() map[uint64]model.HostID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint64]model.HostID, len(a.grantLog))
+	for t, h := range a.grantLog {
+		out[t] = h
+	}
+	return out
+}
+
+// FenceTerm returns the highest fencing term this agent acknowledged.
+func (a *AdminComponent) FenceTerm() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fenceTerm
+}
+
+// fenceCheck applies the fencing rule to an inbound control frame: a
+// non-zero term below the fence is rejected — and the frame's origin is
+// told the current fence term (as an ungranted LeaseGrant), so a
+// paused-then-revived leader deposes itself promptly — while a higher
+// term raises the fence (the frame proves a quorum granted it). Returns
+// false when the frame must be dropped.
+func (a *AdminComponent) fenceCheck(term uint64, origin model.HostID) bool {
+	if term == 0 {
+		return true // legacy unfenced frame (solo deployer)
+	}
+	a.mu.Lock()
+	if term < a.fenceTerm {
+		fence := a.fenceTerm
+		a.mu.Unlock()
+		a.arch.Obs().Counter(obs.Name("prism_fenced_frames_total",
+			"host", string(a.arch.Host()))).Inc()
+		if origin != "" {
+			_ = a.sendControl(origin, Event{
+				Name: EvLeaseGrant, Target: DeployerID, SizeKB: 0.2,
+				Payload: LeaseGrant{Host: a.arch.Host(), Term: fence, Granted: false},
+			})
+		}
+		return false
+	}
+	if term > a.fenceTerm {
+		a.fenceTerm = term
+		a.leaseHolder = origin
+	}
+	a.mu.Unlock()
+	return true
+}
+
 // handleReconfig starts acquiring this host's arrivals.
 func (a *AdminComponent) handleReconfig(cmd ReconfigCommand) {
 	coord := cmd.Coordinator
 	if coord == "" {
 		coord = a.cfg.Deployer
+	}
+	if !a.fenceCheck(cmd.Term, coord) {
+		return
 	}
 	ck := epochKey(coord, cmd.Epoch)
 	a.mu.Lock()
@@ -1001,13 +1161,23 @@ func (a *AdminComponent) handleOutcome(out WaveOutcome) {
 	if coord == "" {
 		coord = a.cfg.Deployer
 	}
+	// The epoch key always derives from the ORIGINAL coordinator (that is
+	// the name the wave was prepared under); acks and bounce authority go
+	// to the live leader when a failover resumed the wave.
+	authority := out.ReplyTo
+	if authority == "" {
+		authority = coord
+	}
+	if !a.fenceCheck(out.Term, authority) {
+		return // stale leader's outcome: drop, no ack
+	}
 	ck := epochKey(coord, out.Epoch)
 	if out.Commit {
-		a.commitWave(ck, coord)
+		a.commitWave(ck, authority)
 	} else {
-		a.abortWave(ck, coord)
+		a.abortWave(ck, authority)
 	}
-	_ = a.sendControl(coord, Event{
+	_ = a.sendControl(authority, Event{
 		Name:    EvOutcomeAck,
 		Target:  DeployerID,
 		Payload: OutcomeAck{Epoch: out.Epoch, Host: a.arch.Host()},

@@ -43,6 +43,11 @@ type DeployerComponent struct {
 	// restoredIncs holds a checkpointed incarnation map recovered before
 	// any detector was attached; AttachDetector primes it in.
 	restoredIncs map[model.HostID]uint64
+	// leadership, when attached, runs the agent-quorum lease protocol:
+	// this deployer drives waves only while holding the lease, stamps its
+	// fencing term on every control frame, and streams checkpoint records
+	// to standby peers (see leader.go). Nil is the legacy solo mode.
+	leadership *Leadership
 
 	// stop aborts in-flight waves on Close so shutdown never deadlocks on
 	// doneCh waiters.
@@ -55,6 +60,11 @@ type epochState struct {
 	doneCh       chan struct{}
 	relayed      int
 	received     int
+	// coordinator is the wave's original coordinator identity; empty
+	// means this deployer (the normal case). A promoted standby resuming
+	// an inherited wave keeps the dead leader's identity here so
+	// participant admins find their (coordinator, epoch)-keyed state.
+	coordinator model.HostID
 	// participants are every host the wave touches (sources and
 	// destinations) — the audience of the commit/abort broadcast.
 	participants map[model.HostID]bool
@@ -74,7 +84,7 @@ type epochState struct {
 func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponent {
 	registerPayloadsOnce.Do(registerControlPayloads)
 	cfg = cfg.withDefaults()
-	return &DeployerComponent{
+	d := &DeployerComponent{
 		BaseComponent: NewBaseComponent(DeployerID),
 		arch:          arch,
 		cfg:           cfg,
@@ -85,6 +95,40 @@ func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponen
 		nextEpoch:     1,
 		stop:          make(chan struct{}),
 	}
+	// A deposed or closed deployer's in-flight control retries die
+	// promptly instead of burning the full backoff schedule.
+	d.sender.setCancel(d.sendCancelled)
+	return d
+}
+
+// sendCancelled tells the control sender's retry loop to give up on a
+// frame whose purpose has lapsed: the deployer is closing, the frame
+// asserts a leadership this deployer no longer holds, or (for phase-one
+// commands) the epoch was already aborted by a participant's death.
+func (d *DeployerComponent) sendCancelled(e Event) bool {
+	select {
+	case <-d.stop:
+		return true
+	default:
+	}
+	switch e.Name {
+	case EvReconfig:
+		if d.deposed() {
+			return true
+		}
+		cmd, ok := e.Payload.(ReconfigCommand)
+		if !ok {
+			return false
+		}
+		d.mu.Lock()
+		st := d.epochs[cmd.Epoch]
+		dead := st == nil || st.deadAborted
+		d.mu.Unlock()
+		return dead
+	case EvOutcome:
+		return d.deposed()
+	}
+	return false
 }
 
 // Close aborts every in-flight wave and report collection. A wave that
@@ -262,6 +306,30 @@ func (d *DeployerComponent) Handle(e Event) {
 			}
 		}
 		d.mu.Unlock()
+	case EvLeaseGrant:
+		g, ok := e.Payload.(LeaseGrant)
+		if !ok {
+			return
+		}
+		if le := d.Leadership(); le != nil {
+			le.onGrant(g)
+		}
+	case EvReplicate:
+		b, ok := e.Payload.(ReplBatch)
+		if !ok {
+			return
+		}
+		if le := d.Leadership(); le != nil {
+			le.onReplicate(b)
+		}
+	case EvReplicateAck:
+		a, ok := e.Payload.(ReplAck)
+		if !ok {
+			return
+		}
+		if le := d.Leadership(); le != nil {
+			le.onReplicateAck(a)
+		}
 	}
 }
 
@@ -362,6 +430,13 @@ type EnactResult struct {
 // component: aborted sources reattach their prepared instances and
 // aborted destinations evict uncommitted arrivals.
 func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[string]model.HostID, timeout time.Duration) (EnactResult, error) {
+	if d.deposed() {
+		// With leadership attached, only the lease holder drives waves; a
+		// standby (or deposed leader) refuses rather than burn an epoch
+		// number the quorum will fence anyway.
+		return EnactResult{}, ErrNotLeader
+	}
+	term := d.term()
 	d.mu.Lock()
 	epoch := d.nextEpoch
 	d.nextEpoch++
@@ -413,7 +488,7 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		}
 		cmds[dst] = Event{
 			Name: EvReconfig, Target: AdminID, SizeKB: 1,
-			Payload: ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host()},
+			Payload: ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host(), Term: term},
 		}
 		dsts = append(dsts, dst)
 	}
@@ -493,6 +568,7 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 	defer deadline.Stop()
 	completed := false
 	closed := false
+	fenced := false
 	if retry {
 		resend := time.NewTicker(d.cfg.EnactResendInterval)
 		defer resend.Stop()
@@ -510,6 +586,13 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 			case <-deadline.C:
 				break wait
 			case <-resend.C:
+				if d.deposed() {
+					// The quorum moved past our term mid-wave: every agent
+					// fences our frames, so no done report will ever come.
+					// Abort the wave now instead of waiting out the deadline.
+					fenced = true
+					break wait
+				}
 				// Re-issue the command to every host still pending: the
 				// receiving admin dedups by epoch and re-reports done if
 				// its earlier report was lost.
@@ -547,6 +630,8 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		prep.SetAttr("outcome", "closed")
 	case wasDeadAbort:
 		prep.SetAttr("outcome", "dead_abort").SetAttr("dead", deadBy)
+	case fenced:
+		prep.SetAttr("outcome", "fenced")
 	default:
 		prep.SetAttr("outcome", "timeout")
 	}
@@ -640,6 +725,9 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		case deadAborted:
 			return res, fmt.Errorf("enact epoch %d: participant %s died mid-wave (wave rolled back)",
 				epoch, deadHost)
+		case fenced:
+			return res, fmt.Errorf("enact epoch %d: leadership lost at term %d (wave fenced and rolled back)",
+				epoch, term)
 		default:
 			return res, fmt.Errorf("enact epoch %d: %d hosts incomplete after %v (wave rolled back)",
 				epoch, len(res.Incomplete), timeout)
@@ -670,7 +758,7 @@ func (d *DeployerComponent) waveMetrics(committed bool, moved int, start time.Ti
 func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit bool) int {
 	e := Event{
 		Name: EvOutcome, Target: AdminID, SizeKB: 0.3,
-		Payload: WaveOutcome{Epoch: epoch, Coordinator: d.arch.Host(), Commit: commit},
+		Payload: d.outcomePayload(epoch, st, commit),
 	}
 	parts := make([]model.HostID, 0, len(st.participants))
 	d.mu.Lock()
@@ -722,6 +810,11 @@ func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit b
 		select {
 		case <-st.ackCh:
 		case <-resend.C:
+			if d.deposed() {
+				// Fenced: every remaining participant rejects our term, and
+				// the new leader re-announces the same durable outcome.
+				return len(parts) - len(remaining)
+			}
 			for _, h := range remaining {
 				if d.hostDead(h) {
 					d.mu.Lock()
@@ -739,12 +832,27 @@ func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit b
 	}
 }
 
+// outcomePayload builds a wave outcome under the wave's original
+// coordinator identity (participants key their state by it), stamped
+// with the current fencing term and with this host as the ack/bounce
+// target — after a failover the two differ.
+func (d *DeployerComponent) outcomePayload(epoch int, st *epochState, commit bool) WaveOutcome {
+	coord := st.coordinator
+	if coord == "" {
+		coord = d.arch.Host()
+	}
+	return WaveOutcome{
+		Epoch: epoch, Coordinator: coord, Commit: commit,
+		Term: d.term(), ReplyTo: d.arch.Host(),
+	}
+}
+
 // broadcastOutcomeOnce sends the outcome to every participant exactly
 // once without waiting for acknowledgements (shutdown path).
 func (d *DeployerComponent) broadcastOutcomeOnce(epoch int, st *epochState, commit bool) {
 	e := Event{
 		Name: EvOutcome, Target: AdminID, SizeKB: 0.3,
-		Payload: WaveOutcome{Epoch: epoch, Coordinator: d.arch.Host(), Commit: commit},
+		Payload: d.outcomePayload(epoch, st, commit),
 	}
 	parts := make([]model.HostID, 0, len(st.participants))
 	d.mu.Lock()

@@ -41,6 +41,11 @@ type epochOpenRec struct {
 	Epoch        int                     `json:"epoch"`
 	Moves        map[string]model.HostID `json:"moves"`
 	Participants []model.HostID          `json:"participants"`
+	// Coordinator is the host whose deployer opened the wave. A standby
+	// promoted mid-wave resumes under the ORIGINAL coordinator identity —
+	// participant admins key their two-phase state by (coordinator,
+	// epoch), and renaming the wave would strand it.
+	Coordinator model.HostID `json:"coordinator,omitempty"`
 }
 
 type epochMarkRec struct {
@@ -59,6 +64,10 @@ type snapshotRec struct {
 	Reloc        map[string]model.HostID `json:"reloc,omitempty"`
 	Dedup        []DedupSnapshot         `json:"dedup,omitempty"`
 	Incarnations map[model.HostID]uint64 `json:"incarnations,omitempty"`
+	// Term is the highest fencing term this deployer has seen; persisted
+	// so a restarted deployer never campaigns below a term it already
+	// acknowledged, and replicated so standbys inherit it.
+	Term uint64 `json:"term,omitempty"`
 }
 
 // DurableWave is one epoch's reconstructed two-phase progress.
@@ -66,6 +75,7 @@ type DurableWave struct {
 	Epoch        int
 	Moves        map[string]model.HostID
 	Participants []model.HostID
+	Coordinator  model.HostID
 	Prepared     bool
 	Decided      bool
 	Commit       bool
@@ -88,6 +98,25 @@ type DeployerStore struct {
 	// of crashKind lands durably, the store dies and onCrash runs.
 	crashKind byte
 	onCrash   func()
+
+	// observeKind/onObserve are the non-fatal sibling of CrashAfter:
+	// after the next record of observeKind lands (and has been offered
+	// to replication), fn runs once — the store stays alive. Drills use
+	// it to partition the network at a named checkpoint.
+	observeKind byte
+	onObserve   func()
+
+	// replEnqueue/replFlush tap the append stream for leader→standby
+	// replication. Enqueue runs under ds.mu (its ordering matches the
+	// WAL exactly); flush runs after release, strictly before any armed
+	// crash hook — a record that became durable here is offered to
+	// standbys before the leader can die of it.
+	replEnqueue func(kind byte, data []byte)
+	replFlush   func()
+
+	// replSeq is the standby-side ingest high-water mark: the sequence
+	// number of the last replicated record applied this term.
+	replSeq uint64
 }
 
 // OpenDeployerStore opens (or creates) the checkpoint log in dir,
@@ -125,6 +154,7 @@ func (ds *DeployerStore) applyLocked(r store.Record) error {
 		}
 		ds.waves[rec.Epoch] = &DurableWave{
 			Epoch: rec.Epoch, Moves: rec.Moves, Participants: rec.Participants,
+			Coordinator: rec.Coordinator,
 		}
 		bump(rec.Epoch)
 	case RecEpochPrepared:
@@ -190,6 +220,9 @@ func (ds *DeployerStore) append(kind byte, v any) error {
 		ds.mu.Unlock()
 		return err
 	}
+	if ds.replEnqueue != nil {
+		ds.replEnqueue(kind, data)
+	}
 	var hook func()
 	if ds.crashKind != 0 && kind == ds.crashKind {
 		// The record IS durable — the crash happens strictly after the
@@ -200,25 +233,43 @@ func (ds *DeployerStore) append(kind byte, v any) error {
 		ds.onCrash = nil
 		ds.log.MarkDead()
 	}
+	var observe func()
+	if ds.observeKind != 0 && kind == ds.observeKind {
+		observe = ds.onObserve
+		ds.observeKind = 0
+		ds.onObserve = nil
+	}
+	flush := ds.replFlush
 	if hook == nil && ds.closedN >= compactAfter {
 		_ = ds.compactLocked()
 	}
 	ds.mu.Unlock()
+	// Replication strictly precedes the hooks: even when this append was
+	// the arranged crash point, the now-durable record streams out first
+	// — matching a real crash, where the fsync'd write survives.
+	if flush != nil {
+		flush()
+	}
+	if observe != nil {
+		observe()
+	}
 	if hook != nil {
 		hook()
 	}
 	return nil
 }
 
-// compactLocked rewrites the log down to live state: one snapshot record
-// (carrying the epoch high-water mark) plus the record chain of every
-// still-open wave. Caller holds ds.mu.
-func (ds *DeployerStore) compactLocked() error {
+// liveRecordsLocked serializes the mirror down to live state: one
+// snapshot record (carrying the epoch high-water mark and fencing term)
+// plus the record chain of every still-open wave. This is both the
+// compaction rewrite and the replication iterator — the full prefix a
+// new leadership session streams to its standbys. Caller holds ds.mu.
+func (ds *DeployerStore) liveRecordsLocked() ([]store.Record, snapshotRec, error) {
 	snap := ds.snap
 	snap.NextEpoch = ds.nextEpoch
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return err
+		return nil, snap, err
 	}
 	recs := []store.Record{{Kind: RecSnapshot, Data: data}}
 	epochs := make([]int, 0, len(ds.waves))
@@ -228,9 +279,12 @@ func (ds *DeployerStore) compactLocked() error {
 	sort.Ints(epochs)
 	for _, e := range epochs {
 		wv := ds.waves[e]
-		open, err := json.Marshal(epochOpenRec{Epoch: wv.Epoch, Moves: wv.Moves, Participants: wv.Participants})
+		open, err := json.Marshal(epochOpenRec{
+			Epoch: wv.Epoch, Moves: wv.Moves, Participants: wv.Participants,
+			Coordinator: wv.Coordinator,
+		})
 		if err != nil {
-			return err
+			return nil, snap, err
 		}
 		recs = append(recs, store.Record{Kind: RecEpochOpen, Data: open})
 		if wv.Prepared {
@@ -242,6 +296,27 @@ func (ds *DeployerStore) compactLocked() error {
 			recs = append(recs, store.Record{Kind: RecEpochDecided, Data: dec})
 		}
 	}
+	return recs, snap, nil
+}
+
+// LiveRecords returns the store's live state as a record stream (nil on
+// a serialization error — callers treat that as an empty base).
+func (ds *DeployerStore) LiveRecords() []store.Record {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	recs, _, err := ds.liveRecordsLocked()
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// compactLocked rewrites the log down to live state. Caller holds ds.mu.
+func (ds *DeployerStore) compactLocked() error {
+	recs, snap, err := ds.liveRecordsLocked()
+	if err != nil {
+		return err
+	}
 	if err := ds.log.Compact(recs); err != nil {
 		return err
 	}
@@ -250,10 +325,104 @@ func (ds *DeployerStore) compactLocked() error {
 	return nil
 }
 
-func (ds *DeployerStore) epochOpened(epoch int, moves map[string]model.HostID, participants []model.HostID) error {
+// Ingest applies one replicated batch to the standby's WAL and mirror,
+// idempotently: a batch whose records are all already applied is a
+// no-op (duplicate delivery), a batch beyond the high-water mark is
+// ignored (out-of-order delivery; the leader retransmits the suffix),
+// and a Reset batch replaces the log with exactly its records (the new
+// leadership session's full live prefix). Returns the high-water mark
+// after the call — the ack value.
+func (ds *DeployerStore) Ingest(seq uint64, reset bool, recs []store.Record) (uint64, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.dead {
+		return ds.replSeq, store.ErrClosed
+	}
+	last := seq + uint64(len(recs)) - 1
+	if len(recs) == 0 || last <= ds.replSeq {
+		return ds.replSeq, nil // fully covered: duplicate or stale redelivery
+	}
+	if reset && seq == 1 {
+		if err := ds.log.Compact(recs); err != nil {
+			return ds.replSeq, err
+		}
+		ds.nextEpoch = 1
+		ds.waves = make(map[int]*DurableWave)
+		ds.snap = snapshotRec{}
+		ds.closedN = 0
+		for _, r := range recs {
+			if err := ds.applyLocked(r); err != nil {
+				return ds.replSeq, err
+			}
+		}
+		ds.replSeq = last
+		return ds.replSeq, nil
+	}
+	if seq > ds.replSeq+1 {
+		return ds.replSeq, nil // gap: wait for the retransmitted suffix
+	}
+	fresh := recs[ds.replSeq-seq+1:]
+	if err := ds.log.AppendBatch(fresh); err != nil {
+		return ds.replSeq, err
+	}
+	for _, r := range fresh {
+		if err := ds.applyLocked(r); err != nil {
+			return ds.replSeq, err
+		}
+	}
+	ds.replSeq = last
+	return ds.replSeq, nil
+}
+
+// ResetReplProgress clears the ingest high-water mark. The leadership
+// layer calls it when a higher term appears: the new leader's stream
+// restarts its numbering from a Reset batch.
+func (ds *DeployerStore) ResetReplProgress() {
+	ds.mu.Lock()
+	ds.replSeq = 0
+	ds.mu.Unlock()
+}
+
+// ReplProgress returns the standby-side ingest high-water mark.
+func (ds *DeployerStore) ReplProgress() uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.replSeq
+}
+
+// SetReplicator taps the append stream for replication: enqueue runs
+// under the store lock in WAL order, flush after release (and strictly
+// before any armed crash hook). Pass nils to detach.
+func (ds *DeployerStore) SetReplicator(enqueue func(kind byte, data []byte), flush func()) {
+	ds.mu.Lock()
+	ds.replEnqueue = enqueue
+	ds.replFlush = flush
+	ds.mu.Unlock()
+}
+
+// Term returns the persisted fencing term (zero before any election).
+func (ds *DeployerStore) Term() uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.snap.Term
+}
+
+// SaveTerm durably records a fencing term the deployer acknowledged.
+func (ds *DeployerStore) SaveTerm(term uint64) error {
+	ds.mu.Lock()
+	snap := ds.snap
+	snap.Term = term
+	snap.NextEpoch = ds.nextEpoch
+	ds.mu.Unlock()
+	return ds.append(RecSnapshot, snap)
+}
+
+func (ds *DeployerStore) epochOpened(epoch int, moves map[string]model.HostID, participants []model.HostID, coordinator model.HostID) error {
 	sorted := append([]model.HostID(nil), participants...)
 	sortHostIDs(sorted)
-	return ds.append(RecEpochOpen, epochOpenRec{Epoch: epoch, Moves: moves, Participants: sorted})
+	return ds.append(RecEpochOpen, epochOpenRec{
+		Epoch: epoch, Moves: moves, Participants: sorted, Coordinator: coordinator,
+	})
 }
 
 func (ds *DeployerStore) epochPrepared(epoch int) error {
@@ -271,6 +440,10 @@ func (ds *DeployerStore) epochClosed(epoch int) error {
 func (ds *DeployerStore) saveSnapshot(snap snapshotRec) error {
 	ds.mu.Lock()
 	snap.NextEpoch = ds.nextEpoch
+	if snap.Term == 0 {
+		// Soft-state snapshots never carry a term; keep the persisted one.
+		snap.Term = ds.snap.Term
+	}
 	ds.mu.Unlock()
 	return ds.append(RecSnapshot, snap)
 }
@@ -318,6 +491,18 @@ func (ds *DeployerStore) CrashAfter(kind byte, fn func()) {
 	ds.mu.Unlock()
 }
 
+// ObserveAppend arms a one-shot, NON-fatal hook: fn runs immediately
+// after the next record of the given kind lands durably (and has been
+// offered to replication), with the store still alive. Failover drills
+// use it to partition the network at a named checkpoint while the
+// doomed leader keeps running.
+func (ds *DeployerStore) ObserveAppend(kind byte, fn func()) {
+	ds.mu.Lock()
+	ds.observeKind = kind
+	ds.onObserve = fn
+	ds.mu.Unlock()
+}
+
 // Close releases the log and its process lock.
 func (ds *DeployerStore) Close() error {
 	ds.mu.Lock()
@@ -340,7 +525,14 @@ func (d *DeployerComponent) AttachStore(ds *DeployerStore) error {
 		d.nextEpoch = ne
 	}
 	fd := d.detector
+	le := d.leadership
 	d.mu.Unlock()
+	if le != nil {
+		// Leadership attached first: tap the store now and inherit its
+		// persisted fencing term.
+		ds.SetReplicator(le.enqueue, le.flush)
+		le.observe(ds.Term(), "")
+	}
 	snap := ds.snapshot()
 	if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
 		for comp, host := range snap.Reloc {
@@ -396,7 +588,14 @@ func (d *DeployerComponent) Resume() ([]ResumedWave, error) {
 				return out, fmt.Errorf("resume epoch %d: abort checkpoint: %w", wv.Epoch, err)
 			}
 		}
-		st := &epochState{participants: make(map[model.HostID]bool, len(wv.Participants))}
+		st := &epochState{
+			participants: make(map[model.HostID]bool, len(wv.Participants)),
+			// Resume under the wave's ORIGINAL coordinator identity: the
+			// participants keyed their two-phase state by it. A promoted
+			// standby stamps itself as ReplyTo so acks and bounces reach
+			// the live leader.
+			coordinator: wv.Coordinator,
+		}
 		for _, h := range wv.Participants {
 			st.participants[h] = true
 		}
@@ -449,7 +648,7 @@ func (d *DeployerComponent) ckptOpened(epoch int, moves map[string]model.HostID,
 	if ds == nil {
 		return nil
 	}
-	return ds.epochOpened(epoch, moves, participants)
+	return ds.epochOpened(epoch, moves, participants, d.arch.Host())
 }
 
 // ckptDecision persists the all-prepared transition (commit waves only)

@@ -1,0 +1,393 @@
+package prism
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/store"
+)
+
+// testClock is a hand-advanced clock for lease arithmetic.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// haWorld is a deployWorld whose first two hosts each run a deployer
+// with leadership attached (h1 boots as leader, h2 as warm standby).
+type haWorld struct {
+	*deployWorld
+	clk     *testClock
+	standby *DeployerComponent
+	leadA   *Leadership // hosts[0]'s leadership
+	leadB   *Leadership // hosts[1]'s leadership
+	dirs    map[model.HostID]string
+	stores  map[model.HostID]*DeployerStore
+}
+
+func newHAWorld(t *testing.T, hosts ...model.HostID) *haWorld {
+	t.Helper()
+	w := newWorld(t, 1.0, hosts...)
+	clk := newTestClock()
+	dw := &deployWorld{
+		world:    w,
+		admins:   make(map[model.HostID]*AdminComponent),
+		registry: NewFactoryRegistry(),
+		master:   hosts[0],
+	}
+	dw.registry.Register("counter", func(id string) Migratable { return newCounter(id) })
+	cfg := AdminConfig{Deployer: dw.master, Bus: "bus", Registry: dw.registry, Clock: clk.Now}
+	for _, h := range hosts {
+		admin, err := InstallAdmin(w.archs[h], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw.admins[h] = admin
+	}
+	ha := &haWorld{
+		deployWorld: dw,
+		clk:         clk,
+		dirs:        make(map[model.HostID]string),
+		stores:      make(map[model.HostID]*DeployerStore),
+	}
+	lcfg := LeaderConfig{
+		Agents: hosts, Clock: clk.Now,
+		RebroadcastInterval: 20 * time.Millisecond,
+		CampaignTimeout:     5 * time.Second,
+	}
+	for i, h := range hosts[:2] {
+		dep, err := InstallDeployer(w.archs[h], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		ds, err := OpenDeployerStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		if err := dep.AttachStore(ds); err != nil {
+			t.Fatal(err)
+		}
+		c := lcfg
+		c.Peers = []model.HostID{hosts[1-i]}
+		le, err := dep.AttachLeadership(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ha.dirs[h] = dir
+		ha.stores[h] = ds
+		if i == 0 {
+			dw.deployer, ha.leadA = dep, le
+		} else {
+			ha.standby, ha.leadB = dep, le
+		}
+	}
+	return ha
+}
+
+// TestLeaseGrantRule exercises the agent-side vote table directly: one
+// candidate per term ever, renewals only for the holder, expiry gating
+// takeovers, and everything below the fence rejected.
+func TestLeaseGrantRule(t *testing.T) {
+	ha := newHAWorld(t, "h1", "h2", "h3")
+	a := ha.admins["h3"]
+	ttl := 2 * time.Second
+
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h1", Term: 1, TTL: ttl})
+	if got := a.FenceTerm(); got != 1 {
+		t.Fatalf("fence after first grant = %d, want 1", got)
+	}
+	// Same term, different candidate: the term is already spent.
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h2", Term: 1, TTL: ttl})
+	if got := a.LeaseGrants()[1]; got != "h1" {
+		t.Fatalf("term 1 granted to %q, want h1", got)
+	}
+	// Holder renewal extends the same term.
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h1", Term: 1, TTL: ttl, Renewal: true})
+	// Higher term before the lease expires, different candidate: rejected.
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h2", Term: 2, TTL: ttl})
+	if got := a.FenceTerm(); got != 1 {
+		t.Fatalf("fence after premature takeover bid = %d, want 1", got)
+	}
+	// After expiry the same bid wins, and the old holder's terms are dead.
+	ha.clk.Advance(3 * ttl)
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h2", Term: 2, TTL: ttl})
+	if got := a.FenceTerm(); got != 2 {
+		t.Fatalf("fence after takeover = %d, want 2", got)
+	}
+	a.handleLeaseRequest(LeaseRequest{Candidate: "h1", Term: 1, TTL: ttl})
+	if got := a.FenceTerm(); got != 2 {
+		t.Fatalf("fence moved backwards: %d", got)
+	}
+	grants := a.LeaseGrants()
+	if grants[1] != "h1" || grants[2] != "h2" {
+		t.Fatalf("grant log = %v, want 1→h1 2→h2", grants)
+	}
+}
+
+// TestCampaignWinsQuorum is the happy-path election: the first candidate
+// reaches every agent, wins term 1, and renewals keep the lease alive.
+func TestCampaignWinsQuorum(t *testing.T) {
+	ha := newHAWorld(t, "h1", "h2", "h3")
+	won, err := ha.leadA.Campaign()
+	if err != nil || !won {
+		t.Fatalf("campaign: won=%v err=%v", won, err)
+	}
+	if !ha.leadA.IsLeader() || ha.leadA.Term() != 1 {
+		t.Fatalf("leader state: leading=%v term=%d", ha.leadA.IsLeader(), ha.leadA.Term())
+	}
+	waitFor(t, func() bool {
+		for _, h := range []model.HostID{"h1", "h2", "h3"} {
+			if ha.admins[h].FenceTerm() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		if got := ha.admins[h].LeaseGrants()[1]; got != "h1" {
+			t.Fatalf("agent %s granted term 1 to %q", h, got)
+		}
+	}
+	// The winning term is durable: a restart of this deployer re-learns it
+	// from its own snapshot instead of reusing a spent term.
+	if got := ha.stores["h1"].Term(); got != 1 {
+		t.Fatalf("persisted term = %d, want 1", got)
+	}
+	// The standby deployer refuses to drive waves.
+	if _, err := ha.standby.Enact(nil, nil, time.Second); err != ErrNotLeader {
+		t.Fatalf("standby Enact err = %v, want ErrNotLeader", err)
+	}
+}
+
+// TestStaleTermOutcomeFencedByEveryParticipant is the split-brain drill
+// at the frame level: once agents acknowledge a higher term, a
+// WaveOutcome stamped with an older term is dropped by every participant
+// — no rollback, no ack — and the fencing feedback deposes its sender.
+func TestStaleTermOutcomeFencedByEveryParticipant(t *testing.T) {
+	ha := newHAWorld(t, "h1", "h2", "h3")
+	won, err := ha.leadA.Campaign()
+	if err != nil || !won {
+		t.Fatalf("campaign: won=%v err=%v", won, err)
+	}
+	// The world moves on: h2 takes the lease at term 2 after expiry.
+	ha.clk.Advance(time.Minute)
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		ha.admins[h].handleLeaseRequest(LeaseRequest{Candidate: "h2", Term: 2, TTL: 2 * time.Second})
+		if got := ha.admins[h].FenceTerm(); got != 2 {
+			t.Fatalf("agent %s fence = %d, want 2", h, got)
+		}
+	}
+	// The deposed-but-unaware h1 broadcasts an abort at its old term.
+	stale := Event{
+		Name: EvOutcome, Kind: KindControl, Target: AdminID, SizeKB: 0.3,
+		Payload: WaveOutcome{Epoch: 9, Coordinator: "h1", Commit: false, Term: 1, ReplyTo: "h1"},
+	}
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		ha.admins[h].Handle(stale)
+	}
+	ck := epochKey("h1", 9)
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		a := ha.admins[h]
+		a.mu.Lock()
+		applied := a.aborted[ck]
+		a.mu.Unlock()
+		if applied {
+			t.Fatalf("agent %s applied a stale-term outcome", h)
+		}
+	}
+	// The rejection's fencing feedback reaches h1's deployer: it adopts
+	// term 2 and deposes itself.
+	waitFor(t, func() bool { return ha.deployer.deposed() && ha.leadA.Term() == 2 })
+	// The same frame at the live term is honored (and acked) everywhere.
+	live := stale
+	live.Payload = WaveOutcome{Epoch: 9, Coordinator: "h1", Commit: false, Term: 2, ReplyTo: "h2"}
+	for _, h := range []model.HostID{"h1", "h2", "h3"} {
+		ha.admins[h].Handle(live)
+		a := ha.admins[h]
+		a.mu.Lock()
+		applied := a.aborted[ck]
+		a.mu.Unlock()
+		if !applied {
+			t.Fatalf("agent %s dropped a live-term outcome", h)
+		}
+	}
+}
+
+// replayWAL re-opens a closed store directory and returns the raw WAL
+// bytes — the byte-identity witness for replication idempotency.
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// leaderStream runs two epochs against a leader store with the
+// replication tap installed and returns the enqueued record stream.
+func leaderStream(t *testing.T, ds *DeployerStore) []store.Record {
+	t.Helper()
+	var stream []store.Record
+	ds.SetReplicator(func(kind byte, data []byte) {
+		stream = append(stream, store.Record{Kind: kind, Data: data})
+	}, func() {})
+	moves := map[string]model.HostID{"c1": "h2"}
+	parts := []model.HostID{"h1", "h2"}
+	for epoch := 1; epoch <= 2; epoch++ {
+		if err := ds.epochOpened(epoch, moves, parts, "h1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.epochPrepared(epoch); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.epochDecided(epoch, epoch%2 == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 2 stays open (decided, unclosed) — the shape a failover
+	// resumes. Epoch 1 closes.
+	if err := ds.epochClosed(1); err != nil {
+		t.Fatal(err)
+	}
+	return stream
+}
+
+// TestReplicationIngestIdempotent feeds the same leader stream to three
+// standbys — once cleanly, once with every batch duplicated, once with
+// out-of-order redelivery — and requires byte-identical WALs and mirrors.
+func TestReplicationIngestIdempotent(t *testing.T) {
+	leaderDir := t.TempDir()
+	lds, err := OpenDeployerStore(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lds.Close()
+	stream := leaderStream(t, lds)
+	if len(stream) < 5 {
+		t.Fatalf("leader stream too short: %d records", len(stream))
+	}
+
+	open := func() (*DeployerStore, string) {
+		dir := t.TempDir()
+		ds, err := OpenDeployerStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, dir
+	}
+	clean, cleanDir := open()
+	dup, dupDir := open()
+	ooo, oooDir := open()
+
+	// Clean: one Reset batch with the whole stream.
+	if n, err := clean.Ingest(1, true, stream); err != nil || n != uint64(len(stream)) {
+		t.Fatalf("clean ingest: n=%d err=%v", n, err)
+	}
+
+	// Duplicated: every batch delivered twice, split into two halves.
+	half := len(stream) / 2
+	for i := 0; i < 2; i++ {
+		if _, err := dup.Ingest(1, true, stream[:half]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := dup.Ingest(uint64(half)+1, false, stream[half:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Out of order: the tail arrives first (gap → ignored), then the
+	// Reset prefix, then an overlapping suffix that is already covered,
+	// then the tail again.
+	if n, err := ooo.Ingest(uint64(half)+1, false, stream[half:]); err != nil || n != 0 {
+		t.Fatalf("gap batch: n=%d err=%v, want ignored", n, err)
+	}
+	if _, err := ooo.Ingest(1, true, stream[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ooo.Ingest(2, false, stream[1:half]); err != nil || n != uint64(half) {
+		t.Fatalf("covered overlap: n=%d err=%v", n, err)
+	}
+	if _, err := ooo.Ingest(uint64(half)+1, false, stream[half:]); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ds := range []*DeployerStore{clean, dup, ooo} {
+		if got := ds.ReplProgress(); got != uint64(len(stream)) {
+			t.Fatalf("repl progress = %d, want %d", got, len(stream))
+		}
+		if ne := ds.NextEpoch(); ne != 3 {
+			t.Fatalf("mirror next epoch = %d, want 3", ne)
+		}
+		waves := ds.OpenWaves()
+		if len(waves) != 1 || waves[0].Epoch != 2 || waves[0].Decided {
+			if len(waves) != 1 || waves[0].Epoch != 2 {
+				t.Fatalf("mirror open waves = %+v", waves)
+			}
+		}
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := walBytes(t, cleanDir)
+	if got := walBytes(t, dupDir); string(got) != string(want) {
+		t.Fatalf("duplicated delivery diverged: %d bytes vs %d", len(got), len(want))
+	}
+	if got := walBytes(t, oooDir); string(got) != string(want) {
+		t.Fatalf("out-of-order delivery diverged: %d bytes vs %d", len(got), len(want))
+	}
+}
+
+// TestReplicationStreamsToStandby is the live-wire version: a leader
+// wins the lease, moves a component through a real two-phase wave, and
+// the standby's store converges to the leader's live state through the
+// EvReplicate/EvReplicateAck exchange alone.
+func TestReplicationStreamsToStandby(t *testing.T) {
+	ha := newHAWorld(t, "h1", "h2", "h3")
+	ha.addCounter(t, "h2", "c1", 3)
+	won, err := ha.leadA.Campaign()
+	if err != nil || !won {
+		t.Fatalf("campaign: won=%v err=%v", won, err)
+	}
+	res, err := ha.deployer.Enact(
+		map[string]model.HostID{"c1": "h3"},
+		map[string]model.HostID{"c1": "h2"},
+		5*time.Second,
+	)
+	if err != nil || !res.Committed {
+		t.Fatalf("wave: res=%+v err=%v", res, err)
+	}
+	waitFor(t, func() bool { return ha.leadB.Term() == 1 && ha.leadA.Synced("h2") })
+	sb := ha.stores["h2"]
+	if ne := sb.NextEpoch(); ne != 2 {
+		t.Fatalf("standby next epoch = %d, want 2", ne)
+	}
+	if got := sb.Term(); got != 1 {
+		t.Fatalf("standby persisted term = %d, want 1", got)
+	}
+}

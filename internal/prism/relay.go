@@ -77,7 +77,16 @@ type controlSender struct {
 	relay *relayState
 	// seq numbers backoff sleeps for deterministic jitter.
 	seq atomic.Uint64
+	// cancel, when set, is consulted between retry attempts: a true
+	// return abandons the send. Owners use it to stop the capped-backoff
+	// loop from hammering a partitioned link on behalf of a wave that has
+	// since been aborted, or a leadership that has since been fenced.
+	cancel func(e Event) bool
 }
+
+// setCancel installs the retry-abandon predicate. Call before the sender
+// is shared across goroutines (i.e. during component construction).
+func (cs *controlSender) setCancel(fn func(e Event) bool) { cs.cancel = fn }
 
 func newControlSender(arch *Architecture, cfg AdminConfig, from string) *controlSender {
 	registerPayloadsOnce.Do(registerControlPayloads)
@@ -107,9 +116,9 @@ func (cs *controlSender) send(to model.HostID, e Event) error {
 		return err
 	}
 	if cs.isPeer(dc, to) {
-		return cs.sendDirect(dc, to, data, e.EffectiveSizeKB(), e.Name)
+		return cs.sendDirect(dc, to, data, e.EffectiveSizeKB(), e.Name, e)
 	}
-	return cs.sendRelayed(dc, data, e.EffectiveSizeKB(), e.Name, "")
+	return cs.sendRelayed(dc, data, e.EffectiveSizeKB(), e.Name, "", e)
 }
 
 func (cs *controlSender) isPeer(dc *DistributionConnector, h model.HostID) bool {
@@ -124,7 +133,11 @@ func (cs *controlSender) isPeer(dc *DistributionConnector, h model.HostID) bool 
 // sendDirect retries a lossy link until the frame gets through or the
 // attempt budget is spent, with capped exponential backoff and
 // deterministic jitter between attempts so simultaneous senders desync.
-func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string) error {
+// The cancel predicate is re-checked before and after every backoff
+// sleep: an outcome retry for an epoch that was aborted meanwhile, or a
+// frame from a deployer that lost its lease, is abandoned instead of
+// burning the remaining attempt budget against a partitioned link.
+func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string, ev Event) error {
 	attempts := cs.cfg.SendAttempts
 	if cs.cfg.Retry.Disabled {
 		attempts = 1
@@ -132,8 +145,18 @@ func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if cs.cancel != nil && cs.cancel(ev) {
+				cs.metric("prism_control_sends_cancelled_total").Inc()
+				return fmt.Errorf("%s %s → %s: %s send cancelled after %d attempts",
+					cs.from, cs.arch.Host(), to, name, i)
+			}
 			cs.metric("prism_control_retries_total").Inc()
 			time.Sleep(cs.backoff(i - 1))
+			if cs.cancel != nil && cs.cancel(ev) {
+				cs.metric("prism_control_sends_cancelled_total").Inc()
+				return fmt.Errorf("%s %s → %s: %s send cancelled after %d attempts",
+					cs.from, cs.arch.Host(), to, name, i)
+			}
 		}
 		if lastErr = dc.Transport().Send(to, data, sizeKB); lastErr == nil {
 			return nil
@@ -183,17 +206,17 @@ func splitmix64(x uint64) uint64 {
 
 // sendRelayed floods a relay envelope to every peer (except the one the
 // message came from, when forwarding).
-func (cs *controlSender) sendRelayed(dc *DistributionConnector, data []byte, sizeKB float64, name string, except model.HostID) error {
+func (cs *controlSender) sendRelayed(dc *DistributionConnector, data []byte, sizeKB float64, name string, except model.HostID, inner Event) error {
 	env := RelayPayload{
 		ID:   cs.relay.nextID(cs.arch.Host(), cs.from),
 		TTL:  DefaultRelayTTL,
 		Data: data,
 	}
 	cs.relay.markSeen(env.ID) // never re-forward our own envelope
-	return cs.floodEnvelope(dc, env, sizeKB, name, except)
+	return cs.floodEnvelope(dc, env, sizeKB, name, except, inner)
 }
 
-func (cs *controlSender) floodEnvelope(dc *DistributionConnector, env RelayPayload, sizeKB float64, name string, except model.HostID) error {
+func (cs *controlSender) floodEnvelope(dc *DistributionConnector, env RelayPayload, sizeKB float64, name string, except model.HostID, inner Event) error {
 	peers := dc.Transport().Peers()
 	sentAny := false
 	var lastErr error
@@ -215,7 +238,7 @@ func (cs *controlSender) floodEnvelope(dc *DistributionConnector, env RelayPaylo
 		if err != nil {
 			return err
 		}
-		if err := cs.sendDirect(dc, peer, data, sizeKB, name+"(relay)"); err != nil {
+		if err := cs.sendDirect(dc, peer, data, sizeKB, name+"(relay)", inner); err != nil {
 			lastErr = err
 			continue
 		}
@@ -257,10 +280,10 @@ func (cs *controlSender) handleRelay(env RelayPayload, from model.HostID) bool {
 	// If the final destination is now a direct peer, deliver straight to
 	// it; otherwise keep flooding.
 	if cs.isPeer(dc, inner.DstHost) {
-		_ = cs.sendDirect(dc, inner.DstHost, env.Data, inner.EffectiveSizeKB(), inner.Name+"(relay-final)")
+		_ = cs.sendDirect(dc, inner.DstHost, env.Data, inner.EffectiveSizeKB(), inner.Name+"(relay-final)", inner)
 		return true
 	}
 	env.TTL--
-	_ = cs.floodEnvelope(dc, env, inner.EffectiveSizeKB(), inner.Name, from)
+	_ = cs.floodEnvelope(dc, env, inner.EffectiveSizeKB(), inner.Name, from, inner)
 	return true
 }
