@@ -28,10 +28,12 @@ race: test-race
 
 # soak: the seeded chaos drill at full width — SOAK_SEEDS seeds, each
 # composing crashes, 20% drop, 10% dup, partitions, mid-wave
-# migrations, and deployer-leadership churn (leader-kill takeovers and
-# lease-pause fencing of a revived old leader) under the race detector,
-# with every seed run twice and the invariant reports compared
-# byte-for-byte.
+# migrations, deployer-leadership churn (leader-kill takeovers and
+# lease-pause fencing of a revived old leader), and rejoin-resync
+# (a resurrected host converges through one goal-state delta exchange,
+# its manifest checked byte-for-byte against the goal) under the race
+# detector, with every seed run twice and the invariant reports
+# compared byte-for-byte.
 SOAK_SEEDS ?= 10
 soak:
 	$(GO) test -race -count=1 -timeout 20m -run TestChaosSoak -v ./internal/chaos/ -args -chaos.seeds=$(SOAK_SEEDS)

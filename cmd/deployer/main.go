@@ -152,7 +152,7 @@ func run() error {
 	})
 	adminCfg := prism.AdminConfig{
 		Deployer: master, Bus: framework.BusName, Registry: registry,
-		Retry: common.Retry(),
+		Retry: common.Retry(), LegacyControl: common.LegacyControl,
 	}
 	admin, err := prism.InstallAdmin(arch, adminCfg)
 	if err != nil {
@@ -406,6 +406,20 @@ func run() error {
 				return err
 			}
 		}
+		// Seed the goal table with the pre-distribution truth (everything
+		// on the master at generation 1); the distribution wave below
+		// bumps each host to its described manifest, so a slave that
+		// announces later re-syncs from these generations. A restarted
+		// or failed-over deployer restores the table from its log instead.
+		goal := make(map[model.HostID][]prism.GoalComponent, len(sys.Hosts))
+		for _, h := range sys.HostIDs() {
+			goal[h] = nil
+		}
+		for comp := range deployment {
+			goal[master] = append(goal[master],
+				prism.GoalComponent{ID: string(comp), Type: framework.TrafficTypeName})
+		}
+		dep.SeedGoalState(goal)
 		moves := make(map[string]model.HostID, len(deployment))
 		current := make(map[string]model.HostID, len(deployment))
 		for comp, h := range deployment {
@@ -468,6 +482,11 @@ func run() error {
 						}
 					}
 					view[comp] = master
+					// The goal table follows the re-home: if the dead host
+					// rejoins and announces before the recovery wave lands,
+					// its delta must not re-acquire components the master
+					// now owns.
+					dep.RelocateGoal(string(comp), framework.TrafficTypeName, master)
 				}
 				dec, err := anlz.Recover(context.Background(), centralModel, view)
 				if err != nil {

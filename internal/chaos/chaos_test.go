@@ -107,6 +107,14 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					fail("restarted a live host")
 				}
 				st.up[op.A] = true
+			case OpRejoinResync:
+				if st.up[op.A] {
+					fail("resynced a live host")
+				}
+				if !st.quorumUp() {
+					fail("rejoin-resync without a partition-free control plane")
+				}
+				st.up[op.A] = true
 			case OpPartition:
 				if !st.up[op.A] || !st.up[op.B] {
 					fail("partitioned a down host")

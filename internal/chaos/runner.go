@@ -272,7 +272,15 @@ func (r *runner) addProbe(id string, host model.HostID) error {
 	if err := arch.AddComponent(NewProbe(id, r.ledger)); err != nil {
 		return err
 	}
-	return arch.Weld(id, framework.BusName)
+	if err := arch.Weld(id, framework.BusName); err != nil {
+		return err
+	}
+	// The goal table follows every out-of-band placement (initial spread,
+	// crash re-homes): waves update it themselves on commit, everything
+	// else must tell the leader, or a rejoining agent would resync to a
+	// stale manifest.
+	r.ha.Deps[r.leader].RelocateGoal(id, ProbeTypeName, host)
+	return nil
 }
 
 // inject routes n ledger-registered events at the target component from
@@ -337,7 +345,54 @@ func (r *runner) exec(op Op) error {
 		return r.leaderKill(op)
 	case OpLeasePause:
 		return r.leasePause(op)
+	case OpRejoinResync:
+		return r.rejoinResync(op.A)
 	}
+	return nil
+}
+
+// rejoinResync resurrects a crashed host and converges it through the
+// goal-state pump: the fresh incarnation announces its empty manifest at
+// generation zero, the leader answers with one full delta, and the
+// exchange alone must restore the host — no wave replay, no replan. The
+// acked manifest is then checked byte for byte against the goal.
+func (r *runner) rejoinResync(h model.HostID) error {
+	if _, err := r.w.RestartHost(h); err != nil {
+		return err
+	}
+	r.restarts[h]++
+	dep := r.ha.Deps[r.leader]
+	lead := r.ha.Leads[r.leader]
+	admin := r.w.Admins[h]
+	// Under 20% drop the announce or the delta may be eaten, so every
+	// pump round re-announces (level-triggered — duplicates are
+	// harmless) and renews the lease so the fresh incarnation learns who
+	// leads before it trusts a delta.
+	if err := r.driveUntil(fmt.Sprintf("rejoin-resync %s convergence", h),
+		func() {
+			lead.Renew()
+			_ = admin.AnnounceGoalState()
+		},
+		func() bool {
+			gen := dep.GoalGeneration(h)
+			return gen > 0 && dep.GoalAcked(h) == gen
+		}); err != nil {
+		return err
+	}
+	// Byte-for-byte witness: the agent's live manifest IS the goal's.
+	want := strings.Join(dep.GoalManifest(h), ",")
+	var have []string
+	for _, id := range r.w.Archs[h].ComponentIDs() {
+		if id != prism.AdminID && id != prism.DeployerID {
+			have = append(have, id)
+		}
+	}
+	sort.Strings(have)
+	if got := strings.Join(have, ","); got != want {
+		return fmt.Errorf("rejoin-resync %s manifest = [%s], goal says [%s]", h, got, want)
+	}
+	r.waveLines = append(r.waveLines, fmt.Sprintf(
+		"rejoin-resync host=%s gen=%d manifest=[%s]", h, dep.GoalGeneration(h), want))
 	return nil
 }
 
@@ -797,6 +852,23 @@ func (r *runner) checkInvariants() error {
 	for _, h := range r.hosts {
 		if got, want := r.w.Incarnation(h), uint64(r.restarts[h]); got != want {
 			return fmt.Errorf("host %s incarnation %d, want %d", h, got, want)
+		}
+	}
+	// The goal table is the placement's witness: for every host, the
+	// leader's goal manifest must name exactly the probes the mirror
+	// places there — waves, crash re-homes, and resyncs all kept it true.
+	dep := r.ha.Deps[r.leader]
+	for _, h := range r.hosts {
+		var want []string
+		for _, p := range r.probes {
+			if r.placement[p] == h {
+				want = append(want, p)
+			}
+		}
+		sort.Strings(want)
+		got := dep.GoalManifest(h)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			return fmt.Errorf("goal manifest drift on %s: goal=%v, mirror=%v", h, got, want)
 		}
 	}
 	// No split brain, ever: merged across every live agent's grant log, a

@@ -104,6 +104,14 @@ const (
 	// the usurper's replication stream, stands down, and must refuse to
 	// coordinate; it then resyncs as B's standby.
 	OpLeasePause
+	// OpRejoinResync resurrects crashed host A (bumped incarnation, like
+	// OpRestart) and then drives the goal-state pump: the rejoined agent
+	// announces its empty manifest and generation zero, the leader answers
+	// with one full delta, and the runner spins until the agent's ack
+	// converges on the host's goal generation — then asserts the agent's
+	// live manifest matches the goal byte for byte. No wave replay, no
+	// replan: the delta exchange alone must restore the host.
+	OpRejoinResync
 )
 
 // deployerCrashPhases names OpDeployerCrash.Phase values in op
@@ -135,6 +143,8 @@ func (k OpKind) String() string {
 		return "leader-kill"
 	case OpLeasePause:
 		return "lease-pause"
+	case OpRejoinResync:
+		return "rejoin-resync"
 	}
 	return fmt.Sprintf("opkind(%d)", int(k))
 }
@@ -159,7 +169,7 @@ func (o Op) describe() string {
 		return fmt.Sprintf("traffic origin=%s target=%s n=%d", o.A, o.Comp, o.N)
 	case OpMigrate, OpAbortMigrate:
 		return fmt.Sprintf("%s comp=%s src=%s dst=%s", o.Kind, o.Comp, o.A, o.B)
-	case OpCrash, OpRestart:
+	case OpCrash, OpRestart, OpRejoinResync:
 		return fmt.Sprintf("%s host=%s", o.Kind, o.A)
 	case OpPartition, OpHeal:
 		return fmt.Sprintf("%s a=%s b=%s", o.Kind, o.A, o.B)
@@ -320,9 +330,10 @@ func (st *scenarioState) crash(h model.HostID) {
 // GenerateScenario derives a deterministic op list from the seed. Op
 // frequencies roughly: 45% traffic, 17% migration (a third of those
 // abort-flavored, a third deployer-crash-flavored), 10% partition, 8%
-// heal, 10% crash, 4% host restart, 2% deployer restart, 2% leader
-// kill, 2% lease pause — with every ineligible draw degrading to a
-// traffic burst so the list length is stable. A heal epilogue closes
+// heal, 10% crash, 2% host restart, 2% rejoin-resync, 2% deployer
+// restart, 2% leader kill, 2% lease pause — with every ineligible draw
+// degrading to a traffic burst so the list length is stable. A heal
+// epilogue closes
 // any partition still open so the settle phase can drain all in-flight
 // traffic.
 func GenerateScenario(cfg Config) []Op {
@@ -449,6 +460,20 @@ func GenerateScenario(cfg Config) []Op {
 					break
 				}
 				op = Op{Kind: OpDeployerRestart}
+			case r >= 92:
+				// Rejoin-resync: the resurrected host converges through one
+				// goal-state delta exchange with the leader, so the control
+				// plane must be partition-free for the pump to drain.
+				if !st.quorumUp() {
+					break
+				}
+				down := st.downHosts()
+				if len(down) == 0 {
+					break
+				}
+				h := down[rng.Intn(len(down))]
+				st.up[h] = true
+				op = Op{Kind: OpRejoinResync, A: h}
 			default:
 				down := st.downHosts()
 				if len(down) == 0 {

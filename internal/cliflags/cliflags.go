@@ -28,6 +28,7 @@ type Common struct {
 	TraceOut      string
 	BatchBytes    int
 	BatchFlush    time.Duration
+	LegacyControl bool
 }
 
 // Register installs the shared flags on fs and returns the struct the
@@ -44,6 +45,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write recorded span trees as JSONL to this file on exit (empty disables)")
 	fs.IntVar(&c.BatchBytes, "batch-bytes", 0, "TCP frame-coalescing write-buffer size in bytes (0 disables coalescing)")
 	fs.DurationVar(&c.BatchFlush, "batch-flush", prism.DefaultBatchFlush, "max time a coalesced frame may wait before the idle flush")
+	fs.BoolVar(&c.LegacyControl, "legacy-control", false, "pin this process to the pre-goal-state control plane (no GoalState announce/delta frames); waves still work — the rolling-upgrade escape hatch")
 	return c
 }
 
@@ -141,7 +143,7 @@ func ParsePeerAddrs(s string) (map[string]string, error) {
 func (c *Common) Faulty() bool { return c.FaultDrop > 0 || c.FaultDup > 0 }
 
 // FaultConfig builds the fault decorator's configuration, registering
-// its counters in reg (nil reg keeps the decorator's private registry).
+// its counters in reg (nil reg discards them).
 func (c *Common) FaultConfig(reg *obs.Registry) prism.FaultConfig {
 	return prism.FaultConfig{
 		Seed: c.FaultSeed, DropRate: c.FaultDrop, DupRate: c.FaultDup, Obs: reg,

@@ -59,6 +59,12 @@ func TestSharedFlagParity(t *testing.T) {
 			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
 				BatchBytes: 65536, BatchFlush: 5 * time.Millisecond},
 		},
+		{
+			name: "legacy control plane pinned",
+			args: []string{"-legacy-control"},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
+				BatchFlush: prism.DefaultBatchFlush, LegacyControl: true},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -265,6 +265,12 @@ func (c *Centralized) Rejoin(h model.HostID) error {
 	if fd := c.World.Deployer.Detector(); fd != nil {
 		fd.Observe(h, c.World.Incarnation(h))
 	}
+	// Level-triggered reconciliation: the rejoined agent reports its
+	// (empty) manifest and generation zero; the deployer answers with one
+	// full delta instead of replaying the waves the host missed.
+	if admin := c.World.Admins[h]; admin != nil {
+		_ = admin.AnnounceGoalState()
+	}
 	c.World.Obs().Counter("framework_rejoins_total").Inc()
 	return nil
 }

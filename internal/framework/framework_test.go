@@ -9,6 +9,7 @@ import (
 	"dif/internal/analyzer"
 	"dif/internal/model"
 	"dif/internal/objective"
+	"dif/internal/obs"
 	"dif/internal/prism"
 )
 
@@ -36,6 +37,17 @@ func newTestWorld(t *testing.T, hosts, comps int, seed int64, cfg WorldConfig) (
 	return w, dep
 }
 
+// trafficCounters reads a traffic component's sent/received tallies the
+// supported way: instrument into a registry and read the gauges back.
+func trafficCounters(tc *TrafficComponent) (sent, recv int) {
+	reg := obs.NewRegistry()
+	tc.Instrument(reg)
+	snap := reg.Snapshot()
+	s, _ := snap.Value(obs.Name("traffic_sent_events", "component", tc.ID()))
+	r, _ := snap.Value(obs.Name("traffic_received_events", "component", tc.ID()))
+	return int(s), int(r)
+}
+
 func TestTrafficComponentTicks(t *testing.T) {
 	tc := NewTrafficComponent("a")
 	tc.AddPartner("b", 2.5, 4)
@@ -55,7 +67,7 @@ func TestTrafficComponentTicks(t *testing.T) {
 	if emitted[0].Target != "b" || emitted[0].SizeKB != 4 {
 		t.Fatalf("event = %+v", emitted[0])
 	}
-	sent, _ := tc.Counters()
+	sent, _ := trafficCounters(tc)
 	if sent != 5 {
 		t.Fatalf("sent = %d", sent)
 	}
@@ -75,7 +87,7 @@ func TestTrafficComponentMigration(t *testing.T) {
 	if err := tc2.Restore(state); err != nil {
 		t.Fatal(err)
 	}
-	sent, recv := tc2.Counters()
+	sent, recv := trafficCounters(tc2)
 	if sent != 1 || recv != 1 {
 		t.Fatalf("restored counters = %d/%d", sent, recv)
 	}
@@ -93,7 +105,7 @@ func TestTrafficComponentIgnoresControl(t *testing.T) {
 	tc := NewTrafficComponent("a")
 	tc.Handle(prism.Event{Kind: prism.KindControl})
 	tc.Handle(prism.Event{Kind: prism.KindPing})
-	if _, recv := tc.Counters(); recv != 0 {
+	if _, recv := trafficCounters(tc); recv != 0 {
 		t.Fatalf("control traffic counted: %d", recv)
 	}
 }

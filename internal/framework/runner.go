@@ -27,12 +27,11 @@ type Runner struct {
 	// outcome (nil error included). It runs on the runner's goroutine.
 	OnCycle func(rep Report, err error)
 
-	// Nil-safe metric handles, wired by Instrument.
+	// Nil-safe metric handles, wired by Instrument. These are the only
+	// cycle/error tallies the runner keeps: read framework_cycles_total
+	// and framework_cycle_errors_total from the instrumented registry.
 	cyclesTotal *obs.Counter
 	errsTotal   *obs.Counter
-
-	cycles int
-	errs   int
 }
 
 // NewRunner wraps a cycle function (e.g. Centralized.Cycle or
@@ -84,10 +83,8 @@ func (r *Runner) loop(stop, done chan struct{}) {
 			}
 			rep, err := r.cycle(ctx)
 			r.mu.Lock()
-			r.cycles++
 			r.cyclesTotal.Inc()
 			if err != nil {
-				r.errs++
 				r.errsTotal.Inc()
 			}
 			cb := r.OnCycle
@@ -114,14 +111,4 @@ func (r *Runner) Stop() {
 	r.mu.Unlock()
 	close(stop)
 	<-done
-}
-
-// Stats returns how many cycles ran and how many returned errors.
-//
-// Deprecated: read framework_cycles_total / framework_cycle_errors_total
-// from the registry wired via Instrument instead.
-func (r *Runner) Stats() (cycles, errs int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cycles, r.errs
 }

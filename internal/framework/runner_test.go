@@ -8,24 +8,36 @@ import (
 	"time"
 
 	"dif/internal/analyzer"
+	"dif/internal/obs"
 )
+
+// instrumentRunner wires r into a fresh registry and returns a stats
+// reader — the replacement for the deleted Runner.Stats accessor.
+func instrumentRunner(r *Runner) func() (int, int) {
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	cycles := reg.Counter("framework_cycles_total")
+	errs := reg.Counter("framework_cycle_errors_total")
+	return func() (int, int) { return int(cycles.Value()), int(errs.Value()) }
+}
 
 func TestRunnerDrivesCycles(t *testing.T) {
 	var ticks atomic.Int64
 	r := NewRunner(func(context.Context) (Report, error) {
 		return Report{}, nil
 	}, 5*time.Millisecond, func() { ticks.Add(1) })
+	stats := instrumentRunner(r)
 	r.Start()
 	defer r.Stop()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if c, _ := r.Stats(); c >= 3 {
+		if c, _ := stats(); c >= 3 {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	r.Stop()
-	cycles, errs := r.Stats()
+	cycles, errs := stats()
 	if cycles < 3 {
 		t.Fatalf("cycles = %d, want ≥ 3", cycles)
 	}
@@ -36,9 +48,9 @@ func TestRunnerDrivesCycles(t *testing.T) {
 		t.Fatalf("workload ran %d times for %d cycles", ticks.Load(), cycles)
 	}
 	// No further cycles after Stop.
-	after, _ := r.Stats()
+	after, _ := stats()
 	time.Sleep(20 * time.Millisecond)
-	again, _ := r.Stats()
+	again, _ := stats()
 	if again != after {
 		t.Fatal("runner still cycling after Stop")
 	}
@@ -59,16 +71,17 @@ func TestRunnerCountsErrors(t *testing.T) {
 			seen.Add(1)
 		}
 	}
+	stats := instrumentRunner(r)
 	r.Start()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, errs := r.Stats(); errs >= 2 {
+		if _, errs := stats(); errs >= 2 {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	r.Stop()
-	if _, errs := r.Stats(); errs < 2 {
+	if _, errs := stats(); errs < 2 {
 		t.Fatalf("errs = %d, want ≥ 2", errs)
 	}
 	if seen.Load() < 2 {
@@ -123,16 +136,17 @@ func TestRunnerWithLiveCentralized(t *testing.T) {
 			hardErrs.Add(1)
 		}
 	}
+	stats := instrumentRunner(r)
 	r.Start()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if c, _ := r.Stats(); c >= 2 {
+		if c, _ := stats(); c >= 2 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	r.Stop()
-	cycles, _ := r.Stats()
+	cycles, _ := stats()
 	if cycles < 2 {
 		t.Fatalf("live cycles = %d", cycles)
 	}

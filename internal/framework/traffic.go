@@ -117,16 +117,6 @@ func (tc *TrafficComponent) Instrument(reg *obs.Registry) {
 	})
 }
 
-// Counters returns (sent, received).
-//
-// Deprecated: read the traffic_sent_events / traffic_received_events
-// gauges from the registry wired via Instrument instead.
-func (tc *TrafficComponent) Counters() (int, int) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.sent, tc.received
-}
-
 // trafficState is the serialized form of a TrafficComponent.
 type trafficState struct {
 	Partners map[string]float64 `json:"partners"`

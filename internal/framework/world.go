@@ -200,6 +200,21 @@ func NewWorld(sys *model.System, deployment model.Deployment, cfg WorldConfig) (
 			return nil, err
 		}
 	}
+	// The initial placement is goal generation 1: agents that later
+	// rejoin or restart converge back to the goal table, so it must
+	// mirror reality from the first moment.
+	if w.Deployer != nil {
+		goal := make(map[model.HostID][]prism.GoalComponent, len(hosts))
+		for _, h := range hosts {
+			goal[h] = nil
+		}
+		for comp, host := range deployment {
+			goal[host] = append(goal[host], prism.GoalComponent{
+				ID: string(comp), Type: TrafficTypeName,
+			})
+		}
+		w.Deployer.SeedGoalState(goal)
+	}
 	return w, nil
 }
 
@@ -433,7 +448,15 @@ func (w *World) PlaceComponent(comp model.ComponentID, host model.HostID) error 
 	if err := arch.AddComponent(tc); err != nil {
 		return err
 	}
-	return arch.Weld(string(comp), BusName)
+	if err := arch.Weld(string(comp), BusName); err != nil {
+		return err
+	}
+	// Out-of-band placement: record it in the goal table so the next
+	// resync does not evict the restored copy.
+	if w.Deployer != nil {
+		w.Deployer.RelocateGoal(string(comp), TrafficTypeName, host)
+	}
+	return nil
 }
 
 // Hosts returns all host IDs, sorted.

@@ -52,6 +52,11 @@ type ReconfigCommand struct {
 	// unfenced value (solo deployer); admins reject any non-zero term
 	// below their fence.
 	Term uint64
+	// Gen is the goal-state generation this host reaches if the wave
+	// commits (a wave is a fenced generation bump; see goalstate.go).
+	// Zero on frames from a pre-goal-state deployer — the gob-compatible
+	// version-skew path.
+	Gen uint64
 }
 
 // FetchRequest asks the admin on the component's current host to detach,
@@ -123,6 +128,10 @@ type WaveOutcome struct {
 	// acknowledgement and any hop-exhausted traffic bounces; empty falls
 	// back to Coordinator (the solo-deployer case).
 	ReplyTo model.HostID
+	// Gens publishes the participants' goal-state generations reached by
+	// this commit (the generation-bump half of wave-on-goal-state). Nil
+	// on frames from a pre-goal-state deployer and on aborts.
+	Gens map[model.HostID]uint64
 }
 
 // OutcomeAck confirms a participant applied a wave outcome; the
@@ -145,6 +154,11 @@ func registerControlPayloads() {
 	gob.Register(WaveOutcome{})
 	gob.Register(OutcomeAck{})
 	gob.Register(Heartbeat{})
+	// Goal-state payloads normally ride the binary codec; the gob
+	// registrations keep relay envelopes and test harnesses general.
+	gob.Register(GoalAnnounce{})
+	gob.Register(GoalDelta{})
+	gob.Register(GoalAck{})
 }
 
 var registerPayloadsOnce sync.Once
@@ -189,6 +203,12 @@ type AdminConfig struct {
 	// stepped clock here (via WorldConfig.Tune) so traced runs are
 	// byte-identical across same-seed repetitions.
 	Clock func() time.Time
+	// LegacyControl pins this peer to the pre-goal-state control plane:
+	// the admin never announces or applies goal state, the deployer never
+	// answers announces. Waves still work — goal generations ride as
+	// ignorable extra fields — which is exactly the mixed-version rolling
+	// upgrade the version-skew drills exercise.
+	LegacyControl bool
 }
 
 // RetryPolicy tunes control-plane retransmission. The zero value enables
@@ -308,6 +328,10 @@ type AdminComponent struct {
 	leaseHolder model.HostID
 	leaseExpiry time.Time
 	grantLog    map[uint64]model.HostID
+
+	// goalGen is the goal-state generation this agent last converged to
+	// (level-triggered reconciliation; see goalstate.go).
+	goalGen uint64
 }
 
 type reconfigProgress struct {
@@ -451,6 +475,7 @@ func (a *AdminComponent) SetIncarnation(inc uint64) {
 	a.mu.Lock()
 	a.incarnation = inc
 	a.mu.Unlock()
+	a.sender.setIncarnation(inc)
 	if dc := a.arch.DistributionConnector(a.cfg.Bus); dc != nil {
 		dc.SetIncarnation(inc)
 	}
@@ -634,6 +659,12 @@ func (a *AdminComponent) Handle(e Event) {
 			return
 		}
 		a.handleOutcome(out)
+	case EvGoalDelta:
+		gd, ok := e.Payload.(GoalDelta)
+		if !ok {
+			return
+		}
+		a.handleGoalDelta(gd)
 	case EvLeaseRequest:
 		req, ok := e.Payload.(LeaseRequest)
 		if !ok {
@@ -1174,6 +1205,7 @@ func (a *AdminComponent) handleOutcome(out WaveOutcome) {
 	ck := epochKey(coord, out.Epoch)
 	if out.Commit {
 		a.commitWave(ck, authority)
+		a.noteCommittedGens(out.Gens)
 	} else {
 		a.abortWave(ck, authority)
 	}

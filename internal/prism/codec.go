@@ -28,7 +28,7 @@ import (
 //
 //	[0]  tag 0xB1
 //	[1]  flags:  bits0-2  payload kind (0 none, 1 AppAck, 2 AppBounce,
-//	                      3 AppAckBatch)
+//	                      3 AppAckBatch, 4 goal-state)
 //	             bit3     has SizeKB (8-byte LE float64 follows strings)
 //	             bit4     has delivery stamp (Seq/SeqOrigin/SeqInc)
 //	             bit5     has Hops
@@ -42,6 +42,13 @@ import (
 // AppAckBatch residues are delta-encoded (ascending, uvarint gaps).
 // Decoding is strict: truncated fields, overlong varints, and trailing
 // bytes are errors, never panics (FuzzBinaryDecodeEvent enforces it).
+//
+// The goal-state kind (4) is the self-describing control family:
+// its payload opens with a schema version uvarint and an op byte
+// (announce/delta/ack) and closes with a length-prefixed extension
+// tail, so same-version peers can append fields without breaking old
+// decoders and newer major versions are rejected cleanly — the wire
+// contract that makes rolling upgrades possible (see goalstate.go).
 
 // binTag is the first byte of every binary-codec frame. Bump the tag —
 // not the layout — for incompatible revisions, so every version stays
@@ -54,6 +61,7 @@ const (
 	payAppAck
 	payAppBounce
 	payAckBatch
+	payGoalState
 )
 
 // Flag bits.
@@ -77,6 +85,8 @@ func binaryPayloadKind(p any) (kind byte, ok bool) {
 		return payAppBounce, true
 	case AppAckBatch:
 		return payAckBatch, true
+	case GoalAnnounce, GoalDelta, GoalAck:
+		return payGoalState, true
 	default:
 		return 0, false
 	}
@@ -157,6 +167,8 @@ func AppendEvent(dst []byte, e Event) ([]byte, error) {
 				prev = s
 			}
 		}
+	case GoalAnnounce, GoalDelta, GoalAck:
+		dst = appendGoalPayload(dst, p)
 	}
 	return dst, nil
 }
@@ -357,6 +369,10 @@ func decodeBinaryEvent(data []byte) (Event, error) {
 			p.Ranges = append(p.Ranges, ar)
 		}
 		e.Payload = p
+	case payGoalState:
+		if e.Payload, err = decodeGoalPayload(r); err != nil {
+			return Event{}, err
+		}
 	default:
 		return Event{}, fmt.Errorf("binary event: unknown payload kind %d", flags&0x07)
 	}

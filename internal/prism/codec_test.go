@@ -10,6 +10,7 @@ import (
 // claims: empty/zero values, unstamped vs stamped, hops, every
 // EventKind, and each binary-encodable payload.
 func codecCases() map[string]Event {
+	registerPayloadsOnce.Do(registerControlPayloads)
 	return map[string]Event{
 		"zero":        {},
 		"name only":   {Name: "app.tick"},
@@ -43,6 +44,26 @@ func codecCases() map[string]Event {
 				{Target: "c1", Inc: 0, Floor: 100},
 				{Target: "c2", Inc: 2, Floor: 7, Seen: []uint64{9, 12, 40000}},
 			}},
+		},
+		"goal announce": {
+			Name: EvGoalAnnounce, Kind: KindControl, Target: DeployerID, SizeKB: 0.4,
+			Payload: GoalAnnounce{
+				Host: "h3", Incarnation: 2, Generation: 9,
+				Manifest: []string{"c1", "c7"},
+			},
+		},
+		"goal delta": {
+			Name: EvGoalDelta, Kind: KindControl, Target: AdminID, SizeKB: 0.5,
+			Payload: GoalDelta{
+				Host: "h3", Coordinator: "h1", Term: 4, FromGen: 9, Generation: 12, Full: true,
+				Acquire: []GoalComponent{{ID: "c2", Type: "dif.traffic"}},
+				Remove:  []string{"c7"},
+				Reloc:   []RelocEntry{{Comp: "c7", Host: "h2"}},
+			},
+		},
+		"goal ack": {
+			Name: EvGoalAck, Kind: KindControl, Target: DeployerID, SizeKB: 0.3,
+			Payload: GoalAck{Host: "h3", Generation: 12, Manifest: []string{"c1", "c2"}},
 		},
 	}
 }
@@ -226,6 +247,25 @@ func FuzzBinaryDecodeEvent(f *testing.F) {
 	f.Add([]byte{binTag, 0xff})
 	f.Add([]byte{binTag, flagHasSeq | flagHasHops, 0x02})
 	f.Add(bytes.Repeat([]byte{binTag}, 32))
+	// Goal-state frame corpora: the payload is the frame's tail, so the
+	// seeds patch it in place — version-skewed (99 and 0), unknown op,
+	// unknown-field extension tail, and a truncated delta.
+	goalFrame, err := AppendEvent(nil, codecCases()["goal delta"])
+	if err != nil {
+		f.Fatal(err)
+	}
+	goalPayload := appendGoalPayload(nil, codecCases()["goal delta"].Payload.(GoalDelta))
+	head := goalFrame[:len(goalFrame)-len(goalPayload)]
+	patch := func(b []byte, off int, v byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(head)+off] = v
+		return out
+	}
+	f.Add(patch(goalFrame, 0, 99)) // newer major version
+	f.Add(patch(goalFrame, 0, 0))  // invalid version zero
+	f.Add(patch(goalFrame, 1, 0x7f))
+	f.Add(append(append([]byte(nil), goalFrame[:len(goalFrame)-1]...), 3, 0xde, 0xad, 0xbf))
+	f.Add(goalFrame[:len(head)+len(goalPayload)/2])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := decodeBinaryEvent(append([]byte{binTag}, data...))
 		if err != nil {

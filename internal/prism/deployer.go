@@ -48,6 +48,11 @@ type DeployerComponent struct {
 	// fencing term on every control frame, and streams checkpoint records
 	// to standby peers (see leader.go). Nil is the legacy solo mode.
 	leadership *Leadership
+	// goal is the per-agent desired-manifest table (goalstate.go). With a
+	// store attached its mutations are checkpointed and replicated; it is
+	// the source of truth the level-triggered resync path converges
+	// agents to.
+	goal *goalTable
 
 	// stop aborts in-flight waves on Close so shutdown never deadlocks on
 	// doneCh waiters.
@@ -78,6 +83,10 @@ type epochState struct {
 	abortCh     chan struct{}
 	deadAborted bool
 	deadHost    model.HostID
+	// gens are the participants' goal generations published with a
+	// committed outcome (set between the decision checkpoint and the
+	// outcome broadcast).
+	gens map[model.HostID]uint64
 }
 
 // NewDeployerComponent builds a deployer for the master architecture.
@@ -93,6 +102,7 @@ func NewDeployerComponent(arch *Architecture, cfg AdminConfig) *DeployerComponen
 		reportWait:    make(chan struct{}, 1),
 		epochs:        make(map[int]*epochState),
 		nextEpoch:     1,
+		goal:          newGoalTable(),
 		stop:          make(chan struct{}),
 	}
 	// A deposed or closed deployer's in-flight control retries die
@@ -306,6 +316,18 @@ func (d *DeployerComponent) Handle(e Event) {
 			}
 		}
 		d.mu.Unlock()
+	case EvGoalAnnounce:
+		ga, ok := e.Payload.(GoalAnnounce)
+		if !ok {
+			return
+		}
+		d.handleGoalAnnounce(ga)
+	case EvGoalAck:
+		ack, ok := e.Payload.(GoalAck)
+		if !ok {
+			return
+		}
+		d.handleGoalAck(ack)
 	case EvLeaseGrant:
 		g, ok := e.Payload.(LeaseGrant)
 		if !ok {
@@ -488,7 +510,10 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 		}
 		cmds[dst] = Event{
 			Name: EvReconfig, Target: AdminID, SizeKB: 1,
-			Payload: ReconfigCommand{Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host(), Term: term},
+			Payload: ReconfigCommand{
+				Epoch: epoch, Arrivals: arr, Coordinator: d.arch.Host(), Term: term,
+				Gen: d.pendingGen(dst),
+			},
 		}
 		dsts = append(dsts, dst)
 	}
@@ -604,6 +629,12 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 				d.mu.Unlock()
 				sortHostIDs(pend)
 				for _, h := range pend {
+					// A dead destination never reports done; retrying into the
+					// corpse only serializes the control pump behind its send
+					// backoff (NoteHostDead is already aborting the wave).
+					if d.hostDead(h) {
+						continue
+					}
 					_ = d.sendControl(h, cmds[h])
 				}
 			}
@@ -664,6 +695,18 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 			d.waveMetrics(false, res.Moved, waveStart)
 			return res, fmt.Errorf("enact epoch %d: decision checkpoint failed (%v); outcome deferred to restart", epoch, err)
 		}
+	}
+	if completed && !closed {
+		// A committed wave IS a goal-state transition: fold the moves into
+		// the goal table (bumping the touched generations, checkpointed and
+		// replicated when a store is attached) so the outcome broadcast can
+		// publish the new generations. Idempotent — a crash between the
+		// decision record and the goal records is healed by Resume
+		// re-applying the same moves.
+		gens := d.applyWaveToGoal(moves)
+		d.mu.Lock()
+		st.gens = gens
+		d.mu.Unlock()
 	}
 	outSp := wave.Child("outcome").SetAttr("decision", decision)
 	if closed {
@@ -841,9 +884,15 @@ func (d *DeployerComponent) outcomePayload(epoch int, st *epochState, commit boo
 	if coord == "" {
 		coord = d.arch.Host()
 	}
+	d.mu.Lock()
+	gens := st.gens
+	d.mu.Unlock()
+	if !commit {
+		gens = nil // aborted waves never advance a generation
+	}
 	return WaveOutcome{
 		Epoch: epoch, Coordinator: coord, Commit: commit,
-		Term: d.term(), ReplyTo: d.arch.Host(),
+		Term: d.term(), ReplyTo: d.arch.Host(), Gens: gens,
 	}
 }
 

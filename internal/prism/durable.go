@@ -31,6 +31,11 @@ const (
 	// RecSnapshot is the last-wins snapshot of the relocation table,
 	// dedup windows, and incarnation map.
 	RecSnapshot byte = 5
+	// RecGoalState is one host's goal-state entry (generation + desired
+	// manifest), last-wins per host. Written on every goal transition, so
+	// generations survive restarts and replicate to standbys alongside
+	// the wave records.
+	RecGoalState byte = 6
 )
 
 // compactAfter is how many closed epochs may accumulate in the log
@@ -50,6 +55,12 @@ type epochOpenRec struct {
 
 type epochMarkRec struct {
 	Epoch int `json:"epoch"`
+}
+
+type goalStateRec struct {
+	Host     model.HostID    `json:"host"`
+	Gen      uint64          `json:"gen"`
+	Manifest []GoalComponent `json:"manifest,omitempty"`
 }
 
 type epochDecidedRec struct {
@@ -93,6 +104,9 @@ type DeployerStore struct {
 	waves     map[int]*DurableWave
 	snap      snapshotRec
 	closedN   int
+	// goals mirrors the latest goal-state record per host (acked
+	// generations are soft state: agents re-announce after any restart).
+	goals map[model.HostID]goalStateRec
 
 	// crashKind/onCrash are the kill -9 stand-in: after the next record
 	// of crashKind lands durably, the store dies and onCrash runs.
@@ -127,7 +141,11 @@ func OpenDeployerStore(dir string) (*DeployerStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := &DeployerStore{log: log, nextEpoch: 1, waves: make(map[int]*DurableWave)}
+	ds := &DeployerStore{
+		log: log, nextEpoch: 1,
+		waves: make(map[int]*DurableWave),
+		goals: make(map[model.HostID]goalStateRec),
+	}
 	for _, r := range recs {
 		if err := ds.applyLocked(r); err != nil {
 			log.Close()
@@ -193,6 +211,12 @@ func (ds *DeployerStore) applyLocked(r store.Record) error {
 		if rec.NextEpoch > ds.nextEpoch {
 			ds.nextEpoch = rec.NextEpoch
 		}
+	case RecGoalState:
+		var rec goalStateRec
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			return fmt.Errorf("deployer store: bad goal-state record: %w", err)
+		}
+		ds.goals[rec.Host] = rec
 	default:
 		return fmt.Errorf("deployer store: unknown record kind %d", r.Kind)
 	}
@@ -203,6 +227,18 @@ func (ds *DeployerStore) applyLocked(r store.Record) error {
 // current, fires an armed crash hook, and compacts when enough closed
 // epochs have piled up.
 func (ds *DeployerStore) append(kind byte, v any) error {
+	return ds.appendPolicy(kind, v, true)
+}
+
+// appendPolicy is append with the replication flush made optional.
+// eager=false still enqueues the record into the replication log in WAL
+// order, but leaves the network send to the next natural flush (a later
+// append, a campaign win, or a replication tick). Goal-state records use
+// this: they are derivable from the decided wave records they trail, so
+// a standby that misses the eager send reconstructs them during Resume,
+// and a burst of per-host checkpoints must not spawn a matching burst of
+// retrying control sends.
+func (ds *DeployerStore) appendPolicy(kind byte, v any, eager bool) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -239,7 +275,10 @@ func (ds *DeployerStore) append(kind byte, v any) error {
 		ds.observeKind = 0
 		ds.onObserve = nil
 	}
-	flush := ds.replFlush
+	var flush func()
+	if eager {
+		flush = ds.replFlush
+	}
 	if hook == nil && ds.closedN >= compactAfter {
 		_ = ds.compactLocked()
 	}
@@ -272,6 +311,18 @@ func (ds *DeployerStore) liveRecordsLocked() ([]store.Record, snapshotRec, error
 		return nil, snap, err
 	}
 	recs := []store.Record{{Kind: RecSnapshot, Data: data}}
+	ghosts := make([]model.HostID, 0, len(ds.goals))
+	for h := range ds.goals {
+		ghosts = append(ghosts, h)
+	}
+	sortHostIDs(ghosts)
+	for _, h := range ghosts {
+		g, err := json.Marshal(ds.goals[h])
+		if err != nil {
+			return nil, snap, err
+		}
+		recs = append(recs, store.Record{Kind: RecGoalState, Data: g})
+	}
 	epochs := make([]int, 0, len(ds.waves))
 	for e := range ds.waves {
 		epochs = append(epochs, e)
@@ -349,6 +400,7 @@ func (ds *DeployerStore) Ingest(seq uint64, reset bool, recs []store.Record) (ui
 		ds.nextEpoch = 1
 		ds.waves = make(map[int]*DurableWave)
 		ds.snap = snapshotRec{}
+		ds.goals = make(map[model.HostID]goalStateRec)
 		ds.closedN = 0
 		for _, r := range recs {
 			if err := ds.applyLocked(r); err != nil {
@@ -435,6 +487,40 @@ func (ds *DeployerStore) epochDecided(epoch int, commit bool) error {
 
 func (ds *DeployerStore) epochClosed(epoch int) error {
 	return ds.append(RecEpochClosed, epochMarkRec{Epoch: epoch})
+}
+
+// saveGoal durably records one host's goal-state entry (last-wins). The
+// replication send is deferred to the next flush: goal records trail the
+// wave records they are derived from, and Resume re-applies committed
+// moves to the goal table, so a standby never depends on seeing them
+// eagerly.
+func (ds *DeployerStore) saveGoal(rec goalStateRec) error {
+	return ds.appendPolicy(RecGoalState, rec, false)
+}
+
+// GoalStates returns the mirrored goal-state records keyed by host.
+func (ds *DeployerStore) GoalStates() map[model.HostID]goalStateRec {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make(map[model.HostID]goalStateRec, len(ds.goals))
+	for h, g := range ds.goals {
+		out[h] = g
+	}
+	return out
+}
+
+// GoalGenerations returns the goal generation each host's mirrored
+// record carries — what a deployer promoted from this store would serve.
+// Drills use it to confirm the replication stream delivered the goal
+// checkpoints before forcing a failover.
+func (ds *DeployerStore) GoalGenerations() map[model.HostID]uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make(map[model.HostID]uint64, len(ds.goals))
+	for h, g := range ds.goals {
+		out[h] = g.Gen
+	}
+	return out
 }
 
 func (ds *DeployerStore) saveSnapshot(snap snapshotRec) error {
@@ -549,7 +635,46 @@ func (d *DeployerComponent) AttachStore(ds *DeployerStore) error {
 		d.restoredIncs = snap.Incarnations
 		d.mu.Unlock()
 	}
+	// Goal-state merge: the log's entries win where they are at least as
+	// new (the restart and promoted-standby cases); entries only the
+	// in-memory table knows (seeded before the store was attached) are
+	// pushed into the log now.
+	push := d.mergeGoalFromStore(ds)
+	for _, h := range push {
+		d.ckptGoal(h)
+	}
 	return nil
+}
+
+// mergeGoalFromStore folds the store's goal-state records into the
+// in-memory goal table (store wins where at least as new) and returns
+// the hosts only the memory table knows — the caller checkpoints those.
+// Resume calls this again before resolving waves: a standby keeps
+// ingesting replicated goal records long after AttachStore ran, and a
+// promoted leader must serve the stream's latest generations, not the
+// attach-time snapshot.
+func (d *DeployerComponent) mergeGoalFromStore(ds *DeployerStore) []model.HostID {
+	stored := ds.GoalStates()
+	var push []model.HostID
+	d.mu.Lock()
+	for h, rec := range stored {
+		e := d.goal.entry(h)
+		if rec.Gen >= e.Gen {
+			e.Gen = rec.Gen
+			e.Manifest = make(map[string]string, len(rec.Manifest))
+			for _, gc := range rec.Manifest {
+				e.Manifest[gc.ID] = gc.Type
+			}
+		}
+	}
+	for h, e := range d.goal.entries {
+		if _, ok := stored[h]; !ok && e.Gen > 0 {
+			push = append(push, h)
+		}
+	}
+	d.mu.Unlock()
+	sortHostIDs(push)
+	return push
 }
 
 // ResumedWave reports how Resume resolved one in-flight epoch.
@@ -578,6 +703,10 @@ func (d *DeployerComponent) Resume() ([]ResumedWave, error) {
 	if ds == nil {
 		return nil, nil
 	}
+	// Adopt whatever goal generations the replication stream delivered
+	// since AttachStore: the promoted-standby path answers announces from
+	// this table the moment Resume returns.
+	d.mergeGoalFromStore(ds)
 	var out []ResumedWave
 	for _, wv := range ds.OpenWaves() {
 		rw := ResumedWave{Epoch: wv.Epoch, Resumed: wv.Decided, Committed: wv.Decided && wv.Commit}
@@ -604,7 +733,16 @@ func (d *DeployerComponent) Resume() ([]ResumedWave, error) {
 		d.mu.Unlock()
 		decision := "rollback"
 		if rw.Committed {
-			decision = "commit"
+			// Re-fold the committed moves into the goal table before the
+			// broadcast. Idempotent: if the dead lifetime already wrote the
+			// goal records, nothing bumps; if it crashed between the decision
+			// record and the goal records, this heals the gap. The resumed
+			// outcome then publishes the CURRENT generations (level
+			// semantics — agents only ever move forward).
+			gens := d.applyWaveToGoal(wv.Moves)
+			d.mu.Lock()
+			st.gens = gens
+			d.mu.Unlock()
 		}
 		sp := d.arch.Tracer().Start("wave_resume")
 		sp.SetAttr("epoch", wv.Epoch).SetAttr("decision", decision).SetAttr("resumed", rw.Resumed)
@@ -677,6 +815,27 @@ func (d *DeployerComponent) ckptClosed(epoch int) {
 	d.mu.Unlock()
 	if ds != nil {
 		_ = ds.epochClosed(epoch)
+	}
+}
+
+// ckptGoal persists one host's goal-state entry (best-effort: a dead
+// store must never fail a wave — Resume's idempotent re-apply heals the
+// gap, and a memory-only deployer simply keeps the table soft).
+func (d *DeployerComponent) ckptGoal(h model.HostID) {
+	d.mu.Lock()
+	ds := d.store
+	var rec goalStateRec
+	if ds != nil {
+		e := d.goal.entry(h)
+		rec = goalStateRec{Host: h, Gen: e.Gen}
+		ids := e.sortedIDs()
+		for _, id := range ids {
+			rec.Manifest = append(rec.Manifest, GoalComponent{ID: id, Type: e.Manifest[id]})
+		}
+	}
+	d.mu.Unlock()
+	if ds != nil {
+		_ = ds.saveGoal(rec)
 	}
 }
 

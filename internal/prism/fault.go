@@ -56,21 +56,9 @@ type FaultConfig struct {
 	DelayRate float64
 	Delay     time.Duration
 	// Obs receives the transport's fault counters, labelled by host
-	// (prism_fault_*_total{host=...}). When nil a private registry backs
-	// the deprecated Stats accessor.
+	// (prism_fault_*_total{host=...}). When nil the counters are not
+	// recorded anywhere (the handles are nil-safe no-ops).
 	Obs *obs.Registry
-}
-
-// FaultStats counts injected faults.
-//
-// Deprecated: read the prism_fault_*_total counters from the registry
-// passed via FaultConfig.Obs instead. Retained for one release.
-type FaultStats struct {
-	Sent       int // Send calls that were not blocked by a partition
-	Dropped    int
-	Duplicated int
-	Delayed    int
-	Blocked    int // frames suppressed by a partition (either direction)
 }
 
 // ErrPeerPartitioned is returned by Send while an injected partition
@@ -79,12 +67,10 @@ var ErrPeerPartitioned = errors.New("prism: peer partitioned (injected)")
 
 var _ Transport = (*FaultTransport)(nil)
 
-// NewFaultTransport wraps inner with fault injection.
+// NewFaultTransport wraps inner with fault injection. The injected-fault
+// counters land in cfg.Obs under prism_fault_*_total{host=...}.
 func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 	reg := cfg.Obs
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
 	host := string(inner.Host())
 	return &FaultTransport{
 		inner:       inner,
@@ -191,21 +177,6 @@ func (f *FaultTransport) Partition(peer model.HostID, on bool) {
 		f.partitioned[peer] = true
 	} else {
 		delete(f.partitioned, peer)
-	}
-}
-
-// Stats returns a snapshot of the injected-fault counters.
-//
-// Deprecated: the counters now live in the registry supplied via
-// FaultConfig.Obs (prism_fault_*_total{host=...}); this wrapper reads
-// them back for callers not yet migrated.
-func (f *FaultTransport) Stats() FaultStats {
-	return FaultStats{
-		Sent:       int(f.sent.Value()),
-		Dropped:    int(f.dropped.Value()),
-		Duplicated: int(f.duplicated.Value()),
-		Delayed:    int(f.delayed.Value()),
-		Blocked:    int(f.blocked.Value()),
 	}
 }
 

@@ -7,7 +7,22 @@ import (
 
 	"dif/internal/model"
 	"dif/internal/netsim"
+	"dif/internal/obs"
 )
+
+// faultCounters reads a fault transport's injected-fault tallies from its
+// registry — the replacement for the deleted Stats accessor. The registry
+// counters update synchronously inside Send, so per-frame decisions are
+// observable without racing async delivery.
+func faultCounters(reg *obs.Registry, host string) map[string]int {
+	snap := reg.Snapshot()
+	out := make(map[string]int)
+	for _, k := range []string{"sent", "dropped", "duplicated", "delayed", "blocked"} {
+		v, _ := snap.Value(obs.Name("prism_fault_"+k+"_total", "host", host))
+		out[k] = int(v)
+	}
+	return out
+}
 
 // faultPair builds two netsim-backed transports wrapped in fault
 // injectors with the given configs.
@@ -42,7 +57,8 @@ func countingReceiver() (func(model.HostID, []byte), func() int) {
 }
 
 func TestFaultTransportSilentDrop(t *testing.T) {
-	fa, fb := faultPair(t, FaultConfig{Seed: 1, DropRate: 1}, FaultConfig{})
+	reg := obs.NewRegistry()
+	fa, fb := faultPair(t, FaultConfig{Seed: 1, DropRate: 1, Obs: reg}, FaultConfig{})
 	recv, got := countingReceiver()
 	fb.SetReceiver(recv)
 	for i := 0; i < 20; i++ {
@@ -54,14 +70,15 @@ func TestFaultTransportSilentDrop(t *testing.T) {
 	if n := got(); n != 0 {
 		t.Fatalf("%d frames leaked through a DropRate=1 transport", n)
 	}
-	st := fa.Stats()
-	if st.Dropped != 20 || st.Sent != 20 {
-		t.Fatalf("stats = %+v, want 20 sent / 20 dropped", st)
+	st := faultCounters(reg, "a")
+	if st["dropped"] != 20 || st["sent"] != 20 {
+		t.Fatalf("counters = %v, want 20 sent / 20 dropped", st)
 	}
 }
 
 func TestFaultTransportDuplicateDelivery(t *testing.T) {
-	fa, fb := faultPair(t, FaultConfig{Seed: 1, DupRate: 1}, FaultConfig{})
+	reg := obs.NewRegistry()
+	fa, fb := faultPair(t, FaultConfig{Seed: 1, DupRate: 1, Obs: reg}, FaultConfig{})
 	recv, got := countingReceiver()
 	fb.SetReceiver(recv)
 	for i := 0; i < 10; i++ {
@@ -70,8 +87,8 @@ func TestFaultTransportDuplicateDelivery(t *testing.T) {
 		}
 	}
 	waitForCond(t, func() bool { return got() == 20 })
-	if st := fa.Stats(); st.Duplicated != 10 {
-		t.Fatalf("stats = %+v, want 10 duplicated", st)
+	if st := faultCounters(reg, "a"); st["duplicated"] != 10 {
+		t.Fatalf("counters = %v, want 10 duplicated", st)
 	}
 }
 
@@ -104,16 +121,18 @@ func TestFaultTransportPartition(t *testing.T) {
 
 func TestFaultTransportDeterministicDrops(t *testing.T) {
 	pattern := func() []bool {
-		fa, _ := faultPair(t, FaultConfig{Seed: 99, DropRate: 0.5}, FaultConfig{})
+		reg := obs.NewRegistry()
+		fa, _ := faultPair(t, FaultConfig{Seed: 99, DropRate: 0.5, Obs: reg}, FaultConfig{})
 		out := make([]bool, 0, 50)
 		last := 0
 		for i := 0; i < 50; i++ {
 			if err := fa.Send("b", []byte("x"), 1); err != nil {
 				t.Fatal(err)
 			}
-			// Stats update synchronously, so the drop decision per frame
-			// is observable without racing async delivery.
-			dropped := fa.Stats().Dropped
+			// The registry counters update synchronously inside Send, so
+			// the drop decision per frame is observable without racing
+			// async delivery.
+			dropped := faultCounters(reg, "a")["dropped"]
 			out = append(out, dropped == last)
 			last = dropped
 		}

@@ -1,0 +1,776 @@
+package prism
+
+import (
+	"fmt"
+	"sort"
+
+	"dif/internal/model"
+	"dif/internal/obs"
+)
+
+// Goal-state control plane (the streamed successor to wave broadcast).
+//
+// The deployer maintains a per-agent desired manifest — the components
+// each host should be running, with their factory types and the
+// coordinator's relocation hints — under a monotonically increasing
+// generation number. Reconfiguration is level-triggered: an agent that
+// connects, rejoins after a partition, restarts, or survives a leader
+// failover announces its current generation and manifest, and the
+// deployer ships ONE delta that converges it to the latest goal state.
+// No wave replay, no replan: the delta is computed against what the
+// agent actually has, not against the history it missed.
+//
+// The two-phase wave machinery is rebuilt on top of goal-state
+// transitions: a wave is a fenced generation bump proposed to its
+// participants (ReconfigCommand.Gen carries the generation each
+// destination reaches if the wave commits) and committed by publishing
+// the new generations in the outcome broadcast (WaveOutcome.Gens).
+// Aborted waves never advance a generation.
+
+// Goal-state control event names.
+const (
+	EvGoalAnnounce = "admin.goalAnnounce"
+	EvGoalDelta    = "admin.goalDelta"
+	EvGoalAck      = "admin.goalAck"
+)
+
+// GoalStateVersion is the schema version stamped on every goal-state
+// frame. Decoders reject frames from a NEWER major version with a clean
+// error (never a misparse), and skip the extension tail same-version
+// writers may append — the two halves of rolling-upgrade safety.
+const GoalStateVersion = 1
+
+// GoalComponent is one entry of a host's desired manifest: the
+// component and the factory type an agent needs to re-instantiate it
+// when the live instance died with a previous lifetime.
+type GoalComponent struct {
+	ID   string
+	Type string
+}
+
+// RelocEntry is one relocation hint shipped with a delta, priming the
+// agent's bounce table so stale routes resolve without a coordinator
+// round trip.
+type RelocEntry struct {
+	Comp string
+	Host model.HostID
+}
+
+// GoalAnnounce is the agent's level report: its current generation and
+// the manifest it is actually running. Sent on connect, rejoin,
+// restart, and leader failover; the deployer answers with a GoalDelta.
+type GoalAnnounce struct {
+	Host        model.HostID
+	Incarnation uint64
+	Generation  uint64
+	Manifest    []string // sorted component IDs currently hosted
+}
+
+// GoalDelta converges one agent to the current goal state. Full deltas
+// (the announce-triggered resync path) are computed against the
+// announced manifest, so applying Acquire and Remove yields exactly the
+// goal manifest at Generation.
+type GoalDelta struct {
+	Host model.HostID
+	// Coordinator is the live leader that computed the delta — the ack
+	// target, and the origin the agent's fence learns a higher term from.
+	Coordinator model.HostID
+	// Term is the issuing leader's fencing term (zero = legacy unfenced);
+	// agents drop deltas below their fence exactly like wave frames.
+	Term uint64
+	// FromGen is the generation the delta assumes the agent is at (the
+	// announced one for Full deltas).
+	FromGen uint64
+	// Generation is the goal generation reached after applying.
+	Generation uint64
+	// Full marks a level resync: Acquire/Remove were computed against the
+	// agent's announced manifest rather than a generation diff.
+	Full    bool
+	Acquire []GoalComponent
+	Remove  []string
+	Reloc   []RelocEntry
+}
+
+// GoalAck confirms an applied delta and carries the agent's post-apply
+// manifest — the byte-for-byte witness the resync invariant checks.
+type GoalAck struct {
+	Host       model.HostID
+	Generation uint64
+	Manifest   []string // sorted component IDs after applying the delta
+}
+
+// Goal-state frame op codes (after the version field).
+const (
+	goalOpAnnounce byte = 1
+	goalOpDelta    byte = 2
+	goalOpAck      byte = 3
+)
+
+// appendGoalPayload encodes a goal-state payload: version, op, op
+// fields, then a length-prefixed extension tail (empty at v1) that
+// same-version decoders skip — unknown appended fields are forward
+// compatible without a version bump.
+func appendGoalPayload(dst []byte, p any) []byte {
+	dst = appendUvarint(dst, GoalStateVersion)
+	switch g := p.(type) {
+	case GoalAnnounce:
+		dst = append(dst, goalOpAnnounce)
+		dst = appendString(dst, string(g.Host))
+		dst = appendUvarint(dst, g.Incarnation)
+		dst = appendUvarint(dst, g.Generation)
+		dst = appendUvarint(dst, uint64(len(g.Manifest)))
+		for _, id := range g.Manifest {
+			dst = appendString(dst, id)
+		}
+	case GoalDelta:
+		dst = append(dst, goalOpDelta)
+		dst = appendString(dst, string(g.Host))
+		dst = appendString(dst, string(g.Coordinator))
+		dst = appendUvarint(dst, g.Term)
+		dst = appendUvarint(dst, g.FromGen)
+		dst = appendUvarint(dst, g.Generation)
+		full := byte(0)
+		if g.Full {
+			full = 1
+		}
+		dst = append(dst, full)
+		dst = appendUvarint(dst, uint64(len(g.Acquire)))
+		for _, gc := range g.Acquire {
+			dst = appendString(dst, gc.ID)
+			dst = appendString(dst, gc.Type)
+		}
+		dst = appendUvarint(dst, uint64(len(g.Remove)))
+		for _, id := range g.Remove {
+			dst = appendString(dst, id)
+		}
+		dst = appendUvarint(dst, uint64(len(g.Reloc)))
+		for _, re := range g.Reloc {
+			dst = appendString(dst, re.Comp)
+			dst = appendString(dst, string(re.Host))
+		}
+	case GoalAck:
+		dst = append(dst, goalOpAck)
+		dst = appendString(dst, string(g.Host))
+		dst = appendUvarint(dst, g.Generation)
+		dst = appendUvarint(dst, uint64(len(g.Manifest)))
+		for _, id := range g.Manifest {
+			dst = appendString(dst, id)
+		}
+	}
+	dst = appendUvarint(dst, 0) // extension tail: empty at v1
+	return dst
+}
+
+// decodeGoalPayload decodes a goal-state payload from r.
+func decodeGoalPayload(r *binReader) (any, error) {
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version > GoalStateVersion {
+		return nil, fmt.Errorf("binary event: unsupported goal-state version %d (this peer speaks v%d)",
+			version, GoalStateVersion)
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("binary event: goal-state version 0 is invalid")
+	}
+	op, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	var payload any
+	var s string
+	switch op {
+	case goalOpAnnounce:
+		var g GoalAnnounce
+		if s, err = r.str(); err != nil {
+			return nil, err
+		}
+		g.Host = model.HostID(s)
+		if g.Incarnation, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if g.Generation, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if g.Manifest, err = decodeStringList(r); err != nil {
+			return nil, err
+		}
+		payload = g
+	case goalOpDelta:
+		var g GoalDelta
+		if s, err = r.str(); err != nil {
+			return nil, err
+		}
+		g.Host = model.HostID(s)
+		if s, err = r.str(); err != nil {
+			return nil, err
+		}
+		g.Coordinator = model.HostID(s)
+		if g.Term, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if g.FromGen, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if g.Generation, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		full, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		g.Full = full != 0
+		nAcq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nAcq > uint64(len(r.b)) {
+			return nil, fmt.Errorf("binary event: %d goal acquisitions exceed frame", nAcq)
+		}
+		for i := uint64(0); i < nAcq; i++ {
+			var gc GoalComponent
+			if gc.ID, err = r.str(); err != nil {
+				return nil, err
+			}
+			if gc.Type, err = r.str(); err != nil {
+				return nil, err
+			}
+			g.Acquire = append(g.Acquire, gc)
+		}
+		if g.Remove, err = decodeStringList(r); err != nil {
+			return nil, err
+		}
+		nReloc, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nReloc > uint64(len(r.b)) {
+			return nil, fmt.Errorf("binary event: %d relocation hints exceed frame", nReloc)
+		}
+		for i := uint64(0); i < nReloc; i++ {
+			var re RelocEntry
+			if re.Comp, err = r.str(); err != nil {
+				return nil, err
+			}
+			if s, err = r.str(); err != nil {
+				return nil, err
+			}
+			re.Host = model.HostID(s)
+			g.Reloc = append(g.Reloc, re)
+		}
+		payload = g
+	case goalOpAck:
+		var g GoalAck
+		if s, err = r.str(); err != nil {
+			return nil, err
+		}
+		g.Host = model.HostID(s)
+		if g.Generation, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if g.Manifest, err = decodeStringList(r); err != nil {
+			return nil, err
+		}
+		payload = g
+	default:
+		return nil, fmt.Errorf("binary event: unknown goal-state op %d", op)
+	}
+	// Skip the extension tail: fields appended by a same-version peer we
+	// do not know about yet.
+	extLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.bytes(extLen); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func decodeStringList(r *binReader) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("binary event: %d list entries exceed frame", n)
+	}
+	var out []string
+	for i := uint64(0); i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// goalEntry is one agent's goal state as the deployer tracks it.
+type goalEntry struct {
+	Gen      uint64
+	Acked    uint64            // highest generation the agent acknowledged
+	Manifest map[string]string // component ID → factory type
+}
+
+func (g *goalEntry) sortedIDs() []string {
+	out := make([]string, 0, len(g.Manifest))
+	for id := range g.Manifest {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goalTable is the deployer's per-agent goal state. With a durable
+// store attached its mutations are checkpointed (RecGoalState) and
+// replicated to standbys through the same stream as the wave records,
+// so generations survive restarts and leader failovers.
+type goalTable struct {
+	entries map[model.HostID]*goalEntry
+}
+
+func newGoalTable() *goalTable {
+	return &goalTable{entries: make(map[model.HostID]*goalEntry)}
+}
+
+func (t *goalTable) entry(h model.HostID) *goalEntry {
+	e := t.entries[h]
+	if e == nil {
+		e = &goalEntry{Manifest: make(map[string]string)}
+		t.entries[h] = e
+	}
+	return e
+}
+
+// ownerOf finds the host whose goal manifest currently names comp.
+func (t *goalTable) ownerOf(comp string) (model.HostID, bool) {
+	for h, e := range t.entries {
+		if _, ok := e.Manifest[comp]; ok {
+			return h, true
+		}
+	}
+	return "", false
+}
+
+// SeedGoalState installs the initial per-host goal manifests at
+// generation 1. Hosts already carrying goal state (a restarted deployer
+// restored them from its log) are left untouched, so seeding after a
+// resume never rolls a generation back.
+func (d *DeployerComponent) SeedGoalState(manifests map[model.HostID][]GoalComponent) {
+	d.mu.Lock()
+	hosts := make([]model.HostID, 0, len(manifests))
+	for h := range manifests {
+		if e := d.goal.entries[h]; e != nil && e.Gen > 0 {
+			continue
+		}
+		hosts = append(hosts, h)
+	}
+	sortHostIDs(hosts)
+	for _, h := range hosts {
+		e := d.goal.entry(h)
+		e.Gen = 1
+		e.Manifest = make(map[string]string, len(manifests[h]))
+		for _, gc := range manifests[h] {
+			e.Manifest[gc.ID] = gc.Type
+		}
+	}
+	d.mu.Unlock()
+	for _, h := range hosts {
+		d.ckptGoal(h)
+	}
+}
+
+// RelocateGoal records an out-of-band placement in the goal table: comp
+// (of the given factory type) now belongs on host `to`; whichever host's
+// manifest previously named it loses it. Both touched generations bump.
+// Callers use it for placements that bypass the wave machinery — crash
+// recovery restoring origin copies on the master, test worlds placing
+// components directly.
+func (d *DeployerComponent) RelocateGoal(comp, typeName string, to model.HostID) {
+	d.mu.Lock()
+	var touched []model.HostID
+	if from, ok := d.goal.ownerOf(comp); ok {
+		if from == to {
+			// Type refresh only; no generation bump.
+			d.goal.entry(to).Manifest[comp] = typeName
+			d.mu.Unlock()
+			d.ckptGoal(to)
+			return
+		}
+		e := d.goal.entry(from)
+		delete(e.Manifest, comp)
+		e.Gen++
+		touched = append(touched, from)
+	}
+	if to != "" {
+		e := d.goal.entry(to)
+		e.Manifest[comp] = typeName
+		e.Gen++
+		touched = append(touched, to)
+	}
+	d.mu.Unlock()
+	sortHostIDs(touched)
+	for _, h := range touched {
+		d.ckptGoal(h)
+	}
+}
+
+// applyWaveToGoal folds a committed wave's moves into the goal table
+// and returns the participants' new generations (the outcome
+// broadcast's Gens). Idempotent: a move whose destination already owns
+// the component is skipped, so Resume can re-apply a decided wave whose
+// goal checkpoints were lost between the decision record and the crash.
+func (d *DeployerComponent) applyWaveToGoal(moves map[string]model.HostID) map[model.HostID]uint64 {
+	comps := make([]string, 0, len(moves))
+	for comp := range moves {
+		comps = append(comps, comp)
+	}
+	sort.Strings(comps)
+	d.mu.Lock()
+	touched := make(map[model.HostID]bool)
+	for _, comp := range comps {
+		dst := moves[comp]
+		from, ok := d.goal.ownerOf(comp)
+		if ok && from == dst {
+			continue
+		}
+		typeName := ""
+		if ok {
+			e := d.goal.entry(from)
+			typeName = e.Manifest[comp]
+			delete(e.Manifest, comp)
+			touched[from] = true
+		}
+		d.goal.entry(dst).Manifest[comp] = typeName
+		touched[dst] = true
+	}
+	hosts := make([]model.HostID, 0, len(touched))
+	for h := range touched {
+		d.goal.entry(h).Gen++
+		hosts = append(hosts, h)
+	}
+	gens := make(map[model.HostID]uint64, len(d.goal.entries))
+	for h, e := range d.goal.entries {
+		gens[h] = e.Gen
+	}
+	d.mu.Unlock()
+	sortHostIDs(hosts)
+	for _, h := range hosts {
+		d.ckptGoal(h)
+	}
+	return gens
+}
+
+// pendingGen returns the generation host h would reach if an in-flight
+// wave touching it commits (stamped on ReconfigCommand.Gen).
+func (d *DeployerComponent) pendingGen(h model.HostID) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.goal.entry(h).Gen + 1
+}
+
+// goalGensFor snapshots the current generations of the given
+// participant set (the resumed-outcome broadcast's Gens: level
+// semantics, agents adopt the latest).
+func (d *DeployerComponent) goalGensFor(participants map[model.HostID]bool) map[model.HostID]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gens := make(map[model.HostID]uint64, len(participants))
+	for h := range participants {
+		gens[h] = d.goal.entry(h).Gen
+	}
+	return gens
+}
+
+// GoalGeneration returns the deployer's current goal generation for h.
+func (d *DeployerComponent) GoalGeneration(h model.HostID) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e := d.goal.entries[h]; e != nil {
+		return e.Gen
+	}
+	return 0
+}
+
+// GoalAcked returns the highest generation h has acknowledged.
+func (d *DeployerComponent) GoalAcked(h model.HostID) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e := d.goal.entries[h]; e != nil {
+		return e.Acked
+	}
+	return 0
+}
+
+// GoalManifest returns the sorted component IDs of h's goal manifest.
+func (d *DeployerComponent) GoalManifest(h model.HostID) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e := d.goal.entries[h]; e != nil {
+		return e.sortedIDs()
+	}
+	return nil
+}
+
+// handleGoalAnnounce answers an agent's level report with one full
+// delta converging it to the current goal state. Only the lease holder
+// answers; a deposed deployer's reply would be fenced anyway. An agent
+// announcing a generation AHEAD of the table (a diverged lifetime, or a
+// deployer that lost state) is clamped back to the authoritative goal
+// and counted as divergence.
+func (d *DeployerComponent) handleGoalAnnounce(ga GoalAnnounce) {
+	if ga.Host == "" || d.deposed() {
+		return
+	}
+	if d.cfg.LegacyControl {
+		return
+	}
+	host := string(d.arch.Host())
+	d.mu.Lock()
+	e := d.goal.entry(ga.Host)
+	gen := e.Gen
+	goalSet := make(map[string]string, len(e.Manifest))
+	for id, typ := range e.Manifest {
+		goalSet[id] = typ
+	}
+	d.mu.Unlock()
+	if ga.Generation > gen {
+		d.arch.Obs().Counter(obs.Name("prism_goal_divergence_total", "host", host)).Inc()
+	}
+
+	have := make(map[string]bool, len(ga.Manifest))
+	for _, id := range ga.Manifest {
+		have[id] = true
+	}
+	delta := GoalDelta{
+		Host:        ga.Host,
+		Coordinator: d.arch.Host(),
+		Term:        d.term(),
+		FromGen:     ga.Generation,
+		Generation:  gen,
+		Full:        true,
+	}
+	acqIDs := make([]string, 0, len(goalSet))
+	for id := range goalSet {
+		if !have[id] {
+			acqIDs = append(acqIDs, id)
+		}
+	}
+	sort.Strings(acqIDs)
+	for _, id := range acqIDs {
+		delta.Acquire = append(delta.Acquire, GoalComponent{ID: id, Type: goalSet[id]})
+	}
+	for _, id := range ga.Manifest {
+		if _, ok := goalSet[id]; !ok {
+			delta.Remove = append(delta.Remove, id)
+		}
+	}
+	sort.Strings(delta.Remove)
+	if dc := d.arch.DistributionConnector(d.cfg.Bus); dc != nil {
+		reloc := dc.RelocationSnapshot()
+		comps := make([]string, 0, len(reloc))
+		for comp := range reloc {
+			comps = append(comps, comp)
+		}
+		sort.Strings(comps)
+		for _, comp := range comps {
+			delta.Reloc = append(delta.Reloc, RelocEntry{Comp: comp, Host: reloc[comp]})
+		}
+	}
+	d.arch.Obs().Counter(obs.Name("prism_goal_delta_sent_total", "host", host)).Inc()
+	_ = d.sendControl(ga.Host, Event{
+		Name: EvGoalDelta, Target: AdminID, Payload: delta, SizeKB: 0.5,
+	})
+}
+
+// handleGoalAck records an agent's acknowledged generation and checks
+// the resync invariant: an ack at the current generation must carry a
+// manifest byte-for-byte equal to the goal manifest.
+func (d *DeployerComponent) handleGoalAck(ack GoalAck) {
+	if ack.Host == "" {
+		return
+	}
+	d.mu.Lock()
+	e := d.goal.entry(ack.Host)
+	if ack.Generation > e.Acked {
+		e.Acked = ack.Generation
+	}
+	current := ack.Generation == e.Gen
+	goalIDs := e.sortedIDs()
+	d.mu.Unlock()
+	if current && !equalStrings(goalIDs, ack.Manifest) {
+		d.arch.Obs().Counter(obs.Name("prism_goal_resync_mismatch_total",
+			"host", string(d.arch.Host()))).Inc()
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// localManifest is the sorted list of application components the agent
+// is actually running (admin and deployer excluded).
+func (a *AdminComponent) localManifest() []string {
+	var out []string
+	for _, id := range a.arch.ComponentIDs() {
+		if id == AdminID || id == DeployerID {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoalGeneration returns the agent's current goal generation.
+func (a *AdminComponent) GoalGeneration() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.goalGen
+}
+
+// AnnounceGoalState sends the agent's level report (generation +
+// manifest) to the current lease holder. Call it on connect, rejoin,
+// restart, and whenever leadership moved: the deployer answers with one
+// delta that converges this host to the latest goal state, whatever was
+// missed in between. A legacy-control agent never announces.
+func (a *AdminComponent) AnnounceGoalState() error {
+	if a.cfg.LegacyControl {
+		return nil
+	}
+	a.mu.Lock()
+	gen := a.goalGen
+	dep := a.leaseHolder
+	a.mu.Unlock()
+	if dep == "" {
+		dep = a.cfg.Deployer
+	}
+	ga := GoalAnnounce{
+		Host:        a.arch.Host(),
+		Incarnation: a.Incarnation(),
+		Generation:  gen,
+		Manifest:    a.localManifest(),
+	}
+	return a.sendControl(dep, Event{
+		Name: EvGoalAnnounce, Target: DeployerID, Payload: ga, SizeKB: 0.4,
+	})
+}
+
+// handleGoalDelta applies one goal-state delta: evict components the
+// goal no longer assigns here (their buffered traffic is relayed toward
+// the relocation hint, or the coordinator when there is none), re-
+// instantiate missing ones from the factory registry, prime the bounce
+// table with the relocation hints, and acknowledge with the post-apply
+// manifest. Application is idempotent — a re-announced resync computes
+// an empty delta — and fenced: a stale leader's delta is dropped.
+func (a *AdminComponent) handleGoalDelta(gd GoalDelta) {
+	if a.cfg.LegacyControl {
+		return
+	}
+	if gd.Host != "" && gd.Host != a.arch.Host() {
+		return
+	}
+	if !a.fenceCheck(gd.Term, gd.Coordinator) {
+		return
+	}
+	host := string(a.arch.Host())
+	a.mu.Lock()
+	if !gd.Full && gd.FromGen != a.goalGen {
+		// A generation-diff delta against a level we are not at cannot be
+		// applied safely; drop it and let the next announce trigger a full
+		// resync.
+		a.mu.Unlock()
+		a.arch.Obs().Counter(obs.Name("prism_goal_delta_stale_total", "host", host)).Inc()
+		_ = a.AnnounceGoalState()
+		return
+	}
+	a.mu.Unlock()
+
+	reloc := make(map[string]model.HostID, len(gd.Reloc))
+	dc := a.arch.DistributionConnector(a.cfg.Bus)
+	for _, re := range gd.Reloc {
+		reloc[re.Comp] = re.Host
+		if dc != nil && re.Host != a.arch.Host() {
+			dc.RecordRelocation(re.Comp, re.Host)
+		}
+	}
+	bus := a.arch.Connector(a.cfg.Bus)
+	for _, comp := range gd.Remove {
+		if a.arch.Component(comp) == nil {
+			continue
+		}
+		if _, err := a.arch.RemoveComponent(comp); err != nil {
+			continue
+		}
+		if dc != nil {
+			dc.dropDedup(comp)
+		}
+		if bus != nil {
+			newHost := reloc[comp]
+			if newHost == "" || newHost == a.arch.Host() {
+				newHost = gd.Coordinator
+			}
+			a.relayHeld(bus, comp, newHost, gd.Coordinator)
+		}
+		a.arch.Obs().Counter(obs.Name("prism_goal_evicted_total", "host", host)).Inc()
+	}
+	for _, gc := range gd.Acquire {
+		if a.arch.Component(gc.ID) != nil {
+			continue
+		}
+		comp, err := a.cfg.Registry.New(gc.Type, gc.ID)
+		if err != nil {
+			a.arch.Obs().Counter(obs.Name("prism_goal_acquire_failed_total", "host", host)).Inc()
+			continue
+		}
+		if err := a.arch.AddComponent(comp); err != nil {
+			continue
+		}
+		if err := a.arch.Weld(gc.ID, a.cfg.Bus); err != nil {
+			continue
+		}
+		a.arch.Obs().Counter(obs.Name("prism_goal_acquired_total", "host", host)).Inc()
+	}
+	a.mu.Lock()
+	if gd.Generation > a.goalGen || gd.Full {
+		a.goalGen = gd.Generation
+	}
+	gen := a.goalGen
+	a.mu.Unlock()
+	a.arch.Obs().Counter(obs.Name("prism_goal_delta_applied_total", "host", host)).Inc()
+	_ = a.sendControl(gd.Coordinator, Event{
+		Name:   EvGoalAck,
+		Target: DeployerID,
+		Payload: GoalAck{
+			Host: a.arch.Host(), Generation: gen, Manifest: a.localManifest(),
+		},
+		SizeKB: 0.3,
+	})
+}
+
+// noteCommittedGens adopts the generations a committed wave outcome
+// published (level semantics: only ever forward).
+func (a *AdminComponent) noteCommittedGens(gens map[model.HostID]uint64) {
+	if len(gens) == 0 {
+		return
+	}
+	g, ok := gens[a.arch.Host()]
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	if g > a.goalGen {
+		a.goalGen = g
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,283 @@
+package prism
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/obs"
+)
+
+// goalAnnounceCase is a fully populated announce used by the codec-level
+// tests below.
+func goalAnnounceCase() GoalAnnounce {
+	return GoalAnnounce{
+		Host: "h7", Incarnation: 3, Generation: 12,
+		Manifest: []string{"c1", "c2", "c9"},
+	}
+}
+
+// TestGoalPayloadVersionGate pins the rolling-upgrade contract of the
+// goal-state frame family: frames from a newer major version are
+// rejected with a clean error (never misparsed), version zero is
+// invalid, unknown ops are rejected, and an extension tail appended by
+// a same-version peer is skipped without disturbing the known fields.
+func TestGoalPayloadVersionGate(t *testing.T) {
+	ga := goalAnnounceCase()
+	valid := appendGoalPayload(nil, ga)
+
+	decode := func(data []byte) (any, error) {
+		r := &binReader{b: data}
+		p, err := decodeGoalPayload(r)
+		if err == nil && r.off != len(data) {
+			t.Fatalf("decode left %d trailing bytes", len(data)-r.off)
+		}
+		return p, err
+	}
+
+	// The version field is the leading uvarint; at v1 it is one byte.
+	if valid[0] != GoalStateVersion {
+		t.Fatalf("leading version byte = %d, want %d", valid[0], GoalStateVersion)
+	}
+
+	skewed := append([]byte(nil), valid...)
+	skewed[0] = 99
+	if _, err := decode(skewed); err == nil || !strings.Contains(err.Error(), "unsupported goal-state version") {
+		t.Fatalf("version-99 frame: err = %v, want unsupported-version", err)
+	}
+
+	zeroed := append([]byte(nil), valid...)
+	zeroed[0] = 0
+	if _, err := decode(zeroed); err == nil {
+		t.Fatal("version-0 frame decoded")
+	}
+
+	badOp := append([]byte(nil), valid...)
+	badOp[1] = 0x7f
+	if _, err := decode(badOp); err == nil || !strings.Contains(err.Error(), "unknown goal-state op") {
+		t.Fatalf("unknown-op frame: err = %v, want unknown-op", err)
+	}
+
+	// Unknown appended fields: replace the empty extension tail with a
+	// three-byte one. A v1 decoder must skip it and still return the
+	// announce intact — this is how a same-version peer grows the schema.
+	ext := append(append([]byte(nil), valid[:len(valid)-1]...), 3, 0xde, 0xad, 0xbf)
+	p, err := decode(ext)
+	if err != nil {
+		t.Fatalf("extension tail rejected: %v", err)
+	}
+	got, ok := p.(GoalAnnounce)
+	if !ok || got.Host != ga.Host || got.Generation != ga.Generation || len(got.Manifest) != 3 {
+		t.Fatalf("extension-tail decode = %+v, want %+v", p, ga)
+	}
+
+	// Truncation at every byte boundary errors cleanly, never panics.
+	for i := 0; i < len(valid); i++ {
+		if _, err := decode(valid[:i]); err == nil {
+			t.Fatalf("truncated frame of %d/%d bytes decoded", i, len(valid))
+		}
+	}
+}
+
+// TestLegacyGobPreGoalFramesDecode is the version-skew gate: gob frames
+// captured before the goal-state fields existed must decode under the
+// new schema with the goal fields at their zero values — gob's
+// missing-field semantics are what makes the rolling upgrade safe.
+func TestLegacyGobPreGoalFramesDecode(t *testing.T) {
+	registerPayloadsOnce.Do(registerControlPayloads)
+	reconfig, err := os.ReadFile(filepath.Join("testdata", "legacy_reconfig_pregoal.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := decodeEventGob(reconfig)
+	if err != nil {
+		t.Fatalf("pre-goal reconfig frame rejected: %v", err)
+	}
+	cmd, ok := e.Payload.(ReconfigCommand)
+	if !ok {
+		t.Fatalf("payload = %T, want ReconfigCommand", e.Payload)
+	}
+	if cmd.Epoch != 7 || cmd.Coordinator != "h1" || cmd.Term != 3 || cmd.Arrivals["c1"] != "h2" {
+		t.Fatalf("legacy reconfig fields drifted: %+v", cmd)
+	}
+	if cmd.Gen != 0 {
+		t.Fatalf("pre-goal reconfig decoded Gen = %d, want 0", cmd.Gen)
+	}
+
+	outcome, err := os.ReadFile(filepath.Join("testdata", "legacy_outcome_pregoal.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err = decodeEventGob(outcome)
+	if err != nil {
+		t.Fatalf("pre-goal outcome frame rejected: %v", err)
+	}
+	out, ok := e.Payload.(WaveOutcome)
+	if !ok {
+		t.Fatalf("payload = %T, want WaveOutcome", e.Payload)
+	}
+	if out.Epoch != 7 || !out.Commit || out.Term != 3 || out.ReplyTo != "h2" {
+		t.Fatalf("legacy outcome fields drifted: %+v", out)
+	}
+	if out.Gens != nil {
+		t.Fatalf("pre-goal outcome decoded Gens = %v, want nil", out.Gens)
+	}
+}
+
+// goalWorld is a deployWorld with an obs registry on every architecture
+// so the goal-state counters are readable.
+func goalWorld(t *testing.T, hosts ...model.HostID) (*deployWorld, *obs.Registry) {
+	t.Helper()
+	dw := newDeployWorld(t, 1.0, hosts...)
+	reg := obs.NewRegistry()
+	for _, h := range hosts {
+		dw.archs[h].SetObservability(reg, nil)
+	}
+	return dw, reg
+}
+
+func counterValue(reg *obs.Registry, metric string, host model.HostID) int {
+	v, _ := reg.Snapshot().Value(obs.Name(metric, "host", string(host)))
+	return int(v)
+}
+
+// TestStaleGenerationDeltaDropped pins the stale-generation fence: a
+// generation-diff delta whose FromGen does not match the agent's level
+// is dropped (not applied, generation untouched) and answered with a
+// fresh announce so the next exchange is a full resync.
+func TestStaleGenerationDeltaDropped(t *testing.T) {
+	dw, reg := goalWorld(t, "m", "s1")
+	dw.addCounter(t, "s1", "c1", 5)
+	dw.deployer.SeedGoalState(map[model.HostID][]GoalComponent{
+		"m": nil, "s1": {{ID: "c1", Type: "counter"}},
+	})
+	agent := dw.admins["s1"]
+	if err := agent.AnnounceGoalState(); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, func() bool {
+		return agent.GoalGeneration() == 1 && dw.deployer.GoalAcked("s1") == 1
+	})
+
+	sentBefore := counterValue(reg, "prism_goal_delta_sent_total", "m")
+	agent.handleGoalDelta(GoalDelta{
+		Host: "s1", Coordinator: "m", FromGen: 7, Generation: 8,
+		Remove: []string{"c1"},
+	})
+	if got := agent.GoalGeneration(); got != 1 {
+		t.Fatalf("stale delta advanced the agent to generation %d", got)
+	}
+	if dw.archs["s1"].Component("c1") == nil {
+		t.Fatal("stale delta evicted a component")
+	}
+	if got := counterValue(reg, "prism_goal_delta_stale_total", "s1"); got != 1 {
+		t.Fatalf("stale counter = %d, want 1", got)
+	}
+	// The drop re-announces, and the deployer answers with a fresh full
+	// delta — the level-triggered recovery from any missed exchange.
+	waitForCond(t, func() bool {
+		return counterValue(reg, "prism_goal_delta_sent_total", "m") > sentBefore
+	})
+}
+
+// TestDivergedAnnounceClampedBack pins the deployer side of the fence:
+// an agent announcing a generation AHEAD of the goal table (a diverged
+// lifetime, or a deployer that lost state) is counted as divergence and
+// clamped back to the authoritative goal state, not believed.
+func TestDivergedAnnounceClampedBack(t *testing.T) {
+	dw, reg := goalWorld(t, "m", "s1")
+	dw.addCounter(t, "s1", "c1", 5)
+	dw.deployer.SeedGoalState(map[model.HostID][]GoalComponent{
+		"m": nil, "s1": {{ID: "c1", Type: "counter"}},
+	})
+	dw.deployer.handleGoalAnnounce(GoalAnnounce{
+		Host: "s1", Generation: 99, Manifest: []string{"c1"},
+	})
+	if got := counterValue(reg, "prism_goal_divergence_total", "m"); got != 1 {
+		t.Fatalf("divergence counter = %d, want 1", got)
+	}
+	// The answering delta carries the table's generation, and the agent
+	// adopts it: clamped to 1, not left at the diverged 99.
+	waitForCond(t, func() bool { return dw.admins["s1"].GoalGeneration() == 1 })
+	if acked := dw.deployer.GoalAcked("s1"); acked != 1 {
+		t.Fatalf("acked generation = %d, want 1", acked)
+	}
+}
+
+// TestMixedVersionLegacyAgentDrill is the rolling-upgrade drill: a
+// goal-state deployer drives a fleet where one agent is pinned to the
+// pre-goal-state control plane (-legacy-control). The legacy agent never
+// announces and never receives deltas, yet waves — including ones that
+// land components on it — still commit through the classic two-phase
+// machinery, and the modern agent converges through the goal stream.
+func TestMixedVersionLegacyAgentDrill(t *testing.T) {
+	dw, reg := goalWorld(t, "m", "s1", "s2")
+
+	// Re-install s2's admin pinned to the legacy control plane.
+	dw.admins["s2"].Close()
+	if _, err := dw.archs["s2"].RemoveComponent(AdminID); err != nil {
+		t.Fatal(err)
+	}
+	legacyCfg := AdminConfig{
+		Deployer: "m", Bus: "bus", Registry: dw.registry, LegacyControl: true,
+	}
+	legacy, err := InstallAdmin(dw.archs["s2"], legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.admins["s2"] = legacy
+	t.Cleanup(legacy.Close)
+
+	dw.addCounter(t, "s1", "c1", 42)
+	dw.addCounter(t, "s2", "c2", 7)
+	dw.deployer.SeedGoalState(map[model.HostID][]GoalComponent{
+		"m":  nil,
+		"s1": {{ID: "c1", Type: "counter"}},
+		"s2": {{ID: "c2", Type: "counter"}},
+	})
+
+	// The modern agent converges through the goal stream.
+	if err := dw.admins["s1"].AnnounceGoalState(); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, func() bool { return dw.deployer.GoalAcked("s1") == 1 })
+
+	// The legacy agent opts out silently: announce is a no-op, nothing
+	// is ever acked for it.
+	if err := legacy.AnnounceGoalState(); err != nil {
+		t.Fatalf("legacy announce must be a silent no-op, got %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := dw.deployer.GoalAcked("s2"); got != 0 {
+		t.Fatalf("legacy agent acked generation %d", got)
+	}
+	if got := counterValue(reg, "prism_goal_delta_applied_total", "s2"); got != 0 {
+		t.Fatalf("legacy agent applied %d goal deltas", got)
+	}
+
+	// A wave landing a component ON the legacy host still commits via
+	// the classic two-phase path, state intact.
+	res, err := dw.deployer.Enact(
+		map[string]model.HostID{"c1": "s2"},
+		map[string]model.HostID{"c1": "s1", "c2": "s2"},
+		10*time.Second,
+	)
+	if err != nil || !res.Committed {
+		t.Fatalf("mixed-version wave = %+v err=%v, want committed", res, err)
+	}
+	waitForCond(t, func() bool {
+		c := dw.archs["s2"].Component("c1")
+		return c != nil && dw.archs["s1"].Component("c1") == nil
+	})
+	if got := dw.archs["s2"].Component("c1").(*counterComponent).value(); got != 42 {
+		t.Fatalf("migrated counter = %d, want 42", got)
+	}
+	// The deployer's goal table followed the wave even though the legacy
+	// destination never speaks the goal protocol.
+	if got := strings.Join(dw.deployer.GoalManifest("s2"), ","); got != "c1,c2" {
+		t.Fatalf("goal manifest for legacy host = %q, want c1,c2", got)
+	}
+}

@@ -49,11 +49,17 @@ func newRelayState() *relayState {
 	return &relayState{seen: make(map[string]bool)}
 }
 
-func (rs *relayState) nextID(origin model.HostID, from string) string {
+// nextID mints a flood-unique envelope ID. The origin's incarnation is
+// part of the identity: a restarted host's fresh sender counts from 1
+// again, and without the lifetime number its first envelopes would
+// collide with IDs its previous lifetime already flooded — peers would
+// suppress them as duplicates until the new counter outran the old one.
+// (The app-delivery layer solves the same problem with SeqInc.)
+func (rs *relayState) nextID(origin model.HostID, from string, inc uint64) string {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.seq++
-	return fmt.Sprintf("%s/%s/%d", origin, from, rs.seq)
+	return fmt.Sprintf("%s/%s/%d/%d", origin, from, inc, rs.seq)
 }
 
 // markSeen records an envelope ID, reporting whether it was new.
@@ -75,6 +81,9 @@ type controlSender struct {
 	cfg   AdminConfig
 	from  string // component ID stamped as sender
 	relay *relayState
+	// inc is the sender's lifetime number, folded into relay envelope
+	// IDs; AdminComponent.SetIncarnation updates it on rejoin.
+	inc atomic.Uint64
 	// seq numbers backoff sleeps for deterministic jitter.
 	seq atomic.Uint64
 	// cancel, when set, is consulted between retry attempts: a true
@@ -90,8 +99,14 @@ func (cs *controlSender) setCancel(fn func(e Event) bool) { cs.cancel = fn }
 
 func newControlSender(arch *Architecture, cfg AdminConfig, from string) *controlSender {
 	registerPayloadsOnce.Do(registerControlPayloads)
-	return &controlSender{arch: arch, cfg: cfg.withDefaults(), from: from, relay: newRelayState()}
+	cs := &controlSender{arch: arch, cfg: cfg.withDefaults(), from: from, relay: newRelayState()}
+	cs.inc.Store(cfg.Incarnation)
+	return cs
 }
+
+// setIncarnation updates the lifetime number stamped into relay
+// envelope IDs.
+func (cs *controlSender) setIncarnation(inc uint64) { cs.inc.Store(inc) }
 
 // send delivers a control event to a host: locally, directly, or via
 // relay flood.
@@ -208,7 +223,7 @@ func splitmix64(x uint64) uint64 {
 // message came from, when forwarding).
 func (cs *controlSender) sendRelayed(dc *DistributionConnector, data []byte, sizeKB float64, name string, except model.HostID, inner Event) error {
 	env := RelayPayload{
-		ID:   cs.relay.nextID(cs.arch.Host(), cs.from),
+		ID:   cs.relay.nextID(cs.arch.Host(), cs.from, cs.inc.Load()),
 		TTL:  DefaultRelayTTL,
 		Data: data,
 	}

@@ -134,20 +134,45 @@ func TestRelayMigrationAcrossLossyChain(t *testing.T) {
 
 func TestRelayDuplicateSuppression(t *testing.T) {
 	rs := newRelayState()
-	id := rs.nextID("h1", AdminID)
+	id := rs.nextID("h1", AdminID, 0)
 	if !rs.markSeen(id) {
 		t.Fatal("fresh id reported seen")
 	}
 	if rs.markSeen(id) {
 		t.Fatal("duplicate id reported fresh")
 	}
-	id2 := rs.nextID("h1", AdminID)
+	id2 := rs.nextID("h1", AdminID, 0)
 	if id == id2 {
 		t.Fatal("sequence ids collide")
 	}
 	// Different components on the same host never collide.
-	if rs.nextID("h1", DeployerID) == id2 {
+	if rs.nextID("h1", DeployerID, 0) == id2 {
 		t.Fatal("admin and deployer ids collide")
+	}
+}
+
+// TestRelayIDsDistinctAcrossIncarnations pins the restart-rejoin fix: a
+// restarted host's relay sender counts envelopes from 1 again, so the
+// envelope identity must include the lifetime number — otherwise peers
+// that saw the previous lifetime's floods suppress the fresh frames as
+// duplicates until the new counter outruns the old one (which silently
+// eats a rejoining agent's first goal-state announces).
+func TestRelayIDsDistinctAcrossIncarnations(t *testing.T) {
+	old := newRelayState()
+	peer := newRelayState() // a neighbour that saw the old lifetime
+	for i := 0; i < 5; i++ {
+		peer.markSeen(old.nextID("h1", AdminID, 0))
+	}
+	fresh := newRelayState() // the restarted lifetime, incarnation bumped
+	if id := fresh.nextID("h1", AdminID, 1); !peer.markSeen(id) {
+		t.Fatalf("restarted lifetime's first envelope %q suppressed as a duplicate", id)
+	}
+	// And the sender wiring: SetIncarnation reaches the control sender.
+	dw := newDeployWorld(t, 1.0, "m", "s1")
+	a := dw.admins["s1"]
+	a.SetIncarnation(7)
+	if got := a.sender.inc.Load(); got != 7 {
+		t.Fatalf("sender incarnation = %d after SetIncarnation(7)", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dif/internal/model"
 	"dif/internal/netsim"
+	"dif/internal/obs"
 )
 
 // faultWorld is a deployWorld variant whose transports are wrapped in
@@ -15,6 +16,7 @@ type faultWorld struct {
 	fabric   *netsim.Fabric
 	archs    map[model.HostID]*Architecture
 	faults   map[model.HostID]*FaultTransport
+	obsReg   *obs.Registry
 	admins   map[model.HostID]*AdminComponent
 	deployer *DeployerComponent
 	registry *FactoryRegistry
@@ -42,6 +44,7 @@ func newFaultWorld(t *testing.T, cfg AdminConfig, fcs map[model.HostID]FaultConf
 		fabric:   netsim.NewFabric(42),
 		archs:    make(map[model.HostID]*Architecture),
 		faults:   make(map[model.HostID]*FaultTransport),
+		obsReg:   obs.NewRegistry(),
 		admins:   make(map[model.HostID]*AdminComponent),
 		registry: NewFactoryRegistry(),
 		master:   hosts[0],
@@ -71,6 +74,7 @@ func newFaultWorld(t *testing.T, cfg AdminConfig, fcs map[model.HostID]FaultConf
 		}
 		fc := fcs[h]
 		fc.Seed += int64(i + 1) // distinct deterministic stream per host
+		fc.Obs = fw.obsReg
 		ft := NewFaultTransport(tr, fc)
 		if _, err := arch.AddDistributionConnector("bus", ft); err != nil {
 			t.Fatal(err)
@@ -186,8 +190,10 @@ func TestWaveCompletesUnder20PctLossAndPartition(t *testing.T) {
 		t.Fatal("deployer leaked epoch state")
 	}
 	dropped := 0
-	for _, ft := range fw.faults {
-		dropped += ft.Stats().Dropped
+	snap := fw.obsReg.Snapshot()
+	for h := range fw.faults {
+		v, _ := snap.Value(obs.Name("prism_fault_dropped_total", "host", string(h)))
+		dropped += int(v)
 	}
 	if dropped == 0 {
 		t.Fatal("fault injector never fired; the test proved nothing")
