@@ -146,6 +146,7 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 		Bus:           framework.BusName,
 		Registry:      registry,
 		Retry:         cfg.common.Retry(),
+		Breaker:       cfg.common.BreakerConfig(),
 		Incarnation:   incarnation,
 		LegacyControl: cfg.common.LegacyControl,
 	})
@@ -156,6 +157,12 @@ func lifetime(cfg agentConfig, incarnation uint64, duration time.Duration) error
 	// Application-traffic continuity: enable (or explicitly disable) the
 	// delivery-guarantee layer and pace its retransmission clock.
 	arch.DistributionConnector(framework.BusName).SetDeliveryConfig(cfg.common.Delivery())
+	// Overload protection: with -shed, inbound frames pass a bounded,
+	// class-prioritized admission queue (liveness > control > app).
+	if cfg.common.Shed {
+		adm := arch.DistributionConnector(framework.BusName).EnableAdmission(cfg.common.Admission())
+		defer adm.Close()
+	}
 	if cfg.common.AppRetransmit > 0 {
 		admin.StartDeliveryTicks(cfg.common.AppRetransmit)
 	}

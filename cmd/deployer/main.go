@@ -152,7 +152,8 @@ func run() error {
 	})
 	adminCfg := prism.AdminConfig{
 		Deployer: master, Bus: framework.BusName, Registry: registry,
-		Retry: common.Retry(), LegacyControl: common.LegacyControl,
+		Retry: common.Retry(), Breaker: common.BreakerConfig(),
+		LegacyControl: common.LegacyControl,
 	}
 	admin, err := prism.InstallAdmin(arch, adminCfg)
 	if err != nil {
@@ -207,6 +208,13 @@ func run() error {
 	arch.DistributionConnector(framework.BusName).SetDeliveryConfig(common.Delivery())
 	if common.AppRetransmit > 0 {
 		admin.StartDeliveryTicks(common.AppRetransmit)
+	}
+	// Overload protection: with -shed, inbound frames pass a bounded,
+	// class-prioritized admission queue (liveness > control > app), so an
+	// application flood can never starve the failure detector below.
+	if common.Shed {
+		adm := arch.DistributionConnector(framework.BusName).EnableAdmission(common.Admission())
+		defer adm.Close()
 	}
 
 	// Liveness: agent heartbeats feed a failure detector; HostDead

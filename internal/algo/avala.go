@@ -126,6 +126,13 @@ func (*Avala) packHost(s *model.System, ds *model.DenseSystem, check ConstraintC
 				break
 			}
 			res.Nodes++
+			// Membership in the allowed set gates the placement itself,
+			// not just the better-host comparison: a checker whose Allowed
+			// is stricter than CheckPartial (DegradationAware) must hold
+			// here too.
+			if !hostInSet(allowed[c], h) {
+				continue
+			}
 			need := s.Components[c].Memory()
 			if s.Constraints.CheckMemory && used[h]+need > capacity {
 				continue
@@ -201,6 +208,16 @@ func (*Avala) repair(s *model.System, ds *model.DenseSystem, check ConstraintChe
 		}
 	}
 	return true
+}
+
+// hostInSet reports whether h is in the (small, sorted) allowed list.
+func hostInSet(hosts []model.HostID, h model.HostID) bool {
+	for _, x := range hosts {
+		if x == h {
+			return true
+		}
+	}
+	return false
 }
 
 // nextBestHost picks the host to fill next. The first host is the

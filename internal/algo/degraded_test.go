@@ -1,0 +1,113 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"dif/internal/model"
+)
+
+func TestDegradationAwareFiltersDegradedHosts(t *testing.T) {
+	s, d := genSystem(t, 4, 8, 7)
+	hosts := s.HostIDs()
+	bad := hosts[0]
+	s.SetHostDegraded(bad, 1)
+
+	check := DegradationAware{Current: d}
+	for _, c := range s.ComponentIDs() {
+		allowed := check.Allowed(s, c)
+		for _, h := range allowed {
+			if h == bad && d[c] != bad {
+				t.Fatalf("component %s allowed on degraded host %s it does not occupy", c, bad)
+			}
+		}
+	}
+}
+
+func TestDegradationAwareKeepsCurrentHost(t *testing.T) {
+	s, d := genSystem(t, 4, 8, 7)
+	// Find a component and degrade the host it lives on: the host must
+	// stay in that component's allowed set (no force-migration) while
+	// vanishing from everyone else's.
+	var comp model.ComponentID
+	var bad model.HostID
+	for c, h := range d {
+		comp, bad = c, h
+		break
+	}
+	s.SetHostDegraded(bad, 0.5)
+	check := DegradationAware{Current: d}
+	found := false
+	for _, h := range check.Allowed(s, comp) {
+		if h == bad {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded host %s dropped from resident component %s's allowed set", bad, comp)
+	}
+}
+
+func TestDegradationAwareNeverInfeasible(t *testing.T) {
+	s, d := genSystem(t, 3, 6, 7)
+	for _, h := range s.HostIDs() {
+		s.SetHostDegraded(h, 1)
+	}
+	// Planning from scratch in an all-degraded cluster: the filter must
+	// fall back to the full set rather than declare infeasibility.
+	scratch := DegradationAware{}
+	plain := SystemConstraints{}
+	for _, c := range s.ComponentIDs() {
+		got, want := scratch.Allowed(s, c), plain.Allowed(s, c)
+		if len(got) != len(want) {
+			t.Fatalf("all-degraded fallback: component %s allowed %v, want full set %v", c, got, want)
+		}
+	}
+	// With a live deployment, a resident component keeps (at least) its
+	// own host — everything pinned in place, nothing infeasible.
+	resident := DegradationAware{Current: d}
+	for _, c := range s.ComponentIDs() {
+		got := resident.Allowed(s, c)
+		if len(got) == 0 {
+			t.Fatalf("component %s has empty allowed set", c)
+		}
+		found := false
+		for _, h := range got {
+			if h == d[c] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("component %s lost its current host %s from %v", c, d[c], got)
+		}
+	}
+}
+
+// TestDegradationAwareSteersPlanning runs real algorithms under the
+// wrapper: no component that lives elsewhere may be newly placed on the
+// degraded host.
+func TestDegradationAwareSteersPlanning(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 11)
+	bad := s.HostIDs()[1]
+	s.SetHostDegraded(bad, 1)
+	for _, name := range []string{"stochastic", "avala", "genetic", "swap"} {
+		alg, err := NewRegistry().New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := alg.Run(context.Background(), s, d, Config{
+			Objective:   availability(),
+			Constraints: DegradationAware{Current: d},
+			Seed:        1,
+			Trials:      20,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for c, h := range res.Deployment {
+			if h == bad && d[c] != bad {
+				t.Fatalf("%s newly placed %s on degraded host %s", name, c, bad)
+			}
+		}
+	}
+}

@@ -87,6 +87,13 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 
 	comps := s.ComponentIDs()
 	hosts := s.UpHostIDs()
+	// Per-component allowed hosts, honored by mutation so no variation
+	// step escapes the checker's Allowed set (crossover only recombines
+	// assignments that already passed it).
+	allowed := make(map[model.ComponentID][]model.HostID, len(comps))
+	for _, c := range comps {
+		allowed[c] = check.Allowed(s, c)
+	}
 
 	// scoreAll evaluates deployments in parallel; results land at fixed
 	// indices so they are independent of worker scheduling. On
@@ -179,7 +186,7 @@ func (g *Genetic) Run(ctx context.Context, s *model.System, initial model.Deploy
 			parentB := tournament()
 			child := crossover(rng, comps, parentA.d, parentB.d)
 			if rng.Float64() < mutRate {
-				mutate(rng, hosts, comps, child)
+				mutate(rng, allowed, comps, child)
 			}
 			if check.Check(s, child) != nil {
 				if !repairDeployment(s, check, rng, hosts, comps, child) {
@@ -223,10 +230,13 @@ func crossover(rng *rand.Rand, comps []model.ComponentID, a, b model.Deployment)
 	return child
 }
 
-// mutate re-places one random component on a random host.
-func mutate(rng *rand.Rand, hosts []model.HostID, comps []model.ComponentID, d model.Deployment) {
+// mutate re-places one random component on a random host drawn from its
+// allowed set.
+func mutate(rng *rand.Rand, allowed map[model.ComponentID][]model.HostID, comps []model.ComponentID, d model.Deployment) {
 	c := comps[rng.Intn(len(comps))]
-	d[c] = hosts[rng.Intn(len(hosts))]
+	if hs := allowed[c]; len(hs) > 0 {
+		d[c] = hs[rng.Intn(len(hs))]
+	}
 }
 
 // repairDeployment attempts to fix a constraint-violating child by

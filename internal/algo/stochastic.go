@@ -118,11 +118,20 @@ func fillInOrder(s *model.System, check ConstraintChecker, hosts []model.HostID,
 	d := model.NewDeployment(len(comps))
 	used := make(map[model.HostID]float64, len(hosts))
 	remaining := append([]model.ComponentID(nil), comps...)
+	allowed := allowedSets(s, check, comps)
 
 	for _, h := range hosts {
 		capacity := s.Hosts[h].Memory()
 		next := remaining[:0]
 		for _, c := range remaining {
+			// The checker's Allowed set is a first-class variation point:
+			// honor it even where CheckPartial alone would admit the
+			// placement (wrappers like DegradationAware are stricter in
+			// Allowed than in Check).
+			if !allowed[c][h] {
+				next = append(next, c)
+				continue
+			}
 			need := s.Components[c].Memory()
 			if s.Constraints.CheckMemory && used[h]+need > capacity {
 				next = append(next, c)
@@ -142,4 +151,18 @@ func fillInOrder(s *model.System, check ConstraintChecker, hosts []model.HostID,
 		}
 	}
 	return d, len(remaining) == 0
+}
+
+// allowedSets materializes each component's allowed hosts as a
+// membership set for O(1) candidate filtering.
+func allowedSets(s *model.System, check ConstraintChecker, comps []model.ComponentID) map[model.ComponentID]map[model.HostID]bool {
+	out := make(map[model.ComponentID]map[model.HostID]bool, len(comps))
+	for _, c := range comps {
+		m := make(map[model.HostID]bool)
+		for _, h := range check.Allowed(s, c) {
+			m[h] = true
+		}
+		out[c] = m
+	}
+	return out
 }

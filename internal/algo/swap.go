@@ -57,6 +57,10 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 	best := st.Score()
 	comps := s.ComponentIDs()
 	hosts := s.UpHostIDs()
+	// Candidate moves are gated by the checker's Allowed sets too:
+	// wrappers like DegradationAware constrain Allowed more tightly than
+	// Check, and local search must not escape through the Check path.
+	allowed := allowedSets(s, check, comps)
 
 	// The incremental constraint checker is exact only for the stock
 	// constraint semantics; a custom checker gets the full Check per
@@ -100,7 +104,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 		for _, c := range comps {
 			from := d[c]
 			for _, h := range hosts {
-				if h == from {
+				if h == from || !allowed[c][h] {
 					continue
 				}
 				res.Nodes++
@@ -132,7 +136,7 @@ func (a *Swap) Run(ctx context.Context, s *model.System, initial model.Deploymen
 			for j := i + 1; j < len(comps); j++ {
 				ci, cj := comps[i], comps[j]
 				hi, hj := d[ci], d[cj]
-				if hi == hj {
+				if hi == hj || !allowed[ci][hj] || !allowed[cj][hi] {
 					continue
 				}
 				res.Nodes++

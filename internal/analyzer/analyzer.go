@@ -166,9 +166,12 @@ func (a *Analyzer) Analyze(ctx context.Context, s *model.System, current model.D
 	}
 	cfg := algo.Config{
 		Objective: objective.Availability{},
-		Seed:      int64(len(a.snapshotHistory())) + 1,
-		Trials:    trials,
-		Obs:       a.obs,
+		// Degradation-aware constraints steer new placements off limping
+		// hosts without force-migrating the components they still serve.
+		Constraints: algo.DegradationAware{Current: current},
+		Seed:        int64(len(a.snapshotHistory())) + 1,
+		Trials:      trials,
+		Obs:         a.obs,
 	}
 	dec := Decision{Algorithm: name, Stability: stability, When: a.now()}
 	var res algo.Result
@@ -181,7 +184,7 @@ func (a *Analyzer) Analyze(ctx context.Context, s *model.System, current model.D
 	dec.Result = res
 	dec.LatencyBefore = objective.Latency{}.Quantify(s, current)
 	dec.LatencyAfter = objective.Latency{}.Quantify(s, res.Deployment)
-	dec.Accepted, dec.Reason = a.accept(res, dec.LatencyBefore, dec.LatencyAfter)
+	dec.Accepted, dec.Reason = a.accept(s, current, res, dec.LatencyBefore, dec.LatencyAfter)
 
 	a.mu.Lock()
 	a.history = append(a.history, Record{
@@ -214,9 +217,12 @@ func (a *Analyzer) Recover(ctx context.Context, s *model.System, current model.D
 	}
 	cfg := algo.Config{
 		Objective: objective.Availability{},
-		Seed:      int64(len(a.snapshotHistory())) + 1,
-		Trials:    a.policy.StableTrials,
-		Obs:       a.obs,
+		// The replan avoids limping survivors too — resurrecting a dead
+		// host's components onto a gray one trades one outage for another.
+		Constraints: algo.DegradationAware{Current: current},
+		Seed:        int64(len(a.snapshotHistory())) + 1,
+		Trials:      a.policy.StableTrials,
+		Obs:         a.obs,
 	}
 	dec := Decision{Algorithm: name + "+recovery", Stability: 1.0, When: a.now()}
 	var res algo.Result
@@ -244,11 +250,21 @@ func (a *Analyzer) Recover(ctx context.Context, s *model.System, current model.D
 	return dec, nil
 }
 
-// accept applies the improvement hysteresis and the latency guard.
-func (a *Analyzer) accept(res algo.Result, latBefore, latAfter float64) (bool, string) {
+// accept applies the improvement hysteresis and the latency guard. The
+// hysteresis has one degradation-aware exception: a plan whose gain is
+// below the churn threshold is still worth enacting when it strictly
+// drains placements off gray-degraded hosts without regressing the
+// objective — waiting for a bigger win keeps components on a limping
+// host.
+func (a *Analyzer) accept(s *model.System, current model.Deployment, res algo.Result, latBefore, latAfter float64) (bool, string) {
+	reason := "accepted"
 	gain := res.Score - res.InitialScore
 	if gain < a.policy.MinImprovement {
-		return false, fmt.Sprintf("gain %.4f below minimum %.4f", gain, a.policy.MinImprovement)
+		before, after := degradedPlacements(s, current), degradedPlacements(s, res.Deployment)
+		if gain < 0 || after >= before {
+			return false, fmt.Sprintf("gain %.4f below minimum %.4f", gain, a.policy.MinImprovement)
+		}
+		reason = fmt.Sprintf("accepted: drains degraded hosts (%d → %d placements)", before, after)
 	}
 	if latBefore > 0 {
 		increase := (latAfter - latBefore) / latBefore
@@ -257,7 +273,19 @@ func (a *Analyzer) accept(res algo.Result, latBefore, latAfter float64) (bool, s
 				increase*100, a.policy.MaxLatencyIncrease*100)
 		}
 	}
-	return true, "accepted"
+	return true, reason
+}
+
+// degradedPlacements counts components the deployment places on hosts
+// carrying a gray-failure penalty.
+func degradedPlacements(s *model.System, d model.Deployment) int {
+	n := 0
+	for _, h := range d {
+		if s.HostDegraded(h) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // History returns a copy of the execution profile.

@@ -247,3 +247,63 @@ func TestNewPolicyDefaults(t *testing.T) {
 		t.Fatal("partial policy override broken")
 	}
 }
+
+func TestAcceptDrainsDegradedHost(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 5)
+	a := New(nil, Policy{})
+	hosts := s.HostIDs()
+	bad, good := hosts[0], hosts[1]
+	s.SetHostDegraded(bad, 1)
+
+	var moved model.ComponentID
+	for c := range d {
+		moved = c
+		break
+	}
+	cur := d.Clone()
+	cur[moved] = bad
+	plan := cur.Clone()
+	plan[moved] = good
+
+	// Below-hysteresis gain, but the plan strictly drains the degraded
+	// host: accepted.
+	res := algo.Result{Deployment: plan, Score: 0.501, InitialScore: 0.5}
+	ok, reason := a.accept(s, cur, res, 1.0, 1.0)
+	if !ok {
+		t.Fatalf("draining plan rejected: %s", reason)
+	}
+
+	// Same tiny gain without a drain: the hysteresis holds.
+	res = algo.Result{Deployment: cur.Clone(), Score: 0.501, InitialScore: 0.5}
+	if ok, _ := a.accept(s, cur, res, 1.0, 1.0); ok {
+		t.Fatal("non-draining below-hysteresis plan accepted")
+	}
+
+	// A drain that regresses the objective is still rejected.
+	res = algo.Result{Deployment: plan, Score: 0.49, InitialScore: 0.5}
+	if ok, _ := a.accept(s, cur, res, 1.0, 1.0); ok {
+		t.Fatal("objective-regressing drain accepted")
+	}
+
+	// The latency guard still applies to a draining plan.
+	res = algo.Result{Deployment: plan, Score: 0.501, InitialScore: 0.5}
+	if ok, _ := a.accept(s, cur, res, 1.0, 2.0); ok {
+		t.Fatal("latency-busting drain accepted")
+	}
+}
+
+func TestAnalyzeSteersOffDegradedHost(t *testing.T) {
+	s, d := genSystem(t, 4, 10, 7)
+	bad := s.HostIDs()[1]
+	s.SetHostDegraded(bad, 1)
+	a := New(nil, Policy{})
+	dec, err := a.Analyze(context.Background(), s, d, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, h := range dec.Result.Deployment {
+		if h == bad && d[c] != bad {
+			t.Fatalf("analyzer newly placed %s on degraded host %s", c, bad)
+		}
+	}
+}

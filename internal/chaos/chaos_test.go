@@ -53,6 +53,24 @@ func TestGenerateScenarioDeterministic(t *testing.T) {
 	}
 }
 
+// TestScenarioCoverageGrayOps pins that the soak's seed range actually
+// exercises every gray-failure op: across the ten `make soak` seeds the
+// generator must emit at least one asym-partition, link-flap, slow-link,
+// and overload (plus the matching asym heal).
+func TestScenarioCoverageGrayOps(t *testing.T) {
+	seen := make(map[OpKind]int)
+	for i := 0; i < 10; i++ {
+		for _, op := range GenerateScenario(Config{Seed: int64(1000 + 17*i)}) {
+			seen[op.Kind]++
+		}
+	}
+	for _, k := range []OpKind{OpAsymPartition, OpAsymHeal, OpLinkFlap, OpSlowLink, OpOverload} {
+		if seen[k] == 0 {
+			t.Errorf("soak seed range never generates %s", k)
+		}
+	}
+}
+
 // TestGenerateScenarioPreconditions replays each generated op list
 // against a pure state machine and asserts the generator never emits an
 // illegal transition (crashing the master, migrating across a
@@ -74,7 +92,7 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					fail("empty burst")
 				}
 			case OpMigrate, OpAbortMigrate:
-				if len(st.parts) > 0 {
+				if len(st.parts) > 0 || len(st.asym) > 0 {
 					fail("migration during a partition")
 				}
 				if st.placement[op.Comp] != op.A {
@@ -129,7 +147,7 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 				}
 				delete(st.parts, orderedPair(op.A, op.B))
 			case OpDeployerCrash:
-				if len(st.parts) > 0 {
+				if len(st.parts) > 0 || len(st.asym) > 0 {
 					fail("deployer-crash wave during a partition")
 				}
 				if !st.quorumUp() {
@@ -161,10 +179,46 @@ func TestGenerateScenarioPreconditions(t *testing.T) {
 					fail("leadership op endpoints drift from the mirror's leader")
 				}
 				st.leader = op.B
+			case OpAsymPartition:
+				if !st.up[op.A] || !st.up[op.B] || op.A == op.B {
+					fail("asym cut with illegal endpoints")
+				}
+				if st.deployerHost(op.B) {
+					fail("asym cut silences a deployer host's inbound")
+				}
+				if st.asym[dirPair{op.A, op.B}] {
+					fail("double asym cut")
+				}
+				if st.parts[orderedPair(op.A, op.B)] {
+					fail("asym cut over an already-partitioned link")
+				}
+				st.asym[dirPair{op.A, op.B}] = true
+			case OpAsymHeal:
+				if !st.asym[dirPair{op.A, op.B}] {
+					fail("asym-healed a direction that was not cut")
+				}
+				delete(st.asym, dirPair{op.A, op.B})
+			case OpLinkFlap, OpSlowLink:
+				if !st.up[op.A] || !st.up[op.B] || op.A == op.B {
+					fail("gray window with illegal endpoints")
+				}
+				if op.N < 1 {
+					fail("empty gray-window burst")
+				}
+			case OpOverload:
+				if !st.up[op.A] {
+					fail("overload from a down host")
+				}
+				if op.N < 80 {
+					fail("overload burst too small to overflow one admission gulp")
+				}
 			}
 		}
 		if len(st.sortedParts()) != 0 {
 			t.Fatalf("seed %d: scenario ended with open partitions", seed)
+		}
+		if len(st.sortedAsym()) != 0 {
+			t.Fatalf("seed %d: scenario ended with open asymmetric cuts", seed)
 		}
 	}
 }

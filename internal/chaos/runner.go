@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dif/internal/framework"
@@ -110,6 +111,16 @@ func Run(cfg Config) (*Result, error) {
 		placement: initialPlacement(hosts, probeIDs(cfg.Probes)),
 		restarts:  make(map[model.HostID]int),
 		dirs:      dirs,
+		deadSeen:  make(map[model.HostID]bool),
+		adms:      make(map[model.HostID]*prism.AdmissionController),
+		crashed:   make(map[model.HostID]bool),
+	}
+	defer r.closeAdmissions()
+	// Every host runs the bounded, class-prioritized admission controller
+	// on its receive path — the soak's floods and bursts all cross it, so
+	// shedding plus retransmission must still deliver exactly once.
+	for _, h := range hosts {
+		r.enableAdmission(h)
 	}
 	ha, err := w.EnableHA(framework.HAConfig{
 		Standbys:  []model.HostID{hosts[1]},
@@ -126,6 +137,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	r.ha = ha
 	defer ha.Close()
+	// The shared failure detector: every heartbeat the fleet pulses out
+	// feeds it through whichever deployer receives the beacon, and every
+	// HostDead verdict it ever publishes is recorded for the
+	// no-false-dead invariant.
+	r.fd = prism.NewFailureDetector(prism.NewLeasePolicy(chaosSuspectAfter, chaosDeadAfter))
+	r.fd.Subscribe(func(tr prism.Transition) {
+		if tr.To == prism.HostDead {
+			r.deadMu.Lock()
+			r.deadSeen[tr.Host] = true
+			r.deadMu.Unlock()
+		}
+	})
+	ha.Deps[hosts[0]].AttachDetector(r.fd)
+	ha.Deps[hosts[1]].AttachDetector(r.fd)
 	if err := r.drive(func() error {
 		won, err := ha.Leads[hosts[0]].Campaign()
 		if err != nil {
@@ -183,6 +208,22 @@ type runner struct {
 	ha   *framework.HACluster
 	dirs map[model.HostID]string
 
+	// fd is the soak's failure detector, shared by both deployers (and
+	// re-attached to every restarted deployer process) so heartbeat
+	// evidence lands in one place no matter who leads. pulse() keeps the
+	// whole fleet beaconing through it; deadSeen records every HostDead
+	// verdict it ever publishes and crashed every genuine fail-stop — the
+	// no-false-dead invariant is deadSeen ⊆ crashed.
+	fd        *prism.FailureDetector
+	deadMu    sync.Mutex
+	deadSeen  map[model.HostID]bool
+	crashed   map[model.HostID]bool
+	lastPulse time.Time
+
+	// adms holds each live host's admission controller (re-created on
+	// restart), closed synchronously at crash time and at end of run.
+	adms map[model.HostID]*prism.AdmissionController
+
 	eventSeq  int
 	waveLines []string
 	epochs    []int
@@ -194,6 +235,21 @@ type runner struct {
 const (
 	chaosLeaseTTL        = 200 * time.Millisecond
 	chaosCampaignTimeout = 30 * time.Second
+)
+
+// Failure-detector tuning for the no-false-dead invariant: generous
+// windows absorb pump gaps around deployer restarts and campaigns, while
+// the pulse cadence keeps live hosts far inside the suspect window. A
+// gray fault (asymmetric cut, flap, slow link, overload) must never push
+// a beaconing host past deadAfter — only a genuine fail-stop may.
+const (
+	chaosSuspectAfter = 5 * time.Second
+	chaosDeadAfter    = 15 * time.Second
+	chaosPulseEvery   = 20 * time.Millisecond
+	// chaosAdmissionCap bounds each per-class admission queue on every
+	// host: small enough that an OpOverload burst overflows the app class
+	// in one gulp, large enough that liveness frames are never crowded.
+	chaosAdmissionCap = 192
 )
 
 // leaseFor rebuilds the leadership config for a deployer being
@@ -222,6 +278,58 @@ func (r *runner) otherDeployer() model.HostID {
 	return r.hosts[0]
 }
 
+// pulse keeps the fleet's liveness plane beating: every live host sends
+// one heartbeat (routed to whoever holds the lease) and the failure
+// detector re-evaluates. Throttled to the pulse cadence so the service
+// loops can call it unconditionally; always runs on the runner's
+// goroutine. Send errors are deliberately ignored — a beacon eaten by a
+// flap or a partition is exactly the evidence stream the no-false-dead
+// invariant judges.
+func (r *runner) pulse() {
+	if time.Since(r.lastPulse) < chaosPulseEvery {
+		return
+	}
+	r.lastPulse = time.Now()
+	for _, h := range r.hosts {
+		if r.w.HostDown(h) {
+			continue
+		}
+		_ = r.w.Admins[h].SendHeartbeat()
+	}
+	r.fd.Evaluate()
+}
+
+// enableAdmission puts the bounded admission controller on h's receive
+// path (pump mode) and remembers it for crash teardown and end-of-run
+// cleanup. Called for the initial fleet and again for every restarted
+// host, whose fresh architecture comes up without one.
+func (r *runner) enableAdmission(h model.HostID) {
+	if dc := r.w.BusConnector(h); dc != nil {
+		r.adms[h] = dc.EnableAdmission(prism.AdmissionConfig{
+			QueueCap: chaosAdmissionCap,
+		})
+	}
+}
+
+// closeAdmission synchronously stops h's admission pump and discards
+// whatever it still had queued. Crash teardown MUST run this before the
+// ledger's crash bookkeeping: a fail-stop is atomic, so frames a dead
+// host had admitted but not yet dispatched die with it — letting the
+// pump drain them afterwards would deliver "from the grave" and consume
+// the crash epoch's one forgiven redelivery out of order.
+func (r *runner) closeAdmission(h model.HostID) {
+	if a := r.adms[h]; a != nil {
+		a.Close()
+		delete(r.adms, h)
+	}
+}
+
+func (r *runner) closeAdmissions() {
+	for _, a := range r.adms {
+		a.Close()
+	}
+}
+
 // drive runs fn on its own goroutine while keeping delivery ticks and
 // bandwidth-accurate virtual time moving — control-plane operations
 // (campaigns, resumes) need the fabric serviced to make progress.
@@ -229,6 +337,7 @@ func (r *runner) drive(fn func() error) error {
 	ch := make(chan error, 1)
 	go func() { ch <- fn() }()
 	for {
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		select {
@@ -249,6 +358,7 @@ func (r *runner) driveUntil(desc string, pump func(), cond func() bool) error {
 		if pump != nil {
 			pump()
 		}
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		if time.Now().After(deadline) {
@@ -311,6 +421,7 @@ func (r *runner) inject(origin model.HostID, target string, n int) {
 // advances bandwidth-accurate virtual time on the fabric.
 func (r *runner) tick(n int) {
 	for i := 0; i < n; i++ {
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		time.Sleep(time.Millisecond)
@@ -333,6 +444,7 @@ func (r *runner) exec(op Op) error {
 			return err
 		}
 		r.restarts[op.A]++
+		r.enableAdmission(op.A)
 	case OpPartition:
 		return r.w.Fabric.SetPartitioned(op.A, op.B, true)
 	case OpHeal:
@@ -347,7 +459,69 @@ func (r *runner) exec(op Op) error {
 		return r.leasePause(op)
 	case OpRejoinResync:
 		return r.rejoinResync(op.A)
+	case OpAsymPartition:
+		// Cut only the A→B direction: B's transport silently discards
+		// inbound frames from A while B→A flows clean. Blocked app events
+		// keep retransmitting until the heal lets one through.
+		r.w.Faults[op.B].PartitionInbound(op.A, true)
+		r.tick(2)
+	case OpAsymHeal:
+		r.w.Faults[op.B].PartitionInbound(op.A, false)
+		r.tick(2)
+	case OpLinkFlap:
+		return r.grayLink(op, prism.DirFault{Flap: prism.FlapConfig{
+			Seed: r.cfg.Seed + int64(r.eventSeq),
+			Up:   20 * time.Millisecond,
+			Down: 10 * time.Millisecond,
+		}}, 45)
+	case OpSlowLink:
+		return r.grayLink(op, prism.DirFault{
+			DelayRate: 1,
+			Delay:     3 * time.Millisecond,
+		}, 20)
+	case OpOverload:
+		// Flood far past one admission gulp: shed app frames must be
+		// recovered by end-to-end retransmission (zero-lost invariant) and
+		// the flood must never displace liveness (no-false-dead invariant).
+		r.inject(op.A, op.Comp, op.N)
+		r.tick(25)
 	}
+	return nil
+}
+
+// baseFaultConfig rebuilds host h's steady-state fault mix — the same
+// deterministic per-host stream NewWorld seeded it with — so a gray
+// window can be layered on and peeled off via SetFaultConfig (which
+// preserves the transport's counters and partition state).
+func (r *runner) baseFaultConfig(h model.HostID) prism.FaultConfig {
+	idx := 0
+	for i, id := range r.hosts {
+		if id == h {
+			idx = i
+			break
+		}
+	}
+	return prism.FaultConfig{
+		Seed:      r.cfg.Seed + int64(idx+1),
+		DropRate:  r.cfg.DropRate,
+		DupRate:   r.cfg.DupRate,
+		DelayRate: r.cfg.DelayRate,
+		Delay:     r.cfg.Delay,
+	}
+}
+
+// grayLink runs one self-contained gray window on the A—B link: overlay
+// df on both directions of A's transport toward B, push the op's traffic
+// burst through the limping link, ride it for a few ticks, then restore
+// the base fault mix. The delivery guarantee must carry the burst across
+// whatever the window ate, dropped late, or bounced.
+func (r *runner) grayLink(op Op, df prism.DirFault, ticks int) error {
+	fc := r.baseFaultConfig(op.A)
+	fc.Peers = map[model.HostID]prism.PeerFault{op.B: {In: df, Out: df}}
+	r.w.Faults[op.A].SetFaultConfig(fc)
+	r.inject(op.A, op.Comp, op.N)
+	r.tick(ticks)
+	r.w.Faults[op.A].SetFaultConfig(r.baseFaultConfig(op.A))
 	return nil
 }
 
@@ -361,6 +535,7 @@ func (r *runner) rejoinResync(h model.HostID) error {
 		return err
 	}
 	r.restarts[h]++
+	r.enableAdmission(h)
 	dep := r.ha.Deps[r.leader]
 	lead := r.ha.Leads[r.leader]
 	admin := r.w.Admins[h]
@@ -400,7 +575,14 @@ func (r *runner) rejoinResync(h model.HostID) error {
 // probes from origin copies on the master — bumping each one's crash
 // epoch so the forgiven post-crash redelivery is not counted a duplicate.
 func (r *runner) crash(h model.HostID) error {
+	// Fail-stop atomicity: stop the admission pump (discarding its queue)
+	// before any crash bookkeeping, so no frame the dead host had
+	// admitted can reach a probe port after the crash epoch bumps.
+	r.closeAdmission(h)
 	lost := r.w.CrashHost(h)
+	// A genuine fail-stop: the one legitimate cause for a later HostDead
+	// verdict (no-false-dead invariant).
+	r.crashed[h] = true
 	r.ledger.VoidOrigin(h)
 	var expected []string
 	for _, p := range r.probes {
@@ -459,6 +641,7 @@ func (r *runner) migrate(op Op, abort bool) error {
 		if abort {
 			dep.NoteHostDead(op.B)
 		}
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		select {
@@ -518,6 +701,7 @@ func (r *runner) deployerWaveCrash(op Op) error {
 
 	var wr waveRes
 	for done := false; !done; {
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		select {
@@ -621,6 +805,9 @@ func (r *runner) reopenDeployer() ([]prism.ResumedWave, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The fresh process feeds the same shared detector its predecessor
+	// did, so the no-false-dead evidence stream survives the restart.
+	dep.AttachDetector(r.fd)
 	r.ha.Deps[h], r.ha.Stores[h], r.ha.Leads[h] = dep, store, le
 	var waves []prism.ResumedWave
 	err = r.drive(func() error {
@@ -692,6 +879,7 @@ func (r *runner) leaderKill(op Op) error {
 	if err != nil {
 		return err
 	}
+	dep.AttachDetector(r.fd)
 	r.ha.Deps[old], r.ha.Stores[old], r.ha.Leads[old] = dep, store, le
 	if err := r.syncStandby(next, old); err != nil {
 		return err
@@ -786,6 +974,7 @@ func (r *runner) pendingTotal() int {
 func (r *runner) settle() error {
 	deadline := time.Now().Add(r.cfg.SettleTimeout)
 	for {
+		r.pulse()
 		r.w.DeliveryTicks()
 		r.w.Fabric.DrainBandwidth(time.Millisecond)
 		if r.ledger.MissingCount() == 0 && r.pendingTotal() == 0 {
@@ -796,6 +985,23 @@ func (r *runner) settle() error {
 				r.ledger.MissingCount(), r.ledger.Missing(), r.pendingTotal())
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Liveness convergence: with every cut healed, a few pulses must show
+	// the whole surviving fleet HostUp. This keeps the no-false-dead
+	// invariant honest — it proves heartbeats were actually flowing into
+	// the detector, not that nothing was ever watched.
+	if err := r.driveUntil("liveness convergence", nil, func() bool {
+		for _, h := range r.hosts {
+			if r.w.HostDown(h) {
+				continue
+			}
+			if r.fd.State(h) != prism.HostUp {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
 	}
 	for i := 0; i < 100 && !r.w.Fabric.Idle(); i++ {
 		time.Sleep(time.Millisecond)
@@ -870,6 +1076,21 @@ func (r *runner) checkInvariants() error {
 		if strings.Join(got, ",") != strings.Join(want, ",") {
 			return fmt.Errorf("goal manifest drift on %s: goal=%v, mirror=%v", h, got, want)
 		}
+	}
+	// No false deaths, ever: a host that never fail-stopped must never
+	// have been declared HostDead, no matter what asymmetric cuts, flaps,
+	// slow links, or floods the scenario threw at its links.
+	r.deadMu.Lock()
+	var falseDead []string
+	for h := range r.deadSeen {
+		if !r.crashed[h] {
+			falseDead = append(falseDead, string(h))
+		}
+	}
+	r.deadMu.Unlock()
+	if len(falseDead) > 0 {
+		sort.Strings(falseDead)
+		return fmt.Errorf("false death verdicts: gray faults alone killed %v", falseDead)
 	}
 	// No split brain, ever: merged across every live agent's grant log, a
 	// fencing term was granted to at most one candidate.

@@ -112,6 +112,29 @@ const (
 	// live manifest matches the goal byte for byte. No wave replay, no
 	// replan: the delta exchange alone must restore the host.
 	OpRejoinResync
+	// OpAsymPartition cuts only the A→B direction: frames from A vanish
+	// silently before reaching B while B→A flows clean — the canonical
+	// gray failure a symmetric partition cannot model. OpAsymHeal restores
+	// the direction. B is never a deployer host, so the failure detector's
+	// heartbeat feed stays honest and any death verdict the cut provokes
+	// is a real false positive (the no-false-dead invariant catches it).
+	OpAsymPartition
+	OpAsymHeal
+	// OpLinkFlap rides a traffic burst across the A—B link while it flaps
+	// on a seeded schedule: short observable outages in both directions
+	// that heal themselves before the op returns. Self-contained — no
+	// lingering state.
+	OpLinkFlap
+	// OpSlowLink is OpLinkFlap's silent sibling: every frame on the A—B
+	// link is held back and delivered late (reordered past later frames)
+	// for the duration of the burst. Self-contained.
+	OpSlowLink
+	// OpOverload floods the admission controller: a large burst of
+	// application events from host A at component Comp, far past what the
+	// per-class queues absorb in one gulp. Shed frames must be recovered
+	// by end-to-end retransmission and the flood must never displace
+	// liveness traffic (again: the no-false-dead invariant).
+	OpOverload
 )
 
 // deployerCrashPhases names OpDeployerCrash.Phase values in op
@@ -145,6 +168,16 @@ func (k OpKind) String() string {
 		return "lease-pause"
 	case OpRejoinResync:
 		return "rejoin-resync"
+	case OpAsymPartition:
+		return "asym-partition"
+	case OpAsymHeal:
+		return "asym-heal"
+	case OpLinkFlap:
+		return "link-flap"
+	case OpSlowLink:
+		return "slow-link"
+	case OpOverload:
+		return "overload"
 	}
 	return fmt.Sprintf("opkind(%d)", int(k))
 }
@@ -152,7 +185,9 @@ func (k OpKind) String() string {
 // Op is one scenario step. Field use per kind: OpTraffic{Comp, A, N};
 // OpMigrate/OpAbortMigrate{Comp, A=src, B=dst}; OpCrash/OpRestart{A};
 // OpPartition/OpHeal{A, B}; OpDeployerCrash{Comp, A=src, B=dst, Phase};
-// OpDeployerRestart{}; OpLeaderKill/OpLeasePause{A=old leader, B=new}.
+// OpDeployerRestart{}; OpLeaderKill/OpLeasePause{A=old leader, B=new};
+// OpAsymPartition/OpAsymHeal{A=from, B=to};
+// OpLinkFlap/OpSlowLink{A, B, Comp, N}; OpOverload{A=origin, Comp, N}.
 type Op struct {
 	Kind OpKind
 	Comp string
@@ -178,6 +213,12 @@ func (o Op) describe() string {
 			o.Comp, o.A, o.B, deployerCrashPhases[o.Phase])
 	case OpLeaderKill, OpLeasePause:
 		return fmt.Sprintf("%s old=%s new=%s", o.Kind, o.A, o.B)
+	case OpAsymPartition, OpAsymHeal:
+		return fmt.Sprintf("%s from=%s to=%s", o.Kind, o.A, o.B)
+	case OpLinkFlap, OpSlowLink:
+		return fmt.Sprintf("%s a=%s b=%s comp=%s n=%d", o.Kind, o.A, o.B, o.Comp, o.N)
+	case OpOverload:
+		return fmt.Sprintf("overload origin=%s target=%s n=%d", o.A, o.Comp, o.N)
 	}
 	return o.Kind.String()
 }
@@ -218,6 +259,11 @@ func orderedPair(a, b model.HostID) hostPair {
 	return hostPair{a, b}
 }
 
+// dirPair is one direction of a link: frames travelling from→to. Unlike
+// hostPair it is NOT normalized — the whole point of an asymmetric
+// partition is that the two directions differ.
+type dirPair struct{ from, to model.HostID }
+
 // scenarioState is the generator's pure simulation of the world: which
 // hosts are up, where each probe lives, and which links are partitioned.
 // Ops are only generated when their preconditions hold, so replaying the
@@ -232,6 +278,8 @@ type scenarioState struct {
 	up        map[model.HostID]bool
 	placement map[string]model.HostID
 	parts     map[hostPair]bool
+	// asym tracks open one-way cuts (OpAsymPartition), direction-keyed.
+	asym map[dirPair]bool
 }
 
 func newScenarioState(cfg Config) *scenarioState {
@@ -246,6 +294,7 @@ func newScenarioState(cfg Config) *scenarioState {
 		up:        make(map[model.HostID]bool, len(hosts)),
 		placement: initialPlacement(hosts, probes),
 		parts:     make(map[hostPair]bool),
+		asym:      make(map[dirPair]bool),
 	}
 	for _, h := range hosts {
 		st.up[h] = true
@@ -269,10 +318,13 @@ func (st *scenarioState) otherDeployer() model.HostID {
 }
 
 // quorumUp reports whether a strict majority of agents is reachable
-// with no partitions open — the precondition for every op that runs a
-// leadership campaign (leader-kill, lease-pause, deployer restarts).
+// with no partitions — symmetric or one-way — open: the precondition for
+// every op that runs a leadership campaign (leader-kill, lease-pause,
+// deployer restarts). A silent one-way cut can eat a candidate's lease
+// requests outright, so campaigns wait for a clean fabric like waves do.
 func (st *scenarioState) quorumUp() bool {
-	return len(st.parts) == 0 && len(st.upHosts(nil)) >= len(st.hosts)/2+1
+	return len(st.parts) == 0 && len(st.asym) == 0 &&
+		len(st.upHosts(nil)) >= len(st.hosts)/2+1
 }
 
 func (st *scenarioState) upHosts(exclude func(model.HostID) bool) []model.HostID {
@@ -301,6 +353,11 @@ func (st *scenarioState) partitioned(h model.HostID) bool {
 			return true
 		}
 	}
+	for pr := range st.asym {
+		if pr.from == h || pr.to == h {
+			return true
+		}
+	}
 	return false
 }
 
@@ -310,6 +367,18 @@ func (st *scenarioState) sortedParts() []hostPair {
 		for _, b := range st.hosts {
 			if a < b && st.parts[hostPair{a, b}] {
 				out = append(out, hostPair{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func (st *scenarioState) sortedAsym() []dirPair {
+	var out []dirPair
+	for _, a := range st.hosts {
+		for _, b := range st.hosts {
+			if a != b && st.asym[dirPair{a, b}] {
+				out = append(out, dirPair{a, b})
 			}
 		}
 	}
@@ -328,14 +397,14 @@ func (st *scenarioState) crash(h model.HostID) {
 }
 
 // GenerateScenario derives a deterministic op list from the seed. Op
-// frequencies roughly: 45% traffic, 17% migration (a third of those
-// abort-flavored, a third deployer-crash-flavored), 10% partition, 8%
-// heal, 10% crash, 2% host restart, 2% rejoin-resync, 2% deployer
+// frequencies roughly: 37% traffic, 17% migration (a third of those
+// abort-flavored, a third deployer-crash-flavored), 7% partition, 5%
+// heal, 6% asymmetric partition, 4% link flap, 4% slow link, 3%
+// overload, 7% crash, 2% host restart, 2% rejoin-resync, 2% deployer
 // restart, 2% leader kill, 2% lease pause — with every ineligible draw
 // degrading to a traffic burst so the list length is stable. A heal
-// epilogue closes
-// any partition still open so the settle phase can drain all in-flight
-// traffic.
+// epilogue closes any partition still open — symmetric or one-way — so
+// the settle phase can drain all in-flight traffic.
 func GenerateScenario(cfg Config) []Op {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -355,10 +424,10 @@ func GenerateScenario(cfg Config) []Op {
 	for len(ops) < cfg.Ops {
 		op := traffic()
 		switch r := rng.Intn(100); {
-		case r < 45:
+		case r < 37:
 			// keep the traffic op
-		case r < 62: // migration (waves need a partition-free control plane)
-			if len(st.parts) > 0 {
+		case r < 54: // migration (waves need a partition-free control plane)
+			if len(st.parts) > 0 || len(st.asym) > 0 {
 				break
 			}
 			comp := st.probes[rng.Intn(len(st.probes))]
@@ -399,7 +468,7 @@ func GenerateScenario(cfg Config) []Op {
 			}
 			op = Op{Kind: OpMigrate, Comp: comp, A: src, B: dst}
 			st.placement[comp] = dst
-		case r < 72: // partition
+		case r < 61: // partition
 			if len(st.parts) >= 2 {
 				break
 			}
@@ -407,9 +476,11 @@ func GenerateScenario(cfg Config) []Op {
 			var pairs []hostPair
 			for i, a := range up {
 				for _, b := range up[i+1:] {
-					if !st.parts[hostPair{a, b}] {
-						pairs = append(pairs, hostPair{a, b})
+					if st.parts[hostPair{a, b}] ||
+						st.asym[dirPair{a, b}] || st.asym[dirPair{b, a}] {
+						continue
 					}
+					pairs = append(pairs, hostPair{a, b})
 				}
 			}
 			if len(pairs) == 0 {
@@ -418,14 +489,76 @@ func GenerateScenario(cfg Config) []Op {
 			pr := pairs[rng.Intn(len(pairs))]
 			st.parts[pr] = true
 			op = Op{Kind: OpPartition, A: pr.a, B: pr.b}
-		case r < 80: // heal
+		case r < 66: // heal one open cut, symmetric or one-way
 			parts := st.sortedParts()
-			if len(parts) == 0 {
+			asyms := st.sortedAsym()
+			if len(parts)+len(asyms) == 0 {
 				break
 			}
-			pr := parts[rng.Intn(len(parts))]
-			delete(st.parts, pr)
-			op = Op{Kind: OpHeal, A: pr.a, B: pr.b}
+			i := rng.Intn(len(parts) + len(asyms))
+			if i < len(parts) {
+				pr := parts[i]
+				delete(st.parts, pr)
+				op = Op{Kind: OpHeal, A: pr.a, B: pr.b}
+			} else {
+				pr := asyms[i-len(parts)]
+				delete(st.asym, pr)
+				op = Op{Kind: OpAsymHeal, A: pr.from, B: pr.to}
+			}
+		case r < 72: // asymmetric partition: cut one direction only
+			if len(st.asym) >= 2 {
+				break
+			}
+			up := st.upHosts(nil)
+			var pairs []dirPair
+			for _, from := range up {
+				for _, to := range up {
+					// The silent side of the cut must never face a deployer
+					// host: heartbeats and lease grants flow toward the
+					// deployers, and eating them would manufacture exactly the
+					// false death verdict the invariant forbids.
+					if from == to || st.deployerHost(to) {
+						continue
+					}
+					if st.asym[dirPair{from, to}] || st.parts[orderedPair(from, to)] {
+						continue
+					}
+					pairs = append(pairs, dirPair{from, to})
+				}
+			}
+			if len(pairs) == 0 {
+				break
+			}
+			pr := pairs[rng.Intn(len(pairs))]
+			st.asym[pr] = true
+			op = Op{Kind: OpAsymPartition, A: pr.from, B: pr.to}
+		case r < 80: // link flap / slow link: self-contained gray windows
+			up := st.upHosts(nil)
+			if len(up) < 2 {
+				break
+			}
+			a := up[rng.Intn(len(up))]
+			b := up[rng.Intn(len(up))]
+			if a == b {
+				break
+			}
+			kind := OpLinkFlap
+			if r >= 76 {
+				kind = OpSlowLink
+			}
+			op = Op{
+				Kind: kind, A: a, B: b,
+				Comp: st.probes[rng.Intn(len(st.probes))],
+				N:    1 + rng.Intn(3),
+			}
+		case r < 83: // overload: flood far past one admission gulp
+			up := st.upHosts(nil)
+			op = Op{
+				Kind: OpOverload,
+				A:    up[rng.Intn(len(up))],
+				Comp: st.probes[rng.Intn(len(st.probes))],
+				N:    80 + rng.Intn(40),
+			}
 		case r < 90: // crash (never a deployer host, never a partitioned host)
 			cands := st.upHosts(func(h model.HostID) bool {
 				return st.deployerHost(h) || st.partitioned(h)
@@ -488,6 +621,9 @@ func GenerateScenario(cfg Config) []Op {
 	}
 	for _, pr := range st.sortedParts() {
 		ops = append(ops, Op{Kind: OpHeal, A: pr.a, B: pr.b})
+	}
+	for _, pr := range st.sortedAsym() {
+		ops = append(ops, Op{Kind: OpAsymHeal, A: pr.from, B: pr.to})
 	}
 	return ops
 }

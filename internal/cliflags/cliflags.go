@@ -20,6 +20,7 @@ import (
 type Common struct {
 	FaultDrop     float64
 	FaultDup      float64
+	FaultAsym     float64
 	FaultSeed     int64
 	NoRetry       bool
 	Heartbeat     time.Duration
@@ -29,6 +30,15 @@ type Common struct {
 	BatchBytes    int
 	BatchFlush    time.Duration
 	LegacyControl bool
+
+	// Gray-failure protection: the per-peer circuit breaker on the
+	// control-send path and the class-prioritized admission controller on
+	// the receive path. Both default off — drills opt in.
+	Breaker         bool
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+	Shed            bool
+	ShedCapacity    int
 }
 
 // Register installs the shared flags on fs and returns the struct the
@@ -37,6 +47,7 @@ func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.Float64Var(&c.FaultDrop, "fault-drop", 0, "injected silent frame-drop rate [0,1) for dependability drills")
 	fs.Float64Var(&c.FaultDup, "fault-dup", 0, "injected duplicate-delivery rate [0,1)")
+	fs.Float64Var(&c.FaultAsym, "fault-asym", 0, "injected INBOUND-only silent drop rate [0,1): this process hears the world badly while its own frames flow clean — the canonical gray failure")
 	fs.Int64Var(&c.FaultSeed, "fault-seed", 1, "seed for the injected fault process")
 	fs.BoolVar(&c.NoRetry, "no-retry", false, "disable control-plane retransmission (single-shot sends)")
 	fs.DurationVar(&c.Heartbeat, "heartbeat", 0, "liveness heartbeat interval (0 disables)")
@@ -46,6 +57,11 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.BatchBytes, "batch-bytes", 0, "TCP frame-coalescing write-buffer size in bytes (0 disables coalescing)")
 	fs.DurationVar(&c.BatchFlush, "batch-flush", prism.DefaultBatchFlush, "max time a coalesced frame may wait before the idle flush")
 	fs.BoolVar(&c.LegacyControl, "legacy-control", false, "pin this process to the pre-goal-state control plane (no GoalState announce/delta frames); waves still work — the rolling-upgrade escape hatch")
+	fs.BoolVar(&c.Breaker, "breaker", false, "enable the per-peer circuit breaker on control sends: consecutive observable failures open the circuit, later sends fail fast into the relay path instead of soaking up retry chains")
+	fs.DurationVar(&c.BreakerCooldown, "breaker-cooldown", 500*time.Millisecond, "how long an open circuit rejects sends before half-opening for a probe")
+	fs.IntVar(&c.BreakerProbes, "breaker-probes", 1, "concurrent half-open probes allowed per peer")
+	fs.BoolVar(&c.Shed, "shed", false, "enable class-prioritized admission on the receive path: bounded per-class queues dispatched liveness > control > app, shedding the arriving class when its queue is full")
+	fs.IntVar(&c.ShedCapacity, "shed-capacity", 256, "admission queue capacity per class")
 	return c
 }
 
@@ -140,19 +156,42 @@ func ParsePeerAddrs(s string) (map[string]string, error) {
 }
 
 // Faulty reports whether any transport fault injection was requested.
-func (c *Common) Faulty() bool { return c.FaultDrop > 0 || c.FaultDup > 0 }
+func (c *Common) Faulty() bool {
+	return c.FaultDrop > 0 || c.FaultDup > 0 || c.FaultAsym > 0
+}
 
 // FaultConfig builds the fault decorator's configuration, registering
-// its counters in reg (nil reg discards them).
+// its counters in reg (nil reg discards them). -fault-asym lands on the
+// inbound direction only: the classic symmetric rates stay on the
+// outbound path, so combining them limps the link both ways at different
+// severities.
 func (c *Common) FaultConfig(reg *obs.Registry) prism.FaultConfig {
 	return prism.FaultConfig{
-		Seed: c.FaultSeed, DropRate: c.FaultDrop, DupRate: c.FaultDup, Obs: reg,
+		Seed: c.FaultSeed, DropRate: c.FaultDrop, DupRate: c.FaultDup,
+		Inbound: prism.DirFault{DropRate: c.FaultAsym},
+		Obs:     reg,
 	}
 }
 
 // Retry builds the control-plane retry policy.
 func (c *Common) Retry() prism.RetryPolicy {
 	return prism.RetryPolicy{Disabled: c.NoRetry, Seed: c.FaultSeed}
+}
+
+// BreakerConfig builds the per-peer circuit breaker configuration;
+// disabled unless -breaker was passed.
+func (c *Common) BreakerConfig() prism.BreakerConfig {
+	return prism.BreakerConfig{
+		Enabled:     c.Breaker,
+		Cooldown:    c.BreakerCooldown,
+		ProbeBudget: c.BreakerProbes,
+	}
+}
+
+// Admission builds the receive-path admission configuration; callers
+// should only interpose it when Shed is set.
+func (c *Common) Admission() prism.AdmissionConfig {
+	return prism.AdmissionConfig{Enabled: c.Shed, QueueCap: c.ShedCapacity}
 }
 
 // Delivery builds the application-event delivery-guarantee

@@ -65,9 +65,40 @@ func TestSharedFlagParity(t *testing.T) {
 			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
 				BatchFlush: prism.DefaultBatchFlush, LegacyControl: true},
 		},
+		{
+			name: "asymmetric gray fault",
+			args: []string{"-fault-asym", "0.6", "-fault-seed", "9"},
+			want: Common{FaultAsym: 0.6, FaultSeed: 9,
+				AppRetransmit: 250 * time.Millisecond, BatchFlush: prism.DefaultBatchFlush},
+		},
+		{
+			name: "breaker on with tuning",
+			args: []string{"-breaker", "-breaker-cooldown", "200ms", "-breaker-probes", "2"},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
+				BatchFlush: prism.DefaultBatchFlush,
+				Breaker:    true, BreakerCooldown: 200 * time.Millisecond, BreakerProbes: 2},
+		},
+		{
+			name: "shedding on with capacity",
+			args: []string{"-shed", "-shed-capacity", "64"},
+			want: Common{FaultSeed: 1, AppRetransmit: 250 * time.Millisecond,
+				BatchFlush: prism.DefaultBatchFlush, Shed: true, ShedCapacity: 64},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			// The gray-protection knobs default to the library's values;
+			// cases only spell them out when the flags are exercised.
+			want := tc.want
+			if want.BreakerCooldown == 0 {
+				want.BreakerCooldown = 500 * time.Millisecond
+			}
+			if want.BreakerProbes == 0 {
+				want.BreakerProbes = 1
+			}
+			if want.ShedCapacity == 0 {
+				want.ShedCapacity = 256
+			}
 			// Both binaries register the shared set the same way; parsing
 			// the same argv must produce the same Common in each.
 			for _, binary := range []string{"deployer", "agent"} {
@@ -76,8 +107,8 @@ func TestSharedFlagParity(t *testing.T) {
 				if err := fs.Parse(tc.args); err != nil {
 					t.Fatalf("%s: parse: %v", binary, err)
 				}
-				if *got != tc.want {
-					t.Fatalf("%s: parsed %+v, want %+v", binary, *got, tc.want)
+				if *got != want {
+					t.Fatalf("%s: parsed %+v, want %+v", binary, *got, want)
 				}
 			}
 		})
@@ -207,6 +238,43 @@ func TestFaultConfigAndRetry(t *testing.T) {
 	var zero Common
 	if zero.Faulty() {
 		t.Fatal("Faulty() = true on zero value")
+	}
+
+	// -fault-asym alone turns fault injection on, and lands on the
+	// inbound direction only — outbound stays clean, so the process
+	// limps exactly the way a gray failure does.
+	asym := Common{FaultAsym: 0.6, FaultSeed: 3}
+	if !asym.Faulty() {
+		t.Fatal("Faulty() = false with -fault-asym set")
+	}
+	afc := asym.FaultConfig(nil)
+	if afc.Inbound.DropRate != 0.6 || afc.DropRate != 0 || afc.Outbound.DropRate != 0 {
+		t.Fatalf("asym FaultConfig = %+v, want inbound-only drop", afc)
+	}
+}
+
+// TestBreakerAndAdmissionConfig pins the builders behind -breaker and
+// -shed: off by default, and the tuning knobs land where the prism
+// layer expects them.
+func TestBreakerAndAdmissionConfig(t *testing.T) {
+	var off Common
+	if off.BreakerConfig().Enabled {
+		t.Fatal("breaker enabled without -breaker")
+	}
+	if off.Admission().Enabled {
+		t.Fatal("admission enabled without -shed")
+	}
+	on := Common{
+		Breaker: true, BreakerCooldown: 200 * time.Millisecond, BreakerProbes: 2,
+		Shed: true, ShedCapacity: 64,
+	}
+	bc := on.BreakerConfig()
+	if !bc.Enabled || bc.Cooldown != 200*time.Millisecond || bc.ProbeBudget != 2 {
+		t.Fatalf("BreakerConfig = %+v", bc)
+	}
+	ac := on.Admission()
+	if !ac.Enabled || ac.QueueCap != 64 {
+		t.Fatalf("Admission = %+v", ac)
 	}
 }
 

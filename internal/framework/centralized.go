@@ -78,6 +78,30 @@ func (c *Centralized) Monitor() (int, int, error) {
 	return len(reports), written, nil
 }
 
+// syncDegraded folds the deployer's gray-failure view into the
+// centralized model: the health scorer's hysteresis flips become the
+// detector's HostDegraded overlay (EvaluateHealth), and the overlay
+// becomes per-host soft penalties that steer planning off limping hosts
+// without force-migrating what they still serve. Returns the number of
+// degraded hosts.
+func (c *Centralized) syncDegraded() int {
+	c.World.Deployer.EvaluateHealth()
+	degraded := make(map[model.HostID]bool)
+	for _, h := range c.World.Deployer.DegradedHosts() {
+		degraded[h] = true
+	}
+	n := 0
+	for _, h := range c.Model.HostIDs() {
+		penalty := 0.0
+		if degraded[h] {
+			penalty = 1
+			n++
+		}
+		c.Model.SetHostDegraded(h, penalty)
+	}
+	return n
+}
+
 // Cycle runs one full monitor→analyze→redeploy round and reports what
 // happened.
 func (c *Centralized) Cycle(ctx context.Context) (Report, error) {
@@ -95,7 +119,9 @@ func (c *Centralized) Cycle(ctx context.Context) (Report, error) {
 	}
 	rep.ReportsGathered = gathered
 	rep.ParamsWritten = written
-	mon.SetAttr("reports", gathered).SetAttr("written", written)
+	rep.DegradedHosts = c.syncDegraded()
+	mon.SetAttr("reports", gathered).SetAttr("written", written).
+		SetAttr("degraded", rep.DegradedHosts)
 	mon.End()
 	// A nil tracker means monitoring data is applied ungated; treat the
 	// system as fully stable.
@@ -183,6 +209,8 @@ func (c *Centralized) Recover(ctx context.Context, dead model.HostID) (Report, e
 	rec.SetAttr("mode", string(ModeCentralized)).SetAttr("dead", string(dead))
 	c.World.Obs().Counter("framework_recoveries_total").Inc()
 	c.Model.SetHostDown(dead, true)
+	// The replan avoids limping survivors as well as the corpse.
+	rep.DegradedHosts = c.syncDegraded()
 
 	// Restore lost components from origin copies onto the master. They
 	// were lost with the dead host; the master's factory registry can

@@ -30,6 +30,9 @@ type Report struct {
 	ParamsWritten   int     // model parameters written through the stability gate
 	SyncMessages    int     // decentralized: model-sync messages this round
 	Stability       float64 // centralized: the analyzer's stability signal
+	// DegradedHosts counts hosts held in the gray-failure overlay this
+	// round (centralized): alive but limping, steered around in planning.
+	DegradedHosts int
 
 	// Analysis phase.
 	Decision   analyzer.Decision // centralized: the analyzer's verdict

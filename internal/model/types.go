@@ -20,6 +20,12 @@ type Host struct {
 	// checking rejects placements on it and the estimation algorithms
 	// exclude it until it rejoins.
 	Down bool
+	// Degraded is a soft gray-failure penalty in (0, 1]: the host is
+	// alive and keeps its current components, but the planning layer
+	// avoids placing *new* components on it while the penalty stands.
+	// Zero means healthy. Unlike Down this is advisory — a degraded
+	// host remains a legal placement of last resort.
+	Degraded float64
 }
 
 // Memory returns the host's available memory capacity.
@@ -253,6 +259,50 @@ func (s *System) HostDown(id HostID) bool {
 	return ok && h.Down
 }
 
+// SetHostDegraded sets (or clears, with penalty <= 0) a host's soft
+// gray-failure penalty and reports whether the value changed. Changes
+// invalidate the dense cache.
+func (s *System) SetHostDegraded(id HostID, penalty float64) bool {
+	h, ok := s.Hosts[id]
+	if !ok {
+		return false
+	}
+	if penalty < 0 {
+		penalty = 0
+	} else if penalty > 1 {
+		penalty = 1
+	}
+	if h.Degraded == penalty {
+		return false
+	}
+	h.Degraded = penalty
+	s.Touch()
+	return true
+}
+
+// HostDegraded returns a host's current soft degradation penalty
+// (0 for a healthy or unknown host).
+func (s *System) HostDegraded(id HostID) float64 {
+	h, ok := s.Hosts[id]
+	if !ok {
+		return 0
+	}
+	return h.Degraded
+}
+
+// DegradedHostIDs returns the IDs of hosts carrying a degradation
+// penalty, in sorted order.
+func (s *System) DegradedHostIDs() []HostID {
+	var ids []HostID
+	for id, h := range s.Hosts {
+		if h.Degraded > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // UpHostIDs returns the IDs of hosts not marked down, in sorted order.
 func (s *System) UpHostIDs() []HostID {
 	ids := make([]HostID, 0, len(s.Hosts))
@@ -352,7 +402,7 @@ func (s *System) InteractionsOf(c ComponentID) []*LogicalLink {
 func (s *System) Clone() *System {
 	out := NewSystem()
 	for id, h := range s.Hosts {
-		out.Hosts[id] = &Host{ID: h.ID, Params: h.Params.Clone(), Down: h.Down}
+		out.Hosts[id] = &Host{ID: h.ID, Params: h.Params.Clone(), Down: h.Down, Degraded: h.Degraded}
 	}
 	for id, c := range s.Components {
 		out.Components[id] = &Component{ID: c.ID, Params: c.Params.Clone()}

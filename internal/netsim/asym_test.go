@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+)
+
+// collectOn installs a handler counting deliveries at host h.
+func collectOn(t *testing.T, f *Fabric, h model.HostID) func() int {
+	t.Helper()
+	var mu sync.Mutex
+	n := 0
+	if err := f.SetHandler(h, func(Message) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return n
+	}
+}
+
+func settleFabric(t *testing.T, f *Fabric) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if f.Idle() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("fabric never went idle")
+}
+
+// TestDirectionalPartitionOneWay pins the asymmetric partition: a→b cut,
+// b→a clean.
+func TestDirectionalPartitionOneWay(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	for _, h := range []model.HostID{"a", "b"} {
+		if err := f.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect("a", "b", LinkState{Reliability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	gotB := collectOn(t, f, "b")
+	gotA := collectOn(t, f, "a")
+
+	if err := f.SetDirectional("a", "b", DirState{Partitioned: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Send("a", "b", 1, "x"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("a→b over one-way partition: err = %v, want ErrPartitioned", err)
+	}
+	if _, err := f.Send("b", "a", 1, "y"); err != nil {
+		t.Fatalf("b→a should be clean: %v", err)
+	}
+	settleFabric(t, f)
+	if gotB() != 0 || gotA() != 1 {
+		t.Fatalf("deliveries b=%d a=%d, want 0 and 1", gotB(), gotA())
+	}
+
+	f.ClearDirectional("a", "b")
+	if _, err := f.Send("a", "b", 1, "z"); err != nil {
+		t.Fatalf("a→b after heal: %v", err)
+	}
+	settleFabric(t, f)
+	if gotB() != 1 {
+		t.Fatalf("deliveries to b after heal = %d, want 1", gotB())
+	}
+}
+
+// TestDirectionalReliabilityMatrix pins the directional-loss matrix the
+// gray-failure drills rely on: a→b lossy, b→a clean, with the loss
+// process byte-identical across same-seed fabrics.
+func TestDirectionalReliabilityMatrix(t *testing.T) {
+	run := func(seed int64) (lossyDelivered, cleanDelivered int) {
+		f := NewFabric(seed)
+		defer f.Close()
+		for _, h := range []model.HostID{"a", "b"} {
+			if err := f.AddHost(h, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Connect("a", "b", LinkState{Reliability: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SetDirectional("a", "b", DirState{HasReliability: true, Reliability: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := f.Send("a", "b", 1, i); err == nil {
+				lossyDelivered++
+			}
+			if _, err := f.Send("b", "a", 1, i); err == nil {
+				cleanDelivered++
+			}
+		}
+		return lossyDelivered, cleanDelivered
+	}
+	lossy, clean := run(7)
+	if clean != 200 {
+		t.Fatalf("clean direction delivered %d of 200", clean)
+	}
+	if lossy < 40 || lossy > 160 {
+		t.Fatalf("lossy direction delivered %d of 200, want roughly 40%%", lossy)
+	}
+	lossy2, clean2 := run(7)
+	if lossy2 != lossy || clean2 != clean {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", lossy, clean, lossy2, clean2)
+	}
+}
+
+// TestDirectionalExtraDelay pins that a one-direction override slows only
+// its own direction.
+func TestDirectionalExtraDelay(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	for _, h := range []model.HostID{"a", "b"} {
+		if err := f.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect("a", "b", LinkState{Reliability: 1, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetDirectional("a", "b", DirState{ExtraDelay: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := f.Send("a", "b", 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := f.Send("b", "a", 1, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 51*time.Millisecond || fast != time.Millisecond {
+		t.Fatalf("latencies slow=%v fast=%v, want 51ms and 1ms", slow, fast)
+	}
+}
+
+// TestDirectionalRequiresLink pins that overrides only attach to existing
+// links and die with them.
+func TestDirectionalRequiresLink(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	for _, h := range []model.HostID{"a", "b"} {
+		if err := f.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SetDirectional("a", "b", DirState{Partitioned: true}); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("SetDirectional without a link: err = %v, want ErrNoRoute", err)
+	}
+	if err := f.Connect("a", "b", LinkState{Reliability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetDirectional("b", "a", DirState{Partitioned: true}); err != nil {
+		t.Fatal(err)
+	}
+	f.Disconnect("a", "b")
+	if _, ok := f.Directional("b", "a"); ok {
+		t.Fatal("directional override survived Disconnect")
+	}
+}

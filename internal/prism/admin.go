@@ -203,6 +203,12 @@ type AdminConfig struct {
 	// stepped clock here (via WorldConfig.Tune) so traced runs are
 	// byte-identical across same-seed repetitions.
 	Clock func() time.Time
+	// Breaker, when Enabled, wraps every direct control send in a
+	// per-peer circuit breaker (closed/open/half-open with a probe
+	// budget) and bounds per-peer in-flight retry chains. Disabled by
+	// default: symmetric partitions are meant to be ridden out by plain
+	// retries, and the breaker is aimed at *gray* peers.
+	Breaker BreakerConfig
 	// LegacyControl pins this peer to the pre-goal-state control plane:
 	// the admin never announces or applies goal state, the deployer never
 	// answers announces. Waves still work — goal generations ride as

@@ -1,0 +1,142 @@
+package prism
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dif/internal/obs"
+)
+
+func TestClassifyFrame(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		want ShedClass
+	}{
+		{"heartbeat", Event{Name: EvHeartbeat, Kind: KindControl}, ClassLiveness},
+		{"lease request", Event{Name: EvLeaseRequest, Kind: KindControl}, ClassLiveness},
+		{"lease grant", Event{Name: EvLeaseGrant, Kind: KindControl}, ClassLiveness},
+		{"reconfig", Event{Name: EvReconfig, Kind: KindControl}, ClassControl},
+		{"outcome", Event{Name: EvOutcome, Kind: KindControl}, ClassControl},
+		{"goal delta", Event{Name: EvGoalDelta, Kind: KindControl}, ClassControl},
+		{"report", Event{Name: EvReport, Kind: KindControl}, ClassControl},
+		{"relay envelope", Event{Name: EvRelay, Kind: KindControl}, ClassControl},
+		{"app traffic", Event{Name: "app.data", Kind: KindApplication}, ClassApp},
+		{"legacy zero kind", Event{Name: "app.data"}, ClassApp},
+		{"ping", Event{Name: "prism.ping", Kind: KindPing}, ClassApp},
+		{"app ack", Event{Name: EvAppAck, Kind: KindControl}, ClassApp},
+		{"app ack batch", Event{Name: EvAppAckBatch, Kind: KindControl}, ClassApp},
+		{"app bounce", Event{Name: EvAppBounce, Kind: KindControl}, ClassApp},
+	}
+	for _, tc := range cases {
+		if got := ClassifyFrame(tc.e); got != tc.want {
+			t.Errorf("%s classified %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAdmissionPriorityOrder(t *testing.T) {
+	var order []ShedClass
+	a := newAdmissionController(AdmissionConfig{Enabled: true, Manual: true},
+		func(e Event) { order = append(order, ClassifyFrame(e)) })
+	defer a.Close()
+	// Enqueue lowest first; drain must still deliver highest first.
+	a.Enqueue(Event{Name: "app.data"})
+	a.Enqueue(Event{Name: "app.data"})
+	a.Enqueue(Event{Name: EvReconfig, Kind: KindControl})
+	a.Enqueue(Event{Name: EvHeartbeat, Kind: KindControl})
+	if n := a.Drain(-1); n != 4 {
+		t.Fatalf("drained %d frames, want 4", n)
+	}
+	want := []ShedClass{ClassLiveness, ClassControl, ClassApp, ClassApp}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAdmissionShedOnlyAppUnderFlood is the shed-priority test: a
+// saturating app-traffic flood sheds app frames only — every lease,
+// heartbeat, and wave frame enqueued during the flood survives.
+func TestAdmissionShedOnlyAppUnderFlood(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	delivered := map[ShedClass]int{}
+	a := newAdmissionController(AdmissionConfig{Enabled: true, QueueCap: 16, Manual: true},
+		func(e Event) {
+			mu.Lock()
+			delivered[ClassifyFrame(e)]++
+			mu.Unlock()
+		})
+	defer a.Close()
+	a.instrument(reg, "h1")
+
+	// Saturate: 500 app frames into a 16-deep queue without draining.
+	for i := 0; i < 500; i++ {
+		a.Enqueue(Event{Name: "app.data", Kind: KindApplication})
+	}
+	// Control plane keeps talking during the flood (its own queues stay
+	// under their caps — the point is that app pressure cannot displace
+	// these frames).
+	for i := 0; i < 8; i++ {
+		a.Enqueue(Event{Name: EvHeartbeat, Kind: KindControl})
+		a.Enqueue(Event{Name: EvLeaseRequest, Kind: KindControl})
+		a.Enqueue(Event{Name: EvReconfig, Kind: KindControl})
+		a.Enqueue(Event{Name: EvOutcome, Kind: KindControl})
+	}
+	a.Drain(-1)
+
+	if got := delivered[ClassLiveness]; got != 16 {
+		t.Fatalf("liveness frames delivered = %d, want all 16", got)
+	}
+	if got := delivered[ClassControl]; got != 16 {
+		t.Fatalf("control frames delivered = %d, want all 16", got)
+	}
+	if got := delivered[ClassApp]; got != 16 {
+		t.Fatalf("app frames delivered = %d, want QueueCap=16", got)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Value(obs.Name("prism_shed_total", "class", "app", "host", "h1")); v != 484 {
+		t.Fatalf("prism_shed_total{class=app} = %v, want 484", v)
+	}
+	for _, class := range []string{"liveness", "control"} {
+		if v, _ := snap.Value(obs.Name("prism_shed_total", "class", class, "host", "h1")); v != 0 {
+			t.Fatalf("prism_shed_total{class=%s} = %v, want 0", class, v)
+		}
+	}
+}
+
+func TestAdmissionPumpDispatches(t *testing.T) {
+	var mu sync.Mutex
+	got := 0
+	a := newAdmissionController(AdmissionConfig{Enabled: true},
+		func(e Event) {
+			mu.Lock()
+			got++
+			mu.Unlock()
+		})
+	for i := 0; i < 50; i++ {
+		a.Enqueue(Event{Name: "app.data"})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n == 50 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 50 {
+		t.Fatalf("pump dispatched %d of 50", got)
+	}
+	// Close is idempotent and enqueue-after-close is a silent no-op.
+	a.Close()
+	a.Enqueue(Event{Name: "app.data"})
+}

@@ -1,0 +1,228 @@
+package prism
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/obs"
+)
+
+// Per-peer circuit breaker for the control plane. The blind
+// retry-with-backoff chain in controlSender is the right tool for a
+// brief outage, but toward a *gray* peer — one that keeps failing for
+// seconds at a time — every caller burns its full attempt budget and
+// the chains pile up. The breaker converts sustained failure into
+// fail-fast: after FailureThreshold consecutive observable failures the
+// circuit opens and sends toward that peer return ErrBreakerOpen
+// immediately; after Cooldown one probe (ProbeBudget concurrent) is let
+// through half-open, and its outcome either closes the circuit or
+// re-opens it. Recovery needs no dedicated path: the deployer's resend
+// loops and the goal-state re-announce keep calling send, so the first
+// post-recovery probe succeeds and traffic resumes.
+//
+// The breaker also bounds concurrency while closed: at most MaxInflight
+// send chains per peer may be in their retry loops at once, so a limping
+// peer cannot serialize the caller's pump the way a dead one once could
+// (the PR 8 heartbeat-cancel fix's gray-failure sibling).
+
+// BreakerConfig tunes the per-peer circuit breaker. The zero value is
+// disabled — existing callers keep the plain retry-chain behaviour
+// (symmetric partitions are *meant* to be ridden out by retries).
+type BreakerConfig struct {
+	Enabled bool
+	// FailureThreshold is how many consecutive observable send failures
+	// (full retry chains spent, partitions, transport errors) open the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open circuit rejects sends before
+	// half-opening for a probe (default 500ms).
+	Cooldown time.Duration
+	// ProbeBudget bounds concurrent half-open probes (default 1).
+	ProbeBudget int
+	// MaxInflight bounds concurrent closed-state send chains per peer
+	// (default 4); excess callers fail fast with ErrBreakerSaturated.
+	MaxInflight int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	return c
+}
+
+// ErrBreakerOpen is returned (fail-fast) while the circuit toward a
+// peer is open, or half-open with its probe budget spent.
+var ErrBreakerOpen = errors.New("prism: circuit open toward peer")
+
+// ErrBreakerSaturated is returned when MaxInflight send chains toward
+// the peer are already in their retry loops.
+var ErrBreakerSaturated = errors.New("prism: per-peer in-flight send budget exhausted")
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// sendOutcome is what a released send chain reports back.
+type sendOutcome int
+
+const (
+	sendOK sendOutcome = iota
+	sendFailed
+	// sendAbandoned marks a cancelled chain (wave aborted, leadership
+	// fenced): no evidence about the peer either way.
+	sendAbandoned
+)
+
+type circuitBreaker struct {
+	cfg   BreakerConfig
+	clock func() time.Time
+	// counter resolves a host+peer-labelled counter lazily (the obs
+	// registry may be wired after construction); may return nil handles.
+	counter func(base string, peer model.HostID) *obs.Counter
+
+	mu    sync.Mutex
+	peers map[model.HostID]*peerBreaker
+}
+
+type peerBreaker struct {
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	inflight int // closed-state chains currently in their retry loops
+	probes   int // half-open probes currently in flight
+}
+
+func newCircuitBreaker(cfg BreakerConfig, clock func() time.Time, counter func(string, model.HostID) *obs.Counter) *circuitBreaker {
+	if clock == nil {
+		clock = time.Now
+	}
+	if counter == nil {
+		counter = func(string, model.HostID) *obs.Counter { return nil }
+	}
+	return &circuitBreaker{
+		cfg:     cfg.withDefaults(),
+		clock:   clock,
+		counter: counter,
+		peers:   make(map[model.HostID]*peerBreaker),
+	}
+}
+
+func (b *circuitBreaker) peer(id model.HostID) *peerBreaker {
+	p, ok := b.peers[id]
+	if !ok {
+		p = &peerBreaker{}
+		b.peers[id] = p
+	}
+	return p
+}
+
+// Acquire admits (or fail-fast rejects) one send chain toward peer. On
+// admission it returns a release callback the chain must invoke exactly
+// once with its outcome.
+func (b *circuitBreaker) Acquire(peer model.HostID) (func(sendOutcome), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(peer)
+	if p.state == breakerOpen {
+		if b.clock().Sub(p.openedAt) < b.cfg.Cooldown {
+			return nil, ErrBreakerOpen
+		}
+		p.state = breakerHalfOpen
+		p.probes = 0
+	}
+	probe := p.state == breakerHalfOpen
+	if probe {
+		if p.probes >= b.cfg.ProbeBudget {
+			return nil, ErrBreakerOpen
+		}
+		p.probes++
+		b.counter("prism_breaker_probes_total", peer).Inc()
+	} else {
+		if p.inflight >= b.cfg.MaxInflight {
+			return nil, ErrBreakerSaturated
+		}
+		p.inflight++
+	}
+	return func(out sendOutcome) { b.release(peer, probe, out) }, nil
+}
+
+func (b *circuitBreaker) release(peer model.HostID, probe bool, out sendOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(peer)
+	if probe {
+		p.probes--
+		switch out {
+		case sendOK:
+			p.state = breakerClosed
+			p.fails = 0
+		case sendFailed:
+			p.state = breakerOpen
+			p.openedAt = b.clock()
+			b.counter("prism_breaker_open_total", peer).Inc()
+		}
+		// Abandoned probes leave the circuit half-open for the next
+		// caller to probe again.
+		return
+	}
+	p.inflight--
+	switch out {
+	case sendOK:
+		p.fails = 0
+	case sendFailed:
+		p.fails++
+		if p.state == breakerClosed && p.fails >= b.cfg.FailureThreshold {
+			p.state = breakerOpen
+			p.openedAt = b.clock()
+			b.counter("prism_breaker_open_total", peer).Inc()
+		}
+	}
+}
+
+// State reports the circuit state toward peer (tests and diagnostics).
+func (b *circuitBreaker) State(peer model.HostID) breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.peers[peer]
+	if !ok {
+		return breakerClosed
+	}
+	// An open circuit past its cooldown is morally half-open; report
+	// the stored state — Acquire performs the actual transition.
+	return p.state
+}
+
+// Reset clears the circuit toward peer (a resurrected host starts with
+// a clean slate).
+func (b *circuitBreaker) Reset(peer model.HostID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.peers, peer)
+}

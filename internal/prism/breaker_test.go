@@ -1,0 +1,272 @@
+package prism
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/netsim"
+	"dif/internal/obs"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 3}, clk.Now, nil)
+	for i := 0; i < 3; i++ {
+		if st := b.State("p"); st != breakerClosed {
+			t.Fatalf("state before failure %d = %v, want closed", i, st)
+		}
+		release, err := b.Acquire("p")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		release(sendFailed)
+	}
+	if st := b.State("p"); st != breakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", st)
+	}
+	if _, err := b.Acquire("p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("acquire while open: err = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 3}, clk.Now, nil)
+	for i := 0; i < 10; i++ {
+		release, err := b.Acquire("p")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			release(sendFailed)
+		} else {
+			release(sendOK)
+		}
+	}
+	if st := b.State("p"); st != breakerClosed {
+		t.Fatalf("interleaved failures opened the circuit: %v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	counter := func(base string, peer model.HostID) *obs.Counter {
+		return reg.Counter(obs.Name(base, "host", "h", "peer", string(peer)))
+	}
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 1, Cooldown: 100 * time.Millisecond, ProbeBudget: 1}, clk.Now, counter)
+	release, _ := b.Acquire("p")
+	release(sendFailed) // opens
+	if _, err := b.Acquire("p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+
+	clk.Advance(150 * time.Millisecond)
+	probe, err := b.Acquire("p")
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if st := b.State("p"); st != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	// Probe budget spent: a second caller is rejected while the probe
+	// is in flight.
+	if _, err := b.Acquire("p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe: err = %v, want ErrBreakerOpen", err)
+	}
+	probe(sendOK)
+	if st := b.State("p"); st != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Value(obs.Name("prism_breaker_open_total", "host", "h", "peer", "p")); v != 1 {
+		t.Fatalf("prism_breaker_open_total = %v, want 1", v)
+	}
+	if v, _ := snap.Value(obs.Name("prism_breaker_probes_total", "host", "h", "peer", "p")); v != 1 {
+		t.Fatalf("prism_breaker_probes_total = %v, want 1", v)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 1, Cooldown: 100 * time.Millisecond}, clk.Now, nil)
+	release, _ := b.Acquire("p")
+	release(sendFailed)
+	clk.Advance(150 * time.Millisecond)
+	probe, _ := b.Acquire("p")
+	probe(sendFailed)
+	if st := b.State("p"); st != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	// The fresh open period restarts the cooldown.
+	if _, err := b.Acquire("p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	clk.Advance(150 * time.Millisecond)
+	if _, err := b.Acquire("p"); err != nil {
+		t.Fatalf("probe after second cooldown rejected: %v", err)
+	}
+}
+
+func TestBreakerAbandonedProbeStaysHalfOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 1, Cooldown: 50 * time.Millisecond}, clk.Now, nil)
+	release, _ := b.Acquire("p")
+	release(sendFailed)
+	clk.Advance(100 * time.Millisecond)
+	probe, _ := b.Acquire("p")
+	probe(sendAbandoned)
+	if st := b.State("p"); st != breakerHalfOpen {
+		t.Fatalf("state after abandoned probe = %v, want half-open", st)
+	}
+	if _, err := b.Acquire("p"); err != nil {
+		t.Fatalf("next probe after abandonment rejected: %v", err)
+	}
+}
+
+func TestBreakerMaxInflight(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 100, MaxInflight: 2}, clk.Now, nil)
+	r1, err := b.Acquire("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Acquire("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire("p"); !errors.Is(err, ErrBreakerSaturated) {
+		t.Fatalf("third chain: err = %v, want ErrBreakerSaturated", err)
+	}
+	// Other peers are unaffected.
+	if rq, err := b.Acquire("q"); err != nil {
+		t.Fatal(err)
+	} else {
+		rq(sendOK)
+	}
+	r1(sendOK)
+	r2(sendOK)
+	if _, err := b.Acquire("p"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := newFakeClock()
+	b := newCircuitBreaker(BreakerConfig{Enabled: true, FailureThreshold: 1}, clk.Now, nil)
+	release, _ := b.Acquire("p")
+	release(sendFailed)
+	b.Reset("p")
+	if st := b.State("p"); st != breakerClosed {
+		t.Fatalf("state after reset = %v, want closed", st)
+	}
+}
+
+// breakerWorld builds two directly connected hosts with fault
+// transports and returns host a's control sender built from cfg, plus
+// a's fault transport for partition control.
+func breakerWorld(t *testing.T, cfg AdminConfig) (*controlSender, *FaultTransport) {
+	t.Helper()
+	fabric := netsim.NewFabric(5)
+	t.Cleanup(fabric.Close)
+	for _, h := range []model.HostID{"a", "b"} {
+		if err := fabric.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fabric.Connect("a", "b", netsim.LinkState{Reliability: 1, BandwidthKB: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	arch := NewArchitecture("a", nil)
+	tr, err := NewNetsimTransport(fabric, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := NewFaultTransport(tr, FaultConfig{})
+	if _, err := arch.AddDistributionConnector("bus", ft); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bus = "bus"
+	return newControlSender(arch, cfg, "test"), ft
+}
+
+// TestBreakerRegressionBoundsRetryChains is the satellite regression:
+// sustained observable failure toward a degraded (not dead) peer must
+// not let concurrent retry chains serialize the caller's pump. With the
+// breaker on, at most MaxInflight chains grind through their backoff
+// budgets; every excess caller fails fast. (The gray-failure sibling of
+// the PR 8 heartbeat-cancel fix, which bounded the same pump against a
+// *partitioned lease holder*.)
+func TestBreakerRegressionBoundsRetryChains(t *testing.T) {
+	cfg := AdminConfig{
+		Deployer:     "a",
+		SendAttempts: 25,
+		Breaker:      BreakerConfig{Enabled: true, FailureThreshold: 100, MaxInflight: 2, Cooldown: time.Minute},
+	}
+	cs, ft := breakerWorld(t, cfg)
+	ft.Partition("b", true) // observable failure on every attempt
+
+	const callers = 8
+	start := time.Now()
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			errs <- cs.send("b", Event{Name: "test.frame", Target: AdminID})
+		}()
+	}
+	saturated := 0
+	for i := 0; i < callers; i++ {
+		err := <-errs
+		if err == nil {
+			t.Fatal("send across a partition succeeded")
+		}
+		if errors.Is(err, ErrBreakerSaturated) {
+			saturated++
+		}
+	}
+	elapsed := time.Since(start)
+	if saturated < callers-2 {
+		t.Fatalf("%d of %d callers failed fast, want at least %d (MaxInflight=2)",
+			saturated, callers, callers-2)
+	}
+	// The pump must not serialize: 8 chains × 25 attempts × ≥15ms mean
+	// backoff would be ~3s serialized; two concurrent chains finish in
+	// well under half that.
+	if elapsed > 2*time.Second {
+		t.Fatalf("callers took %v — retry chains serialized", elapsed)
+	}
+}
+
+// TestBreakerOpensThenRecovers drives a controlSender through the full
+// open → half-open → closed cycle against a real transport.
+func TestBreakerOpensThenRecovers(t *testing.T) {
+	clk := newFakeClock()
+	cfg := AdminConfig{
+		Deployer:     "a",
+		SendAttempts: 2,
+		Retry:        RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		Clock:        clk.Now,
+		Breaker:      BreakerConfig{Enabled: true, FailureThreshold: 2, Cooldown: 100 * time.Millisecond},
+	}
+	cs, ft := breakerWorld(t, cfg)
+	ft.Partition("b", true)
+	for i := 0; i < 2; i++ {
+		if err := cs.send("b", Event{Name: "test.frame", Target: AdminID}); err == nil {
+			t.Fatal("send across a partition succeeded")
+		}
+	}
+	if err := cs.send("b", Event{Name: "test.frame", Target: AdminID}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen fail-fast", err)
+	}
+
+	ft.Partition("b", false)
+	clk.Advance(150 * time.Millisecond)
+	if err := cs.send("b", Event{Name: "test.frame", Target: AdminID}); err != nil {
+		t.Fatalf("post-recovery probe failed: %v", err)
+	}
+	if st := cs.breaker.State("b"); st != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+}

@@ -53,6 +53,11 @@ type DeployerComponent struct {
 	// the source of truth the level-triggered resync path converges
 	// agents to.
 	goal *goalTable
+	// health scores per-peer liveness quality from gray-failure signals
+	// (unanswered report requests, resend pressure, observable send
+	// failures, heartbeat jitter). Built lazily so its gauges land in
+	// the registry wired by SetObservability.
+	health *HealthScorer
 
 	// stop aborts in-flight waves on Close so shutdown never deadlocks on
 	// doneCh waiters.
@@ -165,6 +170,9 @@ func (d *DeployerComponent) AttachDetector(fd *FailureDetector) {
 			"host", string(d.arch.Host()), "to", tr.To.String())).Inc()
 		if tr.To == HostDead {
 			d.NoteHostDead(tr.Host)
+			// A dead host's health history must not shade its rejoin: a
+			// restarted incarnation starts with a clean score.
+			d.healthScorer().Forget(tr.Host)
 		}
 	})
 }
@@ -174,6 +182,57 @@ func (d *DeployerComponent) Detector() *FailureDetector {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.detector
+}
+
+// healthScorer returns the per-peer gray-failure scorer, built on first
+// use so its gauges land in whatever registry SetObservability installed
+// after construction.
+func (d *DeployerComponent) healthScorer() *HealthScorer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.health == nil {
+		d.health = NewHealthScorer(HealthConfig{Host: d.arch.Host(), Obs: d.arch.Obs()})
+	}
+	return d.health
+}
+
+// Health exposes the per-peer gray-failure scorer.
+func (d *DeployerComponent) Health() *HealthScorer {
+	return d.healthScorer()
+}
+
+// EvaluateHealth applies the scorer's hysteresis band and folds every
+// flip into the failure detector's HostDegraded overlay, returning the
+// resulting liveness transitions. Callers run it on their monitoring
+// cadence (the centralized loop calls it each Cycle).
+func (d *DeployerComponent) EvaluateHealth() []Transition {
+	flips := d.healthScorer().Evaluate()
+	if len(flips) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	fd := d.detector
+	d.mu.Unlock()
+	if fd == nil {
+		return nil
+	}
+	var out []Transition
+	for _, f := range flips {
+		out = append(out, fd.MarkDegraded(f.Peer, f.Degraded, d.cfg.Clock())...)
+	}
+	return out
+}
+
+// DegradedHosts lists hosts the detector currently holds in the
+// HostDegraded overlay (nil when no detector is attached).
+func (d *DeployerComponent) DegradedHosts() []model.HostID {
+	d.mu.Lock()
+	fd := d.detector
+	d.mu.Unlock()
+	if fd == nil {
+		return nil
+	}
+	return fd.DegradedHosts()
 }
 
 // hostDead reports whether the attached detector currently declares the
@@ -302,6 +361,9 @@ func (d *DeployerComponent) Handle(e Event) {
 			fd.SetManifest(hb.Host, hb.Components)
 			fd.Observe(hb.Host, hb.Incarnation)
 		}
+		// Inter-arrival jitter is a gray-failure signal the binary
+		// alive/dead detector is blind to.
+		d.healthScorer().RecordHeartbeat(hb.Host, d.cfg.Clock())
 	case EvOutcomeAck:
 		ack, ok := e.Payload.(OutcomeAck)
 		if !ok {
@@ -374,8 +436,17 @@ func (d *DeployerComponent) findHostOf(comp string, exclude model.HostID) model.
 }
 
 // sendControl mirrors AdminComponent.sendControl for the deployer.
+// Observable failures (a retry chain that burned its whole budget, or a
+// breaker fail-fast) feed the health scorer; successes deliberately do
+// not — a gray link can swallow frames after a clean local send, so
+// "send returned nil" is not evidence of peer health. Positive evidence
+// comes from end-to-end outcomes (reports arriving, heartbeats).
 func (d *DeployerComponent) sendControl(to model.HostID, e Event) error {
-	return d.sender.send(to, e)
+	err := d.sender.send(to, e)
+	if err != nil && to != d.arch.Host() {
+		d.healthScorer().RecordSend(to, false)
+	}
+	return err
 }
 
 // RequestReports asks every listed host's admin for a monitoring report
@@ -395,6 +466,7 @@ func (d *DeployerComponent) RequestReports(hosts []model.HostID, timeout time.Du
 	defer deadline.Stop()
 	for {
 		if len(d.snapshotReports()) >= len(hosts) {
+			d.recordReportOutcomes(hosts)
 			return d.snapshotReports(), nil
 		}
 		select {
@@ -403,9 +475,30 @@ func (d *DeployerComponent) RequestReports(hosts []model.HostID, timeout time.Du
 			got := d.snapshotReports()
 			return got, fmt.Errorf("deployer: closed with %d of %d reports", len(got), len(hosts))
 		case <-deadline.C:
+			d.recordReportOutcomes(hosts)
 			got := d.snapshotReports()
 			return got, fmt.Errorf("deployer: %d of %d reports after %v", len(got), len(hosts), timeout)
 		}
+	}
+}
+
+// recordReportOutcomes feeds the health scorer one end-to-end outcome
+// per polled host: an answered report request is the strongest positive
+// evidence the deployer gets (the full round trip worked), and an
+// unanswered one is the canonical gray-failure signal — the host may
+// still be heartbeating while silently dropping our requests or its
+// replies. Not recorded on the shutdown path, where silence proves
+// nothing.
+func (d *DeployerComponent) recordReportOutcomes(hosts []model.HostID) {
+	got := d.snapshotReports()
+	hs := d.healthScorer()
+	self := d.arch.Host()
+	for _, h := range hosts {
+		if h == self {
+			continue
+		}
+		_, ok := got[h]
+		hs.RecordSend(h, ok)
 	}
 }
 
@@ -635,6 +728,9 @@ func (d *DeployerComponent) Enact(moves map[string]model.HostID, current map[str
 					if d.hostDead(h) {
 						continue
 					}
+					// Re-dispatch means the earlier command or its done
+					// report was lost — retry pressure is health evidence.
+					d.healthScorer().RecordRetry(h)
 					_ = d.sendControl(h, cmds[h])
 				}
 			}
@@ -865,6 +961,9 @@ func (d *DeployerComponent) broadcastOutcome(epoch int, st *epochState, commit b
 					d.mu.Unlock()
 					continue
 				}
+				// An unacknowledged outcome re-broadcast is retry
+				// pressure toward a still-pending host.
+				d.healthScorer().RecordRetry(h)
 				_ = d.sendControl(h, e)
 			}
 		case <-d.stop:

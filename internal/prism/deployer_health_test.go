@@ -1,0 +1,127 @@
+package prism
+
+import (
+	"testing"
+	"time"
+
+	"dif/internal/model"
+)
+
+// healthWorld builds a transportless deployer with a detector on a fake
+// clock — enough to drive the health-scoring surface directly.
+func healthWorld(t *testing.T) (*DeployerComponent, *FailureDetector, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	arch := NewArchitecture("a", nil)
+	dep := NewDeployerComponent(arch, AdminConfig{Deployer: "a", Clock: clk.Now})
+	t.Cleanup(dep.Close)
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	fd.SetClock(clk.Now)
+	dep.AttachDetector(fd)
+	return dep, fd, clk
+}
+
+func TestDeployerEvaluateHealthDegradesAndRecovers(t *testing.T) {
+	dep, fd, clk := healthWorld(t)
+	fd.ObserveAt("b", 1, clk.Now())
+	if st := fd.State("b"); st != HostUp {
+		t.Fatalf("state = %v, want up", st)
+	}
+
+	hs := dep.Health()
+	for i := 0; i < 20; i++ {
+		hs.RecordSend("b", false)
+	}
+	trs := dep.EvaluateHealth()
+	if len(trs) != 1 || trs[0].Host != "b" || trs[0].From != HostUp || trs[0].To != HostDegraded {
+		t.Fatalf("transitions = %+v, want single b up→degraded", trs)
+	}
+	if st := fd.State("b"); st != HostDegraded {
+		t.Fatalf("state = %v, want degraded", st)
+	}
+	if got := dep.DegradedHosts(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("DegradedHosts = %v, want [b]", got)
+	}
+	// Steady state: no new flips while still degraded.
+	if trs := dep.EvaluateHealth(); len(trs) != 0 {
+		t.Fatalf("steady-state transitions = %+v, want none", trs)
+	}
+
+	// Sustained clean outcomes climb back over the recovery threshold.
+	for i := 0; i < 40; i++ {
+		hs.RecordSend("b", true)
+	}
+	trs = dep.EvaluateHealth()
+	if len(trs) != 1 || trs[0].From != HostDegraded || trs[0].To != HostUp {
+		t.Fatalf("recovery transitions = %+v, want single degraded→up", trs)
+	}
+	if got := dep.DegradedHosts(); len(got) != 0 {
+		t.Fatalf("DegradedHosts after recovery = %v, want empty", got)
+	}
+}
+
+// TestDeployerReportOutcomesFeedHealth: an answered report poll is
+// positive evidence, an unanswered one negative — and the deployer's own
+// host is never scored.
+func TestDeployerReportOutcomesFeedHealth(t *testing.T) {
+	dep, _, _ := healthWorld(t)
+	dep.mu.Lock()
+	dep.reports = map[model.HostID]MonitoringReport{"b": {Host: "b"}}
+	dep.mu.Unlock()
+
+	for i := 0; i < 10; i++ {
+		dep.recordReportOutcomes([]model.HostID{"a", "b", "c"})
+	}
+	hs := dep.Health()
+	if s := hs.Score("b"); s != 1 {
+		t.Fatalf("answered peer score = %v, want 1", s)
+	}
+	if s := hs.Score("c"); s > 0.5 {
+		t.Fatalf("unanswered peer score = %v, want < 0.5", s)
+	}
+	for _, p := range hs.Snapshot() {
+		if p.Peer == "a" {
+			t.Fatal("deployer scored its own host")
+		}
+	}
+}
+
+// TestDeployerHeartbeatFeedsHealth: Handle's heartbeat path records
+// inter-arrival times in the scorer.
+func TestDeployerHeartbeatFeedsHealth(t *testing.T) {
+	dep, fd, clk := healthWorld(t)
+	for i := 0; i < 3; i++ {
+		dep.Handle(Event{Name: EvHeartbeat, Kind: KindControl,
+			Payload: Heartbeat{Host: "b", Incarnation: 1}})
+		clk.Advance(time.Second)
+	}
+	if st := fd.State("b"); st != HostUp {
+		t.Fatalf("state = %v, want up", st)
+	}
+	snap := dep.Health().Snapshot()
+	if len(snap) != 1 || snap[0].Peer != "b" {
+		t.Fatalf("snapshot = %+v, want tracked peer b", snap)
+	}
+}
+
+// TestDeployerHealthForgottenOnDeath: a host that actually dies sheds
+// its gray-failure history, so a rejoining incarnation starts clean.
+func TestDeployerHealthForgottenOnDeath(t *testing.T) {
+	dep, fd, clk := healthWorld(t)
+	fd.ObserveAt("b", 1, clk.Now())
+	hs := dep.Health()
+	for i := 0; i < 20; i++ {
+		hs.RecordSend("b", false)
+	}
+	if s := hs.Score("b"); s > 0.5 {
+		t.Fatalf("score before death = %v, want low", s)
+	}
+	clk.Advance(10 * time.Second)
+	fd.Evaluate()
+	if st := fd.State("b"); st != HostDead {
+		t.Fatalf("state after silence = %v, want dead", st)
+	}
+	if s := hs.Score("b"); s != 1 {
+		t.Fatalf("score after death = %v, want forgotten (1)", s)
+	}
+}

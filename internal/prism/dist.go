@@ -137,6 +137,14 @@ type DistributionConnector struct {
 	// buffers can be recycled the moment Send returns.
 	poolSafe bool
 
+	// admission, when enabled, interposes the bounded class-prioritized
+	// receive queue between frame decode and dispatch.
+	admission *AdmissionController
+
+	// obsReg remembers the registry from the last instrument call so a
+	// later-enabled admission controller can attach its metrics.
+	obsReg *obs.Registry
+
 	// instr holds the transport-level metric handles; nil handles (before
 	// instrument is called) no-op.
 	instr struct {
@@ -182,6 +190,8 @@ func (dc *DistributionConnector) Transport() Transport { return dc.transport }
 func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID) {
 	h := string(host)
 	dc.mu.Lock()
+	dc.obsReg = reg
+	adm := dc.admission
 	dc.instr.framesSent = reg.Counter(obs.Name("prism_transport_frames_sent_total", "host", h))
 	dc.instr.bytesSent = reg.Counter(obs.Name("prism_transport_bytes_sent_total", "host", h))
 	dc.instr.framesRecv = reg.Counter(obs.Name("prism_transport_frames_recv_total", "host", h))
@@ -192,6 +202,9 @@ func (dc *DistributionConnector) instrument(reg *obs.Registry, host model.HostID
 	dc.instr.decBin = reg.Counter(obs.Name("prism_codec_decode_total", "codec", "binary", "host", h))
 	dc.instr.decGob = reg.Counter(obs.Name("prism_codec_decode_total", "codec", "gob", "host", h))
 	dc.mu.Unlock()
+	if adm != nil {
+		adm.instrument(reg, h)
+	}
 	dc.delivery.instrument(reg, h)
 	dc.Connector.mu.Lock()
 	dc.Connector.heldGauge = reg.Gauge(obs.Name("prism_app_held", "host", h))
@@ -281,11 +294,14 @@ func (dc *DistributionConnector) sendTracked(to model.HostID, data []byte, sizeK
 	}
 }
 
-// onFrame routes an inbound remote event into the local architecture.
+// onFrame decodes an inbound remote frame and hands it to dispatch —
+// directly, or through the admission controller when overload
+// protection is enabled.
 func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
 	dc.mu.Lock()
 	dc.instr.framesRecv.Inc()
 	dc.instr.bytesRecv.Add(float64(len(data)))
+	adm := dc.admission
 	dc.mu.Unlock()
 	e, err := DecodeEvent(data)
 	if err != nil {
@@ -297,6 +313,40 @@ func (dc *DistributionConnector) onFrame(from model.HostID, data []byte) {
 		dc.instr.decGob.Inc()
 	}
 	e.SrcHost = from
+	if adm != nil {
+		adm.Enqueue(e)
+		return
+	}
+	dc.dispatch(e)
+}
+
+// EnableAdmission interposes a bounded, class-prioritized admission
+// controller on the receive path (see admission.go) and returns it so
+// the owner can drain (manual mode) or Close it. Metrics registered via
+// instrument before this call are attached immediately; otherwise they
+// attach at the next SetObservability.
+func (dc *DistributionConnector) EnableAdmission(cfg AdmissionConfig) *AdmissionController {
+	adm := newAdmissionController(cfg, dc.dispatch)
+	dc.mu.Lock()
+	dc.admission = adm
+	reg := dc.obsReg
+	dc.mu.Unlock()
+	if reg != nil {
+		adm.instrument(reg, string(dc.host))
+	}
+	return adm
+}
+
+// Admission returns the active admission controller (nil when disabled).
+func (dc *DistributionConnector) Admission() *AdmissionController {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.admission
+}
+
+// dispatch consumes delivery-guarantee protocol frames and routes
+// everything else into the local architecture.
+func (dc *DistributionConnector) dispatch(e Event) {
 	// Delivery-guarantee protocol frames are consumed here; they never
 	// reach the local audience.
 	if e.Kind == KindControl {

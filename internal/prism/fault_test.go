@@ -2,6 +2,7 @@ package prism
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -185,4 +186,217 @@ func waitForCond(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition never satisfied")
+}
+
+// TestFaultTransportDirectionalMatrix pins the gray-failure matrix: the
+// a→b direction lossy, b→a clean, driven by b's inbound fault process.
+func TestFaultTransportDirectionalMatrix(t *testing.T) {
+	reg := obs.NewRegistry()
+	fa, fb := faultPair(t, FaultConfig{},
+		FaultConfig{Seed: 11, Inbound: DirFault{DropRate: 0.6}, Obs: reg})
+	recvA, gotA := countingReceiver()
+	recvB, gotB := countingReceiver()
+	fa.SetReceiver(recvA)
+	fb.SetReceiver(recvB)
+	for i := 0; i < 100; i++ {
+		if err := fa.Send("b", []byte("x"), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := fb.Send("a", []byte("y"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCond(t, func() bool { return gotA() == 100 })
+	time.Sleep(30 * time.Millisecond)
+	if n := gotB(); n < 10 || n > 70 {
+		t.Fatalf("lossy direction delivered %d of 100, want roughly 40%%", n)
+	}
+	if d := faultCounters(reg, "b")["dropped"]; d+gotB() != 100 {
+		t.Fatalf("dropped(%d) + delivered(%d) != 100", d, gotB())
+	}
+}
+
+// TestFaultTransportPerPeerOverride pins that a Peers entry replaces the
+// transport-wide directional mix for that peer only.
+func TestFaultTransportPerPeerOverride(t *testing.T) {
+	fabric := netsim.NewFabric(7)
+	t.Cleanup(fabric.Close)
+	for _, h := range []model.HostID{"a", "b", "c"} {
+		if err := fabric.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]model.HostID{{"a", "b"}, {"a", "c"}} {
+		if err := fabric.Connect(pair[0], pair[1], netsim.LinkState{Reliability: 1, BandwidthKB: 10_000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ta, err := NewNetsimTransport(fabric, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := NewFaultTransport(ta, FaultConfig{
+		Seed:     3,
+		Outbound: DirFault{DropRate: 1},
+		Peers:    map[model.HostID]PeerFault{"c": {}},
+	})
+	recvs := make(map[model.HostID]func() int)
+	for _, h := range []model.HostID{"b", "c"} {
+		tr, err := NewNetsimTransport(fabric, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, got := countingReceiver()
+		tr.SetReceiver(recv)
+		recvs[h] = got
+	}
+	for i := 0; i < 10; i++ {
+		if err := fa.Send("b", []byte("x"), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := fa.Send("c", []byte("x"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCond(t, func() bool { return recvs["c"]() == 10 })
+	if n := recvs["b"](); n != 0 {
+		t.Fatalf("default Outbound DropRate=1 leaked %d frames to b", n)
+	}
+}
+
+// TestFaultTransportOneWayPartition pins the asymmetric partition: with
+// only the inbound half cut, outbound sends still flow and vice versa.
+func TestFaultTransportOneWayPartition(t *testing.T) {
+	fa, fb := faultPair(t, FaultConfig{}, FaultConfig{})
+	recvA, gotA := countingReceiver()
+	recvB, gotB := countingReceiver()
+	fa.SetReceiver(recvA)
+	fb.SetReceiver(recvB)
+
+	fa.PartitionInbound("b", true)
+	if err := fa.Send("b", []byte("x"), 1); err != nil {
+		t.Fatalf("outbound must stay open under an inbound-only cut: %v", err)
+	}
+	if err := fb.Send("a", []byte("y"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, func() bool { return gotB() == 1 })
+	time.Sleep(30 * time.Millisecond)
+	if gotA() != 0 {
+		t.Fatal("inbound-partitioned transport delivered an inbound frame")
+	}
+
+	fa.PartitionInbound("b", false)
+	fa.PartitionOutbound("b", true)
+	if err := fa.Send("b", []byte("x"), 1); !errors.Is(err, ErrPeerPartitioned) {
+		t.Fatalf("outbound-partitioned send: err = %v, want ErrPeerPartitioned", err)
+	}
+	if err := fb.Send("a", []byte("y"), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, func() bool { return gotA() == 1 })
+
+	fa.PartitionOutbound("b", false)
+	if err := fa.Send("b", []byte("x"), 1); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	waitForCond(t, func() bool { return gotB() == 2 })
+}
+
+// TestFlapScheduleDeterministic pins that the flap schedule is a pure
+// function of its config: same seed → byte-identical phases, different
+// seed → a different schedule, and each phase lands in [base/2, base].
+func TestFlapScheduleDeterministic(t *testing.T) {
+	cfg := FlapConfig{Seed: 42, Up: 100 * time.Millisecond, Down: 40 * time.Millisecond}
+	a, b := FlapSchedule(cfg, 64), FlapSchedule(cfg, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("phase %d diverged across identical configs: %v vs %v", i, a[i], b[i])
+		}
+		base := cfg.Up
+		if i%2 == 1 {
+			base = cfg.Down
+		}
+		if a[i] < base/2 || a[i] > base {
+			t.Fatalf("phase %d = %v outside [%v, %v]", i, a[i], base/2, base)
+		}
+	}
+	other := FlapSchedule(FlapConfig{Seed: 43, Up: cfg.Up, Down: cfg.Down}, 64)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFaultTransportFlap pins the transport-level flap behaviour against
+// the pure schedule, driving time with an injected clock: sends fail
+// exactly while FlapDownAt says the link is down.
+func TestFaultTransportFlap(t *testing.T) {
+	flap := FlapConfig{Seed: 9, Up: 20 * time.Millisecond, Down: 10 * time.Millisecond}
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	fa, fb := faultPair(t, FaultConfig{Seed: 9, Outbound: DirFault{Flap: flap}, Clock: clock}, FaultConfig{})
+	recv, got := countingReceiver()
+	fb.SetReceiver(recv)
+
+	delivered := 0
+	for step := 0; step < 200; step++ {
+		elapsed := time.Duration(step) * time.Millisecond
+		mu.Lock()
+		now = time.Unix(0, 0).Add(elapsed)
+		mu.Unlock()
+		err := fa.Send("b", []byte("x"), 1)
+		if down := FlapDownAt(flap, elapsed); down && !errors.Is(err, ErrPeerPartitioned) {
+			t.Fatalf("step %d: schedule says down, Send returned %v", step, err)
+		} else if !down && err != nil {
+			t.Fatalf("step %d: schedule says up, Send returned %v", step, err)
+		}
+		if err == nil {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == 200 {
+		t.Fatalf("flap delivered %d of 200 — schedule never toggled", delivered)
+	}
+	waitForCond(t, func() bool { return got() == delivered })
+}
+
+// TestFaultTransportDelayedFramePartitionCut is the regression test for
+// the in-flight-delay bug: a frame already sitting in the delay
+// goroutine when a partition opens must NOT be delivered after the cut.
+func TestFaultTransportDelayedFramePartitionCut(t *testing.T) {
+	reg := obs.NewRegistry()
+	fa, fb := faultPair(t, FaultConfig{Seed: 1, DelayRate: 1, Delay: 80 * time.Millisecond, Obs: reg}, FaultConfig{})
+	recv, got := countingReceiver()
+	fb.SetReceiver(recv)
+	if err := fa.Send("b", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is now in flight inside the delay goroutine. Cut the
+	// link before it lands.
+	fa.Partition("b", true)
+	time.Sleep(150 * time.Millisecond)
+	if n := got(); n != 0 {
+		t.Fatalf("delayed frame crossed a partition that opened before delivery (%d delivered)", n)
+	}
+	if st := faultCounters(reg, "a"); st["blocked"] == 0 {
+		t.Fatal("cut delayed frame was not counted as blocked")
+	}
+	// Healing afterwards must not resurrect the dropped frame.
+	fa.Partition("b", false)
+	time.Sleep(30 * time.Millisecond)
+	if n := got(); n != 0 {
+		t.Fatalf("dropped delayed frame resurrected after heal (%d delivered)", n)
+	}
 }

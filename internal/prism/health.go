@@ -1,0 +1,242 @@
+package prism
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dif/internal/model"
+	"dif/internal/obs"
+)
+
+// HealthScorer tracks a per-peer health score in [0, 1] from the
+// signals a gray failure leaves behind even when heartbeats look fine:
+// control-send outcomes (report requests answered or not, observable
+// send errors), retry pressure (two-phase re-dispatches and outcome
+// re-broadcasts toward a still-pending host), and heartbeat
+// inter-arrival regularity. The score feeds the HostDegraded overlay in
+// the failure detector — a limping host is steered around without being
+// falsely declared dead (DSN'04's unreliable-link regime; the
+// constraint-based management line's "adapt to degraded resources").
+//
+// score = SendWeight·ewma(outcomes) + (1−SendWeight)·regularity where
+// regularity = mean/(mean+σ) over the recent heartbeat inter-arrival
+// window (1.0 until two intervals exist). Degradation is hysteretic:
+// below DegradeBelow flips a peer to degraded, and only climbing back
+// above RecoverAbove clears it.
+type HealthScorer struct {
+	cfg HealthConfig
+
+	mu    sync.Mutex
+	peers map[model.HostID]*peerHealth
+}
+
+// HealthConfig tunes the scorer. The zero value gets usable defaults
+// via withDefaults.
+type HealthConfig struct {
+	// Alpha is the EWMA smoothing factor for send outcomes (default 0.3).
+	Alpha float64
+	// SendWeight weights the send-outcome EWMA against heartbeat
+	// regularity in the blended score (default 0.7).
+	SendWeight float64
+	// DegradeBelow / RecoverAbove bound the hysteresis band (defaults
+	// 0.5 and 0.8).
+	DegradeBelow float64
+	RecoverAbove float64
+	// Window is how many heartbeat inter-arrivals feed the regularity
+	// term (default 16).
+	Window int
+	// Host labels the exported gauges; Obs receives
+	// prism_peer_health_score{host=...,peer=...}.
+	Host model.HostID
+	Obs  *obs.Registry
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.SendWeight <= 0 || c.SendWeight > 1 {
+		c.SendWeight = 0.7
+	}
+	if c.DegradeBelow <= 0 {
+		c.DegradeBelow = 0.5
+	}
+	if c.RecoverAbove <= 0 {
+		c.RecoverAbove = 0.8
+	}
+	if c.RecoverAbove < c.DegradeBelow {
+		c.RecoverAbove = c.DegradeBelow
+	}
+	if c.Window <= 1 {
+		c.Window = 16
+	}
+	return c
+}
+
+type peerHealth struct {
+	ewma      float64
+	haveEwma  bool
+	lastHB    time.Time
+	haveHB    bool
+	intervals []time.Duration // ring buffer, newest at write cursor
+	next      int
+	filled    int
+	degraded  bool
+	gauge     *obs.Gauge
+}
+
+// PeerHealth is one peer's scored state, as returned by Snapshot.
+type PeerHealth struct {
+	Peer     model.HostID
+	Score    float64
+	Degraded bool
+}
+
+// NewHealthScorer builds a scorer with cfg (zero-value fields get
+// defaults).
+func NewHealthScorer(cfg HealthConfig) *HealthScorer {
+	return &HealthScorer{cfg: cfg.withDefaults(), peers: make(map[model.HostID]*peerHealth)}
+}
+
+func (h *HealthScorer) peer(id model.HostID) *peerHealth {
+	p, ok := h.peers[id]
+	if !ok {
+		p = &peerHealth{
+			ewma:      1,
+			intervals: make([]time.Duration, h.cfg.Window),
+			gauge: h.cfg.Obs.Gauge(obs.Name("prism_peer_health_score",
+				"host", string(h.cfg.Host), "peer", string(id))),
+		}
+		h.peers[id] = p
+	}
+	return p
+}
+
+// RecordSend folds one control-send outcome toward peer into the EWMA:
+// ok=true for an answered request or clean send, ok=false for an
+// observable failure or an unanswered report request.
+func (h *HealthScorer) RecordSend(peer model.HostID, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(peer)
+	v := 0.0
+	if ok {
+		v = 1.0
+	}
+	if !p.haveEwma {
+		p.ewma, p.haveEwma = v, true
+	} else {
+		p.ewma = (1-h.cfg.Alpha)*p.ewma + h.cfg.Alpha*v
+	}
+	p.gauge.Set(h.scoreLocked(p))
+}
+
+// RecordRetry folds one retry toward peer — a two-phase re-dispatch or
+// outcome re-broadcast means the previous attempt did not land, so it
+// counts as a failed outcome.
+func (h *HealthScorer) RecordRetry(peer model.HostID) {
+	h.RecordSend(peer, false)
+}
+
+// RecordHeartbeat folds one heartbeat arrival time into the peer's
+// inter-arrival window.
+func (h *HealthScorer) RecordHeartbeat(peer model.HostID, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(peer)
+	if p.haveHB {
+		iv := at.Sub(p.lastHB)
+		if iv > 0 {
+			p.intervals[p.next] = iv
+			p.next = (p.next + 1) % len(p.intervals)
+			if p.filled < len(p.intervals) {
+				p.filled++
+			}
+		}
+	}
+	p.lastHB, p.haveHB = at, true
+	p.gauge.Set(h.scoreLocked(p))
+}
+
+// scoreLocked blends the send EWMA with heartbeat regularity. Callers
+// hold h.mu.
+func (h *HealthScorer) scoreLocked(p *peerHealth) float64 {
+	return h.cfg.SendWeight*p.ewma + (1-h.cfg.SendWeight)*h.regularityLocked(p)
+}
+
+func (h *HealthScorer) regularityLocked(p *peerHealth) float64 {
+	if p.filled < 2 {
+		return 1
+	}
+	var sum float64
+	for i := 0; i < p.filled; i++ {
+		sum += float64(p.intervals[i])
+	}
+	mean := sum / float64(p.filled)
+	var varSum float64
+	for i := 0; i < p.filled; i++ {
+		d := float64(p.intervals[i]) - mean
+		varSum += d * d
+	}
+	sigma := math.Sqrt(varSum / float64(p.filled))
+	if mean+sigma == 0 {
+		return 1
+	}
+	return mean / (mean + sigma)
+}
+
+// Score returns peer's current blended score (1.0 for an unknown peer).
+func (h *HealthScorer) Score(peer model.HostID) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[peer]
+	if !ok {
+		return 1
+	}
+	return h.scoreLocked(p)
+}
+
+// Evaluate applies the hysteresis band to every tracked peer and
+// returns the peers whose degraded flag flipped this call, sorted by
+// ID: Degraded=true for a newly limping peer, false for a recovered
+// one. The scorer remembers the flag, so steady state returns nothing.
+func (h *HealthScorer) Evaluate() []PeerHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []PeerHealth
+	for id, p := range h.peers {
+		s := h.scoreLocked(p)
+		switch {
+		case !p.degraded && s < h.cfg.DegradeBelow:
+			p.degraded = true
+			out = append(out, PeerHealth{Peer: id, Score: s, Degraded: true})
+		case p.degraded && s > h.cfg.RecoverAbove:
+			p.degraded = false
+			out = append(out, PeerHealth{Peer: id, Score: s, Degraded: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Snapshot returns every tracked peer's current state, sorted by ID.
+func (h *HealthScorer) Snapshot() []PeerHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PeerHealth, 0, len(h.peers))
+	for id, p := range h.peers {
+		out = append(out, PeerHealth{Peer: id, Score: h.scoreLocked(p), Degraded: p.degraded})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Forget drops a peer's state entirely (a host that died and was
+// excised should not carry stale health into a rejoin).
+func (h *HealthScorer) Forget(peer model.HostID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.peers, peer)
+}

@@ -1,0 +1,118 @@
+package prism
+
+import (
+	"testing"
+	"time"
+
+	"dif/internal/obs"
+)
+
+func TestHealthScorerDegradeAndRecover(t *testing.T) {
+	h := NewHealthScorer(HealthConfig{})
+	// Steady success: score pinned at 1, nothing flips.
+	for i := 0; i < 10; i++ {
+		h.RecordSend("p", true)
+	}
+	if got := h.Score("p"); got != 1 {
+		t.Fatalf("score after clean streak = %v, want 1", got)
+	}
+	if tr := h.Evaluate(); len(tr) != 0 {
+		t.Fatalf("clean peer produced transitions: %v", tr)
+	}
+
+	// Sustained 60% failure drives the EWMA toward 0.4 → below the 0.5
+	// degrade threshold once blended (regularity term stays 1 with no
+	// heartbeat history, so score → 0.7·0.4 + 0.3·1 = 0.58... not below).
+	// Use full failure to cross the band decisively.
+	for i := 0; i < 20; i++ {
+		h.RecordSend("p", false)
+	}
+	tr := h.Evaluate()
+	if len(tr) != 1 || tr[0].Peer != "p" || !tr[0].Degraded {
+		t.Fatalf("failing peer transitions = %v, want p degraded", tr)
+	}
+	// Hysteresis: a single success must not bounce it back.
+	h.RecordSend("p", true)
+	if tr := h.Evaluate(); len(tr) != 0 {
+		t.Fatalf("one success cleared degraded: %v", tr)
+	}
+	// A sustained clean streak recovers it.
+	for i := 0; i < 30; i++ {
+		h.RecordSend("p", true)
+	}
+	tr = h.Evaluate()
+	if len(tr) != 1 || tr[0].Degraded {
+		t.Fatalf("recovered peer transitions = %v, want p recovered", tr)
+	}
+}
+
+func TestHealthScorerRetryCountsAsFailure(t *testing.T) {
+	h := NewHealthScorer(HealthConfig{})
+	for i := 0; i < 20; i++ {
+		h.RecordRetry("p")
+	}
+	if s := h.Score("p"); s > 0.5 {
+		t.Fatalf("score after pure retries = %v, want below degrade band", s)
+	}
+}
+
+func TestHealthScorerHeartbeatJitter(t *testing.T) {
+	h := NewHealthScorer(HealthConfig{})
+	base := time.Unix(0, 0)
+	// Perfectly regular heartbeats → regularity 1, score stays 1.
+	at := base
+	for i := 0; i < 10; i++ {
+		at = at.Add(100 * time.Millisecond)
+		h.RecordHeartbeat("steady", at)
+	}
+	if s := h.Score("steady"); s != 1 {
+		t.Fatalf("steady heartbeat score = %v, want 1", s)
+	}
+	// Wildly jittered heartbeats drag the regularity term down even
+	// with a clean send record.
+	at = base
+	ivs := []time.Duration{10 * time.Millisecond, 900 * time.Millisecond,
+		5 * time.Millisecond, 1200 * time.Millisecond, 15 * time.Millisecond,
+		800 * time.Millisecond, 20 * time.Millisecond, 1100 * time.Millisecond}
+	for _, iv := range ivs {
+		at = at.Add(iv)
+		h.RecordHeartbeat("jittery", at)
+	}
+	if s := h.Score("jittery"); s >= 0.95 {
+		t.Fatalf("jittery heartbeat score = %v, want visibly below 1", s)
+	}
+	if hs, js := h.Score("steady"), h.Score("jittery"); js >= hs {
+		t.Fatalf("jittery (%v) should score below steady (%v)", js, hs)
+	}
+}
+
+func TestHealthScorerGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHealthScorer(HealthConfig{Host: "h1", Obs: reg})
+	for i := 0; i < 10; i++ {
+		h.RecordSend("h2", false)
+	}
+	snap := reg.Snapshot()
+	v, ok := snap.Value(obs.Name("prism_peer_health_score", "host", "h1", "peer", "h2"))
+	if !ok {
+		t.Fatal("prism_peer_health_score gauge missing")
+	}
+	if v >= 0.5 {
+		t.Fatalf("gauge = %v, want degraded-range score", v)
+	}
+}
+
+func TestHealthScorerForget(t *testing.T) {
+	h := NewHealthScorer(HealthConfig{})
+	for i := 0; i < 20; i++ {
+		h.RecordSend("p", false)
+	}
+	h.Evaluate()
+	h.Forget("p")
+	if s := h.Score("p"); s != 1 {
+		t.Fatalf("forgotten peer score = %v, want fresh 1", s)
+	}
+	if snap := h.Snapshot(); len(snap) != 0 {
+		t.Fatalf("forgotten peer still tracked: %v", snap)
+	}
+}

@@ -40,9 +40,16 @@ type Heartbeat struct {
 type HostState int
 
 // Liveness states. Unknown hosts have never been watched or heard from.
+// HostDegraded sits between Up and Suspect: the host is limping — its
+// heartbeats still arrive, but the health scorer sees gray-failure
+// signals (one-way loss, retry pressure, jitter) — so the planner
+// steers new placements away without the detector ever declaring it
+// dead. The suspicion policies never emit Degraded themselves; it is an
+// overlay driven by MarkDegraded.
 const (
 	HostUnknown HostState = iota
 	HostUp
+	HostDegraded
 	HostSuspect
 	HostDead
 )
@@ -52,6 +59,8 @@ func (s HostState) String() string {
 	switch s {
 	case HostUp:
 		return "up"
+	case HostDegraded:
+		return "degraded"
 	case HostSuspect:
 		return "suspect"
 	case HostDead:
@@ -383,7 +392,10 @@ func (fd *FailureDetector) ObserveAt(host model.HostID, incarnation uint64, at t
 			fd.incs[host] = incarnation
 		}
 		fd.policy.Observe(host, at)
-		if prev != HostUp {
+		// A degraded host's heartbeats keep arriving by definition —
+		// the observation refreshes the policy but the Degraded overlay
+		// stays until the health scorer clears it via MarkDegraded.
+		if prev != HostUp && prev != HostDegraded {
 			fd.states[host] = HostUp
 			if prev == HostSuspect {
 				trans = append(trans, Transition{Host: host, From: HostSuspect, To: HostUp, Incarnation: fd.incs[host], At: at})
@@ -423,6 +435,13 @@ func (fd *FailureDetector) EvaluateAt(now time.Time) []Transition {
 		}
 		next := fd.policy.Assess(h, now)
 		if next == HostUnknown || next == prev {
+			continue
+		}
+		// The policy only knows Up/Suspect/Dead. While a host is
+		// Degraded, a healthy assessment keeps the overlay (recovery
+		// belongs to the health scorer); an unhealthy one — heartbeats
+		// actually stopped — escalates past it normally.
+		if prev == HostDegraded && next == HostUp {
 			continue
 		}
 		fd.states[h] = next
@@ -478,6 +497,44 @@ func (fd *FailureDetector) PrimeIncarnation(host model.HostID, inc uint64) {
 		fd.incs[host] = inc
 	}
 	fd.mu.Unlock()
+}
+
+// MarkDegraded sets (on=true) or clears (on=false) the Degraded overlay
+// for a host at the given instant, publishing the transition. The
+// overlay only attaches to an Up host — a Suspect, Dead, or Unknown
+// host keeps its stronger state — and only a Degraded host can be
+// cleared back to Up. Returns the transitions it caused.
+func (fd *FailureDetector) MarkDegraded(host model.HostID, on bool, at time.Time) []Transition {
+	fd.mu.Lock()
+	prev := fd.states[host]
+	var trans []Transition
+	switch {
+	case on && prev == HostUp:
+		fd.states[host] = HostDegraded
+		trans = append(trans, Transition{Host: host, From: HostUp, To: HostDegraded, Incarnation: fd.incs[host], At: at})
+	case !on && prev == HostDegraded:
+		fd.states[host] = HostUp
+		trans = append(trans, Transition{Host: host, From: HostDegraded, To: HostUp, Incarnation: fd.incs[host], At: at})
+	}
+	subs := append([]func(Transition){}, fd.subs...)
+	fd.mu.Unlock()
+	publish(subs, trans)
+	return trans
+}
+
+// DegradedHosts returns every host currently carrying the Degraded
+// overlay, sorted.
+func (fd *FailureDetector) DegradedHosts() []model.HostID {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	var out []model.HostID
+	for h, st := range fd.states {
+		if st == HostDegraded {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // DeadHosts returns every host currently declared dead, sorted.

@@ -276,3 +276,94 @@ func TestDeployerCloseAbortsInFlightWave(t *testing.T) {
 		t.Fatal("Close did not abort the in-flight wave (shutdown deadlock)")
 	}
 }
+
+// TestDegradedOverlay pins the HostDegraded state machine: the overlay
+// only attaches to an Up host, heartbeats refresh the policy without
+// clearing it, Evaluate keeps it while heartbeats flow, and only
+// MarkDegraded(off) returns it to Up.
+func TestDegradedOverlay(t *testing.T) {
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	t0 := time.Unix(0, 0)
+	var seen []Transition
+	fd.Subscribe(func(tr Transition) { seen = append(seen, tr) })
+
+	// Degrading an unknown host is a no-op.
+	if tr := fd.MarkDegraded("h", true, t0); len(tr) != 0 {
+		t.Fatalf("degrading an unknown host produced %v", tr)
+	}
+
+	fd.ObserveAt("h", 1, t0)
+	tr := fd.MarkDegraded("h", true, t0.Add(time.Second))
+	if len(tr) != 1 || tr[0].From != HostUp || tr[0].To != HostDegraded {
+		t.Fatalf("MarkDegraded transitions = %v, want Up→Degraded", tr)
+	}
+	if st := fd.State("h"); st != HostDegraded {
+		t.Fatalf("state = %v, want degraded", st)
+	}
+	if got := fd.DegradedHosts(); len(got) != 1 || got[0] != "h" {
+		t.Fatalf("DegradedHosts = %v, want [h]", got)
+	}
+
+	// Heartbeats keep arriving: the overlay must survive both the
+	// observation and a re-evaluation.
+	fd.ObserveAt("h", 1, t0.Add(2*time.Second))
+	if st := fd.State("h"); st != HostDegraded {
+		t.Fatalf("heartbeat cleared the overlay: state = %v", st)
+	}
+	if tr := fd.EvaluateAt(t0.Add(3 * time.Second)); len(tr) != 0 {
+		t.Fatalf("Evaluate while degraded-and-heartbeating produced %v", tr)
+	}
+	if st := fd.State("h"); st != HostDegraded {
+		t.Fatalf("Evaluate cleared the overlay: state = %v", st)
+	}
+
+	// Recovery is explicit.
+	tr = fd.MarkDegraded("h", false, t0.Add(4*time.Second))
+	if len(tr) != 1 || tr[0].From != HostDegraded || tr[0].To != HostUp {
+		t.Fatalf("recovery transitions = %v, want Degraded→Up", tr)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("subscriber saw %d transitions, want 2", len(seen))
+	}
+}
+
+// TestDegradedHostStillDiesOnSilence pins that the overlay never shields
+// a host whose heartbeats actually stop: Degraded escalates through
+// Suspect to Dead on the normal policy schedule.
+func TestDegradedHostStillDiesOnSilence(t *testing.T) {
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	t0 := time.Unix(0, 0)
+	fd.ObserveAt("h", 1, t0)
+	fd.MarkDegraded("h", true, t0)
+
+	tr := fd.EvaluateAt(t0.Add(3 * time.Second))
+	if len(tr) != 1 || tr[0].From != HostDegraded || tr[0].To != HostSuspect {
+		t.Fatalf("silent degraded host transitions = %v, want Degraded→Suspect", tr)
+	}
+	tr = fd.EvaluateAt(t0.Add(6 * time.Second))
+	if len(tr) != 1 || tr[0].To != HostDead {
+		t.Fatalf("transitions = %v, want →Dead", tr)
+	}
+	// Dead is absorbing: clearing the overlay cannot resurrect it.
+	if tr := fd.MarkDegraded("h", false, t0.Add(7*time.Second)); len(tr) != 0 {
+		t.Fatalf("MarkDegraded(off) on a dead host produced %v", tr)
+	}
+	if st := fd.State("h"); st != HostDead {
+		t.Fatalf("state = %v, want dead", st)
+	}
+}
+
+// TestDegradedSuspectRecoversToUp pins that a degraded host whose
+// heartbeats pause briefly (Suspect) and resume comes back as Up — the
+// health scorer re-marks it if the gray fault persists.
+func TestDegradedSuspectRecoversToUp(t *testing.T) {
+	fd := NewFailureDetector(NewLeasePolicy(2*time.Second, 5*time.Second))
+	t0 := time.Unix(0, 0)
+	fd.ObserveAt("h", 1, t0)
+	fd.MarkDegraded("h", true, t0)
+	fd.EvaluateAt(t0.Add(3 * time.Second)) // → Suspect
+	tr := fd.ObserveAt("h", 1, t0.Add(4*time.Second))
+	if len(tr) != 1 || tr[0].From != HostSuspect || tr[0].To != HostUp {
+		t.Fatalf("resumed heartbeat transitions = %v, want Suspect→Up", tr)
+	}
+}

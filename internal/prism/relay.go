@@ -91,6 +91,10 @@ type controlSender struct {
 	// loop from hammering a partitioned link on behalf of a wave that has
 	// since been aborted, or a leadership that has since been fenced.
 	cancel func(e Event) bool
+	// breaker, when non-nil (AdminConfig.Breaker.Enabled), fail-fasts
+	// sends toward peers whose circuits are open and bounds per-peer
+	// in-flight retry chains.
+	breaker *circuitBreaker
 }
 
 // setCancel installs the retry-abandon predicate. Call before the sender
@@ -101,6 +105,11 @@ func newControlSender(arch *Architecture, cfg AdminConfig, from string) *control
 	registerPayloadsOnce.Do(registerControlPayloads)
 	cs := &controlSender{arch: arch, cfg: cfg.withDefaults(), from: from, relay: newRelayState()}
 	cs.inc.Store(cfg.Incarnation)
+	if cs.cfg.Breaker.Enabled {
+		cs.breaker = newCircuitBreaker(cs.cfg.Breaker, cs.cfg.Clock, func(base string, peer model.HostID) *obs.Counter {
+			return cs.arch.Obs().Counter(obs.Name(base, "host", string(cs.arch.Host()), "peer", string(peer)))
+		})
+	}
 	return cs
 }
 
@@ -153,6 +162,29 @@ func (cs *controlSender) isPeer(dc *DistributionConnector, h model.HostID) bool 
 // frame from a deployer that lost its lease, is abandoned instead of
 // burning the remaining attempt budget against a partitioned link.
 func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string, ev Event) error {
+	if cs.breaker == nil {
+		err, _ := cs.sendDirectRetry(dc, to, data, sizeKB, name, ev)
+		return err
+	}
+	release, err := cs.breaker.Acquire(to)
+	if err != nil {
+		return fmt.Errorf("%s %s → %s: %s: %w", cs.from, cs.arch.Host(), to, name, err)
+	}
+	err, cancelled := cs.sendDirectRetry(dc, to, data, sizeKB, name, ev)
+	switch {
+	case err == nil:
+		release(sendOK)
+	case cancelled:
+		release(sendAbandoned)
+	default:
+		release(sendFailed)
+	}
+	return err
+}
+
+// sendDirectRetry is the retry chain itself; the second return marks a
+// chain abandoned by the cancel predicate (no evidence about the peer).
+func (cs *controlSender) sendDirectRetry(dc *DistributionConnector, to model.HostID, data []byte, sizeKB float64, name string, ev Event) (error, bool) {
 	attempts := cs.cfg.SendAttempts
 	if cs.cfg.Retry.Disabled {
 		attempts = 1
@@ -163,23 +195,23 @@ func (cs *controlSender) sendDirect(dc *DistributionConnector, to model.HostID, 
 			if cs.cancel != nil && cs.cancel(ev) {
 				cs.metric("prism_control_sends_cancelled_total").Inc()
 				return fmt.Errorf("%s %s → %s: %s send cancelled after %d attempts",
-					cs.from, cs.arch.Host(), to, name, i)
+					cs.from, cs.arch.Host(), to, name, i), true
 			}
 			cs.metric("prism_control_retries_total").Inc()
 			time.Sleep(cs.backoff(i - 1))
 			if cs.cancel != nil && cs.cancel(ev) {
 				cs.metric("prism_control_sends_cancelled_total").Inc()
 				return fmt.Errorf("%s %s → %s: %s send cancelled after %d attempts",
-					cs.from, cs.arch.Host(), to, name, i)
+					cs.from, cs.arch.Host(), to, name, i), true
 			}
 		}
 		if lastErr = dc.Transport().Send(to, data, sizeKB); lastErr == nil {
-			return nil
+			return nil, false
 		}
 	}
 	cs.metric("prism_control_send_failures_total").Inc()
 	return fmt.Errorf("%s %s → %s: %s undeliverable after %d attempts: %w",
-		cs.from, cs.arch.Host(), to, name, attempts, lastErr)
+		cs.from, cs.arch.Host(), to, name, attempts, lastErr), false
 }
 
 // metric resolves a host-labelled counter from the architecture's
